@@ -1,0 +1,70 @@
+// Ablation E — the regularity assumption. The paper's models "assume that
+// the input event stream shows a reasonable level of regularity in terms of
+// correlation among attributes' value distributions" (§IV). This experiment
+// sweeps the trace generator's regularity knob from 0 (outcomes independent
+// of attributes) to 1 (fully attribute-determined) and shows that the SBLS
+// advantage over RBLS is exactly that regularity.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "harness/table_printer.h"
+
+namespace cep {
+namespace {
+
+using bench::BuildClusterWorkload;
+using bench::CheckResult;
+using bench::MakeRblsFactory;
+using bench::MakeSblsFactory;
+using bench::PaperEngineOptions;
+using bench::RepsFromEnv;
+
+int Main() {
+  const int reps = RepsFromEnv();
+  std::printf(
+      "=== Ablation E: SBLS advantage vs stream regularity "
+      "(Q1, 5h window, theta 80 us) ===\nreps %d\n\n",
+      reps);
+  TablePrinter table({"regularity", "golden matches", "SBLS accuracy",
+                      "RBLS accuracy", "SBLS - RBLS"});
+  for (const double regularity : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    auto workload = BuildClusterWorkload(/*extra_scale=*/1.0, /*seed=*/42,
+                                         regularity);
+    const CannedQuery query = CheckResult(
+        MakeClusterQ1(workload->registry, 5 * kHour), "compile Q1");
+    const RunOutcome golden = CheckResult(
+        RunOnce(workload->events, query.nfa, EngineOptions{}, nullptr),
+        "golden");
+    const EngineOptions lossy = PaperEngineOptions(80.0);
+    const StrategySummary sbls = CheckResult(
+        EvaluateStrategy(workload->events, query.nfa, lossy,
+                         MakeSblsFactory(query, &workload->registry), reps,
+                         golden.matches, "SBLS"),
+        "SBLS");
+    const StrategySummary rbls = CheckResult(
+        EvaluateStrategy(workload->events, query.nfa, lossy,
+                         MakeRblsFactory(), reps, golden.matches, "RBLS"),
+        "RBLS");
+    table.AddRow({FormatDouble(regularity, 2),
+                  std::to_string(golden.matches.size()),
+                  FormatPercent(sbls.avg_accuracy),
+                  FormatPercent(rbls.avg_accuracy),
+                  FormatDouble((sbls.avg_accuracy - rbls.avg_accuracy) * 100,
+                               2) + " pp"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected: the SBLS-RBLS gap widens with regularity (more attribute\n"
+      "signal for the models). The gap does not collapse at regularity 0:\n"
+      "even without attribute correlations the model cells still condition\n"
+      "on NFA state and relative time, so SBLS learns that partial matches\n"
+      "further along the pattern (and younger ones) are worth keeping —\n"
+      "state-awareness alone already beats random shedding.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cep
+
+int main() { return cep::Main(); }

@@ -1,0 +1,67 @@
+// Ablation F — event selection strategies. Skip-till-any-match is the
+// semantics behind the paper's exponential partial-match state (Table I);
+// this experiment quantifies what the greedier strategies trade away on the
+// bike-sharing workload of Example 1.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "harness/table_printer.h"
+#include "workload/bikeshare.h"
+
+namespace cep {
+namespace {
+
+using bench::CheckOk;
+using bench::CheckResult;
+
+int Main() {
+  SchemaRegistry registry;
+  CheckOk(BikeShareGenerator::RegisterSchemas(&registry), "register schemas");
+  BikeShareOptions trace_options;
+  // Kleene growth under skip-till-any-match is exponential in the number of
+  // lambda-close avail events per window; keep zones sparse so the golden
+  // run stays tractable (~2 matching avails per partial match).
+  trace_options.duration = 4 * kHour;
+  trace_options.num_zones = 200;
+  trace_options.requests_per_minute = 2.0 * BenchScaleFromEnv();
+  BikeShareGenerator generator(trace_options);
+  const std::vector<EventPtr> events =
+      CheckResult(generator.Generate(registry), "generate");
+  const CannedQuery query = CheckResult(
+      MakeBikeQuery(registry, 5 * kMinute, trace_options.lambda, 1),
+      "compile bike query");
+  std::printf(
+      "=== Ablation F: selection strategies (Example 1 query, %zu events) "
+      "===\n\n",
+      events.size());
+
+  TablePrinter table({"selection strategy", "matches", "peak |R(t)|",
+                      "edge evals", "throughput e/s"});
+  for (const SelectionStrategy strategy :
+       {SelectionStrategy::kSkipTillAnyMatch,
+        SelectionStrategy::kSkipTillNextMatch,
+        SelectionStrategy::kStrictContiguity}) {
+    EngineOptions options;
+    options.selection = strategy;
+    const RunOutcome outcome = CheckResult(
+        RunOnce(events, query.nfa, options, nullptr), "run");
+    table.AddRow({SelectionStrategyName(strategy),
+                  std::to_string(outcome.matches.size()),
+                  std::to_string(outcome.metrics.peak_runs),
+                  std::to_string(outcome.metrics.edge_evaluations),
+                  FormatWithThousands(outcome.throughput_eps)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected: skip-till-any-match finds the complete match set at an\n"
+      "exponentially larger state and work; the greedy strategies are cheap\n"
+      "but miss matches — which is why the paper sheds state instead of\n"
+      "weakening the semantics.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cep
+
+int main() { return cep::Main(); }

@@ -1,0 +1,95 @@
+// Ablation C — exact hash-table models vs count-min-sketch models (paper
+// §VI: "more efficient data structures, for instance based on sketching, to
+// maintain contribution and resource consumption models").
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "harness/table_printer.h"
+#include "shedding/state_shedder.h"
+
+namespace cep {
+namespace {
+
+using bench::BuildClusterWorkload;
+using bench::CheckOk;
+using bench::CheckResult;
+using bench::PaperEngineOptions;
+using bench::RepsFromEnv;
+using bench::SblsOptions;
+
+int Main() {
+  const int reps = RepsFromEnv(1);
+  auto workload = BuildClusterWorkload();
+  const CannedQuery query =
+      CheckResult(MakeClusterQ1(workload->registry, 5 * kHour), "compile Q1");
+  std::printf(
+      "=== Ablation C: exact vs count-min-sketch model backends "
+      "(Q1, 5h window) ===\n%zu events, reps %d\n\n",
+      workload->events.size(), reps);
+  const RunOutcome golden = CheckResult(
+      RunOnce(workload->events, query.nfa, EngineOptions{}, nullptr),
+      "golden");
+  const EngineOptions lossy = PaperEngineOptions(80.0);
+
+  TablePrinter table(
+      {"backend", "accuracy", "throughput e/s", "model memory (KiB)"});
+
+  const auto evaluate = [&](const std::string& label,
+                            StateShedderOptions::Backend backend,
+                            size_t width) {
+    const auto make_options = [&](uint64_t seed) {
+      StateShedderOptions options = SblsOptions(query, seed);
+      options.backend = backend;
+      options.sketch_width = width;
+      options.sketch_depth = 4;
+      return options;
+    };
+    ShedderFactory factory = [&, make_options](int rep) -> ShedderPtr {
+      return std::make_unique<StateShedder>(
+          make_options(0x57e7c4 + static_cast<uint64_t>(rep)),
+          &workload->registry);
+    };
+    const StrategySummary summary = CheckResult(
+        EvaluateStrategy(workload->events, query.nfa, lossy, factory, reps,
+                         golden.matches, label),
+        "config");
+    // One extra pass whose shedder we can inspect for the trained models'
+    // memory footprint.
+    Engine engine(query.nfa, lossy,
+                  std::make_unique<StateShedder>(make_options(0x57e7c4),
+                                                 &workload->registry));
+    for (const auto& event : workload->events) {
+      CheckOk(engine.ProcessEvent(event), "memory probe");
+    }
+    const auto* shedder = static_cast<const StateShedder*>(engine.shedder());
+    const size_t memory_bytes =
+        shedder->contribution_model().backend().MemoryBytes() +
+        shedder->cost_model().backend().MemoryBytes();
+    table.AddRow({label, FormatPercent(summary.avg_accuracy),
+                  FormatWithThousands(summary.avg_throughput_eps),
+                  FormatDouble(static_cast<double>(memory_bytes) / 1024.0,
+                               1)});
+  };
+
+  evaluate("exact", StateShedderOptions::Backend::kExact, 0);
+  for (const size_t width : {size_t{1} << 8, size_t{1} << 10, size_t{1} << 12,
+                             size_t{1} << 14}) {
+    evaluate("sketch w=" + std::to_string(width),
+             StateShedderOptions::Backend::kSketch, width);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected: sketch backends match the exact backend's accuracy while\n"
+      "bounding memory regardless of how many distinct partial-match groups\n"
+      "the stream produces. On this workload the exact table stays small\n"
+      "(few hundred cells), so even narrow sketches suffice; the sketch's\n"
+      "value is the worst-case guarantee on high-cardinality streams, where\n"
+      "the exact table grows without bound (paper SVI).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cep
+
+int main() { return cep::Main(); }

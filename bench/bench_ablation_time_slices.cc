@@ -1,0 +1,65 @@
+// Ablation B — time-slice granularity of the contribution / resource
+// consumption models (paper §IV-A: "the size of these slices becomes a
+// tuning parameter for the accuracy of the prediction model").
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "harness/table_printer.h"
+
+namespace cep {
+namespace {
+
+using bench::BuildClusterWorkload;
+using bench::CheckResult;
+using bench::PaperEngineOptions;
+using bench::RepsFromEnv;
+using bench::SblsOptions;
+
+int Main() {
+  const int reps = RepsFromEnv(1);
+  auto workload = BuildClusterWorkload();
+  const CannedQuery query =
+      CheckResult(MakeClusterQ1(workload->registry, 5 * kHour), "compile Q1");
+  std::printf(
+      "=== Ablation B: model time-slice granularity (Q1, 5h window) ===\n"
+      "%zu events, reps %d\n\n",
+      workload->events.size(), reps);
+  const RunOutcome golden = CheckResult(
+      RunOnce(workload->events, query.nfa, EngineOptions{}, nullptr),
+      "golden");
+  const EngineOptions lossy = PaperEngineOptions(80.0);
+
+  TablePrinter table({"time slices", "slice width", "accuracy",
+                      "throughput e/s"});
+  for (const int slices : {1, 2, 4, 8, 16, 32, 64}) {
+    ShedderFactory factory = [&, slices](int rep) -> ShedderPtr {
+      StateShedderOptions options =
+          SblsOptions(query, 0x7151 + static_cast<uint64_t>(rep));
+      options.time_slices = slices;
+      return std::make_unique<StateShedder>(options, &workload->registry);
+    };
+    const StrategySummary summary = CheckResult(
+        EvaluateStrategy(workload->events, query.nfa, lossy, factory, reps,
+                         golden.matches, "SBLS"),
+        "sweep point");
+    table.AddRow({std::to_string(slices),
+                  FormatDuration(5 * kHour / slices),
+                  FormatPercent(summary.avg_accuracy),
+                  FormatWithThousands(summary.avg_throughput_eps)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected: coarse slices merge the statistics of young and old\n"
+      "partial matches, fine slices fragment the evidence per cell. On Q1\n"
+      "the accuracy is fairly insensitive (runs enter their scoring cells\n"
+      "early in their lifetime), with a mild decline at very fine slicing —\n"
+      "the tuning parameter matters most for queries whose completion\n"
+      "probability changes sharply over the window.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cep
+
+int main() { return cep::Main(); }

@@ -1,0 +1,119 @@
+#ifndef CEPSHED_BENCH_BENCH_COMMON_H_
+#define CEPSHED_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "shedding/input_shedder.h"
+#include "shedding/random_shedder.h"
+#include "shedding/state_shedder.h"
+#include "workload/google_trace.h"
+#include "workload/queries.h"
+
+namespace cep {
+namespace bench {
+
+/// Exits with a diagnostic if `status` is not OK (bench binaries are
+/// experiment scripts; any setup failure is fatal).
+inline void CheckOk(const Status& status, const char* context) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", context, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckResult(Result<T> result, const char* context) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", context,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return result.MoveValueUnsafe();
+}
+
+/// Number of repetitions per strategy (paper: 5). Override with CEPSHED_REPS.
+inline int RepsFromEnv(int fallback = 3) {
+  const char* raw = std::getenv("CEPSHED_REPS");
+  if (raw == nullptr) return fallback;
+  const int reps = std::atoi(raw);
+  return reps > 0 ? reps : fallback;
+}
+
+/// \brief The shared cluster-trace workload of the Table II family of
+/// experiments: registry + trace events (scaled by CEPSHED_SCALE).
+struct ClusterWorkload {
+  SchemaRegistry registry;
+  std::vector<EventPtr> events;
+  GoogleTraceOptions trace_options;
+};
+
+inline std::unique_ptr<ClusterWorkload> BuildClusterWorkload(
+    double extra_scale = 1.0, uint64_t seed = 42, double regularity = 0.9) {
+  auto workload = std::make_unique<ClusterWorkload>();
+  CheckOk(GoogleTraceGenerator::RegisterSchemas(&workload->registry),
+          "register cluster schemas");
+  GoogleTraceOptions options;
+  options.duration = 24 * kHour;
+  options.jobs_per_hour = 150.0 * BenchScaleFromEnv() * extra_scale;
+  options.burst_multiplier = 8.0;
+  options.burst_period = 6 * kHour;
+  options.burst_duration = 40 * kMinute;
+  options.seed = seed;
+  options.regularity = regularity;
+  workload->trace_options = options;
+  GoogleTraceGenerator generator(options);
+  workload->events =
+      CheckResult(generator.Generate(workload->registry), "generate trace");
+  return workload;
+}
+
+/// Engine configuration used by the paper-style experiments: deterministic
+/// virtual-cost overload detection, 20% shed fraction, per-query threshold.
+inline EngineOptions PaperEngineOptions(double threshold_micros) {
+  EngineOptions options;
+  options.latency_mode = LatencyMode::kVirtualCost;
+  options.virtual_ns_per_op = 100.0;
+  options.latency_threshold_micros = threshold_micros;
+  options.latency_window_events = 256;
+  options.shed_cooldown_events = 256;
+  options.shed_amount.fraction = 0.20;  // the paper's setting
+  return options;
+}
+
+/// SBLS configuration for a canned query: recommended hash attributes plus
+/// scoring weights that value a completed match above the cost of the single
+/// derivation that produced it.
+inline StateShedderOptions SblsOptions(const CannedQuery& query,
+                                       uint64_t seed) {
+  StateShedderOptions options;
+  options.pm_hash = query.pm_hash;
+  options.time_slices = 16;
+  options.scoring.weight_contribution = 4.0;
+  options.scoring.weight_cost = 1.0;
+  options.seed = seed;
+  return options;
+}
+
+inline ShedderFactory MakeSblsFactory(const CannedQuery& query,
+                                      const SchemaRegistry* registry) {
+  return [&query, registry](int rep) -> ShedderPtr {
+    return std::make_unique<StateShedder>(
+        SblsOptions(query, 0x5b15 + static_cast<uint64_t>(rep)), registry);
+  };
+}
+
+inline ShedderFactory MakeRblsFactory() {
+  return [](int rep) -> ShedderPtr {
+    return std::make_unique<RandomShedder>(0xab1e + static_cast<uint64_t>(rep));
+  };
+}
+
+}  // namespace bench
+}  // namespace cep
+
+#endif  // CEPSHED_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,15 @@
+#include "common/hash.h"
+
+namespace cep {
+
+uint64_t HashBytes(const void* data, size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace cep

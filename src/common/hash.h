@@ -1,0 +1,36 @@
+#ifndef CEPSHED_COMMON_HASH_H_
+#define CEPSHED_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cep {
+
+/// \brief 64-bit finaliser (SplitMix64 / MurmurHash3 fmix64 style).
+///
+/// Bijective; used to decorrelate structured keys before table indexing.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// \brief Combines a seed with another hash (boost::hash_combine, 64-bit).
+inline uint64_t HashCombine(uint64_t seed, uint64_t h) {
+  return seed ^ (Mix64(h) + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// \brief FNV-1a over raw bytes.
+uint64_t HashBytes(const void* data, size_t size);
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+}  // namespace cep
+
+#endif  // CEPSHED_COMMON_HASH_H_

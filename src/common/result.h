@@ -1,0 +1,84 @@
+#ifndef CEPSHED_COMMON_RESULT_H_
+#define CEPSHED_COMMON_RESULT_H_
+
+#include <cassert>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace cep {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Analogous to arrow::Result. Accessing the value of an errored Result is a
+/// programming error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit construction from anything convertible to T (e.g. a
+  /// unique_ptr<Derived> for Result<unique_ptr<Base>>).
+  template <typename U,
+            typename = std::enable_if_t<
+                std::is_convertible_v<U&&, T> &&
+                !std::is_same_v<std::decay_t<U>, Result<T>> &&
+                !std::is_same_v<std::decay_t<U>, Status>>>
+  Result(U&& value) : repr_(T(std::forward<U>(value))) {}  // NOLINT
+  /// Implicit construction from a non-OK status (the common error path).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Moves the value out; the Result must be ok().
+  T MoveValueUnsafe() { return std::move(std::get<T>(repr_)); }
+
+  /// Returns the value, or `alternative` when this Result holds an error.
+  T ValueOr(T alternative) const {
+    return ok() ? std::get<T>(repr_) : std::move(alternative);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace cep
+
+#define CEP_CONCAT_IMPL_(x, y) x##y
+#define CEP_CONCAT_(x, y) CEP_CONCAT_IMPL_(x, y)
+
+/// Evaluates a Result<T> expression; on error, propagates its Status from the
+/// current function; otherwise assigns the value to `lhs` (which may include
+/// a declaration, e.g. `CEP_ASSIGN_OR_RETURN(auto q, ParseQuery(text));`).
+#define CEP_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  CEP_ASSIGN_OR_RETURN_IMPL_(CEP_CONCAT_(_cep_result_, __LINE__), \
+                             lhs, rexpr)
+
+#define CEP_ASSIGN_OR_RETURN_IMPL_(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                               \
+  if (!result_name.ok()) return result_name.status();       \
+  lhs = result_name.MoveValueUnsafe()
+
+#endif  // CEPSHED_COMMON_RESULT_H_

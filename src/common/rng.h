@@ -1,0 +1,56 @@
+#ifndef CEPSHED_COMMON_RNG_H_
+#define CEPSHED_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cep {
+
+/// \brief Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Every stochastic component in the library takes an explicit seed so that
+/// experiments are reproducible bit-for-bit. Not cryptographically secure.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (p clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double NextExponential(double rate);
+
+  /// Gaussian via Box–Muller.
+  double NextGaussian(double mean, double stddev);
+
+  /// Poisson-distributed count (Knuth for small mean, normal approx. beyond).
+  uint64_t NextPoisson(double mean);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (s >= 0; 0 = uniform).
+  /// Uses a precomputed CDF per (n, s) pair — cheap for repeated draws.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// Fisher–Yates shuffle of indices [0, n).
+  std::vector<size_t> Permutation(size_t n);
+
+ private:
+  uint64_t s_[4];
+  // Cache for NextZipf.
+  uint64_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_COMMON_RNG_H_

@@ -1,0 +1,116 @@
+#ifndef CEPSHED_COMMON_STATUS_H_
+#define CEPSHED_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace cep {
+
+/// \brief Status codes used across the library.
+///
+/// Mirrors the Arrow/RocksDB convention: library code never throws; fallible
+/// operations return a Status (or a Result<T>, see result.h).
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kParseError = 2,
+  kTypeError = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kOutOfRange = 6,
+  kIoError = 7,
+  kNotImplemented = 8,
+  kInternal = 9,
+};
+
+/// \brief Returns a human-readable name for a status code ("OK", "ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// The OK state carries no allocation; error states allocate a small record.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// Error message; empty for OK.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the error message with `context` (no-op on OK statuses).
+  Status WithContext(const std::string& context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<Rep> rep_;  // nullptr <=> OK
+};
+
+}  // namespace cep
+
+/// Propagates a non-OK Status from the current function.
+#define CEP_RETURN_NOT_OK(expr)                   \
+  do {                                            \
+    ::cep::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+#endif  // CEPSHED_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef CEPSHED_COMMON_STRING_UTIL_H_
+#define CEPSHED_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cep {
+
+/// Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view input, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Strict integer / double parsing (whole string must be consumed).
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins items with a separator.
+std::string JoinStrings(const std::vector<std::string>& items,
+                        std::string_view sep);
+
+}  // namespace cep
+
+#endif  // CEPSHED_COMMON_STRING_UTIL_H_

@@ -1,0 +1,27 @@
+#ifndef CEPSHED_COMMON_TIME_H_
+#define CEPSHED_COMMON_TIME_H_
+
+#include <cstdint>
+
+namespace cep {
+
+/// Event time, in microseconds since an arbitrary stream epoch.
+///
+/// The Google cluster traces use microsecond timestamps; we adopt the same
+/// resolution for all workloads.
+using Timestamp = int64_t;
+
+/// A span of event time, in microseconds.
+using Duration = int64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+constexpr Duration kMinute = 60 * kSecond;
+constexpr Duration kHour = 60 * kMinute;
+
+constexpr Timestamp kMaxTimestamp = INT64_MAX;
+
+}  // namespace cep
+
+#endif  // CEPSHED_COMMON_TIME_H_

@@ -1,0 +1,144 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace cep {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+Result<bool> Value::GetBool() const {
+  if (!is_bool()) {
+    return Status::TypeError(std::string("expected bool, got ") +
+                             ValueTypeName(type()));
+  }
+  return bool_value();
+}
+
+Result<int64_t> Value::GetInt() const {
+  if (!is_int()) {
+    return Status::TypeError(std::string("expected int, got ") +
+                             ValueTypeName(type()));
+  }
+  return int_value();
+}
+
+Result<double> Value::GetDouble() const {
+  if (!is_numeric()) {
+    return Status::TypeError(std::string("expected numeric, got ") +
+                             ValueTypeName(type()));
+  }
+  return AsDouble();
+}
+
+Result<std::string> Value::GetString() const {
+  if (!is_string()) {
+    return Status::TypeError(std::string("expected string, got ") +
+                             ValueTypeName(type()));
+  }
+  return string_value();
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return bool_value() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(int_value());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", double_value());
+      return buf;
+    }
+    case ValueType::kString:
+      return string_value();
+  }
+  return "?";
+}
+
+uint64_t Value::Hash() const {
+  const uint64_t type_seed = Mix64(static_cast<uint64_t>(type()) + 0x9e77);
+  switch (type()) {
+    case ValueType::kNull:
+      return type_seed;
+    case ValueType::kBool:
+      return HashCombine(type_seed, bool_value() ? 1 : 0);
+    case ValueType::kInt:
+      return HashCombine(type_seed, static_cast<uint64_t>(int_value()));
+    case ValueType::kDouble: {
+      // Normalise -0.0 to 0.0 so equal doubles hash equally.
+      double d = double_value();
+      if (d == 0.0) d = 0.0;
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return HashCombine(type_seed, bits);
+    }
+    case ValueType::kString:
+      return HashCombine(type_seed, HashBytes(string_value().data(),
+                                              string_value().size()));
+  }
+  return 0;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.is_int() && b.is_int()) return a.int_value() == b.int_value();
+    return a.AsDouble() == b.AsDouble();
+  }
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kBool:
+      return a.bool_value() == b.bool_value();
+    case ValueType::kString:
+      return a.string_value() == b.string_value();
+    default:
+      return false;  // unreachable: numerics handled above
+  }
+}
+
+Result<int> Value::Compare(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.is_int() && b.is_int()) {
+      const int64_t x = a.int_value(), y = b.int_value();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    const double x = a.AsDouble(), y = b.AsDouble();
+    if (std::isnan(x) || std::isnan(y)) {
+      return Status::TypeError("cannot order NaN");
+    }
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.is_string() && b.is_string()) {
+    const int c = a.string_value().compare(b.string_value());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (a.is_bool() && b.is_bool()) {
+    return static_cast<int>(a.bool_value()) - static_cast<int>(b.bool_value());
+  }
+  return Status::TypeError(std::string("cannot compare ") +
+                           ValueTypeName(a.type()) + " with " +
+                           ValueTypeName(b.type()));
+}
+
+}  // namespace cep

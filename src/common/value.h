@@ -1,0 +1,86 @@
+#ifndef CEPSHED_COMMON_VALUE_H_
+#define CEPSHED_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cep {
+
+/// \brief Runtime type tag of a Value.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+const char* ValueTypeName(ValueType type);
+
+/// \brief Tagged attribute value: null, bool, int64, double, or string.
+///
+/// Values are small, copyable, and totally ordered within a type. Numeric
+/// comparisons between kInt and kDouble coerce to double (SQL-style).
+class Value {
+ public:
+  /// Constructs a null value.
+  Value() : repr_(std::monostate{}) {}
+  Value(bool v) : repr_(v) {}                    // NOLINT(google-explicit-constructor)
+  Value(int64_t v) : repr_(v) {}                 // NOLINT
+  Value(int v) : repr_(static_cast<int64_t>(v)) {}  // NOLINT
+  Value(double v) : repr_(v) {}                  // NOLINT
+  Value(std::string v) : repr_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : repr_(std::string(v)) {}  // NOLINT
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const { return static_cast<ValueType>(repr_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Unchecked accessors; call only after checking the type.
+  bool bool_value() const { return std::get<bool>(repr_); }
+  int64_t int_value() const { return std::get<int64_t>(repr_); }
+  double double_value() const { return std::get<double>(repr_); }
+  const std::string& string_value() const { return std::get<std::string>(repr_); }
+
+  /// Numeric value as double; requires is_numeric().
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(int_value()) : double_value();
+  }
+
+  /// Checked accessors returning TypeError on mismatch.
+  Result<bool> GetBool() const;
+  Result<int64_t> GetInt() const;
+  Result<double> GetDouble() const;  ///< Accepts kInt or kDouble.
+  Result<std::string> GetString() const;
+
+  /// Renders the value for diagnostics and CSV output.
+  std::string ToString() const;
+
+  /// Stable 64-bit hash (type-aware; kInt 3 and kDouble 3.0 hash differently).
+  uint64_t Hash() const;
+
+  /// Equality: same type (modulo int/double numeric coercion) and same value.
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Three-way comparison for order predicates. Returns TypeError for
+  /// incomparable types (e.g. string vs int, or any null operand).
+  static Result<int> Compare(const Value& a, const Value& b);
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> repr_;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_COMMON_VALUE_H_

@@ -1,0 +1,375 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/string_util.h"
+#include "shedding/adaptive.h"
+
+namespace cep {
+
+namespace {
+
+/// Type id used for RETURN complex events (outside any SchemaRegistry).
+constexpr EventTypeId kComplexEventTypeId = kInvalidEventType - 1;
+
+uint64_t TypeBit(EventTypeId type) { return 1ull << (type % 64); }
+
+}  // namespace
+
+const char* SelectionStrategyName(SelectionStrategy strategy) {
+  switch (strategy) {
+    case SelectionStrategy::kSkipTillAnyMatch:
+      return "skip-till-any-match";
+    case SelectionStrategy::kSkipTillNextMatch:
+      return "skip-till-next-match";
+    case SelectionStrategy::kStrictContiguity:
+      return "strict-contiguity";
+  }
+  return "?";
+}
+
+Engine::Engine(NfaPtr nfa, EngineOptions options, ShedderPtr shedder)
+    : nfa_(std::move(nfa)),
+      options_(options),
+      shedder_(std::move(shedder)),
+      scratch_empty_run_(0, nfa_->analyzed().num_variables(), 0, 0) {
+  switch (options_.latency_mode) {
+    case LatencyMode::kWallClock:
+      latency_monitor_ = std::make_unique<WallClockLatencyMonitor>(
+          options_.latency_window_events);
+      break;
+    case LatencyMode::kQueueSimulation:
+      latency_monitor_ = std::make_unique<QueueingLatencyMonitor>(
+          options_.latency_window_events, options_.virtual_ns_per_op,
+          options_.queue_time_compression);
+      break;
+    case LatencyMode::kVirtualCost:
+      latency_monitor_ = std::make_unique<VirtualCostLatencyMonitor>(
+          options_.latency_window_events, options_.virtual_ns_per_op);
+      break;
+  }
+  state_type_masks_.resize(nfa_->num_states(), 0);
+  for (const auto& state : nfa_->states()) {
+    for (const auto& edge : state.edges) {
+      state_type_masks_[state.id] |= TypeBit(edge.event_type);
+    }
+  }
+  const ReturnSpec& spec = nfa_->query().return_spec;
+  if (!spec.empty()) {
+    std::vector<AttributeDef> attrs;
+    attrs.reserve(spec.items.size());
+    for (const auto& item : spec.items) {
+      // Output attribute types are determined by the RETURN expressions at
+      // match time; kNull here means "dynamically typed".
+      attrs.push_back(AttributeDef{item.name, ValueType::kNull});
+    }
+    output_schema_ =
+        std::make_shared<EventSchema>(spec.event_name, std::move(attrs));
+  }
+  if (shedder_ != nullptr) shedder_->Attach(*nfa_);
+}
+
+Result<bool> Engine::EvalEdge(const Run& run, const Edge& edge,
+                              const Event& event) {
+  const RunBindingView view(run, edge.var_index, &event);
+  for (const Expr* pred : edge.exit_predicates) {
+    CEP_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*pred, view));
+    if (!pass) return false;
+  }
+  for (const Expr* pred : edge.predicates) {
+    CEP_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*pred, view));
+    if (!pass) return false;
+  }
+  return true;
+}
+
+Result<EventPtr> Engine::BuildComplexEvent(const Run& run) {
+  const ReturnSpec& spec = nfa_->query().return_spec;
+  const RunBindingView view(run);
+  std::vector<Value> values;
+  values.reserve(spec.items.size());
+  for (const auto& item : spec.items) {
+    CEP_ASSIGN_OR_RETURN(Value v, item.expr->Eval(view));
+    values.push_back(std::move(v));
+  }
+  return std::make_shared<Event>(kComplexEventTypeId, output_schema_,
+                                 run.last_ts(), std::move(values),
+                                 next_match_id_);
+}
+
+Result<bool> Engine::TryEmit(const Run& run, Timestamp now) {
+  const State& state = nfa_->state(run.state());
+  const RunBindingView view(run);
+  for (const Expr* pred : state.final_predicates) {
+    CEP_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*pred, view));
+    if (!pass) return false;
+  }
+  Match match;
+  match.id = next_match_id_++;
+  match.first_ts = run.start_ts();
+  match.last_ts = run.last_ts();
+  match.bindings = run.CopyBindings();
+  match.fingerprint = MatchFingerprint(match.bindings);
+  if (output_schema_ != nullptr) {
+    CEP_ASSIGN_OR_RETURN(match.complex_event, BuildComplexEvent(run));
+  }
+  ++metrics_.matches_emitted;
+  if (shedder_ != nullptr) shedder_->OnMatchEmitted(run, now);
+  if (match_callback_) match_callback_(match);
+  if (options_.collect_matches) matches_.push_back(std::move(match));
+  return true;
+}
+
+Status Engine::ProcessEvent(const EventPtr& event) {
+  using Clock = std::chrono::steady_clock;
+  const bool wall = options_.latency_mode == LatencyMode::kWallClock;
+  const Clock::time_point t0 = wall ? Clock::now() : Clock::time_point();
+
+  const Timestamp now = event->timestamp();
+  if (now < last_event_ts_) {
+    return Status::InvalidArgument(StrFormat(
+        "event timestamps must be non-decreasing (%lld after %lld)",
+        static_cast<long long>(now), static_cast<long long>(last_event_ts_)));
+  }
+  last_event_ts_ = now;
+  ops_this_event_ = 1;
+
+  // Input-based shedding hook (baselines; state-based shedders never drop).
+  if (shedder_ != nullptr) {
+    const bool overloaded =
+        options_.latency_threshold_micros > 0 &&
+        latency_monitor_->CurrentLatencyMicros() >
+            options_.latency_threshold_micros;
+    if (shedder_->ShouldDropEvent(*event, overloaded)) {
+      ++metrics_.events_dropped;
+      latency_monitor_->Record(now, 0.0, 1);
+      return Status::OK();
+    }
+  }
+
+  const uint64_t ebit = TypeBit(event->type());
+  const Duration window = nfa_->window();
+  const SelectionStrategy sel = options_.selection;
+  const bool strict = sel == SelectionStrategy::kStrictContiguity;
+  const bool in_place = sel != SelectionStrategy::kSkipTillAnyMatch;
+  bool any_dead = false;
+
+  for (auto& slot : runs_) {
+    Run* run = slot.get();
+    if (run->Expired(now, window)) {
+      // A run waiting at a deferred final state (trailing negation) is
+      // confirmed by its window closing without a violation: emit now.
+      if (nfa_->state(run->state()).deferred_final) {
+        CEP_RETURN_NOT_OK(TryEmit(*run, now).status());
+      }
+      if (shedder_ != nullptr) shedder_->OnRunExpired(*run, now);
+      ++metrics_.runs_expired;
+      slot.reset();
+      any_dead = true;
+      continue;
+    }
+    const bool relevant = (state_type_masks_[run->state()] & ebit) != 0;
+    bool fired = false;
+    bool killed = false;
+    if (relevant) {
+      const State& state = nfa_->state(run->state());
+      for (const Edge& edge : state.edges) {
+        if (edge.event_type != event->type()) continue;
+        ++ops_this_event_;
+        CEP_ASSIGN_OR_RETURN(bool pass, EvalEdge(*run, edge, *event));
+        if (!pass) continue;
+        if (edge.kind == EdgeKind::kKill) {
+          killed = true;
+          break;
+        }
+        fired = true;
+        if (!in_place) {
+          // Skip-till-any-match: branch; the original run survives untouched.
+          std::unique_ptr<Run> child =
+              run->Extend(next_run_id_++, edge.var_index, event, edge.target);
+          ++metrics_.runs_extended;
+          if (shedder_ != nullptr) {
+            shedder_->OnRunExtended(run, child.get(), *event, now);
+          }
+          const State& target = nfa_->state(edge.target);
+          bool keep = true;
+          if (target.is_final) {
+            if (target.deferred_final) {
+              // Trailing negation: emission waits for the window to close.
+            } else {
+              CEP_RETURN_NOT_OK(TryEmit(*child, now).status());
+              // A final state with outgoing edges is a trailing Kleene
+              // state: the child keeps collecting; a plain final state
+              // completes it.
+              keep = !target.edges.empty();
+            }
+          }
+          if (keep) new_runs_.push_back(std::move(child));
+        } else {
+          // Greedy strategies: apply the first applicable transition in
+          // place and stop scanning edges for this run.
+          run->Bind(edge.var_index, event, edge.target);
+          ++metrics_.runs_extended;
+          if (shedder_ != nullptr) shedder_->OnRunExtended(nullptr, run, *event, now);
+          const State& target = nfa_->state(edge.target);
+          if (target.is_final && !target.deferred_final) {
+            CEP_RETURN_NOT_OK(TryEmit(*run, now).status());
+            if (target.edges.empty()) {
+              slot.reset();
+              any_dead = true;
+            }
+          }
+          break;
+        }
+      }
+    }
+    if (killed) {
+      ++metrics_.runs_killed;
+      slot.reset();
+      any_dead = true;
+      continue;
+    }
+    if (strict && !fired && slot != nullptr &&
+        !nfa_->state(slot->state()).deferred_final) {
+      // Strict contiguity: an event that does not advance the run breaks it.
+      ++metrics_.runs_killed;
+      slot.reset();
+      any_dead = true;
+    }
+  }
+
+  // Spawn new runs from the initial state.
+  const State& start = nfa_->state(nfa_->start_state());
+  if ((state_type_masks_[start.id] & ebit) != 0) {
+    for (const Edge& edge : start.edges) {
+      if (edge.kind == EdgeKind::kKill || edge.event_type != event->type()) {
+        continue;
+      }
+      ++ops_this_event_;
+      const RunBindingView view(scratch_empty_run_, edge.var_index,
+                                event.get());
+      bool pass = true;
+      for (const Expr* pred : edge.predicates) {
+        CEP_ASSIGN_OR_RETURN(pass, EvalPredicate(*pred, view));
+        if (!pass) break;
+      }
+      if (!pass) continue;
+      auto run = std::make_unique<Run>(
+          next_run_id_++, nfa_->analyzed().num_variables(),
+          nfa_->start_state(), now);
+      run->Bind(edge.var_index, event, edge.target);
+      ++metrics_.runs_created;
+      if (shedder_ != nullptr) shedder_->OnRunCreated(run.get(), *event, now);
+      const State& target = nfa_->state(edge.target);
+      bool keep = true;
+      if (target.is_final) {
+        if (!target.deferred_final) {
+          CEP_RETURN_NOT_OK(TryEmit(*run, now).status());
+          keep = !target.edges.empty();
+        }
+      }
+      if (keep) new_runs_.push_back(std::move(run));
+    }
+  }
+
+  if (any_dead) CompactRuns();
+  for (auto& run : new_runs_) runs_.push_back(std::move(run));
+  new_runs_.clear();
+
+  ++metrics_.events_processed;
+  metrics_.edge_evaluations += ops_this_event_;
+  metrics_.peak_runs = std::max<uint64_t>(metrics_.peak_runs, runs_.size());
+
+  double micros = 0.0;
+  if (wall) {
+    micros = std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                 .count();
+    metrics_.busy_micros += micros;
+  } else {
+    metrics_.busy_micros +=
+        static_cast<double>(ops_this_event_) * options_.virtual_ns_per_op /
+        1000.0;
+  }
+  latency_monitor_->Record(now, micros, ops_this_event_);
+  ++events_since_shed_;
+
+  if (shedder_ != nullptr && !runs_.empty()) {
+    const double latency = latency_monitor_->CurrentLatencyMicros();
+    const bool latency_overload =
+        options_.latency_threshold_micros > 0 &&
+        latency > options_.latency_threshold_micros &&
+        events_since_shed_ >= options_.shed_cooldown_events;
+    const bool cap_overload =
+        options_.max_runs > 0 && runs_.size() > options_.max_runs;
+    if (latency_overload || cap_overload) TriggerShed(now, latency);
+  }
+  return Status::OK();
+}
+
+Status Engine::ProcessStream(EventStream* stream) {
+  while (EventPtr event = stream->Next()) {
+    CEP_RETURN_NOT_OK(ProcessEvent(event));
+  }
+  return Status::OK();
+}
+
+Status Engine::Flush() {
+  bool any_dead = false;
+  for (auto& slot : runs_) {
+    if (nfa_->state(slot->state()).deferred_final) {
+      CEP_RETURN_NOT_OK(TryEmit(*slot, last_event_ts_).status());
+      ++metrics_.runs_expired;
+      slot.reset();
+      any_dead = true;
+    }
+  }
+  if (any_dead) CompactRuns();
+  return Status::OK();
+}
+
+void Engine::TriggerShed(Timestamp now, double latency) {
+  size_t target = ComputeShedTarget(options_.shed_amount, runs_.size(),
+                                    latency,
+                                    options_.latency_threshold_micros);
+  if (options_.max_runs > 0 && runs_.size() > options_.max_runs) {
+    target = std::max(target, runs_.size() - options_.max_runs);
+  }
+  if (target == 0) return;
+  std::vector<size_t> victims;
+  victims.reserve(target);
+  shedder_->SelectVictims(runs_, now, target, &victims);
+  for (const size_t idx : victims) {
+    if (idx < runs_.size() && runs_[idx] != nullptr) {
+      runs_[idx].reset();
+      ++metrics_.runs_shed;
+    }
+  }
+  CompactRuns();
+  ++metrics_.shed_triggers;
+  // Past latency samples describe the pre-shed state set; start a fresh
+  // measurement interval so µ(t) reflects the reduced load.
+  latency_monitor_->Reset();
+  events_since_shed_ = 0;
+}
+
+void Engine::ForceShed(size_t target) {
+  if (shedder_ == nullptr || runs_.empty() || target == 0) return;
+  std::vector<size_t> victims;
+  victims.reserve(target);
+  shedder_->SelectVictims(runs_, last_event_ts_, target, &victims);
+  for (const size_t idx : victims) {
+    if (idx < runs_.size() && runs_[idx] != nullptr) {
+      runs_[idx].reset();
+      ++metrics_.runs_shed;
+    }
+  }
+  CompactRuns();
+  ++metrics_.shed_triggers;
+}
+
+void Engine::CompactRuns() {
+  runs_.erase(std::remove(runs_.begin(), runs_.end(), nullptr), runs_.end());
+}
+
+}  // namespace cep

@@ -1,0 +1,122 @@
+#ifndef CEPSHED_ENGINE_ENGINE_H_
+#define CEPSHED_ENGINE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/latency_monitor.h"
+#include "engine/match.h"
+#include "engine/metrics.h"
+#include "engine/options.h"
+#include "engine/run.h"
+#include "event/stream.h"
+#include "nfa/nfa.h"
+#include "shedding/shedder.h"
+
+namespace cep {
+
+/// \brief NFA-based CEP evaluation engine with pluggable load shedding.
+///
+/// One Engine evaluates one compiled query over one event stream. The engine
+/// maintains the set R(t) of partial matches (runs), evaluates each incoming
+/// event against every run's outgoing edges, emits complete matches, tracks
+/// the latency estimate µ(t), and — when µ(t) exceeds the configured
+/// threshold θ — asks the installed Shedder to discard partial matches
+/// (state-based load shedding) and/or input events (input-based baselines).
+///
+/// Not thread-safe; one engine per thread.
+class Engine {
+ public:
+  using MatchCallback = std::function<void(const Match&)>;
+
+  /// `shedder` may be null (exhaustive processing, used for golden runs).
+  Engine(NfaPtr nfa, EngineOptions options, ShedderPtr shedder = nullptr);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Processes one event. Events must arrive in non-decreasing timestamp
+  /// order. Errors indicate genuinely malformed queries/events (type errors
+  /// in predicates), not match failures.
+  Status ProcessEvent(const EventPtr& event);
+
+  /// Drains `stream` through ProcessEvent.
+  Status ProcessStream(EventStream* stream);
+
+  /// End-of-stream: confirms and emits runs parked at deferred final states
+  /// (trailing negation, whose windows have not closed yet). Other runs are
+  /// left untouched; processing may continue afterwards, but a run emitted
+  /// here will not be emitted again on expiry.
+  Status Flush();
+
+  /// Matches accumulated so far (when options.collect_matches).
+  const std::vector<Match>& matches() const { return matches_; }
+
+  /// Moves the accumulated matches out (harness convenience).
+  std::vector<Match> TakeMatches() { return std::move(matches_); }
+
+  /// Invoked for every match in addition to (or instead of) accumulation.
+  void SetMatchCallback(MatchCallback callback) {
+    match_callback_ = std::move(callback);
+  }
+
+  const EngineMetrics& metrics() const { return metrics_; }
+  const Nfa& nfa() const { return *nfa_; }
+  const EngineOptions& options() const { return options_; }
+  Shedder* shedder() { return shedder_.get(); }
+
+  /// Active partial matches R(t). Null slots never escape ProcessEvent.
+  const std::vector<std::unique_ptr<Run>>& runs() const { return runs_; }
+  size_t num_runs() const { return runs_.size(); }
+
+  /// Current latency estimate µ(t) in microseconds.
+  double CurrentLatencyMicros() const {
+    return latency_monitor_->CurrentLatencyMicros();
+  }
+
+  /// Forces a shedding episode dropping `target` runs (testing / ablations).
+  void ForceShed(size_t target);
+
+ private:
+  /// Evaluates edge predicates with `event` virtually bound to
+  /// `edge.var_index` of `run`. Exit predicates (if any) are checked first.
+  Result<bool> EvalEdge(const Run& run, const Edge& edge, const Event& event);
+
+  /// Emits a match from `run` if the state's final predicates hold.
+  /// Returns true if a match was emitted.
+  Result<bool> TryEmit(const Run& run, Timestamp now);
+
+  Result<EventPtr> BuildComplexEvent(const Run& run);
+
+  void TriggerShed(Timestamp now, double latency);
+  void CompactRuns();
+
+  NfaPtr nfa_;
+  EngineOptions options_;
+  ShedderPtr shedder_;
+  std::unique_ptr<LatencyMonitor> latency_monitor_;
+
+  std::vector<std::unique_ptr<Run>> runs_;
+  std::vector<std::unique_ptr<Run>> new_runs_;  // births of the current event
+  std::vector<Match> matches_;
+  MatchCallback match_callback_;
+  EngineMetrics metrics_;
+
+  // Per-state bitmask over (event type id % 64): quick "any edge may react
+  // to this event type" filter on the per-run hot loop.
+  std::vector<uint64_t> state_type_masks_;
+  Run scratch_empty_run_;  ///< empty-binding view for spawn edge evaluation
+  SchemaPtr output_schema_;  ///< RETURN complex event schema (or null)
+
+  uint64_t next_run_id_ = 1;
+  uint64_t next_match_id_ = 1;
+  uint64_t events_since_shed_ = 0;
+  Timestamp last_event_ts_ = INT64_MIN;
+  uint64_t ops_this_event_ = 0;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_ENGINE_ENGINE_H_

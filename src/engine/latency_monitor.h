@@ -1,0 +1,109 @@
+#ifndef CEPSHED_ENGINE_LATENCY_MONITOR_H_
+#define CEPSHED_ENGINE_LATENCY_MONITOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/time.h"
+
+namespace cep {
+
+/// \brief Estimates µ(t), the observed per-event processing latency in
+/// microseconds over a fixed-size measurement interval (paper §III).
+///
+/// The engine reports each event's processing cost; CurrentLatencyMicros()
+/// is compared against the threshold θ to detect overload.
+class LatencyMonitor {
+ public:
+  virtual ~LatencyMonitor() = default;
+
+  /// Records one processed event: its stream timestamp, `micros` of
+  /// wall-clock processing time, and `ops` edge evaluations performed.
+  virtual void Record(Timestamp event_ts, double micros, uint64_t ops) = 0;
+
+  /// Current latency estimate µ(t).
+  virtual double CurrentLatencyMicros() const = 0;
+
+  virtual void Reset() = 0;
+};
+
+/// \brief Sliding-mean monitor over the last `window_events` wall-clock
+/// measurements. Non-deterministic across machines — used for throughput
+/// experiments.
+class WallClockLatencyMonitor final : public LatencyMonitor {
+ public:
+  explicit WallClockLatencyMonitor(size_t window_events);
+
+  void Record(Timestamp event_ts, double micros, uint64_t ops) override;
+  double CurrentLatencyMicros() const override;
+  void Reset() override;
+
+ private:
+  size_t window_events_;
+  // Ring buffer of recent measurements.
+  std::unique_ptr<double[]> samples_;
+  size_t next_ = 0;
+  size_t count_ = 0;
+  double sum_ = 0;
+};
+
+/// \brief Deterministic monitor: latency proxy = ops × ns_per_op. Identical
+/// results on every machine and run, which is what the accuracy experiments
+/// use (see DESIGN.md substitution #3).
+class VirtualCostLatencyMonitor final : public LatencyMonitor {
+ public:
+  VirtualCostLatencyMonitor(size_t window_events, double ns_per_op);
+
+  void Record(Timestamp event_ts, double micros, uint64_t ops) override;
+  double CurrentLatencyMicros() const override;
+  void Reset() override;
+
+  double ns_per_op() const { return ns_per_op_; }
+
+ private:
+  size_t window_events_;
+  double ns_per_op_;
+  std::unique_ptr<double[]> samples_;
+  size_t next_ = 0;
+  size_t count_ = 0;
+  double sum_ = 0;
+};
+
+/// \brief Deterministic single-server queueing simulation: the latency the
+/// paper actually talks about — the delay between an event's *arrival* and
+/// the completion of its processing, including the time it queued behind
+/// earlier events.
+///
+/// Arrival times derive from stream timestamps compressed by
+/// `stream_micros_per_arrival_micro` (how many stream-time microseconds map
+/// to one arrival-clock microsecond); service time per event is
+/// ops × ns_per_op. When the offered load exceeds the service rate the
+/// queue — and thus µ(t) — grows without bound until state is shed, which
+/// is precisely the feedback loop of the paper's §III model.
+class QueueingLatencyMonitor final : public LatencyMonitor {
+ public:
+  QueueingLatencyMonitor(size_t window_events, double ns_per_op,
+                         double stream_micros_per_arrival_micro);
+
+  void Record(Timestamp event_ts, double micros, uint64_t ops) override;
+  double CurrentLatencyMicros() const override;
+  void Reset() override;
+
+  /// Arrival-clock time at which the server finishes the last recorded
+  /// event (exposed for tests).
+  double busy_until_micros() const { return busy_until_; }
+
+ private:
+  size_t window_events_;
+  double ns_per_op_;
+  double time_compression_;
+  std::unique_ptr<double[]> samples_;
+  size_t next_ = 0;
+  size_t count_ = 0;
+  double sum_ = 0;
+  double busy_until_ = 0;  // arrival-clock µs
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_ENGINE_LATENCY_MONITOR_H_

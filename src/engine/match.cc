@@ -1,0 +1,36 @@
+#include "engine/match.h"
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace cep {
+
+uint64_t MatchFingerprint(const std::vector<std::vector<EventPtr>>& bindings) {
+  uint64_t h = 0x51ed270b7a03f2ULL;
+  for (size_t v = 0; v < bindings.size(); ++v) {
+    h = HashCombine(h, 0xa11ce + v);
+    for (const auto& e : bindings[v]) {
+      h = HashCombine(h, e->sequence());
+    }
+  }
+  return h;
+}
+
+std::string Match::ToString(const ParsedQuery& query) const {
+  std::string out =
+      StrFormat("match#%llu [%lld..%lld] <",
+                static_cast<unsigned long long>(id),
+                static_cast<long long>(first_ts), static_cast<long long>(last_ts));
+  bool first = true;
+  for (size_t v = 0; v < bindings.size(); ++v) {
+    for (const auto& e : bindings[v]) {
+      if (!first) out += ", ";
+      first = false;
+      out += query.pattern[v].name + ":" + std::to_string(e->sequence());
+    }
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace cep

@@ -1,0 +1,37 @@
+#ifndef CEPSHED_ENGINE_MATCH_H_
+#define CEPSHED_ENGINE_MATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "event/event.h"
+#include "query/ast.h"
+
+namespace cep {
+
+/// \brief A complete match of the query over the stream.
+///
+/// `fingerprint` identifies the match by the *events* it binds (variable
+/// index + event sequence numbers), independent of detection time or run id.
+/// Golden-vs-shedding accuracy (the paper's δ of output streams) compares
+/// fingerprint sets: state-based shedding can only remove matches, never
+/// invent them, so accuracy is the recall of fingerprints.
+struct Match {
+  uint64_t id = 0;
+  Timestamp first_ts = 0;   ///< timestamp of the earliest bound event
+  Timestamp last_ts = 0;    ///< timestamp of the final (triggering) event
+  std::vector<std::vector<EventPtr>> bindings;  ///< per pattern variable
+  EventPtr complex_event;   ///< RETURN output, or nullptr without RETURN
+  uint64_t fingerprint = 0;
+
+  std::string ToString(const ParsedQuery& query) const;
+};
+
+/// Computes the content fingerprint over the bindings.
+uint64_t MatchFingerprint(const std::vector<std::vector<EventPtr>>& bindings);
+
+}  // namespace cep
+
+#endif  // CEPSHED_ENGINE_MATCH_H_

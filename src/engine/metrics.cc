@@ -1,0 +1,25 @@
+#include "engine/metrics.h"
+
+#include "common/string_util.h"
+
+namespace cep {
+
+std::string EngineMetrics::ToString() const {
+  return StrFormat(
+      "events=%llu dropped=%llu runs{created=%llu extended=%llu expired=%llu "
+      "killed=%llu shed=%llu peak=%llu} matches=%llu sheds=%llu evals=%llu "
+      "busy_us=%.1f",
+      static_cast<unsigned long long>(events_processed),
+      static_cast<unsigned long long>(events_dropped),
+      static_cast<unsigned long long>(runs_created),
+      static_cast<unsigned long long>(runs_extended),
+      static_cast<unsigned long long>(runs_expired),
+      static_cast<unsigned long long>(runs_killed),
+      static_cast<unsigned long long>(runs_shed),
+      static_cast<unsigned long long>(peak_runs),
+      static_cast<unsigned long long>(matches_emitted),
+      static_cast<unsigned long long>(shed_triggers),
+      static_cast<unsigned long long>(edge_evaluations), busy_micros);
+}
+
+}  // namespace cep

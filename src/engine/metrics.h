@@ -1,0 +1,33 @@
+#ifndef CEPSHED_ENGINE_METRICS_H_
+#define CEPSHED_ENGINE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cep {
+
+/// \brief Counters exposed by the engine after (or during) a run.
+///
+/// `edge_evaluations` is the engine's unit of work: one candidate event
+/// checked against one run edge. The virtual-cost latency monitor converts it
+/// into a deterministic latency proxy.
+struct EngineMetrics {
+  uint64_t events_processed = 0;
+  uint64_t events_dropped = 0;   ///< input-based shedding only
+  uint64_t runs_created = 0;     ///< new runs started at the initial state
+  uint64_t runs_extended = 0;    ///< transitions producing a child run
+  uint64_t runs_expired = 0;     ///< window expiry
+  uint64_t runs_killed = 0;      ///< negation violations
+  uint64_t runs_shed = 0;        ///< removed by load shedding
+  uint64_t shed_triggers = 0;    ///< overload episodes
+  uint64_t matches_emitted = 0;
+  uint64_t edge_evaluations = 0;
+  uint64_t peak_runs = 0;        ///< max |R(t)| observed
+  double busy_micros = 0;        ///< total processing time (wall or virtual)
+
+  std::string ToString() const;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_ENGINE_METRICS_H_

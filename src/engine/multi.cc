@@ -1,0 +1,54 @@
+#include "engine/multi.h"
+
+namespace cep {
+
+size_t MultiEngine::AddQuery(NfaPtr nfa, EngineOptions options,
+                             ShedderPtr shedder, std::string name) {
+  if (name.empty()) name = nfa->query().name;
+  engines_.push_back(
+      std::make_unique<Engine>(std::move(nfa), options, std::move(shedder)));
+  names_.push_back(std::move(name));
+  return engines_.size() - 1;
+}
+
+Status MultiEngine::ProcessEvent(const EventPtr& event) {
+  for (auto& engine : engines_) {
+    CEP_RETURN_NOT_OK(engine->ProcessEvent(event));
+  }
+  return Status::OK();
+}
+
+Status MultiEngine::ProcessStream(EventStream* stream) {
+  while (EventPtr event = stream->Next()) {
+    CEP_RETURN_NOT_OK(ProcessEvent(event));
+  }
+  return Status::OK();
+}
+
+EngineMetrics MultiEngine::AggregateMetrics() const {
+  EngineMetrics total;
+  for (const auto& engine : engines_) {
+    const EngineMetrics& m = engine->metrics();
+    total.events_processed = engine->metrics().events_processed;  // same stream
+    total.events_dropped += m.events_dropped;
+    total.runs_created += m.runs_created;
+    total.runs_extended += m.runs_extended;
+    total.runs_expired += m.runs_expired;
+    total.runs_killed += m.runs_killed;
+    total.runs_shed += m.runs_shed;
+    total.shed_triggers += m.shed_triggers;
+    total.matches_emitted += m.matches_emitted;
+    total.edge_evaluations += m.edge_evaluations;
+    total.peak_runs += m.peak_runs;
+    total.busy_micros += m.busy_micros;
+  }
+  return total;
+}
+
+size_t MultiEngine::TotalRuns() const {
+  size_t total = 0;
+  for (const auto& engine : engines_) total += engine->num_runs();
+  return total;
+}
+
+}  // namespace cep

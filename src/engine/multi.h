@@ -1,0 +1,53 @@
+#ifndef CEPSHED_ENGINE_MULTI_H_
+#define CEPSHED_ENGINE_MULTI_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace cep {
+
+/// \brief Evaluates several queries over one input stream.
+///
+/// Each query keeps its own Engine (own run set, own shedder, own overload
+/// detection — a slow query must not starve a fast one of its threshold).
+/// MultiEngine fans events out, aggregates metrics, and exposes per-query
+/// results. Pattern sharing across queries (paper §VI / [16]) is future
+/// work; this is the operational composition layer.
+class MultiEngine {
+ public:
+  MultiEngine() = default;
+  MultiEngine(const MultiEngine&) = delete;
+  MultiEngine& operator=(const MultiEngine&) = delete;
+
+  /// Adds a query; returns its index. `name` defaults to the query's name.
+  size_t AddQuery(NfaPtr nfa, EngineOptions options,
+                  ShedderPtr shedder = nullptr, std::string name = "");
+
+  size_t num_queries() const { return engines_.size(); }
+  Engine& engine(size_t index) { return *engines_[index]; }
+  const Engine& engine(size_t index) const { return *engines_[index]; }
+  const std::string& query_name(size_t index) const { return names_[index]; }
+
+  /// Feeds `event` to every engine. Stops at the first error.
+  Status ProcessEvent(const EventPtr& event);
+
+  /// Drains a stream through every engine.
+  Status ProcessStream(EventStream* stream);
+
+  /// Sum of all engines' counters.
+  EngineMetrics AggregateMetrics() const;
+
+  /// Total active partial matches across queries.
+  size_t TotalRuns() const;
+
+ private:
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_ENGINE_MULTI_H_

@@ -1,0 +1,84 @@
+#ifndef CEPSHED_ENGINE_OPTIONS_H_
+#define CEPSHED_ENGINE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cep {
+
+/// SASE event selection strategies (which events a partial match may skip).
+enum class SelectionStrategy : uint8_t {
+  /// Branch on every applicable transition; the original run survives.
+  /// Produces all matches and the exponential R(t) of the paper (default).
+  kSkipTillAnyMatch,
+  /// Greedily apply the first applicable transition in place; at most one
+  /// match per started run.
+  kSkipTillNextMatch,
+  /// Like skip-till-next-match, but any relevant event that does not advance
+  /// the run kills it.
+  kStrictContiguity,
+};
+
+const char* SelectionStrategyName(SelectionStrategy strategy);
+
+/// How the latency µ(t) driving overload detection is measured.
+enum class LatencyMode : uint8_t {
+  /// Deterministic proxy: edge evaluations × ns_per_op (reproducible).
+  kVirtualCost,
+  /// Real wall-clock per-event processing time.
+  kWallClock,
+  /// Deterministic single-server queueing simulation: µ(t) includes the
+  /// time events spend queued behind earlier ones (the paper's detection
+  /// latency). See QueueingLatencyMonitor.
+  kQueueSimulation,
+};
+
+/// How many partial matches to drop per overload episode.
+struct ShedAmountOptions {
+  enum class Mode : uint8_t {
+    kFixedFraction,  ///< the paper's setting: a fixed share of R(t)
+    kAdaptive,       ///< share scaled by the overload ratio µ(t)/θ (§VI)
+  };
+  Mode mode = Mode::kFixedFraction;
+  /// Fraction of R(t) shed per trigger (paper Table II uses 0.20).
+  double fraction = 0.20;
+  /// kAdaptive: shed fraction = min(max_fraction, fraction·(µ/θ - 1)·gain).
+  double adaptive_gain = 1.0;
+  double max_fraction = 0.8;
+  size_t min_victims = 1;
+};
+
+/// \brief Engine configuration.
+struct EngineOptions {
+  SelectionStrategy selection = SelectionStrategy::kSkipTillAnyMatch;
+
+  // Overload detection. Shedding triggers when µ(t) > latency_threshold_micros
+  // (and a shedder is installed); a threshold <= 0 disables latency-triggered
+  // shedding.
+  LatencyMode latency_mode = LatencyMode::kVirtualCost;
+  double latency_threshold_micros = 0.0;  ///< θ
+  /// Calibrated cost of one edge evaluation for kVirtualCost /
+  /// kQueueSimulation (nanoseconds).
+  double virtual_ns_per_op = 100.0;
+  /// kQueueSimulation: stream-time microseconds per arrival-clock
+  /// microsecond (e.g. 1e6 replays one stream-hour in 3.6 arrival-seconds).
+  double queue_time_compression = 1e6;
+  /// Measurement interval for µ(t), in events.
+  size_t latency_window_events = 256;
+  /// Minimum number of events between consecutive shed triggers.
+  size_t shed_cooldown_events = 256;
+
+  ShedAmountOptions shed_amount;
+
+  /// Hard cap on |R(t)|; exceeding it forces a shed regardless of latency
+  /// (0 = unlimited). Safety valve and a deterministic overload trigger.
+  size_t max_runs = 0;
+
+  /// Accumulate matches in Engine::matches() (disable for pure-throughput
+  /// benchmarks that use the callback instead).
+  bool collect_matches = true;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_ENGINE_OPTIONS_H_

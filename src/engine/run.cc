@@ -1,0 +1,60 @@
+#include "engine/run.h"
+
+#include "common/string_util.h"
+
+namespace cep {
+
+void Run::Bind(int var_index, EventPtr event, int state) {
+  last_ts_ = event->timestamp();
+  if (size_ == 0) start_ts_ = event->timestamp();
+  // Copy-on-write: never mutate a binding vector that may be shared with
+  // runs extended from this one.
+  auto updated = bindings_[var_index] == nullptr
+                     ? std::make_shared<std::vector<EventPtr>>()
+                     : std::make_shared<std::vector<EventPtr>>(
+                           *bindings_[var_index]);
+  updated->push_back(std::move(event));
+  bindings_[var_index] = std::move(updated);
+  state_ = state;
+  ++size_;
+}
+
+std::unique_ptr<Run> Run::Extend(uint64_t child_id, int var_index,
+                                 const EventPtr& event, int state) const {
+  auto child = std::make_unique<Run>(child_id,
+                                     static_cast<int>(bindings_.size()),
+                                     state_, start_ts_);
+  child->bindings_ = bindings_;
+  child->trail_ = trail_;
+  child->size_ = size_;
+  child->last_ts_ = last_ts_;
+  child->pm_hash_ = pm_hash_;
+  child->Bind(var_index, event, state);
+  return child;
+}
+
+std::vector<std::vector<EventPtr>> Run::CopyBindings() const {
+  std::vector<std::vector<EventPtr>> out;
+  out.reserve(bindings_.size());
+  for (const auto& b : bindings_) {
+    out.push_back(b == nullptr ? std::vector<EventPtr>{} : *b);
+  }
+  return out;
+}
+
+std::string Run::ToString(const ParsedQuery& query) const {
+  std::string out = StrFormat("run#%llu S%d <",
+                              static_cast<unsigned long long>(id_), state_);
+  bool first = true;
+  for (size_t v = 0; v < bindings_.size(); ++v) {
+    for (const auto& e : binding(static_cast<int>(v))) {
+      if (!first) out += ", ";
+      first = false;
+      out += query.pattern[v].name + ":" + std::to_string(e->timestamp());
+    }
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace cep

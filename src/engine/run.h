@@ -1,0 +1,147 @@
+#ifndef CEPSHED_ENGINE_RUN_H_
+#define CEPSHED_ENGINE_RUN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "event/event.h"
+#include "nfa/nfa.h"
+#include "query/expr.h"
+
+namespace cep {
+
+/// \brief A partial match: one element of the engine's state set R(t).
+///
+/// A run records the NFA state it occupies and, per pattern variable, the
+/// events bound so far. Under skip-till-any-match, transitions never mutate a
+/// run — they produce an extended copy while the original survives — which is
+/// exactly what makes |R(t)| grow exponentially (paper Table I) and what
+/// state-based load shedding prunes.
+///
+/// `trail` is the run's model trail for SBLS: one model-cell key per
+/// transition the run (and its ancestors) performed. When the run later
+/// produces a complete match or derives further runs, every cell on the
+/// trail is credited (paper Algorithm 1). Shedders that do not learn leave
+/// it empty.
+class Run {
+ public:
+  /// Per-variable binding: immutable, shared between a run and the runs
+  /// extended from it (copy-on-write — extending a run clones only the
+  /// variable being appended to, which keeps Extend() O(pattern size + one
+  /// binding) instead of O(all bound events); the direction of the paper's
+  /// compact-encoding citation [26]).
+  using BindingPtr = std::shared_ptr<const std::vector<EventPtr>>;
+
+  Run(uint64_t id, int num_variables, int state, Timestamp start_ts)
+      : id_(id), state_(state), start_ts_(start_ts),
+        bindings_(static_cast<size_t>(num_variables)) {}
+
+  uint64_t id() const { return id_; }
+  int state() const { return state_; }
+  Timestamp start_ts() const { return start_ts_; }
+
+  /// Timestamp of the most recently bound event.
+  Timestamp last_ts() const { return last_ts_; }
+
+  /// Total number of bound events across all variables.
+  int size() const { return size_; }
+
+  const std::vector<EventPtr>& binding(int var_index) const {
+    static const std::vector<EventPtr> kEmpty;
+    return bindings_[var_index] == nullptr ? kEmpty : *bindings_[var_index];
+  }
+
+  /// Materialises all bindings (match construction; O(bound events)).
+  std::vector<std::vector<EventPtr>> CopyBindings() const;
+
+  /// Appends `event` to `var_index`'s binding and moves to `state`.
+  void Bind(int var_index, EventPtr event, int state);
+
+  /// Copy of this run extended with `event` bound to `var_index` at `state`.
+  std::unique_ptr<Run> Extend(uint64_t child_id, int var_index,
+                              const EventPtr& event, int state) const;
+
+  /// SBLS model trail (see class comment).
+  const std::vector<uint64_t>& trail() const { return trail_; }
+  void PushTrail(uint64_t key) { trail_.push_back(key); }
+
+  /// Incrementally maintained partial-match hash (owned by the shedder; 0
+  /// when no hashing shedder is installed). Inherited by extended copies.
+  uint64_t pm_hash() const { return pm_hash_; }
+  void set_pm_hash(uint64_t h) { pm_hash_ = h; }
+
+  /// Remaining time-to-live at `now` given the query window.
+  Duration RemainingTtl(Timestamp now, Duration window) const {
+    const Duration ttl = start_ts_ + window - now;
+    return ttl < 0 ? 0 : ttl;
+  }
+
+  bool Expired(Timestamp now, Duration window) const {
+    return now - start_ts_ > window;
+  }
+
+  std::string ToString(const ParsedQuery& query) const;
+
+ private:
+  uint64_t id_;
+  int state_;
+  Timestamp start_ts_;
+  Timestamp last_ts_ = 0;
+  int size_ = 0;
+  std::vector<BindingPtr> bindings_;
+  std::vector<uint64_t> trail_;
+  uint64_t pm_hash_ = 0;
+};
+
+/// \brief BindingView over a run, optionally with a candidate event
+/// virtually bound to `current_var` (take-edge evaluation).
+///
+/// See the virtual-append contract on BindingView.
+class RunBindingView final : public BindingView {
+ public:
+  /// View without a candidate (exit/final/RETURN evaluation).
+  explicit RunBindingView(const Run& run)
+      : run_(run), current_var_(-1), current_(nullptr) {}
+
+  /// View with `candidate` virtually bound to `current_var`.
+  RunBindingView(const Run& run, int current_var, const Event* candidate)
+      : run_(run), current_var_(current_var), current_(candidate) {}
+
+  const Event* Single(int var_index) const override {
+    if (var_index == current_var_ && current_ != nullptr) return current_;
+    const auto& events = run_.binding(var_index);
+    return events.empty() ? nullptr : events.front().get();
+  }
+
+  int KleeneCount(int var_index) const override {
+    int n = static_cast<int>(run_.binding(var_index).size());
+    if (var_index == current_var_ && current_ != nullptr) ++n;
+    return n;
+  }
+
+  const Event* KleeneAt(int var_index, int idx) const override {
+    const auto& events = run_.binding(var_index);
+    if (idx >= 0 && idx < static_cast<int>(events.size())) {
+      return events[idx].get();
+    }
+    if (var_index == current_var_ && current_ != nullptr &&
+        idx == static_cast<int>(events.size())) {
+      return current_;
+    }
+    return nullptr;
+  }
+
+  const Event* Current() const override { return current_; }
+
+ private:
+  const Run& run_;
+  int current_var_;
+  const Event* current_;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_ENGINE_RUN_H_

@@ -1,0 +1,176 @@
+#include "event/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace cep {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+std::string ValueToField(const Value& v) {
+  if (v.is_null()) return "";
+  if (v.is_string()) return QuoteField(v.string_value());
+  return v.ToString();
+}
+
+Result<Value> FieldToValue(const std::string& field, ValueType type) {
+  if (field.empty()) return Value::Null();
+  switch (type) {
+    case ValueType::kBool:
+      if (field == "true") return Value(true);
+      if (field == "false") return Value(false);
+      return Status::ParseError("invalid bool field: '" + field + "'");
+    case ValueType::kInt: {
+      CEP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(field));
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      CEP_ASSIGN_OR_RETURN(double v, ParseDouble(field));
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(field);
+    case ValueType::kNull:
+      return Status::TypeError("schema declares null-typed attribute");
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> SplitCsvRecord(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current += c;
+      ++i;
+    } else {
+      if (c == '"') {
+        if (!current.empty()) {
+          return Status::ParseError("quote inside unquoted field");
+        }
+        in_quotes = true;
+        ++i;
+      } else if (c == ',') {
+        fields.push_back(std::move(current));
+        current.clear();
+        ++i;
+      } else {
+        current += c;
+        ++i;
+      }
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string EventToCsvLine(const Event& event) {
+  std::string out = QuoteField(event.schema().name());
+  out += ",";
+  out += std::to_string(event.timestamp());
+  for (size_t i = 0; i < event.num_attributes(); ++i) {
+    out += ",";
+    out += ValueToField(event.attribute(static_cast<int>(i)));
+  }
+  return out;
+}
+
+Status WriteEventsCsv(std::ostream& out, const std::vector<EventPtr>& events) {
+  for (const auto& e : events) {
+    out << EventToCsvLine(*e) << "\n";
+  }
+  if (!out) return Status::IoError("failed writing CSV stream");
+  return Status::OK();
+}
+
+Status WriteEventsCsvFile(const std::string& path,
+                          const std::vector<EventPtr>& events) {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+  return WriteEventsCsv(f, events);
+}
+
+Result<EventPtr> EventFromCsvLine(const SchemaRegistry& registry,
+                                  std::string_view line, uint64_t sequence) {
+  CEP_ASSIGN_OR_RETURN(std::vector<std::string> fields, SplitCsvRecord(line));
+  if (fields.size() < 2) {
+    return Status::ParseError("CSV record needs at least type,timestamp");
+  }
+  CEP_ASSIGN_OR_RETURN(EventTypeId type, registry.GetType(fields[0]));
+  const SchemaPtr& schema = registry.schema(type);
+  CEP_ASSIGN_OR_RETURN(int64_t ts, ParseInt64(fields[1]));
+  if (fields.size() != 2 + schema->num_attributes()) {
+    return Status::ParseError(StrFormat(
+        "CSV record for '%s' has %zu value fields, schema expects %zu",
+        fields[0].c_str(), fields.size() - 2, schema->num_attributes()));
+  }
+  std::vector<Value> values(schema->num_attributes());
+  for (size_t i = 0; i < values.size(); ++i) {
+    CEP_ASSIGN_OR_RETURN(
+        values[i],
+        FieldToValue(fields[2 + i],
+                     schema->attribute(static_cast<int>(i)).type));
+  }
+  return std::make_shared<Event>(type, schema, ts, std::move(values), sequence);
+}
+
+Result<std::vector<EventPtr>> ReadEventsCsv(const SchemaRegistry& registry,
+                                            std::istream& in) {
+  std::vector<EventPtr> out;
+  std::string line;
+  uint64_t seq = 0;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (StripWhitespace(line).empty()) continue;
+    auto result = EventFromCsvLine(registry, line, seq++);
+    if (!result.ok()) {
+      return result.status().WithContext(StrFormat("line %zu", line_no));
+    }
+    out.push_back(result.MoveValueUnsafe());
+  }
+  return out;
+}
+
+Result<std::vector<EventPtr>> ReadEventsCsvFile(const SchemaRegistry& registry,
+                                                const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open for reading: " + path);
+  return ReadEventsCsv(registry, f);
+}
+
+}  // namespace cep

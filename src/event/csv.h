@@ -1,0 +1,47 @@
+#ifndef CEPSHED_EVENT_CSV_H_
+#define CEPSHED_EVENT_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "event/event.h"
+#include "event/schema.h"
+
+namespace cep {
+
+/// \brief Line-oriented CSV serialisation for heterogeneous event streams.
+///
+/// Each line is `type,timestamp,v1,v2,...` with values in schema attribute
+/// order. Strings containing commas, quotes, or newlines are double-quoted
+/// with `""` escaping. Null values serialise as the empty field.
+///
+/// This is the interchange format used to snapshot synthetic workloads so
+/// experiments can be re-run on identical inputs.
+
+/// Serialises one event to a CSV line (no trailing newline).
+std::string EventToCsvLine(const Event& event);
+
+/// Writes all events, one per line.
+Status WriteEventsCsv(std::ostream& out, const std::vector<EventPtr>& events);
+Status WriteEventsCsvFile(const std::string& path,
+                          const std::vector<EventPtr>& events);
+
+/// Parses one CSV line against the registry; sequence is assigned by caller.
+Result<EventPtr> EventFromCsvLine(const SchemaRegistry& registry,
+                                  std::string_view line, uint64_t sequence);
+
+/// Reads a whole CSV stream; events get dense sequence numbers in file order.
+Result<std::vector<EventPtr>> ReadEventsCsv(const SchemaRegistry& registry,
+                                            std::istream& in);
+Result<std::vector<EventPtr>> ReadEventsCsvFile(const SchemaRegistry& registry,
+                                                const std::string& path);
+
+/// Splits a CSV record into fields, honouring double-quote escaping.
+/// Exposed for testing.
+Result<std::vector<std::string>> SplitCsvRecord(std::string_view line);
+
+}  // namespace cep
+
+#endif  // CEPSHED_EVENT_CSV_H_

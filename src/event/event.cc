@@ -1,0 +1,90 @@
+#include "event/event.h"
+
+#include <utility>
+
+namespace cep {
+
+namespace {
+const Value& NullValue() {
+  static const Value* const kNull = new Value();
+  return *kNull;
+}
+
+bool TypeMatches(ValueType declared, const Value& v) {
+  if (v.is_null()) return true;  // null is allowed for any declared type
+  if (declared == ValueType::kDouble && v.is_int()) return true;  // widening
+  return v.type() == declared;
+}
+}  // namespace
+
+Event::Event(EventTypeId type, SchemaPtr schema, Timestamp timestamp,
+             std::vector<Value> attributes, uint64_t sequence)
+    : type_(type),
+      schema_(std::move(schema)),
+      timestamp_(timestamp),
+      sequence_(sequence),
+      attributes_(std::move(attributes)) {}
+
+const Value& Event::attribute(std::string_view name) const {
+  const int idx = schema_->FindAttribute(name);
+  if (idx < 0) return NullValue();
+  return attributes_[idx];
+}
+
+std::string Event::ToString() const {
+  std::string out = schema_->name();
+  out += "@";
+  out += std::to_string(timestamp_);
+  out += "{";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema_->attribute(static_cast<int>(i)).name;
+    out += "=";
+    out += attributes_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+EventBuilder::EventBuilder(EventTypeId type, SchemaPtr schema,
+                           Timestamp timestamp)
+    : type_(type), schema_(std::move(schema)), timestamp_(timestamp) {
+  attributes_.resize(schema_->num_attributes());
+}
+
+EventBuilder& EventBuilder::Set(std::string_view name, Value value) {
+  if (!error_.ok()) return *this;
+  const int idx = schema_->FindAttribute(name);
+  if (idx < 0) {
+    error_ = Status::NotFound("event type '" + schema_->name() +
+                              "' has no attribute '" + std::string(name) + "'");
+    return *this;
+  }
+  const ValueType declared = schema_->attribute(idx).type;
+  if (!TypeMatches(declared, value)) {
+    error_ = Status::TypeError(
+        "attribute '" + std::string(name) + "' of '" + schema_->name() +
+        "' expects " + ValueTypeName(declared) + ", got " +
+        ValueTypeName(value.type()));
+    return *this;
+  }
+  // Normalise int literals assigned to double attributes.
+  if (declared == ValueType::kDouble && value.is_int()) {
+    value = Value(value.AsDouble());
+  }
+  attributes_[idx] = std::move(value);
+  return *this;
+}
+
+EventBuilder& EventBuilder::SetSequence(uint64_t sequence) {
+  sequence_ = sequence;
+  return *this;
+}
+
+Result<EventPtr> EventBuilder::Build() {
+  CEP_RETURN_NOT_OK(error_);
+  return std::make_shared<Event>(type_, schema_, timestamp_,
+                                 std::move(attributes_), sequence_);
+}
+
+}  // namespace cep

@@ -1,0 +1,74 @@
+#ifndef CEPSHED_EVENT_EVENT_H_
+#define CEPSHED_EVENT_EVENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "common/value.h"
+#include "event/schema.h"
+
+namespace cep {
+
+/// \brief An immutable, timestamped occurrence with a typed payload.
+///
+/// Events are shared between partial matches via shared_ptr, so the engine's
+/// exponential partial-match state stores event *references*, not copies.
+/// Within a stream, `sequence` is a dense arrival index that breaks timestamp
+/// ties and gives every event a stable identity for accuracy accounting.
+class Event {
+ public:
+  Event(EventTypeId type, SchemaPtr schema, Timestamp timestamp,
+        std::vector<Value> attributes, uint64_t sequence = 0);
+
+  EventTypeId type() const { return type_; }
+  const EventSchema& schema() const { return *schema_; }
+  Timestamp timestamp() const { return timestamp_; }
+  uint64_t sequence() const { return sequence_; }
+
+  size_t num_attributes() const { return attributes_.size(); }
+  /// Attribute by schema index; index must be valid.
+  const Value& attribute(int index) const { return attributes_[index]; }
+  /// Attribute by name; returns a null Value when absent.
+  const Value& attribute(std::string_view name) const;
+
+  /// "type@ts{a=1, b=x}"
+  std::string ToString() const;
+
+ private:
+  EventTypeId type_;
+  SchemaPtr schema_;
+  Timestamp timestamp_;
+  uint64_t sequence_;
+  std::vector<Value> attributes_;
+};
+
+using EventPtr = std::shared_ptr<const Event>;
+
+/// \brief Fluent helper for constructing events against a schema.
+///
+/// Unset attributes default to null. Setting an unknown attribute or a value
+/// of the wrong type is reported when Build() is called.
+class EventBuilder {
+ public:
+  EventBuilder(EventTypeId type, SchemaPtr schema, Timestamp timestamp);
+
+  EventBuilder& Set(std::string_view name, Value value);
+  EventBuilder& SetSequence(uint64_t sequence);
+
+  /// Validates and produces the event.
+  Result<EventPtr> Build();
+
+ private:
+  EventTypeId type_;
+  SchemaPtr schema_;
+  Timestamp timestamp_;
+  uint64_t sequence_ = 0;
+  std::vector<Value> attributes_;
+  Status error_;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_EVENT_EVENT_H_

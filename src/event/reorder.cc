@@ -1,0 +1,31 @@
+#include "event/reorder.h"
+
+namespace cep {
+
+std::vector<EventPtr> ReorderBuffer::Push(EventPtr event) {
+  std::vector<EventPtr> released;
+  if (max_seen_ != INT64_MIN && event->timestamp() < watermark()) {
+    ++late_dropped_;
+    return released;
+  }
+  if (event->timestamp() > max_seen_) max_seen_ = event->timestamp();
+  heap_.push(std::move(event));
+  const Timestamp mark = watermark();
+  while (!heap_.empty() && heap_.top()->timestamp() <= mark) {
+    released.push_back(heap_.top());
+    heap_.pop();
+  }
+  return released;
+}
+
+std::vector<EventPtr> ReorderBuffer::Flush() {
+  std::vector<EventPtr> released;
+  released.reserve(heap_.size());
+  while (!heap_.empty()) {
+    released.push_back(heap_.top());
+    heap_.pop();
+  }
+  return released;
+}
+
+}  // namespace cep

@@ -1,0 +1,58 @@
+#ifndef CEPSHED_EVENT_REORDER_H_
+#define CEPSHED_EVENT_REORDER_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "event/event.h"
+
+namespace cep {
+
+/// \brief Bounded-delay reordering buffer in front of the engine.
+///
+/// The engine requires non-decreasing timestamps, but real sources deliver
+/// events out of order. The buffer holds events until the watermark —
+/// highest timestamp seen minus `max_delay` — passes them, then releases
+/// them in (timestamp, sequence) order. Events arriving behind the watermark
+/// are *late*: they cannot be ordered anymore and are dropped and counted
+/// (the stream-processing convention for bounded-delay ingestion).
+class ReorderBuffer {
+ public:
+  explicit ReorderBuffer(Duration max_delay) : max_delay_(max_delay) {}
+
+  /// Offers one event. Returns the events released by the advancing
+  /// watermark, oldest first (often empty).
+  std::vector<EventPtr> Push(EventPtr event);
+
+  /// Releases everything still buffered (end of stream).
+  std::vector<EventPtr> Flush();
+
+  /// Current watermark: events at or before this timestamp have been
+  /// released or dropped.
+  Timestamp watermark() const {
+    return max_seen_ == INT64_MIN ? INT64_MIN : max_seen_ - max_delay_;
+  }
+
+  uint64_t late_dropped() const { return late_dropped_; }
+  size_t buffered() const { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const EventPtr& a, const EventPtr& b) const {
+      if (a->timestamp() != b->timestamp()) {
+        return a->timestamp() > b->timestamp();
+      }
+      return a->sequence() > b->sequence();
+    }
+  };
+
+  Duration max_delay_;
+  Timestamp max_seen_ = INT64_MIN;
+  std::priority_queue<EventPtr, std::vector<EventPtr>, Later> heap_;
+  uint64_t late_dropped_ = 0;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_EVENT_REORDER_H_

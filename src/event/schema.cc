@@ -1,0 +1,65 @@
+#include "event/schema.h"
+
+#include <utility>
+
+namespace cep {
+
+EventSchema::EventSchema(std::string name, std::vector<AttributeDef> attributes)
+    : name_(std::move(name)), attributes_(std::move(attributes)) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    index_.emplace(attributes_[i].name, static_cast<int>(i));
+  }
+}
+
+int EventSchema::FindAttribute(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  return it == index_.end() ? -1 : it->second;
+}
+
+Result<int> EventSchema::GetAttributeIndex(std::string_view name) const {
+  const int idx = FindAttribute(name);
+  if (idx < 0) {
+    return Status::NotFound("event type '" + name_ + "' has no attribute '" +
+                            std::string(name) + "'");
+  }
+  return idx;
+}
+
+std::string EventSchema::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ":";
+    out += ValueTypeName(attributes_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+Result<EventTypeId> SchemaRegistry::Register(
+    std::string name, std::vector<AttributeDef> attributes) {
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("event type '" + name + "' already registered");
+  }
+  const auto id = static_cast<EventTypeId>(schemas_.size());
+  schemas_.push_back(
+      std::make_shared<EventSchema>(name, std::move(attributes)));
+  by_name_.emplace(std::move(name), id);
+  return id;
+}
+
+EventTypeId SchemaRegistry::FindType(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidEventType : it->second;
+}
+
+Result<EventTypeId> SchemaRegistry::GetType(std::string_view name) const {
+  const EventTypeId id = FindType(name);
+  if (id == kInvalidEventType) {
+    return Status::NotFound("unknown event type '" + std::string(name) + "'");
+  }
+  return id;
+}
+
+}  // namespace cep

@@ -1,0 +1,87 @@
+#ifndef CEPSHED_EVENT_SCHEMA_H_
+#define CEPSHED_EVENT_SCHEMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace cep {
+
+/// Numeric identifier of an event type within a SchemaRegistry.
+using EventTypeId = uint32_t;
+constexpr EventTypeId kInvalidEventType = UINT32_MAX;
+
+/// \brief One named, typed attribute of an event type.
+struct AttributeDef {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// \brief Immutable description of one event type: a name plus an ordered
+/// list of typed attributes.
+///
+/// Schemas are shared between all events of the type (`std::shared_ptr`), so
+/// per-event storage is just the attribute value vector.
+class EventSchema {
+ public:
+  EventSchema(std::string name, std::vector<AttributeDef> attributes);
+
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  size_t num_attributes() const { return attributes_.size(); }
+
+  /// Index of the attribute named `name`, or -1 if absent.
+  int FindAttribute(std::string_view name) const;
+
+  /// Like FindAttribute but returns NotFound with a descriptive message.
+  Result<int> GetAttributeIndex(std::string_view name) const;
+
+  const AttributeDef& attribute(int index) const { return attributes_[index]; }
+
+  /// "type(attr1:int, attr2:string, ...)"
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+  std::unordered_map<std::string, int> index_;
+};
+
+using SchemaPtr = std::shared_ptr<const EventSchema>;
+
+/// \brief Maps event type names to schemas and dense EventTypeIds.
+///
+/// The registry is the unit of agreement between stream producers, queries,
+/// and the engine: a query can only reference event types registered here.
+class SchemaRegistry {
+ public:
+  SchemaRegistry() = default;
+
+  /// Registers a new event type; fails with AlreadyExists on duplicates.
+  Result<EventTypeId> Register(std::string name,
+                               std::vector<AttributeDef> attributes);
+
+  /// Id for `name`, or kInvalidEventType if unknown.
+  EventTypeId FindType(std::string_view name) const;
+
+  Result<EventTypeId> GetType(std::string_view name) const;
+
+  /// Schema for a registered id; id must be valid.
+  const SchemaPtr& schema(EventTypeId id) const { return schemas_[id]; }
+
+  size_t num_types() const { return schemas_.size(); }
+
+ private:
+  std::vector<SchemaPtr> schemas_;
+  std::unordered_map<std::string, EventTypeId> by_name_;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_EVENT_SCHEMA_H_

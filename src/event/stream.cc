@@ -1,0 +1,49 @@
+#include "event/stream.h"
+
+#include <algorithm>
+
+namespace cep {
+
+std::vector<EventPtr> EventStream::Drain() {
+  std::vector<EventPtr> out;
+  while (EventPtr e = Next()) out.push_back(std::move(e));
+  return out;
+}
+
+MergedEventStream::MergedEventStream(
+    std::vector<std::unique_ptr<EventStream>> inputs)
+    : inputs_(std::move(inputs)) {
+  heads_.resize(inputs_.size());
+  for (size_t i = 0; i < inputs_.size(); ++i) heads_[i] = inputs_[i]->Next();
+}
+
+EventPtr MergedEventStream::Next() {
+  // Linear scan over the heads: the stream fan-in is small in practice
+  // (a handful of workload generators), so a heap would not pay off.
+  int best = -1;
+  for (size_t i = 0; i < heads_.size(); ++i) {
+    if (heads_[i] == nullptr) continue;
+    if (best < 0 ||
+        heads_[i]->timestamp() < heads_[best]->timestamp() ||
+        (heads_[i]->timestamp() == heads_[best]->timestamp() &&
+         heads_[i]->sequence() < heads_[best]->sequence())) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) return nullptr;
+  EventPtr out = std::move(heads_[best]);
+  heads_[best] = inputs_[best]->Next();
+  return out;
+}
+
+void SortEvents(std::vector<EventPtr>* events) {
+  std::stable_sort(events->begin(), events->end(),
+                   [](const EventPtr& a, const EventPtr& b) {
+                     if (a->timestamp() != b->timestamp()) {
+                       return a->timestamp() < b->timestamp();
+                     }
+                     return a->sequence() < b->sequence();
+                   });
+}
+
+}  // namespace cep

@@ -1,0 +1,84 @@
+#ifndef CEPSHED_EVENT_STREAM_H_
+#define CEPSHED_EVENT_STREAM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "event/event.h"
+
+namespace cep {
+
+/// \brief Pull-based source of timestamp-ordered events.
+///
+/// Next() returns nullptr at end-of-stream. Implementations must produce
+/// events in non-decreasing timestamp order; the engine checks this in debug
+/// builds and relies on it for window expiry.
+class EventStream {
+ public:
+  virtual ~EventStream() = default;
+
+  /// Returns the next event, or nullptr when the stream is exhausted.
+  virtual EventPtr Next() = 0;
+
+  /// Drains the remainder of the stream into a vector (testing convenience).
+  std::vector<EventPtr> Drain();
+};
+
+/// \brief Stream over a pre-materialised, ordered vector of events.
+class VectorEventStream : public EventStream {
+ public:
+  explicit VectorEventStream(std::vector<EventPtr> events)
+      : events_(std::move(events)) {}
+
+  EventPtr Next() override {
+    if (pos_ >= events_.size()) return nullptr;
+    return events_[pos_++];
+  }
+
+  /// Rewinds to the first event (useful for golden-vs-shedding replays).
+  void Reset() { pos_ = 0; }
+
+  size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<EventPtr> events_;
+  size_t pos_ = 0;
+};
+
+/// \brief Stream adapter around a generator callback.
+///
+/// The callback returns nullptr to signal end-of-stream.
+class CallbackEventStream : public EventStream {
+ public:
+  explicit CallbackEventStream(std::function<EventPtr()> generator)
+      : generator_(std::move(generator)) {}
+
+  EventPtr Next() override { return generator_(); }
+
+ private:
+  std::function<EventPtr()> generator_;
+};
+
+/// \brief K-way merge of timestamp-ordered streams into one ordered stream.
+///
+/// Ties are broken by input index, then by event sequence number, so merges
+/// are deterministic.
+class MergedEventStream : public EventStream {
+ public:
+  explicit MergedEventStream(std::vector<std::unique_ptr<EventStream>> inputs);
+
+  EventPtr Next() override;
+
+ private:
+  std::vector<std::unique_ptr<EventStream>> inputs_;
+  std::vector<EventPtr> heads_;  // buffered head per input; nullptr = drained
+};
+
+/// Sorts events by (timestamp, sequence); used by workload generators that
+/// emit per-entity traces which must be interleaved.
+void SortEvents(std::vector<EventPtr>* events);
+
+}  // namespace cep
+
+#endif  // CEPSHED_EVENT_STREAM_H_

@@ -1,0 +1,25 @@
+#include "harness/accuracy.h"
+
+#include <unordered_map>
+
+namespace cep {
+
+AccuracyReport CompareMatches(const std::vector<Match>& golden,
+                              const std::vector<Match>& lossy) {
+  AccuracyReport report;
+  report.golden_matches = golden.size();
+  report.lossy_matches = lossy.size();
+  std::unordered_map<uint64_t, int> counts;
+  counts.reserve(golden.size() * 2);
+  for (const auto& m : golden) ++counts[m.fingerprint];
+  for (const auto& m : lossy) {
+    const auto it = counts.find(m.fingerprint);
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      ++report.true_positives;
+    }
+  }
+  return report;
+}
+
+}  // namespace cep

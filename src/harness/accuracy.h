@@ -1,0 +1,48 @@
+#ifndef CEPSHED_HARNESS_ACCURACY_H_
+#define CEPSHED_HARNESS_ACCURACY_H_
+
+#include <vector>
+
+#include "engine/match.h"
+
+namespace cep {
+
+/// \brief Output-stream difference δ(O_t, O'_t) between a golden
+/// (no-shedding) run and a lossy run (paper §III).
+///
+/// Matches are identified by content fingerprint, compared as multisets.
+/// State-based shedding cannot introduce false positives, so the paper's
+/// "accuracy" is the recall of golden matches; precision is reported as a
+/// sanity check (it must be 1.0 for state-based strategies).
+struct AccuracyReport {
+  size_t golden_matches = 0;
+  size_t lossy_matches = 0;
+  size_t true_positives = 0;
+
+  /// δ as a count: matches missing from the lossy output.
+  size_t false_negatives() const { return golden_matches - true_positives; }
+  /// Fingerprints in the lossy output that the golden run never produced
+  /// (always 0 for correct shedding; nonzero indicates an engine bug).
+  size_t false_positives() const { return lossy_matches - true_positives; }
+
+  /// The paper's accuracy metric.
+  double recall() const {
+    return golden_matches == 0
+               ? 1.0
+               : static_cast<double>(true_positives) /
+                     static_cast<double>(golden_matches);
+  }
+  double precision() const {
+    return lossy_matches == 0
+               ? 1.0
+               : static_cast<double>(true_positives) /
+                     static_cast<double>(lossy_matches);
+  }
+};
+
+AccuracyReport CompareMatches(const std::vector<Match>& golden,
+                              const std::vector<Match>& lossy);
+
+}  // namespace cep
+
+#endif  // CEPSHED_HARNESS_ACCURACY_H_

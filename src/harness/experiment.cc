@@ -1,0 +1,70 @@
+#include "harness/experiment.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace cep {
+
+Result<RunOutcome> RunOnce(const std::vector<EventPtr>& events,
+                           const NfaPtr& nfa, const EngineOptions& options,
+                           ShedderPtr shedder) {
+  Engine engine(nfa, options, std::move(shedder));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& event : events) {
+    CEP_RETURN_NOT_OK(engine.ProcessEvent(event));
+  }
+  CEP_RETURN_NOT_OK(engine.Flush());
+  const auto t1 = std::chrono::steady_clock::now();
+  RunOutcome outcome;
+  outcome.metrics = engine.metrics();
+  outcome.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  outcome.throughput_eps =
+      outcome.wall_seconds > 0
+          ? static_cast<double>(events.size()) / outcome.wall_seconds
+          : 0.0;
+  outcome.matches = engine.TakeMatches();
+  return outcome;
+}
+
+Result<StrategySummary> EvaluateStrategy(
+    const std::vector<EventPtr>& events, const NfaPtr& nfa,
+    const EngineOptions& options, const ShedderFactory& factory,
+    int repetitions, const std::vector<Match>& golden_matches,
+    std::string strategy_name) {
+  StrategySummary summary;
+  summary.strategy = std::move(strategy_name);
+  summary.repetitions = repetitions;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    CEP_ASSIGN_OR_RETURN(RunOutcome outcome,
+                         RunOnce(events, nfa, options, factory(rep)));
+    const AccuracyReport report =
+        CompareMatches(golden_matches, outcome.matches);
+    summary.avg_accuracy += report.recall();
+    summary.min_accuracy = std::min(summary.min_accuracy, report.recall());
+    summary.avg_throughput_eps += outcome.throughput_eps;
+    summary.avg_shed_triggers +=
+        static_cast<double>(outcome.metrics.shed_triggers);
+    summary.avg_runs_shed += static_cast<double>(outcome.metrics.runs_shed);
+    summary.avg_events_dropped +=
+        static_cast<double>(outcome.metrics.events_dropped);
+    summary.false_positives +=
+        static_cast<double>(report.false_positives());
+    summary.last_metrics = outcome.metrics;
+  }
+  const auto n = static_cast<double>(repetitions);
+  summary.avg_accuracy /= n;
+  summary.avg_throughput_eps /= n;
+  summary.avg_shed_triggers /= n;
+  summary.avg_runs_shed /= n;
+  summary.avg_events_dropped /= n;
+  return summary;
+}
+
+double BenchScaleFromEnv() {
+  const char* raw = std::getenv("CEPSHED_SCALE");
+  if (raw == nullptr) return 1.0;
+  const double scale = std::atof(raw);
+  return scale > 0 ? scale : 1.0;
+}
+
+}  // namespace cep

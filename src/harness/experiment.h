@@ -1,0 +1,60 @@
+#ifndef CEPSHED_HARNESS_EXPERIMENT_H_
+#define CEPSHED_HARNESS_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/engine.h"
+#include "harness/accuracy.h"
+
+namespace cep {
+
+/// \brief Result of one engine pass over a materialised stream.
+struct RunOutcome {
+  EngineMetrics metrics;
+  double wall_seconds = 0;
+  double throughput_eps = 0;  ///< events / wall-clock second
+  std::vector<Match> matches;
+};
+
+/// Runs the query once over `events`. `shedder` may be null (golden run).
+Result<RunOutcome> RunOnce(const std::vector<EventPtr>& events,
+                           const NfaPtr& nfa, const EngineOptions& options,
+                           ShedderPtr shedder);
+
+/// Creates a fresh shedder per repetition; `rep` seeds stochastic strategies
+/// so repetitions are independent, as in the paper's 5-run averages.
+using ShedderFactory = std::function<ShedderPtr(int rep)>;
+
+/// \brief Aggregated evaluation of one shedding strategy against a golden
+/// run: the paper's Table II row (accuracy + average throughput).
+struct StrategySummary {
+  std::string strategy;
+  int repetitions = 0;
+  double avg_accuracy = 0;   ///< mean recall vs golden
+  double min_accuracy = 1;
+  double avg_throughput_eps = 0;
+  double avg_shed_triggers = 0;
+  double avg_runs_shed = 0;
+  double avg_events_dropped = 0;
+  double false_positives = 0;  ///< must stay 0 for state-based strategies
+  EngineMetrics last_metrics;  ///< metrics of the final repetition
+};
+
+/// Runs `factory`-built shedders `repetitions` times and scores each run
+/// against `golden_matches`.
+Result<StrategySummary> EvaluateStrategy(
+    const std::vector<EventPtr>& events, const NfaPtr& nfa,
+    const EngineOptions& options, const ShedderFactory& factory,
+    int repetitions, const std::vector<Match>& golden_matches,
+    std::string strategy_name);
+
+/// Reads a positive scale factor from the CEPSHED_SCALE environment variable
+/// (default 1.0) — benches multiply their stream sizes by it.
+double BenchScaleFromEnv();
+
+}  // namespace cep
+
+#endif  // CEPSHED_HARNESS_EXPERIMENT_H_

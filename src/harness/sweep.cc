@@ -1,0 +1,69 @@
+#include "harness/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace cep {
+
+std::vector<double> LinSpace(double from, double to, int n) {
+  std::vector<double> out;
+  if (n <= 1) {
+    out.push_back(from);
+    return out;
+  }
+  out.reserve(static_cast<size_t>(n));
+  const double step = (to - from) / static_cast<double>(n - 1);
+  for (int i = 0; i < n; ++i) out.push_back(from + step * i);
+  return out;
+}
+
+std::vector<double> GeomSpace(double from, double to, int n) {
+  std::vector<double> out;
+  if (n <= 1 || from <= 0 || to <= 0) {
+    out.push_back(from);
+    return out;
+  }
+  out.reserve(static_cast<size_t>(n));
+  const double ratio = std::pow(to / from, 1.0 / static_cast<double>(n - 1));
+  double v = from;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(v);
+    v *= ratio;
+  }
+  return out;
+}
+
+std::string AsciiPlot(const std::vector<double>& xs,
+                      const std::vector<double>& ys, int width, int height,
+                      const char* x_label, const char* y_label) {
+  if (xs.empty() || xs.size() != ys.size() || width < 8 || height < 3) {
+    return "(no data)\n";
+  }
+  const double xmin = *std::min_element(xs.begin(), xs.end());
+  const double xmax = *std::max_element(xs.begin(), xs.end());
+  const double ymin = *std::min_element(ys.begin(), ys.end());
+  const double ymax = *std::max_element(ys.begin(), ys.end());
+  const double xspan = xmax > xmin ? xmax - xmin : 1.0;
+  const double yspan = ymax > ymin ? ymax - ymin : 1.0;
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(width), ' '));
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const int col = static_cast<int>(
+        std::lround((xs[i] - xmin) / xspan * (width - 1)));
+    const int row = static_cast<int>(
+        std::lround((ys[i] - ymin) / yspan * (height - 1)));
+    grid[static_cast<size_t>(height - 1 - row)]
+        [static_cast<size_t>(col)] = '*';
+  }
+  std::string out;
+  out += StrFormat("%s (%.4g .. %.4g)\n", y_label, ymin, ymax);
+  for (const auto& line : grid) out += "  |" + line + "\n";
+  out += "  +" + std::string(static_cast<size_t>(width), '-') + "\n";
+  out += StrFormat("   %s (%.4g .. %.4g)\n", x_label, xmin, xmax);
+  return out;
+}
+
+}  // namespace cep

@@ -1,0 +1,25 @@
+#ifndef CEPSHED_HARNESS_SWEEP_H_
+#define CEPSHED_HARNESS_SWEEP_H_
+
+#include <string>
+#include <vector>
+
+namespace cep {
+
+/// `n` evenly spaced values from `from` to `to` inclusive (n >= 2; n == 1
+/// yields {from}).
+std::vector<double> LinSpace(double from, double to, int n);
+
+/// `n` geometrically spaced values from `from` to `to` inclusive; both
+/// endpoints must be positive.
+std::vector<double> GeomSpace(double from, double to, int n);
+
+/// Simple ASCII line plot of (x, y) points — benches use it to render the
+/// paper's Figure 1 as text.
+std::string AsciiPlot(const std::vector<double>& xs,
+                      const std::vector<double>& ys, int width, int height,
+                      const char* x_label, const char* y_label);
+
+}  // namespace cep
+
+#endif  // CEPSHED_HARNESS_SWEEP_H_

@@ -1,0 +1,35 @@
+#ifndef CEPSHED_HARNESS_TABLE_PRINTER_H_
+#define CEPSHED_HARNESS_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cep {
+
+/// \brief Fixed-width console table, used by every bench binary to print the
+/// paper's tables/figures as aligned text.
+class TablePrinter {
+ public:
+  /// Column widths grow to fit headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders header, separator, and rows.
+  std::string ToString() const;
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats helpers shared by benches.
+std::string FormatPercent(double fraction);        ///< 0.805 -> "80.50%"
+std::string FormatWithThousands(double value);     ///< 77123.4 -> "77,123"
+std::string FormatDouble(double value, int digits);
+
+}  // namespace cep
+
+#endif  // CEPSHED_HARNESS_TABLE_PRINTER_H_

@@ -1,0 +1,177 @@
+#include "nfa/compiler.h"
+
+#include <utility>
+
+namespace cep {
+
+namespace {
+
+/// Builds the state chain. Pattern indices are used throughout; `positives`
+/// maps chain position -> pattern index.
+class NfaBuilder {
+ public:
+  explicit NfaBuilder(const AnalyzedQuery& analyzed) : analyzed_(analyzed) {}
+
+  Result<std::vector<State>> Build() {
+    CollectStructure();
+    AllocateStates();
+    BuildStates();
+    return std::move(states_);
+  }
+
+ private:
+  void CollectStructure() {
+    const auto& pattern = analyzed_.query.pattern;
+    negs_before_.resize(pattern.size() + 1);
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      if (pattern[i].kind == VariableKind::kNegated) {
+        // Forbidden in the interval before the next positive variable.
+        negs_pending_.push_back(static_cast<int>(i));
+      } else {
+        positives_.push_back(static_cast<int>(i));
+        negs_before_[positives_.size() - 1] = std::move(negs_pending_);
+        negs_pending_.clear();
+      }
+    }
+  }
+
+  void AllocateStates() {
+    const auto& pattern = analyzed_.query.pattern;
+    const size_t m = positives_.size();
+    entry_state_.assign(m, -1);
+    kleene_state_.assign(m, -1);
+    int next_id = 0;
+    for (size_t k = 0; k < m; ++k) {
+      // The awaiting state is only reachable when the preceding positive
+      // variable is single (or this is the first variable); after a Kleene
+      // variable, entry edges live on the in-Kleene state instead.
+      const bool reachable =
+          k == 0 ||
+          pattern[positives_[k - 1]].kind != VariableKind::kKleene;
+      if (reachable) entry_state_[k] = next_id++;
+      if (pattern[positives_[k]].kind == VariableKind::kKleene) {
+        kleene_state_[k] = next_id++;
+      }
+    }
+    const bool last_is_kleene =
+        pattern[positives_.back()].kind == VariableKind::kKleene;
+    final_state_ = last_is_kleene ? kleene_state_.back() : next_id++;
+    states_.resize(static_cast<size_t>(next_id));
+    for (int i = 0; i < next_id; ++i) states_[i].id = i;
+  }
+
+  /// Target reached after variable at chain position k is fully bound.
+  int ExitTarget(size_t k) const {
+    if (k + 1 >= positives_.size()) return final_state_;
+    const auto& next = analyzed_.query.pattern[positives_[k + 1]];
+    if (next.kind == VariableKind::kKleene && entry_state_[k + 1] < 0) {
+      // Unreachable case by construction (entry always exists after single).
+      return kleene_state_[k + 1];
+    }
+    return entry_state_[k + 1];
+  }
+
+  /// Edges that bind the first event of the variable at chain position k.
+  std::vector<Edge> EntryEdges(size_t k) const {
+    const int var = positives_[k];
+    const auto& pv = analyzed_.query.pattern[var];
+    Edge edge;
+    edge.kind = EdgeKind::kTake;
+    edge.event_type = pv.type_id;
+    edge.var_index = var;
+    edge.predicates = analyzed_.attachments[var].take;
+    edge.target = pv.kind == VariableKind::kKleene
+                      ? kleene_state_[k]
+                      : ExitTarget(k);
+    return {std::move(edge)};
+  }
+
+  std::vector<Edge> KillEdges(const std::vector<int>& negated_vars) const {
+    std::vector<Edge> edges;
+    edges.reserve(negated_vars.size());
+    for (const int var : negated_vars) {
+      Edge edge;
+      edge.kind = EdgeKind::kKill;
+      edge.event_type = analyzed_.query.pattern[var].type_id;
+      edge.var_index = var;
+      edge.predicates = analyzed_.attachments[var].take;
+      edge.target = -1;
+      edges.push_back(std::move(edge));
+    }
+    return edges;
+  }
+
+  void BuildStates() {
+    const auto& pattern = analyzed_.query.pattern;
+    const size_t m = positives_.size();
+    for (size_t k = 0; k < m; ++k) {
+      const int var = positives_[k];
+      const auto& pv = pattern[var];
+      if (entry_state_[k] >= 0) {
+        State& s = states_[entry_state_[k]];
+        s.var_index = var;
+        // Kill edges first: an event that both violates a negation and could
+        // advance the run must kill it.
+        s.edges = KillEdges(negs_before_[k]);
+        for (auto& e : EntryEdges(k)) s.edges.push_back(std::move(e));
+      }
+      if (pv.kind == VariableKind::kKleene) {
+        State& s = states_[kleene_state_[k]];
+        s.var_index = var;
+        s.in_kleene = true;
+        Edge loop;
+        loop.kind = EdgeKind::kKleeneTake;
+        loop.event_type = pv.type_id;
+        loop.var_index = var;
+        loop.predicates = analyzed_.attachments[var].take;
+        loop.target = s.id;
+        s.edges.push_back(std::move(loop));
+        if (k + 1 < m) {
+          // Proceed structure: the next variable's entry edges, gated by this
+          // Kleene variable's exit predicates.
+          for (Edge e : EntryEdges(k + 1)) {
+            e.exit_var = var;
+            e.exit_predicates = analyzed_.attachments[var].exit;
+            s.edges.push_back(std::move(e));
+          }
+        } else {
+          s.is_final = true;
+          s.final_predicates = analyzed_.attachments[var].exit;
+        }
+      }
+    }
+    if (pattern[positives_.back()].kind != VariableKind::kKleene) {
+      states_[final_state_].is_final = true;
+    }
+    if (!negs_pending_.empty()) {
+      // Trailing negation: the forbidden interval extends from the last
+      // positive event to the window close, so the final state watches for
+      // violations and emission is deferred (analyzer guarantees the last
+      // positive variable is single, so the final state is dedicated).
+      State& final_state = states_[final_state_];
+      final_state.deferred_final = true;
+      for (auto& edge : KillEdges(negs_pending_)) {
+        final_state.edges.push_back(std::move(edge));
+      }
+    }
+  }
+
+  const AnalyzedQuery& analyzed_;
+  std::vector<int> positives_;                 // chain position -> pattern idx
+  std::vector<std::vector<int>> negs_before_;  // chain position -> negated vars
+  std::vector<int> negs_pending_;
+  std::vector<int> entry_state_;
+  std::vector<int> kleene_state_;
+  int final_state_ = -1;
+  std::vector<State> states_;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<const Nfa>> CompileToNfa(AnalyzedQuery analyzed) {
+  NfaBuilder builder(analyzed);
+  CEP_ASSIGN_OR_RETURN(std::vector<State> states, builder.Build());
+  return std::make_shared<const Nfa>(std::move(analyzed), std::move(states));
+}
+
+}  // namespace cep

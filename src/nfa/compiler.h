@@ -1,0 +1,31 @@
+#ifndef CEPSHED_NFA_COMPILER_H_
+#define CEPSHED_NFA_COMPILER_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "nfa/nfa.h"
+
+namespace cep {
+
+/// \brief Compiles an analyzed query into its evaluation automaton.
+///
+/// Construction scheme (SASE+ NFA^b):
+///  * each positive single variable gets an *awaiting* state whose take edge
+///    binds the event and advances;
+///  * each Kleene variable gets an awaiting state (begin edge) plus an
+///    *in-Kleene* state with a kleene-take self-loop; the entry edges of the
+///    following variable are replicated onto the in-Kleene state, gated by
+///    the Kleene variable's exit predicates (COUNT / [last] checks) — this is
+///    the "proceed" structure;
+///  * negated variables become kill edges on the state covering the interval
+///    in which they are forbidden;
+///  * the accept state is either a dedicated final state or, for a trailing
+///    Kleene variable, its in-Kleene state marked final (a match is emitted
+///    on every take that satisfies the final predicates while the run stays
+///    alive for further extensions).
+Result<std::shared_ptr<const Nfa>> CompileToNfa(AnalyzedQuery analyzed);
+
+}  // namespace cep
+
+#endif  // CEPSHED_NFA_COMPILER_H_

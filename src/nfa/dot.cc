@@ -1,0 +1,57 @@
+#include "nfa/dot.h"
+
+#include "common/string_util.h"
+
+namespace cep {
+
+namespace {
+
+std::string EscapeLabel(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string NfaToDot(const Nfa& nfa) {
+  std::string out = "digraph nfa {\n  rankdir=LR;\n  node [shape=circle];\n";
+  for (const auto& state : nfa.states()) {
+    std::string label = StrFormat("S%d", state.id);
+    if (state.var_index >= 0) {
+      label += "\\n" + nfa.query().pattern[state.var_index].name;
+      if (state.in_kleene) label += "+";
+    }
+    out += StrFormat("  s%d [label=\"%s\"%s];\n", state.id,
+                     EscapeLabel(label).c_str(),
+                     state.is_final ? ", shape=doublecircle" : "");
+  }
+  for (const auto& state : nfa.states()) {
+    for (const auto& edge : state.edges) {
+      const auto& var = nfa.query().pattern[edge.var_index];
+      std::string label =
+          StrFormat("%s %s", EdgeKindName(edge.kind), var.event_type.c_str());
+      std::vector<std::string> preds;
+      for (const auto* p : edge.exit_predicates) preds.push_back(p->ToString());
+      for (const auto* p : edge.predicates) preds.push_back(p->ToString());
+      if (!preds.empty()) label += "\\n" + JoinStrings(preds, " && ");
+      if (edge.kind == EdgeKind::kKill) {
+        out += StrFormat("  s%d -> kill%d [label=\"%s\", style=dashed];\n",
+                         state.id, state.id, EscapeLabel(label).c_str());
+        out += StrFormat("  kill%d [label=\"X\", shape=plaintext];\n",
+                         state.id);
+      } else {
+        out += StrFormat("  s%d -> s%d [label=\"%s\"];\n", state.id,
+                         edge.target, EscapeLabel(label).c_str());
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace cep

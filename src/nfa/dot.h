@@ -1,0 +1,16 @@
+#ifndef CEPSHED_NFA_DOT_H_
+#define CEPSHED_NFA_DOT_H_
+
+#include <string>
+
+#include "nfa/nfa.h"
+
+namespace cep {
+
+/// \brief Renders the automaton in Graphviz dot format (documentation and
+/// debugging aid; `dot -Tsvg` produces the diagrams used in README.md).
+std::string NfaToDot(const Nfa& nfa);
+
+}  // namespace cep
+
+#endif  // CEPSHED_NFA_DOT_H_

@@ -1,0 +1,92 @@
+#ifndef CEPSHED_NFA_NFA_H_
+#define CEPSHED_NFA_NFA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/analyzer.h"
+
+namespace cep {
+
+/// How an NFA edge reacts to a matching event.
+enum class EdgeKind : uint8_t {
+  kTake,        ///< bind the event and move to `target`
+  kKleeneTake,  ///< bind another Kleene element; self-loop
+  kKill,        ///< negation watch: a matching event kills the run
+};
+
+const char* EdgeKindName(EdgeKind kind);
+
+/// \brief One transition of the evaluation automaton.
+///
+/// Predicates are raw pointers into the owning Nfa's AnalyzedQuery. During
+/// evaluation the candidate event is virtually bound to `var_index` (see
+/// BindingView); the edge fires only if all `exit_predicates` (final checks
+/// of the Kleene variable the run is leaving, if any) and all `predicates`
+/// hold.
+struct Edge {
+  EdgeKind kind = EdgeKind::kTake;
+  EventTypeId event_type = kInvalidEventType;
+  int var_index = -1;   ///< pattern variable bound (or negated var for kKill)
+  int exit_var = -1;    ///< Kleene variable being exited via this edge, or -1
+  std::vector<const Expr*> predicates;
+  std::vector<const Expr*> exit_predicates;
+  int target = -1;      ///< target state id (-1 for kKill)
+};
+
+/// \brief One state of the automaton.
+///
+/// `var_index` is the pattern variable a run in this state is collecting:
+/// the awaited variable for plain states, the actively-extended variable for
+/// in-Kleene states, or -1 for the terminal accept state.
+struct State {
+  int id = -1;
+  int var_index = -1;
+  bool in_kleene = false;
+  bool is_final = false;
+  /// Trailing negation: a run reaching this final state must not emit until
+  /// its window closes (the engine emits on expiry or Flush); kill edges on
+  /// the state can still void it.
+  bool deferred_final = false;
+  /// Checked when a match is emitted from this state (final COUNT checks of
+  /// a trailing Kleene variable). Empty for plain final states.
+  std::vector<const Expr*> final_predicates;
+  std::vector<Edge> edges;
+};
+
+/// \brief Compiled evaluation automaton for one query (SASE+ NFA^b shape:
+/// a state chain with begin/take/proceed structure, negation as kill edges,
+/// and predicates attached to the earliest edge that can evaluate them).
+///
+/// The Nfa owns the AnalyzedQuery whose expressions its edges reference.
+class Nfa {
+ public:
+  Nfa(AnalyzedQuery analyzed, std::vector<State> states)
+      : analyzed_(std::move(analyzed)), states_(std::move(states)) {}
+
+  Nfa(const Nfa&) = delete;
+  Nfa& operator=(const Nfa&) = delete;
+
+  const AnalyzedQuery& analyzed() const { return analyzed_; }
+  const ParsedQuery& query() const { return analyzed_.query; }
+  Duration window() const { return analyzed_.query.window; }
+
+  const std::vector<State>& states() const { return states_; }
+  const State& state(int id) const { return states_[id]; }
+  int start_state() const { return 0; }
+  size_t num_states() const { return states_.size(); }
+
+  /// Structural summary for tests and logs.
+  std::string ToString() const;
+
+ private:
+  AnalyzedQuery analyzed_;
+  std::vector<State> states_;
+};
+
+using NfaPtr = std::shared_ptr<const Nfa>;
+
+}  // namespace cep
+
+#endif  // CEPSHED_NFA_NFA_H_

@@ -1,0 +1,319 @@
+#include "query/analyzer.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace cep {
+
+namespace {
+
+/// Binding point of a reference in pattern order: phase kTake of position p
+/// precedes phase kExit of p, which precedes kTake of p+1.
+struct BindPoint {
+  int position = -1;
+  AttachPhase phase = AttachPhase::kTake;
+
+  bool operator<(const BindPoint& other) const {
+    if (position != other.position) return position < other.position;
+    return static_cast<int>(phase) < static_cast<int>(other.phase);
+  }
+};
+
+class Analyzer {
+ public:
+  Analyzer(ParsedQuery query, const SchemaRegistry& registry)
+      : out_(), registry_(registry) {
+    out_.query = std::move(query);
+  }
+
+  Result<AnalyzedQuery> Run() {
+    CEP_RETURN_NOT_OK(ValidatePattern());
+    CEP_RETURN_NOT_OK(AttachPredicates());
+    CEP_RETURN_NOT_OK(ResolveReturn());
+    return std::move(out_);
+  }
+
+ private:
+  Status ValidatePattern() {
+    auto& pattern = out_.query.pattern;
+    if (pattern.empty()) {
+      return Status::InvalidArgument("pattern has no variables");
+    }
+    std::unordered_set<std::string> names;
+    for (auto& var : pattern) {
+      if (!names.insert(var.name).second) {
+        return Status::InvalidArgument("duplicate pattern variable '" +
+                                       var.name + "'");
+      }
+      CEP_ASSIGN_OR_RETURN(var.type_id, registry_.GetType(var.event_type));
+      if (var.kind != VariableKind::kNegated) ++out_.num_positive;
+    }
+    if (out_.num_positive == 0) {
+      return Status::InvalidArgument(
+          "pattern needs at least one positive (non-negated) variable");
+    }
+    if (pattern.front().kind == VariableKind::kNegated) {
+      return Status::InvalidArgument(
+          "negation cannot be the first pattern element: there is no "
+          "preceding variable to anchor the forbidden interval");
+    }
+    for (size_t i = 1; i < pattern.size(); ++i) {
+      if (pattern[i].kind == VariableKind::kNegated &&
+          pattern[i - 1].kind == VariableKind::kKleene) {
+        return Status::NotImplemented(
+            "negation directly after a Kleene variable is not supported: "
+            "the forbidden interval is ill-defined while the Kleene binding "
+            "is still growing ('" +
+            pattern[i].name + "' after '" + pattern[i - 1].name + "')");
+      }
+    }
+    if (out_.query.window <= 0) {
+      return Status::InvalidArgument("WITHIN window must be positive");
+    }
+    out_.attachments.resize(pattern.size());
+    return Status::OK();
+  }
+
+  /// Resolves all references in `expr`. When `rewrite_current_to_last` is set
+  /// (RETURN clause), `b[i]` references become `b[last]`.
+  /// Reports the referenced variables via `refs` (variable index ->
+  /// strongest binding requirement seen).
+  Status ResolveExpr(Expr* expr, bool rewrite_current_to_last,
+                     std::set<std::pair<int, int>>* refs, int* prev_var) {
+    Status status;
+    VisitExpr(expr, [&](Expr* node) {
+      if (!status.ok()) return;
+      switch (node->kind()) {
+        case ExprKind::kAttrRef: {
+          auto* ref = static_cast<AttrRefExpr*>(node);
+          status = ResolveAttrRef(ref, rewrite_current_to_last, refs);
+          if (status.ok() && ref->ref_kind() == RefKind::kPrev &&
+              prev_var != nullptr) {
+            *prev_var = ref->var_index();
+          }
+          break;
+        }
+        case ExprKind::kCount: {
+          auto* count = static_cast<CountExpr*>(node);
+          const int var = out_.query.FindVariable(count->var_name());
+          if (var < 0) {
+            status = Status::NotFound("COUNT references unknown variable '" +
+                                      count->var_name() + "'");
+            return;
+          }
+          if (out_.query.pattern[var].kind != VariableKind::kKleene) {
+            status = Status::InvalidArgument(
+                "COUNT(" + count->var_name() +
+                "[]) requires a Kleene variable");
+            return;
+          }
+          count->Resolve(var);
+          refs->insert({var, /*exit=*/1});
+          break;
+        }
+        case ExprKind::kAggregate: {
+          auto* agg = static_cast<AggExpr*>(node);
+          const int var = out_.query.FindVariable(agg->var_name());
+          if (var < 0) {
+            status = Status::NotFound(
+                "aggregate references unknown variable '" + agg->var_name() +
+                "'");
+            return;
+          }
+          const PatternVariable& pv = out_.query.pattern[var];
+          if (pv.kind != VariableKind::kKleene) {
+            status = Status::InvalidArgument(
+                agg->ToString() + " requires a Kleene variable");
+            return;
+          }
+          const SchemaPtr& schema = registry_.schema(pv.type_id);
+          auto attr = schema->GetAttributeIndex(agg->attr_name());
+          if (!attr.ok()) {
+            status = attr.status();
+            return;
+          }
+          agg->Resolve(var, attr.ValueOrDie());
+          // Aggregates summarise the final binding: exit-time requirement,
+          // like COUNT.
+          refs->insert({var, /*exit=*/1});
+          break;
+        }
+        case ExprKind::kCall: {
+          auto* call = static_cast<CallExpr*>(node);
+          status = ResolveCall(call);
+          break;
+        }
+        default:
+          break;
+      }
+    });
+    return status;
+  }
+
+  Status ResolveAttrRef(AttrRefExpr* ref, bool rewrite_current_to_last,
+                        std::set<std::pair<int, int>>* refs) {
+    const int var = out_.query.FindVariable(ref->var_name());
+    if (var < 0) {
+      return Status::NotFound("expression references unknown variable '" +
+                              ref->var_name() + "' in " + ref->ToString());
+    }
+    const PatternVariable& pv = out_.query.pattern[var];
+    const bool is_kleene = pv.kind == VariableKind::kKleene;
+    RefKind kind = ref->ref_kind();
+    if (kind == RefKind::kCurrent && rewrite_current_to_last) {
+      // RETURN is evaluated once per complete match; rewrite b[i] -> b[last].
+      kind = RefKind::kLast;
+    }
+    if (is_kleene && kind == RefKind::kSingle) {
+      return Status::InvalidArgument(
+          "Kleene variable '" + ref->var_name() +
+          "' must be indexed ([i], [i-1], [first], [last]) in " +
+          ref->ToString());
+    }
+    if (!is_kleene && kind != RefKind::kSingle) {
+      return Status::InvalidArgument("variable '" + ref->var_name() +
+                                     "' is not Kleene; use plain '" +
+                                     ref->var_name() + ".attr' in " +
+                                     ref->ToString());
+    }
+    const SchemaPtr& schema = registry_.schema(pv.type_id);
+    CEP_ASSIGN_OR_RETURN(int attr, schema->GetAttributeIndex(ref->attr_name()));
+    if (kind != ref->ref_kind()) ref->set_ref_kind(kind);
+    ref->Resolve(var, attr);
+    // Binding requirement: take-time for [i]/[i-1]/[first] and plain refs,
+    // exit-time for [last] (its final value is only known then).
+    const bool exit_time = is_kleene && ref->ref_kind() == RefKind::kLast &&
+                           !rewrite_current_to_last;
+    refs->insert({var, exit_time ? 1 : 0});
+    return Status::OK();
+  }
+
+  Status ResolveCall(CallExpr* call) {
+    struct BuiltinDef {
+      const char* name;
+      Builtin builtin;
+      size_t arity;
+    };
+    static constexpr BuiltinDef kBuiltins[] = {
+        {"abs", Builtin::kAbs, 1},
+        {"diff", Builtin::kDiff, 2},
+        {"min", Builtin::kMin, 2},
+        {"max", Builtin::kMax, 2},
+    };
+    for (const auto& def : kBuiltins) {
+      if (EqualsIgnoreCase(call->func_name(), def.name)) {
+        if (call->args().size() != def.arity) {
+          return Status::InvalidArgument(StrFormat(
+              "%s() expects %zu argument(s), got %zu", def.name, def.arity,
+              call->args().size()));
+        }
+        call->ResolveBuiltin(def.builtin);
+        return Status::OK();
+      }
+    }
+    return Status::NotFound("unknown function '" + call->func_name() + "'");
+  }
+
+  Status AttachPredicates() {
+    for (auto& conjunct : out_.query.predicates) {
+      std::set<std::pair<int, int>> refs;  // (var index, 0=take/1=exit)
+      int prev_var = -1;
+      CEP_RETURN_NOT_OK(ResolveExpr(conjunct.get(),
+                                    /*rewrite_current_to_last=*/false, &refs,
+                                    &prev_var));
+      if (prev_var >= 0) {
+        // SASE+ semantics: an [i-1] predicate is vacuously true on the first
+        // Kleene take (there is no previous element). Rewrite the conjunct
+        // to `COUNT(b[]) <= 1 OR (conjunct)` — with the virtual append the
+        // count is 1 exactly on the first take. Attachment still follows the
+        // pre-rewrite references (the guard's COUNT is not an exit gate).
+        auto count =
+            std::make_unique<CountExpr>(out_.query.pattern[prev_var].name);
+        count->Resolve(prev_var);
+        auto guard = std::make_unique<BinaryExpr>(
+            BinaryOp::kLe, std::move(count),
+            std::make_unique<LiteralExpr>(Value(1)));
+        conjunct = std::make_unique<BinaryExpr>(
+            BinaryOp::kOr, std::move(guard), std::move(conjunct));
+      }
+      CEP_RETURN_NOT_OK(Attach(conjunct.get(), refs));
+    }
+    return Status::OK();
+  }
+
+  Status Attach(const Expr* conjunct,
+                const std::set<std::pair<int, int>>& refs) {
+    // A conjunct referencing a negated variable is that variable's violation
+    // condition and must not depend on anything bound later.
+    int negated_var = -1;
+    BindPoint latest{-1, AttachPhase::kTake};
+    for (const auto& [var, exit_flag] : refs) {
+      if (out_.query.pattern[var].kind == VariableKind::kNegated) {
+        if (negated_var >= 0 && negated_var != var) {
+          return Status::InvalidArgument(
+              "a WHERE conjunct may reference at most one negated variable: " +
+              conjunct->ToString());
+        }
+        negated_var = var;
+      }
+      const BindPoint point{var, exit_flag ? AttachPhase::kExit
+                                           : AttachPhase::kTake};
+      if (latest < point) latest = point;
+    }
+    if (negated_var >= 0) {
+      if (latest.position > negated_var) {
+        return Status::InvalidArgument(
+            "negation condition references a variable bound after the "
+            "negated variable: " +
+            conjunct->ToString());
+      }
+      out_.attachments[negated_var].take.push_back(conjunct);
+      return Status::OK();
+    }
+    if (latest.position < 0) {
+      // Constant conjunct: gate run creation at the first variable.
+      out_.attachments[0].take.push_back(conjunct);
+      return Status::OK();
+    }
+    if (latest.phase == AttachPhase::kExit) {
+      out_.attachments[latest.position].exit.push_back(conjunct);
+    } else {
+      out_.attachments[latest.position].take.push_back(conjunct);
+    }
+    return Status::OK();
+  }
+
+  Status ResolveReturn() {
+    if (out_.query.return_spec.empty()) return Status::OK();
+    for (auto& item : out_.query.return_spec.items) {
+      std::set<std::pair<int, int>> refs;
+      CEP_RETURN_NOT_OK(ResolveExpr(item.expr.get(),
+                                    /*rewrite_current_to_last=*/true, &refs,
+                                    /*prev_var=*/nullptr));
+      for (const auto& [var, exit_flag] : refs) {
+        (void)exit_flag;
+        if (out_.query.pattern[var].kind == VariableKind::kNegated) {
+          return Status::InvalidArgument(
+              "RETURN cannot reference negated variable '" +
+              out_.query.pattern[var].name + "'");
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  AnalyzedQuery out_;
+  const SchemaRegistry& registry_;
+};
+
+}  // namespace
+
+Result<AnalyzedQuery> Analyze(ParsedQuery query,
+                              const SchemaRegistry& registry) {
+  Analyzer analyzer(std::move(query), registry);
+  return analyzer.Run();
+}
+
+}  // namespace cep

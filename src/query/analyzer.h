@@ -1,0 +1,71 @@
+#ifndef CEPSHED_QUERY_ANALYZER_H_
+#define CEPSHED_QUERY_ANALYZER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "event/schema.h"
+#include "query/ast.h"
+
+namespace cep {
+
+/// Where a predicate conjunct is enforced during evaluation.
+enum class AttachPhase : uint8_t {
+  kTake,  ///< when an event is bound to the variable (take/begin/kill edge)
+  kExit,  ///< when a run leaves a Kleene state (final COUNT / b[last] checks)
+};
+
+/// \brief A semantically validated query with every name resolved and each
+/// WHERE conjunct attached to the earliest evaluation point where all of its
+/// references are bound (predicate pushdown).
+///
+/// Move-only: attachments hold raw pointers into `query.predicates`.
+struct AnalyzedQuery {
+  /// Per pattern-variable conjunct attachment.
+  struct Attachment {
+    /// Evaluated with the candidate event virtually bound to the variable.
+    /// For negated variables these are the *violation* conditions: an event
+    /// satisfying all of them kills the run.
+    std::vector<const Expr*> take;
+    /// Kleene variables only: evaluated when the run proceeds past the
+    /// variable (or at final emission when the Kleene variable is last).
+    std::vector<const Expr*> exit;
+  };
+
+  ParsedQuery query;                    ///< resolved in place
+  std::vector<Attachment> attachments;  ///< parallel to query.pattern
+  int num_positive = 0;                 ///< non-negated pattern variables
+
+  AnalyzedQuery() = default;
+  AnalyzedQuery(AnalyzedQuery&&) = default;
+  AnalyzedQuery& operator=(AnalyzedQuery&&) = default;
+  AnalyzedQuery(const AnalyzedQuery&) = delete;
+  AnalyzedQuery& operator=(const AnalyzedQuery&) = delete;
+
+  const PatternVariable& variable(int index) const {
+    return query.pattern[index];
+  }
+  int num_variables() const { return static_cast<int>(query.pattern.size()); }
+};
+
+/// \brief Validates `query` against `registry` and computes attachments.
+///
+/// Checks performed:
+///  * every event type exists in the registry; attribute references resolve;
+///  * pattern variable names are unique; at least one positive variable;
+///  * Kleene-style references ([i], [i-1], [first], [last], COUNT) are only
+///    applied to Kleene variables, plain `v.attr` only to non-Kleene ones;
+///  * a conjunct references at most one negated variable, and only together
+///    with variables that are bound earlier in the pattern;
+///  * negation is not the first pattern element (nothing anchors the
+///    forbidden interval) and does not directly follow a Kleene variable;
+///    trailing negation is allowed — the engine defers emission until the
+///    window closes (or Engine::Flush);
+///  * builtin function names and arities (abs/1, diff/2, min/2, max/2);
+///  * RETURN expressions reference bound variables ([i] is rewritten to
+///    [last], since RETURN is evaluated once per complete match).
+Result<AnalyzedQuery> Analyze(ParsedQuery query, const SchemaRegistry& registry);
+
+}  // namespace cep
+
+#endif  // CEPSHED_QUERY_ANALYZER_H_

@@ -1,0 +1,105 @@
+#include "query/ast.h"
+
+#include "common/string_util.h"
+
+namespace cep {
+
+const char* VariableKindName(VariableKind kind) {
+  switch (kind) {
+    case VariableKind::kSingle:
+      return "single";
+    case VariableKind::kKleene:
+      return "kleene";
+    case VariableKind::kNegated:
+      return "negated";
+  }
+  return "?";
+}
+
+std::string PatternVariable::ToString() const {
+  switch (kind) {
+    case VariableKind::kSingle:
+      return event_type + " " + name;
+    case VariableKind::kKleene:
+      return event_type + "+ " + name + "[]";
+    case VariableKind::kNegated:
+      return "NOT " + event_type + " " + name;
+  }
+  return "?";
+}
+
+ParsedQuery::ParsedQuery(const ParsedQuery& other)
+    : name(other.name),
+      pattern(other.pattern),
+      window(other.window),
+      return_spec(other.return_spec) {
+  predicates.reserve(other.predicates.size());
+  for (const auto& p : other.predicates) predicates.push_back(p->Clone());
+}
+
+ParsedQuery& ParsedQuery::operator=(const ParsedQuery& other) {
+  if (this == &other) return *this;
+  name = other.name;
+  pattern = other.pattern;
+  window = other.window;
+  return_spec = other.return_spec;
+  predicates.clear();
+  predicates.reserve(other.predicates.size());
+  for (const auto& p : other.predicates) predicates.push_back(p->Clone());
+  return *this;
+}
+
+int ParsedQuery::FindVariable(std::string_view name_arg) const {
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i].name == name_arg) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string FormatDuration(Duration d) {
+  if (d % kHour == 0 && d != 0) {
+    const int64_t h = d / kHour;
+    return StrFormat("%lld hour%s", static_cast<long long>(h),
+                     h == 1 ? "" : "s");
+  }
+  if (d % kMinute == 0 && d != 0) {
+    return StrFormat("%lld min", static_cast<long long>(d / kMinute));
+  }
+  if (d % kSecond == 0 && d != 0) {
+    return StrFormat("%lld sec", static_cast<long long>(d / kSecond));
+  }
+  if (d % kMillisecond == 0 && d != 0) {
+    return StrFormat("%lld ms", static_cast<long long>(d / kMillisecond));
+  }
+  return StrFormat("%lld us", static_cast<long long>(d));
+}
+
+std::string ParsedQuery::ToString() const {
+  std::string out = "PATTERN SEQ(";
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += pattern[i].ToString();
+  }
+  out += ")";
+  if (!predicates.empty()) {
+    out += " WHERE ";
+    std::vector<std::string> parts;
+    parts.reserve(predicates.size());
+    for (const auto& p : predicates) parts.push_back(p->ToString());
+    out += JoinStrings(parts, ", ");
+  }
+  out += " WITHIN " + FormatDuration(window);
+  if (!return_spec.empty()) {
+    out += " RETURN " + return_spec.event_name + "(";
+    std::vector<std::string> parts;
+    parts.reserve(return_spec.items.size());
+    for (const auto& item : return_spec.items) {
+      parts.push_back(item.name + " = " + item.expr->ToString());
+    }
+    out += JoinStrings(parts, ", ");
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace cep

@@ -1,0 +1,90 @@
+#ifndef CEPSHED_QUERY_AST_H_
+#define CEPSHED_QUERY_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "event/schema.h"
+#include "query/expr.h"
+
+namespace cep {
+
+/// How a pattern variable participates in the sequence.
+enum class VariableKind : uint8_t {
+  kSingle,   ///< exactly one event, e.g. `req a`
+  kKleene,   ///< one or more events, e.g. `avail+ b[]`
+  kNegated,  ///< no matching event may occur, e.g. `NOT unlock x`
+};
+
+const char* VariableKindName(VariableKind kind);
+
+/// \brief One variable of the PATTERN SEQ(...) clause.
+struct PatternVariable {
+  std::string event_type;  ///< schema name, e.g. "avail"
+  std::string name;        ///< binding name, e.g. "b"
+  VariableKind kind = VariableKind::kSingle;
+  /// Resolved by the analyzer:
+  EventTypeId type_id = kInvalidEventType;
+
+  std::string ToString() const;
+};
+
+/// \brief One projected output attribute of the RETURN clause.
+struct ReturnItem {
+  std::string name;  ///< output attribute name (defaults to "v<k>")
+  ExprPtr expr;
+
+  ReturnItem() = default;
+  ReturnItem(std::string n, ExprPtr e) : name(std::move(n)), expr(std::move(e)) {}
+  ReturnItem(const ReturnItem& other)
+      : name(other.name), expr(other.expr ? other.expr->Clone() : nullptr) {}
+  ReturnItem& operator=(const ReturnItem& other) {
+    name = other.name;
+    expr = other.expr ? other.expr->Clone() : nullptr;
+    return *this;
+  }
+  ReturnItem(ReturnItem&&) = default;
+  ReturnItem& operator=(ReturnItem&&) = default;
+};
+
+/// \brief RETURN clause: the complex event generated per match.
+struct ReturnSpec {
+  std::string event_name;  ///< output event type, e.g. "warning"
+  std::vector<ReturnItem> items;
+
+  bool empty() const { return event_name.empty(); }
+};
+
+/// \brief Parsed (but not yet analyzed) CEP query:
+/// `PATTERN SEQ(...) WHERE p1, p2, ... WITHIN d RETURN out(...)`.
+///
+/// WHERE conjuncts are kept as separate expressions: the analyzer attaches
+/// each conjunct to the earliest NFA edge where all its references are bound
+/// (predicate pushdown, as in SASE).
+struct ParsedQuery {
+  std::string name;  ///< optional label used in reports
+  std::vector<PatternVariable> pattern;
+  std::vector<ExprPtr> predicates;  ///< implicit conjunction
+  Duration window = 0;
+  ReturnSpec return_spec;
+
+  ParsedQuery() = default;
+  ParsedQuery(ParsedQuery&&) = default;
+  ParsedQuery& operator=(ParsedQuery&&) = default;
+  ParsedQuery(const ParsedQuery& other);
+  ParsedQuery& operator=(const ParsedQuery& other);
+
+  /// Index of the pattern variable called `name`, or -1.
+  int FindVariable(std::string_view name) const;
+
+  /// Round-trippable textual form.
+  std::string ToString() const;
+};
+
+/// Renders a Duration like "10 min" / "3 hours" / "150 us".
+std::string FormatDuration(Duration d);
+
+}  // namespace cep
+
+#endif  // CEPSHED_QUERY_AST_H_

@@ -1,0 +1,87 @@
+#include "query/builder.h"
+
+#include "query/parser.h"
+
+namespace cep {
+
+QueryBuilder::QueryBuilder(std::string name) { query_.name = std::move(name); }
+
+QueryBuilder& QueryBuilder::Seq(std::string event_type, std::string var_name) {
+  query_.pattern.push_back(PatternVariable{
+      std::move(event_type), std::move(var_name), VariableKind::kSingle,
+      kInvalidEventType});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::SeqKleene(std::string event_type,
+                                      std::string var_name) {
+  query_.pattern.push_back(PatternVariable{
+      std::move(event_type), std::move(var_name), VariableKind::kKleene,
+      kInvalidEventType});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::SeqNot(std::string event_type,
+                                   std::string var_name) {
+  query_.pattern.push_back(PatternVariable{
+      std::move(event_type), std::move(var_name), VariableKind::kNegated,
+      kInvalidEventType});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Where(std::string_view expr_text) {
+  if (!error_.ok()) return *this;
+  auto parsed = ParseExpression(expr_text);
+  if (!parsed.ok()) {
+    error_ = parsed.status().WithContext("WHERE '" + std::string(expr_text) +
+                                         "'");
+    return *this;
+  }
+  query_.predicates.push_back(parsed.MoveValueUnsafe());
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Where(ExprPtr expr) {
+  if (!error_.ok()) return *this;
+  if (expr == nullptr) {
+    error_ = Status::InvalidArgument("Where(nullptr)");
+    return *this;
+  }
+  query_.predicates.push_back(std::move(expr));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Within(Duration window) {
+  query_.window = window;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Return(
+    std::string event_name,
+    std::vector<std::pair<std::string, std::string>> items) {
+  if (!error_.ok()) return *this;
+  query_.return_spec.event_name = std::move(event_name);
+  query_.return_spec.items.clear();
+  for (auto& [name, text] : items) {
+    auto parsed = ParseExpression(text);
+    if (!parsed.ok()) {
+      error_ = parsed.status().WithContext("RETURN '" + text + "'");
+      return *this;
+    }
+    query_.return_spec.items.emplace_back(std::move(name),
+                                          parsed.MoveValueUnsafe());
+  }
+  return *this;
+}
+
+Result<AnalyzedQuery> QueryBuilder::Build(const SchemaRegistry& registry) {
+  CEP_RETURN_NOT_OK(error_);
+  return Analyze(std::move(query_), registry);
+}
+
+Result<ParsedQuery> QueryBuilder::BuildParsed() {
+  CEP_RETURN_NOT_OK(error_);
+  return std::move(query_);
+}
+
+}  // namespace cep

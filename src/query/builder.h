@@ -1,0 +1,66 @@
+#ifndef CEPSHED_QUERY_BUILDER_H_
+#define CEPSHED_QUERY_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/analyzer.h"
+#include "query/ast.h"
+
+namespace cep {
+
+/// \brief Fluent programmatic alternative to the SASE text parser.
+///
+/// ```
+/// CEP_ASSIGN_OR_RETURN(
+///     AnalyzedQuery q,
+///     QueryBuilder("reschedule")
+///         .Seq("schedule", "a")
+///         .Seq("fail", "b")
+///         .Seq("schedule", "c")
+///         .Where("a.job_id = b.job_id AND b.job_id = c.job_id")
+///         .Within(3 * kHour)
+///         .Return("resubmission", {{"job", "a.job_id"}})
+///         .Build(registry));
+/// ```
+///
+/// Errors (bad expression text, unknown names) are deferred and reported by
+/// Build(), so call chains stay clean.
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(std::string name = "");
+
+  /// Appends a single-event pattern variable.
+  QueryBuilder& Seq(std::string event_type, std::string var_name);
+  /// Appends a Kleene-plus pattern variable.
+  QueryBuilder& SeqKleene(std::string event_type, std::string var_name);
+  /// Appends a negated pattern variable.
+  QueryBuilder& SeqNot(std::string event_type, std::string var_name);
+
+  /// Adds a WHERE conjunct from expression text (parsed immediately).
+  QueryBuilder& Where(std::string_view expr_text);
+  /// Adds a WHERE conjunct from an expression tree.
+  QueryBuilder& Where(ExprPtr expr);
+
+  QueryBuilder& Within(Duration window);
+
+  /// Sets the RETURN clause; items are (name, expression-text) pairs.
+  QueryBuilder& Return(
+      std::string event_name,
+      std::vector<std::pair<std::string, std::string>> items);
+
+  /// Validates and analyzes against the registry.
+  Result<AnalyzedQuery> Build(const SchemaRegistry& registry);
+
+  /// The raw parsed form (pre-analysis); useful for ToString round trips.
+  Result<ParsedQuery> BuildParsed();
+
+ private:
+  ParsedQuery query_;
+  Status error_;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_QUERY_BUILDER_H_

@@ -1,0 +1,443 @@
+#include "query/expr.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace cep {
+
+const char* RefKindName(RefKind kind) {
+  switch (kind) {
+    case RefKind::kSingle:
+      return "single";
+    case RefKind::kCurrent:
+      return "[i]";
+    case RefKind::kPrev:
+      return "[i-1]";
+    case RefKind::kFirst:
+      return "[first]";
+    case RefKind::kLast:
+      return "[last]";
+  }
+  return "?";
+}
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Literal
+
+Result<Value> LiteralExpr::Eval(const BindingView&) const { return value_; }
+
+ExprPtr LiteralExpr::Clone() const {
+  return std::make_unique<LiteralExpr>(value_);
+}
+
+std::string LiteralExpr::ToString() const {
+  if (value_.is_string()) return "'" + value_.string_value() + "'";
+  return value_.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// AttrRef
+
+Result<Value> AttrRefExpr::Eval(const BindingView& bindings) const {
+  if (!resolved()) {
+    return Status::Internal("unresolved attribute reference " + ToString());
+  }
+  const Event* event = nullptr;
+  switch (ref_kind_) {
+    case RefKind::kSingle:
+      event = bindings.Single(var_index_);
+      break;
+    case RefKind::kCurrent:
+      event = bindings.Current();
+      break;
+    case RefKind::kPrev: {
+      // During take-edge evaluation the candidate event is virtually appended
+      // to the Kleene binding, so "the previous element" is index n-2. On the
+      // first take there is no previous element and the reference yields null
+      // (making [i-1] predicates vacuously true, as in SASE+).
+      const int n = bindings.KleeneCount(var_index_);
+      event = n >= 2 ? bindings.KleeneAt(var_index_, n - 2) : nullptr;
+      break;
+    }
+    case RefKind::kFirst:
+      event = bindings.KleeneAt(var_index_, 0);
+      break;
+    case RefKind::kLast: {
+      const int n = bindings.KleeneCount(var_index_);
+      event = n > 0 ? bindings.KleeneAt(var_index_, n - 1) : nullptr;
+      break;
+    }
+  }
+  if (event == nullptr) return Value::Null();
+  return event->attribute(attr_index_);
+}
+
+ExprPtr AttrRefExpr::Clone() const {
+  auto copy = std::make_unique<AttrRefExpr>(var_name_, ref_kind_, attr_name_);
+  copy->var_index_ = var_index_;
+  copy->attr_index_ = attr_index_;
+  return copy;
+}
+
+std::string AttrRefExpr::ToString() const {
+  switch (ref_kind_) {
+    case RefKind::kSingle:
+      return var_name_ + "." + attr_name_;
+    case RefKind::kCurrent:
+      return var_name_ + "[i]." + attr_name_;
+    case RefKind::kPrev:
+      return var_name_ + "[i-1]." + attr_name_;
+    case RefKind::kFirst:
+      return var_name_ + "[first]." + attr_name_;
+    case RefKind::kLast:
+      return var_name_ + "[last]." + attr_name_;
+  }
+  return var_name_ + ".?" + attr_name_;
+}
+
+// ---------------------------------------------------------------------------
+// Count
+
+Result<Value> CountExpr::Eval(const BindingView& bindings) const {
+  if (!resolved()) {
+    return Status::Internal("unresolved COUNT reference " + ToString());
+  }
+  return Value(static_cast<int64_t>(bindings.KleeneCount(var_index_)));
+}
+
+ExprPtr CountExpr::Clone() const {
+  auto copy = std::make_unique<CountExpr>(var_name_);
+  copy->var_index_ = var_index_;
+  return copy;
+}
+
+std::string CountExpr::ToString() const {
+  return "COUNT(" + var_name_ + "[])";
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate
+
+const char* AggOpName(AggOp op) {
+  switch (op) {
+    case AggOp::kSum: return "SUM";
+    case AggOp::kAvg: return "AVG";
+    case AggOp::kMin: return "MIN";
+    case AggOp::kMax: return "MAX";
+  }
+  return "?";
+}
+
+Result<Value> AggExpr::Eval(const BindingView& bindings) const {
+  if (!resolved()) {
+    return Status::Internal("unresolved aggregate " + ToString());
+  }
+  const int n = bindings.KleeneCount(var_index_);
+  bool any = false;
+  bool all_int = true;
+  int contributing = 0;
+  double sum = 0;
+  int64_t int_sum = 0;
+  Value best;
+  for (int i = 0; i < n; ++i) {
+    const Event* element = bindings.KleeneAt(var_index_, i);
+    if (element == nullptr) continue;
+    const Value& v = element->attribute(attr_index_);
+    if (v.is_null()) continue;
+    switch (op_) {
+      case AggOp::kSum:
+      case AggOp::kAvg: {
+        CEP_ASSIGN_OR_RETURN(double d, v.GetDouble());
+        sum += d;
+        if (v.is_int()) int_sum += v.int_value(); else all_int = false;
+        break;
+      }
+      case AggOp::kMin:
+      case AggOp::kMax: {
+        if (!any) {
+          best = v;
+        } else {
+          CEP_ASSIGN_OR_RETURN(int c, Value::Compare(v, best));
+          if ((op_ == AggOp::kMin && c < 0) ||
+              (op_ == AggOp::kMax && c > 0)) {
+            best = v;
+          }
+        }
+        break;
+      }
+    }
+    any = true;
+    ++contributing;
+  }
+  if (!any) return Value::Null();
+  switch (op_) {
+    case AggOp::kSum:
+      return all_int ? Value(int_sum) : Value(sum);
+    case AggOp::kAvg:
+      return Value(sum / static_cast<double>(contributing));
+    case AggOp::kMin:
+    case AggOp::kMax:
+      return best;
+  }
+  return Status::Internal("unreachable");
+}
+
+ExprPtr AggExpr::Clone() const {
+  auto copy = std::make_unique<AggExpr>(op_, var_name_, attr_name_);
+  copy->var_index_ = var_index_;
+  copy->attr_index_ = attr_index_;
+  return copy;
+}
+
+std::string AggExpr::ToString() const {
+  return std::string(AggOpName(op_)) + "(" + var_name_ + "[]." + attr_name_ +
+         ")";
+}
+
+// ---------------------------------------------------------------------------
+// Unary
+
+Result<Value> UnaryExpr::Eval(const BindingView& bindings) const {
+  CEP_ASSIGN_OR_RETURN(Value v, operand_->Eval(bindings));
+  switch (op_) {
+    case UnaryOp::kNeg:
+      if (v.is_null()) return Value::Null();
+      if (v.is_int()) return Value(-v.int_value());
+      if (v.is_double()) return Value(-v.double_value());
+      return Status::TypeError("cannot negate " +
+                               std::string(ValueTypeName(v.type())));
+    case UnaryOp::kNot:
+      if (v.is_null()) return Value(true);  // NOT null == NOT false
+      if (v.is_bool()) return Value(!v.bool_value());
+      return Status::TypeError("NOT expects bool, got " +
+                               std::string(ValueTypeName(v.type())));
+  }
+  return Status::Internal("unreachable");
+}
+
+ExprPtr UnaryExpr::Clone() const {
+  return std::make_unique<UnaryExpr>(op_, operand_->Clone());
+}
+
+std::string UnaryExpr::ToString() const {
+  return std::string(op_ == UnaryOp::kNeg ? "-" : "NOT ") + "(" +
+         operand_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Binary
+
+namespace {
+
+Result<Value> EvalArithmetic(BinaryOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!a.is_numeric() || !b.is_numeric()) {
+    if (op == BinaryOp::kAdd && a.is_string() && b.is_string()) {
+      return Value(a.string_value() + b.string_value());
+    }
+    return Status::TypeError(StrFormat("operator %s expects numeric operands",
+                                       BinaryOpName(op)));
+  }
+  const bool both_int = a.is_int() && b.is_int();
+  if (both_int && op != BinaryOp::kDiv) {
+    const int64_t x = a.int_value(), y = b.int_value();
+    switch (op) {
+      case BinaryOp::kAdd: return Value(x + y);
+      case BinaryOp::kSub: return Value(x - y);
+      case BinaryOp::kMul: return Value(x * y);
+      case BinaryOp::kMod:
+        if (y == 0) return Status::InvalidArgument("integer modulo by zero");
+        return Value(x % y);
+      default: break;
+    }
+  }
+  const double x = a.AsDouble(), y = b.AsDouble();
+  switch (op) {
+    case BinaryOp::kAdd: return Value(x + y);
+    case BinaryOp::kSub: return Value(x - y);
+    case BinaryOp::kMul: return Value(x * y);
+    case BinaryOp::kDiv:
+      if (y == 0.0) return Status::InvalidArgument("division by zero");
+      return Value(x / y);
+    case BinaryOp::kMod: return Value(std::fmod(x, y));
+    default: break;
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<Value> EvalComparison(BinaryOp op, const Value& a, const Value& b) {
+  // SQL-like: comparisons involving null are false.
+  if (a.is_null() || b.is_null()) return Value(false);
+  if (op == BinaryOp::kEq) return Value(a == b);
+  if (op == BinaryOp::kNe) return Value(a != b);
+  CEP_ASSIGN_OR_RETURN(int c, Value::Compare(a, b));
+  switch (op) {
+    case BinaryOp::kLt: return Value(c < 0);
+    case BinaryOp::kLe: return Value(c <= 0);
+    case BinaryOp::kGt: return Value(c > 0);
+    case BinaryOp::kGe: return Value(c >= 0);
+    default: break;
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<bool> AsBool(const Value& v, const char* op_name) {
+  if (v.is_null()) return false;
+  if (v.is_bool()) return v.bool_value();
+  return Status::TypeError(StrFormat("%s expects bool operands", op_name));
+}
+
+}  // namespace
+
+Result<Value> BinaryExpr::Eval(const BindingView& bindings) const {
+  // Short-circuit logical operators.
+  if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+    CEP_ASSIGN_OR_RETURN(Value lv, left_->Eval(bindings));
+    CEP_ASSIGN_OR_RETURN(bool l, AsBool(lv, BinaryOpName(op_)));
+    if (op_ == BinaryOp::kAnd && !l) return Value(false);
+    if (op_ == BinaryOp::kOr && l) return Value(true);
+    CEP_ASSIGN_OR_RETURN(Value rv, right_->Eval(bindings));
+    CEP_ASSIGN_OR_RETURN(bool r, AsBool(rv, BinaryOpName(op_)));
+    return Value(r);
+  }
+  CEP_ASSIGN_OR_RETURN(Value a, left_->Eval(bindings));
+  CEP_ASSIGN_OR_RETURN(Value b, right_->Eval(bindings));
+  switch (op_) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod:
+      return EvalArithmetic(op_, a, b);
+    default:
+      return EvalComparison(op_, a, b);
+  }
+}
+
+ExprPtr BinaryExpr::Clone() const {
+  return std::make_unique<BinaryExpr>(op_, left_->Clone(), right_->Clone());
+}
+
+std::string BinaryExpr::ToString() const {
+  return "(" + left_->ToString() + " " + BinaryOpName(op_) + " " +
+         right_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Call
+
+Result<Value> CallExpr::Eval(const BindingView& bindings) const {
+  std::vector<Value> values;
+  values.reserve(args_.size());
+  for (const auto& arg : args_) {
+    CEP_ASSIGN_OR_RETURN(Value v, arg->Eval(bindings));
+    if (v.is_null()) return Value::Null();  // null propagates through builtins
+    values.push_back(std::move(v));
+  }
+  const size_t expected_arity = builtin_ == Builtin::kAbs ? 1 : 2;
+  if (builtin_ != Builtin::kUnresolved && values.size() != expected_arity) {
+    return Status::InvalidArgument(
+        StrFormat("%s() expects %zu argument(s), got %zu", func_name_.c_str(),
+                  expected_arity, values.size()));
+  }
+  switch (builtin_) {
+    case Builtin::kUnresolved:
+      return Status::Internal("unresolved function call " + func_name_);
+    case Builtin::kAbs: {
+      CEP_ASSIGN_OR_RETURN(double x, values[0].GetDouble());
+      if (values[0].is_int()) return Value(std::abs(values[0].int_value()));
+      return Value(std::fabs(x));
+    }
+    case Builtin::kDiff: {
+      CEP_ASSIGN_OR_RETURN(double x, values[0].GetDouble());
+      CEP_ASSIGN_OR_RETURN(double y, values[1].GetDouble());
+      return Value(std::fabs(x - y));
+    }
+    case Builtin::kMin:
+    case Builtin::kMax: {
+      CEP_ASSIGN_OR_RETURN(int c, Value::Compare(values[0], values[1]));
+      const bool take_first = (builtin_ == Builtin::kMin) ? c <= 0 : c >= 0;
+      return take_first ? values[0] : values[1];
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+ExprPtr CallExpr::Clone() const {
+  std::vector<ExprPtr> args;
+  args.reserve(args_.size());
+  for (const auto& a : args_) args.push_back(a->Clone());
+  auto copy = std::make_unique<CallExpr>(func_name_, std::move(args));
+  copy->builtin_ = builtin_;
+  return copy;
+}
+
+std::string CallExpr::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(args_.size());
+  for (const auto& a : args_) parts.push_back(a->ToString());
+  return func_name_ + "(" + JoinStrings(parts, ", ") + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Traversal + predicate helper
+
+void VisitExpr(Expr* expr, const std::function<void(Expr*)>& fn) {
+  fn(expr);
+  switch (expr->kind()) {
+    case ExprKind::kUnary:
+      VisitExpr(static_cast<UnaryExpr*>(expr)->mutable_operand(), fn);
+      break;
+    case ExprKind::kBinary: {
+      auto* b = static_cast<BinaryExpr*>(expr);
+      VisitExpr(b->mutable_left(), fn);
+      VisitExpr(b->mutable_right(), fn);
+      break;
+    }
+    case ExprKind::kCall:
+      for (auto& arg : static_cast<CallExpr*>(expr)->mutable_args()) {
+        VisitExpr(arg.get(), fn);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void VisitExpr(const Expr* expr, const std::function<void(const Expr*)>& fn) {
+  VisitExpr(const_cast<Expr*>(expr),
+            [&fn](Expr* e) { fn(const_cast<const Expr*>(e)); });
+}
+
+Result<bool> EvalPredicate(const Expr& expr, const BindingView& bindings) {
+  CEP_ASSIGN_OR_RETURN(Value v, expr.Eval(bindings));
+  if (v.is_null()) return false;
+  if (!v.is_bool()) {
+    return Status::TypeError("predicate did not evaluate to bool: " +
+                             expr.ToString());
+  }
+  return v.bool_value();
+}
+
+}  // namespace cep

@@ -1,0 +1,305 @@
+#ifndef CEPSHED_QUERY_EXPR_H_
+#define CEPSHED_QUERY_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "event/event.h"
+
+namespace cep {
+
+/// \brief Read-only view of the variable bindings of one partial match,
+/// against which WHERE/RETURN expressions are evaluated.
+///
+/// The engine's Run adapts itself to this interface; tests provide simple
+/// map-backed implementations.
+///
+/// Virtual-append contract: while a candidate event is being evaluated
+/// against a take edge of variable v, the view exposes it as if it were
+/// already bound — Single(v) returns it, and for a Kleene v it appears as the
+/// last element (KleeneCount includes it, KleeneAt(v, n-1) returns it, and
+/// Current() returns it). This makes `b[first]` well-defined on the begin
+/// edge and gives `b[i-1]` its SASE meaning (the element taken before the
+/// current one).
+class BindingView {
+ public:
+  virtual ~BindingView() = default;
+
+  /// Event bound to a single (non-Kleene) variable; nullptr if unbound.
+  virtual const Event* Single(int var_index) const = 0;
+
+  /// Number of events taken so far for a Kleene variable.
+  virtual int KleeneCount(int var_index) const = 0;
+
+  /// idx-th taken event of a Kleene variable (0-based); nullptr if OOB.
+  virtual const Event* KleeneAt(int var_index, int idx) const = 0;
+
+  /// The candidate event currently being evaluated against an edge
+  /// (`b[i]` in SASE notation), or nullptr outside edge evaluation.
+  virtual const Event* Current() const = 0;
+};
+
+/// How an attribute reference addresses its variable's binding.
+enum class RefKind : uint8_t {
+  kSingle,   ///< `a.attr` — the event bound to a single variable
+  kCurrent,  ///< `b[i].attr` — the Kleene event being taken right now
+  kPrev,     ///< `b[i-1].attr` — the most recently taken Kleene event
+  kFirst,    ///< `b[first].attr`
+  kLast,     ///< `b[last].attr`
+};
+
+const char* RefKindName(RefKind kind);
+
+enum class ExprKind : uint8_t {
+  kLiteral,
+  kAttrRef,
+  kCount,
+  kAggregate,
+  kUnary,
+  kBinary,
+  kCall,
+};
+
+/// Aggregates over the elements of a Kleene binding.
+enum class AggOp : uint8_t { kSum, kAvg, kMin, kMax };
+
+const char* AggOpName(AggOp op);
+
+enum class UnaryOp : uint8_t { kNeg, kNot };
+
+enum class BinaryOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+/// Builtin scalar functions usable in WHERE / RETURN.
+enum class Builtin : uint8_t {
+  kUnresolved,  ///< parser output before analysis
+  kAbs,         ///< abs(x)
+  kDiff,        ///< diff(x, y) = |x - y|  (the paper's distance predicate)
+  kMin,         ///< min(x, y)
+  kMax,         ///< max(x, y)
+};
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// \brief Node of the expression tree used by WHERE predicates and RETURN
+/// projections.
+///
+/// Parsed expressions carry symbolic names; Analyzer resolves them to
+/// variable/attribute indices in place. Null handling is SQL-like: arithmetic
+/// with a null operand yields null; comparisons with null yield false;
+/// AND/OR treat null as false.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+
+  /// Evaluates against bindings. Returns a Status for genuine errors
+  /// (unresolved reference, type error, division by zero on integers).
+  virtual Result<Value> Eval(const BindingView& bindings) const = 0;
+
+  /// Deep copy.
+  virtual ExprPtr Clone() const = 0;
+
+  /// Human-readable rendering (parseable back for simple expressions).
+  virtual std::string ToString() const = 0;
+
+ protected:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+ private:
+  ExprKind kind_;
+};
+
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value value)
+      : Expr(ExprKind::kLiteral), value_(std::move(value)) {}
+
+  const Value& value() const { return value_; }
+
+  Result<Value> Eval(const BindingView& bindings) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  Value value_;
+};
+
+class AttrRefExpr final : public Expr {
+ public:
+  AttrRefExpr(std::string var_name, RefKind ref_kind, std::string attr_name)
+      : Expr(ExprKind::kAttrRef),
+        var_name_(std::move(var_name)),
+        attr_name_(std::move(attr_name)),
+        ref_kind_(ref_kind) {}
+
+  const std::string& var_name() const { return var_name_; }
+  const std::string& attr_name() const { return attr_name_; }
+  RefKind ref_kind() const { return ref_kind_; }
+
+  bool resolved() const { return var_index_ >= 0; }
+  int var_index() const { return var_index_; }
+  int attr_index() const { return attr_index_; }
+
+  /// Called by the analyzer once names are bound.
+  void Resolve(int var_index, int attr_index) {
+    var_index_ = var_index;
+    attr_index_ = attr_index;
+  }
+
+  /// Analyzer rewrite hook (e.g. `b[i]` -> `b[last]` in RETURN clauses,
+  /// which are evaluated once per complete match, outside edge evaluation).
+  void set_ref_kind(RefKind kind) { ref_kind_ = kind; }
+
+  Result<Value> Eval(const BindingView& bindings) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  std::string var_name_;
+  std::string attr_name_;
+  RefKind ref_kind_;
+  int var_index_ = -1;
+  int attr_index_ = -1;
+};
+
+/// `COUNT(b[])` — number of events taken by a Kleene variable.
+class CountExpr final : public Expr {
+ public:
+  explicit CountExpr(std::string var_name)
+      : Expr(ExprKind::kCount), var_name_(std::move(var_name)) {}
+
+  const std::string& var_name() const { return var_name_; }
+  bool resolved() const { return var_index_ >= 0; }
+  int var_index() const { return var_index_; }
+  void Resolve(int var_index) { var_index_ = var_index; }
+
+  Result<Value> Eval(const BindingView& bindings) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  std::string var_name_;
+  int var_index_ = -1;
+};
+
+/// `SUM(b[].attr)` / `AVG` / `MIN` / `MAX` — aggregate over the attribute
+/// values of a Kleene variable's elements (virtual append included). Null
+/// elements are skipped; an all-null or empty binding yields null.
+class AggExpr final : public Expr {
+ public:
+  AggExpr(AggOp op, std::string var_name, std::string attr_name)
+      : Expr(ExprKind::kAggregate),
+        op_(op),
+        var_name_(std::move(var_name)),
+        attr_name_(std::move(attr_name)) {}
+
+  AggOp op() const { return op_; }
+  const std::string& var_name() const { return var_name_; }
+  const std::string& attr_name() const { return attr_name_; }
+  bool resolved() const { return var_index_ >= 0; }
+  int var_index() const { return var_index_; }
+  int attr_index() const { return attr_index_; }
+  void Resolve(int var_index, int attr_index) {
+    var_index_ = var_index;
+    attr_index_ = attr_index;
+  }
+
+  Result<Value> Eval(const BindingView& bindings) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  AggOp op_;
+  std::string var_name_;
+  std::string attr_name_;
+  int var_index_ = -1;
+  int attr_index_ = -1;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr operand)
+      : Expr(ExprKind::kUnary), op_(op), operand_(std::move(operand)) {}
+
+  UnaryOp op() const { return op_; }
+  const Expr& operand() const { return *operand_; }
+  Expr* mutable_operand() { return operand_.get(); }
+
+  Result<Value> Eval(const BindingView& bindings) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kBinary),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  BinaryOp op() const { return op_; }
+  const Expr& left() const { return *left_; }
+  const Expr& right() const { return *right_; }
+  Expr* mutable_left() { return left_.get(); }
+  Expr* mutable_right() { return right_.get(); }
+
+  Result<Value> Eval(const BindingView& bindings) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  BinaryOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+class CallExpr final : public Expr {
+ public:
+  CallExpr(std::string func_name, std::vector<ExprPtr> args)
+      : Expr(ExprKind::kCall),
+        func_name_(std::move(func_name)),
+        args_(std::move(args)) {}
+
+  const std::string& func_name() const { return func_name_; }
+  Builtin builtin() const { return builtin_; }
+  void ResolveBuiltin(Builtin b) { builtin_ = b; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+  std::vector<ExprPtr>& mutable_args() { return args_; }
+
+  Result<Value> Eval(const BindingView& bindings) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  std::string func_name_;
+  std::vector<ExprPtr> args_;
+  Builtin builtin_ = Builtin::kUnresolved;
+};
+
+/// Applies `fn` to every node of the tree (pre-order). Used by the analyzer.
+void VisitExpr(Expr* expr, const std::function<void(Expr*)>& fn);
+void VisitExpr(const Expr* expr, const std::function<void(const Expr*)>& fn);
+
+/// Evaluates `expr` expecting a boolean outcome; null counts as false.
+Result<bool> EvalPredicate(const Expr& expr, const BindingView& bindings);
+
+}  // namespace cep
+
+#endif  // CEPSHED_QUERY_EXPR_H_

@@ -1,0 +1,198 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace cep {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "<end>";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntLiteral: return "int";
+    case TokenKind::kDoubleLiteral: return "double";
+    case TokenKind::kStringLiteral: return "string";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kBang: return "'!'";
+  }
+  return "?";
+}
+
+std::string Token::ToString() const {
+  if (kind == TokenKind::kIdentifier || kind == TokenKind::kIntLiteral ||
+      kind == TokenKind::kDoubleLiteral || kind == TokenKind::kStringLiteral) {
+    return std::string(TokenKindName(kind)) + " '" + text + "'";
+  }
+  return TokenKindName(kind);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto push = [&](TokenKind kind, size_t offset, std::string spelled = "",
+                  Value value = Value()) {
+    tokens.push_back(Token{kind, std::move(spelled), std::move(value), offset});
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment: -- ... \n
+    if (c == '-' && i + 1 < n && text[i + 1] == '-') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      push(TokenKind::kIdentifier, start, std::string(text.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+      if (j < n && text[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(text[j + 1]))) {
+        is_double = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+      }
+      if (j < n && (text[j] == 'e' || text[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (text[k] == '+' || text[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(text[k]))) {
+          is_double = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+        }
+      }
+      const std::string spelled(text.substr(i, j - i));
+      if (is_double) {
+        CEP_ASSIGN_OR_RETURN(double v, ParseDouble(spelled));
+        push(TokenKind::kDoubleLiteral, start, spelled, Value(v));
+      } else {
+        CEP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(spelled));
+        push(TokenKind::kIntLiteral, start, spelled, Value(v));
+      }
+      i = j;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      std::string out;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (text[j] == quote) {
+          if (j + 1 < n && text[j + 1] == quote) {  // doubled quote escape
+            out += quote;
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        out += text[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu", start));
+      }
+      push(TokenKind::kStringLiteral, start, out, Value(out));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case ',': push(TokenKind::kComma, start); ++i; break;
+      case '(': push(TokenKind::kLParen, start); ++i; break;
+      case ')': push(TokenKind::kRParen, start); ++i; break;
+      case '[': push(TokenKind::kLBracket, start); ++i; break;
+      case ']': push(TokenKind::kRBracket, start); ++i; break;
+      case '.': push(TokenKind::kDot, start); ++i; break;
+      case '+': push(TokenKind::kPlus, start); ++i; break;
+      case '-': push(TokenKind::kMinus, start); ++i; break;
+      case '*': push(TokenKind::kStar, start); ++i; break;
+      case '/': push(TokenKind::kSlash, start); ++i; break;
+      case '%': push(TokenKind::kPercent, start); ++i; break;
+      case '=':
+        if (i + 1 < n && text[i + 1] == '=') i += 2; else ++i;
+        push(TokenKind::kEq, start);
+        break;
+      case '!':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kBang, start);
+          ++i;
+        }
+        break;
+      case '<':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kLe, start);
+          i += 2;
+        } else if (i + 1 < n && text[i + 1] == '>') {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, start);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at offset %zu", c, start));
+    }
+  }
+  push(TokenKind::kEnd, n);
+  return tokens;
+}
+
+}  // namespace cep

@@ -1,0 +1,60 @@
+#ifndef CEPSHED_QUERY_LEXER_H_
+#define CEPSHED_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace cep {
+
+enum class TokenKind : uint8_t {
+  kEnd,
+  kIdentifier,   // names; keywords are detected case-insensitively by parser
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,  // '...' or "..."
+  kComma,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kDot,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kEq,        // = or ==
+  kNe,        // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kBang,      // ! (negated pattern element)
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // identifier / literal spelling
+  Value value;           // parsed literal value
+  size_t offset = 0;     // byte offset into the query text, for diagnostics
+
+  std::string ToString() const;
+};
+
+/// \brief Tokenises SASE query text.
+///
+/// Comments (`-- ... end of line`) and whitespace are skipped. Keywords are
+/// not distinguished here — the parser matches identifiers case-insensitively
+/// so attribute names may shadow keywords in positions where no keyword is
+/// expected.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace cep
+
+#endif  // CEPSHED_QUERY_LEXER_H_

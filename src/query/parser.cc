@@ -1,0 +1,458 @@
+#include "query/parser.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "query/lexer.h"
+
+namespace cep {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> ParseQuery();
+  Result<ExprPtr> ParseExpressionOnly();
+  Result<Duration> ParseDurationOnly();
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+  /// Case-insensitive keyword check on the current identifier token.
+  bool CheckKeyword(std::string_view kw) const {
+    return Check(TokenKind::kIdentifier) && EqualsIgnoreCase(Peek().text, kw);
+  }
+  bool MatchKeyword(std::string_view kw) {
+    if (!CheckKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  Status Expect(TokenKind kind, const char* context) {
+    if (Match(kind)) return Status::OK();
+    return Status::ParseError(StrFormat(
+        "expected %s %s, got %s at offset %zu", TokenKindName(kind), context,
+        Peek().ToString().c_str(), Peek().offset));
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (MatchKeyword(kw)) return Status::OK();
+    return Status::ParseError(StrFormat(
+        "expected keyword %.*s, got %s at offset %zu",
+        static_cast<int>(kw.size()), kw.data(), Peek().ToString().c_str(),
+        Peek().offset));
+  }
+  Result<std::string> ExpectIdentifier(const char* context) {
+    if (!Check(TokenKind::kIdentifier)) {
+      return Status::ParseError(StrFormat(
+          "expected identifier %s, got %s at offset %zu", context,
+          Peek().ToString().c_str(), Peek().offset));
+    }
+    return Advance().text;
+  }
+
+  Result<PatternVariable> ParsePatternElement();
+  Result<Duration> ParseDurationTokens();
+  Result<ReturnSpec> ParseReturnSpec();
+
+  // Expression grammar, lowest to highest precedence.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+  Result<ExprPtr> ParseIdentifierExpr();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<PatternVariable> Parser::ParsePatternElement() {
+  PatternVariable var;
+  if (Match(TokenKind::kBang) || MatchKeyword("NOT")) {
+    var.kind = VariableKind::kNegated;
+  }
+  CEP_ASSIGN_OR_RETURN(var.event_type, ExpectIdentifier("(event type)"));
+  if (Match(TokenKind::kPlus)) {
+    if (var.kind == VariableKind::kNegated) {
+      return Status::ParseError("a pattern element cannot be both negated and Kleene");
+    }
+    var.kind = VariableKind::kKleene;
+  }
+  CEP_ASSIGN_OR_RETURN(var.name, ExpectIdentifier("(variable name)"));
+  // Optional `[]` marker after Kleene variables, as in the SASE papers.
+  if (Match(TokenKind::kLBracket)) {
+    CEP_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "after '[' in pattern"));
+    if (var.kind != VariableKind::kKleene) {
+      return Status::ParseError("'[]' is only valid after a Kleene variable ('" +
+                                var.name + "')");
+    }
+  }
+  return var;
+}
+
+Result<Duration> Parser::ParseDurationTokens() {
+  double amount = 0.0;
+  if (Check(TokenKind::kIntLiteral)) {
+    amount = static_cast<double>(Advance().value.int_value());
+  } else if (Check(TokenKind::kDoubleLiteral)) {
+    amount = Advance().value.double_value();
+  } else {
+    return Status::ParseError(StrFormat("expected duration amount, got %s",
+                                        Peek().ToString().c_str()));
+  }
+  CEP_ASSIGN_OR_RETURN(std::string unit, ExpectIdentifier("(duration unit)"));
+  double scale = 0.0;
+  if (EqualsIgnoreCase(unit, "us") || EqualsIgnoreCase(unit, "micros") ||
+      EqualsIgnoreCase(unit, "microsecond") ||
+      EqualsIgnoreCase(unit, "microseconds")) {
+    scale = kMicrosecond;
+  } else if (EqualsIgnoreCase(unit, "ms") || EqualsIgnoreCase(unit, "millis") ||
+             EqualsIgnoreCase(unit, "millisecond") ||
+             EqualsIgnoreCase(unit, "milliseconds")) {
+    scale = kMillisecond;
+  } else if (EqualsIgnoreCase(unit, "s") || EqualsIgnoreCase(unit, "sec") ||
+             EqualsIgnoreCase(unit, "secs") ||
+             EqualsIgnoreCase(unit, "second") ||
+             EqualsIgnoreCase(unit, "seconds")) {
+    scale = kSecond;
+  } else if (EqualsIgnoreCase(unit, "min") || EqualsIgnoreCase(unit, "mins") ||
+             EqualsIgnoreCase(unit, "minute") ||
+             EqualsIgnoreCase(unit, "minutes")) {
+    scale = kMinute;
+  } else if (EqualsIgnoreCase(unit, "h") || EqualsIgnoreCase(unit, "hour") ||
+             EqualsIgnoreCase(unit, "hours")) {
+    scale = kHour;
+  } else {
+    return Status::ParseError("unknown duration unit '" + unit + "'");
+  }
+  const double micros = amount * scale;
+  if (micros <= 0 || micros > 9.0e18) {
+    return Status::OutOfRange("duration out of range");
+  }
+  return static_cast<Duration>(std::llround(micros));
+}
+
+Result<ReturnSpec> Parser::ParseReturnSpec() {
+  ReturnSpec spec;
+  CEP_ASSIGN_OR_RETURN(spec.event_name, ExpectIdentifier("(output event name)"));
+  CEP_RETURN_NOT_OK(Expect(TokenKind::kLParen, "after RETURN event name"));
+  int k = 0;
+  if (!Check(TokenKind::kRParen)) {
+    do {
+      std::string item_name;
+      // Named item: `ident = expr` (lookahead avoids consuming `a.x = 1`).
+      if (Check(TokenKind::kIdentifier) && Peek(1).kind == TokenKind::kEq) {
+        item_name = Advance().text;
+        Advance();  // '='
+      } else {
+        item_name = StrFormat("v%d", k);
+      }
+      CEP_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+      spec.items.emplace_back(std::move(item_name), std::move(expr));
+      ++k;
+    } while (Match(TokenKind::kComma));
+  }
+  CEP_RETURN_NOT_OK(Expect(TokenKind::kRParen, "closing RETURN clause"));
+  return spec;
+}
+
+Result<ParsedQuery> Parser::ParseQuery() {
+  ParsedQuery query;
+  CEP_RETURN_NOT_OK(ExpectKeyword("PATTERN"));
+  CEP_RETURN_NOT_OK(ExpectKeyword("SEQ"));
+  CEP_RETURN_NOT_OK(Expect(TokenKind::kLParen, "after SEQ"));
+  do {
+    CEP_ASSIGN_OR_RETURN(PatternVariable var, ParsePatternElement());
+    query.pattern.push_back(std::move(var));
+  } while (Match(TokenKind::kComma));
+  CEP_RETURN_NOT_OK(Expect(TokenKind::kRParen, "closing SEQ pattern"));
+
+  if (MatchKeyword("WHERE")) {
+    do {
+      CEP_ASSIGN_OR_RETURN(ExprPtr conjunct, ParseExpr());
+      query.predicates.push_back(std::move(conjunct));
+    } while (Match(TokenKind::kComma));
+  }
+
+  CEP_RETURN_NOT_OK(ExpectKeyword("WITHIN"));
+  CEP_ASSIGN_OR_RETURN(query.window, ParseDurationTokens());
+
+  if (MatchKeyword("RETURN")) {
+    CEP_ASSIGN_OR_RETURN(query.return_spec, ParseReturnSpec());
+  }
+
+  if (!Check(TokenKind::kEnd)) {
+    return Status::ParseError(StrFormat("trailing input after query: %s",
+                                        Peek().ToString().c_str()));
+  }
+  return query;
+}
+
+Result<ExprPtr> Parser::ParseExpressionOnly() {
+  CEP_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+  if (!Check(TokenKind::kEnd)) {
+    return Status::ParseError(StrFormat("trailing input after expression: %s",
+                                        Peek().ToString().c_str()));
+  }
+  return expr;
+}
+
+Result<Duration> Parser::ParseDurationOnly() {
+  CEP_ASSIGN_OR_RETURN(Duration d, ParseDurationTokens());
+  if (!Check(TokenKind::kEnd)) {
+    return Status::ParseError("trailing input after duration");
+  }
+  return d;
+}
+
+Result<ExprPtr> Parser::ParseOr() {
+  CEP_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (MatchKeyword("OR")) {
+    CEP_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  CEP_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (MatchKeyword("AND")) {
+    CEP_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    CEP_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(operand));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  CEP_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+  BinaryOp op;
+  switch (Peek().kind) {
+    case TokenKind::kEq: op = BinaryOp::kEq; break;
+    case TokenKind::kNe: op = BinaryOp::kNe; break;
+    case TokenKind::kLt: op = BinaryOp::kLt; break;
+    case TokenKind::kLe: op = BinaryOp::kLe; break;
+    case TokenKind::kGt: op = BinaryOp::kGt; break;
+    case TokenKind::kGe: op = BinaryOp::kGe; break;
+    default:
+      return left;
+  }
+  Advance();
+  CEP_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+  return std::make_unique<BinaryExpr>(op, std::move(left), std::move(right));
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  CEP_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  for (;;) {
+    BinaryOp op;
+    if (Check(TokenKind::kPlus)) op = BinaryOp::kAdd;
+    else if (Check(TokenKind::kMinus)) op = BinaryOp::kSub;
+    else break;
+    Advance();
+    CEP_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+    left = std::make_unique<BinaryExpr>(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  CEP_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+  for (;;) {
+    BinaryOp op;
+    if (Check(TokenKind::kStar)) op = BinaryOp::kMul;
+    else if (Check(TokenKind::kSlash)) op = BinaryOp::kDiv;
+    else if (Check(TokenKind::kPercent)) op = BinaryOp::kMod;
+    else break;
+    Advance();
+    CEP_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+    left = std::make_unique<BinaryExpr>(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (Match(TokenKind::kMinus)) {
+    CEP_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    return std::make_unique<UnaryExpr>(UnaryOp::kNeg, std::move(operand));
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  if (Check(TokenKind::kIntLiteral) || Check(TokenKind::kDoubleLiteral) ||
+      Check(TokenKind::kStringLiteral)) {
+    return ExprPtr(std::make_unique<LiteralExpr>(Advance().value));
+  }
+  if (Match(TokenKind::kLParen)) {
+    CEP_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+    CEP_RETURN_NOT_OK(Expect(TokenKind::kRParen, "closing '('"));
+    return inner;
+  }
+  if (Check(TokenKind::kIdentifier)) return ParseIdentifierExpr();
+  return Status::ParseError(StrFormat("expected expression, got %s at offset %zu",
+                                      Peek().ToString().c_str(), Peek().offset));
+}
+
+Result<ExprPtr> Parser::ParseIdentifierExpr() {
+  const std::string name = Advance().text;
+
+  // Boolean literals.
+  if (EqualsIgnoreCase(name, "true")) {
+    return ExprPtr(std::make_unique<LiteralExpr>(Value(true)));
+  }
+  if (EqualsIgnoreCase(name, "false")) {
+    return ExprPtr(std::make_unique<LiteralExpr>(Value(false)));
+  }
+
+  // Kleene aggregates: SUM/AVG/MIN/MAX(b[].attr). SUM and AVG are always
+  // aggregates; MIN/MAX fall through to the 2-argument builtins unless the
+  // argument has the b[].attr shape.
+  const bool always_agg =
+      EqualsIgnoreCase(name, "SUM") || EqualsIgnoreCase(name, "AVG");
+  const bool maybe_agg =
+      always_agg || EqualsIgnoreCase(name, "MIN") || EqualsIgnoreCase(name, "MAX");
+  if (maybe_agg && Check(TokenKind::kLParen) &&
+      Peek(1).kind == TokenKind::kIdentifier &&
+      Peek(2).kind == TokenKind::kLBracket &&
+      Peek(3).kind == TokenKind::kRBracket) {
+    Advance();  // '('
+    CEP_ASSIGN_OR_RETURN(std::string var, ExpectIdentifier("in aggregate"));
+    CEP_RETURN_NOT_OK(Expect(TokenKind::kLBracket, "in aggregate"));
+    CEP_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "in aggregate"));
+    CEP_RETURN_NOT_OK(Expect(TokenKind::kDot, "in aggregate"));
+    CEP_ASSIGN_OR_RETURN(std::string attr,
+                         ExpectIdentifier("(aggregate attribute)"));
+    CEP_RETURN_NOT_OK(Expect(TokenKind::kRParen, "closing aggregate"));
+    AggOp op = AggOp::kSum;
+    if (EqualsIgnoreCase(name, "AVG")) op = AggOp::kAvg;
+    else if (EqualsIgnoreCase(name, "MIN")) op = AggOp::kMin;
+    else if (EqualsIgnoreCase(name, "MAX")) op = AggOp::kMax;
+    return ExprPtr(std::make_unique<AggExpr>(op, std::move(var),
+                                             std::move(attr)));
+  }
+  if (always_agg && Check(TokenKind::kLParen)) {
+    return Status::ParseError(name +
+                              "() expects a Kleene aggregate argument "
+                              "like SUM(b[].attr)");
+  }
+
+  // COUNT(b[]) — also accept COUNT(b).
+  if (EqualsIgnoreCase(name, "COUNT") && Check(TokenKind::kLParen)) {
+    Advance();
+    CEP_ASSIGN_OR_RETURN(std::string var, ExpectIdentifier("in COUNT()"));
+    if (Match(TokenKind::kLBracket)) {
+      CEP_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "in COUNT()"));
+    }
+    CEP_RETURN_NOT_OK(Expect(TokenKind::kRParen, "closing COUNT()"));
+    return ExprPtr(std::make_unique<CountExpr>(var));
+  }
+
+  // Function call. Builtin names resolve here so standalone expressions can
+  // evaluate without the analyzer; arity is validated by the analyzer (query
+  // context) and defensively at evaluation time.
+  if (Check(TokenKind::kLParen)) {
+    Advance();
+    std::vector<ExprPtr> args;
+    if (!Check(TokenKind::kRParen)) {
+      do {
+        CEP_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+        args.push_back(std::move(arg));
+      } while (Match(TokenKind::kComma));
+    }
+    CEP_RETURN_NOT_OK(Expect(TokenKind::kRParen, "closing function call"));
+    auto call = std::make_unique<CallExpr>(name, std::move(args));
+    if (EqualsIgnoreCase(name, "abs")) call->ResolveBuiltin(Builtin::kAbs);
+    else if (EqualsIgnoreCase(name, "diff")) call->ResolveBuiltin(Builtin::kDiff);
+    else if (EqualsIgnoreCase(name, "min")) call->ResolveBuiltin(Builtin::kMin);
+    else if (EqualsIgnoreCase(name, "max")) call->ResolveBuiltin(Builtin::kMax);
+    return ExprPtr(std::move(call));
+  }
+
+  // Kleene element reference: var '[' index ']' '.' attr
+  if (Check(TokenKind::kLBracket)) {
+    Advance();
+    RefKind kind;
+    if (MatchKeyword("first")) {
+      kind = RefKind::kFirst;
+    } else if (MatchKeyword("last")) {
+      kind = RefKind::kLast;
+    } else if (CheckKeyword("i")) {
+      Advance();
+      if (Match(TokenKind::kMinus)) {
+        if (!Check(TokenKind::kIntLiteral) || Peek().value.int_value() != 1) {
+          return Status::ParseError("only [i-1] offsets are supported");
+        }
+        Advance();
+        kind = RefKind::kPrev;
+      } else {
+        kind = RefKind::kCurrent;
+      }
+    } else {
+      return Status::ParseError(StrFormat(
+          "expected i, i-1, first, or last inside '%s[...]', got %s",
+          name.c_str(), Peek().ToString().c_str()));
+    }
+    CEP_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "closing Kleene index"));
+    CEP_RETURN_NOT_OK(Expect(TokenKind::kDot, "after Kleene index"));
+    CEP_ASSIGN_OR_RETURN(std::string attr, ExpectIdentifier("(attribute name)"));
+    return ExprPtr(std::make_unique<AttrRefExpr>(name, kind, std::move(attr)));
+  }
+
+  // Plain attribute reference: var '.' attr
+  if (Match(TokenKind::kDot)) {
+    CEP_ASSIGN_OR_RETURN(std::string attr, ExpectIdentifier("(attribute name)"));
+    return ExprPtr(
+        std::make_unique<AttrRefExpr>(name, RefKind::kSingle, std::move(attr)));
+  }
+
+  return Status::ParseError(StrFormat(
+      "expected '.', '[', or '(' after identifier '%s' at offset %zu",
+      name.c_str(), Peek().offset));
+}
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(std::string_view text) {
+  CEP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view text) {
+  CEP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseExpressionOnly();
+}
+
+Result<Duration> ParseDuration(std::string_view text) {
+  CEP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseDurationOnly();
+}
+
+}  // namespace cep

@@ -1,0 +1,44 @@
+#ifndef CEPSHED_QUERY_PARSER_H_
+#define CEPSHED_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace cep {
+
+/// \brief Parses a SASE-style query:
+///
+/// ```
+/// PATTERN SEQ(req a, avail+ b[], unlock c)
+/// WHERE diff(b[i].loc, a.loc) < 5, COUNT(b[]) > 5, c.uid = a.uid
+/// WITHIN 10 min
+/// RETURN warning(loc = a.loc, near = b[last].loc)
+/// ```
+///
+/// * Pattern elements: `type var` (single), `type+ var[]` (Kleene plus),
+///   `NOT type var` / `! type var` (negation).
+/// * WHERE conjuncts are comma-separated; each conjunct is a boolean
+///   expression with `AND`/`OR`/`NOT`, comparisons, arithmetic, and the
+///   builtins `abs`, `diff`, `min`, `max`, plus `COUNT(b[])`.
+/// * Kleene attribute references: `b[i].x` (element being taken),
+///   `b[i-1].x` (previous element), `b[first].x`, `b[last].x`.
+/// * WITHIN takes a number and a unit: us, ms, sec, min, hour(s).
+/// * RETURN items may be named (`name = expr`); unnamed items get v0, v1, ...
+///
+/// Line comments start with `--`.
+///
+/// The result is *unresolved*: run Analyzer (query/analyzer.h) to bind names
+/// against a SchemaRegistry before compiling to an NFA.
+Result<ParsedQuery> ParseQuery(std::string_view text);
+
+/// Parses a standalone expression (testing / tooling convenience).
+Result<ExprPtr> ParseExpression(std::string_view text);
+
+/// Parses "<number> <unit>" into a Duration.
+Result<Duration> ParseDuration(std::string_view text);
+
+}  // namespace cep
+
+#endif  // CEPSHED_QUERY_PARSER_H_

@@ -1,0 +1,24 @@
+#include "shedding/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cep {
+
+size_t ComputeShedTarget(const ShedAmountOptions& options, size_t num_runs,
+                         double latency_micros, double threshold_micros) {
+  if (num_runs == 0) return 0;
+  double fraction = options.fraction;
+  if (options.mode == ShedAmountOptions::Mode::kAdaptive &&
+      threshold_micros > 0 && latency_micros > threshold_micros) {
+    const double overshoot = latency_micros / threshold_micros - 1.0;
+    fraction += options.adaptive_gain * options.fraction * overshoot;
+  }
+  fraction = std::clamp(fraction, 0.0, options.max_fraction);
+  auto target = static_cast<size_t>(
+      std::llround(fraction * static_cast<double>(num_runs)));
+  target = std::max(target, std::min(options.min_victims, num_runs));
+  return std::min(target, num_runs);
+}
+
+}  // namespace cep

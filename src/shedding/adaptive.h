@@ -1,0 +1,26 @@
+#ifndef CEPSHED_SHEDDING_ADAPTIVE_H_
+#define CEPSHED_SHEDDING_ADAPTIVE_H_
+
+#include <cstddef>
+
+#include "engine/options.h"
+
+namespace cep {
+
+/// \brief Computes how many partial matches to drop for one overload episode.
+///
+/// kFixedFraction reproduces the paper's evaluation setting ("load shedding
+/// affects 20% of the partial matches"). kAdaptive implements the §VI
+/// follow-up idea — scale the amount with the severity of the overload:
+///
+///   fraction = min(max_fraction, fraction + gain · fraction · (µ/θ - 1))
+///
+/// so a latency just past the threshold sheds barely more than the base
+/// fraction while a 5× overshoot sheds aggressively. Always returns at least
+/// `min_victims` (when any runs exist) so a trigger makes progress.
+size_t ComputeShedTarget(const ShedAmountOptions& options, size_t num_runs,
+                         double latency_micros, double threshold_micros);
+
+}  // namespace cep
+
+#endif  // CEPSHED_SHEDDING_ADAPTIVE_H_

@@ -1,0 +1,53 @@
+#ifndef CEPSHED_SHEDDING_CONTRIBUTION_MODEL_H_
+#define CEPSHED_SHEDDING_CONTRIBUTION_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "shedding/model_backend.h"
+
+namespace cep {
+
+/// \brief Learned contribution model C+(r|t) (paper §IV-A, Algorithm 1).
+///
+/// Cells are keyed by (partial-match hash, NFA state, relative time slice).
+/// Observe(key) counts a partial match entering the cell; Credit(trail)
+/// credits one complete match to every cell the producing run's lineage
+/// passed through. The estimate for a live partial match is then
+///
+///   C+(r|t) = |M_r(t)| / |R_r(t)| = matches credited / runs observed
+///
+/// i.e. the empirical per-run match yield of "similar partial matches at the
+/// same relative time point".
+class ContributionModel {
+ public:
+  explicit ContributionModel(std::unique_ptr<CounterBackend> backend)
+      : backend_(std::move(backend)) {}
+
+  /// A run entered model cell `key` (on creation or extension).
+  void Observe(uint64_t key) { backend_->Add(key, 0.0, 1.0); }
+
+  /// A complete match was produced by a run with this model trail.
+  void Credit(const std::vector<uint64_t>& trail) {
+    for (const uint64_t key : trail) backend_->Add(key, 1.0, 0.0);
+  }
+
+  /// Expected remaining contribution of a partial match currently in `key`.
+  /// Unseen cells return `optimism` — the prior for novel state (an
+  /// optimistic prior avoids starving never-before-seen groups).
+  double Estimate(uint64_t key, double optimism) const {
+    return backend_->Ratio(key, optimism);
+  }
+
+  double Support(uint64_t key) const { return backend_->Support(key); }
+  const CounterBackend& backend() const { return *backend_; }
+  CounterBackend* mutable_backend() { return backend_.get(); }
+  void Clear() { backend_->Clear(); }
+
+ private:
+  std::unique_ptr<CounterBackend> backend_;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_SHEDDING_CONTRIBUTION_MODEL_H_

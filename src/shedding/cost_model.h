@@ -1,0 +1,50 @@
+#ifndef CEPSHED_SHEDDING_COST_MODEL_H_
+#define CEPSHED_SHEDDING_COST_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "shedding/model_backend.h"
+
+namespace cep {
+
+/// \brief Learned resource-consumption model C-(r|t) (paper §IV-B).
+///
+/// Mechanically the mirror image of ContributionModel: Observe(key) counts a
+/// run entering the cell, Charge(trail) charges one *derived* partial match
+/// to every cell on the parent's lineage whenever a child run is created
+/// from it. The estimate
+///
+///   C-(r|t) = derived runs / runs observed
+///
+/// predicts how many further partial matches a live run will spawn in its
+/// remaining TTL — the processing and memory cost of keeping it.
+class CostModel {
+ public:
+  explicit CostModel(std::unique_ptr<CounterBackend> backend)
+      : backend_(std::move(backend)) {}
+
+  void Observe(uint64_t key) { backend_->Add(key, 0.0, 1.0); }
+
+  /// A new run was derived from a parent with this model trail.
+  void Charge(const std::vector<uint64_t>& trail) {
+    for (const uint64_t key : trail) backend_->Add(key, 1.0, 0.0);
+  }
+
+  /// Unseen cells return `pessimism`, the prior cost for novel state.
+  double Estimate(uint64_t key, double pessimism) const {
+    return backend_->Ratio(key, pessimism);
+  }
+
+  double Support(uint64_t key) const { return backend_->Support(key); }
+  const CounterBackend& backend() const { return *backend_; }
+  CounterBackend* mutable_backend() { return backend_.get(); }
+  void Clear() { backend_->Clear(); }
+
+ private:
+  std::unique_ptr<CounterBackend> backend_;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_SHEDDING_COST_MODEL_H_

@@ -1,0 +1,33 @@
+#include "shedding/input_shedder.h"
+
+#include <algorithm>
+
+namespace cep {
+
+void InputShedder::Attach(const Nfa& nfa) {
+  // Resolve type utilities against the query's event types. Types not named
+  // in the map get utility 0 (fully droppable).
+  EventTypeId max_type = 0;
+  for (const auto& var : nfa.query().pattern) {
+    max_type = std::max(max_type, var.type_id);
+  }
+  drop_prob_by_type_.assign(max_type + 1, options_.drop_probability);
+  for (const auto& var : nfa.query().pattern) {
+    const auto it = options_.type_utility.find(var.event_type);
+    if (it != options_.type_utility.end()) {
+      const double utility = std::clamp(it->second, 0.0, 1.0);
+      drop_prob_by_type_[var.type_id] =
+          options_.drop_probability * (1.0 - utility);
+    }
+  }
+}
+
+bool InputShedder::ShouldDropEvent(const Event& event, bool overloaded) {
+  if (options_.only_when_overloaded && !overloaded) return false;
+  const double p = event.type() < drop_prob_by_type_.size()
+                       ? drop_prob_by_type_[event.type()]
+                       : options_.drop_probability;
+  return rng_.NextBernoulli(p);
+}
+
+}  // namespace cep

@@ -1,0 +1,60 @@
+#ifndef CEPSHED_SHEDDING_INPUT_SHEDDER_H_
+#define CEPSHED_SHEDDING_INPUT_SHEDDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "shedding/shedder.h"
+
+namespace cep {
+
+/// \brief Configuration of the input-based baseline.
+struct InputShedderOptions {
+  /// Probability of dropping an arriving event while overloaded.
+  double drop_probability = 0.2;
+  /// Drop only while µ(t) > θ (true) or unconditionally (false).
+  bool only_when_overloaded = true;
+  /// Optional per-event-type utilities in [0, 1]: the effective drop
+  /// probability for a type is drop_probability · (1 - utility). This models
+  /// He et al.'s pre-defined weights; an empty map treats all types equally
+  /// (pure random input shedding).
+  std::unordered_map<std::string, double> type_utility;
+  uint64_t seed = 0x1b75;
+};
+
+/// \brief Input-based load shedding (the classical stream-processing
+/// approach the paper argues against, §I/§II): drops events *before* they
+/// reach the automaton. Never discards partial matches — SelectVictims is a
+/// no-op, so overload persists until enough input has been dropped.
+class InputShedder final : public Shedder {
+ public:
+  explicit InputShedder(InputShedderOptions options)
+      : options_(std::move(options)), rng_(options_.seed) {}
+
+  std::string name() const override { return "IBLS"; }
+
+  void Attach(const Nfa& nfa) override;
+
+  bool ShouldDropEvent(const Event& event, bool overloaded) override;
+
+  void SelectVictims(const std::vector<std::unique_ptr<Run>>& runs,
+                     Timestamp now, size_t target,
+                     std::vector<size_t>* victims) override {
+    (void)runs;
+    (void)now;
+    (void)target;
+    (void)victims;  // input-based: state is never shed
+  }
+
+ private:
+  InputShedderOptions options_;
+  Rng rng_;
+  /// Per type id: effective drop probability (resolved in Attach).
+  std::vector<double> drop_prob_by_type_;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_SHEDDING_INPUT_SHEDDER_H_

@@ -1,0 +1,64 @@
+#include "shedding/model_backend.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/string_util.h"
+
+namespace cep {
+
+void ExactCounterBackend::Add(uint64_t key, double num_delta,
+                              double den_delta) {
+  Cell& cell = cells_[key];
+  cell.num += num_delta;
+  cell.den += den_delta;
+}
+
+double ExactCounterBackend::Ratio(uint64_t key, double fallback) const {
+  const auto it = cells_.find(key);
+  if (it == cells_.end() || it->second.den <= 0) return fallback;
+  return it->second.num / it->second.den;
+}
+
+double ExactCounterBackend::Support(uint64_t key) const {
+  const auto it = cells_.find(key);
+  return it == cells_.end() ? 0.0 : it->second.den;
+}
+
+Status ExactCounterBackend::Save(std::ostream& out) const {
+  out << "exact " << cells_.size() << "\n";
+  for (const auto& [key, cell] : cells_) {
+    out << key << " " << cell.num << " " << cell.den << "\n";
+  }
+  if (!out) return Status::IoError("failed writing exact backend");
+  return Status::OK();
+}
+
+Status ExactCounterBackend::Load(std::istream& in) {
+  std::string tag;
+  size_t n = 0;
+  if (!(in >> tag >> n) || tag != "exact") {
+    return Status::ParseError("not an exact-backend snapshot");
+  }
+  cells_.clear();
+  cells_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t key = 0;
+    Cell cell;
+    if (!(in >> key >> cell.num >> cell.den)) {
+      return Status::ParseError(
+          StrFormat("truncated exact-backend snapshot at cell %zu", i));
+    }
+    cells_.emplace(key, cell);
+  }
+  return Status::OK();
+}
+
+size_t ExactCounterBackend::MemoryBytes() const {
+  // Bucket array + nodes; close enough for reporting.
+  return cells_.bucket_count() * sizeof(void*) +
+         cells_.size() * (sizeof(uint64_t) + 2 * sizeof(double) +
+                          2 * sizeof(void*));
+}
+
+}  // namespace cep

@@ -1,0 +1,74 @@
+#ifndef CEPSHED_SHEDDING_MODEL_BACKEND_H_
+#define CEPSHED_SHEDDING_MODEL_BACKEND_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace cep {
+
+/// \brief Storage for the ratio statistics behind the contribution and
+/// resource-consumption models: per key, a numerator (matches produced /
+/// runs derived) and a denominator (runs observed).
+///
+/// Two implementations: an exact hash table (default) and a count-min sketch
+/// (shedding/sketch.h) that bounds memory at the price of overestimated
+/// counts — the paper's §VI "more efficient data structures, for instance
+/// based on sketching".
+class CounterBackend {
+ public:
+  virtual ~CounterBackend() = default;
+
+  virtual void Add(uint64_t key, double num_delta, double den_delta) = 0;
+
+  /// num/den for `key`; `fallback` when the key was never observed.
+  virtual double Ratio(uint64_t key, double fallback) const = 0;
+
+  /// Denominator for `key` (0 when unseen) — the model's support.
+  virtual double Support(uint64_t key) const = 0;
+
+  /// Approximate memory footprint in bytes (reporting only).
+  virtual size_t MemoryBytes() const = 0;
+
+  virtual void Clear() = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Serialises the backend to a line-oriented text stream and restores it.
+  /// Load replaces the current contents; the stream must have been written
+  /// by a backend of the same type and shape.
+  virtual Status Save(std::ostream& out) const = 0;
+  virtual Status Load(std::istream& in) = 0;
+};
+
+/// \brief Exact open-hashing backend (unordered_map).
+class ExactCounterBackend final : public CounterBackend {
+ public:
+  ExactCounterBackend() = default;
+
+  void Add(uint64_t key, double num_delta, double den_delta) override;
+  double Ratio(uint64_t key, double fallback) const override;
+  double Support(uint64_t key) const override;
+  size_t MemoryBytes() const override;
+  void Clear() override { cells_.clear(); }
+  std::string name() const override { return "exact"; }
+  Status Save(std::ostream& out) const override;
+  Status Load(std::istream& in) override;
+
+  size_t num_cells() const { return cells_.size(); }
+
+ private:
+  struct Cell {
+    double num = 0;
+    double den = 0;
+  };
+  std::unordered_map<uint64_t, Cell> cells_;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_SHEDDING_MODEL_BACKEND_H_

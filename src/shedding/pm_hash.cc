@@ -1,0 +1,69 @@
+#include "shedding/pm_hash.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace cep {
+
+Status PmHasher::Attach(const Nfa& nfa, const SchemaRegistry& registry) {
+  selected_.assign(registry.num_types(), {});
+  std::vector<bool> has_selector(registry.num_types(), false);
+  for (const auto& sel : options_.attributes) {
+    CEP_ASSIGN_OR_RETURN(EventTypeId type, registry.GetType(sel.event_type));
+    CEP_ASSIGN_OR_RETURN(int attr,
+                         registry.schema(type)->GetAttributeIndex(sel.attribute));
+    selected_[type].push_back(attr);
+    has_selector[type] = true;
+  }
+  // Types referenced by the query but without explicit selectors hash all
+  // attributes when the selector list is empty; with a non-empty selector
+  // list, unselected types contribute only their type id.
+  (void)nfa;
+  attached_ = true;
+  return Status::OK();
+}
+
+uint64_t PmHasher::EventHash(const Event& event) const {
+  uint64_t h = Mix64(0x70c1 + event.type());
+  const auto bucket = [this](const Value& v) -> uint64_t {
+    if (options_.numeric_bucket_width > 0 && v.is_numeric()) {
+      const double b =
+          std::floor(v.AsDouble() / options_.numeric_bucket_width);
+      return Mix64(static_cast<uint64_t>(static_cast<int64_t>(b)) ^
+                   0xb0c4e7);
+    }
+    return v.Hash();
+  };
+  if (!dynamic_ && attached_ && event.type() < selected_.size() &&
+      !options_.attributes.empty()) {
+    for (const int idx : selected_[event.type()]) {
+      h = HashCombine(h, bucket(event.attribute(idx)));
+    }
+    return h;
+  }
+  if (dynamic_ && !options_.attributes.empty()) {
+    for (const auto& sel : options_.attributes) {
+      if (sel.event_type != event.schema().name()) continue;
+      const int idx = event.schema().FindAttribute(sel.attribute);
+      if (idx >= 0) h = HashCombine(h, bucket(event.attribute(idx)));
+    }
+    return h;
+  }
+  // Default: all attributes.
+  for (size_t i = 0; i < event.num_attributes(); ++i) {
+    h = HashCombine(h, bucket(event.attribute(static_cast<int>(i))));
+  }
+  return h;
+}
+
+uint64_t PmHasher::HashRun(const Run& run) const {
+  uint64_t h = 0;
+  const auto bindings = run.CopyBindings();
+  for (const auto& events : bindings) {
+    for (const auto& e : events) h = Extend(h, *e);
+  }
+  return h;
+}
+
+}  // namespace cep

@@ -1,0 +1,76 @@
+#ifndef CEPSHED_SHEDDING_PM_HASH_H_
+#define CEPSHED_SHEDDING_PM_HASH_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/run.h"
+#include "event/schema.h"
+#include "nfa/nfa.h"
+
+namespace cep {
+
+/// \brief Configuration of the partial-match hash used to group "similar"
+/// partial matches in the contribution / resource-consumption models.
+///
+/// The paper groups partial matches that "had the same characteristics in
+/// terms of attribute values". Which attributes characterise a partial match
+/// is workload knowledge: identifiers that are unique per entity (job id,
+/// user id) would make every partial match its own group and destroy
+/// generalisation, while categorical attributes (machine, priority, area)
+/// carry the regularity the models exploit. `attributes` therefore lists the
+/// (event type, attribute) pairs to hash; an empty list hashes every
+/// attribute of every bound event.
+struct PmHashOptions {
+  struct AttrSelector {
+    std::string event_type;
+    std::string attribute;
+  };
+  std::vector<AttrSelector> attributes;
+  /// Numeric values are bucketed to multiples of this width before hashing
+  /// (0 = exact). Lets continuous attributes (location, load) generalise.
+  double numeric_bucket_width = 0.0;
+};
+
+/// \brief Incremental partial-match hasher.
+///
+/// The hash of a run is the order-insensitive combination of its bound
+/// events' selected attribute hashes, maintained incrementally: extending a
+/// run costs one EventHash + one combine, satisfying the paper's
+/// constant-time requirement.
+class PmHasher {
+ public:
+  explicit PmHasher(PmHashOptions options) : options_(std::move(options)) {}
+
+  /// Resolves attribute selectors against the query's event types.
+  Status Attach(const Nfa& nfa, const SchemaRegistry& registry);
+  /// Registry-free attach: selectors resolve by name at hash time (slower;
+  /// used when no registry is available).
+  void AttachDynamic() { dynamic_ = true; }
+
+  /// Hash contribution of one event.
+  uint64_t EventHash(const Event& event) const;
+
+  /// Extends a run hash with one more bound event (commutative combine).
+  uint64_t Extend(uint64_t run_hash, const Event& event) const {
+    // Addition keeps the combination order-insensitive, so Kleene bindings
+    // that differ only in arrival order group together.
+    return run_hash + (EventHash(event) | 1);
+  }
+
+  /// Recomputes from scratch (tests / victims of unknown provenance).
+  uint64_t HashRun(const Run& run) const;
+
+  const PmHashOptions& options() const { return options_; }
+
+ private:
+  PmHashOptions options_;
+  bool dynamic_ = false;
+  /// Resolved: per event type id, attribute indices to hash (empty = all).
+  std::vector<std::vector<int>> selected_;
+  bool attached_ = false;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_SHEDDING_PM_HASH_H_

@@ -1,0 +1,54 @@
+#include "shedding/random_shedder.h"
+
+#include <algorithm>
+
+namespace cep {
+
+void RandomShedder::SelectVictims(const std::vector<std::unique_ptr<Run>>& runs,
+                                  Timestamp now, size_t target,
+                                  std::vector<size_t>* victims) {
+  (void)now;
+  std::vector<size_t> alive;
+  alive.reserve(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i] != nullptr) alive.push_back(i);
+  }
+  target = std::min(target, alive.size());
+  // Partial Fisher–Yates: the first `target` entries become a uniform sample
+  // without replacement.
+  for (size_t i = 0; i < target; ++i) {
+    const size_t j = i + rng_.NextBounded(alive.size() - i);
+    std::swap(alive[i], alive[j]);
+    victims->push_back(alive[i]);
+  }
+}
+
+void TtlShedder::SelectVictims(const std::vector<std::unique_ptr<Run>>& runs,
+                               Timestamp now, size_t target,
+                               std::vector<size_t>* victims) {
+  (void)now;
+  struct Candidate {
+    Timestamp start_ts;
+    size_t index;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i] != nullptr) {
+      candidates.push_back(Candidate{runs[i]->start_ts(), i});
+    }
+  }
+  if (candidates.empty()) return;
+  target = std::min(target, candidates.size());
+  // Oldest first == least remaining TTL first.
+  std::nth_element(candidates.begin(), candidates.begin() + (target - 1),
+                   candidates.end(), [](const Candidate& a, const Candidate& b) {
+                     if (a.start_ts != b.start_ts) {
+                       return a.start_ts < b.start_ts;
+                     }
+                     return a.index < b.index;
+                   });
+  for (size_t i = 0; i < target; ++i) victims->push_back(candidates[i].index);
+}
+
+}  // namespace cep

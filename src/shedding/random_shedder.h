@@ -1,0 +1,44 @@
+#ifndef CEPSHED_SHEDDING_RANDOM_SHEDDER_H_
+#define CEPSHED_SHEDDING_RANDOM_SHEDDER_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "shedding/shedder.h"
+
+namespace cep {
+
+/// \brief RBLS — random shedding of partial matches (the paper's Table II
+/// baseline). No models, no learning; victims are a uniform sample of R(t).
+class RandomShedder final : public Shedder {
+ public:
+  explicit RandomShedder(uint64_t seed) : rng_(seed) {}
+
+  std::string name() const override { return "RBLS"; }
+
+  void SelectVictims(const std::vector<std::unique_ptr<Run>>& runs,
+                     Timestamp now, size_t target,
+                     std::vector<size_t>* victims) override;
+
+ private:
+  Rng rng_;
+};
+
+/// \brief Expiring-first heuristic: sheds the partial matches with the least
+/// remaining TTL (the intuition of the paper's §I example — matches about to
+/// expire are the least likely to still complete). Model-free ablation
+/// baseline between RBLS and SBLS.
+class TtlShedder final : public Shedder {
+ public:
+  TtlShedder() = default;
+
+  std::string name() const override { return "TTL"; }
+
+  void SelectVictims(const std::vector<std::unique_ptr<Run>>& runs,
+                     Timestamp now, size_t target,
+                     std::vector<size_t>* victims) override;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_SHEDDING_RANDOM_SHEDDER_H_

@@ -1,0 +1,42 @@
+#include "shedding/scoring.h"
+
+namespace cep {
+
+const char* RankingFunctionName(RankingFunction fn) {
+  switch (fn) {
+    case RankingFunction::kLinear:
+      return "linear";
+    case RankingFunction::kRatio:
+      return "ratio";
+    case RankingFunction::kContributionOnly:
+      return "contribution-only";
+    case RankingFunction::kCostOnly:
+      return "cost-only";
+    case RankingFunction::kTtlDiscounted:
+      return "ttl-discounted";
+  }
+  return "?";
+}
+
+double ScorePartialMatch(const ScoringOptions& options, double contribution,
+                         double cost, double ttl_fraction) {
+  switch (options.function) {
+    case RankingFunction::kLinear:
+      return options.weight_contribution * contribution -
+             options.weight_cost * cost;
+    case RankingFunction::kRatio:
+      return (contribution + options.ratio_epsilon) /
+             (cost + options.ratio_epsilon);
+    case RankingFunction::kContributionOnly:
+      return options.weight_contribution * contribution;
+    case RankingFunction::kCostOnly:
+      return -options.weight_cost * cost;
+    case RankingFunction::kTtlDiscounted:
+      return (options.weight_contribution * contribution -
+              options.weight_cost * cost) *
+             ttl_fraction;
+  }
+  return 0.0;
+}
+
+}  // namespace cep

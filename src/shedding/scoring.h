@@ -1,0 +1,43 @@
+#ifndef CEPSHED_SHEDDING_SCORING_H_
+#define CEPSHED_SHEDDING_SCORING_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cep {
+
+/// Ranking functions for partial matches (paper §IV-C uses the linear
+/// combination; §VI plans "different types of ranking functions").
+enum class RankingFunction : uint8_t {
+  /// score = w+ · C+ - w- · C-  (the paper's scoring function)
+  kLinear,
+  /// score = (C+ + ε) / (C- + ε) — scale-free benefit/cost ratio
+  kRatio,
+  /// score = C+ only (ignore cost)
+  kContributionOnly,
+  /// score = -C- only (ignore contribution)
+  kCostOnly,
+  /// score = (w+ · C+ - w- · C-) · ttl_fraction — discounts matches about to
+  /// expire (they can neither contribute nor cost much longer)
+  kTtlDiscounted,
+};
+
+const char* RankingFunctionName(RankingFunction fn);
+
+/// \brief Parameters of the partial-match score. Runs with the LOWEST score
+/// are shed first.
+struct ScoringOptions {
+  RankingFunction function = RankingFunction::kLinear;
+  double weight_contribution = 1.0;  ///< w+ (Figure 1 sweeps this)
+  double weight_cost = 1.0;          ///< w-
+  double ratio_epsilon = 1e-3;       ///< ε for kRatio
+};
+
+/// Scores one partial match given its model estimates and remaining TTL
+/// fraction in [0, 1]. O(1).
+double ScorePartialMatch(const ScoringOptions& options, double contribution,
+                         double cost, double ttl_fraction);
+
+}  // namespace cep
+
+#endif  // CEPSHED_SHEDDING_SCORING_H_

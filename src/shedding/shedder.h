@@ -1,0 +1,92 @@
+#ifndef CEPSHED_SHEDDING_SHEDDER_H_
+#define CEPSHED_SHEDDING_SHEDDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "engine/run.h"
+#include "nfa/nfa.h"
+
+namespace cep {
+
+/// \brief Pluggable load-shedding strategy.
+///
+/// The engine drives the strategy through two channels:
+///
+///  * *Learning hooks* — called on every run lifecycle transition so that
+///    model-based strategies (state_shedder.h) can maintain their
+///    contribution and resource-consumption statistics online. Hooks must be
+///    O(1): the paper requires shedding decisions in constant time, and the
+///    hooks are on the hot path even when the system is not overloaded.
+///  * *Shedding decisions* — when overload is detected (µ(t) > θ), the
+///    engine asks for `target` victims among the active runs; for
+///    input-based baselines, ShouldDropEvent() can discard events before
+///    they are processed.
+class Shedder {
+ public:
+  virtual ~Shedder() = default;
+
+  /// Strategy name used in experiment reports ("SBLS", "RBLS", ...).
+  virtual std::string name() const = 0;
+
+  /// Called once before processing starts.
+  virtual void Attach(const Nfa& nfa) { (void)nfa; }
+
+  // --- learning hooks -------------------------------------------------------
+
+  /// A run was created at the initial state with `event` bound.
+  virtual void OnRunCreated(Run* run, const Event& event, Timestamp now) {
+    (void)run;
+    (void)event;
+    (void)now;
+  }
+
+  /// `child` was derived from `parent` by a take transition binding `event`
+  /// (the child already has it bound). `parent` is nullptr when the child
+  /// was mutated in place (non-STAM selection strategies).
+  virtual void OnRunExtended(const Run* parent, Run* child, const Event& event,
+                             Timestamp now) {
+    (void)parent;
+    (void)child;
+    (void)event;
+    (void)now;
+  }
+
+  /// `run` just produced a complete match.
+  virtual void OnMatchEmitted(const Run& run, Timestamp now) {
+    (void)run;
+    (void)now;
+  }
+
+  /// `run` left R(t) because its window closed.
+  virtual void OnRunExpired(const Run& run, Timestamp now) {
+    (void)run;
+    (void)now;
+  }
+
+  // --- shedding decisions ----------------------------------------------------
+
+  /// Input-based shedding: return true to drop `event` unprocessed.
+  /// `overloaded` reflects µ(t) > θ at arrival time.
+  virtual bool ShouldDropEvent(const Event& event, bool overloaded) {
+    (void)event;
+    (void)overloaded;
+    return false;
+  }
+
+  /// State-based shedding: append the indices (into `runs`) of up to
+  /// `target` victims to `victims`. Entries may be null (already dead this
+  /// round) and must be skipped. Called only when the engine detected
+  /// overload; `now` is the current stream time.
+  virtual void SelectVictims(const std::vector<std::unique_ptr<Run>>& runs,
+                             Timestamp now, size_t target,
+                             std::vector<size_t>* victims) = 0;
+};
+
+using ShedderPtr = std::unique_ptr<Shedder>;
+
+}  // namespace cep
+
+#endif  // CEPSHED_SHEDDING_SHEDDER_H_

@@ -1,0 +1,120 @@
+#include "shedding/sketch.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "common/hash.h"
+
+namespace cep {
+
+CountMinSketch::CountMinSketch(size_t width, size_t depth, uint64_t seed)
+    : width_(width < 8 ? 8 : width),
+      depth_(depth < 1 ? 1 : depth),
+      rows_(width_ * depth_, 0.0) {
+  row_seeds_.reserve(depth_);
+  for (size_t d = 0; d < depth_; ++d) {
+    row_seeds_.push_back(Mix64(seed + 0x9e3779b97f4a7c15ULL * (d + 1)));
+  }
+}
+
+size_t CountMinSketch::Index(uint64_t key, size_t row) const {
+  return row * width_ +
+         static_cast<size_t>(Mix64(key ^ row_seeds_[row]) % width_);
+}
+
+void CountMinSketch::Add(uint64_t key, double amount) {
+  if (amount <= 0) return;
+  // Conservative update: raise only the cells at the current minimum.
+  double min_val = rows_[Index(key, 0)];
+  for (size_t d = 1; d < depth_; ++d) {
+    min_val = std::min(min_val, rows_[Index(key, d)]);
+  }
+  const double target = min_val + amount;
+  for (size_t d = 0; d < depth_; ++d) {
+    double& cell = rows_[Index(key, d)];
+    if (cell < target) cell = target;
+  }
+}
+
+double CountMinSketch::Estimate(uint64_t key) const {
+  double min_val = rows_[Index(key, 0)];
+  for (size_t d = 1; d < depth_; ++d) {
+    min_val = std::min(min_val, rows_[Index(key, d)]);
+  }
+  return min_val;
+}
+
+Status CountMinSketch::Save(std::ostream& out) const {
+  out << "cmsketch " << width_ << " " << depth_ << "\n";
+  for (const uint64_t seed : row_seeds_) out << seed << " ";
+  out << "\n";
+  for (const double cell : rows_) out << cell << " ";
+  out << "\n";
+  if (!out) return Status::IoError("failed writing sketch");
+  return Status::OK();
+}
+
+Status CountMinSketch::Load(std::istream& in) {
+  std::string tag;
+  size_t width = 0, depth = 0;
+  if (!(in >> tag >> width >> depth) || tag != "cmsketch") {
+    return Status::ParseError("not a count-min snapshot");
+  }
+  if (width != width_ || depth != depth_) {
+    return Status::InvalidArgument(
+        "count-min snapshot shape mismatch: configure the same width/depth");
+  }
+  for (auto& seed : row_seeds_) {
+    if (!(in >> seed)) return Status::ParseError("truncated sketch seeds");
+  }
+  for (auto& cell : rows_) {
+    if (!(in >> cell)) return Status::ParseError("truncated sketch rows");
+  }
+  return Status::OK();
+}
+
+void CountMinSketch::Clear() {
+  std::fill(rows_.begin(), rows_.end(), 0.0);
+}
+
+SketchCounterBackend::SketchCounterBackend(size_t width, size_t depth,
+                                           uint64_t seed)
+    : num_(width, depth, seed), den_(width, depth, Mix64(seed) + 1) {}
+
+void SketchCounterBackend::Add(uint64_t key, double num_delta,
+                               double den_delta) {
+  num_.Add(key, num_delta);
+  den_.Add(key, den_delta);
+}
+
+double SketchCounterBackend::Ratio(uint64_t key, double fallback) const {
+  const double den = den_.Estimate(key);
+  if (den <= 0) return fallback;
+  return num_.Estimate(key) / den;
+}
+
+double SketchCounterBackend::Support(uint64_t key) const {
+  return den_.Estimate(key);
+}
+
+size_t SketchCounterBackend::MemoryBytes() const {
+  return num_.MemoryBytes() + den_.MemoryBytes();
+}
+
+Status SketchCounterBackend::Save(std::ostream& out) const {
+  CEP_RETURN_NOT_OK(num_.Save(out));
+  return den_.Save(out);
+}
+
+Status SketchCounterBackend::Load(std::istream& in) {
+  CEP_RETURN_NOT_OK(num_.Load(in));
+  return den_.Load(in);
+}
+
+void SketchCounterBackend::Clear() {
+  num_.Clear();
+  den_.Clear();
+}
+
+}  // namespace cep

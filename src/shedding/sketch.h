@@ -1,0 +1,67 @@
+#ifndef CEPSHED_SHEDDING_SKETCH_H_
+#define CEPSHED_SHEDDING_SKETCH_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "shedding/model_backend.h"
+
+namespace cep {
+
+/// \brief Count-min sketch over 64-bit keys with conservative-update.
+///
+/// `width` counters per row, `depth` rows. Point queries return the row
+/// minimum; estimates never undercount and overcount by at most
+/// 2·N/width with probability 1 - 2^-depth (N = total added mass).
+class CountMinSketch {
+ public:
+  CountMinSketch(size_t width, size_t depth, uint64_t seed = 0x5eed);
+
+  /// Adds `amount` using conservative update (only raises the minimal rows),
+  /// which tightens the overestimate for skewed workloads.
+  void Add(uint64_t key, double amount);
+
+  double Estimate(uint64_t key) const;
+
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+  size_t MemoryBytes() const { return rows_.size() * sizeof(double); }
+  void Clear();
+  Status Save(std::ostream& out) const;
+  Status Load(std::istream& in);
+
+ private:
+  size_t Index(uint64_t key, size_t row) const;
+
+  size_t width_;
+  size_t depth_;
+  std::vector<uint64_t> row_seeds_;
+  std::vector<double> rows_;  // depth × width, row-major
+};
+
+/// \brief Sketch-backed CounterBackend: two count-min sketches (numerator
+/// and denominator) replace the exact table. Memory is fixed at
+/// 2·width·depth·8 bytes regardless of how many distinct partial-match
+/// groups the stream produces (paper §VI).
+class SketchCounterBackend final : public CounterBackend {
+ public:
+  SketchCounterBackend(size_t width, size_t depth, uint64_t seed = 0x5eed);
+
+  void Add(uint64_t key, double num_delta, double den_delta) override;
+  double Ratio(uint64_t key, double fallback) const override;
+  double Support(uint64_t key) const override;
+  size_t MemoryBytes() const override;
+  void Clear() override;
+  std::string name() const override { return "count-min"; }
+  Status Save(std::ostream& out) const override;
+  Status Load(std::istream& in) override;
+
+ private:
+  CountMinSketch num_;
+  CountMinSketch den_;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_SHEDDING_SKETCH_H_

@@ -1,0 +1,170 @@
+#include "shedding/state_shedder.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "shedding/sketch.h"
+
+namespace cep {
+
+namespace {
+
+std::unique_ptr<CounterBackend> MakeBackend(const StateShedderOptions& opts,
+                                            uint64_t salt) {
+  if (opts.backend == StateShedderOptions::Backend::kSketch) {
+    return std::make_unique<SketchCounterBackend>(
+        opts.sketch_width, opts.sketch_depth, opts.seed ^ salt);
+  }
+  return std::make_unique<ExactCounterBackend>();
+}
+
+}  // namespace
+
+StateShedder::StateShedder(StateShedderOptions options,
+                           const SchemaRegistry* registry)
+    : options_(std::move(options)),
+      registry_(registry),
+      hasher_(options_.pm_hash),
+      contribution_(MakeBackend(options_, 0xc0de)),
+      cost_(MakeBackend(options_, 0x7057)) {}
+
+void StateShedder::Attach(const Nfa& nfa) {
+  slicer_ = TimeSlicer(nfa.window(), options_.time_slices);
+  if (registry_ != nullptr) {
+    // Selector resolution failures surface on first use as dynamic lookups;
+    // Attach errors are programming errors in experiment setup.
+    const Status st = hasher_.Attach(nfa, *registry_);
+    if (!st.ok()) hasher_.AttachDynamic();
+  } else {
+    hasher_.AttachDynamic();
+  }
+}
+
+uint64_t StateShedder::CellKey(const Run& run, Timestamp now) const {
+  const int slice = slicer_.Slice(run.start_ts(), now);
+  return Mix64(run.pm_hash() ^
+               Mix64(static_cast<uint64_t>(run.state()) * 0x9e3779b1ULL +
+                     static_cast<uint64_t>(slice) + 0x51ab));
+}
+
+void StateShedder::EnterCell(Run* run, Timestamp now) {
+  const uint64_t key = CellKey(*run, now);
+  run->PushTrail(key);
+  contribution_.Observe(key);
+  cost_.Observe(key);
+}
+
+void StateShedder::OnRunCreated(Run* run, const Event& event, Timestamp now) {
+  run->set_pm_hash(hasher_.Extend(0, event));
+  EnterCell(run, now);
+}
+
+void StateShedder::OnRunExtended(const Run* parent, Run* child,
+                                 const Event& event, Timestamp now) {
+  child->set_pm_hash(hasher_.Extend(child->pm_hash(), event));
+  EnterCell(child, now);
+  if (parent != nullptr) {
+    // One more partial match was derived from every cell on the parent's
+    // lineage (paper §IV-B). The child's own new cell is not charged.
+    cost_.Charge(parent->trail());
+  }
+}
+
+void StateShedder::OnMatchEmitted(const Run& run, Timestamp now) {
+  (void)now;
+  contribution_.Credit(run.trail());
+}
+
+double StateShedder::Score(const Run& run, Timestamp now) const {
+  // The run lives in the cell recorded by its last transition.
+  const uint64_t key = run.trail().empty() ? CellKey(run, now)
+                                           : run.trail().back();
+  const double c_plus =
+      contribution_.Estimate(key, options_.contribution_optimism);
+  const double c_minus = cost_.Estimate(key, options_.cost_pessimism);
+  const double ttl = slicer_.TtlFraction(run.start_ts(), now);
+  return ScorePartialMatch(options_.scoring, c_plus, c_minus, ttl);
+}
+
+void StateShedder::SelectVictims(const std::vector<std::unique_ptr<Run>>& runs,
+                                 Timestamp now, size_t target,
+                                 std::vector<size_t>* victims) {
+  struct Candidate {
+    double score;
+    Timestamp start_ts;
+    size_t index;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i] == nullptr) continue;
+    candidates.push_back(
+        Candidate{Score(*runs[i], now), runs[i]->start_ts(), i});
+  }
+  if (candidates.empty()) return;
+  target = std::min(target, candidates.size());
+  // Lowest score first; ties broken towards partial matches closer to
+  // expiry (they have the least remaining opportunity to contribute).
+  const auto worse = [](const Candidate& a, const Candidate& b) {
+    if (a.score != b.score) return a.score < b.score;
+    if (a.start_ts != b.start_ts) return a.start_ts < b.start_ts;
+    return a.index < b.index;
+  };
+  std::nth_element(candidates.begin(), candidates.begin() + (target - 1),
+                   candidates.end(), worse);
+  for (size_t i = 0; i < target; ++i) {
+    victims->push_back(candidates[i].index);
+  }
+}
+
+namespace {
+
+/// Fingerprint of the configuration aspects that determine cell keys.
+uint64_t ConfigFingerprint(const StateShedderOptions& options,
+                           const TimeSlicer& slicer) {
+  uint64_t h = Mix64(0xc0f19 + static_cast<uint64_t>(options.time_slices));
+  h = HashCombine(h, static_cast<uint64_t>(slicer.window()));
+  h = HashCombine(h, static_cast<uint64_t>(options.backend ==
+                                           StateShedderOptions::Backend::kSketch));
+  h = HashCombine(h, options.sketch_width);
+  h = HashCombine(h, options.sketch_depth);
+  for (const auto& sel : options.pm_hash.attributes) {
+    h = HashCombine(h, HashString(sel.event_type));
+    h = HashCombine(h, HashString(sel.attribute));
+  }
+  return h;
+}
+
+}  // namespace
+
+Status StateShedder::SaveModels(std::ostream& out) const {
+  out << "cepshed-models v1 " << ConfigFingerprint(options_, slicer_) << "\n";
+  CEP_RETURN_NOT_OK(contribution_.backend().Save(out));
+  return cost_.backend().Save(out);
+}
+
+Status StateShedder::LoadModels(std::istream& in) {
+  std::string magic, version;
+  uint64_t fingerprint = 0;
+  if (!(in >> magic >> version >> fingerprint) || magic != "cepshed-models" ||
+      version != "v1") {
+    return Status::ParseError("not a cepshed model snapshot");
+  }
+  if (fingerprint != ConfigFingerprint(options_, slicer_)) {
+    return Status::InvalidArgument(
+        "model snapshot was written under a different shedder "
+        "configuration (hash selectors / slices / window / backend)");
+  }
+  CEP_RETURN_NOT_OK(contribution_.mutable_backend()->Load(in));
+  return cost_.mutable_backend()->Load(in);
+}
+
+ShedderPtr MakeStateShedder(StateShedderOptions options,
+                            const SchemaRegistry* registry) {
+  return std::make_unique<StateShedder>(std::move(options), registry);
+}
+
+}  // namespace cep

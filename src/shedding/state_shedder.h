@@ -1,0 +1,109 @@
+#ifndef CEPSHED_SHEDDING_STATE_SHEDDER_H_
+#define CEPSHED_SHEDDING_STATE_SHEDDER_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shedding/contribution_model.h"
+#include "shedding/cost_model.h"
+#include "shedding/pm_hash.h"
+#include "shedding/scoring.h"
+#include "shedding/shedder.h"
+#include "shedding/time_slice.h"
+
+namespace cep {
+
+/// \brief Configuration of the state-based load shedder.
+struct StateShedderOptions {
+  /// Which attributes characterise a partial match (see PmHashOptions).
+  PmHashOptions pm_hash;
+  /// Granularity of the relative-time discretisation (paper §IV-A's tuning
+  /// parameter; ablation B sweeps it).
+  int time_slices = 16;
+  ScoringOptions scoring;
+  /// Prior C+ for model cells without observations. Optimistic (high) priors
+  /// protect never-before-seen partial-match groups from being shed before
+  /// the model has evidence about them.
+  double contribution_optimism = 1.0;
+  /// Prior C- for unseen cells (low = assume cheap).
+  double cost_pessimism = 0.0;
+  /// Model storage: exact table or count-min sketch (paper §VI, ablation C).
+  enum class Backend : uint8_t { kExact, kSketch } backend = Backend::kExact;
+  size_t sketch_width = 1 << 14;
+  size_t sketch_depth = 4;
+  uint64_t seed = 0x5b15;
+};
+
+/// \brief SBLS — the paper's state-based load shedding strategy (§IV).
+///
+/// Maintains the contribution model C+(r|t) and the resource-consumption
+/// model C-(r|t) online through the engine's run-lifecycle hooks, keyed by
+/// (partial-match hash, NFA state, relative time slice). On overload it
+/// scores every live partial match in O(1) with the configured ranking
+/// function and sheds the lowest-scored ones.
+///
+/// Deviation note (documented in DESIGN.md): model cells are entered at
+/// transition time, so a run's statistics are conditioned on the time slice
+/// at which it *reached* its current state rather than re-sampled every
+/// slice; this keeps all bookkeeping O(1) per transition, which the paper
+/// requires, and the kTtlDiscounted ranking re-introduces current-time
+/// sensitivity where needed.
+class StateShedder final : public Shedder {
+ public:
+  /// `registry` lets attribute selectors resolve to indices (fast path);
+  /// pass nullptr to resolve names dynamically per event.
+  StateShedder(StateShedderOptions options, const SchemaRegistry* registry);
+
+  std::string name() const override { return "SBLS"; }
+
+  void Attach(const Nfa& nfa) override;
+
+  void OnRunCreated(Run* run, const Event& event, Timestamp now) override;
+  void OnRunExtended(const Run* parent, Run* child, const Event& event,
+                     Timestamp now) override;
+  void OnMatchEmitted(const Run& run, Timestamp now) override;
+
+  void SelectVictims(const std::vector<std::unique_ptr<Run>>& runs,
+                     Timestamp now, size_t target,
+                     std::vector<size_t>* victims) override;
+
+  /// Score of one run at `now` (exposed for tests and ablations).
+  double Score(const Run& run, Timestamp now) const;
+
+  const ContributionModel& contribution_model() const { return contribution_; }
+  const CostModel& cost_model() const { return cost_; }
+  const StateShedderOptions& options() const { return options_; }
+
+  /// Model cell key for a run that just transitioned at `now`.
+  uint64_t CellKey(const Run& run, Timestamp now) const;
+
+  /// Persists / restores the learned contribution and cost models (warm
+  /// starts across engine restarts). The restoring shedder must be
+  /// configured with the same backend type and shape, pm-hash selectors,
+  /// window, and slice count — the snapshot stores a configuration
+  /// fingerprint and Load rejects mismatches. Both must be called after the
+  /// shedder is attached (i.e. after Engine construction), since the window
+  /// enters the fingerprint.
+  Status SaveModels(std::ostream& out) const;
+  Status LoadModels(std::istream& in);
+
+ private:
+  void EnterCell(Run* run, Timestamp now);
+
+  StateShedderOptions options_;
+  const SchemaRegistry* registry_;
+  PmHasher hasher_;
+  TimeSlicer slicer_{1, 1};
+  ContributionModel contribution_;
+  CostModel cost_;
+};
+
+/// Convenience factory with the paper's defaults.
+ShedderPtr MakeStateShedder(StateShedderOptions options,
+                            const SchemaRegistry* registry);
+
+}  // namespace cep
+
+#endif  // CEPSHED_SHEDDING_STATE_SHEDDER_H_

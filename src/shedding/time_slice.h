@@ -1,0 +1,51 @@
+#ifndef CEPSHED_SHEDDING_TIME_SLICE_H_
+#define CEPSHED_SHEDDING_TIME_SLICE_H_
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace cep {
+
+/// \brief Discretises the age of a partial match (time elapsed since its
+/// first event, relative to the query window) into a fixed number of slices.
+///
+/// The paper's models are defined per relative time point; maintaining them
+/// at full resolution would be "expensive, especially with large time
+/// windows", so statistics are kept per time slice, and the slice count is
+/// the accuracy/overhead tuning knob (paper §IV-A, ablation B).
+class TimeSlicer {
+ public:
+  TimeSlicer(Duration window, int num_slices)
+      : window_(window > 0 ? window : 1),
+        num_slices_(num_slices > 0 ? num_slices : 1) {}
+
+  /// Slice index in [0, num_slices) for a partial match created at
+  /// `start_ts`, observed at `now`. Ages beyond the window clamp to the last
+  /// slice.
+  int Slice(Timestamp start_ts, Timestamp now) const {
+    Duration age = now - start_ts;
+    if (age < 0) age = 0;
+    if (age >= window_) return num_slices_ - 1;
+    return static_cast<int>((age * num_slices_) / window_);
+  }
+
+  /// Remaining time-to-live as a fraction of the window, in [0, 1].
+  double TtlFraction(Timestamp start_ts, Timestamp now) const {
+    const Duration age = now - start_ts;
+    if (age <= 0) return 1.0;
+    if (age >= window_) return 0.0;
+    return 1.0 - static_cast<double>(age) / static_cast<double>(window_);
+  }
+
+  int num_slices() const { return num_slices_; }
+  Duration window() const { return window_; }
+
+ private:
+  Duration window_;
+  int num_slices_;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_SHEDDING_TIME_SLICE_H_

@@ -1,0 +1,95 @@
+#include "workload/bikeshare.h"
+
+#include <cmath>
+
+#include "event/stream.h"
+
+namespace cep {
+
+Status BikeShareGenerator::RegisterSchemas(SchemaRegistry* registry) {
+  CEP_RETURN_NOT_OK(registry
+                        ->Register("req", {{"loc", ValueType::kInt},
+                                           {"uid", ValueType::kInt}})
+                        .status());
+  CEP_RETURN_NOT_OK(registry
+                        ->Register("avail", {{"loc", ValueType::kInt},
+                                             {"bid", ValueType::kInt}})
+                        .status());
+  CEP_RETURN_NOT_OK(registry
+                        ->Register("unlock", {{"loc", ValueType::kInt},
+                                              {"uid", ValueType::kInt},
+                                              {"bid", ValueType::kInt}})
+                        .status());
+  return Status::OK();
+}
+
+Result<std::vector<EventPtr>> BikeShareGenerator::Generate(
+    const SchemaRegistry& registry) const {
+  CEP_ASSIGN_OR_RETURN(EventTypeId req_t, registry.GetType("req"));
+  CEP_ASSIGN_OR_RETURN(EventTypeId avail_t, registry.GetType("avail"));
+  CEP_ASSIGN_OR_RETURN(EventTypeId unlock_t, registry.GetType("unlock"));
+
+  Rng rng(options_.seed);
+  std::vector<EventPtr> events;
+  uint64_t seq = 0;
+  int64_t next_uid = 1;
+  int64_t next_bid = 1000;
+
+  const double gap_mean_micros =
+      60.0 * static_cast<double>(kSecond) / options_.requests_per_minute;
+  Timestamp t = 0;
+  while (true) {
+    t += static_cast<Duration>(
+        std::llround(rng.NextExponential(1.0 / gap_mean_micros)));
+    if (t > options_.duration) break;
+    const int zone = static_cast<int>(
+        rng.NextBounded(static_cast<uint64_t>(options_.num_zones)));
+    const int64_t uid = next_uid++;
+    events.push_back(std::make_shared<Event>(
+        req_t, registry.schema(req_t), t,
+        std::vector<Value>{Value(static_cast<int64_t>(zone)), Value(uid)},
+        seq++));
+
+    // Nearby availability reports in the following minutes.
+    const auto n_avail = 1 + rng.NextPoisson(static_cast<double>(
+                                 options_.mean_avails_per_request - 1));
+    Timestamp at = t;
+    for (uint64_t i = 0; i < n_avail; ++i) {
+      at += 1 + static_cast<Duration>(rng.NextBounded(2 * kMinute));
+      const int64_t near_loc =
+          zone + static_cast<int64_t>(rng.NextBounded(
+                     static_cast<uint64_t>(options_.lambda))) -
+          options_.lambda / 2;
+      events.push_back(std::make_shared<Event>(
+          avail_t, registry.schema(avail_t), at,
+          std::vector<Value>{Value(near_loc), Value(next_bid++)}, seq++));
+    }
+
+    // The unlock: near for normal zones, usually far for obscure ones.
+    const double far_prob = IsObscureZone(options_, zone)
+                                ? options_.far_unlock_prob_obscure
+                                : options_.far_unlock_prob_normal;
+    const bool far = rng.NextBernoulli(far_prob);
+    int64_t unlock_loc;
+    if (far) {
+      unlock_loc = zone + options_.lambda + 2 +
+                   static_cast<int64_t>(rng.NextBounded(
+                       static_cast<uint64_t>(options_.num_zones / 2 + 1)));
+    } else {
+      unlock_loc = zone + static_cast<int64_t>(rng.NextBounded(
+                              static_cast<uint64_t>(options_.lambda))) -
+                   options_.lambda / 2;
+    }
+    const Timestamp ut =
+        at + 30 * kSecond + static_cast<Duration>(rng.NextBounded(3 * kMinute));
+    events.push_back(std::make_shared<Event>(
+        unlock_t, registry.schema(unlock_t), ut,
+        std::vector<Value>{Value(unlock_loc), Value(uid), Value(next_bid++)},
+        seq++));
+  }
+
+  SortEvents(&events);
+  return events;
+}
+
+}  // namespace cep

@@ -1,0 +1,22 @@
+#include "workload/burst.h"
+
+#include <cmath>
+
+namespace cep {
+
+Timestamp ArrivalProcess::NextArrival(Timestamp after) {
+  // Ogata thinning against the profile's maximum rate.
+  const double max_rate =
+      profile_.base_rate * std::max(1.0, profile_.burst_multiplier);
+  Timestamp t = after;
+  for (int guard = 0; guard < 1'000'000; ++guard) {
+    const double gap_seconds = rng_.NextExponential(max_rate);
+    const auto gap_micros = static_cast<Duration>(
+        std::llround(gap_seconds * static_cast<double>(kSecond)));
+    t += gap_micros < 1 ? 1 : gap_micros;
+    if (rng_.NextDouble() * max_rate <= profile_.RateAt(t)) return t;
+  }
+  return t;  // unreachable for sane profiles
+}
+
+}  // namespace cep

@@ -1,0 +1,50 @@
+#ifndef CEPSHED_WORKLOAD_BURST_H_
+#define CEPSHED_WORKLOAD_BURST_H_
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace cep {
+
+/// \brief Piecewise-constant arrival-rate profile with periodic bursts.
+///
+/// The paper's motivation is input rates that "grow by orders of magnitude
+/// during short peak times": the profile holds `base_rate` and multiplies it
+/// by `burst_multiplier` for `burst_duration` once every `burst_period`
+/// (first burst starts at `phase`).
+struct BurstProfile {
+  double base_rate = 1.0;  ///< events per second of stream time
+  double burst_multiplier = 1.0;
+  Duration burst_period = 0;    ///< 0 = no bursts
+  Duration burst_duration = 0;
+  Duration phase = 0;
+
+  /// Instantaneous rate (events/sec) at stream time `t`.
+  double RateAt(Timestamp t) const {
+    if (burst_period <= 0 || burst_duration <= 0) return base_rate;
+    Duration pos = (t - phase) % burst_period;
+    if (pos < 0) pos += burst_period;
+    return pos < burst_duration ? base_rate * burst_multiplier : base_rate;
+  }
+
+  bool InBurst(Timestamp t) const { return RateAt(t) > base_rate; }
+};
+
+/// \brief Draws arrival timestamps from a non-homogeneous Poisson process
+/// with the given profile, via thinning.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(BurstProfile profile, uint64_t seed)
+      : profile_(profile), rng_(seed) {}
+
+  /// Next arrival strictly after `after`.
+  Timestamp NextArrival(Timestamp after);
+
+ private:
+  BurstProfile profile_;
+  Rng rng_;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_WORKLOAD_BURST_H_

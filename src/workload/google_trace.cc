@@ -1,0 +1,158 @@
+#include "workload/google_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "event/stream.h"
+
+namespace cep {
+
+namespace {
+
+const std::vector<AttributeDef>& TaskEventAttributes() {
+  static const std::vector<AttributeDef>* const kAttrs =
+      new std::vector<AttributeDef>{
+          {"job_id", ValueType::kInt},     {"task_idx", ValueType::kInt},
+          {"machine_id", ValueType::kInt}, {"priority", ValueType::kInt},
+          {"sched_class", ValueType::kInt}, {"cpu_req", ValueType::kDouble},
+          {"mem_req", ValueType::kDouble},
+      };
+  return *kAttrs;
+}
+
+struct OutcomeDist {
+  double evict;
+  double fail;
+  double kill;
+  // finish = remainder
+};
+
+/// Attribute-conditioned outcome distribution — the "regularity" the
+/// contribution model can learn.
+OutcomeDist AttributeOutcome(bool hot, int64_t priority, int64_t sched_class) {
+  if (hot && priority <= 3) return OutcomeDist{0.75, 0.10, 0.02};
+  if (hot && sched_class >= 2) return OutcomeDist{0.15, 0.45, 0.03};
+  if (hot) return OutcomeDist{0.15, 0.10, 0.03};
+  return OutcomeDist{0.04, 0.05, 0.02};
+}
+
+/// Attribute-independent average used to wash out the signal as
+/// regularity -> 0 (roughly the mixture average of the above).
+constexpr OutcomeDist kUniformOutcome{0.25, 0.12, 0.025};
+
+OutcomeDist Blend(const OutcomeDist& a, const OutcomeDist& b, double w) {
+  return OutcomeDist{w * a.evict + (1 - w) * b.evict,
+                     w * a.fail + (1 - w) * b.fail,
+                     w * a.kill + (1 - w) * b.kill};
+}
+
+}  // namespace
+
+Status GoogleTraceGenerator::RegisterSchemas(SchemaRegistry* registry) {
+  for (const char* name :
+       {"submit", "schedule", "evict", "fail", "finish", "kill"}) {
+    CEP_RETURN_NOT_OK(
+        registry->Register(name, TaskEventAttributes()).status());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<EventPtr>> GoogleTraceGenerator::Generate(
+    const SchemaRegistry& registry) const {
+  CEP_ASSIGN_OR_RETURN(EventTypeId submit_t, registry.GetType("submit"));
+  CEP_ASSIGN_OR_RETURN(EventTypeId schedule_t, registry.GetType("schedule"));
+  CEP_ASSIGN_OR_RETURN(EventTypeId evict_t, registry.GetType("evict"));
+  CEP_ASSIGN_OR_RETURN(EventTypeId fail_t, registry.GetType("fail"));
+  CEP_ASSIGN_OR_RETURN(EventTypeId finish_t, registry.GetType("finish"));
+  CEP_ASSIGN_OR_RETURN(EventTypeId kill_t, registry.GetType("kill"));
+
+  Rng rng(options_.seed);
+  BurstProfile profile;
+  profile.base_rate = options_.jobs_per_hour / 3600.0;
+  profile.burst_multiplier = options_.burst_multiplier;
+  profile.burst_period = options_.burst_period;
+  profile.burst_duration = options_.burst_duration;
+  profile.phase = options_.burst_period / 3;  // first burst after warm-up
+  ArrivalProcess arrivals(profile, rng.Next());
+
+  std::vector<EventPtr> events;
+  uint64_t seq = 0;
+  const auto emit = [&](EventTypeId type, Timestamp ts, int64_t job,
+                        int64_t task, int64_t machine, int64_t priority,
+                        int64_t sched_class, double cpu, double mem) {
+    if (ts > options_.duration) return;
+    events.push_back(std::make_shared<Event>(
+        type, registry.schema(type), ts,
+        std::vector<Value>{Value(job), Value(task), Value(machine),
+                           Value(priority), Value(sched_class), Value(cpu),
+                           Value(mem)},
+        seq++));
+  };
+
+  const auto exp_delay = [&](Duration mean) -> Duration {
+    const double d = rng.NextExponential(1.0 / static_cast<double>(mean));
+    const auto micros = static_cast<Duration>(std::llround(d));
+    return micros < 1 ? 1 : micros;
+  };
+
+  int64_t job_id = 0;
+  Timestamp t = 0;
+  while ((t = arrivals.NextArrival(t)) <= options_.duration) {
+    ++job_id;
+    const int64_t priority = static_cast<int64_t>(rng.NextZipf(12, 1.0));
+    const int64_t sched_class = static_cast<int64_t>(rng.NextBounded(4));
+    const int num_tasks =
+        1 + static_cast<int>(rng.NextBounded(
+                static_cast<uint64_t>(options_.max_tasks_per_job)));
+    for (int task = 0; task < num_tasks; ++task) {
+      const double cpu = 0.01 + 0.5 * rng.NextDouble();
+      const double mem = 0.01 + 0.5 * rng.NextDouble();
+      const Timestamp submit_ts =
+          t + static_cast<Duration>(rng.NextBounded(30 * kSecond));
+      emit(submit_t, submit_ts, job_id, task, -1, priority, sched_class, cpu,
+           mem);
+      Timestamp cursor = submit_ts;
+      int attempts = 0;
+      bool alive = true;
+      while (alive && attempts <= options_.max_retries) {
+        ++attempts;
+        // Zipf over machines concentrates load on the low-index (hot) pool.
+        const int machine = static_cast<int>(rng.NextZipf(
+            static_cast<uint64_t>(options_.num_machines), 0.8));
+        cursor += exp_delay(options_.mean_schedule_delay);
+        emit(schedule_t, cursor, job_id, task, machine, priority, sched_class,
+             cpu, mem);
+        const bool hot = IsHotMachine(options_, machine);
+        const OutcomeDist dist =
+            Blend(AttributeOutcome(hot, priority, sched_class),
+                  kUniformOutcome, options_.regularity);
+        const double roll = rng.NextDouble();
+        if (roll < dist.evict) {
+          cursor += exp_delay(options_.mean_evict_delay);
+          emit(evict_t, cursor, job_id, task, machine, priority, sched_class,
+               cpu, mem);
+          // Evicted tasks are rescheduled (next loop iteration).
+        } else if (roll < dist.evict + dist.fail) {
+          cursor += exp_delay(options_.mean_fail_delay);
+          emit(fail_t, cursor, job_id, task, machine, priority, sched_class,
+               cpu, mem);
+        } else if (roll < dist.evict + dist.fail + dist.kill) {
+          cursor += exp_delay(options_.mean_fail_delay);
+          emit(kill_t, cursor, job_id, task, machine, priority, sched_class,
+               cpu, mem);
+          alive = false;
+        } else {
+          cursor += exp_delay(options_.mean_finish_delay);
+          emit(finish_t, cursor, job_id, task, machine, priority, sched_class,
+               cpu, mem);
+          alive = false;
+        }
+      }
+    }
+  }
+
+  SortEvents(&events);
+  return events;
+}
+
+}  // namespace cep

@@ -1,0 +1,87 @@
+#ifndef CEPSHED_WORKLOAD_GOOGLE_TRACE_H_
+#define CEPSHED_WORKLOAD_GOOGLE_TRACE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "event/event.h"
+#include "event/schema.h"
+#include "workload/burst.h"
+
+namespace cep {
+
+/// \brief Synthetic stand-in for the Google Cluster-Usage Traces
+/// (Reiss/Wilkes/Hellerstein 2011) used in the paper's evaluation.
+///
+/// The real traces are not available offline (DESIGN.md substitution #1); the
+/// generator follows the public ClusterData task-event schema — one event
+/// type per lifecycle transition (`submit`, `schedule`, `evict`, `fail`,
+/// `finish`, `kill`), each carrying job_id, task_idx, machine_id, priority,
+/// sched_class, cpu_req, mem_req — and drives task lifecycles through a
+/// probabilistic model whose outcome probabilities are *correlated with
+/// attribute values*:
+///
+///  * machines split into a contended ("hot") and an uncontended pool;
+///  * low-priority tasks scheduled on hot machines are mostly evicted;
+///  * high sched_class tasks on hot machines tend to fail and be retried;
+///  * everything else mostly finishes.
+///
+/// `regularity` in [0, 1] interpolates between fully attribute-determined
+/// outcomes (1.0) and attribute-independent outcomes (0.0): the knob that
+/// controls how much signal the paper's "correlation among attributes' value
+/// distributions" assumption has to offer (ablation: SBLS should degrade
+/// towards RBLS as regularity -> 0).
+///
+/// Job arrivals follow a bursty non-homogeneous Poisson process so that the
+/// engine actually experiences the short peak-time overloads the paper
+/// targets.
+struct GoogleTraceOptions {
+  Duration duration = 24 * kHour;   ///< trace length (stream time)
+  double jobs_per_hour = 300.0;     ///< base arrival rate
+  double burst_multiplier = 8.0;
+  Duration burst_period = 6 * kHour;
+  Duration burst_duration = 40 * kMinute;
+  int num_machines = 64;
+  double hot_machine_share = 0.25;  ///< fraction of contended machines
+  int max_tasks_per_job = 3;
+  /// Mean stream-time delays of lifecycle transitions.
+  Duration mean_schedule_delay = 10 * kMinute;
+  Duration mean_evict_delay = 90 * kMinute;
+  Duration mean_fail_delay = 45 * kMinute;
+  Duration mean_finish_delay = 3 * kHour;
+  /// Eviction/failure retries: evicted or failed tasks are rescheduled up to
+  /// this many times.
+  int max_retries = 2;
+  double regularity = 0.9;
+  uint64_t seed = 42;
+};
+
+class GoogleTraceGenerator {
+ public:
+  explicit GoogleTraceGenerator(GoogleTraceOptions options)
+      : options_(options) {}
+
+  /// Registers the six ClusterData task-event types (idempotent on a fresh
+  /// registry; errors if names already exist).
+  static Status RegisterSchemas(SchemaRegistry* registry);
+
+  /// Materialises the full trace, timestamp-ordered.
+  Result<std::vector<EventPtr>> Generate(const SchemaRegistry& registry) const;
+
+  const GoogleTraceOptions& options() const { return options_; }
+
+  /// True if machine `m` is in the contended pool under `options`.
+  static bool IsHotMachine(const GoogleTraceOptions& options, int machine) {
+    return machine <
+           static_cast<int>(options.hot_machine_share *
+                            static_cast<double>(options.num_machines));
+  }
+
+ private:
+  GoogleTraceOptions options_;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_WORKLOAD_GOOGLE_TRACE_H_

@@ -1,0 +1,102 @@
+#include "workload/queries.h"
+
+#include "common/string_util.h"
+#include "nfa/compiler.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+
+namespace cep {
+
+namespace {
+
+Result<CannedQuery> Compile(std::string name, std::string text,
+                            const SchemaRegistry& registry,
+                            PmHashOptions pm_hash) {
+  CEP_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(text));
+  parsed.name = name;
+  CEP_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
+                       Analyze(std::move(parsed), registry));
+  CEP_ASSIGN_OR_RETURN(NfaPtr nfa, CompileToNfa(std::move(analyzed)));
+  CannedQuery canned;
+  canned.name = std::move(name);
+  canned.text = std::move(text);
+  canned.nfa = std::move(nfa);
+  canned.pm_hash = std::move(pm_hash);
+  return canned;
+}
+
+}  // namespace
+
+Result<CannedQuery> MakeClusterQ1(const SchemaRegistry& registry,
+                                  Duration window) {
+  const std::string text = StrFormat(
+      "PATTERN SEQ(submit s, schedule c, evict e) "
+      "WHERE s.job_id = c.job_id, s.task_idx = c.task_idx, "
+      "c.job_id = e.job_id, c.task_idx = e.task_idx, "
+      "s.priority <= 5 "
+      "WITHIN %lld us "
+      "RETURN churn(job = s.job_id, task = s.task_idx, "
+      "machine = c.machine_id, priority = s.priority)",
+      static_cast<long long>(window));
+  // The learnable regularity lives in (machine pool, priority): low-priority
+  // tasks on contended machines get evicted. Bucket width 4 groups machines
+  // into pools of 4 and priorities into {0-3, 4-7, 8-11}.
+  PmHashOptions hash;
+  hash.attributes = {{"submit", "priority"},
+                     {"schedule", "machine_id"},
+                     {"schedule", "priority"}};
+  hash.numeric_bucket_width = 4.0;
+  return Compile("Q1", text, registry, std::move(hash));
+}
+
+Result<CannedQuery> MakeClusterQ2(const SchemaRegistry& registry,
+                                  Duration window) {
+  const std::string text = StrFormat(
+      "PATTERN SEQ(schedule a, fail b, schedule c) "
+      "WHERE a.job_id = b.job_id, a.task_idx = b.task_idx, "
+      "b.job_id = c.job_id, b.task_idx = c.task_idx "
+      "WITHIN %lld us "
+      "RETURN flap(job = a.job_id, task = a.task_idx, "
+      "machine_was = a.machine_id, machine_now = c.machine_id)",
+      static_cast<long long>(window));
+  // Failures correlate with sched_class >= 2 on contended machines.
+  PmHashOptions hash;
+  hash.attributes = {{"schedule", "machine_id"},
+                     {"schedule", "sched_class"},
+                     {"fail", "machine_id"}};
+  hash.numeric_bucket_width = 4.0;
+  return Compile("Q2", text, registry, std::move(hash));
+}
+
+Result<CannedQuery> MakeBikeQuery(const SchemaRegistry& registry,
+                                  Duration window, int lambda,
+                                  int min_avail_count) {
+  const std::string text = StrFormat(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE diff(b[i].loc, a.loc) < %d, COUNT(b[]) > %d, "
+      "diff(c.loc, a.loc) > %d, c.uid = a.uid "
+      "WITHIN %lld us "
+      "RETURN warning(loc = a.loc, near = b[last].loc, user = a.uid)",
+      lambda, min_avail_count, lambda, static_cast<long long>(window));
+  PmHashOptions hash;
+  hash.attributes = {{"req", "loc"}};
+  hash.numeric_bucket_width = 5.0;  // zone neighbourhoods
+  return Compile("bike", text, registry, std::move(hash));
+}
+
+Result<CannedQuery> MakeStockRisingQuery(const SchemaRegistry& registry,
+                                         Duration window, int min_run_length) {
+  const std::string text = StrFormat(
+      "PATTERN SEQ(tick a, tick+ b[]) "
+      "WHERE b[i].symbol = a.symbol, b[i].price > a.price, "
+      "b[i].price > b[i-1].price, COUNT(b[]) >= %d "
+      "WITHIN %lld us "
+      "RETURN rally(symbol = a.symbol, from = a.price, to = b[last].price, "
+      "length = COUNT(b[]))",
+      min_run_length, static_cast<long long>(window));
+  PmHashOptions hash;
+  hash.attributes = {{"tick", "symbol"}};
+  return Compile("rising", text, registry, std::move(hash));
+}
+
+}  // namespace cep

@@ -1,0 +1,45 @@
+#ifndef CEPSHED_WORKLOAD_QUERIES_H_
+#define CEPSHED_WORKLOAD_QUERIES_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "nfa/nfa.h"
+#include "shedding/pm_hash.h"
+
+namespace cep {
+
+/// \brief A ready-to-run query: compiled automaton plus the recommended
+/// partial-match hash configuration for SBLS (which attributes carry the
+/// learnable regularity for this workload).
+struct CannedQuery {
+  std::string name;
+  std::string text;  ///< SASE source it was parsed from
+  NfaPtr nfa;
+  PmHashOptions pm_hash;
+};
+
+/// Q1 of the paper's evaluation (shape: 3-variable sequence over the cluster
+/// trace with value predicates): SUBMIT -> SCHEDULE -> EVICT of the same
+/// task — detects placement churn. Window parameterised (Table II: 3/5/7 h).
+Result<CannedQuery> MakeClusterQ1(const SchemaRegistry& registry,
+                                  Duration window);
+
+/// Q2: SCHEDULE -> FAIL -> SCHEDULE of the same task — detects failure
+/// flapping / rescheduling loops.
+Result<CannedQuery> MakeClusterQ2(const SchemaRegistry& registry,
+                                  Duration window);
+
+/// The paper's Example 1 (bike sharing): a user requests a bike, several
+/// bikes are available within lambda, yet the user unlocks far away.
+Result<CannedQuery> MakeBikeQuery(const SchemaRegistry& registry,
+                                  Duration window, int lambda,
+                                  int min_avail_count);
+
+/// Rising-run stock query exercising trailing Kleene with [i-1] predicates.
+Result<CannedQuery> MakeStockRisingQuery(const SchemaRegistry& registry,
+                                         Duration window, int min_run_length);
+
+}  // namespace cep
+
+#endif  // CEPSHED_WORKLOAD_QUERIES_H_

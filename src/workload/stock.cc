@@ -1,0 +1,53 @@
+#include "workload/stock.h"
+
+#include <cmath>
+
+#include "event/stream.h"
+
+namespace cep {
+
+Status StockGenerator::RegisterSchemas(SchemaRegistry* registry) {
+  return registry
+      ->Register("tick", {{"symbol", ValueType::kInt},
+                          {"price", ValueType::kDouble},
+                          {"volume", ValueType::kInt}})
+      .status();
+}
+
+Result<std::vector<EventPtr>> StockGenerator::Generate(
+    const SchemaRegistry& registry) const {
+  CEP_ASSIGN_OR_RETURN(EventTypeId tick_t, registry.GetType("tick"));
+  Rng rng(options_.seed);
+
+  std::vector<double> price(options_.num_symbols, options_.initial_price);
+  std::vector<EventPtr> events;
+  uint64_t seq = 0;
+  const double gap_mean_micros =
+      static_cast<double>(kSecond) / options_.ticks_per_second;
+  Timestamp t = 0;
+  while (true) {
+    t += 1 + static_cast<Duration>(
+                 std::llround(rng.NextExponential(1.0 / gap_mean_micros)));
+    if (t > options_.duration) break;
+    const int symbol = static_cast<int>(
+        rng.NextBounded(static_cast<uint64_t>(options_.num_symbols)));
+    // Trendy symbols drift upward; the rest mean-revert around the initial
+    // price.
+    const double drift =
+        IsTrendy(options_, symbol)
+            ? options_.volatility * 0.6
+            : -0.02 * (price[symbol] / options_.initial_price - 1.0) *
+                  options_.volatility * 100.0;
+    const double shock = rng.NextGaussian(0.0, options_.volatility);
+    price[symbol] *= std::exp(drift + shock);
+    const auto volume = static_cast<int64_t>(100 + rng.NextBounded(900));
+    events.push_back(std::make_shared<Event>(
+        tick_t, registry.schema(tick_t), t,
+        std::vector<Value>{Value(static_cast<int64_t>(symbol)),
+                           Value(price[symbol]), Value(volume)},
+        seq++));
+  }
+  return events;
+}
+
+}  // namespace cep

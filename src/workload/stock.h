@@ -1,0 +1,50 @@
+#ifndef CEPSHED_WORKLOAD_STOCK_H_
+#define CEPSHED_WORKLOAD_STOCK_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "event/event.h"
+#include "event/schema.h"
+
+namespace cep {
+
+/// \brief Synthetic stock tick stream (the finance domain of the paper's
+/// introduction). One event type:
+///   tick(symbol:int, price:double, volume:int)
+///
+/// Prices follow per-symbol geometric random walks with a per-symbol
+/// momentum term, so "rising run" Kleene queries find learnable structure:
+/// trendy symbols produce long monotone runs, mean-reverting symbols do not.
+struct StockOptions {
+  Duration duration = 10 * kMinute;
+  int num_symbols = 20;
+  /// Share of symbols with positive momentum (trendy).
+  double trendy_share = 0.3;
+  double ticks_per_second = 50.0;
+  double initial_price = 100.0;
+  double volatility = 0.002;
+  uint64_t seed = 11;
+};
+
+class StockGenerator {
+ public:
+  explicit StockGenerator(StockOptions options) : options_(options) {}
+
+  static Status RegisterSchemas(SchemaRegistry* registry);
+
+  Result<std::vector<EventPtr>> Generate(const SchemaRegistry& registry) const;
+
+  static bool IsTrendy(const StockOptions& options, int symbol) {
+    return symbol < static_cast<int>(options.trendy_share *
+                                     static_cast<double>(options.num_symbols));
+  }
+
+ private:
+  StockOptions options_;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_WORKLOAD_STOCK_H_

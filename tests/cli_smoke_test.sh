@@ -1,0 +1,34 @@
+#!/bin/sh
+# End-to-end smoke test for cepshed_cli: generate -> explain -> run,
+# exercising the full CSV -> parse -> compile -> engine -> shedding path.
+set -e
+CLI="$1"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+"$CLI" generate --workload bike --out "$WORKDIR/bike.csv" --duration-hours 1 \
+    --seed 7 | grep -q "wrote"
+
+QUERY='PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 5 min RETURN w(loc = a.loc, user = a.uid)'
+
+"$CLI" explain --schema bike --query "$QUERY" --dot "$WORKDIR/nfa.dot" \
+    | grep -q "NFA"
+grep -q "digraph" "$WORKDIR/nfa.dot"
+
+"$CLI" run --schema bike --query "$QUERY" --input "$WORKDIR/bike.csv" \
+    --matches "$WORKDIR/matches.csv" --stats | grep -q "matches over"
+test -s "$WORKDIR/matches.csv"
+
+# Shedding path: SBLS with a hard run cap.
+"$CLI" run --schema bike --query "$QUERY" --input "$WORKDIR/bike.csv" \
+    --shedder sbls --max-runs 5 --hash req:loc --stats \
+    | grep -q "shed"
+
+# Error paths exit non-zero.
+if "$CLI" run --schema bike --query "PATTERN garbage" \
+    --input "$WORKDIR/bike.csv" 2>/dev/null; then
+  echo "expected parse failure" >&2
+  exit 1
+fi
+
+echo "cli smoke ok"

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace cep {
+namespace {
+
+TEST(HashTest, Mix64IsDeterministic) {
+  EXPECT_EQ(Mix64(12345), Mix64(12345));
+  EXPECT_NE(Mix64(12345), Mix64(12346));
+}
+
+TEST(HashTest, Mix64SpreadsSequentialInputs) {
+  // Consecutive keys must land in different high bits most of the time.
+  std::unordered_set<uint64_t> tops;
+  for (uint64_t i = 0; i < 256; ++i) tops.insert(Mix64(i) >> 56);
+  EXPECT_GT(tops.size(), 100u);
+}
+
+TEST(HashTest, HashBytesMatchesKnownFnvVector) {
+  // FNV-1a 64-bit of "a" is a published constant.
+  EXPECT_EQ(HashBytes("a", 1), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(HashBytes("", 0), 0xcbf29ce484222325ULL);
+}
+
+TEST(HashTest, HashCombineOrderMatters) {
+  const uint64_t a = Mix64(1), b = Mix64(2);
+  EXPECT_NE(HashCombine(HashCombine(0, a), b),
+            HashCombine(HashCombine(0, b), a));
+}
+
+TEST(HashTest, HashStringEqualsHashBytes) {
+  EXPECT_EQ(HashString("hello"), HashBytes("hello", 5));
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyApproximatesP) {
+  Rng rng(21);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanApproximatesInverseRate) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(RngTest, GaussianMomentsApproximate) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian(5.0, 2.0);
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, PoissonMeanApproximates) {
+  Rng rng(19);
+  double small_sum = 0, large_sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    small_sum += static_cast<double>(rng.NextPoisson(3.0));
+    large_sum += static_cast<double>(rng.NextPoisson(50.0));
+  }
+  EXPECT_NEAR(small_sum / n, 3.0, 0.1);
+  EXPECT_NEAR(large_sum / n, 50.0, 0.5);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0u);
+}
+
+TEST(RngTest, ZipfFavorsLowRanks) {
+  Rng rng(23);
+  int first = 0, last = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t r = rng.NextZipf(100, 1.0);
+    EXPECT_LT(r, 100u);
+    if (r == 0) ++first;
+    if (r == 99) ++last;
+  }
+  EXPECT_GT(first, 20 * std::max(last, 1));
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniformish) {
+  Rng rng(29);
+  int low_half = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextZipf(10, 0.0) < 5) ++low_half;
+  }
+  EXPECT_NEAR(static_cast<double>(low_half) / n, 0.5, 0.03);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(31);
+  const auto perm = rng.Permutation(50);
+  std::set<size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(RngTest, PermutationZeroAndOne) {
+  Rng rng(33);
+  EXPECT_TRUE(rng.Permutation(0).empty());
+  EXPECT_EQ(rng.Permutation(1), std::vector<size_t>{0});
+}
+
+}  // namespace
+}  // namespace cep

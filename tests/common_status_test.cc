@@ -1,0 +1,142 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace cep {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::ParseError("bad token").ToString(),
+            "ParseError: bad token");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status a = Status::IoError("disk");
+  Status b = a;  // copy ctor
+  EXPECT_TRUE(b.IsIoError());
+  EXPECT_EQ(b.message(), "disk");
+  Status c;
+  c = a;  // copy assign
+  EXPECT_TRUE(c.IsIoError());
+  a = Status::OK();
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(c.IsIoError()) << "copy must be independent";
+}
+
+TEST(StatusTest, MovePreservesState) {
+  Status a = Status::Internal("boom");
+  Status b = std::move(a);
+  EXPECT_TRUE(b.IsInternal());
+  EXPECT_EQ(b.message(), "boom");
+}
+
+TEST(StatusTest, WithContextPrefixesMessage) {
+  const Status st = Status::ParseError("bad char").WithContext("line 3");
+  EXPECT_EQ(st.message(), "line 3: bad char");
+  EXPECT_TRUE(st.IsParseError());
+  EXPECT_TRUE(Status::OK().WithContext("ignored").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IoError("a"));
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STRNE(StatusCodeName(StatusCode::kParseError),
+               StatusCodeName(StatusCode::kTypeError));
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnNotOk(int x) {
+  CEP_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk(1).ok());
+  EXPECT_TRUE(UsesReturnNotOk(-1).IsInvalidArgument());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r.ValueOr("fallback"), "hello");
+}
+
+TEST(ResultTest, ConvertingConstructor) {
+  // unique_ptr<Derived> -> Result<unique_ptr<Base>> style conversions.
+  Result<std::shared_ptr<const int>> r = std::make_shared<int>(9);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.ValueOrDie(), 9);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  CEP_ASSIGN_OR_RETURN(int h, Half(x));
+  CEP_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultMacrosTest, AssignOrReturnChains) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ValueOrDie(), 2);
+  EXPECT_TRUE(Quarter(6).status().IsInvalidArgument());  // 6/2=3 is odd
+  EXPECT_TRUE(Quarter(7).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveValueUnsafeMovesOutOwnership) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  std::unique_ptr<int> v = r.MoveValueUnsafe();
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 5);
+}
+
+}  // namespace
+}  // namespace cep

@@ -1,0 +1,75 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace cep {
+namespace {
+
+TEST(SplitStringTest, BasicSplit) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitStringTest, KeepsEmptyFields) {
+  EXPECT_EQ(SplitString(",a,,b,", ','),
+            (std::vector<std::string>{"", "a", "", "b", ""}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  abc \t\n"), "abc");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" a b "), "a b");
+}
+
+TEST(EqualsIgnoreCaseTest, Matches) {
+  EXPECT_TRUE(EqualsIgnoreCase("PATTERN", "pattern"));
+  EXPECT_TRUE(EqualsIgnoreCase("SeQ", "sEq"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(ParseInt64Test, ParsesValidIntegers) {
+  EXPECT_EQ(ParseInt64("42").ValueOrDie(), 42);
+  EXPECT_EQ(ParseInt64("-17").ValueOrDie(), -17);
+  EXPECT_EQ(ParseInt64("  8  ").ValueOrDie(), 8);
+  EXPECT_EQ(ParseInt64("0").ValueOrDie(), 0);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  EXPECT_TRUE(ParseInt64("").status().IsParseError());
+  EXPECT_TRUE(ParseInt64("abc").status().IsParseError());
+  EXPECT_TRUE(ParseInt64("12x").status().IsParseError());
+  EXPECT_TRUE(ParseInt64("1.5").status().IsParseError());
+  EXPECT_TRUE(ParseInt64("99999999999999999999").status().IsOutOfRange());
+}
+
+TEST(ParseDoubleTest, ParsesValidDoubles) {
+  EXPECT_DOUBLE_EQ(ParseDouble("2.5").ValueOrDie(), 2.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").ValueOrDie(), -1000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("7").ValueOrDie(), 7.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_TRUE(ParseDouble("").status().IsParseError());
+  EXPECT_TRUE(ParseDouble("1.2.3").status().IsParseError());
+  EXPECT_TRUE(ParseDouble("x").status().IsParseError());
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(JoinStringsTest, JoinsWithSeparator) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+}  // namespace
+}  // namespace cep

@@ -1,0 +1,138 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace cep {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, TypeTagsMatchConstructors) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int64_t{3}).is_int());
+  EXPECT_TRUE(Value(3).is_int());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_TRUE(Value(std::string("abc")).is_string());
+  EXPECT_TRUE(Value(3).is_numeric());
+  EXPECT_TRUE(Value(3.5).is_numeric());
+  EXPECT_FALSE(Value("x").is_numeric());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(true).bool_value(), true);
+  EXPECT_EQ(Value(42).int_value(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value("hi").string_value(), "hi");
+  EXPECT_DOUBLE_EQ(Value(42).AsDouble(), 42.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+}
+
+TEST(ValueTest, CheckedAccessorsRejectWrongType) {
+  EXPECT_TRUE(Value(1).GetBool().status().IsTypeError());
+  EXPECT_TRUE(Value(true).GetInt().status().IsTypeError());
+  EXPECT_TRUE(Value("x").GetDouble().status().IsTypeError());
+  EXPECT_TRUE(Value(1).GetString().status().IsTypeError());
+  EXPECT_EQ(Value(7).GetInt().ValueOrDie(), 7);
+  // GetDouble accepts ints (numeric widening).
+  EXPECT_DOUBLE_EQ(Value(7).GetDouble().ValueOrDie(), 7.0);
+}
+
+TEST(ValueTest, EqualityWithinTypes) {
+  EXPECT_EQ(Value(3), Value(3));
+  EXPECT_NE(Value(3), Value(4));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value(true), Value(true));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value(3), Value(3.0));
+  EXPECT_NE(Value(3), Value(3.5));
+}
+
+TEST(ValueTest, NoCrossTypeEqualityOtherwise) {
+  EXPECT_NE(Value(1), Value(true));
+  EXPECT_NE(Value("3"), Value(3));
+  EXPECT_NE(Value(), Value(0));
+}
+
+TEST(ValueTest, CompareNumeric) {
+  EXPECT_EQ(Value::Compare(Value(1), Value(2)).ValueOrDie(), -1);
+  EXPECT_EQ(Value::Compare(Value(2), Value(2)).ValueOrDie(), 0);
+  EXPECT_EQ(Value::Compare(Value(3), Value(2)).ValueOrDie(), 1);
+  EXPECT_EQ(Value::Compare(Value(1.5), Value(2)).ValueOrDie(), -1);
+  EXPECT_EQ(Value::Compare(Value(2), Value(1.5)).ValueOrDie(), 1);
+}
+
+TEST(ValueTest, CompareStringsAndBools) {
+  EXPECT_EQ(Value::Compare(Value("a"), Value("b")).ValueOrDie(), -1);
+  EXPECT_EQ(Value::Compare(Value("b"), Value("b")).ValueOrDie(), 0);
+  EXPECT_EQ(Value::Compare(Value(false), Value(true)).ValueOrDie(), -1);
+}
+
+TEST(ValueTest, CompareIncompatibleTypesFails) {
+  EXPECT_TRUE(Value::Compare(Value("a"), Value(1)).status().IsTypeError());
+  EXPECT_TRUE(Value::Compare(Value(), Value(1)).status().IsTypeError());
+  EXPECT_TRUE(Value::Compare(Value(true), Value(1)).status().IsTypeError());
+}
+
+TEST(ValueTest, HashEqualValuesHashEqually) {
+  EXPECT_EQ(Value(17).Hash(), Value(17).Hash());
+  EXPECT_EQ(Value("xyz").Hash(), Value("xyz").Hash());
+  EXPECT_EQ(Value(-0.0).Hash(), Value(0.0).Hash());
+}
+
+TEST(ValueTest, HashDistinguishesTypesAndValues) {
+  // Not guaranteed in theory, but these must differ for a usable hash.
+  EXPECT_NE(Value(3).Hash(), Value(3.0).Hash());
+  EXPECT_NE(Value(3).Hash(), Value(4).Hash());
+  EXPECT_NE(Value("a").Hash(), Value("b").Hash());
+  EXPECT_NE(Value().Hash(), Value(0).Hash());
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value(3).ToString(), "3");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(false).ToString(), "false");
+  EXPECT_EQ(Value("s").ToString(), "s");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, ValueTypeNames) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kNull), "null");
+  EXPECT_STREQ(ValueTypeName(ValueType::kBool), "bool");
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt), "int");
+  EXPECT_STREQ(ValueTypeName(ValueType::kDouble), "double");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "string");
+}
+
+// Property-style sweep: Compare is antisymmetric and consistent with ==
+// across a grid of numeric values.
+class ValueCompareProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValueCompareProperty, AntisymmetricAgainstGrid) {
+  const int64_t a = GetParam();
+  for (int64_t b = -3; b <= 3; ++b) {
+    const int ab = Value::Compare(Value(a), Value(b)).ValueOrDie();
+    const int ba = Value::Compare(Value(b), Value(a)).ValueOrDie();
+    EXPECT_EQ(ab, -ba);
+    EXPECT_EQ(ab == 0, Value(a) == Value(b));
+    // Mixed int/double comparisons agree with pure-int ones.
+    const int mixed =
+        Value::Compare(Value(static_cast<double>(a)), Value(b)).ValueOrDie();
+    EXPECT_EQ(ab, mixed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ValueCompareProperty,
+                         ::testing::Values(-3, -1, 0, 1, 2, 3));
+
+}  // namespace
+}  // namespace cep

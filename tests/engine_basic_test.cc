@@ -1,0 +1,186 @@
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+using testing_util::RunAll;
+
+class EngineBasicTest : public ::testing::Test {
+ protected:
+  BikeSchema fixture_;
+  EngineOptions options_;
+};
+
+TEST_F(EngineBasicTest, DetectsSimpleSequence) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 10 min");
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Req(1 * kMinute, 5, 42),
+                               fixture_.Unlock(2 * kMinute, 9, 42, 7)});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].first_ts, 1 * kMinute);
+  EXPECT_EQ(matches[0].last_ts, 2 * kMinute);
+  ASSERT_EQ(matches[0].bindings.size(), 2u);
+  EXPECT_EQ(matches[0].bindings[0][0]->attribute("uid"), Value(42));
+}
+
+TEST_F(EngineBasicTest, PredicateFiltersNonMatchingPairs) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 10 min");
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Req(1 * kMinute, 5, 42),
+                               fixture_.Unlock(2 * kMinute, 9, 99, 7)});
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST_F(EngineBasicTest, WindowExcludesLateEvents) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 10 min");
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Req(1 * kMinute, 5, 42),
+                               fixture_.Unlock(12 * kMinute, 9, 42, 7)});
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST_F(EngineBasicTest, WindowBoundaryIsInclusive) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WITHIN 10 min");
+  // last - first == window exactly: still a match (Expired uses >).
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Req(0, 5, 42),
+                               fixture_.Unlock(10 * kMinute, 9, 42, 7)});
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST_F(EngineBasicTest, SkipTillAnyMatchFindsAllCombinations) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 10 min");
+  // Two reqs by the same user, two unlocks: 2x2 matches.
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Req(1 * kMinute, 1, 42),
+                               fixture_.Req(2 * kMinute, 2, 42),
+                               fixture_.Unlock(3 * kMinute, 3, 42, 7),
+                               fixture_.Unlock(4 * kMinute, 4, 42, 8)});
+  EXPECT_EQ(matches.size(), 4u);
+}
+
+TEST_F(EngineBasicTest, SingleVariableQueryEmitsPerEvent) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a) WHERE a.loc > 10 WITHIN 1 min");
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Req(1, 5, 1), fixture_.Req(2, 15, 2),
+                               fixture_.Req(3, 20, 3)});
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST_F(EngineBasicTest, ComplexEventCarriesReturnValues) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 10 min "
+      "RETURN warning(where = a.loc, who = a.uid, far = diff(c.loc, a.loc))");
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Req(1 * kMinute, 5, 42),
+                               fixture_.Unlock(2 * kMinute, 9, 42, 7)});
+  ASSERT_EQ(matches.size(), 1u);
+  const EventPtr& complex = matches[0].complex_event;
+  ASSERT_NE(complex, nullptr);
+  EXPECT_EQ(complex->schema().name(), "warning");
+  EXPECT_EQ(complex->attribute("where"), Value(5));
+  EXPECT_EQ(complex->attribute("who"), Value(42));
+  EXPECT_EQ(complex->attribute("far"), Value(4.0));
+  EXPECT_EQ(complex->timestamp(), 2 * kMinute);
+}
+
+TEST_F(EngineBasicTest, NoReturnClauseNoComplexEvent) {
+  NfaPtr nfa = fixture_.Compile("PATTERN SEQ(req a) WITHIN 1 min");
+  const auto matches = RunAll(nfa, options_, {fixture_.Req(1, 1, 1)});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].complex_event, nullptr);
+}
+
+TEST_F(EngineBasicTest, MatchCallbackFires) {
+  NfaPtr nfa = fixture_.Compile("PATTERN SEQ(req a) WITHIN 1 min");
+  Engine engine(nfa, options_);
+  int called = 0;
+  engine.SetMatchCallback([&](const Match&) { ++called; });
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(1, 1, 1)));
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(2, 2, 2)));
+  EXPECT_EQ(called, 2);
+  EXPECT_EQ(engine.matches().size(), 2u);
+}
+
+TEST_F(EngineBasicTest, CollectMatchesCanBeDisabled) {
+  NfaPtr nfa = fixture_.Compile("PATTERN SEQ(req a) WITHIN 1 min");
+  EngineOptions options;
+  options.collect_matches = false;
+  Engine engine(nfa, options);
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(1, 1, 1)));
+  EXPECT_TRUE(engine.matches().empty());
+  EXPECT_EQ(engine.metrics().matches_emitted, 1u);
+}
+
+TEST_F(EngineBasicTest, RejectsOutOfOrderEvents) {
+  NfaPtr nfa = fixture_.Compile("PATTERN SEQ(req a) WITHIN 1 min");
+  Engine engine(nfa, options_);
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(10, 1, 1)));
+  EXPECT_TRUE(engine.ProcessEvent(fixture_.Req(5, 1, 1))
+                  .IsInvalidArgument());
+  // Equal timestamps are allowed.
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(10, 1, 1)));
+}
+
+TEST_F(EngineBasicTest, MetricsCountLifecycle) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 1 min");
+  Engine engine(nfa, options_);
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(1, 1, 42)));
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Unlock(2, 2, 42, 7)));
+  // Expire the remaining run.
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(3 * kMinute, 1, 43)));
+  const EngineMetrics& m = engine.metrics();
+  EXPECT_EQ(m.events_processed, 3u);
+  EXPECT_EQ(m.runs_created, 2u);
+  EXPECT_EQ(m.runs_extended, 1u);
+  EXPECT_EQ(m.matches_emitted, 1u);
+  EXPECT_EQ(m.runs_expired, 1u);
+  EXPECT_GE(m.peak_runs, 1u);
+  EXPECT_GT(m.edge_evaluations, 0u);
+}
+
+TEST_F(EngineBasicTest, ProcessStreamDrains) {
+  NfaPtr nfa = fixture_.Compile("PATTERN SEQ(req a) WITHIN 1 min");
+  Engine engine(nfa, options_);
+  VectorEventStream stream(
+      {fixture_.Req(1, 1, 1), fixture_.Req(2, 2, 2), fixture_.Req(3, 3, 3)});
+  CEP_ASSERT_OK(engine.ProcessStream(&stream));
+  EXPECT_EQ(engine.matches().size(), 3u);
+}
+
+TEST_F(EngineBasicTest, IrrelevantEventTypesAreCheap) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WITHIN 10 min");
+  Engine engine(nfa, options_);
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(1, 1, 1)));
+  const uint64_t evals_before = engine.metrics().edge_evaluations;
+  // avail events are irrelevant to this query: no edge evaluations beyond
+  // the per-event baseline.
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Avail(2, 1, 1)));
+  EXPECT_EQ(engine.metrics().edge_evaluations, evals_before + 1);
+}
+
+TEST_F(EngineBasicTest, MatchFingerprintIdentifiesBoundEvents) {
+  NfaPtr nfa = fixture_.Compile("PATTERN SEQ(req a, unlock c) WITHIN 10 min");
+  const EventPtr r = fixture_.Req(1, 1, 1);
+  const EventPtr u1 = fixture_.Unlock(2, 2, 1, 5);
+  const EventPtr u2 = fixture_.Unlock(3, 3, 1, 6);
+  const auto matches = RunAll(nfa, options_, {r, u1, u2});
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_NE(matches[0].fingerprint, matches[1].fingerprint);
+}
+
+}  // namespace
+}  // namespace cep

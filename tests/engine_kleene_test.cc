@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+using testing_util::RunAll;
+
+class EngineKleeneTest : public ::testing::Test {
+ protected:
+  BikeSchema fixture_;
+  EngineOptions options_;
+};
+
+/// Reproduces the paper's Table I: after processing r1, r2, a1, a2 for
+/// SEQ(req a, avail+ b[], ...) under skip-till-any-match, the system holds
+/// exactly eight partial matches: <r1>, <r2>, <r1,a1>, <r1,a2>, <r1,a1,a2>,
+/// <r2,a1>, <r2,a2>, <r2,a1,a2>.
+TEST_F(EngineKleeneTest, TableOnePartialMatchGrowth) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) WITHIN 10 min");
+  Engine engine(nfa, options_);
+  // Timestamps follow Table I (in minutes).
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(1 * kMinute, 1, 5)));
+  EXPECT_EQ(engine.num_runs(), 1u);
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(8 * kMinute, 2, 6)));
+  EXPECT_EQ(engine.num_runs(), 2u);
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Avail(9 * kMinute, 3, 90)));
+  EXPECT_EQ(engine.num_runs(), 4u);  // r1, r2, r1a1, r2a1
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Avail(10 * kMinute, 4, 85)));
+  EXPECT_EQ(engine.num_runs(), 8u);  // Table I
+  // One more avail doubles again (2 * 2^3 = 16): exponential growth.
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Avail(10 * kMinute, 5, 86)));
+  EXPECT_EQ(engine.num_runs(), 16u);
+}
+
+TEST_F(EngineKleeneTest, KleeneMatchesEverySubsequence) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) WITHIN 10 min");
+  // One req, three avails, one unlock: every non-empty subset of the avails
+  // in order forms a match -> 2^3 - 1 = 7 matches.
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Req(1 * kMinute, 1, 5),
+                               fixture_.Avail(2 * kMinute, 1, 1),
+                               fixture_.Avail(3 * kMinute, 1, 2),
+                               fixture_.Avail(4 * kMinute, 1, 3),
+                               fixture_.Unlock(5 * kMinute, 1, 5, 9)});
+  EXPECT_EQ(matches.size(), 7u);
+}
+
+TEST_F(EngineKleeneTest, CountPredicateGatesAtExit) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE COUNT(b[]) > 2 WITHIN 10 min");
+  // Only the subset of size 3 passes COUNT > 2.
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Req(1 * kMinute, 1, 5),
+                               fixture_.Avail(2 * kMinute, 1, 1),
+                               fixture_.Avail(3 * kMinute, 1, 2),
+                               fixture_.Avail(4 * kMinute, 1, 3),
+                               fixture_.Unlock(5 * kMinute, 1, 5, 9)});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].bindings[1].size(), 3u);
+}
+
+TEST_F(EngineKleeneTest, KleeneTakePredicateFiltersElements) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE diff(b[i].loc, a.loc) < 5 WITHIN 10 min");
+  // Second avail is far away (loc 100): it can never join the Kleene part.
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Req(1 * kMinute, 10, 5),
+                               fixture_.Avail(2 * kMinute, 12, 1),
+                               fixture_.Avail(3 * kMinute, 100, 2),
+                               fixture_.Unlock(5 * kMinute, 10, 5, 9)});
+  // Only <r, a1, u>: one match.
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].bindings[1][0]->attribute("bid"), Value(1));
+}
+
+TEST_F(EngineKleeneTest, PrevPredicateEnforcesMonotoneRuns) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE b[i].loc > b[i-1].loc, COUNT(b[]) > 1 WITHIN 10 min");
+  // locs 1, 3, 2: increasing subsequences with >= 2 elements: (1,3), (1,2)
+  // — note (3,2) fails and (1,3,2) fails on the last take.
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Req(1 * kMinute, 0, 5),
+                               fixture_.Avail(2 * kMinute, 1, 1),
+                               fixture_.Avail(3 * kMinute, 3, 2),
+                               fixture_.Avail(4 * kMinute, 2, 3),
+                               fixture_.Unlock(5 * kMinute, 0, 5, 9)});
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST_F(EngineKleeneTest, TrailingKleeneEmitsOnEveryQualifiedTake) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[]) WHERE COUNT(b[]) > 1 WITHIN 10 min");
+  Engine engine(nfa, options_);
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(1 * kMinute, 1, 5)));
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Avail(2 * kMinute, 1, 1)));
+  EXPECT_EQ(engine.matches().size(), 0u);  // COUNT = 1 fails the gate
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Avail(3 * kMinute, 1, 2)));
+  // Subsets of size 2: {a1,a2} -> 1 new match.
+  EXPECT_EQ(engine.matches().size(), 1u);
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Avail(4 * kMinute, 1, 3)));
+  // New matches ending at a3 with >= 2 elements: {a1,a3},{a2,a3},{a1,a2,a3}.
+  EXPECT_EQ(engine.matches().size(), 4u);
+}
+
+TEST_F(EngineKleeneTest, KleeneRunsExpireWithWindow) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) WITHIN 10 min");
+  Engine engine(nfa, options_);
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(1 * kMinute, 1, 5)));
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Avail(2 * kMinute, 1, 1)));
+  EXPECT_EQ(engine.num_runs(), 2u);
+  // 12 minutes later, everything anchored at minute 1 is gone.
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(13 * kMinute, 1, 6)));
+  EXPECT_EQ(engine.num_runs(), 1u);
+  EXPECT_EQ(engine.metrics().runs_expired, 2u);
+}
+
+TEST_F(EngineKleeneTest, PaperExampleEndToEnd) {
+  // The full Example 1 query with lambda = 5 and COUNT > 2.
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE diff(b[i].loc, a.loc) < 5, COUNT(b[]) > 2, "
+      "diff(c.loc, a.loc) > 5, c.uid = a.uid "
+      "WITHIN 10 min "
+      "RETURN warning(loc = a.loc, user = a.uid)");
+  // req at loc 10 by user 5; three nearby bikes; unlock far away by user 5.
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Req(1 * kMinute, 10, 5),
+                               fixture_.Avail(2 * kMinute, 11, 1),
+                               fixture_.Avail(3 * kMinute, 9, 2),
+                               fixture_.Avail(4 * kMinute, 12, 3),
+                               fixture_.Unlock(6 * kMinute, 30, 5, 9)});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].complex_event->attribute("loc"), Value(10));
+  EXPECT_EQ(matches[0].complex_event->attribute("user"), Value(5));
+}
+
+TEST_F(EngineKleeneTest, LeadingKleenePattern) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(avail+ b[], unlock c) WITHIN 10 min");
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Avail(1 * kMinute, 1, 1),
+                               fixture_.Avail(2 * kMinute, 1, 2),
+                               fixture_.Unlock(3 * kMinute, 1, 5, 9)});
+  // Non-empty subsets of {a1, a2}: 3 matches.
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+}  // namespace
+}  // namespace cep

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+using testing_util::RunAll;
+
+class EngineNegationTest : public ::testing::Test {
+ protected:
+  BikeSchema fixture_;
+  EngineOptions options_;
+};
+
+TEST_F(EngineNegationTest, ViolationKillsTheRun) {
+  // req .. (no avail) .. unlock — any avail in between kills the match.
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, NOT avail x, unlock c) WITHIN 10 min");
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Req(1 * kMinute, 1, 5),
+                               fixture_.Avail(2 * kMinute, 1, 1),
+                               fixture_.Unlock(3 * kMinute, 1, 5, 9)});
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST_F(EngineNegationTest, NoViolationMatches) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, NOT avail x, unlock c) WITHIN 10 min");
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Req(1 * kMinute, 1, 5),
+                               fixture_.Unlock(3 * kMinute, 1, 5, 9)});
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST_F(EngineNegationTest, PredicatedNegationOnlyKillsOnCondition) {
+  // Only avail events at the same loc as the request forbid the match.
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, NOT avail x, unlock c) "
+      "WHERE x.loc = a.loc WITHIN 10 min");
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Req(1 * kMinute, 1, 5),
+                               fixture_.Avail(2 * kMinute, 99, 1),  // elsewhere
+                               fixture_.Unlock(3 * kMinute, 1, 5, 9)});
+  EXPECT_EQ(matches.size(), 1u);
+  const auto killed = RunAll(nfa, options_,
+                             {fixture_.Req(1 * kMinute, 1, 5),
+                              fixture_.Avail(2 * kMinute, 1, 1),  // same loc
+                              fixture_.Unlock(3 * kMinute, 1, 5, 9)});
+  EXPECT_TRUE(killed.empty());
+}
+
+TEST_F(EngineNegationTest, ViolationBeforeAnchorIsIrrelevant) {
+  // An avail before the req does not affect the match.
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, NOT avail x, unlock c) WITHIN 10 min");
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Avail(1 * kMinute, 1, 1),
+                               fixture_.Req(2 * kMinute, 1, 5),
+                               fixture_.Unlock(3 * kMinute, 1, 5, 9)});
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST_F(EngineNegationTest, ViolationAfterCompletionIsIrrelevant) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, NOT avail x, unlock c) WITHIN 10 min");
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Req(1 * kMinute, 1, 5),
+                               fixture_.Unlock(2 * kMinute, 1, 5, 9),
+                               fixture_.Avail(3 * kMinute, 1, 1)});
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST_F(EngineNegationTest, KillOnlyAffectsRunsInTheGap) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, NOT avail x, unlock c) WITHIN 10 min");
+  // First req is killed by the avail; a second req arriving after the avail
+  // is not.
+  const auto matches = RunAll(nfa, options_,
+                              {fixture_.Req(1 * kMinute, 1, 5),
+                               fixture_.Avail(2 * kMinute, 1, 1),
+                               fixture_.Req(3 * kMinute, 1, 6),
+                               fixture_.Unlock(4 * kMinute, 1, 6, 9)});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].bindings[0][0]->attribute("uid"), Value(6));
+}
+
+TEST_F(EngineNegationTest, DoubleNegation) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, NOT avail x, NOT unlock y, req c) "
+      "WHERE y.uid = a.uid WITHIN 10 min");
+  // A foreign-user unlock does not kill; a matching one does.
+  const auto survives = RunAll(nfa, options_,
+                               {fixture_.Req(1 * kMinute, 1, 5),
+                                fixture_.Unlock(2 * kMinute, 1, 99, 9),
+                                fixture_.Req(3 * kMinute, 2, 7)});
+  EXPECT_EQ(survives.size(), 1u);
+  const auto killed = RunAll(nfa, options_,
+                             {fixture_.Req(1 * kMinute, 1, 5),
+                              fixture_.Unlock(2 * kMinute, 1, 5, 9),
+                              fixture_.Req(3 * kMinute, 2, 7)});
+  EXPECT_TRUE(killed.empty());
+}
+
+TEST_F(EngineNegationTest, NegationBeforeKleene) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, NOT unlock x, avail+ b[]) "
+      "WHERE x.uid = a.uid WITHIN 10 min");
+  // The unlock by the same user between req and the first avail kills it.
+  const auto killed = RunAll(nfa, options_,
+                             {fixture_.Req(1 * kMinute, 1, 5),
+                              fixture_.Unlock(2 * kMinute, 1, 5, 9),
+                              fixture_.Avail(3 * kMinute, 1, 1)});
+  EXPECT_TRUE(killed.empty());
+  // Once the Kleene part has started, later unlocks are fine.
+  const auto survives = RunAll(nfa, options_,
+                               {fixture_.Req(1 * kMinute, 1, 5),
+                                fixture_.Avail(2 * kMinute, 1, 1),
+                                fixture_.Unlock(3 * kMinute, 1, 5, 9),
+                                fixture_.Avail(4 * kMinute, 1, 2)});
+  EXPECT_GE(survives.size(), 1u);
+}
+
+TEST_F(EngineNegationTest, TrailingNegationEmitsOnWindowClose) {
+  // "A request not followed by any unlock of the same user within 10 min."
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, NOT unlock x) WHERE x.uid = a.uid WITHIN 10 min");
+  Engine engine(nfa, EngineOptions{});
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(1 * kMinute, 1, 5)));
+  EXPECT_EQ(engine.matches().size(), 0u);  // deferred
+  EXPECT_EQ(engine.num_runs(), 1u);
+  // An unrelated event after the window closes confirms the match.
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Avail(12 * kMinute, 1, 1)));
+  ASSERT_EQ(engine.matches().size(), 1u);
+  EXPECT_EQ(engine.matches()[0].bindings[0][0]->attribute("uid"), Value(5));
+  EXPECT_EQ(engine.num_runs(), 0u);
+}
+
+TEST_F(EngineNegationTest, TrailingNegationViolationSuppressesMatch) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, NOT unlock x) WHERE x.uid = a.uid WITHIN 10 min");
+  Engine engine(nfa, EngineOptions{});
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(1 * kMinute, 1, 5)));
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Unlock(3 * kMinute, 2, 5, 9)));
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Avail(12 * kMinute, 1, 1)));
+  EXPECT_TRUE(engine.matches().empty());
+  EXPECT_EQ(engine.metrics().runs_killed, 1u);
+}
+
+TEST_F(EngineNegationTest, TrailingNegationForeignViolatorIsIgnored) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, NOT unlock x) WHERE x.uid = a.uid WITHIN 10 min");
+  Engine engine(nfa, EngineOptions{});
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(1 * kMinute, 1, 5)));
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Unlock(3 * kMinute, 2, 99, 9)));
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Avail(12 * kMinute, 1, 1)));
+  EXPECT_EQ(engine.matches().size(), 1u);
+}
+
+TEST_F(EngineNegationTest, FlushConfirmsPendingTrailingNegations) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, NOT unlock x) WHERE x.uid = a.uid WITHIN 10 min");
+  Engine engine(nfa, EngineOptions{});
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(1 * kMinute, 1, 5)));
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(2 * kMinute, 2, 6)));
+  EXPECT_TRUE(engine.matches().empty());
+  CEP_ASSERT_OK(engine.Flush());
+  EXPECT_EQ(engine.matches().size(), 2u);
+  EXPECT_EQ(engine.num_runs(), 0u);
+  // Flush is idempotent.
+  CEP_ASSERT_OK(engine.Flush());
+  EXPECT_EQ(engine.matches().size(), 2u);
+}
+
+TEST_F(EngineNegationTest, TrailingNegationBetweenPositivesStillWorks) {
+  // Mixed: an inner negation and a trailing one.
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, NOT avail y, req b, NOT unlock x) "
+      "WHERE x.uid = a.uid WITHIN 10 min");
+  // Run: a@1, b@2; no avail between; no unlock by uid 5 afterwards.
+  const auto matches = testing_util::RunAll(
+      nfa, EngineOptions{},
+      {fixture_.Req(1 * kMinute, 1, 5), fixture_.Req(2 * kMinute, 2, 6),
+       fixture_.Unlock(3 * kMinute, 1, 99, 1)});
+  // Matches: (a@1, b@2) pending -> flushed. The run started at a@2 never
+  // gets a second req, so exactly one match.
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST_F(EngineNegationTest, KilledRunsAreCounted) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, NOT avail x, unlock c) WITHIN 10 min");
+  Engine engine(nfa, options_);
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(1 * kMinute, 1, 5)));
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(1 * kMinute, 2, 6)));
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Avail(2 * kMinute, 1, 1)));
+  EXPECT_EQ(engine.metrics().runs_killed, 2u);
+  EXPECT_EQ(engine.num_runs(), 0u);
+}
+
+}  // namespace
+}  // namespace cep

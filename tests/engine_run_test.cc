@@ -1,0 +1,129 @@
+#include "engine/run.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+
+class RunTest : public ::testing::Test {
+ protected:
+  BikeSchema fixture_;
+};
+
+TEST_F(RunTest, BindSetsTimestampsAndState) {
+  ::cep::Run run(1, 3, 0, 0);
+  EXPECT_EQ(run.size(), 0);
+  run.Bind(0, fixture_.Req(5 * kMinute, 1, 2), 1);
+  EXPECT_EQ(run.state(), 1);
+  EXPECT_EQ(run.start_ts(), 5 * kMinute);
+  EXPECT_EQ(run.last_ts(), 5 * kMinute);
+  EXPECT_EQ(run.size(), 1);
+  run.Bind(1, fixture_.Avail(6 * kMinute, 1, 3), 2);
+  EXPECT_EQ(run.start_ts(), 5 * kMinute);  // anchored at the first event
+  EXPECT_EQ(run.last_ts(), 6 * kMinute);
+  EXPECT_EQ(run.size(), 2);
+  EXPECT_EQ(run.binding(0).size(), 1u);
+  EXPECT_EQ(run.binding(1).size(), 1u);
+  EXPECT_TRUE(run.binding(2).empty());
+}
+
+TEST_F(RunTest, ExtendSharesUnchangedBindingsCopyOnWrite) {
+  ::cep::Run parent(1, 2, 0, 0);
+  parent.Bind(0, fixture_.Req(1, 1, 2), 1);
+  parent.Bind(1, fixture_.Avail(2, 1, 3), 1);
+  const EventPtr extra = fixture_.Avail(3, 1, 4);
+  auto child = parent.Extend(2, 1, extra, 1);
+  // Unchanged variable shares storage; the extended one does not alias.
+  EXPECT_EQ(&parent.binding(0), &child->binding(0));
+  EXPECT_NE(&parent.binding(1), &child->binding(1));
+  // The parent is untouched by the child's extension.
+  EXPECT_EQ(parent.binding(1).size(), 1u);
+  EXPECT_EQ(child->binding(1).size(), 2u);
+  EXPECT_EQ(child->binding(1)[1]->timestamp(), 3);
+  // Extending the parent again must not affect the earlier child.
+  parent.Bind(1, fixture_.Avail(4, 1, 5), 1);
+  EXPECT_EQ(child->binding(1).size(), 2u);
+  EXPECT_EQ(parent.binding(1).size(), 2u);
+  EXPECT_EQ(parent.binding(1)[1]->timestamp(), 4);
+}
+
+TEST_F(RunTest, ExtendInheritsMetadata) {
+  ::cep::Run parent(1, 2, 0, 0);
+  parent.Bind(0, fixture_.Req(kMinute, 1, 2), 1);
+  parent.PushTrail(77);
+  parent.set_pm_hash(0xabc);
+  auto child = parent.Extend(9, 1, fixture_.Avail(2 * kMinute, 1, 3), 2);
+  EXPECT_EQ(child->id(), 9u);
+  EXPECT_EQ(child->state(), 2);
+  EXPECT_EQ(child->start_ts(), kMinute);
+  EXPECT_EQ(child->last_ts(), 2 * kMinute);
+  EXPECT_EQ(child->size(), 2);
+  EXPECT_EQ(child->trail(), (std::vector<uint64_t>{77}));
+  EXPECT_EQ(child->pm_hash(), 0xabcu);
+}
+
+TEST_F(RunTest, CopyBindingsMaterialisesAllVariables) {
+  ::cep::Run run(1, 3, 0, 0);
+  run.Bind(0, fixture_.Req(1, 1, 2), 1);
+  run.Bind(1, fixture_.Avail(2, 1, 3), 1);
+  run.Bind(1, fixture_.Avail(3, 1, 4), 1);
+  const auto copy = run.CopyBindings();
+  ASSERT_EQ(copy.size(), 3u);
+  EXPECT_EQ(copy[0].size(), 1u);
+  EXPECT_EQ(copy[1].size(), 2u);
+  EXPECT_TRUE(copy[2].empty());
+}
+
+TEST_F(RunTest, TtlAndExpiry) {
+  ::cep::Run run(1, 1, 0, 0);
+  run.Bind(0, fixture_.Req(100, 1, 2), 1);
+  EXPECT_EQ(run.RemainingTtl(100, 50), 50);
+  EXPECT_EQ(run.RemainingTtl(130, 50), 20);
+  EXPECT_EQ(run.RemainingTtl(200, 50), 0);
+  EXPECT_FALSE(run.Expired(150, 50));  // inclusive boundary
+  EXPECT_TRUE(run.Expired(151, 50));
+}
+
+TEST_F(RunTest, BindingViewVirtualAppendOnKleene) {
+  ::cep::Run run(1, 2, 0, 0);
+  run.Bind(0, fixture_.Req(1, 1, 2), 1);
+  run.Bind(1, fixture_.Avail(2, 10, 3), 1);
+  const EventPtr candidate = fixture_.Avail(3, 20, 4);
+  const RunBindingView view(run, 1, candidate.get());
+  EXPECT_EQ(view.KleeneCount(1), 2);
+  EXPECT_EQ(view.KleeneAt(1, 0)->attribute("loc"), Value(10));
+  EXPECT_EQ(view.KleeneAt(1, 1)->attribute("loc"), Value(20));  // virtual
+  EXPECT_EQ(view.KleeneAt(1, 2), nullptr);
+  EXPECT_EQ(view.Current(), candidate.get());
+  // Without a candidate, the view reflects stored state only.
+  const RunBindingView plain(run);
+  EXPECT_EQ(plain.KleeneCount(1), 1);
+  EXPECT_EQ(plain.Current(), nullptr);
+}
+
+TEST_F(RunTest, BindingViewVirtualSingle) {
+  ::cep::Run run(1, 2, 0, 0);
+  const EventPtr candidate = fixture_.Req(1, 7, 8);
+  const RunBindingView view(run, 0, candidate.get());
+  EXPECT_EQ(view.Single(0), candidate.get());
+  EXPECT_EQ(view.Single(1), nullptr);
+}
+
+TEST_F(RunTest, ToStringListsBindingsInPatternOrder) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) WITHIN 10 min");
+  ::cep::Run run(3, 3, 0, 0);
+  run.Bind(0, fixture_.Req(1, 1, 2), 1);
+  run.Bind(1, fixture_.Avail(2, 1, 3), 2);
+  const std::string text = run.ToString(nfa->query());
+  EXPECT_NE(text.find("run#3"), std::string::npos);
+  EXPECT_NE(text.find("a:1"), std::string::npos);
+  EXPECT_NE(text.find("b:2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cep

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+using testing_util::RunAll;
+
+class EngineSelectionTest : public ::testing::Test {
+ protected:
+  std::vector<EventPtr> TwoByTwo() {
+    return {fixture_.Req(1 * kMinute, 1, 42), fixture_.Req(2 * kMinute, 2, 42),
+            fixture_.Unlock(3 * kMinute, 3, 42, 7),
+            fixture_.Unlock(4 * kMinute, 4, 42, 8)};
+  }
+
+  BikeSchema fixture_;
+};
+
+TEST_F(EngineSelectionTest, StrategyNamesAreDistinct) {
+  EXPECT_STREQ(SelectionStrategyName(SelectionStrategy::kSkipTillAnyMatch),
+               "skip-till-any-match");
+  EXPECT_STREQ(SelectionStrategyName(SelectionStrategy::kSkipTillNextMatch),
+               "skip-till-next-match");
+  EXPECT_STREQ(SelectionStrategyName(SelectionStrategy::kStrictContiguity),
+               "strict-contiguity");
+}
+
+TEST_F(EngineSelectionTest, SkipTillAnyMatchBranches) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 10 min");
+  EngineOptions options;
+  options.selection = SelectionStrategy::kSkipTillAnyMatch;
+  EXPECT_EQ(RunAll(nfa, options, TwoByTwo()).size(), 4u);
+}
+
+TEST_F(EngineSelectionTest, SkipTillNextMatchTakesFirstOnly) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 10 min");
+  EngineOptions options;
+  options.selection = SelectionStrategy::kSkipTillNextMatch;
+  // Each req-run greedily takes the first matching unlock: 2 matches
+  // (r1+u1, r2+u1 — both runs take u1 since runs are independent).
+  const auto matches = RunAll(nfa, options, TwoByTwo());
+  EXPECT_EQ(matches.size(), 2u);
+  for (const auto& m : matches) {
+    EXPECT_EQ(m.bindings[1][0]->attribute("bid"), Value(7));
+  }
+}
+
+TEST_F(EngineSelectionTest, SkipTillNextMatchSkipsIrrelevantEvents) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 10 min");
+  EngineOptions options;
+  options.selection = SelectionStrategy::kSkipTillNextMatch;
+  // A non-matching unlock (other user) is skipped, not fatal.
+  const auto matches = RunAll(nfa, options,
+                              {fixture_.Req(1 * kMinute, 1, 42),
+                               fixture_.Unlock(2 * kMinute, 2, 99, 9),
+                               fixture_.Unlock(3 * kMinute, 3, 42, 7)});
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST_F(EngineSelectionTest, StrictContiguityKillsOnGap) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 10 min");
+  EngineOptions options;
+  options.selection = SelectionStrategy::kStrictContiguity;
+  // The intervening foreign unlock breaks contiguity for the req-run.
+  const auto broken = RunAll(nfa, options,
+                             {fixture_.Req(1 * kMinute, 1, 42),
+                              fixture_.Unlock(2 * kMinute, 2, 99, 9),
+                              fixture_.Unlock(3 * kMinute, 3, 42, 7)});
+  EXPECT_TRUE(broken.empty());
+  const auto adjacent = RunAll(nfa, options,
+                               {fixture_.Req(1 * kMinute, 1, 42),
+                                fixture_.Unlock(2 * kMinute, 3, 42, 7)});
+  EXPECT_EQ(adjacent.size(), 1u);
+}
+
+TEST_F(EngineSelectionTest, StrictContiguityKleeneRun) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) WITHIN 10 min");
+  EngineOptions options;
+  options.selection = SelectionStrategy::kStrictContiguity;
+  // Contiguous req, avail, avail, unlock: exactly one (maximal) match.
+  const auto matches = RunAll(nfa, options,
+                              {fixture_.Req(1 * kMinute, 1, 42),
+                               fixture_.Avail(2 * kMinute, 1, 1),
+                               fixture_.Avail(3 * kMinute, 1, 2),
+                               fixture_.Unlock(4 * kMinute, 1, 42, 7)});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].bindings[1].size(), 2u);
+}
+
+TEST_F(EngineSelectionTest, MatchCountOrdering) {
+  // STAM produces at least as many matches as STNM, which produces at least
+  // as many as strict contiguity — on any stream.
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) WITHIN 10 min");
+  const std::vector<EventPtr> stream = {
+      fixture_.Req(1 * kMinute, 1, 42),   fixture_.Avail(2 * kMinute, 1, 1),
+      fixture_.Req(3 * kMinute, 2, 43),   fixture_.Avail(4 * kMinute, 1, 2),
+      fixture_.Unlock(5 * kMinute, 1, 42, 7),
+      fixture_.Unlock(6 * kMinute, 1, 43, 8)};
+  EngineOptions stam, stnm, strict;
+  stam.selection = SelectionStrategy::kSkipTillAnyMatch;
+  stnm.selection = SelectionStrategy::kSkipTillNextMatch;
+  strict.selection = SelectionStrategy::kStrictContiguity;
+  const size_t n_stam = RunAll(nfa, stam, stream).size();
+  const size_t n_stnm = RunAll(nfa, stnm, stream).size();
+  const size_t n_strict = RunAll(nfa, strict, stream).size();
+  EXPECT_GE(n_stam, n_stnm);
+  EXPECT_GE(n_stnm, n_strict);
+  EXPECT_GT(n_stam, 0u);
+}
+
+TEST_F(EngineSelectionTest, InPlaceStrategiesKeepRunCountLow) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) WITHIN 10 min");
+  EngineOptions options;
+  options.selection = SelectionStrategy::kSkipTillNextMatch;
+  Engine engine(nfa, options);
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(1 * kMinute, 1, 42)));
+  for (int i = 0; i < 10; ++i) {
+    CEP_ASSERT_OK(
+        engine.ProcessEvent(fixture_.Avail((2 + i) * kMinute / 2, 1, i)));
+  }
+  // One run that swallowed every avail — no exponential branching.
+  EXPECT_EQ(engine.num_runs(), 1u);
+}
+
+}  // namespace
+}  // namespace cep

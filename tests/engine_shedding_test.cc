@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "engine/engine.h"
+#include "engine/latency_monitor.h"
+#include "shedding/random_shedder.h"
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+
+class EngineSheddingTest : public ::testing::Test {
+ protected:
+  /// Produces `n` req events that all stay within the window, creating n
+  /// long-lived runs.
+  std::vector<EventPtr> ManyReqs(int n, Timestamp start = kMinute) {
+    std::vector<EventPtr> events;
+    events.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      events.push_back(fixture_.Req(start + i, i % 50, 1000 + i));
+    }
+    return events;
+  }
+
+  BikeSchema fixture_;
+};
+
+TEST(LatencyMonitorTest, WallClockSlidingMean) {
+  WallClockLatencyMonitor monitor(4);
+  EXPECT_DOUBLE_EQ(monitor.CurrentLatencyMicros(), 0.0);
+  monitor.Record(0, 10, 1);
+  monitor.Record(0, 20, 1);
+  EXPECT_DOUBLE_EQ(monitor.CurrentLatencyMicros(), 15.0);
+  monitor.Record(0, 30, 1);
+  monitor.Record(0, 40, 1);
+  EXPECT_DOUBLE_EQ(monitor.CurrentLatencyMicros(), 25.0);
+  // Window slides: the 10 drops out.
+  monitor.Record(0, 50, 1);
+  EXPECT_DOUBLE_EQ(monitor.CurrentLatencyMicros(), 35.0);
+  monitor.Reset();
+  EXPECT_DOUBLE_EQ(monitor.CurrentLatencyMicros(), 0.0);
+}
+
+TEST(LatencyMonitorTest, VirtualCostUsesOpsNotWallTime) {
+  VirtualCostLatencyMonitor monitor(2, /*ns_per_op=*/1000.0);
+  monitor.Record(0, /*micros=*/999999.0, /*ops=*/5);  // wall time ignored
+  EXPECT_DOUBLE_EQ(monitor.CurrentLatencyMicros(), 5.0);
+  monitor.Record(0, 0.0, 15);
+  EXPECT_DOUBLE_EQ(monitor.CurrentLatencyMicros(), 10.0);
+}
+
+TEST(LatencyMonitorTest, QueueingIdleServerHasServiceOnlyLatency) {
+  // 1 µs of service per op, arrivals far apart: latency == service time.
+  QueueingLatencyMonitor monitor(8, /*ns_per_op=*/1000.0,
+                                 /*compression=*/1.0);
+  monitor.Record(/*event_ts=*/1000, 0.0, /*ops=*/5);
+  EXPECT_DOUBLE_EQ(monitor.CurrentLatencyMicros(), 5.0);
+  monitor.Record(/*event_ts=*/2000, 0.0, /*ops=*/5);
+  EXPECT_DOUBLE_EQ(monitor.CurrentLatencyMicros(), 5.0);
+}
+
+TEST(LatencyMonitorTest, QueueingBacklogAccumulates) {
+  // Two events arriving at the same instant: the second waits for the first.
+  QueueingLatencyMonitor monitor(8, /*ns_per_op=*/1000.0, 1.0);
+  monitor.Record(100, 0.0, 10);  // service 10 µs, latency 10
+  monitor.Record(100, 0.0, 10);  // waits 10, then 10 service: latency 20
+  monitor.Record(100, 0.0, 10);  // latency 30
+  EXPECT_DOUBLE_EQ(monitor.CurrentLatencyMicros(), 20.0);
+  EXPECT_DOUBLE_EQ(monitor.busy_until_micros(), 130.0);
+}
+
+TEST(LatencyMonitorTest, QueueingDrainsWhenArrivalsSlowDown) {
+  QueueingLatencyMonitor monitor(1, 1000.0, 1.0);
+  monitor.Record(0, 0.0, 100);    // busy until 100
+  EXPECT_DOUBLE_EQ(monitor.CurrentLatencyMicros(), 100.0);
+  monitor.Record(1000, 0.0, 1);   // idle gap: queue drained
+  EXPECT_DOUBLE_EQ(monitor.CurrentLatencyMicros(), 1.0);
+}
+
+TEST(LatencyMonitorTest, QueueingTimeCompressionScalesArrivals) {
+  // compression 1000: stream-ms arrive every µs of arrival time.
+  QueueingLatencyMonitor monitor(1, 1000.0, 1000.0);
+  monitor.Record(0, 0.0, 2);        // busy until 2 µs
+  monitor.Record(1000, 0.0, 2);     // arrival at 1 µs -> waits 1 µs
+  EXPECT_DOUBLE_EQ(monitor.CurrentLatencyMicros(), 3.0);
+}
+
+TEST(LatencyMonitorTest, QueueingResetKeepsBacklog) {
+  QueueingLatencyMonitor monitor(4, 1000.0, 1.0);
+  monitor.Record(0, 0.0, 50);
+  monitor.Reset();
+  EXPECT_DOUBLE_EQ(monitor.CurrentLatencyMicros(), 0.0);  // samples cleared
+  EXPECT_DOUBLE_EQ(monitor.busy_until_micros(), 50.0);    // backlog persists
+}
+
+TEST_F(EngineSheddingTest, MaxRunsCapForcesShedding) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 60 min");
+  EngineOptions options;
+  options.max_runs = 100;
+  options.shed_amount.fraction = 0.2;
+  Engine engine(nfa, options, std::make_unique<RandomShedder>(1));
+  for (const auto& e : ManyReqs(500)) {
+    CEP_ASSERT_OK(engine.ProcessEvent(e));
+    EXPECT_LE(engine.num_runs(), 100u);
+  }
+  EXPECT_GT(engine.metrics().runs_shed, 0u);
+  EXPECT_GT(engine.metrics().shed_triggers, 0u);
+}
+
+TEST_F(EngineSheddingTest, LatencyThresholdTriggersShedding) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 60 min");
+  EngineOptions options;
+  options.latency_mode = LatencyMode::kVirtualCost;
+  options.virtual_ns_per_op = 1000.0;  // 1 us per edge evaluation
+  options.latency_threshold_micros = 50.0;  // overload at ~50 active runs
+  options.latency_window_events = 16;
+  options.shed_cooldown_events = 16;
+  options.shed_amount.fraction = 0.5;
+  Engine engine(nfa, options, std::make_unique<RandomShedder>(1));
+  // Unlock events probe every run (uid predicate fails, but the edge is
+  // evaluated), driving the virtual latency up with |R(t)|.
+  for (int i = 0; i < 400; ++i) {
+    CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(kMinute + 2 * i, 1, i)));
+    CEP_ASSERT_OK(
+        engine.ProcessEvent(fixture_.Unlock(kMinute + 2 * i + 1, 1, -1, 1)));
+  }
+  EXPECT_GT(engine.metrics().shed_triggers, 0u);
+  EXPECT_GT(engine.metrics().runs_shed, 0u);
+  // Shedding keeps the run count bounded well below the unshedded 400.
+  EXPECT_LT(engine.num_runs(), 300u);
+}
+
+TEST_F(EngineSheddingTest, NoSheddingWithoutShedder) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WITHIN 60 min");
+  EngineOptions options;
+  options.latency_threshold_micros = 0.001;  // absurdly low
+  Engine engine(nfa, options);  // no shedder installed
+  for (const auto& e : ManyReqs(200)) CEP_ASSERT_OK(engine.ProcessEvent(e));
+  EXPECT_EQ(engine.metrics().shed_triggers, 0u);
+  EXPECT_EQ(engine.num_runs(), 200u);
+}
+
+TEST_F(EngineSheddingTest, ThresholdZeroDisablesLatencyShedding) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WITHIN 60 min");
+  EngineOptions options;
+  options.latency_threshold_micros = 0.0;
+  Engine engine(nfa, options, std::make_unique<RandomShedder>(1));
+  for (const auto& e : ManyReqs(200)) CEP_ASSERT_OK(engine.ProcessEvent(e));
+  EXPECT_EQ(engine.metrics().shed_triggers, 0u);
+}
+
+TEST_F(EngineSheddingTest, ForceShedDropsRequestedAmount) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WITHIN 60 min");
+  Engine engine(nfa, EngineOptions{}, std::make_unique<RandomShedder>(7));
+  for (const auto& e : ManyReqs(100)) CEP_ASSERT_OK(engine.ProcessEvent(e));
+  ASSERT_EQ(engine.num_runs(), 100u);
+  engine.ForceShed(30);
+  EXPECT_EQ(engine.num_runs(), 70u);
+  EXPECT_EQ(engine.metrics().runs_shed, 30u);
+}
+
+TEST_F(EngineSheddingTest, SheddingNeverCreatesFalsePositives) {
+  // Matches produced under aggressive shedding are a subset of the golden
+  // matches (the paper's "no false positives" guarantee, §III).
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 60 min");
+  std::vector<EventPtr> events;
+  Rng rng(3);
+  Timestamp ts = kMinute;
+  for (int i = 0; i < 300; ++i) {
+    ts += 1 + rng.NextBounded(kSecond);
+    const auto uid = static_cast<int64_t>(rng.NextBounded(20));
+    if (rng.NextBernoulli(0.6)) {
+      events.push_back(fixture_.Req(ts, 1, uid));
+    } else {
+      events.push_back(fixture_.Unlock(ts, 2, uid, 1));
+    }
+  }
+  const auto golden = testing_util::RunAll(nfa, EngineOptions{}, events);
+  EngineOptions lossy;
+  lossy.max_runs = 20;
+  lossy.shed_amount.fraction = 0.5;
+  Engine engine(nfa, lossy, std::make_unique<RandomShedder>(9));
+  for (const auto& e : events) CEP_ASSERT_OK(engine.ProcessEvent(e));
+  std::unordered_multiset<uint64_t> golden_prints;
+  for (const auto& m : golden) golden_prints.insert(m.fingerprint);
+  for (const auto& m : engine.matches()) {
+    const auto it = golden_prints.find(m.fingerprint);
+    ASSERT_NE(it, golden_prints.end()) << "false positive match";
+    golden_prints.erase(it);
+  }
+  EXPECT_LT(engine.matches().size(), golden.size());
+  EXPECT_GT(engine.metrics().runs_shed, 0u);
+}
+
+TEST_F(EngineSheddingTest, QueueSimulationModeTriggersOnBacklog) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 60 min");
+  EngineOptions options;
+  options.latency_mode = LatencyMode::kQueueSimulation;
+  options.virtual_ns_per_op = 1000.0;     // 1 us per edge evaluation
+  options.queue_time_compression = 1e6;   // 1 stream-second = 1 arrival-us
+  options.latency_threshold_micros = 200.0;
+  options.latency_window_events = 16;
+  options.shed_cooldown_events = 16;
+  options.shed_amount.fraction = 0.5;
+  Engine engine(nfa, options, std::make_unique<RandomShedder>(1));
+  // Events 1 stream-second apart: ~1 us of arrival budget per event, but
+  // probing hundreds of runs costs hundreds of us — the queue builds up and
+  // u(t) crosses theta even though each individual event is "cheap".
+  Timestamp ts = kMinute;
+  for (int i = 0; i < 300; ++i) {
+    ts += kSecond;
+    CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(ts, 1, i)));
+    ts += kSecond;
+    CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Unlock(ts, 1, -1, 1)));
+  }
+  EXPECT_GT(engine.metrics().shed_triggers, 0u);
+  EXPECT_LT(engine.num_runs(), 300u);
+}
+
+TEST_F(EngineSheddingTest, CooldownLimitsTriggerRate) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WITHIN 60 min");
+  EngineOptions options;
+  options.latency_mode = LatencyMode::kVirtualCost;
+  options.virtual_ns_per_op = 100000.0;  // everything is over threshold
+  options.latency_threshold_micros = 1.0;
+  options.latency_window_events = 4;
+  options.shed_cooldown_events = 100;
+  options.shed_amount.fraction = 0.01;
+  options.shed_amount.min_victims = 1;
+  Engine engine(nfa, options, std::make_unique<RandomShedder>(1));
+  for (const auto& e : ManyReqs(300)) CEP_ASSERT_OK(engine.ProcessEvent(e));
+  // At most one trigger per 100 events.
+  EXPECT_LE(engine.metrics().shed_triggers, 3u);
+  EXPECT_GE(engine.metrics().shed_triggers, 1u);
+}
+
+}  // namespace
+}  // namespace cep

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "event/csv.h"
+#include "event/stream.h"
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+
+TEST(VectorEventStreamTest, IteratesInOrderAndResets) {
+  BikeSchema fixture;
+  std::vector<EventPtr> events = {fixture.Req(1, 0, 1), fixture.Req(2, 0, 2)};
+  VectorEventStream stream(events);
+  EXPECT_EQ(stream.size(), 2u);
+  EXPECT_EQ(stream.Next()->timestamp(), 1);
+  EXPECT_EQ(stream.Next()->timestamp(), 2);
+  EXPECT_EQ(stream.Next(), nullptr);
+  EXPECT_EQ(stream.Next(), nullptr);
+  stream.Reset();
+  EXPECT_EQ(stream.Next()->timestamp(), 1);
+}
+
+TEST(EventStreamTest, DrainCollectsRemainder) {
+  BikeSchema fixture;
+  VectorEventStream stream(
+      {fixture.Req(1, 0, 1), fixture.Req(2, 0, 2), fixture.Req(3, 0, 3)});
+  stream.Next();
+  const auto rest = stream.Drain();
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0]->timestamp(), 2);
+}
+
+TEST(CallbackEventStreamTest, GeneratesUntilNull) {
+  BikeSchema fixture;
+  int count = 0;
+  CallbackEventStream stream([&]() -> EventPtr {
+    if (count >= 3) return nullptr;
+    return fixture.Req(++count, 0, count);
+  });
+  EXPECT_EQ(stream.Drain().size(), 3u);
+}
+
+TEST(MergedEventStreamTest, MergesByTimestamp) {
+  BikeSchema fixture;
+  std::vector<std::unique_ptr<EventStream>> inputs;
+  inputs.push_back(std::make_unique<VectorEventStream>(
+      std::vector<EventPtr>{fixture.Req(1, 0, 1), fixture.Req(5, 0, 2)}));
+  inputs.push_back(std::make_unique<VectorEventStream>(
+      std::vector<EventPtr>{fixture.Req(2, 0, 3), fixture.Req(4, 0, 4)}));
+  MergedEventStream merged(std::move(inputs));
+  std::vector<Timestamp> order;
+  while (EventPtr e = merged.Next()) order.push_back(e->timestamp());
+  EXPECT_EQ(order, (std::vector<Timestamp>{1, 2, 4, 5}));
+}
+
+TEST(MergedEventStreamTest, EmptyInputs) {
+  MergedEventStream merged({});
+  EXPECT_EQ(merged.Next(), nullptr);
+}
+
+TEST(SortEventsTest, SortsByTimestampThenSequence) {
+  BikeSchema fixture;
+  std::vector<EventPtr> events = {fixture.Req(5, 0, 1, /*seq=*/30),
+                                  fixture.Req(1, 0, 2, /*seq=*/20),
+                                  fixture.Req(5, 0, 3, /*seq=*/10)};
+  SortEvents(&events);
+  EXPECT_EQ(events[0]->timestamp(), 1);
+  EXPECT_EQ(events[1]->sequence(), 10u);
+  EXPECT_EQ(events[2]->sequence(), 30u);
+}
+
+TEST(CsvTest, SplitsSimpleRecord) {
+  const auto fields = SplitCsvRecord("a,b,c").ValueOrDie();
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, SplitsQuotedFields) {
+  const auto fields = SplitCsvRecord(R"(plain,"with,comma","with""quote")")
+                          .ValueOrDie();
+  EXPECT_EQ(fields, (std::vector<std::string>{"plain", "with,comma",
+                                              "with\"quote"}));
+}
+
+TEST(CsvTest, RejectsMalformedQuotes) {
+  EXPECT_TRUE(SplitCsvRecord("\"unterminated").status().IsParseError());
+  EXPECT_TRUE(SplitCsvRecord("a\"b").status().IsParseError());
+}
+
+TEST(CsvTest, EventRoundTrip) {
+  BikeSchema fixture;
+  const EventPtr original = fixture.Unlock(123, -4, 9, 77);
+  const std::string line = EventToCsvLine(*original);
+  const EventPtr parsed =
+      EventFromCsvLine(fixture.registry, line, 5).ValueOrDie();
+  EXPECT_EQ(parsed->timestamp(), 123);
+  EXPECT_EQ(parsed->attribute("loc"), Value(-4));
+  EXPECT_EQ(parsed->attribute("uid"), Value(9));
+  EXPECT_EQ(parsed->attribute("bid"), Value(77));
+  EXPECT_EQ(parsed->sequence(), 5u);
+}
+
+TEST(CsvTest, NullValuesSerialiseAsEmptyFields) {
+  SchemaRegistry registry;
+  const auto id =
+      registry.Register("n", {{"x", ValueType::kInt}}).ValueOrDie();
+  const auto e = std::make_shared<Event>(
+      id, registry.schema(id), 10, std::vector<Value>{Value::Null()}, 0);
+  const std::string line = EventToCsvLine(*e);
+  EXPECT_EQ(line, "n,10,");
+  const EventPtr parsed = EventFromCsvLine(registry, line, 0).ValueOrDie();
+  EXPECT_TRUE(parsed->attribute("x").is_null());
+}
+
+TEST(CsvTest, StreamRoundTripPreservesAll) {
+  BikeSchema fixture;
+  Rng rng(4);
+  std::vector<EventPtr> events;
+  for (int i = 0; i < 200; ++i) {
+    events.push_back(fixture.Req(i, static_cast<int64_t>(rng.NextBounded(50)),
+                                 static_cast<int64_t>(rng.NextBounded(1000))));
+  }
+  std::stringstream buffer;
+  CEP_ASSERT_OK(WriteEventsCsv(buffer, events));
+  const auto parsed = ReadEventsCsv(fixture.registry, buffer).ValueOrDie();
+  ASSERT_EQ(parsed.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(parsed[i]->timestamp(), events[i]->timestamp());
+    EXPECT_EQ(parsed[i]->attribute("loc"), events[i]->attribute("loc"));
+    EXPECT_EQ(parsed[i]->attribute("uid"), events[i]->attribute("uid"));
+  }
+}
+
+TEST(CsvTest, ReadReportsLineNumberOnError) {
+  BikeSchema fixture;
+  std::stringstream buffer("req,1,2,3\nreq,not_a_ts,2,3\n");
+  const auto status = ReadEventsCsv(fixture.registry, buffer).status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsUnknownTypeAndWrongArity) {
+  BikeSchema fixture;
+  EXPECT_TRUE(EventFromCsvLine(fixture.registry, "nope,1", 0)
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(EventFromCsvLine(fixture.registry, "req,1,2", 0)
+                  .status()
+                  .IsParseError());  // req needs 2 attribute fields
+  EXPECT_TRUE(EventFromCsvLine(fixture.registry, "req,1,2,3,4", 0)
+                  .status()
+                  .IsParseError());
+}
+
+TEST(CsvTest, SkipsBlankLinesAndCr) {
+  BikeSchema fixture;
+  std::stringstream buffer("req,1,2,3\r\n\n  \nreq,2,4,5\n");
+  const auto events = ReadEventsCsv(fixture.registry, buffer).ValueOrDie();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1]->sequence(), 1u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  BikeSchema fixture;
+  const std::string path = ::testing::TempDir() + "/cepshed_csv_test.csv";
+  std::vector<EventPtr> events = {fixture.Req(1, 2, 3), fixture.Req(4, 5, 6)};
+  CEP_ASSERT_OK(WriteEventsCsvFile(path, events));
+  const auto parsed = ReadEventsCsvFile(fixture.registry, path).ValueOrDie();
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[1]->attribute("loc"), Value(5));
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  BikeSchema fixture;
+  EXPECT_TRUE(ReadEventsCsvFile(fixture.registry, "/nonexistent/nope.csv")
+                  .status()
+                  .IsIoError());
+}
+
+}  // namespace
+}  // namespace cep

@@ -1,0 +1,131 @@
+#include "event/event.h"
+
+#include <gtest/gtest.h>
+
+#include "event/schema.h"
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+
+TEST(SchemaTest, AttributeLookup) {
+  EventSchema schema("tick", {{"symbol", ValueType::kInt},
+                              {"price", ValueType::kDouble}});
+  EXPECT_EQ(schema.name(), "tick");
+  EXPECT_EQ(schema.num_attributes(), 2u);
+  EXPECT_EQ(schema.FindAttribute("symbol"), 0);
+  EXPECT_EQ(schema.FindAttribute("price"), 1);
+  EXPECT_EQ(schema.FindAttribute("nope"), -1);
+  EXPECT_TRUE(schema.GetAttributeIndex("nope").status().IsNotFound());
+  EXPECT_EQ(schema.GetAttributeIndex("price").ValueOrDie(), 1);
+}
+
+TEST(SchemaTest, ToStringListsAttributes) {
+  EventSchema schema("t", {{"a", ValueType::kInt}, {"b", ValueType::kString}});
+  EXPECT_EQ(schema.ToString(), "t(a:int, b:string)");
+}
+
+TEST(SchemaRegistryTest, RegisterAndLookup) {
+  SchemaRegistry registry;
+  const auto id = registry.Register("foo", {{"x", ValueType::kInt}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(registry.FindType("foo"), id.ValueOrDie());
+  EXPECT_EQ(registry.FindType("bar"), kInvalidEventType);
+  EXPECT_TRUE(registry.GetType("bar").status().IsNotFound());
+  EXPECT_EQ(registry.schema(id.ValueOrDie())->name(), "foo");
+  EXPECT_EQ(registry.num_types(), 1u);
+}
+
+TEST(SchemaRegistryTest, DuplicateRegistrationFails) {
+  SchemaRegistry registry;
+  ASSERT_TRUE(registry.Register("foo", {}).ok());
+  EXPECT_TRUE(registry.Register("foo", {}).status().IsAlreadyExists());
+}
+
+TEST(SchemaRegistryTest, IdsAreDense) {
+  SchemaRegistry registry;
+  EXPECT_EQ(registry.Register("a", {}).ValueOrDie(), 0u);
+  EXPECT_EQ(registry.Register("b", {}).ValueOrDie(), 1u);
+  EXPECT_EQ(registry.Register("c", {}).ValueOrDie(), 2u);
+}
+
+TEST(EventTest, AttributeAccessByIndexAndName) {
+  BikeSchema fixture;
+  const EventPtr e = fixture.Req(100, 7, 55);
+  EXPECT_EQ(e->timestamp(), 100);
+  EXPECT_EQ(e->attribute(0), Value(7));
+  EXPECT_EQ(e->attribute("loc"), Value(7));
+  EXPECT_EQ(e->attribute("uid"), Value(55));
+  EXPECT_TRUE(e->attribute("missing").is_null());
+}
+
+TEST(EventTest, ToStringContainsPayload) {
+  BikeSchema fixture;
+  const EventPtr e = fixture.Req(5, 1, 2);
+  EXPECT_EQ(e->ToString(), "req@5{loc=1, uid=2}");
+}
+
+TEST(EventBuilderTest, BuildsValidEvent) {
+  BikeSchema fixture;
+  const EventTypeId req = fixture.registry.FindType("req");
+  EventBuilder builder(req, fixture.registry.schema(req), 42);
+  auto result =
+      builder.Set("loc", Value(3)).Set("uid", Value(9)).SetSequence(77).Build();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const EventPtr e = result.ValueOrDie();
+  EXPECT_EQ(e->timestamp(), 42);
+  EXPECT_EQ(e->sequence(), 77u);
+  EXPECT_EQ(e->attribute("loc"), Value(3));
+}
+
+TEST(EventBuilderTest, UnsetAttributesAreNull) {
+  BikeSchema fixture;
+  const EventTypeId req = fixture.registry.FindType("req");
+  EventBuilder builder(req, fixture.registry.schema(req), 1);
+  auto result = builder.Set("loc", Value(3)).Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.ValueOrDie()->attribute("uid").is_null());
+}
+
+TEST(EventBuilderTest, RejectsUnknownAttribute) {
+  BikeSchema fixture;
+  const EventTypeId req = fixture.registry.FindType("req");
+  EventBuilder builder(req, fixture.registry.schema(req), 1);
+  EXPECT_TRUE(builder.Set("bogus", Value(1)).Build().status().IsNotFound());
+}
+
+TEST(EventBuilderTest, RejectsWrongType) {
+  BikeSchema fixture;
+  const EventTypeId req = fixture.registry.FindType("req");
+  EventBuilder builder(req, fixture.registry.schema(req), 1);
+  EXPECT_TRUE(
+      builder.Set("loc", Value("not an int")).Build().status().IsTypeError());
+}
+
+TEST(EventBuilderTest, WidensIntToDouble) {
+  SchemaRegistry registry;
+  const auto id =
+      registry.Register("m", {{"v", ValueType::kDouble}}).ValueOrDie();
+  EventBuilder builder(id, registry.schema(id), 1);
+  auto result = builder.Set("v", Value(4)).Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.ValueOrDie()->attribute("v").is_double());
+  EXPECT_DOUBLE_EQ(result.ValueOrDie()->attribute("v").double_value(), 4.0);
+}
+
+TEST(EventBuilderTest, FirstErrorWins) {
+  BikeSchema fixture;
+  const EventTypeId req = fixture.registry.FindType("req");
+  EventBuilder builder(req, fixture.registry.schema(req), 1);
+  const auto status = builder.Set("bogus", Value(1))
+                          .Set("also_bogus", Value(2))
+                          .Build()
+                          .status();
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_NE(status.message().find("bogus"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cep

@@ -1,0 +1,269 @@
+// Tests for the operational extensions: out-of-order ingestion
+// (ReorderBuffer), model persistence (warm starts), and MultiEngine.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "engine/multi.h"
+#include "event/reorder.h"
+#include "shedding/random_shedder.h"
+#include "shedding/sketch.h"
+#include "shedding/state_shedder.h"
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+
+class ReorderBufferTest : public ::testing::Test {
+ protected:
+  BikeSchema fixture_;
+};
+
+TEST_F(ReorderBufferTest, InOrderEventsFlowThroughAfterDelay) {
+  ReorderBuffer buffer(10);
+  EXPECT_TRUE(buffer.Push(fixture_.Req(100, 1, 1)).empty());
+  // Watermark at 105: the event at 100 is not yet safe.
+  EXPECT_TRUE(buffer.Push(fixture_.Req(105, 1, 2)).empty());
+  // Watermark at 110: releases the event at 100.
+  const auto released = buffer.Push(fixture_.Req(120, 1, 3));
+  ASSERT_EQ(released.size(), 2u);
+  EXPECT_EQ(released[0]->timestamp(), 100);
+  EXPECT_EQ(released[1]->timestamp(), 105);
+  EXPECT_EQ(buffer.buffered(), 1u);
+}
+
+TEST_F(ReorderBufferTest, ReordersWithinDelayBound) {
+  ReorderBuffer buffer(50);
+  (void)buffer.Push(fixture_.Req(100, 1, 1));
+  (void)buffer.Push(fixture_.Req(90, 1, 2));   // late but within bound
+  (void)buffer.Push(fixture_.Req(95, 1, 3));
+  auto released = buffer.Push(fixture_.Req(200, 1, 4));
+  std::vector<Timestamp> order;
+  for (const auto& e : released) order.push_back(e->timestamp());
+  EXPECT_EQ(order, (std::vector<Timestamp>{90, 95, 100}));
+  EXPECT_EQ(buffer.late_dropped(), 0u);
+}
+
+TEST_F(ReorderBufferTest, DropsEventsBehindWatermark) {
+  ReorderBuffer buffer(10);
+  (void)buffer.Push(fixture_.Req(100, 1, 1));
+  (void)buffer.Push(fixture_.Req(50, 1, 2));  // 50 < 100 - 10: too late
+  EXPECT_EQ(buffer.late_dropped(), 1u);
+  EXPECT_EQ(buffer.buffered(), 1u);
+}
+
+TEST_F(ReorderBufferTest, FlushReleasesRemainderInOrder) {
+  ReorderBuffer buffer(1000);
+  (void)buffer.Push(fixture_.Req(30, 1, 1));
+  (void)buffer.Push(fixture_.Req(10, 1, 2));
+  (void)buffer.Push(fixture_.Req(20, 1, 3));
+  const auto rest = buffer.Flush();
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0]->timestamp(), 10);
+  EXPECT_EQ(rest[2]->timestamp(), 30);
+  EXPECT_EQ(buffer.buffered(), 0u);
+}
+
+TEST_F(ReorderBufferTest, TiesReleaseInSequenceOrder) {
+  ReorderBuffer buffer(5);
+  (void)buffer.Push(fixture_.Req(100, 1, 1, /*seq=*/7));
+  (void)buffer.Push(fixture_.Req(100, 1, 2, /*seq=*/3));
+  const auto released = buffer.Push(fixture_.Req(200, 1, 3, /*seq=*/9));
+  ASSERT_EQ(released.size(), 2u);
+  EXPECT_EQ(released[0]->sequence(), 3u);
+  EXPECT_EQ(released[1]->sequence(), 7u);
+}
+
+TEST_F(ReorderBufferTest, FeedsEngineCorrectly) {
+  // A shuffled stream through the buffer produces the same matches as the
+  // sorted stream fed directly.
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 10 min");
+  std::vector<EventPtr> sorted = {
+      fixture_.Req(1 * kMinute, 1, 42),  fixture_.Req(2 * kMinute, 2, 43),
+      fixture_.Unlock(3 * kMinute, 3, 42, 1),
+      fixture_.Unlock(4 * kMinute, 4, 43, 2)};
+  const auto golden = testing_util::RunAll(nfa, EngineOptions{}, sorted);
+  // Shuffle mildly (swap neighbours) and pipe through the buffer.
+  std::vector<EventPtr> shuffled = {sorted[1], sorted[0], sorted[3],
+                                    sorted[2]};
+  ReorderBuffer buffer(2 * kMinute);
+  Engine engine(nfa, EngineOptions{});
+  for (const auto& e : shuffled) {
+    for (const auto& out : buffer.Push(e)) {
+      CEP_ASSERT_OK(engine.ProcessEvent(out));
+    }
+  }
+  for (const auto& out : buffer.Flush()) {
+    CEP_ASSERT_OK(engine.ProcessEvent(out));
+  }
+  EXPECT_EQ(engine.matches().size(), golden.size());
+}
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  StateShedderOptions Options() {
+    StateShedderOptions options;
+    options.pm_hash.attributes = {{"req", "loc"}};
+    options.scoring.weight_contribution = 2.0;
+    return options;
+  }
+
+  /// Trains a shedder inside an engine: loc-1 requests complete, loc-2
+  /// requests never do.
+  void Train(Engine* engine) {
+    Timestamp ts = kMinute;
+    for (int i = 0; i < 30; ++i) {
+      ts += kSecond;
+      CEP_ASSERT_OK(engine->ProcessEvent(fixture_.Req(ts, 1, 100 + i)));
+      ts += kSecond;
+      CEP_ASSERT_OK(
+          engine->ProcessEvent(fixture_.Unlock(ts, 9, 100 + i, 1)));
+      ts += kSecond;
+      CEP_ASSERT_OK(engine->ProcessEvent(fixture_.Req(ts, 2, 500 + i)));
+    }
+  }
+
+  BikeSchema fixture_;
+};
+
+TEST_F(PersistenceTest, ExactBackendRoundTrip) {
+  ExactCounterBackend original;
+  original.Add(1, 2.0, 5.0);
+  original.Add(42, 0.0, 3.0);
+  std::stringstream buffer;
+  CEP_ASSERT_OK(original.Save(buffer));
+  ExactCounterBackend restored;
+  CEP_ASSERT_OK(restored.Load(buffer));
+  EXPECT_DOUBLE_EQ(restored.Ratio(1, 0), 0.4);
+  EXPECT_DOUBLE_EQ(restored.Support(42), 3.0);
+  EXPECT_EQ(restored.num_cells(), 2u);
+}
+
+TEST_F(PersistenceTest, SketchBackendRoundTrip) {
+  SketchCounterBackend original(256, 4, 9);
+  for (uint64_t k = 0; k < 50; ++k) original.Add(k, 1.0, 2.0);
+  std::stringstream buffer;
+  CEP_ASSERT_OK(original.Save(buffer));
+  SketchCounterBackend restored(256, 4, 9);
+  CEP_ASSERT_OK(restored.Load(buffer));
+  for (uint64_t k = 0; k < 50; ++k) {
+    EXPECT_DOUBLE_EQ(restored.Ratio(k, 0), original.Ratio(k, 0));
+  }
+}
+
+TEST_F(PersistenceTest, SketchLoadRejectsShapeMismatch) {
+  SketchCounterBackend original(256, 4, 9);
+  std::stringstream buffer;
+  CEP_ASSERT_OK(original.Save(buffer));
+  SketchCounterBackend wrong(512, 4, 9);
+  EXPECT_TRUE(wrong.Load(buffer).IsInvalidArgument());
+}
+
+TEST_F(PersistenceTest, LoadRejectsGarbage) {
+  ExactCounterBackend backend;
+  std::stringstream garbage("not a snapshot");
+  EXPECT_TRUE(backend.Load(garbage).IsParseError());
+}
+
+TEST_F(PersistenceTest, WarmStartCarriesLearnedScores) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 60 min");
+  // Cold shedder: train inside an engine, then snapshot the models.
+  auto trained = std::make_unique<StateShedder>(Options(), &fixture_.registry);
+  StateShedder* trained_raw = trained.get();
+  Engine train_engine(nfa, EngineOptions{}, std::move(trained));
+  Train(&train_engine);
+  std::stringstream snapshot;
+  CEP_ASSERT_OK(trained_raw->SaveModels(snapshot));
+
+  // Fresh shedder in a fresh engine: load the snapshot, then verify that a
+  // brand-new loc-1 run immediately outscores a loc-2 run (no re-training).
+  auto warm = std::make_unique<StateShedder>(Options(), &fixture_.registry);
+  StateShedder* warm_raw = warm.get();
+  Engine engine(nfa, EngineOptions{}, std::move(warm));
+  CEP_ASSERT_OK(warm_raw->LoadModels(snapshot));
+  Timestamp ts = kMinute;
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(ts, 1, 9001)));
+  CEP_ASSERT_OK(engine.ProcessEvent(fixture_.Req(ts + 1, 2, 9002)));
+  const ::cep::Run* good = engine.runs()[0].get();
+  const ::cep::Run* bad = engine.runs()[1].get();
+  EXPECT_GT(warm_raw->Score(*good, ts + 1), warm_raw->Score(*bad, ts + 1));
+}
+
+TEST_F(PersistenceTest, LoadRejectsDifferentConfiguration) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) WITHIN 60 min");
+  auto a = std::make_unique<StateShedder>(Options(), &fixture_.registry);
+  StateShedder* a_raw = a.get();
+  Engine engine_a(nfa, EngineOptions{}, std::move(a));
+  std::stringstream snapshot;
+  CEP_ASSERT_OK(a_raw->SaveModels(snapshot));
+
+  StateShedderOptions other = Options();
+  other.time_slices = 99;
+  auto b = std::make_unique<StateShedder>(other, &fixture_.registry);
+  StateShedder* b_raw = b.get();
+  Engine engine_b(nfa, EngineOptions{}, std::move(b));
+  EXPECT_TRUE(b_raw->LoadModels(snapshot).IsInvalidArgument());
+}
+
+class MultiEngineTest : public ::testing::Test {
+ protected:
+  BikeSchema fixture_;
+};
+
+TEST_F(MultiEngineTest, RoutesEventsToEveryQuery) {
+  MultiEngine multi;
+  const size_t q0 = multi.AddQuery(
+      fixture_.Compile("PATTERN SEQ(req a, unlock c) WITHIN 10 min"),
+      EngineOptions{}, nullptr, "pairs");
+  const size_t q1 = multi.AddQuery(
+      fixture_.Compile("PATTERN SEQ(req a) WHERE a.loc > 5 WITHIN 1 min"),
+      EngineOptions{}, nullptr, "hot-reqs");
+  EXPECT_EQ(multi.num_queries(), 2u);
+  EXPECT_EQ(multi.query_name(q0), "pairs");
+  EXPECT_EQ(multi.query_name(q1), "hot-reqs");
+  CEP_ASSERT_OK(multi.ProcessEvent(fixture_.Req(kMinute, 9, 1)));
+  CEP_ASSERT_OK(multi.ProcessEvent(fixture_.Unlock(2 * kMinute, 1, 1, 7)));
+  EXPECT_EQ(multi.engine(q0).matches().size(), 1u);
+  EXPECT_EQ(multi.engine(q1).matches().size(), 1u);
+  EXPECT_EQ(multi.AggregateMetrics().matches_emitted, 2u);
+  EXPECT_EQ(multi.TotalRuns(), 1u);  // q0's run survives, q1 emits instantly
+}
+
+TEST_F(MultiEngineTest, PerQuerySheddingIsIndependent) {
+  MultiEngine multi;
+  EngineOptions capped;
+  capped.max_runs = 10;
+  capped.shed_amount.fraction = 0.5;
+  const size_t lossy = multi.AddQuery(
+      fixture_.Compile("PATTERN SEQ(req a, unlock c) WITHIN 60 min"), capped,
+      std::make_unique<RandomShedder>(1), "capped");
+  const size_t exact = multi.AddQuery(
+      fixture_.Compile("PATTERN SEQ(req a, avail m) WITHIN 60 min"),
+      EngineOptions{}, nullptr, "exact");
+  for (int i = 0; i < 100; ++i) {
+    CEP_ASSERT_OK(multi.ProcessEvent(fixture_.Req(kMinute + i, 1, i)));
+  }
+  EXPECT_LE(multi.engine(lossy).num_runs(), 10u);
+  EXPECT_EQ(multi.engine(exact).num_runs(), 100u);
+  EXPECT_GT(multi.engine(lossy).metrics().runs_shed, 0u);
+  EXPECT_EQ(multi.engine(exact).metrics().runs_shed, 0u);
+}
+
+TEST_F(MultiEngineTest, ProcessStreamDrains) {
+  MultiEngine multi;
+  multi.AddQuery(fixture_.Compile("PATTERN SEQ(req a) WITHIN 1 min"),
+                 EngineOptions{});
+  VectorEventStream stream(
+      {fixture_.Req(1, 1, 1), fixture_.Req(2, 2, 2)});
+  CEP_ASSERT_OK(multi.ProcessStream(&stream));
+  EXPECT_EQ(multi.engine(0).matches().size(), 2u);
+}
+
+}  // namespace
+}  // namespace cep

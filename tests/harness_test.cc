@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "harness/accuracy.h"
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+#include "harness/table_printer.h"
+#include "shedding/random_shedder.h"
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+
+Match FakeMatch(uint64_t fingerprint) {
+  Match m;
+  m.fingerprint = fingerprint;
+  return m;
+}
+
+TEST(AccuracyTest, PerfectRecall) {
+  const std::vector<Match> golden = {FakeMatch(1), FakeMatch(2), FakeMatch(3)};
+  const auto report = CompareMatches(golden, golden);
+  EXPECT_EQ(report.true_positives, 3u);
+  EXPECT_DOUBLE_EQ(report.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(report.precision(), 1.0);
+  EXPECT_EQ(report.false_negatives(), 0u);
+  EXPECT_EQ(report.false_positives(), 0u);
+}
+
+TEST(AccuracyTest, PartialRecall) {
+  const std::vector<Match> golden = {FakeMatch(1), FakeMatch(2), FakeMatch(3),
+                                     FakeMatch(4)};
+  const std::vector<Match> lossy = {FakeMatch(2), FakeMatch(4)};
+  const auto report = CompareMatches(golden, lossy);
+  EXPECT_DOUBLE_EQ(report.recall(), 0.5);
+  EXPECT_EQ(report.false_negatives(), 2u);
+  EXPECT_DOUBLE_EQ(report.precision(), 1.0);
+}
+
+TEST(AccuracyTest, FalsePositivesDetected) {
+  const std::vector<Match> golden = {FakeMatch(1)};
+  const std::vector<Match> lossy = {FakeMatch(1), FakeMatch(99)};
+  const auto report = CompareMatches(golden, lossy);
+  EXPECT_EQ(report.false_positives(), 1u);
+  EXPECT_DOUBLE_EQ(report.precision(), 0.5);
+}
+
+TEST(AccuracyTest, MultisetSemantics) {
+  // Duplicate fingerprints count individually.
+  const std::vector<Match> golden = {FakeMatch(1), FakeMatch(1)};
+  const std::vector<Match> lossy = {FakeMatch(1)};
+  const auto report = CompareMatches(golden, lossy);
+  EXPECT_EQ(report.true_positives, 1u);
+  EXPECT_DOUBLE_EQ(report.recall(), 0.5);
+}
+
+TEST(AccuracyTest, EmptyGoldenIsPerfect) {
+  const auto report = CompareMatches({}, {});
+  EXPECT_DOUBLE_EQ(report.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(report.precision(), 1.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22    |"), std::string::npos);
+  EXPECT_NE(out.find("|-"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  EXPECT_NE(table.ToString().find("| 1 |"), std::string::npos);
+}
+
+TEST(FormattersTest, Percent) {
+  EXPECT_EQ(FormatPercent(0.805), "80.50%");
+  EXPECT_EQ(FormatPercent(1.0), "100.00%");
+  EXPECT_EQ(FormatPercent(0.0), "0.00%");
+}
+
+TEST(FormattersTest, Thousands) {
+  EXPECT_EQ(FormatWithThousands(77123.4), "77,123");
+  EXPECT_EQ(FormatWithThousands(505631), "505,631");
+  EXPECT_EQ(FormatWithThousands(12), "12");
+  EXPECT_EQ(FormatWithThousands(1234567), "1,234,567");
+}
+
+TEST(SweepTest, LinSpace) {
+  const auto xs = LinSpace(0, 1, 5);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_DOUBLE_EQ(xs.front(), 0.0);
+  EXPECT_DOUBLE_EQ(xs.back(), 1.0);
+  EXPECT_DOUBLE_EQ(xs[2], 0.5);
+  EXPECT_EQ(LinSpace(3, 9, 1).size(), 1u);
+}
+
+TEST(SweepTest, GeomSpace) {
+  const auto xs = GeomSpace(1, 16, 5);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_NEAR(xs[0], 1.0, 1e-9);
+  EXPECT_NEAR(xs[1], 2.0, 1e-9);
+  EXPECT_NEAR(xs[4], 16.0, 1e-9);
+}
+
+TEST(SweepTest, AsciiPlotRendersPoints) {
+  const std::string plot =
+      AsciiPlot({0, 1, 2, 3}, {0, 1, 4, 9}, 20, 8, "x", "y");
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find("y (0 .. 9)"), std::string::npos);
+  EXPECT_EQ(AsciiPlot({}, {}, 20, 8, "x", "y"), "(no data)\n");
+}
+
+TEST(ExperimentTest, RunOnceMatchesDirectEngineUse) {
+  BikeSchema fixture;
+  NfaPtr nfa = fixture.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 10 min");
+  std::vector<EventPtr> events = {fixture.Req(kMinute, 1, 42),
+                                  fixture.Unlock(2 * kMinute, 2, 42, 7)};
+  CEP_ASSERT_OK_AND_ASSIGN(
+      RunOutcome outcome, RunOnce(events, nfa, EngineOptions{}, nullptr));
+  EXPECT_EQ(outcome.matches.size(), 1u);
+  EXPECT_EQ(outcome.metrics.events_processed, 2u);
+  EXPECT_GT(outcome.throughput_eps, 0.0);
+}
+
+TEST(ExperimentTest, EvaluateStrategyAveragesRepetitions) {
+  BikeSchema fixture;
+  NfaPtr nfa = fixture.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 60 min");
+  std::vector<EventPtr> events;
+  for (int i = 0; i < 200; ++i) {
+    events.push_back(fixture.Req(kMinute + 2 * i, 1, i % 25));
+    events.push_back(fixture.Unlock(kMinute + 2 * i + 1, 2, i % 25, 1));
+  }
+  CEP_ASSERT_OK_AND_ASSIGN(
+      RunOutcome golden, RunOnce(events, nfa, EngineOptions{}, nullptr));
+  ASSERT_GT(golden.matches.size(), 0u);
+  EngineOptions lossy;
+  lossy.max_runs = 10;
+  lossy.shed_amount.fraction = 0.5;
+  CEP_ASSERT_OK_AND_ASSIGN(
+      StrategySummary summary,
+      EvaluateStrategy(
+          events, nfa, lossy,
+          [](int rep) -> ShedderPtr {
+            return std::make_unique<RandomShedder>(1000 + rep);
+          },
+          /*repetitions=*/3, golden.matches, "RBLS"));
+  EXPECT_EQ(summary.repetitions, 3);
+  EXPECT_GT(summary.avg_accuracy, 0.0);
+  EXPECT_LT(summary.avg_accuracy, 1.0);  // shedding must cost something here
+  EXPECT_LE(summary.min_accuracy, summary.avg_accuracy);
+  EXPECT_DOUBLE_EQ(summary.false_positives, 0.0);
+  EXPECT_GT(summary.avg_runs_shed, 0.0);
+}
+
+TEST(ExperimentTest, BenchScaleDefaultsToOne) {
+  // Unless the caller exported CEPSHED_SCALE, the default is 1.0.
+  if (getenv("CEPSHED_SCALE") == nullptr) {
+    EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace cep

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "harness/accuracy.h"
+#include "harness/experiment.h"
+#include "shedding/random_shedder.h"
+#include "shedding/state_shedder.h"
+#include "test_util.h"
+#include "workload/google_trace.h"
+#include "workload/queries.h"
+
+namespace cep {
+namespace {
+
+/// End-to-end: synthetic cluster trace -> Q1 -> golden vs SBLS vs RBLS under
+/// a hard run cap. This is a miniature of the paper's Table II protocol.
+class ClusterIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CEP_ASSERT_OK(GoogleTraceGenerator::RegisterSchemas(&registry_));
+    GoogleTraceOptions options;
+    options.duration = 8 * kHour;
+    options.jobs_per_hour = 120;
+    options.burst_multiplier = 6.0;
+    options.burst_period = 3 * kHour;
+    options.burst_duration = 20 * kMinute;
+    options.seed = 17;
+    GoogleTraceGenerator generator(options);
+    CEP_ASSERT_OK_AND_ASSIGN(events_, generator.Generate(registry_));
+    CEP_ASSERT_OK_AND_ASSIGN(q1_, MakeClusterQ1(registry_, 3 * kHour));
+  }
+
+  EngineOptions LossyOptions() const {
+    EngineOptions options;
+    options.max_runs = 150;  // deterministic overload trigger
+    options.shed_amount.fraction = 0.25;
+    return options;
+  }
+
+  StateShedderOptions SblsOptions() const {
+    StateShedderOptions options;
+    options.pm_hash = q1_.pm_hash;
+    options.time_slices = 8;
+    options.scoring.weight_contribution = 4.0;
+    options.scoring.weight_cost = 1.0;
+    return options;
+  }
+
+  SchemaRegistry registry_;
+  std::vector<EventPtr> events_;
+  CannedQuery q1_;
+};
+
+TEST_F(ClusterIntegrationTest, GoldenRunProducesMatches) {
+  CEP_ASSERT_OK_AND_ASSIGN(
+      RunOutcome golden, RunOnce(events_, q1_.nfa, EngineOptions{}, nullptr));
+  EXPECT_GT(golden.matches.size(), 10u);
+  EXPECT_EQ(golden.metrics.runs_shed, 0u);
+  EXPECT_EQ(golden.metrics.events_processed, events_.size());
+}
+
+TEST_F(ClusterIntegrationTest, SheddingBoundsStateAndLosesSomeMatches) {
+  CEP_ASSERT_OK_AND_ASSIGN(
+      RunOutcome golden, RunOnce(events_, q1_.nfa, EngineOptions{}, nullptr));
+  CEP_ASSERT_OK_AND_ASSIGN(
+      RunOutcome lossy,
+      RunOnce(events_, q1_.nfa, LossyOptions(),
+              std::make_unique<RandomShedder>(5)));
+  EXPECT_GT(lossy.metrics.runs_shed, 0u);
+  EXPECT_LE(lossy.metrics.peak_runs, 160u);
+  const auto report = CompareMatches(golden.matches, lossy.matches);
+  EXPECT_EQ(report.false_positives(), 0u);
+  EXPECT_LT(report.recall(), 1.0);
+  EXPECT_GT(report.recall(), 0.05);
+}
+
+TEST_F(ClusterIntegrationTest, SblsBeatsRblsOnRegularTrace) {
+  CEP_ASSERT_OK_AND_ASSIGN(
+      RunOutcome golden, RunOnce(events_, q1_.nfa, EngineOptions{}, nullptr));
+  ASSERT_GT(golden.matches.size(), 0u);
+  double sbls_acc = 0, rbls_acc = 0;
+  const int reps = 3;
+  for (int rep = 0; rep < reps; ++rep) {
+    CEP_ASSERT_OK_AND_ASSIGN(
+        RunOutcome sbls,
+        RunOnce(events_, q1_.nfa, LossyOptions(),
+                std::make_unique<StateShedder>(SblsOptions(), &registry_)));
+    CEP_ASSERT_OK_AND_ASSIGN(
+        RunOutcome rbls,
+        RunOnce(events_, q1_.nfa, LossyOptions(),
+                std::make_unique<RandomShedder>(100 + rep)));
+    sbls_acc += CompareMatches(golden.matches, sbls.matches).recall();
+    rbls_acc += CompareMatches(golden.matches, rbls.matches).recall();
+  }
+  sbls_acc /= reps;
+  rbls_acc /= reps;
+  // The paper's headline claim: state-based shedding preserves more matches
+  // than random shedding on a stream with attribute regularity.
+  EXPECT_GT(sbls_acc, rbls_acc)
+      << "SBLS=" << sbls_acc << " RBLS=" << rbls_acc;
+}
+
+TEST_F(ClusterIntegrationTest, LatencyTriggeredSheddingEngages) {
+  EngineOptions options;
+  options.latency_mode = LatencyMode::kVirtualCost;
+  options.virtual_ns_per_op = 200.0;
+  options.latency_threshold_micros = 10.0;
+  options.latency_window_events = 64;
+  options.shed_cooldown_events = 64;
+  options.shed_amount.fraction = 0.2;
+  CEP_ASSERT_OK_AND_ASSIGN(
+      RunOutcome outcome,
+      RunOnce(events_, q1_.nfa, options, std::make_unique<RandomShedder>(3)));
+  EXPECT_GT(outcome.metrics.shed_triggers, 0u);
+  EXPECT_GT(outcome.metrics.runs_shed, 0u);
+}
+
+TEST_F(ClusterIntegrationTest, Q2EndToEnd) {
+  CEP_ASSERT_OK_AND_ASSIGN(CannedQuery q2, MakeClusterQ2(registry_, 3 * kHour));
+  CEP_ASSERT_OK_AND_ASSIGN(
+      RunOutcome golden, RunOnce(events_, q2.nfa, EngineOptions{}, nullptr));
+  EXPECT_GT(golden.matches.size(), 0u);
+  // Matches are schedule -> fail -> schedule of the same task.
+  for (const auto& m : golden.matches) {
+    EXPECT_EQ(m.bindings[0][0]->schema().name(), "schedule");
+    EXPECT_EQ(m.bindings[1][0]->schema().name(), "fail");
+    EXPECT_EQ(m.bindings[2][0]->schema().name(), "schedule");
+    EXPECT_EQ(m.bindings[0][0]->attribute("job_id"),
+              m.bindings[2][0]->attribute("job_id"));
+  }
+}
+
+TEST_F(ClusterIntegrationTest, ComplexEventsCarrySchema) {
+  CEP_ASSERT_OK_AND_ASSIGN(
+      RunOutcome golden, RunOnce(events_, q1_.nfa, EngineOptions{}, nullptr));
+  ASSERT_GT(golden.matches.size(), 0u);
+  const EventPtr& out = golden.matches.front().complex_event;
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->schema().name(), "churn");
+  EXPECT_FALSE(out->attribute("job").is_null());
+  EXPECT_FALSE(out->attribute("machine").is_null());
+}
+
+}  // namespace
+}  // namespace cep

@@ -1,0 +1,174 @@
+#include "nfa/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "nfa/dot.h"
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+
+class NfaCompilerTest : public ::testing::Test {
+ protected:
+  BikeSchema fixture_;
+};
+
+TEST_F(NfaCompilerTest, PlainSequenceChain) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail m, unlock c) WITHIN 1 min");
+  ASSERT_NE(nfa, nullptr);
+  // S0 (await a) -> S1 (await m) -> S2 (await c) -> S3 final.
+  ASSERT_EQ(nfa->num_states(), 4u);
+  EXPECT_EQ(nfa->state(0).var_index, 0);
+  EXPECT_FALSE(nfa->state(0).is_final);
+  ASSERT_EQ(nfa->state(0).edges.size(), 1u);
+  EXPECT_EQ(nfa->state(0).edges[0].kind, EdgeKind::kTake);
+  EXPECT_EQ(nfa->state(0).edges[0].target, 1);
+  EXPECT_EQ(nfa->state(2).edges[0].target, 3);
+  EXPECT_TRUE(nfa->state(3).is_final);
+  EXPECT_TRUE(nfa->state(3).edges.empty());
+}
+
+TEST_F(NfaCompilerTest, PredicatesLandOnTheRightEdges) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, unlock c) "
+      "WHERE a.loc > 0, c.uid = a.uid WITHIN 1 min");
+  ASSERT_NE(nfa, nullptr);
+  EXPECT_EQ(nfa->state(0).edges[0].predicates.size(), 1u);
+  EXPECT_EQ(nfa->state(1).edges[0].predicates.size(), 1u);
+}
+
+TEST_F(NfaCompilerTest, KleeneProducesEntryAndLoopStates) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE COUNT(b[]) > 2 WITHIN 1 min");
+  ASSERT_NE(nfa, nullptr);
+  // S0 await a, S1 await first b, S2 in-kleene b, S3 await... no: c's entry
+  // edges are hosted on S2; S3 is the final state.
+  ASSERT_EQ(nfa->num_states(), 4u);
+  const State& kleene = nfa->state(2);
+  EXPECT_TRUE(kleene.in_kleene);
+  ASSERT_EQ(kleene.edges.size(), 2u);
+  EXPECT_EQ(kleene.edges[0].kind, EdgeKind::kKleeneTake);
+  EXPECT_EQ(kleene.edges[0].target, 2);  // self loop
+  EXPECT_EQ(kleene.edges[1].kind, EdgeKind::kTake);
+  EXPECT_EQ(kleene.edges[1].exit_var, 1);
+  EXPECT_EQ(kleene.edges[1].exit_predicates.size(), 1u);  // COUNT check
+  EXPECT_EQ(kleene.edges[1].target, 3);
+  EXPECT_TRUE(nfa->state(3).is_final);
+}
+
+TEST_F(NfaCompilerTest, TrailingKleeneStateIsFinalWithLoop) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[]) WHERE COUNT(b[]) > 1 WITHIN 1 min");
+  ASSERT_NE(nfa, nullptr);
+  ASSERT_EQ(nfa->num_states(), 3u);
+  const State& kleene = nfa->state(2);
+  EXPECT_TRUE(kleene.is_final);
+  EXPECT_TRUE(kleene.in_kleene);
+  ASSERT_EQ(kleene.edges.size(), 1u);  // only the self loop
+  EXPECT_EQ(kleene.edges[0].target, 2);
+  EXPECT_EQ(kleene.final_predicates.size(), 1u);  // COUNT gate at emission
+}
+
+TEST_F(NfaCompilerTest, NegationBecomesKillEdge) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, NOT avail x, unlock c) "
+      "WHERE x.loc = a.loc WITHIN 1 min");
+  ASSERT_NE(nfa, nullptr);
+  // States: S0 await a, S1 await c (with kill), S2 final.
+  ASSERT_EQ(nfa->num_states(), 3u);
+  const State& awaiting_c = nfa->state(1);
+  ASSERT_EQ(awaiting_c.edges.size(), 2u);
+  EXPECT_EQ(awaiting_c.edges[0].kind, EdgeKind::kKill);
+  EXPECT_EQ(awaiting_c.edges[0].var_index, 1);
+  EXPECT_EQ(awaiting_c.edges[0].predicates.size(), 1u);
+  EXPECT_EQ(awaiting_c.edges[0].target, -1);
+  EXPECT_EQ(awaiting_c.edges[1].kind, EdgeKind::kTake);
+}
+
+TEST_F(NfaCompilerTest, DoubleNegationTwoKillEdges) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, NOT avail x, NOT unlock y, req c) WITHIN 1 min");
+  ASSERT_NE(nfa, nullptr);
+  const State& awaiting_c = nfa->state(1);
+  ASSERT_EQ(awaiting_c.edges.size(), 3u);
+  EXPECT_EQ(awaiting_c.edges[0].kind, EdgeKind::kKill);
+  EXPECT_EQ(awaiting_c.edges[1].kind, EdgeKind::kKill);
+  EXPECT_EQ(awaiting_c.edges[2].kind, EdgeKind::kTake);
+}
+
+TEST_F(NfaCompilerTest, LeadingKleene) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(avail+ b[], unlock c) WITHIN 1 min");
+  ASSERT_NE(nfa, nullptr);
+  // S0 await first b, S1 in-kleene, S2 final.
+  ASSERT_EQ(nfa->num_states(), 3u);
+  EXPECT_EQ(nfa->state(0).edges[0].target, 1);
+  EXPECT_TRUE(nfa->state(1).in_kleene);
+}
+
+TEST_F(NfaCompilerTest, BackToBackKleene) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock+ u[]) WITHIN 1 min");
+  ASSERT_NE(nfa, nullptr);
+  // S0 await a, S1 await first b, S2 in-kleene b, S3 in-kleene u (final).
+  // u's entry edge is hosted on S2; u has no reachable awaiting state.
+  ASSERT_EQ(nfa->num_states(), 4u);
+  const State& b_state = nfa->state(2);
+  ASSERT_EQ(b_state.edges.size(), 2u);
+  EXPECT_EQ(b_state.edges[1].target, 3);
+  EXPECT_TRUE(nfa->state(3).is_final);
+  EXPECT_TRUE(nfa->state(3).in_kleene);
+}
+
+TEST_F(NfaCompilerTest, SingleVariablePattern) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a) WHERE a.loc > 3 WITHIN 1 min");
+  ASSERT_NE(nfa, nullptr);
+  ASSERT_EQ(nfa->num_states(), 2u);
+  EXPECT_TRUE(nfa->state(1).is_final);
+}
+
+TEST_F(NfaCompilerTest, ToStringAndDotRenderEveryState) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE diff(b[i].loc, a.loc) < 5 WITHIN 10 min");
+  ASSERT_NE(nfa, nullptr);
+  const std::string text = nfa->ToString();
+  for (size_t i = 0; i < nfa->num_states(); ++i) {
+    EXPECT_NE(text.find("S" + std::to_string(i)), std::string::npos);
+  }
+  const std::string dot = NfaToDot(*nfa);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST_F(NfaCompilerTest, TrailingNegationDeferredFinal) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, NOT unlock x) WHERE x.uid = a.uid WITHIN 1 min");
+  ASSERT_NE(nfa, nullptr);
+  ASSERT_EQ(nfa->num_states(), 2u);
+  const State& final_state = nfa->state(1);
+  EXPECT_TRUE(final_state.is_final);
+  EXPECT_TRUE(final_state.deferred_final);
+  ASSERT_EQ(final_state.edges.size(), 1u);
+  EXPECT_EQ(final_state.edges[0].kind, EdgeKind::kKill);
+  EXPECT_EQ(final_state.edges[0].var_index, 1);
+  // Plain final states are not deferred.
+  NfaPtr plain = fixture_.Compile("PATTERN SEQ(req a, unlock c) WITHIN 1 min");
+  EXPECT_FALSE(plain->state(2).deferred_final);
+}
+
+TEST_F(NfaCompilerTest, WindowIsExposed) {
+  NfaPtr nfa =
+      fixture_.Compile("PATTERN SEQ(req a) WITHIN 7 min");
+  ASSERT_NE(nfa, nullptr);
+  EXPECT_EQ(nfa->window(), 7 * kMinute);
+}
+
+}  // namespace
+}  // namespace cep

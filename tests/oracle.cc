@@ -1,0 +1,212 @@
+#include "oracle.h"
+
+#include "query/expr.h"
+
+namespace cep {
+namespace testing_util {
+
+namespace {
+
+/// BindingView over the oracle's in-progress assignment, honouring the
+/// virtual-append contract.
+class OracleView final : public BindingView {
+ public:
+  OracleView(const std::vector<std::vector<EventPtr>>& bindings,
+             int current_var, const Event* current)
+      : bindings_(bindings), current_var_(current_var), current_(current) {}
+
+  const Event* Single(int var) const override {
+    if (var == current_var_ && current_ != nullptr) return current_;
+    return bindings_[var].empty() ? nullptr : bindings_[var].front().get();
+  }
+  int KleeneCount(int var) const override {
+    int n = static_cast<int>(bindings_[var].size());
+    if (var == current_var_ && current_ != nullptr) ++n;
+    return n;
+  }
+  const Event* KleeneAt(int var, int idx) const override {
+    const int stored = static_cast<int>(bindings_[var].size());
+    if (idx >= 0 && idx < stored) return bindings_[var][idx].get();
+    if (var == current_var_ && current_ != nullptr && idx == stored) {
+      return current_;
+    }
+    return nullptr;
+  }
+  const Event* Current() const override { return current_; }
+
+ private:
+  const std::vector<std::vector<EventPtr>>& bindings_;
+  int current_var_;
+  const Event* current_;
+};
+
+class Searcher {
+ public:
+  Searcher(const AnalyzedQuery& analyzed, const std::vector<EventPtr>& events)
+      : analyzed_(analyzed),
+        events_(events),
+        window_(analyzed.query.window),
+        bindings_(analyzed.query.pattern.size()) {
+    // Chain of positive variables with the negated variables guarding the
+    // gap before each of them (mirrors the NFA compiler's structure).
+    const auto& pattern = analyzed_.query.pattern;
+    std::vector<int> pending;
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      if (pattern[i].kind == VariableKind::kNegated) {
+        pending.push_back(static_cast<int>(i));
+      } else {
+        positives_.push_back(static_cast<int>(i));
+        negs_before_.push_back(pending);
+        pending.clear();
+      }
+    }
+    trailing_negs_ = std::move(pending);
+  }
+
+  Result<std::vector<uint64_t>> Run() {
+    CEP_RETURN_NOT_OK(RecursePositive(0, 0, 0));
+    return std::move(out_);
+  }
+
+ private:
+  Result<bool> EvalConjuncts(const std::vector<const Expr*>& conjuncts,
+                             int current_var, const Event* current) {
+    const OracleView view(bindings_, current_var, current);
+    for (const Expr* conjunct : conjuncts) {
+      CEP_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*conjunct, view));
+      if (!pass) return false;
+    }
+    return true;
+  }
+
+  /// True if any event in stream positions [from, to) violates one of the
+  /// negated variables in `negs`.
+  Result<bool> GapViolated(const std::vector<int>& negs, size_t from,
+                           size_t to) {
+    for (const int neg : negs) {
+      const auto& pv = analyzed_.query.pattern[neg];
+      for (size_t p = from; p < to; ++p) {
+        if (events_[p]->type() != pv.type_id) continue;
+        CEP_ASSIGN_OR_RETURN(
+            bool violated,
+            EvalConjuncts(analyzed_.attachments[neg].take, neg,
+                          events_[p].get()));
+        if (violated) return true;
+      }
+    }
+    return false;
+  }
+
+  bool WithinWindow(const Event& event) const {
+    return first_ts_ == -1 ||
+           event.timestamp() - first_ts_ <= window_;
+  }
+
+  /// Emits the current assignment unless a trailing negation is violated by
+  /// an event after `after_pos` within the window.
+  Status Emit(size_t after_pos) {
+    for (const int neg : trailing_negs_) {
+      const auto& pv = analyzed_.query.pattern[neg];
+      for (size_t p = after_pos; p < events_.size(); ++p) {
+        if (events_[p]->timestamp() - first_ts_ > window_) break;
+        if (events_[p]->type() != pv.type_id) continue;
+        CEP_ASSIGN_OR_RETURN(
+            bool violated,
+            EvalConjuncts(analyzed_.attachments[neg].take, neg,
+                          events_[p].get()));
+        if (violated) return Status::OK();
+      }
+    }
+    out_.push_back(MatchFingerprint(bindings_));
+    return Status::OK();
+  }
+
+  /// Assigns the positive variable at chain position `k`, scanning stream
+  /// positions starting at `min_pos`; `prev_end` is one past the stream
+  /// position of the most recently bound event (start of the negation gap).
+  Status RecursePositive(size_t k, size_t min_pos, size_t prev_end) {
+    if (k == positives_.size()) return Emit(prev_end);
+    const int var = positives_[k];
+    const auto& pv = analyzed_.query.pattern[var];
+    for (size_t p = min_pos; p < events_.size(); ++p) {
+      const EventPtr& event = events_[p];
+      if (event->type() != pv.type_id) continue;
+      if (!WithinWindow(*event)) break;  // timestamps are non-decreasing
+      CEP_ASSIGN_OR_RETURN(
+          bool pass, EvalConjuncts(analyzed_.attachments[var].take, var,
+                                   event.get()));
+      if (!pass) continue;
+      // The gap includes position p itself: an event that both satisfies a
+      // kill condition and could bind this variable kills the run in the
+      // engine (kill edges are evaluated first).
+      CEP_ASSIGN_OR_RETURN(bool violated,
+                           GapViolated(negs_before_[k], prev_end, p + 1));
+      if (violated) continue;
+      const Timestamp saved_first = first_ts_;
+      if (first_ts_ == -1) first_ts_ = event->timestamp();
+      bindings_[var].push_back(event);
+      if (pv.kind == VariableKind::kKleene) {
+        CEP_RETURN_NOT_OK(RecurseKleene(k, p + 1));
+      } else {
+        CEP_RETURN_NOT_OK(RecursePositive(k + 1, p + 1, p + 1));
+      }
+      bindings_[var].pop_back();
+      first_ts_ = saved_first;
+    }
+    return Status::OK();
+  }
+
+  /// Extends the Kleene variable at chain position `k` (>= 1 element bound)
+  /// or proceeds past it, enforcing the exit predicates.
+  Status RecurseKleene(size_t k, size_t min_pos) {
+    const int var = positives_[k];
+    // Proceed (or accept, for a trailing Kleene variable) with the current
+    // elements if the exit predicates hold.
+    CEP_ASSIGN_OR_RETURN(
+        bool exit_ok,
+        EvalConjuncts(analyzed_.attachments[var].exit, -1, nullptr));
+    if (exit_ok) {
+      if (k + 1 == positives_.size()) {
+        CEP_RETURN_NOT_OK(Emit(min_pos));
+      } else {
+        CEP_RETURN_NOT_OK(RecursePositive(k + 1, min_pos, min_pos));
+      }
+    }
+    // Take further elements.
+    const auto& pv = analyzed_.query.pattern[var];
+    for (size_t p = min_pos; p < events_.size(); ++p) {
+      const EventPtr& event = events_[p];
+      if (event->type() != pv.type_id) continue;
+      if (!WithinWindow(*event)) break;
+      CEP_ASSIGN_OR_RETURN(
+          bool pass, EvalConjuncts(analyzed_.attachments[var].take, var,
+                                   event.get()));
+      if (!pass) continue;
+      bindings_[var].push_back(event);
+      CEP_RETURN_NOT_OK(RecurseKleene(k, p + 1));
+      bindings_[var].pop_back();
+    }
+    return Status::OK();
+  }
+
+  const AnalyzedQuery& analyzed_;
+  const std::vector<EventPtr>& events_;
+  const Duration window_;
+  std::vector<std::vector<EventPtr>> bindings_;
+  std::vector<int> positives_;
+  std::vector<std::vector<int>> negs_before_;
+  std::vector<int> trailing_negs_;
+  Timestamp first_ts_ = -1;
+  std::vector<uint64_t> out_;
+};
+
+}  // namespace
+
+Result<std::vector<uint64_t>> OracleMatchFingerprints(
+    const Nfa& nfa, const std::vector<EventPtr>& events) {
+  Searcher searcher(nfa.analyzed(), events);
+  return searcher.Run();
+}
+
+}  // namespace testing_util
+}  // namespace cep

@@ -1,0 +1,38 @@
+#ifndef CEPSHED_TESTS_ORACLE_H_
+#define CEPSHED_TESTS_ORACLE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "engine/match.h"
+#include "engine/run.h"
+#include "nfa/nfa.h"
+
+namespace cep {
+namespace testing_util {
+
+/// \brief Brute-force reference matcher for skip-till-any-match semantics.
+///
+/// Enumerates every assignment of stream events to pattern variables by
+/// exhaustive recursion over the (analyzed) query — no NFA, no incremental
+/// state — and returns the fingerprints of all complete matches. Exponential
+/// in the stream length; usable only on small streams, which is exactly its
+/// job: an independent oracle for property tests of the engine.
+///
+/// Semantics implemented (mirroring the engine's contract):
+///  * variables bind timestamp-ordered events (sequence order for ties);
+///  * all events of a match lie within the window (last - first <= window);
+///  * Kleene variables bind one or more events; take predicates are
+///    evaluated per element with virtual append, exit predicates once the
+///    binding is complete;
+///  * negated variables: no event between the neighbouring bound events may
+///    satisfy the kill conjuncts;
+///  * take predicates of each variable are checked with the candidate
+///    virtually bound.
+Result<std::vector<uint64_t>> OracleMatchFingerprints(
+    const Nfa& nfa, const std::vector<EventPtr>& events);
+
+}  // namespace testing_util
+}  // namespace cep
+
+#endif  // CEPSHED_TESTS_ORACLE_H_

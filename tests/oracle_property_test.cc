@@ -1,0 +1,152 @@
+// Differential property tests: the NFA engine against an independent
+// brute-force oracle (tests/oracle.h) on randomised micro-streams, across a
+// panel of queries covering single variables, Kleene closure with take/exit
+// predicates, [i-1] references, COUNT gates, and negation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "oracle.h"
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+using testing_util::OracleMatchFingerprints;
+
+constexpr const char* kOracleQueries[] = {
+    // 0: plain sequence with an equi-predicate
+    "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 5 min",
+    // 1: three-variable sequence with arithmetic predicate
+    "PATTERN SEQ(req a, avail m, unlock c) "
+    "WHERE m.loc >= a.loc, diff(c.loc, a.loc) < 20 WITHIN 5 min",
+    // 2: Kleene with per-take predicate and COUNT exit gate
+    "PATTERN SEQ(req a, avail+ b[], unlock c) "
+    "WHERE diff(b[i].loc, a.loc) < 10, COUNT(b[]) > 1, c.uid = a.uid "
+    "WITHIN 5 min",
+    // 3: Kleene with [i-1] monotonicity and trailing single variable
+    "PATTERN SEQ(req a, avail+ b[], unlock c) "
+    "WHERE b[i].loc > b[i-1].loc, b[first].loc >= a.loc WITHIN 5 min",
+    // 4: negation with a condition
+    "PATTERN SEQ(req a, NOT avail x, unlock c) "
+    "WHERE x.loc = a.loc, c.uid = a.uid WITHIN 5 min",
+    // 5: trailing Kleene (accepting state with self loop)
+    "PATTERN SEQ(req a, avail+ b[]) "
+    "WHERE diff(b[i].loc, a.loc) < 10, COUNT(b[]) > 1 WITHIN 5 min",
+    // 6: negation between later variables, plus double negation risk of
+    //    same-type kill/take interplay (avail is both negated and bound)
+    "PATTERN SEQ(req a, NOT unlock x, avail m) "
+    "WHERE x.uid = a.uid WITHIN 5 min",
+    // 7: trailing negation (deferred emission at window close / Flush)
+    "PATTERN SEQ(req a, avail m, NOT unlock x) "
+    "WHERE x.uid = a.uid, m.loc = a.loc WITHIN 5 min",
+    // 8: Kleene aggregate gating the exit
+    "PATTERN SEQ(req a, avail+ b[], unlock c) "
+    "WHERE diff(b[i].loc, a.loc) < 10, SUM(b[].loc) > 30, c.uid = a.uid "
+    "WITHIN 5 min",
+};
+
+std::vector<EventPtr> MicroStream(BikeSchema* fixture, uint64_t seed,
+                                  int n) {
+  Rng rng(seed);
+  std::vector<EventPtr> events;
+  Timestamp ts = 0;
+  for (int i = 0; i < n; ++i) {
+    ts += 1 + rng.NextBounded(40 * kSecond);
+    const auto loc = static_cast<int64_t>(rng.NextBounded(25));
+    const auto uid = static_cast<int64_t>(rng.NextBounded(4));
+    switch (rng.NextBounded(3)) {
+      case 0:
+        events.push_back(fixture->Req(ts, loc, uid));
+        break;
+      case 1:
+        events.push_back(fixture->Avail(
+            ts, loc, static_cast<int64_t>(rng.NextBounded(50))));
+        break;
+      default:
+        events.push_back(fixture->Unlock(ts, loc, uid, 1));
+        break;
+    }
+  }
+  return events;
+}
+
+class OracleProperty : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  BikeSchema fixture_;
+};
+
+TEST_P(OracleProperty, EngineMatchesBruteForce) {
+  const auto [query_idx, seed] = GetParam();
+  NfaPtr nfa = fixture_.Compile(kOracleQueries[query_idx]);
+  ASSERT_NE(nfa, nullptr);
+  const auto events = MicroStream(&fixture_, 500 + seed * 31, 14);
+
+  auto oracle = OracleMatchFingerprints(*nfa, events);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  std::vector<uint64_t> expected = oracle.MoveValueUnsafe();
+
+  Engine engine(nfa, EngineOptions{});
+  for (const auto& e : events) CEP_ASSERT_OK(engine.ProcessEvent(e));
+  CEP_ASSERT_OK(engine.Flush());
+  std::vector<uint64_t> actual;
+  for (const auto& m : engine.matches()) actual.push_back(m.fingerprint);
+
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(actual, expected)
+      << "query: " << kOracleQueries[query_idx] << "\n"
+      << "engine found " << actual.size() << " matches, oracle "
+      << expected.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueriesAndSeeds, OracleProperty,
+    ::testing::Combine(::testing::Range(0, 9),
+                       ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "q" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+/// Longer streams for the cheap queries only (no Kleene blow-up).
+class OracleLongStreamProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  BikeSchema fixture_;
+};
+
+TEST_P(OracleLongStreamProperty, EngineMatchesBruteForce) {
+  const auto [query_idx, seed] = GetParam();
+  NfaPtr nfa = fixture_.Compile(kOracleQueries[query_idx]);
+  ASSERT_NE(nfa, nullptr);
+  const auto events = MicroStream(&fixture_, 900 + seed * 17, 40);
+  auto oracle = OracleMatchFingerprints(*nfa, events);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  std::vector<uint64_t> expected = oracle.MoveValueUnsafe();
+  Engine engine(nfa, EngineOptions{});
+  for (const auto& e : events) CEP_ASSERT_OK(engine.ProcessEvent(e));
+  CEP_ASSERT_OK(engine.Flush());
+  std::vector<uint64_t> actual;
+  for (const auto& m : engine.matches()) actual.push_back(m.fingerprint);
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NonKleeneQueries, OracleLongStreamProperty,
+    ::testing::Combine(::testing::Values(0, 1, 4, 6, 7),
+                       ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "q" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace cep

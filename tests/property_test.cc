@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <unordered_set>
+
+#include "harness/accuracy.h"
+#include "harness/experiment.h"
+#include "shedding/random_shedder.h"
+#include "shedding/state_shedder.h"
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+
+/// Generates a randomised bike stream with the given seed.
+std::vector<EventPtr> RandomStream(BikeSchema* fixture, uint64_t seed,
+                                   int n) {
+  Rng rng(seed);
+  std::vector<EventPtr> events;
+  Timestamp ts = kMinute;
+  for (int i = 0; i < n; ++i) {
+    ts += 1 + rng.NextBounded(20 * kSecond);
+    const auto loc = static_cast<int64_t>(rng.NextBounded(30));
+    const auto uid = static_cast<int64_t>(rng.NextBounded(15));
+    switch (rng.NextBounded(3)) {
+      case 0:
+        events.push_back(fixture->Req(ts, loc, uid));
+        break;
+      case 1:
+        events.push_back(
+            fixture->Avail(ts, loc, static_cast<int64_t>(rng.Next() % 100)));
+        break;
+      default:
+        events.push_back(fixture->Unlock(ts, loc, uid, 1));
+        break;
+    }
+  }
+  return events;
+}
+
+constexpr const char* kQueries[] = {
+    "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 10 min",
+    "PATTERN SEQ(req a, avail+ b[], unlock c) "
+    "WHERE diff(b[i].loc, a.loc) < 8, c.uid = a.uid WITHIN 10 min",
+    "PATTERN SEQ(req a, NOT unlock x, avail m) "
+    "WHERE x.uid = a.uid WITHIN 10 min",
+};
+
+/// (query index, stream seed)
+class EngineInvariantProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  BikeSchema fixture_;
+};
+
+TEST_P(EngineInvariantProperty, MatchesRespectWindowAndOrder) {
+  const auto [query_idx, seed] = GetParam();
+  NfaPtr nfa = fixture_.Compile(kQueries[query_idx]);
+  const auto events = RandomStream(&fixture_, 1000 + seed, 400);
+  const auto matches = testing_util::RunAll(nfa, EngineOptions{}, events);
+  for (const auto& m : matches) {
+    EXPECT_LE(m.last_ts - m.first_ts, nfa->window());
+    // Bindings are timestamp-ordered along the pattern.
+    Timestamp prev = INT64_MIN;
+    for (const auto& var_events : m.bindings) {
+      for (const auto& e : var_events) {
+        EXPECT_GE(e->timestamp(), prev);
+        prev = e->timestamp();
+      }
+    }
+  }
+}
+
+TEST_P(EngineInvariantProperty, DeterministicAcrossRuns) {
+  const auto [query_idx, seed] = GetParam();
+  NfaPtr nfa = fixture_.Compile(kQueries[query_idx]);
+  const auto events = RandomStream(&fixture_, 2000 + seed, 300);
+  const auto a = testing_util::RunAll(nfa, EngineOptions{}, events);
+  const auto b = testing_util::RunAll(nfa, EngineOptions{}, events);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].fingerprint, b[i].fingerprint);
+  }
+}
+
+TEST_P(EngineInvariantProperty, SheddingIsSubsetOfGolden) {
+  const auto [query_idx, seed] = GetParam();
+  NfaPtr nfa = fixture_.Compile(kQueries[query_idx]);
+  const auto events = RandomStream(&fixture_, 3000 + seed, 400);
+  const auto golden = testing_util::RunAll(nfa, EngineOptions{}, events);
+  EngineOptions lossy;
+  lossy.max_runs = 15;
+  lossy.shed_amount.fraction = 0.4;
+  const auto shed = testing_util::RunAll(
+      nfa, lossy, events,
+      std::make_unique<RandomShedder>(static_cast<uint64_t>(seed)));
+  const auto report = CompareMatches(golden, shed);
+  EXPECT_EQ(report.false_positives(), 0u)
+      << "shedding must never invent matches";
+  EXPECT_LE(shed.size(), golden.size());
+}
+
+TEST_P(EngineInvariantProperty, SblsIsAlsoSubsetOfGolden) {
+  const auto [query_idx, seed] = GetParam();
+  NfaPtr nfa = fixture_.Compile(kQueries[query_idx]);
+  const auto events = RandomStream(&fixture_, 4000 + seed, 400);
+  const auto golden = testing_util::RunAll(nfa, EngineOptions{}, events);
+  EngineOptions lossy;
+  lossy.max_runs = 15;
+  lossy.shed_amount.fraction = 0.4;
+  StateShedderOptions options;
+  options.pm_hash.attributes = {{"req", "loc"}};
+  const auto shed = testing_util::RunAll(
+      nfa, lossy, events,
+      std::make_unique<StateShedder>(options, &fixture_.registry));
+  const auto report = CompareMatches(golden, shed);
+  EXPECT_EQ(report.false_positives(), 0u);
+}
+
+TEST_P(EngineInvariantProperty, NoOverloadMeansNoLoss) {
+  const auto [query_idx, seed] = GetParam();
+  NfaPtr nfa = fixture_.Compile(kQueries[query_idx]);
+  const auto events = RandomStream(&fixture_, 5000 + seed, 200);
+  const auto golden = testing_util::RunAll(nfa, EngineOptions{}, events);
+  // Shedder installed but thresholds never reached: accuracy must be 1.
+  EngineOptions options;
+  options.latency_threshold_micros = 1e12;
+  options.max_runs = 0;
+  const auto shed = testing_util::RunAll(
+      nfa, options, events, std::make_unique<RandomShedder>(1));
+  const auto report = CompareMatches(golden, shed);
+  EXPECT_DOUBLE_EQ(report.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(report.precision(), 1.0);
+}
+
+TEST_P(EngineInvariantProperty, MetricsAreConsistent) {
+  const auto [query_idx, seed] = GetParam();
+  NfaPtr nfa = fixture_.Compile(kQueries[query_idx]);
+  const auto events = RandomStream(&fixture_, 6000 + seed, 300);
+  Engine engine(nfa, EngineOptions{});
+  for (const auto& e : events) CEP_ASSERT_OK(engine.ProcessEvent(e));
+  const EngineMetrics& m = engine.metrics();
+  EXPECT_EQ(m.events_processed, events.size());
+  // Every run that ever existed is either still active, expired, killed,
+  // shed, or completed (completions only retire runs at plain final states).
+  EXPECT_GE(m.runs_created + m.runs_extended,
+            m.runs_expired + m.runs_killed + m.runs_shed +
+                engine.num_runs());
+  EXPECT_LE(engine.num_runs(), m.peak_runs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueriesAndSeeds, EngineInvariantProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1, 2, 3, 4, 5)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "q" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+/// Selection-strategy sweep: for every strategy, matches satisfy the window
+/// and shedding stays sound.
+class SelectionProperty
+    : public ::testing::TestWithParam<SelectionStrategy> {
+ protected:
+  BikeSchema fixture_;
+};
+
+TEST_P(SelectionProperty, WindowRespectedUnderAllStrategies) {
+  NfaPtr nfa = fixture_.Compile(kQueries[1]);
+  const auto events = RandomStream(&fixture_, 77, 300);
+  EngineOptions options;
+  options.selection = GetParam();
+  const auto matches = testing_util::RunAll(nfa, options, events);
+  for (const auto& m : matches) {
+    EXPECT_LE(m.last_ts - m.first_ts, nfa->window());
+  }
+}
+
+TEST_P(SelectionProperty, StamDominatesEveryStrategy) {
+  NfaPtr nfa = fixture_.Compile(kQueries[0]);
+  const auto events = RandomStream(&fixture_, 78, 300);
+  EngineOptions stam;
+  stam.selection = SelectionStrategy::kSkipTillAnyMatch;
+  const auto stam_matches = testing_util::RunAll(nfa, stam, events);
+  EngineOptions other;
+  other.selection = GetParam();
+  const auto other_matches = testing_util::RunAll(nfa, other, events);
+  EXPECT_GE(stam_matches.size(), other_matches.size());
+  // Every match under the restricted strategy also exists under STAM.
+  std::unordered_multiset<uint64_t> stam_prints;
+  for (const auto& m : stam_matches) stam_prints.insert(m.fingerprint);
+  for (const auto& m : other_matches) {
+    EXPECT_TRUE(stam_prints.count(m.fingerprint) > 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, SelectionProperty,
+    ::testing::Values(SelectionStrategy::kSkipTillAnyMatch,
+                      SelectionStrategy::kSkipTillNextMatch,
+                      SelectionStrategy::kStrictContiguity),
+    [](const ::testing::TestParamInfo<SelectionStrategy>& info) {
+      switch (info.param) {
+        case SelectionStrategy::kSkipTillAnyMatch: return std::string("stam");
+        case SelectionStrategy::kSkipTillNextMatch: return std::string("stnm");
+        case SelectionStrategy::kStrictContiguity: return std::string("strict");
+      }
+      return std::string("unknown");
+    });
+
+}  // namespace
+}  // namespace cep

@@ -1,0 +1,177 @@
+// Kleene aggregates: SUM/AVG/MIN/MAX(b[].attr) in WHERE and RETURN.
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+using testing_util::FakeBindings;
+using testing_util::RunAll;
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  /// Resolves `expr_text` as a WHERE conjunct of a Kleene query.
+  const Expr* Resolve(const std::string& expr_text) {
+    auto parsed = ParseQuery(
+        "PATTERN SEQ(req a, avail+ b[]) WHERE " + expr_text +
+        " WITHIN 10 min");
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto analyzed = Analyze(parsed.MoveValueUnsafe(), fixture_.registry);
+    EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    analyzed_.push_back(
+        std::make_unique<AnalyzedQuery>(analyzed.MoveValueUnsafe()));
+    return analyzed_.back()->query.predicates[0].get();
+  }
+
+  FakeBindings ThreeAvails() {
+    FakeBindings bindings;
+    bindings.BindKleene(1, {fixture_.Avail(1, 10, 1), fixture_.Avail(2, 30, 2),
+                            fixture_.Avail(3, 20, 3)});
+    return bindings;
+  }
+
+  BikeSchema fixture_;
+  std::vector<std::unique_ptr<AnalyzedQuery>> analyzed_;
+};
+
+TEST_F(AggregateTest, ParserAcceptsAllFourAggregates) {
+  for (const char* text :
+       {"SUM(b[].loc) > 1", "AVG(b[].loc) > 1", "MIN(b[].loc) > 1",
+        "MAX(b[].loc) > 1"}) {
+    EXPECT_NE(Resolve(text), nullptr) << text;
+  }
+}
+
+TEST_F(AggregateTest, MinMaxStillWorkAsTwoArgBuiltins) {
+  const Expr* expr = Resolve("min(a.loc, 5) = 5");
+  FakeBindings bindings;
+  bindings.BindSingle(0, fixture_.Req(1, 9, 1));
+  EXPECT_EQ(expr->Eval(bindings).ValueOrDie(), Value(true));
+}
+
+TEST_F(AggregateTest, SumOverInts) {
+  const Expr* expr = Resolve("SUM(b[].loc) = 60");
+  FakeBindings bindings = ThreeAvails();
+  EXPECT_EQ(expr->Eval(bindings).ValueOrDie(), Value(true));
+}
+
+TEST_F(AggregateTest, AvgMinMaxValues) {
+  FakeBindings bindings = ThreeAvails();
+  EXPECT_EQ(Resolve("AVG(b[].loc) = 20")->Eval(bindings).ValueOrDie(),
+            Value(true));
+  EXPECT_EQ(Resolve("MIN(b[].loc) = 10")->Eval(bindings).ValueOrDie(),
+            Value(true));
+  EXPECT_EQ(Resolve("MAX(b[].loc) = 30")->Eval(bindings).ValueOrDie(),
+            Value(true));
+}
+
+TEST_F(AggregateTest, VirtualAppendIncluded) {
+  const Expr* expr = Resolve("SUM(b[].loc) = 65");
+  FakeBindings bindings = ThreeAvails();
+  const EventPtr current = fixture_.Avail(4, 5, 4);
+  bindings.SetCurrent(1, current.get());
+  EXPECT_EQ(expr->Eval(bindings).ValueOrDie(), Value(true));
+}
+
+TEST_F(AggregateTest, EmptyBindingYieldsNull) {
+  const Expr* expr = Resolve("SUM(b[].loc) > 0");
+  FakeBindings bindings;  // no Kleene elements
+  // null compares false.
+  EXPECT_EQ(expr->Eval(bindings).ValueOrDie(), Value(false));
+}
+
+TEST_F(AggregateTest, ToStringRoundTrips) {
+  const Expr* expr = Resolve("SUM(b[].loc) > 1");
+  EXPECT_NE(expr->ToString().find("SUM(b[].loc)"), std::string::npos);
+}
+
+TEST_F(AggregateTest, AnalyzerRejectsAggregateOnSingleVariable) {
+  auto parsed = ParseQuery(
+      "PATTERN SEQ(req a, avail+ b[]) WHERE SUM(a[].loc) > 1 WITHIN 1 min");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(Analyze(parsed.MoveValueUnsafe(), fixture_.registry)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(AggregateTest, AnalyzerRejectsUnknownAttribute) {
+  auto parsed = ParseQuery(
+      "PATTERN SEQ(req a, avail+ b[]) WHERE SUM(b[].bogus) > 1 WITHIN 1 min");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(Analyze(parsed.MoveValueUnsafe(), fixture_.registry)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(AggregateTest, ParserRejectsScalarArgumentToSum) {
+  EXPECT_TRUE(ParseQuery("PATTERN SEQ(req a) WHERE SUM(a.loc) > 1 "
+                         "WITHIN 1 min")
+                  .status()
+                  .IsParseError());
+}
+
+TEST_F(AggregateTest, AggregateGatesAtKleeneExit) {
+  // SUM over the whole binding must gate the proceed, not individual takes.
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE SUM(b[].loc) > 25 WITHIN 10 min");
+  // Avail locs 10, 20: subsets with sum > 25 are {10,20} (30) only.
+  const auto matches = RunAll(nfa, EngineOptions{},
+                              {fixture_.Req(1 * kMinute, 0, 5),
+                               fixture_.Avail(2 * kMinute, 10, 1),
+                               fixture_.Avail(3 * kMinute, 20, 2),
+                               fixture_.Unlock(4 * kMinute, 0, 5, 9)});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].bindings[1].size(), 2u);
+}
+
+TEST_F(AggregateTest, AggregateInReturnClause) {
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) WITHIN 10 min "
+      "RETURN summary(total = SUM(b[].loc), best = MIN(b[].loc), "
+      "n = COUNT(b[]))");
+  const auto matches = RunAll(nfa, EngineOptions{},
+                              {fixture_.Req(1 * kMinute, 0, 5),
+                               fixture_.Avail(2 * kMinute, 10, 1),
+                               fixture_.Avail(3 * kMinute, 20, 2),
+                               fixture_.Unlock(4 * kMinute, 0, 5, 9)});
+  ASSERT_EQ(matches.size(), 3u);  // subsets {10}, {20}, {10,20}
+  for (const auto& m : matches) {
+    const EventPtr& out = m.complex_event;
+    const int64_t n = out->attribute("n").int_value();
+    if (n == 2) {
+      EXPECT_EQ(out->attribute("total"), Value(30));
+      EXPECT_EQ(out->attribute("best"), Value(10));
+    }
+  }
+}
+
+TEST_F(AggregateTest, MixedIntDoubleSumIsDouble) {
+  SchemaRegistry registry;
+  ASSERT_TRUE(
+      registry.Register("m", {{"v", ValueType::kDouble}}).ok());
+  auto parsed = ParseQuery(
+      "PATTERN SEQ(m+ xs[]) WHERE SUM(xs[].v) > 0.5 WITHIN 1 min");
+  ASSERT_TRUE(parsed.ok());
+  auto analyzed = Analyze(parsed.MoveValueUnsafe(), registry);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  // Direct evaluation with doubles.
+  const Expr* expr = analyzed.ValueOrDie().query.predicates[0].get();
+  FakeBindings bindings;
+  const EventTypeId id = registry.FindType("m");
+  bindings.BindKleene(
+      0, {std::make_shared<Event>(id, registry.schema(id), 1,
+                                  std::vector<Value>{Value(0.25)}, 1),
+          std::make_shared<Event>(id, registry.schema(id), 2,
+                                  std::vector<Value>{Value(0.5)}, 2)});
+  EXPECT_EQ(expr->Eval(bindings).ValueOrDie(), Value(true));
+}
+
+}  // namespace
+}  // namespace cep

@@ -1,0 +1,255 @@
+#include "query/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "query/builder.h"
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  Result<AnalyzedQuery> AnalyzeText(const std::string& text) {
+    auto parsed = ParseQuery(text);
+    if (!parsed.ok()) return parsed.status();
+    return Analyze(parsed.MoveValueUnsafe(), fixture_.registry);
+  }
+
+  BikeSchema fixture_;
+};
+
+TEST_F(AnalyzerTest, ResolvesTypesAndAttributes) {
+  auto result = AnalyzeText(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE c.uid = a.uid WITHIN 10 min");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const AnalyzedQuery& q = result.ValueOrDie();
+  EXPECT_EQ(q.num_positive, 3);
+  EXPECT_EQ(q.query.pattern[0].type_id, fixture_.registry.FindType("req"));
+  EXPECT_EQ(q.query.pattern[1].type_id, fixture_.registry.FindType("avail"));
+}
+
+TEST_F(AnalyzerTest, AttachesConjunctToLatestVariable) {
+  auto result = AnalyzeText(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE a.loc > 0, diff(b[i].loc, a.loc) < 5, c.uid = a.uid "
+      "WITHIN 10 min");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const AnalyzedQuery& q = result.ValueOrDie();
+  EXPECT_EQ(q.attachments[0].take.size(), 1u);  // a.loc > 0
+  EXPECT_EQ(q.attachments[1].take.size(), 1u);  // b[i] predicate
+  EXPECT_EQ(q.attachments[2].take.size(), 1u);  // c.uid = a.uid
+  EXPECT_TRUE(q.attachments[1].exit.empty());
+}
+
+TEST_F(AnalyzerTest, CountAttachesToKleeneExit) {
+  auto result = AnalyzeText(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE COUNT(b[]) > 5 WITHIN 10 min");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const AnalyzedQuery& q = result.ValueOrDie();
+  EXPECT_TRUE(q.attachments[1].take.empty());
+  EXPECT_EQ(q.attachments[1].exit.size(), 1u);
+}
+
+TEST_F(AnalyzerTest, LastRefAttachesToExitFirstRefToTake) {
+  auto result = AnalyzeText(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE b[last].loc > 0, b[first].loc > 0 WITHIN 10 min");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const AnalyzedQuery& q = result.ValueOrDie();
+  EXPECT_EQ(q.attachments[1].exit.size(), 1u);  // b[last]
+  EXPECT_EQ(q.attachments[1].take.size(), 1u);  // b[first]
+}
+
+TEST_F(AnalyzerTest, ConstantConjunctGatesFirstVariable) {
+  auto result = AnalyzeText(
+      "PATTERN SEQ(req a, unlock c) WHERE 1 < 2 WITHIN 10 min");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie().attachments[0].take.size(), 1u);
+}
+
+TEST_F(AnalyzerTest, NegationConditionAttachesToNegatedVariable) {
+  auto result = AnalyzeText(
+      "PATTERN SEQ(req a, NOT unlock x, req b) "
+      "WHERE x.uid = a.uid WITHIN 10 min");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const AnalyzedQuery& q = result.ValueOrDie();
+  EXPECT_EQ(q.attachments[1].take.size(), 1u);
+  EXPECT_EQ(q.num_positive, 2);
+}
+
+TEST_F(AnalyzerTest, RejectsNegationConditionUsingLaterVariable) {
+  EXPECT_TRUE(AnalyzeText("PATTERN SEQ(req a, NOT unlock x, req b) "
+                          "WHERE x.uid = b.uid WITHIN 10 min")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, RejectsConjunctWithTwoNegatedVariables) {
+  EXPECT_TRUE(AnalyzeText("PATTERN SEQ(req a, NOT unlock x, NOT avail y, "
+                          "req b) WHERE x.uid = y.bid WITHIN 10 min")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, RejectsUnknownEventType) {
+  EXPECT_TRUE(AnalyzeText("PATTERN SEQ(martian m) WITHIN 1 min")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(AnalyzerTest, RejectsUnknownAttribute) {
+  EXPECT_TRUE(AnalyzeText("PATTERN SEQ(req a) WHERE a.bogus > 1 WITHIN 1 min")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(AnalyzerTest, RejectsUnknownVariable) {
+  EXPECT_TRUE(AnalyzeText("PATTERN SEQ(req a) WHERE z.loc > 1 WITHIN 1 min")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(AnalyzerTest, RejectsDuplicateVariables) {
+  EXPECT_TRUE(AnalyzeText("PATTERN SEQ(req a, unlock a) WITHIN 1 min")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, RejectsKleeneIndexOnSingleVariable) {
+  EXPECT_TRUE(AnalyzeText("PATTERN SEQ(req a, unlock c) "
+                          "WHERE a[i].loc > 1 WITHIN 1 min")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, RejectsPlainRefOnKleeneVariable) {
+  EXPECT_TRUE(AnalyzeText("PATTERN SEQ(req a, avail+ b[]) "
+                          "WHERE b.loc > 1 WITHIN 1 min")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, RejectsCountOnSingleVariable) {
+  EXPECT_TRUE(AnalyzeText("PATTERN SEQ(req a, unlock c) "
+                          "WHERE COUNT(a[]) > 1 WITHIN 1 min")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, RejectsLeadingNegation) {
+  EXPECT_TRUE(AnalyzeText("PATTERN SEQ(NOT req x, unlock c) WITHIN 1 min")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, AcceptsTrailingNegation) {
+  // Emission is deferred to window close by the engine.
+  auto result =
+      AnalyzeText("PATTERN SEQ(req a, NOT unlock x) "
+                  "WHERE x.uid = a.uid WITHIN 1 min");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.ValueOrDie().attachments[1].take.size(), 1u);
+}
+
+TEST_F(AnalyzerTest, RejectsNegationAfterKleene) {
+  EXPECT_TRUE(AnalyzeText("PATTERN SEQ(req a, avail+ b[], NOT unlock x, "
+                          "req c) WITHIN 1 min")
+                  .status()
+                  .IsNotImplemented());
+}
+
+TEST_F(AnalyzerTest, RejectsAllNegatedPattern) {
+  // Leading-negation check fires first; the pattern is invalid either way.
+  EXPECT_FALSE(AnalyzeText("PATTERN SEQ(NOT req a) WITHIN 1 min").ok());
+}
+
+TEST_F(AnalyzerTest, RejectsWrongBuiltinArity) {
+  EXPECT_TRUE(AnalyzeText("PATTERN SEQ(req a) WHERE abs(a.loc, 1) > 0 "
+                          "WITHIN 1 min")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(AnalyzeText("PATTERN SEQ(req a) WHERE diff(a.loc) > 0 "
+                          "WITHIN 1 min")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, RejectsUnknownFunction) {
+  EXPECT_TRUE(AnalyzeText("PATTERN SEQ(req a) WHERE frob(a.loc) > 0 "
+                          "WITHIN 1 min")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(AnalyzerTest, ReturnCurrentRewrittenToLast) {
+  auto result = AnalyzeText(
+      "PATTERN SEQ(req a, avail+ b[]) WITHIN 10 min "
+      "RETURN w(near = b[i].loc)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& item = result.ValueOrDie().query.return_spec.items[0];
+  EXPECT_NE(item.expr->ToString().find("[last]"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, ReturnCannotReferenceNegatedVariable) {
+  EXPECT_TRUE(AnalyzeText("PATTERN SEQ(req a, NOT unlock x, req b) "
+                          "WITHIN 1 min RETURN o(v = x.loc)")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, BuilderEquivalentToParser) {
+  CEP_ASSERT_OK_AND_ASSIGN(
+      AnalyzedQuery built,
+      QueryBuilder("demo")
+          .Seq("req", "a")
+          .SeqKleene("avail", "b")
+          .Seq("unlock", "c")
+          .Where("diff(b[i].loc, a.loc) < 5")
+          .Where("c.uid = a.uid")
+          .Within(10 * kMinute)
+          .Return("warning", {{"loc", "a.loc"}})
+          .Build(fixture_.registry));
+  auto parsed = AnalyzeText(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE diff(b[i].loc, a.loc) < 5, c.uid = a.uid "
+      "WITHIN 10 min RETURN warning(loc = a.loc)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(built.query.ToString().substr(built.query.ToString().find("SEQ")),
+            parsed.ValueOrDie().query.ToString().substr(
+                parsed.ValueOrDie().query.ToString().find("SEQ")));
+}
+
+TEST_F(AnalyzerTest, BuilderReportsDeferredErrors) {
+  auto result = QueryBuilder("bad")
+                    .Seq("req", "a")
+                    .Where("1 +")  // parse error, reported at Build
+                    .Within(kMinute)
+                    .Build(fixture_.registry);
+  EXPECT_TRUE(result.status().IsParseError());
+}
+
+TEST_F(AnalyzerTest, BuilderRejectsNullExpr) {
+  auto result = QueryBuilder("bad")
+                    .Seq("req", "a")
+                    .Where(ExprPtr(nullptr))
+                    .Within(kMinute)
+                    .Build(fixture_.registry);
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST_F(AnalyzerTest, RejectsNonPositiveWindow) {
+  auto parsed = ParseQuery("PATTERN SEQ(req a) WITHIN 1 min").MoveValueUnsafe();
+  parsed.window = 0;
+  EXPECT_TRUE(Analyze(std::move(parsed), fixture_.registry)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cep

@@ -1,0 +1,246 @@
+#include "query/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "query/analyzer.h"
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+using testing_util::FakeBindings;
+
+/// Evaluates a constant expression (no attribute references).
+Value EvalConst(const std::string& text) {
+  auto expr = ParseExpression(text);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  FakeBindings bindings;
+  auto result = expr.ValueOrDie()->Eval(bindings);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.MoveValueUnsafe();
+}
+
+Status EvalConstStatus(const std::string& text) {
+  auto expr = ParseExpression(text);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  FakeBindings bindings;
+  return expr.ValueOrDie()->Eval(bindings).status();
+}
+
+TEST(ExprEvalTest, IntegerArithmetic) {
+  EXPECT_EQ(EvalConst("1 + 2 * 3"), Value(7));
+  EXPECT_EQ(EvalConst("(1 + 2) * 3"), Value(9));
+  EXPECT_EQ(EvalConst("10 - 4 - 3"), Value(3));  // left associative
+  EXPECT_EQ(EvalConst("7 % 3"), Value(1));
+  EXPECT_EQ(EvalConst("-5 + 2"), Value(-3));
+}
+
+TEST(ExprEvalTest, DivisionIsAlwaysDouble) {
+  EXPECT_EQ(EvalConst("7 / 2"), Value(3.5));
+  EXPECT_EQ(EvalConst("6 / 2"), Value(3.0));
+}
+
+TEST(ExprEvalTest, DoubleArithmeticAndMixing) {
+  EXPECT_EQ(EvalConst("1.5 + 1"), Value(2.5));
+  EXPECT_EQ(EvalConst("2 * 2.5"), Value(5.0));
+  EXPECT_EQ(EvalConst("5.0 % 2.0"), Value(1.0));
+}
+
+TEST(ExprEvalTest, DivisionByZeroFails) {
+  EXPECT_TRUE(EvalConstStatus("1 / 0").IsInvalidArgument());
+  EXPECT_TRUE(EvalConstStatus("1 % 0").IsInvalidArgument());
+}
+
+TEST(ExprEvalTest, StringConcatenation) {
+  EXPECT_EQ(EvalConst("'a' + 'b'"), Value("ab"));
+  EXPECT_TRUE(EvalConstStatus("'a' - 'b'").IsTypeError());
+}
+
+TEST(ExprEvalTest, Comparisons) {
+  EXPECT_EQ(EvalConst("1 < 2"), Value(true));
+  EXPECT_EQ(EvalConst("2 <= 2"), Value(true));
+  EXPECT_EQ(EvalConst("3 > 4"), Value(false));
+  EXPECT_EQ(EvalConst("3 >= 4"), Value(false));
+  EXPECT_EQ(EvalConst("3 = 3"), Value(true));
+  EXPECT_EQ(EvalConst("3 != 3"), Value(false));
+  EXPECT_EQ(EvalConst("'a' < 'b'"), Value(true));
+  EXPECT_EQ(EvalConst("1 = 1.0"), Value(true));
+}
+
+TEST(ExprEvalTest, EqualityAcrossTypesIsFalseNotError) {
+  EXPECT_EQ(EvalConst("'1' = 1"), Value(false));
+  EXPECT_EQ(EvalConst("'1' != 1"), Value(true));
+}
+
+TEST(ExprEvalTest, OrderAcrossTypesIsError) {
+  EXPECT_TRUE(EvalConstStatus("'a' < 1").IsTypeError());
+}
+
+TEST(ExprEvalTest, BooleanLogicShortCircuits) {
+  EXPECT_EQ(EvalConst("true AND false"), Value(false));
+  EXPECT_EQ(EvalConst("true OR false"), Value(true));
+  EXPECT_EQ(EvalConst("NOT true"), Value(false));
+  EXPECT_EQ(EvalConst("NOT false OR false"), Value(true));
+  // Short circuit: the erroring right side is never evaluated.
+  EXPECT_EQ(EvalConst("false AND (1/0 > 0)"), Value(false));
+  EXPECT_EQ(EvalConst("true OR (1/0 > 0)"), Value(true));
+}
+
+TEST(ExprEvalTest, PrecedenceAndOverOr) {
+  EXPECT_EQ(EvalConst("true OR false AND false"), Value(true));
+  EXPECT_EQ(EvalConst("(true OR false) AND false"), Value(false));
+}
+
+TEST(ExprEvalTest, Builtins) {
+  EXPECT_EQ(EvalConst("abs(-3)"), Value(3));
+  EXPECT_EQ(EvalConst("abs(-3.5)"), Value(3.5));
+  EXPECT_EQ(EvalConst("diff(2, 5)"), Value(3.0));
+  EXPECT_EQ(EvalConst("diff(5, 2)"), Value(3.0));
+  EXPECT_EQ(EvalConst("min(2, 5)"), Value(2));
+  EXPECT_EQ(EvalConst("max(2, 5)"), Value(5));
+  EXPECT_EQ(EvalConst("min('a', 'b')"), Value("a"));
+}
+
+TEST(ExprEvalTest, UnknownFunctionFailsAtParseViaEval) {
+  // Parsing succeeds; the unresolved builtin is an eval-time internal error
+  // (the analyzer resolves builtins in query context; see analyzer test).
+  auto expr = ParseExpression("frobnicate(1)").ValueOrDie();
+  FakeBindings bindings;
+  EXPECT_TRUE(expr->Eval(bindings).status().IsInternal());
+}
+
+TEST(ExprEvalTest, ToStringRoundTripsStructure) {
+  auto expr = ParseExpression("(a.x + 1) * 2 < diff(b.y, 3)").ValueOrDie();
+  const std::string text = expr->ToString();
+  EXPECT_NE(text.find("a.x"), std::string::npos);
+  EXPECT_NE(text.find("diff"), std::string::npos);
+  // Re-parse the printed form; structure must be stable.
+  auto reparsed = ParseExpression(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed.ValueOrDie()->ToString(), text);
+}
+
+TEST(ExprEvalTest, CloneIsDeep) {
+  auto expr = ParseExpression("1 + 2 * 3").ValueOrDie();
+  auto clone = expr->Clone();
+  EXPECT_EQ(expr->ToString(), clone->ToString());
+  EXPECT_NE(expr.get(), clone.get());
+}
+
+// --- attribute references against a resolved query -------------------------
+
+class ResolvedExprTest : public ::testing::Test {
+ protected:
+  /// Resolves `expr_text` as a WHERE conjunct of the Example 1 query. All
+  /// analyzed queries stay alive so multiple resolved pointers can coexist.
+  const Expr* Resolve(const std::string& expr_text) {
+    auto parsed = ParseQuery(
+        "PATTERN SEQ(req a, avail+ b[], unlock c) WHERE " + expr_text +
+        " WITHIN 10 min");
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto analyzed = Analyze(parsed.MoveValueUnsafe(), fixture_.registry);
+    EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    analyzed_.push_back(
+        std::make_unique<AnalyzedQuery>(analyzed.MoveValueUnsafe()));
+    return analyzed_.back()->query.predicates[0].get();
+  }
+
+  BikeSchema fixture_;
+  std::vector<std::unique_ptr<AnalyzedQuery>> analyzed_;
+};
+
+TEST_F(ResolvedExprTest, SingleVariableReference) {
+  const Expr* expr = Resolve("a.loc + 1 = 8");
+  FakeBindings bindings;
+  bindings.BindSingle(0, fixture_.Req(1, 7, 50));
+  EXPECT_EQ(expr->Eval(bindings).ValueOrDie(), Value(true));
+}
+
+TEST_F(ResolvedExprTest, UnboundSingleIsNullAndComparesFalse) {
+  const Expr* expr = Resolve("a.loc = 7");
+  FakeBindings bindings;  // nothing bound
+  EXPECT_EQ(expr->Eval(bindings).ValueOrDie(), Value(false));
+}
+
+TEST_F(ResolvedExprTest, KleeneCurrentUsesCurrentEvent) {
+  const Expr* expr = Resolve("b[i].loc = 3");
+  FakeBindings bindings;
+  const EventPtr current = fixture_.Avail(2, 3, 900);
+  bindings.SetCurrent(1, current.get());
+  EXPECT_EQ(expr->Eval(bindings).ValueOrDie(), Value(true));
+}
+
+TEST_F(ResolvedExprTest, KleenePrevIsVacuouslyTrueOnFirstTake) {
+  // The analyzer wraps [i-1] conjuncts as `COUNT(b[]) <= 1 OR (...)`, so on
+  // the first take (virtual count 1, no previous element) the predicate is
+  // vacuously true — the SASE+ semantics.
+  const Expr* expr = Resolve("b[i].loc > b[i-1].loc");
+  FakeBindings bindings;
+  const EventPtr current = fixture_.Avail(2, 3, 900);
+  bindings.SetCurrent(1, current.get());
+  EXPECT_EQ(expr->Eval(bindings).ValueOrDie(), Value(true));
+  // With a stored element the wrapped conjunct degenerates to the raw
+  // comparison.
+  bindings.BindKleene(1, {fixture_.Avail(1, 7, 899)});
+  EXPECT_EQ(expr->Eval(bindings).ValueOrDie(), Value(false));  // 3 > 7 fails
+}
+
+TEST_F(ResolvedExprTest, KleenePrevComparesAgainstStoredLast) {
+  const Expr* expr = Resolve("b[i].loc > b[i-1].loc");
+  FakeBindings bindings;
+  bindings.BindKleene(1, {fixture_.Avail(1, 2, 900)});
+  const EventPtr current = fixture_.Avail(2, 5, 901);
+  bindings.SetCurrent(1, current.get());
+  EXPECT_EQ(expr->Eval(bindings).ValueOrDie(), Value(true));
+}
+
+TEST_F(ResolvedExprTest, KleeneFirstAndLast) {
+  const Expr* first_expr = Resolve("b[first].loc = 10");
+  const Expr* last_expr = Resolve("b[last].loc = 30");
+  FakeBindings bindings;
+  bindings.BindKleene(1, {fixture_.Avail(1, 10, 1), fixture_.Avail(2, 20, 2),
+                          fixture_.Avail(3, 30, 3)});
+  EXPECT_EQ(first_expr->Eval(bindings).ValueOrDie(), Value(true));
+  EXPECT_EQ(last_expr->Eval(bindings).ValueOrDie(), Value(true));
+}
+
+TEST_F(ResolvedExprTest, CountReflectsVirtualAppend) {
+  const Expr* expr = Resolve("COUNT(b[]) = 3");
+  FakeBindings bindings;
+  bindings.BindKleene(1, {fixture_.Avail(1, 1, 1), fixture_.Avail(2, 2, 2)});
+  EXPECT_EQ(expr->Eval(bindings).ValueOrDie(), Value(false));
+  const EventPtr current = fixture_.Avail(3, 3, 3);
+  bindings.SetCurrent(1, current.get());
+  EXPECT_EQ(expr->Eval(bindings).ValueOrDie(), Value(true));
+}
+
+TEST_F(ResolvedExprTest, DiffBuiltinOnAttributes) {
+  const Expr* expr = Resolve("diff(c.loc, a.loc) > 5");
+  FakeBindings bindings;
+  bindings.BindSingle(0, fixture_.Req(1, 10, 50));
+  bindings.BindSingle(2, fixture_.Unlock(2, 20, 50, 7));
+  EXPECT_EQ(expr->Eval(bindings).ValueOrDie(), Value(true));
+}
+
+TEST(EvalPredicateTest, NullIsFalseNonBoolIsError) {
+  FakeBindings bindings;
+  auto null_expr = ParseExpression("1 + 2").ValueOrDie();
+  EXPECT_TRUE(EvalPredicate(*null_expr, bindings).status().IsTypeError());
+  auto bool_expr = ParseExpression("1 < 2").ValueOrDie();
+  EXPECT_TRUE(EvalPredicate(*bool_expr, bindings).ValueOrDie());
+}
+
+TEST(ExprVisitTest, VisitsAllNodes) {
+  auto expr = ParseExpression("abs(a.x) + 2 * 3 < 10 AND NOT (b.y = 1)")
+                  .ValueOrDie();
+  int count = 0;
+  VisitExpr(const_cast<const Expr*>(expr.get()),
+            [&](const Expr*) { ++count; });
+  // AND, <, +, abs, a.x, *, 2, 3, 10, NOT, =, b.y, 1
+  EXPECT_EQ(count, 13);
+}
+
+}  // namespace
+}  // namespace cep

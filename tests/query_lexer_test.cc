@@ -1,0 +1,107 @@
+#include "query/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace cep {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& text) {
+  auto tokens = Tokenize(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> kinds;
+  for (const auto& t : tokens.ValueOrDie()) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  EXPECT_EQ(Kinds(""), (std::vector<TokenKind>{TokenKind::kEnd}));
+  EXPECT_EQ(Kinds("   \n\t "), (std::vector<TokenKind>{TokenKind::kEnd}));
+}
+
+TEST(LexerTest, Identifiers) {
+  const auto tokens = Tokenize("abc _x a1_b2").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "abc");
+  EXPECT_EQ(tokens[1].text, "_x");
+  EXPECT_EQ(tokens[2].text, "a1_b2");
+}
+
+TEST(LexerTest, IntegerAndDoubleLiterals) {
+  const auto tokens = Tokenize("42 3.5 1e3 2.5e-2 7").ValueOrDie();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(tokens[0].value.int_value(), 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].value.double_value(), 3.5);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[2].value.double_value(), 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].value.double_value(), 0.025);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kIntLiteral);
+}
+
+TEST(LexerTest, StringLiterals) {
+  const auto tokens = Tokenize("'abc' \"def\" 'it''s'").ValueOrDie();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(tokens[0].value.string_value(), "abc");
+  EXPECT_EQ(tokens[1].value.string_value(), "def");
+  EXPECT_EQ(tokens[2].value.string_value(), "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_TRUE(Tokenize("'oops").status().IsParseError());
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  EXPECT_EQ(Kinds(", ( ) [ ] . + - * / %"),
+            (std::vector<TokenKind>{
+                TokenKind::kComma, TokenKind::kLParen, TokenKind::kRParen,
+                TokenKind::kLBracket, TokenKind::kRBracket, TokenKind::kDot,
+                TokenKind::kPlus, TokenKind::kMinus, TokenKind::kStar,
+                TokenKind::kSlash, TokenKind::kPercent, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  EXPECT_EQ(Kinds("= == != <> < <= > >= !"),
+            (std::vector<TokenKind>{
+                TokenKind::kEq, TokenKind::kEq, TokenKind::kNe, TokenKind::kNe,
+                TokenKind::kLt, TokenKind::kLe, TokenKind::kGt, TokenKind::kGe,
+                TokenKind::kBang, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, LineComments) {
+  EXPECT_EQ(Kinds("a -- comment until eol\nb"),
+            (std::vector<TokenKind>{TokenKind::kIdentifier,
+                                    TokenKind::kIdentifier, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, MinusVsCommentDisambiguation) {
+  // A single '-' is an operator; '--' starts a comment.
+  EXPECT_EQ(Kinds("a - b"),
+            (std::vector<TokenKind>{TokenKind::kIdentifier, TokenKind::kMinus,
+                                    TokenKind::kIdentifier, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_TRUE(Tokenize("a @ b").status().IsParseError());
+  EXPECT_TRUE(Tokenize("#").status().IsParseError());
+}
+
+TEST(LexerTest, OffsetsPointIntoSource) {
+  const auto tokens = Tokenize("ab cd").ValueOrDie();
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 3u);
+}
+
+TEST(LexerTest, DotBetweenIdentifiers) {
+  EXPECT_EQ(Kinds("a.loc"),
+            (std::vector<TokenKind>{TokenKind::kIdentifier, TokenKind::kDot,
+                                    TokenKind::kIdentifier, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, LeadingDotDigitIsDouble) {
+  const auto tokens = Tokenize(".5").ValueOrDie();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].value.double_value(), 0.5);
+}
+
+}  // namespace
+}  // namespace cep

@@ -1,0 +1,184 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace cep {
+namespace {
+
+TEST(ParseDurationTest, Units) {
+  EXPECT_EQ(ParseDuration("150 us").ValueOrDie(), 150 * kMicrosecond);
+  EXPECT_EQ(ParseDuration("20 ms").ValueOrDie(), 20 * kMillisecond);
+  EXPECT_EQ(ParseDuration("3 sec").ValueOrDie(), 3 * kSecond);
+  EXPECT_EQ(ParseDuration("10 min").ValueOrDie(), 10 * kMinute);
+  EXPECT_EQ(ParseDuration("5 hours").ValueOrDie(), 5 * kHour);
+  EXPECT_EQ(ParseDuration("1 hour").ValueOrDie(), kHour);
+  EXPECT_EQ(ParseDuration("2 h").ValueOrDie(), 2 * kHour);
+  EXPECT_EQ(ParseDuration("1.5 min").ValueOrDie(), 90 * kSecond);
+}
+
+TEST(ParseDurationTest, Rejections) {
+  EXPECT_TRUE(ParseDuration("min").status().IsParseError());
+  EXPECT_TRUE(ParseDuration("3 lightyears").status().IsParseError());
+  EXPECT_TRUE(ParseDuration("-5 min").status().IsParseError());
+  EXPECT_TRUE(ParseDuration("0 min").status().IsOutOfRange());
+  EXPECT_TRUE(ParseDuration("3 min extra").status().IsParseError());
+}
+
+TEST(ParseQueryTest, PaperExampleOne) {
+  auto result = ParseQuery(
+      "PATTERN SEQ (req a, avail+ b[], unlock c) "
+      "WHERE diff(b[i].loc, a.loc) < 5, COUNT(b[]) > 5, "
+      "diff(c.loc, a.loc) > 5, c.uid = a.uid "
+      "WITHIN 10 min "
+      "RETURN warning(a.loc, b[i].loc)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ParsedQuery& q = result.ValueOrDie();
+  ASSERT_EQ(q.pattern.size(), 3u);
+  EXPECT_EQ(q.pattern[0].event_type, "req");
+  EXPECT_EQ(q.pattern[0].name, "a");
+  EXPECT_EQ(q.pattern[0].kind, VariableKind::kSingle);
+  EXPECT_EQ(q.pattern[1].event_type, "avail");
+  EXPECT_EQ(q.pattern[1].kind, VariableKind::kKleene);
+  EXPECT_EQ(q.pattern[2].kind, VariableKind::kSingle);
+  EXPECT_EQ(q.predicates.size(), 4u);
+  EXPECT_EQ(q.window, 10 * kMinute);
+  EXPECT_EQ(q.return_spec.event_name, "warning");
+  ASSERT_EQ(q.return_spec.items.size(), 2u);
+  EXPECT_EQ(q.return_spec.items[0].name, "v0");
+  EXPECT_EQ(q.return_spec.items[1].name, "v1");
+}
+
+TEST(ParseQueryTest, NegationWithNotAndBang) {
+  auto a = ParseQuery("PATTERN SEQ(req a, NOT unlock x, req b) WITHIN 1 min");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a.ValueOrDie().pattern[1].kind, VariableKind::kNegated);
+  auto b = ParseQuery("PATTERN SEQ(req a, ! unlock x, req b) WITHIN 1 min");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(b.ValueOrDie().pattern[1].kind, VariableKind::kNegated);
+}
+
+TEST(ParseQueryTest, NamedReturnItems) {
+  auto result = ParseQuery(
+      "PATTERN SEQ(req a) WITHIN 1 min RETURN out(loc = a.loc, two = 1 + 1)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& items = result.ValueOrDie().return_spec.items;
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].name, "loc");
+  EXPECT_EQ(items[1].name, "two");
+}
+
+TEST(ParseQueryTest, WhereIsOptional) {
+  auto result = ParseQuery("PATTERN SEQ(req a, unlock b) WITHIN 5 sec");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.ValueOrDie().predicates.empty());
+  EXPECT_TRUE(result.ValueOrDie().return_spec.empty());
+}
+
+TEST(ParseQueryTest, KeywordsAreCaseInsensitive) {
+  auto result =
+      ParseQuery("pattern seq(req a) where a.loc > 1 within 1 min");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(ParseQueryTest, CommentsInsideQuery) {
+  auto result = ParseQuery(
+      "PATTERN SEQ(req a) -- the pattern\n"
+      "WHERE a.loc > 0 -- a filter\n"
+      "WITHIN 1 min");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(ParseQueryTest, KleeneIndexVariants) {
+  auto result = ParseQuery(
+      "PATTERN SEQ(req a, avail+ b[]) "
+      "WHERE b[i].loc > 0, b[i-1].loc > 0, b[first].loc > 0, "
+      "b[last].loc > 0, COUNT(b) > 1 "
+      "WITHIN 1 min");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.ValueOrDie().predicates.size(), 5u);
+}
+
+TEST(ParseQueryTest, RejectsBadKleeneIndex) {
+  EXPECT_TRUE(ParseQuery("PATTERN SEQ(avail+ b[]) WHERE b[i-2].loc > 0 "
+                         "WITHIN 1 min")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseQuery("PATTERN SEQ(avail+ b[]) WHERE b[5].loc > 0 "
+                         "WITHIN 1 min")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(ParseQueryTest, RejectsMissingClauses) {
+  EXPECT_TRUE(ParseQuery("SEQ(req a) WITHIN 1 min").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("PATTERN SEQ(req a)").status().IsParseError());
+  EXPECT_TRUE(ParseQuery("PATTERN SEQ() WITHIN 1 min").status().IsParseError());
+}
+
+TEST(ParseQueryTest, RejectsTrailingInput) {
+  EXPECT_TRUE(ParseQuery("PATTERN SEQ(req a) WITHIN 1 min garbage garbage")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(ParseQueryTest, RejectsNegatedKleene) {
+  EXPECT_TRUE(ParseQuery("PATTERN SEQ(req a, NOT avail+ b[]) WITHIN 1 min")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(ParseQueryTest, RejectsBracketsOnSingleVariable) {
+  EXPECT_TRUE(ParseQuery("PATTERN SEQ(req a[]) WITHIN 1 min")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(ParseQueryTest, ToStringRoundTrip) {
+  const std::string text =
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE (diff(b[i].loc, a.loc) < 5), (c.uid = a.uid) "
+      "WITHIN 10 min "
+      "RETURN warning(loc = a.loc)";
+  auto first = ParseQuery(text);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const std::string printed = first.ValueOrDie().ToString();
+  auto second = ParseQuery(printed);
+  ASSERT_TRUE(second.ok()) << second.status().ToString() << "\n" << printed;
+  EXPECT_EQ(second.ValueOrDie().ToString(), printed);
+}
+
+TEST(ParseQueryTest, CopySemanticsOfParsedQuery) {
+  auto result = ParseQuery(
+      "PATTERN SEQ(req a) WHERE a.loc > 1 WITHIN 1 min RETURN o(x = a.loc)");
+  ASSERT_TRUE(result.ok());
+  ParsedQuery original = result.MoveValueUnsafe();
+  ParsedQuery copy = original;  // deep copy of predicates and return items
+  EXPECT_EQ(copy.ToString(), original.ToString());
+  EXPECT_NE(copy.predicates[0].get(), original.predicates[0].get());
+}
+
+TEST(ParseExpressionTest, StandaloneExpressions) {
+  EXPECT_TRUE(ParseExpression("1 + 2").ok());
+  EXPECT_TRUE(ParseExpression("a.x < b.y AND c.z = 1").ok());
+  EXPECT_TRUE(ParseExpression("1 +").status().IsParseError());
+  EXPECT_TRUE(ParseExpression("").status().IsParseError());
+  EXPECT_TRUE(ParseExpression("a.x extra").status().IsParseError());
+}
+
+TEST(ParseExpressionTest, BareIdentifierIsError) {
+  // Identifiers must be attribute refs, calls, or boolean literals.
+  EXPECT_TRUE(ParseExpression("foo").status().IsParseError());
+  EXPECT_TRUE(ParseExpression("true").ok());
+  EXPECT_TRUE(ParseExpression("FALSE").ok());
+}
+
+TEST(FormatDurationTest, PicksLargestExactUnit) {
+  EXPECT_EQ(FormatDuration(3 * kHour), "3 hours");
+  EXPECT_EQ(FormatDuration(kHour), "1 hour");
+  EXPECT_EQ(FormatDuration(10 * kMinute), "10 min");
+  EXPECT_EQ(FormatDuration(90 * kSecond), "90 sec");
+  EXPECT_EQ(FormatDuration(150), "150 us");
+}
+
+}  // namespace
+}  // namespace cep

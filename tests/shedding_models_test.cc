@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "shedding/adaptive.h"
+#include "shedding/contribution_model.h"
+#include "shedding/cost_model.h"
+#include "shedding/model_backend.h"
+#include "shedding/scoring.h"
+#include "shedding/sketch.h"
+#include "shedding/time_slice.h"
+
+namespace cep {
+namespace {
+
+TEST(ExactBackendTest, RatioAndSupport) {
+  ExactCounterBackend backend;
+  EXPECT_DOUBLE_EQ(backend.Ratio(1, 0.5), 0.5);  // unseen -> fallback
+  EXPECT_DOUBLE_EQ(backend.Support(1), 0.0);
+  backend.Add(1, 0.0, 1.0);
+  backend.Add(1, 0.0, 1.0);
+  backend.Add(1, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(backend.Ratio(1, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(backend.Support(1), 2.0);
+  backend.Add(1, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(backend.Ratio(1, 0.0), 1.0);
+  EXPECT_GT(backend.MemoryBytes(), 0u);
+  backend.Clear();
+  EXPECT_DOUBLE_EQ(backend.Support(1), 0.0);
+}
+
+TEST(ExactBackendTest, KeysAreIndependent) {
+  ExactCounterBackend backend;
+  backend.Add(1, 5.0, 10.0);
+  backend.Add(2, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(backend.Ratio(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(backend.Ratio(2, 0), 1.0);
+  EXPECT_EQ(backend.num_cells(), 2u);
+}
+
+TEST(ContributionModelTest, ObserveAndCredit) {
+  ContributionModel model(std::make_unique<ExactCounterBackend>());
+  // Three runs pass through cell 7; one of them later completes a match.
+  model.Observe(7);
+  model.Observe(7);
+  model.Observe(7);
+  model.Credit({7});
+  EXPECT_DOUBLE_EQ(model.Estimate(7, 1.0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(model.Estimate(8, 0.75), 0.75);  // unseen -> optimism
+  EXPECT_DOUBLE_EQ(model.Support(7), 3.0);
+}
+
+TEST(ContributionModelTest, CreditWholeTrail) {
+  ContributionModel model(std::make_unique<ExactCounterBackend>());
+  model.Observe(1);
+  model.Observe(2);
+  model.Observe(3);
+  model.Credit({1, 2, 3});
+  EXPECT_DOUBLE_EQ(model.Estimate(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(model.Estimate(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(model.Estimate(3, 0), 1.0);
+}
+
+TEST(CostModelTest, ObserveAndCharge) {
+  CostModel model(std::make_unique<ExactCounterBackend>());
+  model.Observe(5);
+  model.Observe(5);
+  model.Charge({5});
+  model.Charge({5});
+  model.Charge({5});
+  EXPECT_DOUBLE_EQ(model.Estimate(5, 0.0), 1.5);  // 3 derived / 2 observed
+  EXPECT_DOUBLE_EQ(model.Estimate(6, 0.25), 0.25);
+}
+
+TEST(TimeSlicerTest, SliceBoundaries) {
+  TimeSlicer slicer(100, 10);
+  EXPECT_EQ(slicer.Slice(0, 0), 0);
+  EXPECT_EQ(slicer.Slice(0, 9), 0);
+  EXPECT_EQ(slicer.Slice(0, 10), 1);
+  EXPECT_EQ(slicer.Slice(0, 99), 9);
+  EXPECT_EQ(slicer.Slice(0, 100), 9);   // clamped to last slice
+  EXPECT_EQ(slicer.Slice(0, 5000), 9);  // beyond the window
+  EXPECT_EQ(slicer.Slice(50, 40), 0);   // negative age clamps to 0
+}
+
+TEST(TimeSlicerTest, SingleSliceDegenerate) {
+  TimeSlicer slicer(100, 1);
+  EXPECT_EQ(slicer.Slice(0, 0), 0);
+  EXPECT_EQ(slicer.Slice(0, 99), 0);
+  EXPECT_EQ(slicer.num_slices(), 1);
+}
+
+TEST(TimeSlicerTest, TtlFraction) {
+  TimeSlicer slicer(100, 10);
+  EXPECT_DOUBLE_EQ(slicer.TtlFraction(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(slicer.TtlFraction(0, 50), 0.5);
+  EXPECT_DOUBLE_EQ(slicer.TtlFraction(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(slicer.TtlFraction(0, 200), 0.0);
+}
+
+TEST(ScoringTest, LinearCombination) {
+  ScoringOptions options;
+  options.function = RankingFunction::kLinear;
+  options.weight_contribution = 2.0;
+  options.weight_cost = 3.0;
+  EXPECT_DOUBLE_EQ(ScorePartialMatch(options, 1.0, 0.5, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(ScorePartialMatch(options, 0.0, 1.0, 1.0), -3.0);
+}
+
+TEST(ScoringTest, RatioFunction) {
+  ScoringOptions options;
+  options.function = RankingFunction::kRatio;
+  options.ratio_epsilon = 1.0;
+  EXPECT_DOUBLE_EQ(ScorePartialMatch(options, 1.0, 1.0, 1.0), 1.0);
+  EXPECT_GT(ScorePartialMatch(options, 3.0, 0.0, 1.0),
+            ScorePartialMatch(options, 1.0, 0.0, 1.0));
+}
+
+TEST(ScoringTest, SingleSidedFunctions) {
+  ScoringOptions options;
+  options.function = RankingFunction::kContributionOnly;
+  EXPECT_DOUBLE_EQ(ScorePartialMatch(options, 0.7, 9.0, 1.0), 0.7);
+  options.function = RankingFunction::kCostOnly;
+  EXPECT_DOUBLE_EQ(ScorePartialMatch(options, 0.7, 9.0, 1.0), -9.0);
+}
+
+TEST(ScoringTest, TtlDiscount) {
+  ScoringOptions options;
+  options.function = RankingFunction::kTtlDiscounted;
+  const double fresh = ScorePartialMatch(options, 1.0, 0.0, 1.0);
+  const double stale = ScorePartialMatch(options, 1.0, 0.0, 0.1);
+  EXPECT_GT(fresh, stale);
+  EXPECT_DOUBLE_EQ(ScorePartialMatch(options, 1.0, 0.0, 0.0), 0.0);
+}
+
+TEST(ScoringTest, RankingFunctionNames) {
+  EXPECT_STREQ(RankingFunctionName(RankingFunction::kLinear), "linear");
+  EXPECT_STRNE(RankingFunctionName(RankingFunction::kRatio),
+               RankingFunctionName(RankingFunction::kTtlDiscounted));
+}
+
+TEST(ComputeShedTargetTest, FixedFraction) {
+  ShedAmountOptions options;
+  options.fraction = 0.2;
+  EXPECT_EQ(ComputeShedTarget(options, 100, 0, 0), 20u);
+  EXPECT_EQ(ComputeShedTarget(options, 0, 0, 0), 0u);
+  // min_victims floor.
+  EXPECT_EQ(ComputeShedTarget(options, 3, 0, 0), 1u);
+}
+
+TEST(ComputeShedTargetTest, AdaptiveScalesWithOvershoot) {
+  ShedAmountOptions options;
+  options.mode = ShedAmountOptions::Mode::kAdaptive;
+  options.fraction = 0.2;
+  options.adaptive_gain = 1.0;
+  options.max_fraction = 0.8;
+  const size_t mild = ComputeShedTarget(options, 1000, 110.0, 100.0);
+  const size_t severe = ComputeShedTarget(options, 1000, 500.0, 100.0);
+  EXPECT_GT(severe, mild);
+  EXPECT_LE(severe, 800u);  // capped by max_fraction
+  EXPECT_NEAR(static_cast<double>(mild), 220.0, 5.0);
+}
+
+TEST(ComputeShedTargetTest, NeverExceedsRunCount) {
+  ShedAmountOptions options;
+  options.fraction = 0.9;
+  options.max_fraction = 5.0;
+  EXPECT_LE(ComputeShedTarget(options, 10, 0, 0), 10u);
+}
+
+}  // namespace
+}  // namespace cep

@@ -1,0 +1,124 @@
+#include "shedding/sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cep {
+namespace {
+
+TEST(CountMinSketchTest, NeverUndercounts) {
+  CountMinSketch sketch(64, 4);
+  Rng rng(5);
+  std::vector<std::pair<uint64_t, double>> truth;
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t key = rng.NextBounded(500);
+    sketch.Add(key, 1.0);
+    bool found = false;
+    for (auto& [k, v] : truth) {
+      if (k == key) {
+        v += 1.0;
+        found = true;
+      }
+    }
+    if (!found) truth.emplace_back(key, 1.0);
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(sketch.Estimate(key), count) << "key " << key;
+  }
+}
+
+TEST(CountMinSketchTest, ExactWhenSparse) {
+  // Far fewer keys than width: estimates are exact with high probability.
+  CountMinSketch sketch(1 << 12, 4);
+  for (uint64_t k = 0; k < 20; ++k) sketch.Add(k, static_cast<double>(k + 1));
+  for (uint64_t k = 0; k < 20; ++k) {
+    EXPECT_DOUBLE_EQ(sketch.Estimate(k), static_cast<double>(k + 1));
+  }
+  EXPECT_DOUBLE_EQ(sketch.Estimate(999), 0.0);
+}
+
+TEST(CountMinSketchTest, OverestimateBoundedByTheory) {
+  const size_t width = 256;
+  CountMinSketch sketch(width, 4);
+  Rng rng(7);
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sketch.Add(rng.NextBounded(2000), 1.0);
+  // Point query error <= 2N/width with prob 1 - 2^-depth; check an unseen key
+  // (true count 0) stays within a loose multiple of that bound.
+  const double bound = 2.0 * n / static_cast<double>(width);
+  EXPECT_LE(sketch.Estimate(0xdeadbeef), 2.0 * bound);
+}
+
+TEST(CountMinSketchTest, ClearResets) {
+  CountMinSketch sketch(64, 2);
+  sketch.Add(42, 10.0);
+  EXPECT_GE(sketch.Estimate(42), 10.0);
+  sketch.Clear();
+  EXPECT_DOUBLE_EQ(sketch.Estimate(42), 0.0);
+}
+
+TEST(CountMinSketchTest, MinimumDimensionsEnforced) {
+  CountMinSketch sketch(1, 0);
+  EXPECT_GE(sketch.width(), 8u);
+  EXPECT_GE(sketch.depth(), 1u);
+  sketch.Add(1, 1.0);
+  EXPECT_GE(sketch.Estimate(1), 1.0);
+}
+
+TEST(CountMinSketchTest, NegativeOrZeroAddIgnored) {
+  CountMinSketch sketch(64, 2);
+  sketch.Add(1, 0.0);
+  sketch.Add(1, -5.0);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(1), 0.0);
+}
+
+TEST(SketchBackendTest, BehavesLikeCounterBackend) {
+  SketchCounterBackend backend(1 << 10, 4);
+  EXPECT_DOUBLE_EQ(backend.Ratio(7, 0.9), 0.9);  // unseen
+  backend.Add(7, 0.0, 1.0);
+  backend.Add(7, 0.0, 1.0);
+  backend.Add(7, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(backend.Ratio(7, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(backend.Support(7), 2.0);
+  EXPECT_EQ(backend.name(), "count-min");
+  EXPECT_GT(backend.MemoryBytes(), 0u);
+  backend.Clear();
+  EXPECT_DOUBLE_EQ(backend.Support(7), 0.0);
+}
+
+TEST(SketchBackendTest, MemoryIsIndependentOfKeyCount) {
+  SketchCounterBackend backend(256, 4);
+  const size_t before = backend.MemoryBytes();
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) backend.Add(rng.Next(), 1.0, 1.0);
+  EXPECT_EQ(backend.MemoryBytes(), before);
+}
+
+/// Property sweep: across widths, sketch ratios approximate exact ratios for
+/// skewed key distributions.
+class SketchAccuracyProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SketchAccuracyProperty, RatiosTrackExactBackend) {
+  const size_t width = GetParam();
+  SketchCounterBackend sketch(width, 4);
+  ExactCounterBackend exact;
+  Rng rng(13);
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t key = rng.NextZipf(100, 1.2);
+    const double num = rng.NextBernoulli(0.3) ? 1.0 : 0.0;
+    sketch.Add(key, num, 1.0);
+    exact.Add(key, num, 1.0);
+  }
+  // Heavy hitters (keys 0..4 under Zipf) must be estimated well.
+  for (uint64_t key = 0; key < 5; ++key) {
+    EXPECT_NEAR(sketch.Ratio(key, 0), exact.Ratio(key, 0), 0.15)
+        << "width=" << width << " key=" << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SketchAccuracyProperty,
+                         ::testing::Values(512, 2048, 8192));
+
+}  // namespace
+}  // namespace cep

@@ -1,0 +1,168 @@
+#ifndef CEPSHED_TESTS_TEST_UTIL_H_
+#define CEPSHED_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "event/event.h"
+#include "event/schema.h"
+#include "nfa/compiler.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+
+namespace cep {
+namespace testing_util {
+
+/// Fails the current test if `status` is not OK.
+#define CEP_ASSERT_OK(expr)                                        \
+  do {                                                             \
+    const ::cep::Status _st = (expr);                              \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                       \
+  } while (false)
+
+#define CEP_EXPECT_OK(expr)                                        \
+  do {                                                             \
+    const ::cep::Status _st = (expr);                              \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                       \
+  } while (false)
+
+/// Unwraps a Result<T> or fails the test.
+#define CEP_ASSERT_OK_AND_ASSIGN(lhs, rexpr)                       \
+  CEP_ASSERT_OK_AND_ASSIGN_IMPL_(                                  \
+      CEP_CONCAT_(_test_result_, __LINE__), lhs, rexpr)
+#define CEP_ASSERT_OK_AND_ASSIGN_IMPL_(result, lhs, rexpr)         \
+  auto result = (rexpr);                                           \
+  ASSERT_TRUE(result.ok()) << result.status().ToString();          \
+  lhs = result.MoveValueUnsafe()
+
+/// \brief The bike-sharing fixture schema of the paper's Example 1 / Table I:
+/// req(loc, uid), avail(loc, bid), unlock(loc, uid, bid).
+class BikeSchema {
+ public:
+  BikeSchema() {
+    EXPECT_TRUE(registry.Register("req", {{"loc", ValueType::kInt},
+                                          {"uid", ValueType::kInt}})
+                    .ok());
+    EXPECT_TRUE(registry.Register("avail", {{"loc", ValueType::kInt},
+                                            {"bid", ValueType::kInt}})
+                    .ok());
+    EXPECT_TRUE(registry.Register("unlock", {{"loc", ValueType::kInt},
+                                             {"uid", ValueType::kInt},
+                                             {"bid", ValueType::kInt}})
+                    .ok());
+  }
+
+  EventPtr Req(Timestamp ts, int64_t loc, int64_t uid, uint64_t seq = 0) {
+    return Make("req", ts, {Value(loc), Value(uid)}, seq);
+  }
+  EventPtr Avail(Timestamp ts, int64_t loc, int64_t bid, uint64_t seq = 0) {
+    return Make("avail", ts, {Value(loc), Value(bid)}, seq);
+  }
+  EventPtr Unlock(Timestamp ts, int64_t loc, int64_t uid, int64_t bid,
+                  uint64_t seq = 0) {
+    return Make("unlock", ts, {Value(loc), Value(uid), Value(bid)}, seq);
+  }
+
+  EventPtr Make(const std::string& type, Timestamp ts, std::vector<Value> vals,
+                uint64_t seq) {
+    const EventTypeId id = registry.FindType(type);
+    EXPECT_NE(id, kInvalidEventType);
+    if (seq == 0) seq = next_seq_++;
+    return std::make_shared<Event>(id, registry.schema(id), ts,
+                                   std::move(vals), seq);
+  }
+
+  /// Parses + analyzes + compiles against this registry.
+  NfaPtr Compile(const std::string& text) {
+    auto parsed = ParseQuery(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    if (!parsed.ok()) return nullptr;
+    auto analyzed = Analyze(parsed.MoveValueUnsafe(), registry);
+    EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    if (!analyzed.ok()) return nullptr;
+    auto nfa = CompileToNfa(analyzed.MoveValueUnsafe());
+    EXPECT_TRUE(nfa.ok()) << nfa.status().ToString();
+    if (!nfa.ok()) return nullptr;
+    return nfa.MoveValueUnsafe();
+  }
+
+  SchemaRegistry registry;
+
+ private:
+  uint64_t next_seq_ = 1;
+};
+
+/// \brief Map-backed BindingView for expression tests, implementing the
+/// virtual-append contract manually via explicit vectors.
+class FakeBindings final : public BindingView {
+ public:
+  void BindSingle(int var, EventPtr event) {
+    Ensure(var);
+    slots_[var] = {std::move(event)};
+  }
+  void BindKleene(int var, std::vector<EventPtr> events) {
+    Ensure(var);
+    slots_[var] = std::move(events);
+  }
+  void SetCurrent(int var, const Event* event) {
+    current_var_ = var;
+    current_ = event;
+  }
+
+  const Event* Single(int var) const override {
+    if (var == current_var_ && current_ != nullptr) return current_;
+    if (var >= static_cast<int>(slots_.size()) || slots_[var].empty()) {
+      return nullptr;
+    }
+    return slots_[var].front().get();
+  }
+  int KleeneCount(int var) const override {
+    int n = var < static_cast<int>(slots_.size())
+                ? static_cast<int>(slots_[var].size())
+                : 0;
+    if (var == current_var_ && current_ != nullptr) ++n;
+    return n;
+  }
+  const Event* KleeneAt(int var, int idx) const override {
+    const int stored = var < static_cast<int>(slots_.size())
+                           ? static_cast<int>(slots_[var].size())
+                           : 0;
+    if (idx >= 0 && idx < stored) return slots_[var][idx].get();
+    if (var == current_var_ && current_ != nullptr && idx == stored) {
+      return current_;
+    }
+    return nullptr;
+  }
+  const Event* Current() const override { return current_; }
+
+ private:
+  void Ensure(int var) {
+    if (var >= static_cast<int>(slots_.size())) slots_.resize(var + 1);
+  }
+  std::vector<std::vector<EventPtr>> slots_;
+  int current_var_ = -1;
+  const Event* current_ = nullptr;
+};
+
+/// Runs all events through a fresh engine, asserting success.
+inline std::vector<Match> RunAll(const NfaPtr& nfa, EngineOptions options,
+                                 const std::vector<EventPtr>& events,
+                                 ShedderPtr shedder = nullptr) {
+  Engine engine(nfa, options, std::move(shedder));
+  for (const auto& e : events) {
+    const Status st = engine.ProcessEvent(e);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  const Status st = engine.Flush();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return engine.TakeMatches();
+}
+
+}  // namespace testing_util
+}  // namespace cep
+
+#endif  // CEPSHED_TESTS_TEST_UTIL_H_

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "test_util.h"
+#include "workload/bikeshare.h"
+#include "workload/burst.h"
+#include "workload/google_trace.h"
+#include "workload/queries.h"
+#include "workload/stock.h"
+
+namespace cep {
+namespace {
+
+TEST(BurstProfileTest, RateSwitchesDuringBursts) {
+  BurstProfile profile;
+  profile.base_rate = 10.0;
+  profile.burst_multiplier = 5.0;
+  profile.burst_period = 100;
+  profile.burst_duration = 20;
+  profile.phase = 0;
+  EXPECT_DOUBLE_EQ(profile.RateAt(5), 50.0);
+  EXPECT_DOUBLE_EQ(profile.RateAt(50), 10.0);
+  EXPECT_DOUBLE_EQ(profile.RateAt(105), 50.0);  // periodic
+  EXPECT_TRUE(profile.InBurst(5));
+  EXPECT_FALSE(profile.InBurst(50));
+}
+
+TEST(BurstProfileTest, NoBurstsWhenUnconfigured) {
+  BurstProfile profile;
+  profile.base_rate = 3.0;
+  EXPECT_DOUBLE_EQ(profile.RateAt(12345), 3.0);
+  EXPECT_FALSE(profile.InBurst(12345));
+}
+
+TEST(ArrivalProcessTest, ArrivalsAreStrictlyIncreasing) {
+  BurstProfile profile;
+  profile.base_rate = 100.0;
+  ArrivalProcess arrivals(profile, 3);
+  Timestamp t = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Timestamp next = arrivals.NextArrival(t);
+    EXPECT_GT(next, t);
+    t = next;
+  }
+}
+
+TEST(ArrivalProcessTest, RateApproximatesProfile) {
+  BurstProfile profile;
+  profile.base_rate = 1000.0;  // 1000 events/sec
+  ArrivalProcess arrivals(profile, 5);
+  Timestamp t = 0;
+  int count = 0;
+  while (true) {
+    t = arrivals.NextArrival(t);
+    if (t > 10 * kSecond) break;
+    ++count;
+  }
+  EXPECT_NEAR(count, 10000, 600);
+}
+
+TEST(ArrivalProcessTest, BurstsConcentrateArrivals) {
+  BurstProfile profile;
+  profile.base_rate = 100.0;
+  profile.burst_multiplier = 10.0;
+  profile.burst_period = 10 * kSecond;
+  profile.burst_duration = 1 * kSecond;
+  ArrivalProcess arrivals(profile, 7);
+  Timestamp t = 0;
+  int in_burst = 0, total = 0;
+  while (true) {
+    t = arrivals.NextArrival(t);
+    if (t > 100 * kSecond) break;
+    ++total;
+    if (profile.InBurst(t)) ++in_burst;
+  }
+  // Bursts cover 10% of time but ~50% of events (10x rate).
+  const double share = static_cast<double>(in_burst) / total;
+  EXPECT_GT(share, 0.4);
+  EXPECT_LT(share, 0.65);
+}
+
+class GoogleTraceTest : public ::testing::Test {
+ protected:
+  GoogleTraceOptions SmallOptions() {
+    GoogleTraceOptions options;
+    options.duration = 2 * kHour;
+    options.jobs_per_hour = 200;
+    options.seed = 99;
+    return options;
+  }
+
+  SchemaRegistry registry_;
+};
+
+TEST_F(GoogleTraceTest, RegistersSixEventTypes) {
+  CEP_ASSERT_OK(GoogleTraceGenerator::RegisterSchemas(&registry_));
+  for (const char* name :
+       {"submit", "schedule", "evict", "fail", "finish", "kill"}) {
+    EXPECT_NE(registry_.FindType(name), kInvalidEventType) << name;
+    EXPECT_EQ(registry_.schema(registry_.FindType(name))->num_attributes(),
+              7u);
+  }
+}
+
+TEST_F(GoogleTraceTest, GeneratesOrderedNonEmptyTrace) {
+  CEP_ASSERT_OK(GoogleTraceGenerator::RegisterSchemas(&registry_));
+  GoogleTraceGenerator generator(SmallOptions());
+  CEP_ASSERT_OK_AND_ASSIGN(std::vector<EventPtr> events,
+                           generator.Generate(registry_));
+  ASSERT_GT(events.size(), 500u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i]->timestamp(), events[i - 1]->timestamp());
+  }
+  for (const auto& e : events) {
+    EXPECT_LE(e->timestamp(), SmallOptions().duration);
+  }
+}
+
+TEST_F(GoogleTraceTest, DeterministicPerSeed) {
+  CEP_ASSERT_OK(GoogleTraceGenerator::RegisterSchemas(&registry_));
+  GoogleTraceGenerator a(SmallOptions()), b(SmallOptions());
+  const auto ea = a.Generate(registry_).ValueOrDie();
+  const auto eb = b.Generate(registry_).ValueOrDie();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i]->timestamp(), eb[i]->timestamp());
+    EXPECT_EQ(ea[i]->attribute("job_id"), eb[i]->attribute("job_id"));
+  }
+}
+
+TEST_F(GoogleTraceTest, LifecyclesAreWellFormed) {
+  CEP_ASSERT_OK(GoogleTraceGenerator::RegisterSchemas(&registry_));
+  GoogleTraceGenerator generator(SmallOptions());
+  const auto events = generator.Generate(registry_).ValueOrDie();
+  // Every schedule/evict/fail must reference a previously submitted task.
+  const EventTypeId submit = registry_.FindType("submit");
+  std::unordered_map<int64_t, int> submitted;  // job_id*100+task -> count
+  int schedules = 0, evicts = 0, fails = 0;
+  for (const auto& e : events) {
+    const int64_t key = e->attribute("job_id").int_value() * 100 +
+                        e->attribute("task_idx").int_value();
+    if (e->type() == submit) {
+      ++submitted[key];
+    } else {
+      EXPECT_TRUE(submitted.count(key)) << e->ToString();
+      const std::string& type = e->schema().name();
+      if (type == "schedule") ++schedules;
+      if (type == "evict") ++evicts;
+      if (type == "fail") ++fails;
+    }
+  }
+  EXPECT_GT(schedules, 0);
+  EXPECT_GT(evicts, 0);
+  EXPECT_GT(fails, 0);
+}
+
+TEST_F(GoogleTraceTest, RegularityCorrelatesEvictionsWithAttributes) {
+  CEP_ASSERT_OK(GoogleTraceGenerator::RegisterSchemas(&registry_));
+  GoogleTraceOptions options = SmallOptions();
+  options.duration = 6 * kHour;
+  options.regularity = 1.0;
+  GoogleTraceGenerator generator(options);
+  const auto events = generator.Generate(registry_).ValueOrDie();
+  const EventTypeId schedule = registry_.FindType("schedule");
+  const EventTypeId evict = registry_.FindType("evict");
+  // Eviction rate for (hot machine, low priority) schedules vs the rest.
+  int hot_low = 0, hot_low_evicted = 0, other = 0, other_evicted = 0;
+  std::unordered_map<int64_t, bool> hot_low_key;
+  for (const auto& e : events) {
+    const int64_t key = e->attribute("job_id").int_value() * 100 +
+                        e->attribute("task_idx").int_value();
+    if (e->type() == schedule) {
+      const bool hot = GoogleTraceGenerator::IsHotMachine(
+          options, static_cast<int>(e->attribute("machine_id").int_value()));
+      const bool low = e->attribute("priority").int_value() <= 3;
+      hot_low_key[key] = hot && low;
+      if (hot && low) ++hot_low; else ++other;
+    } else if (e->type() == evict) {
+      if (hot_low_key[key]) ++hot_low_evicted; else ++other_evicted;
+    }
+  }
+  ASSERT_GT(hot_low, 50);
+  ASSERT_GT(other, 50);
+  const double hot_rate = static_cast<double>(hot_low_evicted) / hot_low;
+  const double other_rate = static_cast<double>(other_evicted) / other;
+  EXPECT_GT(hot_rate, 2.5 * other_rate)
+      << "regularity must induce attribute-correlated evictions";
+}
+
+TEST(BikeShareTest, GeneratesExampleOneShapes) {
+  SchemaRegistry registry;
+  CEP_ASSERT_OK(BikeShareGenerator::RegisterSchemas(&registry));
+  BikeShareOptions options;
+  options.duration = 30 * kMinute;
+  BikeShareGenerator generator(options);
+  const auto events = generator.Generate(registry).ValueOrDie();
+  ASSERT_GT(events.size(), 100u);
+  int reqs = 0, avails = 0, unlocks = 0;
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i]->timestamp(), events[i - 1]->timestamp());
+  }
+  for (const auto& e : events) {
+    const std::string& type = e->schema().name();
+    if (type == "req") ++reqs;
+    if (type == "avail") ++avails;
+    if (type == "unlock") ++unlocks;
+  }
+  EXPECT_GT(reqs, 0);
+  EXPECT_GT(avails, reqs);     // several avail per request
+  EXPECT_EQ(unlocks, reqs);    // one unlock per request
+}
+
+TEST(StockTest, PricesStayPositiveAndTrendySymbolsRise) {
+  SchemaRegistry registry;
+  CEP_ASSERT_OK(StockGenerator::RegisterSchemas(&registry));
+  StockOptions options;
+  options.duration = 5 * kMinute;
+  options.num_symbols = 10;
+  StockGenerator generator(options);
+  const auto events = generator.Generate(registry).ValueOrDie();
+  ASSERT_GT(events.size(), 1000u);
+  std::unordered_map<int64_t, double> last_price;
+  for (const auto& e : events) {
+    const double p = e->attribute("price").double_value();
+    EXPECT_GT(p, 0.0);
+    last_price[e->attribute("symbol").int_value()] = p;
+  }
+  // Trendy symbols (low indices) should finish above the start price more
+  // often than not.
+  int trendy_up = 0, trendy_total = 0;
+  for (const auto& [symbol, price] : last_price) {
+    if (StockGenerator::IsTrendy(options, static_cast<int>(symbol))) {
+      ++trendy_total;
+      if (price > options.initial_price) ++trendy_up;
+    }
+  }
+  ASSERT_GT(trendy_total, 0);
+  EXPECT_GE(trendy_up * 2, trendy_total);
+}
+
+TEST(CannedQueriesTest, AllCompile) {
+  SchemaRegistry cluster;
+  CEP_ASSERT_OK(GoogleTraceGenerator::RegisterSchemas(&cluster));
+  EXPECT_TRUE(MakeClusterQ1(cluster, 3 * kHour).ok());
+  EXPECT_TRUE(MakeClusterQ2(cluster, 5 * kHour).ok());
+
+  SchemaRegistry bike;
+  CEP_ASSERT_OK(BikeShareGenerator::RegisterSchemas(&bike));
+  EXPECT_TRUE(MakeBikeQuery(bike, 10 * kMinute, 5, 2).ok());
+
+  SchemaRegistry stock;
+  CEP_ASSERT_OK(StockGenerator::RegisterSchemas(&stock));
+  EXPECT_TRUE(MakeStockRisingQuery(stock, kMinute, 3).ok());
+}
+
+TEST(CannedQueriesTest, Q1FindsChurnOnTheTrace) {
+  SchemaRegistry registry;
+  CEP_ASSERT_OK(GoogleTraceGenerator::RegisterSchemas(&registry));
+  GoogleTraceOptions options;
+  options.duration = 4 * kHour;
+  options.jobs_per_hour = 150;
+  options.seed = 3;
+  GoogleTraceGenerator generator(options);
+  const auto events = generator.Generate(registry).ValueOrDie();
+  CEP_ASSERT_OK_AND_ASSIGN(CannedQuery q1, MakeClusterQ1(registry, 3 * kHour));
+  const auto matches = testing_util::RunAll(q1.nfa, EngineOptions{}, events);
+  EXPECT_GT(matches.size(), 0u);
+  // Every match binds submit/schedule/evict of one task.
+  for (const auto& m : matches) {
+    const auto job = m.bindings[0][0]->attribute("job_id");
+    EXPECT_EQ(m.bindings[1][0]->attribute("job_id"), job);
+    EXPECT_EQ(m.bindings[2][0]->attribute("job_id"), job);
+  }
+}
+
+}  // namespace
+}  // namespace cep

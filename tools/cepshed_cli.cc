@@ -1,0 +1,322 @@
+// cepshed_cli — run SASE queries over CSV event streams from the shell.
+//
+//   cepshed_cli generate --workload cluster --out trace.csv --duration-hours 6
+//   cepshed_cli explain  --schema cluster --query 'PATTERN SEQ(...) ...'
+//   cepshed_cli run      --schema cluster --query q.sase --input trace.csv \
+//                        --shedder sbls --theta 80 --stats
+//
+// Schemas: --schema accepts a file (one event type per line:
+// `name attr:type attr:type ...`, types int|double|string|bool) or one of
+// the builtin names `cluster`, `bike`, `stock`.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "engine/engine.h"
+#include "event/csv.h"
+#include "nfa/compiler.h"
+#include "nfa/dot.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+#include "shedding/input_shedder.h"
+#include "shedding/random_shedder.h"
+#include "shedding/state_shedder.h"
+#include "workload/bikeshare.h"
+#include "workload/google_trace.h"
+#include "workload/stock.h"
+
+namespace cep {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cepshed_cli <run|generate|explain> [options]\n"
+      "\n"
+      "run      --schema <file|cluster|bike|stock> --query <file|text>\n"
+      "         --input <events.csv> [--matches <out.csv>]\n"
+      "         [--shedder none|sbls|rbls|ttl|ibls] [--theta <micros>]\n"
+      "         [--fraction <0..1>] [--max-runs <n>]\n"
+      "         [--hash type:attr[,type:attr...]] [--bucket <width>]\n"
+      "         [--stats]\n"
+      "generate --workload cluster|bike|stock --out <events.csv>\n"
+      "         [--duration-hours <h>] [--seed <n>] [--scale <f>]\n"
+      "explain  --schema <...> --query <...> [--dot <out.dot>]\n");
+  return 2;
+}
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, std::string fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    return Has(key) ? std::atof(Get(key).c_str()) : fallback;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    return Has(key) ? std::atoll(Get(key).c_str()) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+Result<std::string> ReadFileOrLiteral(const std::string& arg) {
+  std::ifstream file(arg);
+  if (!file) return arg;  // treat as inline text
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+Result<ValueType> ParseValueType(const std::string& name) {
+  if (name == "int") return ValueType::kInt;
+  if (name == "double") return ValueType::kDouble;
+  if (name == "string") return ValueType::kString;
+  if (name == "bool") return ValueType::kBool;
+  return Status::ParseError("unknown attribute type '" + name + "'");
+}
+
+Status LoadSchema(const std::string& arg, SchemaRegistry* registry) {
+  if (arg == "cluster") return GoogleTraceGenerator::RegisterSchemas(registry);
+  if (arg == "bike") return BikeShareGenerator::RegisterSchemas(registry);
+  if (arg == "stock") return StockGenerator::RegisterSchemas(registry);
+  std::ifstream file(arg);
+  if (!file) return Status::IoError("cannot open schema file: " + arg);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::istringstream fields{std::string(stripped)};
+    std::string type_name;
+    fields >> type_name;
+    std::vector<AttributeDef> attrs;
+    std::string attr_spec;
+    while (fields >> attr_spec) {
+      const size_t colon = attr_spec.find(':');
+      if (colon == std::string::npos) {
+        return Status::ParseError(
+            StrFormat("schema line %zu: expected attr:type, got '%s'",
+                      line_no, attr_spec.c_str()));
+      }
+      CEP_ASSIGN_OR_RETURN(ValueType vt,
+                           ParseValueType(attr_spec.substr(colon + 1)));
+      attrs.push_back(AttributeDef{attr_spec.substr(0, colon), vt});
+    }
+    CEP_RETURN_NOT_OK(
+        registry->Register(type_name, std::move(attrs)).status());
+  }
+  return Status::OK();
+}
+
+Result<NfaPtr> CompileQuery(const std::string& arg,
+                            const SchemaRegistry& registry) {
+  CEP_ASSIGN_OR_RETURN(std::string text, ReadFileOrLiteral(arg));
+  CEP_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(text));
+  CEP_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
+                       Analyze(std::move(parsed), registry));
+  return CompileToNfa(std::move(analyzed));
+}
+
+Result<PmHashOptions> ParseHashSelectors(const std::string& spec,
+                                         double bucket) {
+  PmHashOptions options;
+  options.numeric_bucket_width = bucket;
+  if (spec.empty()) return options;
+  for (const std::string& item : SplitString(spec, ',')) {
+    const size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      return Status::ParseError("--hash expects type:attr, got '" + item +
+                                "'");
+    }
+    options.attributes.push_back(
+        {item.substr(0, colon), item.substr(colon + 1)});
+  }
+  return options;
+}
+
+Result<ShedderPtr> MakeShedder(const Args& args,
+                               const SchemaRegistry& registry) {
+  const std::string name = args.Get("shedder", "none");
+  if (name == "none") return ShedderPtr(nullptr);
+  if (name == "rbls") {
+    return ShedderPtr(std::make_unique<RandomShedder>(
+        static_cast<uint64_t>(args.GetInt("seed", 1))));
+  }
+  if (name == "ttl") return ShedderPtr(std::make_unique<TtlShedder>());
+  if (name == "ibls") {
+    InputShedderOptions options;
+    options.drop_probability = args.GetDouble("fraction", 0.2);
+    options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+    return ShedderPtr(std::make_unique<InputShedder>(options));
+  }
+  if (name == "sbls") {
+    StateShedderOptions options;
+    CEP_ASSIGN_OR_RETURN(options.pm_hash,
+                         ParseHashSelectors(args.Get("hash"),
+                                            args.GetDouble("bucket", 0.0)));
+    options.time_slices = static_cast<int>(args.GetInt("slices", 16));
+    options.scoring.weight_contribution = args.GetDouble("wplus", 4.0);
+    options.scoring.weight_cost = args.GetDouble("wminus", 1.0);
+    return ShedderPtr(
+        std::make_unique<StateShedder>(std::move(options), &registry));
+  }
+  return Status::InvalidArgument("unknown shedder '" + name + "'");
+}
+
+Status RunCommand(const Args& args) {
+  SchemaRegistry registry;
+  CEP_RETURN_NOT_OK(LoadSchema(args.Get("schema"), &registry));
+  CEP_ASSIGN_OR_RETURN(NfaPtr nfa, CompileQuery(args.Get("query"), registry));
+  CEP_ASSIGN_OR_RETURN(std::vector<EventPtr> events,
+                       ReadEventsCsvFile(registry, args.Get("input")));
+
+  EngineOptions options;
+  options.latency_threshold_micros = args.GetDouble("theta", 0.0);
+  options.shed_amount.fraction = args.GetDouble("fraction", 0.2);
+  options.max_runs = static_cast<size_t>(args.GetInt("max-runs", 0));
+  options.collect_matches = false;
+  CEP_ASSIGN_OR_RETURN(ShedderPtr shedder, MakeShedder(args, registry));
+
+  Engine engine(nfa, options, std::move(shedder));
+  std::ofstream matches_file;
+  const bool to_file = args.Has("matches");
+  if (to_file) {
+    matches_file.open(args.Get("matches"));
+    if (!matches_file) {
+      return Status::IoError("cannot open --matches file for writing");
+    }
+  }
+  uint64_t printed = 0;
+  engine.SetMatchCallback([&](const Match& match) {
+    if (to_file) {
+      if (match.complex_event != nullptr) {
+        matches_file << EventToCsvLine(*match.complex_event) << "\n";
+      } else {
+        matches_file << match.ToString(engine.nfa().query()) << "\n";
+      }
+    } else if (printed < 20) {
+      if (match.complex_event != nullptr) {
+        std::printf("%s\n", match.complex_event->ToString().c_str());
+      } else {
+        std::printf("%s\n",
+                    match.ToString(engine.nfa().query()).c_str());
+      }
+      ++printed;
+      if (printed == 20) std::printf("... (use --matches FILE for all)\n");
+    }
+  });
+  for (const auto& event : events) {
+    CEP_RETURN_NOT_OK(engine.ProcessEvent(event));
+  }
+  std::printf("%llu matches over %zu events\n",
+              static_cast<unsigned long long>(
+                  engine.metrics().matches_emitted),
+              events.size());
+  if (args.Has("stats")) {
+    std::printf("%s\n", engine.metrics().ToString().c_str());
+  }
+  return Status::OK();
+}
+
+Status GenerateCommand(const Args& args) {
+  const std::string workload = args.Get("workload", "cluster");
+  const auto hours = args.GetInt("duration-hours", 6);
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const double scale = args.GetDouble("scale", 1.0);
+  SchemaRegistry registry;
+  std::vector<EventPtr> events;
+  if (workload == "cluster") {
+    CEP_RETURN_NOT_OK(GoogleTraceGenerator::RegisterSchemas(&registry));
+    GoogleTraceOptions options;
+    options.duration = hours * kHour;
+    options.jobs_per_hour = 150.0 * scale;
+    options.seed = seed;
+    CEP_ASSIGN_OR_RETURN(events,
+                         GoogleTraceGenerator(options).Generate(registry));
+  } else if (workload == "bike") {
+    CEP_RETURN_NOT_OK(BikeShareGenerator::RegisterSchemas(&registry));
+    BikeShareOptions options;
+    options.duration = hours * kHour;
+    options.num_zones = 200;
+    options.requests_per_minute = 2.0 * scale;
+    options.seed = seed;
+    CEP_ASSIGN_OR_RETURN(events,
+                         BikeShareGenerator(options).Generate(registry));
+  } else if (workload == "stock") {
+    CEP_RETURN_NOT_OK(StockGenerator::RegisterSchemas(&registry));
+    StockOptions options;
+    options.duration = hours * kHour;
+    options.ticks_per_second = 12.0 * scale;
+    options.seed = seed;
+    CEP_ASSIGN_OR_RETURN(events, StockGenerator(options).Generate(registry));
+  } else {
+    return Status::InvalidArgument("unknown workload '" + workload + "'");
+  }
+  CEP_RETURN_NOT_OK(WriteEventsCsvFile(args.Get("out"), events));
+  std::printf("wrote %zu events to %s\n", events.size(),
+              args.Get("out").c_str());
+  return Status::OK();
+}
+
+Status ExplainCommand(const Args& args) {
+  SchemaRegistry registry;
+  CEP_RETURN_NOT_OK(LoadSchema(args.Get("schema"), &registry));
+  CEP_ASSIGN_OR_RETURN(NfaPtr nfa, CompileQuery(args.Get("query"), registry));
+  std::printf("%s\n%s", nfa->query().ToString().c_str(),
+              nfa->ToString().c_str());
+  if (args.Has("dot")) {
+    std::ofstream dot(args.Get("dot"));
+    if (!dot) return Status::IoError("cannot open --dot file");
+    dot << NfaToDot(*nfa);
+    std::printf("wrote %s\n", args.Get("dot").c_str());
+  }
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const Args args(argc, argv);
+  Status status;
+  if (std::strcmp(argv[1], "run") == 0) {
+    status = RunCommand(args);
+  } else if (std::strcmp(argv[1], "generate") == 0) {
+    status = GenerateCommand(args);
+  } else if (std::strcmp(argv[1], "explain") == 0) {
+    status = ExplainCommand(args);
+  } else {
+    return Usage();
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cep
+
+int main(int argc, char** argv) { return cep::Main(argc, argv); }
