@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_input_vs_state"
+  "../bench/bench_ablation_input_vs_state.pdb"
+  "CMakeFiles/bench_ablation_input_vs_state.dir/bench_ablation_input_vs_state.cc.o"
+  "CMakeFiles/bench_ablation_input_vs_state.dir/bench_ablation_input_vs_state.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_input_vs_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

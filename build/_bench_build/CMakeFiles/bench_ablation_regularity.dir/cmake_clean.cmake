@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_regularity"
+  "../bench/bench_ablation_regularity.pdb"
+  "CMakeFiles/bench_ablation_regularity.dir/bench_ablation_regularity.cc.o"
+  "CMakeFiles/bench_ablation_regularity.dir/bench_ablation_regularity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_regularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

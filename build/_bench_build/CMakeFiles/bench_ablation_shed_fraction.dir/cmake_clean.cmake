@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_shed_fraction"
+  "../bench/bench_ablation_shed_fraction.pdb"
+  "CMakeFiles/bench_ablation_shed_fraction.dir/bench_ablation_shed_fraction.cc.o"
+  "CMakeFiles/bench_ablation_shed_fraction.dir/bench_ablation_shed_fraction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shed_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

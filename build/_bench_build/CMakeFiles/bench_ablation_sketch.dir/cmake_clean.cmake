@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_sketch"
+  "../bench/bench_ablation_sketch.pdb"
+  "CMakeFiles/bench_ablation_sketch.dir/bench_ablation_sketch.cc.o"
+  "CMakeFiles/bench_ablation_sketch.dir/bench_ablation_sketch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_time_slices"
+  "../bench/bench_ablation_time_slices.pdb"
+  "CMakeFiles/bench_ablation_time_slices.dir/bench_ablation_time_slices.cc.o"
+  "CMakeFiles/bench_ablation_time_slices.dir/bench_ablation_time_slices.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_time_slices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

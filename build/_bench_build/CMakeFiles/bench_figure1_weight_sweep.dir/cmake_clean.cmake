@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure1_weight_sweep"
+  "../bench/bench_figure1_weight_sweep.pdb"
+  "CMakeFiles/bench_figure1_weight_sweep.dir/bench_figure1_weight_sweep.cc.o"
+  "CMakeFiles/bench_figure1_weight_sweep.dir/bench_figure1_weight_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_weight_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_latency_timeline"
+  "../bench/bench_latency_timeline.pdb"
+  "CMakeFiles/bench_latency_timeline.dir/bench_latency_timeline.cc.o"
+  "CMakeFiles/bench_latency_timeline.dir/bench_latency_timeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_state_growth"
+  "../bench/bench_table1_state_growth.pdb"
+  "CMakeFiles/bench_table1_state_growth.dir/bench_table1_state_growth.cc.o"
+  "CMakeFiles/bench_table1_state_growth.dir/bench_table1_state_growth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_state_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

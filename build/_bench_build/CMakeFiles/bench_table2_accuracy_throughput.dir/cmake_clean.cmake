@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_accuracy_throughput"
+  "../bench/bench_table2_accuracy_throughput.pdb"
+  "CMakeFiles/bench_table2_accuracy_throughput.dir/bench_table2_accuracy_throughput.cc.o"
+  "CMakeFiles/bench_table2_accuracy_throughput.dir/bench_table2_accuracy_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_accuracy_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_rally.dir/stock_rally.cpp.o"
+  "CMakeFiles/stock_rally.dir/stock_rally.cpp.o.d"
+  "stock_rally"
+  "stock_rally.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_rally.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

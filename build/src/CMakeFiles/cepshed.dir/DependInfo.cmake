@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/cepshed.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/cepshed.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/cepshed.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/cepshed.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/cepshed.dir/common/value.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/common/value.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/cepshed.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/engine/engine.cc.o.d"
+  "/root/repo/src/engine/latency_monitor.cc" "src/CMakeFiles/cepshed.dir/engine/latency_monitor.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/engine/latency_monitor.cc.o.d"
+  "/root/repo/src/engine/match.cc" "src/CMakeFiles/cepshed.dir/engine/match.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/engine/match.cc.o.d"
+  "/root/repo/src/engine/metrics.cc" "src/CMakeFiles/cepshed.dir/engine/metrics.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/engine/metrics.cc.o.d"
+  "/root/repo/src/engine/multi.cc" "src/CMakeFiles/cepshed.dir/engine/multi.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/engine/multi.cc.o.d"
+  "/root/repo/src/engine/run.cc" "src/CMakeFiles/cepshed.dir/engine/run.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/engine/run.cc.o.d"
+  "/root/repo/src/event/csv.cc" "src/CMakeFiles/cepshed.dir/event/csv.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/event/csv.cc.o.d"
+  "/root/repo/src/event/event.cc" "src/CMakeFiles/cepshed.dir/event/event.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/event/event.cc.o.d"
+  "/root/repo/src/event/reorder.cc" "src/CMakeFiles/cepshed.dir/event/reorder.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/event/reorder.cc.o.d"
+  "/root/repo/src/event/schema.cc" "src/CMakeFiles/cepshed.dir/event/schema.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/event/schema.cc.o.d"
+  "/root/repo/src/event/stream.cc" "src/CMakeFiles/cepshed.dir/event/stream.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/event/stream.cc.o.d"
+  "/root/repo/src/harness/accuracy.cc" "src/CMakeFiles/cepshed.dir/harness/accuracy.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/harness/accuracy.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/cepshed.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/sweep.cc" "src/CMakeFiles/cepshed.dir/harness/sweep.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/harness/sweep.cc.o.d"
+  "/root/repo/src/harness/table_printer.cc" "src/CMakeFiles/cepshed.dir/harness/table_printer.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/harness/table_printer.cc.o.d"
+  "/root/repo/src/nfa/compiler.cc" "src/CMakeFiles/cepshed.dir/nfa/compiler.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/nfa/compiler.cc.o.d"
+  "/root/repo/src/nfa/dot.cc" "src/CMakeFiles/cepshed.dir/nfa/dot.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/nfa/dot.cc.o.d"
+  "/root/repo/src/nfa/nfa.cc" "src/CMakeFiles/cepshed.dir/nfa/nfa.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/nfa/nfa.cc.o.d"
+  "/root/repo/src/query/analyzer.cc" "src/CMakeFiles/cepshed.dir/query/analyzer.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/query/analyzer.cc.o.d"
+  "/root/repo/src/query/ast.cc" "src/CMakeFiles/cepshed.dir/query/ast.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/query/ast.cc.o.d"
+  "/root/repo/src/query/builder.cc" "src/CMakeFiles/cepshed.dir/query/builder.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/query/builder.cc.o.d"
+  "/root/repo/src/query/expr.cc" "src/CMakeFiles/cepshed.dir/query/expr.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/query/expr.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/cepshed.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/cepshed.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/query/parser.cc.o.d"
+  "/root/repo/src/shedding/adaptive.cc" "src/CMakeFiles/cepshed.dir/shedding/adaptive.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/shedding/adaptive.cc.o.d"
+  "/root/repo/src/shedding/input_shedder.cc" "src/CMakeFiles/cepshed.dir/shedding/input_shedder.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/shedding/input_shedder.cc.o.d"
+  "/root/repo/src/shedding/model_backend.cc" "src/CMakeFiles/cepshed.dir/shedding/model_backend.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/shedding/model_backend.cc.o.d"
+  "/root/repo/src/shedding/pm_hash.cc" "src/CMakeFiles/cepshed.dir/shedding/pm_hash.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/shedding/pm_hash.cc.o.d"
+  "/root/repo/src/shedding/random_shedder.cc" "src/CMakeFiles/cepshed.dir/shedding/random_shedder.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/shedding/random_shedder.cc.o.d"
+  "/root/repo/src/shedding/scoring.cc" "src/CMakeFiles/cepshed.dir/shedding/scoring.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/shedding/scoring.cc.o.d"
+  "/root/repo/src/shedding/sketch.cc" "src/CMakeFiles/cepshed.dir/shedding/sketch.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/shedding/sketch.cc.o.d"
+  "/root/repo/src/shedding/state_shedder.cc" "src/CMakeFiles/cepshed.dir/shedding/state_shedder.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/shedding/state_shedder.cc.o.d"
+  "/root/repo/src/workload/bikeshare.cc" "src/CMakeFiles/cepshed.dir/workload/bikeshare.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/workload/bikeshare.cc.o.d"
+  "/root/repo/src/workload/burst.cc" "src/CMakeFiles/cepshed.dir/workload/burst.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/workload/burst.cc.o.d"
+  "/root/repo/src/workload/google_trace.cc" "src/CMakeFiles/cepshed.dir/workload/google_trace.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/workload/google_trace.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/CMakeFiles/cepshed.dir/workload/queries.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/workload/queries.cc.o.d"
+  "/root/repo/src/workload/stock.cc" "src/CMakeFiles/cepshed.dir/workload/stock.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/workload/stock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

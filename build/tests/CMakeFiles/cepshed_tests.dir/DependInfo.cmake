@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_hash_rng_test.cc" "tests/CMakeFiles/cepshed_tests.dir/common_hash_rng_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/common_hash_rng_test.cc.o.d"
+  "/root/repo/tests/common_status_test.cc" "tests/CMakeFiles/cepshed_tests.dir/common_status_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/common_status_test.cc.o.d"
+  "/root/repo/tests/common_string_util_test.cc" "tests/CMakeFiles/cepshed_tests.dir/common_string_util_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/common_string_util_test.cc.o.d"
+  "/root/repo/tests/common_value_test.cc" "tests/CMakeFiles/cepshed_tests.dir/common_value_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/common_value_test.cc.o.d"
+  "/root/repo/tests/engine_basic_test.cc" "tests/CMakeFiles/cepshed_tests.dir/engine_basic_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/engine_basic_test.cc.o.d"
+  "/root/repo/tests/engine_kleene_test.cc" "tests/CMakeFiles/cepshed_tests.dir/engine_kleene_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/engine_kleene_test.cc.o.d"
+  "/root/repo/tests/engine_negation_test.cc" "tests/CMakeFiles/cepshed_tests.dir/engine_negation_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/engine_negation_test.cc.o.d"
+  "/root/repo/tests/engine_run_test.cc" "tests/CMakeFiles/cepshed_tests.dir/engine_run_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/engine_run_test.cc.o.d"
+  "/root/repo/tests/engine_selection_test.cc" "tests/CMakeFiles/cepshed_tests.dir/engine_selection_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/engine_selection_test.cc.o.d"
+  "/root/repo/tests/engine_shedding_test.cc" "tests/CMakeFiles/cepshed_tests.dir/engine_shedding_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/engine_shedding_test.cc.o.d"
+  "/root/repo/tests/event_stream_csv_test.cc" "tests/CMakeFiles/cepshed_tests.dir/event_stream_csv_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/event_stream_csv_test.cc.o.d"
+  "/root/repo/tests/event_test.cc" "tests/CMakeFiles/cepshed_tests.dir/event_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/event_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/cepshed_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/cepshed_tests.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/harness_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/cepshed_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/nfa_compiler_test.cc" "tests/CMakeFiles/cepshed_tests.dir/nfa_compiler_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/nfa_compiler_test.cc.o.d"
+  "/root/repo/tests/oracle.cc" "tests/CMakeFiles/cepshed_tests.dir/oracle.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/oracle.cc.o.d"
+  "/root/repo/tests/oracle_property_test.cc" "tests/CMakeFiles/cepshed_tests.dir/oracle_property_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/oracle_property_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/cepshed_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/query_aggregate_test.cc" "tests/CMakeFiles/cepshed_tests.dir/query_aggregate_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/query_aggregate_test.cc.o.d"
+  "/root/repo/tests/query_analyzer_test.cc" "tests/CMakeFiles/cepshed_tests.dir/query_analyzer_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/query_analyzer_test.cc.o.d"
+  "/root/repo/tests/query_expr_test.cc" "tests/CMakeFiles/cepshed_tests.dir/query_expr_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/query_expr_test.cc.o.d"
+  "/root/repo/tests/query_lexer_test.cc" "tests/CMakeFiles/cepshed_tests.dir/query_lexer_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/query_lexer_test.cc.o.d"
+  "/root/repo/tests/query_parser_test.cc" "tests/CMakeFiles/cepshed_tests.dir/query_parser_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/query_parser_test.cc.o.d"
+  "/root/repo/tests/shedding_models_test.cc" "tests/CMakeFiles/cepshed_tests.dir/shedding_models_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/shedding_models_test.cc.o.d"
+  "/root/repo/tests/shedding_shedders_test.cc" "tests/CMakeFiles/cepshed_tests.dir/shedding_shedders_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/shedding_shedders_test.cc.o.d"
+  "/root/repo/tests/shedding_sketch_test.cc" "tests/CMakeFiles/cepshed_tests.dir/shedding_sketch_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/shedding_sketch_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/cepshed_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cepshed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
