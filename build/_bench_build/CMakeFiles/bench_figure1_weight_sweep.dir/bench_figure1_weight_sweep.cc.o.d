@@ -214,16 +214,20 @@ _bench_build/CMakeFiles/bench_figure1_weight_sweep.dir/bench_figure1_weight_swee
  /usr/include/assert.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/status.h \
- /root/repo/src/engine/engine.h /root/repo/src/engine/latency_monitor.h \
+ /root/repo/src/engine/engine.h /root/repo/src/common/rng.h \
+ /usr/include/c++/12/cstddef /root/repo/src/engine/degradation.h \
+ /root/repo/src/engine/options.h /root/repo/src/engine/latency_monitor.h \
  /root/repo/src/common/time.h /root/repo/src/engine/match.h \
  /root/repo/src/event/event.h /root/repo/src/common/value.h \
  /root/repo/src/event/schema.h /root/repo/src/query/ast.h \
  /root/repo/src/query/expr.h /root/repo/src/engine/metrics.h \
- /root/repo/src/engine/options.h /usr/include/c++/12/cstddef \
  /root/repo/src/engine/run.h /root/repo/src/nfa/nfa.h \
- /root/repo/src/query/analyzer.h /root/repo/src/event/stream.h \
+ /root/repo/src/query/analyzer.h /root/repo/src/event/reorder.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/event/stream.h \
  /root/repo/src/shedding/shedder.h /root/repo/src/harness/accuracy.h \
- /root/repo/src/shedding/input_shedder.h /root/repo/src/common/rng.h \
+ /root/repo/src/shedding/input_shedder.h \
  /root/repo/src/shedding/random_shedder.h \
  /root/repo/src/shedding/state_shedder.h \
  /root/repo/src/shedding/contribution_model.h \

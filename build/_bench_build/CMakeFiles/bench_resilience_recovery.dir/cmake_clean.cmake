@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_resilience_recovery"
+  "../bench/bench_resilience_recovery.pdb"
+  "CMakeFiles/bench_resilience_recovery.dir/bench_resilience_recovery.cc.o"
+  "CMakeFiles/bench_resilience_recovery.dir/bench_resilience_recovery.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resilience_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

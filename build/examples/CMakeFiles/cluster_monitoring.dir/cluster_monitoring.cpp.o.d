@@ -218,15 +218,19 @@ examples/CMakeFiles/cluster_monitoring.dir/cluster_monitoring.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/harness/experiment.h /root/repo/src/engine/engine.h \
+ /root/repo/src/common/rng.h /usr/include/c++/12/cstddef \
+ /root/repo/src/engine/degradation.h /root/repo/src/engine/options.h \
  /root/repo/src/engine/latency_monitor.h /root/repo/src/engine/metrics.h \
- /root/repo/src/engine/options.h /usr/include/c++/12/cstddef \
  /root/repo/src/engine/run.h /root/repo/src/nfa/nfa.h \
- /root/repo/src/query/analyzer.h /root/repo/src/event/stream.h \
+ /root/repo/src/query/analyzer.h /root/repo/src/event/reorder.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/event/stream.h \
  /root/repo/src/shedding/shedder.h \
  /root/repo/src/shedding/state_shedder.h \
  /root/repo/src/shedding/contribution_model.h \
  /root/repo/src/shedding/model_backend.h \
  /root/repo/src/shedding/cost_model.h /root/repo/src/shedding/pm_hash.h \
  /root/repo/src/shedding/scoring.h /root/repo/src/shedding/time_slice.h \
- /root/repo/src/workload/google_trace.h /root/repo/src/common/rng.h \
- /root/repo/src/workload/burst.h /root/repo/src/workload/queries.h
+ /root/repo/src/workload/google_trace.h /root/repo/src/workload/burst.h \
+ /root/repo/src/workload/queries.h

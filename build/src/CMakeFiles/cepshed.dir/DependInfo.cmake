@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/status.cc" "src/CMakeFiles/cepshed.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/common/status.cc.o.d"
   "/root/repo/src/common/string_util.cc" "src/CMakeFiles/cepshed.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/common/string_util.cc.o.d"
   "/root/repo/src/common/value.cc" "src/CMakeFiles/cepshed.dir/common/value.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/common/value.cc.o.d"
+  "/root/repo/src/engine/degradation.cc" "src/CMakeFiles/cepshed.dir/engine/degradation.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/engine/degradation.cc.o.d"
   "/root/repo/src/engine/engine.cc" "src/CMakeFiles/cepshed.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/engine/engine.cc.o.d"
   "/root/repo/src/engine/latency_monitor.cc" "src/CMakeFiles/cepshed.dir/engine/latency_monitor.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/engine/latency_monitor.cc.o.d"
   "/root/repo/src/engine/match.cc" "src/CMakeFiles/cepshed.dir/engine/match.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/engine/match.cc.o.d"
@@ -21,6 +22,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/engine/run.cc" "src/CMakeFiles/cepshed.dir/engine/run.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/engine/run.cc.o.d"
   "/root/repo/src/event/csv.cc" "src/CMakeFiles/cepshed.dir/event/csv.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/event/csv.cc.o.d"
   "/root/repo/src/event/event.cc" "src/CMakeFiles/cepshed.dir/event/event.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/event/event.cc.o.d"
+  "/root/repo/src/event/fault_injection.cc" "src/CMakeFiles/cepshed.dir/event/fault_injection.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/event/fault_injection.cc.o.d"
   "/root/repo/src/event/reorder.cc" "src/CMakeFiles/cepshed.dir/event/reorder.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/event/reorder.cc.o.d"
   "/root/repo/src/event/schema.cc" "src/CMakeFiles/cepshed.dir/event/schema.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/event/schema.cc.o.d"
   "/root/repo/src/event/stream.cc" "src/CMakeFiles/cepshed.dir/event/stream.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/event/stream.cc.o.d"

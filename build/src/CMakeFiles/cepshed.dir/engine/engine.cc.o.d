@@ -211,14 +211,18 @@ src/CMakeFiles/cepshed.dir/engine/engine.cc.o: \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/common/status.h /root/repo/src/engine/latency_monitor.h \
+ /root/repo/src/common/status.h /root/repo/src/common/rng.h \
+ /usr/include/c++/12/cstddef /root/repo/src/engine/degradation.h \
+ /root/repo/src/engine/options.h /root/repo/src/engine/latency_monitor.h \
  /root/repo/src/common/time.h /root/repo/src/engine/match.h \
  /root/repo/src/event/event.h /root/repo/src/common/value.h \
  /root/repo/src/event/schema.h /root/repo/src/query/ast.h \
  /root/repo/src/query/expr.h /root/repo/src/engine/metrics.h \
- /root/repo/src/engine/options.h /usr/include/c++/12/cstddef \
  /root/repo/src/engine/run.h /root/repo/src/nfa/nfa.h \
- /root/repo/src/query/analyzer.h /root/repo/src/event/stream.h \
+ /root/repo/src/query/analyzer.h /root/repo/src/event/reorder.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/event/stream.h \
  /root/repo/src/shedding/shedder.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -32,6 +32,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/query_expr_test.cc" "tests/CMakeFiles/cepshed_tests.dir/query_expr_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/query_expr_test.cc.o.d"
   "/root/repo/tests/query_lexer_test.cc" "tests/CMakeFiles/cepshed_tests.dir/query_lexer_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/query_lexer_test.cc.o.d"
   "/root/repo/tests/query_parser_test.cc" "tests/CMakeFiles/cepshed_tests.dir/query_parser_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/query_parser_test.cc.o.d"
+  "/root/repo/tests/resilience_test.cc" "tests/CMakeFiles/cepshed_tests.dir/resilience_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/resilience_test.cc.o.d"
   "/root/repo/tests/shedding_models_test.cc" "tests/CMakeFiles/cepshed_tests.dir/shedding_models_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/shedding_models_test.cc.o.d"
   "/root/repo/tests/shedding_shedders_test.cc" "tests/CMakeFiles/cepshed_tests.dir/shedding_shedders_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/shedding_shedders_test.cc.o.d"
   "/root/repo/tests/shedding_sketch_test.cc" "tests/CMakeFiles/cepshed_tests.dir/shedding_sketch_test.cc.o" "gcc" "tests/CMakeFiles/cepshed_tests.dir/shedding_sketch_test.cc.o.d"

@@ -301,11 +301,15 @@ tests/CMakeFiles/cepshed_tests.dir/property_test.cc.o: \
  /root/repo/src/common/status.h /root/repo/src/event/schema.h \
  /root/repo/src/query/ast.h /root/repo/src/query/expr.h \
  /root/repo/src/harness/experiment.h /root/repo/src/engine/engine.h \
- /root/repo/src/engine/latency_monitor.h /root/repo/src/engine/metrics.h \
- /root/repo/src/engine/options.h /root/repo/src/engine/run.h \
+ /root/repo/src/common/rng.h /root/repo/src/engine/degradation.h \
+ /root/repo/src/engine/options.h /root/repo/src/engine/latency_monitor.h \
+ /root/repo/src/engine/metrics.h /root/repo/src/engine/run.h \
  /root/repo/src/nfa/nfa.h /root/repo/src/query/analyzer.h \
+ /root/repo/src/event/reorder.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/event/stream.h /root/repo/src/shedding/shedder.h \
- /root/repo/src/shedding/random_shedder.h /root/repo/src/common/rng.h \
+ /root/repo/src/shedding/random_shedder.h \
  /root/repo/src/shedding/state_shedder.h \
  /root/repo/src/shedding/contribution_model.h \
  /root/repo/src/shedding/model_backend.h \

@@ -5,5 +5,5 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/cepshed_tests[1]_include.cmake")
-add_test(cli_smoke "/root/repo/tests/cli_smoke_test.sh" "/root/repo/build/tools/cepshed_cli")
-set_tests_properties(cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;40;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_smoke "sh" "/root/repo/tests/cli_smoke_test.sh" "/root/repo/build/tools/cepshed_cli")
+set_tests_properties(cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;42;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,107 @@
+#include "engine/degradation.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace cep {
+
+const char* DegradationLevelName(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kHealthy:
+      return "healthy";
+    case DegradationLevel::kShedding:
+      return "shedding";
+    case DegradationLevel::kEmergency:
+      return "emergency";
+    case DegradationLevel::kBypass:
+      return "bypass";
+  }
+  return "?";
+}
+
+DegradationController::DegradationController(DegradationOptions options)
+    : options_(options) {
+  entries_[static_cast<size_t>(DegradationLevel::kHealthy)] = 1;
+}
+
+double DegradationController::EnterRatio(DegradationLevel level) const {
+  switch (level) {
+    case DegradationLevel::kShedding:
+      return options_.shedding_enter_ratio;
+    case DegradationLevel::kEmergency:
+      return options_.emergency_enter_ratio;
+    case DegradationLevel::kBypass:
+      return options_.bypass_enter_ratio;
+    case DegradationLevel::kHealthy:
+      break;
+  }
+  return 0.0;
+}
+
+DegradationLevel DegradationController::TargetLevel(double overload_ratio,
+                                                    size_t run_bytes,
+                                                    size_t error_streak) const {
+  DegradationLevel target = DegradationLevel::kHealthy;
+  if (overload_ratio > options_.bypass_enter_ratio) {
+    target = DegradationLevel::kBypass;
+  } else if (overload_ratio > options_.emergency_enter_ratio) {
+    target = DegradationLevel::kEmergency;
+  } else if (overload_ratio > options_.shedding_enter_ratio) {
+    target = DegradationLevel::kShedding;
+  }
+  if (options_.run_bytes_budget > 0 && run_bytes > options_.run_bytes_budget) {
+    const DegradationLevel demanded =
+        run_bytes > 2 * options_.run_bytes_budget ? DegradationLevel::kBypass
+                                                  : DegradationLevel::kEmergency;
+    target = std::max(target, demanded);
+  }
+  if (options_.error_streak_bypass > 0 &&
+      error_streak >= options_.error_streak_bypass) {
+    target = DegradationLevel::kBypass;
+  }
+  return target;
+}
+
+DegradationLevel DegradationController::Update(double overload_ratio,
+                                               size_t run_bytes,
+                                               size_t error_streak) {
+  const DegradationLevel target =
+      TargetLevel(overload_ratio, run_bytes, error_streak);
+  if (target > level_) {
+    // Escalate immediately: a burst has to be met when it arrives, not after
+    // a cooldown. Count every intermediate step so transition metrics
+    // reflect the full climb.
+    while (level_ < target) {
+      level_ = static_cast<DegradationLevel>(static_cast<uint8_t>(level_) + 1);
+      ++entries_[static_cast<size_t>(level_)];
+      ++ups_;
+    }
+    events_at_level_ = 0;
+    return level_;
+  }
+  ++events_at_level_;
+  if (target < level_ && events_at_level_ >= options_.cooldown_events &&
+      overload_ratio < EnterRatio(level_) * options_.hysteresis) {
+    // Step down one level at a time; the cooldown restarts so a multi-level
+    // recovery takes several quiet periods — deliberate conservatism.
+    level_ = static_cast<DegradationLevel>(static_cast<uint8_t>(level_) - 1);
+    ++downs_;
+    events_at_level_ = 0;
+  }
+  return level_;
+}
+
+std::string DegradationController::ToString() const {
+  return StrFormat(
+      "level=%s ups=%llu downs=%llu entries{shed=%llu emerg=%llu bypass=%llu}",
+      DegradationLevelName(level_), static_cast<unsigned long long>(ups_),
+      static_cast<unsigned long long>(downs_),
+      static_cast<unsigned long long>(
+          entries(DegradationLevel::kShedding)),
+      static_cast<unsigned long long>(
+          entries(DegradationLevel::kEmergency)),
+      static_cast<unsigned long long>(entries(DegradationLevel::kBypass)));
+}
+
+}  // namespace cep

@@ -1,0 +1,84 @@
+#ifndef CEPSHED_ENGINE_DEGRADATION_H_
+#define CEPSHED_ENGINE_DEGRADATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "engine/options.h"
+
+namespace cep {
+
+/// \brief Drives the engine through an explicit overload-degradation ladder.
+///
+/// The paper's controller has a single defense — score partial matches and
+/// shed the worst. A production engine facing bursts, poisoned events, and
+/// memory pressure needs a *composition* of defenses, engaged progressively
+/// and released conservatively:
+///
+///   kHealthy    all defenses off; the engine runs exhaustively.
+///   kShedding   µ(t) passed θ: state-based shedding (the paper's mechanism)
+///               is armed and fires on the usual trigger/cooldown schedule.
+///   kEmergency  overload persists or the run-set byte budget is blown:
+///               input shedding engages in front of the automaton and the
+///               shed amount switches to the adaptive (overshoot-scaled)
+///               fraction.
+///   kBypass     last resort — µ(t) far beyond θ, the byte budget is
+///               exceeded twice over, or a poison streak is aborting event
+///               processing: new run creation is suppressed entirely while
+///               existing runs keep draining (matches in flight still
+///               complete; recall for *new* patterns is sacrificed).
+///
+/// Escalation is immediate (a burst must be met now); de-escalation steps
+/// down one level at a time, only after `cooldown_events` at the current
+/// level *and* only once the driving signal has fallen below the entry
+/// threshold scaled by `hysteresis` — the classic dual-threshold scheme that
+/// keeps the controller from oscillating at a level boundary.
+class DegradationController {
+ public:
+  explicit DegradationController(DegradationOptions options);
+
+  /// Advances the controller by one event.
+  ///
+  /// `overload_ratio` is µ(t)/θ (0 when θ is unset), `run_bytes` the
+  /// engine's current run-set byte estimate, and `error_streak` the number
+  /// of consecutive quarantined processing failures. Returns the level the
+  /// engine must operate at for this event.
+  DegradationLevel Update(double overload_ratio, size_t run_bytes,
+                          size_t error_streak);
+
+  DegradationLevel level() const { return level_; }
+
+  /// Upward / downward level *steps* (a two-level jump counts twice).
+  uint64_t ups() const { return ups_; }
+  uint64_t downs() const { return downs_; }
+
+  /// Times the ladder entered `level` from below.
+  uint64_t entries(DegradationLevel level) const {
+    return entries_[static_cast<size_t>(level)];
+  }
+
+  /// Events spent at the current level since the last transition.
+  size_t events_at_level() const { return events_at_level_; }
+
+  std::string ToString() const;
+
+ private:
+  /// Highest level demanded by any driving signal, ignoring hysteresis.
+  DegradationLevel TargetLevel(double overload_ratio, size_t run_bytes,
+                               size_t error_streak) const;
+
+  /// Entry threshold (as a µ/θ ratio) of `level`.
+  double EnterRatio(DegradationLevel level) const;
+
+  DegradationOptions options_;
+  DegradationLevel level_ = DegradationLevel::kHealthy;
+  size_t events_at_level_ = 0;
+  uint64_t ups_ = 0;
+  uint64_t downs_ = 0;
+  uint64_t entries_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_ENGINE_DEGRADATION_H_

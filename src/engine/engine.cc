@@ -33,7 +33,11 @@ Engine::Engine(NfaPtr nfa, EngineOptions options, ShedderPtr shedder)
     : nfa_(std::move(nfa)),
       options_(options),
       shedder_(std::move(shedder)),
+      resilience_rng_(options.degradation.seed),
       scratch_empty_run_(0, nfa_->analyzed().num_variables(), 0, 0) {
+  if (options_.degradation.enabled) {
+    degradation_ = std::make_unique<DegradationController>(options_.degradation);
+  }
   switch (options_.latency_mode) {
     case LatencyMode::kWallClock:
       latency_monitor_ = std::make_unique<WallClockLatencyMonitor>(
@@ -135,6 +139,28 @@ Status Engine::ProcessEvent(const EventPtr& event) {
   last_event_ts_ = now;
   ops_this_event_ = 1;
 
+  // Degradation ladder: decide this event's operating level from the last
+  // event's µ(t), run-set bytes, and the current poison streak.
+  DegradationLevel level = DegradationLevel::kHealthy;
+  if (degradation_ != nullptr) {
+    const double theta = options_.latency_threshold_micros;
+    const double ratio =
+        theta > 0 ? latency_monitor_->CurrentLatencyMicros() / theta : 0.0;
+    level = degradation_->Update(ratio, approx_run_bytes_, consecutive_errors_);
+    metrics_.degradation_ups = degradation_->ups();
+    metrics_.degradation_downs = degradation_->downs();
+    if (level >= DegradationLevel::kEmergency &&
+        resilience_rng_.NextBernoulli(
+            options_.degradation.emergency_drop_probability)) {
+      // Emergency input shedding: discard in front of the automaton so the
+      // run set stops growing while state shedding catches up.
+      ++metrics_.emergency_input_drops;
+      ++metrics_.events_dropped;
+      latency_monitor_->Record(now, 0.0, 1);
+      return Status::OK();
+    }
+  }
+
   // Input-based shedding hook (baselines; state-based shedders never drop).
   if (shedder_ != nullptr) {
     const bool overloaded =
@@ -153,10 +179,14 @@ Status Engine::ProcessEvent(const EventPtr& event) {
   const SelectionStrategy sel = options_.selection;
   const bool strict = sel == SelectionStrategy::kStrictContiguity;
   const bool in_place = sel != SelectionStrategy::kSkipTillAnyMatch;
+  const bool track_bytes = degradation_ != nullptr;
+  size_t live_bytes = 0;
   bool any_dead = false;
 
   for (auto& slot : runs_) {
     Run* run = slot.get();
+    const size_t run_bytes = track_bytes ? run->ApproxBytes() : 0;
+    live_bytes += run_bytes;
     if (run->Expired(now, window)) {
       // A run waiting at a deferred final state (trailing negation) is
       // confirmed by its window closing without a violation: emit now.
@@ -166,6 +196,7 @@ Status Engine::ProcessEvent(const EventPtr& event) {
       if (shedder_ != nullptr) shedder_->OnRunExpired(*run, now);
       ++metrics_.runs_expired;
       slot.reset();
+      live_bytes -= run_bytes;
       any_dead = true;
       continue;
     }
@@ -217,6 +248,7 @@ Status Engine::ProcessEvent(const EventPtr& event) {
             CEP_RETURN_NOT_OK(TryEmit(*run, now).status());
             if (target.edges.empty()) {
               slot.reset();
+              live_bytes -= run_bytes;
               any_dead = true;
             }
           }
@@ -227,6 +259,7 @@ Status Engine::ProcessEvent(const EventPtr& event) {
     if (killed) {
       ++metrics_.runs_killed;
       slot.reset();
+      live_bytes -= run_bytes;
       any_dead = true;
       continue;
     }
@@ -235,13 +268,18 @@ Status Engine::ProcessEvent(const EventPtr& event) {
       // Strict contiguity: an event that does not advance the run breaks it.
       ++metrics_.runs_killed;
       slot.reset();
+      live_bytes -= run_bytes;
       any_dead = true;
     }
   }
 
-  // Spawn new runs from the initial state.
+  // Spawn new runs from the initial state. kBypass sacrifices new pattern
+  // instances to preserve the ones already in flight.
   const State& start = nfa_->state(nfa_->start_state());
-  if ((state_type_masks_[start.id] & ebit) != 0) {
+  if ((state_type_masks_[start.id] & ebit) != 0 &&
+      level == DegradationLevel::kBypass) {
+    ++metrics_.bypassed_spawns;
+  } else if ((state_type_masks_[start.id] & ebit) != 0) {
     for (const Edge& edge : start.edges) {
       if (edge.kind == EdgeKind::kKill || edge.event_type != event->type()) {
         continue;
@@ -274,8 +312,16 @@ Status Engine::ProcessEvent(const EventPtr& event) {
   }
 
   if (any_dead) CompactRuns();
-  for (auto& run : new_runs_) runs_.push_back(std::move(run));
+  for (auto& run : new_runs_) {
+    if (track_bytes) live_bytes += run->ApproxBytes();
+    runs_.push_back(std::move(run));
+  }
   new_runs_.clear();
+  if (track_bytes) {
+    approx_run_bytes_ = live_bytes;
+    metrics_.peak_run_bytes =
+        std::max<uint64_t>(metrics_.peak_run_bytes, live_bytes);
+  }
 
   ++metrics_.events_processed;
   metrics_.edge_evaluations += ops_this_event_;
@@ -296,22 +342,60 @@ Status Engine::ProcessEvent(const EventPtr& event) {
 
   if (shedder_ != nullptr && !runs_.empty()) {
     const double latency = latency_monitor_->CurrentLatencyMicros();
-    const bool latency_overload =
+    bool latency_overload =
         options_.latency_threshold_micros > 0 &&
         latency > options_.latency_threshold_micros &&
         events_since_shed_ >= options_.shed_cooldown_events;
+    // With the ladder enabled, state shedding is a *defense level*: it only
+    // fires once the controller has escalated to kShedding. The max_runs
+    // safety valve stays unconditional.
+    if (degradation_ != nullptr &&
+        degradation_->level() < DegradationLevel::kShedding) {
+      latency_overload = false;
+    }
     const bool cap_overload =
         options_.max_runs > 0 && runs_.size() > options_.max_runs;
     if (latency_overload || cap_overload) TriggerShed(now, latency);
+  }
+  if (reorder_buffer_ != nullptr) SyncReorderMetrics();
+  return Status::OK();
+}
+
+Status Engine::OfferEvent(const EventPtr& event) {
+  Status status = ProcessEvent(event);
+  if (status.ok()) {
+    consecutive_errors_ = 0;
+    return status;
+  }
+  if (!options_.error_budget.enabled) return status;
+  ++consecutive_errors_;
+  ++metrics_.quarantined_events;
+  RecoverFromError();
+  if (consecutive_errors_ >= options_.error_budget.max_consecutive_errors) {
+    return status.WithContext(
+        StrFormat("error budget exhausted (%zu consecutive failures)",
+                  consecutive_errors_));
   }
   return Status::OK();
 }
 
 Status Engine::ProcessStream(EventStream* stream) {
   while (EventPtr event = stream->Next()) {
-    CEP_RETURN_NOT_OK(ProcessEvent(event));
+    CEP_RETURN_NOT_OK(OfferEvent(event));
   }
   return Status::OK();
+}
+
+void Engine::RecoverFromError() {
+  new_runs_.clear();
+  CompactRuns();
+}
+
+void Engine::SyncReorderMetrics() {
+  if (reorder_buffer_ == nullptr) return;
+  metrics_.reorder_late_dropped = reorder_buffer_->late_dropped();
+  metrics_.reorder_buffered_peak = std::max<uint64_t>(
+      metrics_.reorder_buffered_peak, reorder_buffer_->buffered());
 }
 
 Status Engine::Flush() {
@@ -329,8 +413,14 @@ Status Engine::Flush() {
 }
 
 void Engine::TriggerShed(Timestamp now, double latency) {
-  size_t target = ComputeShedTarget(options_.shed_amount, runs_.size(),
-                                    latency,
+  ShedAmountOptions amount = options_.shed_amount;
+  if (degradation_ != nullptr &&
+      degradation_->level() >= DegradationLevel::kEmergency) {
+    // kEmergency escalates the shed amount to the overshoot-scaled fraction
+    // regardless of the configured mode.
+    amount.mode = ShedAmountOptions::Mode::kAdaptive;
+  }
+  size_t target = ComputeShedTarget(amount, runs_.size(), latency,
                                     options_.latency_threshold_micros);
   if (options_.max_runs > 0 && runs_.size() > options_.max_runs) {
     target = std::max(target, runs_.size() - options_.max_runs);

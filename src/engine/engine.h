@@ -6,11 +6,14 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/rng.h"
+#include "engine/degradation.h"
 #include "engine/latency_monitor.h"
 #include "engine/match.h"
 #include "engine/metrics.h"
 #include "engine/options.h"
 #include "engine/run.h"
+#include "event/reorder.h"
 #include "event/stream.h"
 #include "nfa/nfa.h"
 #include "shedding/shedder.h"
@@ -42,7 +45,15 @@ class Engine {
   /// in predicates), not match failures.
   Status ProcessEvent(const EventPtr& event);
 
-  /// Drains `stream` through ProcessEvent.
+  /// ProcessEvent with the error budget applied: when
+  /// options.error_budget.enabled, a failing event is quarantined (skipped,
+  /// counted in metrics().quarantined_events, engine state recovered) and OK
+  /// is returned; only max_consecutive_errors back-to-back failures
+  /// propagate. With the budget disabled this is exactly ProcessEvent.
+  Status OfferEvent(const EventPtr& event);
+
+  /// Drains `stream` through OfferEvent (poison-tolerant when the error
+  /// budget is enabled; identical to repeated ProcessEvent otherwise).
   Status ProcessStream(EventStream* stream);
 
   /// End-of-stream: confirms and emits runs parked at deferred final states
@@ -79,6 +90,34 @@ class Engine {
   /// Forces a shedding episode dropping `target` runs (testing / ablations).
   void ForceShed(size_t target);
 
+  /// Degradation ladder state (null unless options.degradation.enabled).
+  const DegradationController* degradation() const {
+    return degradation_.get();
+  }
+  DegradationLevel degradation_level() const {
+    return degradation_ != nullptr ? degradation_->level()
+                                   : DegradationLevel::kHealthy;
+  }
+
+  /// Run-set byte estimate maintained for the degradation byte budget
+  /// (0 when the ladder is disabled).
+  size_t approx_run_bytes() const { return approx_run_bytes_; }
+
+  /// Current quarantined-failure streak (error budget).
+  size_t consecutive_errors() const { return consecutive_errors_; }
+
+  /// Mirrors `buffer`'s late-drop / occupancy counters into metrics() on
+  /// every processed event (and on SyncReorderMetrics). The buffer must
+  /// outlive the engine or be detached with nullptr.
+  void AttachReorderBuffer(const ReorderBuffer* buffer) {
+    reorder_buffer_ = buffer;
+    SyncReorderMetrics();
+  }
+
+  /// Pulls the attached reorder buffer's counters into metrics() now
+  /// (useful after flushing the buffer at end-of-stream).
+  void SyncReorderMetrics();
+
  private:
   /// Evaluates edge predicates with `event` virtually bound to
   /// `edge.var_index` of `run`. Exit predicates (if any) are checked first.
@@ -93,10 +132,17 @@ class Engine {
   void TriggerShed(Timestamp now, double latency);
   void CompactRuns();
 
+  /// Restores run-set consistency after a failed ProcessEvent (drops the
+  /// failing event's half-born runs, compacts null slots).
+  void RecoverFromError();
+
   NfaPtr nfa_;
   EngineOptions options_;
   ShedderPtr shedder_;
   std::unique_ptr<LatencyMonitor> latency_monitor_;
+  std::unique_ptr<DegradationController> degradation_;
+  Rng resilience_rng_;
+  const ReorderBuffer* reorder_buffer_ = nullptr;
 
   std::vector<std::unique_ptr<Run>> runs_;
   std::vector<std::unique_ptr<Run>> new_runs_;  // births of the current event
@@ -115,6 +161,8 @@ class Engine {
   uint64_t events_since_shed_ = 0;
   Timestamp last_event_ts_ = INT64_MIN;
   uint64_t ops_this_event_ = 0;
+  size_t approx_run_bytes_ = 0;
+  size_t consecutive_errors_ = 0;
 };
 
 }  // namespace cep

@@ -5,7 +5,7 @@
 namespace cep {
 
 std::string EngineMetrics::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "events=%llu dropped=%llu runs{created=%llu extended=%llu expired=%llu "
       "killed=%llu shed=%llu peak=%llu} matches=%llu sheds=%llu evals=%llu "
       "busy_us=%.1f",
@@ -20,6 +20,25 @@ std::string EngineMetrics::ToString() const {
       static_cast<unsigned long long>(matches_emitted),
       static_cast<unsigned long long>(shed_triggers),
       static_cast<unsigned long long>(edge_evaluations), busy_micros);
+  if (quarantined_events > 0 || degradation_ups > 0 || degradation_downs > 0 ||
+      bypassed_spawns > 0 || emergency_input_drops > 0) {
+    out += StrFormat(
+        " resilience{quarantined=%llu ladder_ups=%llu ladder_downs=%llu "
+        "bypassed=%llu emergency_drops=%llu peak_run_bytes=%llu}",
+        static_cast<unsigned long long>(quarantined_events),
+        static_cast<unsigned long long>(degradation_ups),
+        static_cast<unsigned long long>(degradation_downs),
+        static_cast<unsigned long long>(bypassed_spawns),
+        static_cast<unsigned long long>(emergency_input_drops),
+        static_cast<unsigned long long>(peak_run_bytes));
+  }
+  if (reorder_late_dropped > 0 || reorder_buffered_peak > 0) {
+    out += StrFormat(
+        " reorder{late_dropped=%llu buffered_peak=%llu}",
+        static_cast<unsigned long long>(reorder_late_dropped),
+        static_cast<unsigned long long>(reorder_buffered_peak));
+  }
+  return out;
 }
 
 }  // namespace cep

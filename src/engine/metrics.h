@@ -25,6 +25,18 @@ struct EngineMetrics {
   uint64_t peak_runs = 0;        ///< max |R(t)| observed
   double busy_micros = 0;        ///< total processing time (wall or virtual)
 
+  // --- resilience (engine/degradation.h, options.h error budget) -----------
+  uint64_t quarantined_events = 0;   ///< poisoned events skipped by the budget
+  uint64_t degradation_ups = 0;      ///< ladder escalation steps
+  uint64_t degradation_downs = 0;    ///< ladder recovery steps
+  uint64_t bypassed_spawns = 0;      ///< events whose run births kBypass ate
+  uint64_t emergency_input_drops = 0;  ///< events dropped at kEmergency+
+  uint64_t peak_run_bytes = 0;       ///< max run-set byte estimate observed
+
+  // --- ingestion (mirrored from an attached ReorderBuffer) -----------------
+  uint64_t reorder_late_dropped = 0;  ///< events behind the watermark
+  uint64_t reorder_buffered_peak = 0;  ///< max events held for reordering
+
   std::string ToString() const;
 };
 

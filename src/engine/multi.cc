@@ -18,9 +18,16 @@ Status MultiEngine::ProcessEvent(const EventPtr& event) {
   return Status::OK();
 }
 
+Status MultiEngine::OfferEvent(const EventPtr& event) {
+  for (auto& engine : engines_) {
+    CEP_RETURN_NOT_OK(engine->OfferEvent(event));
+  }
+  return Status::OK();
+}
+
 Status MultiEngine::ProcessStream(EventStream* stream) {
   while (EventPtr event = stream->Next()) {
-    CEP_RETURN_NOT_OK(ProcessEvent(event));
+    CEP_RETURN_NOT_OK(OfferEvent(event));
   }
   return Status::OK();
 }
@@ -41,6 +48,14 @@ EngineMetrics MultiEngine::AggregateMetrics() const {
     total.edge_evaluations += m.edge_evaluations;
     total.peak_runs += m.peak_runs;
     total.busy_micros += m.busy_micros;
+    total.quarantined_events += m.quarantined_events;
+    total.degradation_ups += m.degradation_ups;
+    total.degradation_downs += m.degradation_downs;
+    total.bypassed_spawns += m.bypassed_spawns;
+    total.emergency_input_drops += m.emergency_input_drops;
+    total.peak_run_bytes += m.peak_run_bytes;
+    total.reorder_late_dropped += m.reorder_late_dropped;
+    total.reorder_buffered_peak += m.reorder_buffered_peak;
   }
   return total;
 }

@@ -34,7 +34,13 @@ class MultiEngine {
   /// Feeds `event` to every engine. Stops at the first error.
   Status ProcessEvent(const EventPtr& event);
 
-  /// Drains a stream through every engine.
+  /// Feeds `event` through every engine's error budget (Engine::OfferEvent):
+  /// engines with poison tolerance enabled quarantine their failures
+  /// independently, so one query's poisoned predicate cannot stall the
+  /// others. Stops only on a fatal (budget-exhausted or fail-fast) error.
+  Status OfferEvent(const EventPtr& event);
+
+  /// Drains a stream through every engine via OfferEvent.
   Status ProcessStream(EventStream* stream);
 
   /// Sum of all engines' counters.

@@ -48,6 +48,65 @@ struct ShedAmountOptions {
   size_t min_victims = 1;
 };
 
+/// Overload-degradation ladder levels (see engine/degradation.h).
+enum class DegradationLevel : uint8_t {
+  kHealthy = 0,
+  kShedding = 1,
+  kEmergency = 2,
+  kBypass = 3,
+};
+
+const char* DegradationLevelName(DegradationLevel level);
+
+/// \brief Configuration of the degradation ladder controller.
+///
+/// Entry thresholds are expressed as overload ratios µ(t)/θ so one set of
+/// defaults works across workloads; the byte budget and error streak are
+/// independent escalation signals (memory pressure and poisoned input must
+/// escalate even when µ(t) looks healthy, e.g. under kWallClock noise).
+struct DegradationOptions {
+  bool enabled = false;
+
+  /// Ladder entry thresholds as µ/θ ratios; must be increasing.
+  double shedding_enter_ratio = 1.0;
+  double emergency_enter_ratio = 2.0;
+  double bypass_enter_ratio = 4.0;
+
+  /// De-escalation requires the ratio below enter_ratio · hysteresis.
+  double hysteresis = 0.7;
+  /// Minimum events at a level before a downward step is considered.
+  size_t cooldown_events = 512;
+
+  /// Run-set byte budget (0 = unlimited). Exceeding it demands at least
+  /// kEmergency; exceeding twice over demands kBypass.
+  size_t run_bytes_budget = 0;
+
+  /// Consecutive quarantined processing errors that demand kBypass
+  /// (0 disables the signal). Requires the error budget to be enabled —
+  /// without it the first error aborts the stream anyway.
+  size_t error_streak_bypass = 8;
+
+  /// Probability of dropping an arriving event while at kEmergency or
+  /// above (input shedding in front of the automaton).
+  double emergency_drop_probability = 0.5;
+  /// Seed for the emergency input-shedding coin.
+  uint64_t seed = 0x9e51;
+};
+
+/// \brief Poison tolerance for streaming ingestion.
+///
+/// When enabled, Engine::OfferEvent / ProcessStream quarantine events whose
+/// processing fails (malformed payloads, type-flipped attributes,
+/// out-of-order arrivals): the event is skipped, counted in
+/// EngineMetrics::quarantined_events, and processing continues. Only a run
+/// of `max_consecutive_errors` back-to-back failures aborts the stream —
+/// that many in a row indicates systematic breakage, not stray poison.
+/// Disabled (default), the first error propagates unchanged.
+struct ErrorBudgetOptions {
+  bool enabled = false;
+  size_t max_consecutive_errors = 16;
+};
+
 /// \brief Engine configuration.
 struct EngineOptions {
   SelectionStrategy selection = SelectionStrategy::kSkipTillAnyMatch;
@@ -77,6 +136,15 @@ struct EngineOptions {
   /// Accumulate matches in Engine::matches() (disable for pure-throughput
   /// benchmarks that use the callback instead).
   bool collect_matches = true;
+
+  /// Overload-degradation ladder (engine/degradation.h). When enabled, the
+  /// ladder gates the defenses: latency-triggered state shedding only fires
+  /// at kShedding or above, input shedding and the adaptive shed fraction
+  /// engage at kEmergency, and kBypass suppresses new run creation.
+  DegradationOptions degradation;
+
+  /// Poison tolerance for OfferEvent / ProcessStream.
+  ErrorBudgetOptions error_budget;
 };
 
 }  // namespace cep

@@ -73,6 +73,17 @@ class Run {
   uint64_t pm_hash() const { return pm_hash_; }
   void set_pm_hash(uint64_t h) { pm_hash_ = h; }
 
+  /// Cheap estimate of this run's heap footprint, for the degradation
+  /// controller's run-set byte budget. Shared (copy-on-write) bindings are
+  /// attributed to every run referencing them — deliberately conservative:
+  /// the budget should trip before the allocator does.
+  size_t ApproxBytes() const {
+    return sizeof(Run) + bindings_.size() * sizeof(BindingPtr) +
+           static_cast<size_t>(size_) *
+               (sizeof(EventPtr) + sizeof(std::vector<EventPtr>) / 2) +
+           trail_.capacity() * sizeof(uint64_t);
+  }
+
   /// Remaining time-to-live at `now` given the query window.
   Duration RemainingTtl(Timestamp now, Duration window) const {
     const Duration ttl = start_ts_ + window - now;

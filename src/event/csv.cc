@@ -30,6 +30,17 @@ std::string ValueToField(const Value& v) {
   return v.ToString();
 }
 
+// A record is complete when it ends outside any quoted section; quoted
+// fields may span lines, in which case getline splits them and the reader
+// must stitch consecutive lines back together.
+bool CsvRecordComplete(std::string_view record) {
+  bool in_quotes = false;
+  for (const char c : record) {
+    if (c == '"') in_quotes = !in_quotes;
+  }
+  return !in_quotes;
+}
+
 Result<Value> FieldToValue(const std::string& field, ValueType type) {
   if (field.empty()) return Value::Null();
   switch (type) {
@@ -149,18 +160,54 @@ Result<EventPtr> EventFromCsvLine(const SchemaRegistry& registry,
 
 Result<std::vector<EventPtr>> ReadEventsCsv(const SchemaRegistry& registry,
                                             std::istream& in) {
+  return ReadEventsCsv(registry, in, CsvReadOptions{}, nullptr);
+}
+
+Result<std::vector<EventPtr>> ReadEventsCsv(const SchemaRegistry& registry,
+                                            std::istream& in,
+                                            const CsvReadOptions& options,
+                                            CsvReadStats* stats) {
   std::vector<EventPtr> out;
   std::string line;
   uint64_t seq = 0;
   size_t line_no = 0;
+  size_t consecutive_errors = 0;
   while (std::getline(in, line)) {
     ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (StripWhitespace(line).empty()) continue;
-    auto result = EventFromCsvLine(registry, line, seq++);
-    if (!result.ok()) {
-      return result.status().WithContext(StrFormat("line %zu", line_no));
+    // Quoted fields may contain raw newlines: keep appending physical lines
+    // until the quotes balance (or input ends, leaving the record malformed).
+    std::string continuation;
+    while (!CsvRecordComplete(line) && std::getline(in, continuation)) {
+      ++line_no;
+      if (!continuation.empty() && continuation.back() == '\r') {
+        continuation.pop_back();
+      }
+      line += '\n';
+      line += continuation;
     }
+    if (stats != nullptr) ++stats->lines_read;
+    auto result = EventFromCsvLine(registry, line, seq);
+    if (!result.ok()) {
+      const Status contextual =
+          result.status().WithContext(StrFormat("line %zu", line_no));
+      if (options.max_consecutive_errors == 0) return contextual;
+      ++consecutive_errors;
+      if (stats != nullptr) {
+        ++stats->quarantined;
+        stats->last_error = contextual.ToString();
+      }
+      if (consecutive_errors >= options.max_consecutive_errors) {
+        return contextual.WithContext(
+            StrFormat("CSV error budget exhausted (%zu consecutive bad "
+                      "records)",
+                      consecutive_errors));
+      }
+      continue;
+    }
+    consecutive_errors = 0;
+    ++seq;
     out.push_back(result.MoveValueUnsafe());
   }
   return out;
@@ -168,9 +215,16 @@ Result<std::vector<EventPtr>> ReadEventsCsv(const SchemaRegistry& registry,
 
 Result<std::vector<EventPtr>> ReadEventsCsvFile(const SchemaRegistry& registry,
                                                 const std::string& path) {
+  return ReadEventsCsvFile(registry, path, CsvReadOptions{}, nullptr);
+}
+
+Result<std::vector<EventPtr>> ReadEventsCsvFile(const SchemaRegistry& registry,
+                                                const std::string& path,
+                                                const CsvReadOptions& options,
+                                                CsvReadStats* stats) {
   std::ifstream f(path);
   if (!f) return Status::IoError("cannot open for reading: " + path);
-  return ReadEventsCsv(registry, f);
+  return ReadEventsCsv(registry, f, options, stats);
 }
 
 }  // namespace cep

@@ -32,11 +32,37 @@ Status WriteEventsCsvFile(const std::string& path,
 Result<EventPtr> EventFromCsvLine(const SchemaRegistry& registry,
                                   std::string_view line, uint64_t sequence);
 
+/// \brief Error-budget mode for ReadEventsCsv.
+///
+/// With `max_consecutive_errors == 0` (default) the first malformed record
+/// fails the whole read. A positive value quarantines malformed records —
+/// they are skipped and counted — and the read only fails once that many
+/// *consecutive* records are bad (a long bad run means the file, not a
+/// record, is broken).
+struct CsvReadOptions {
+  size_t max_consecutive_errors = 0;
+};
+
+/// Counters reported by a quarantining read.
+struct CsvReadStats {
+  uint64_t lines_read = 0;        ///< non-blank records seen
+  uint64_t quarantined = 0;       ///< malformed records skipped
+  std::string last_error;         ///< diagnostic for the latest bad record
+};
+
 /// Reads a whole CSV stream; events get dense sequence numbers in file order.
 Result<std::vector<EventPtr>> ReadEventsCsv(const SchemaRegistry& registry,
                                             std::istream& in);
+Result<std::vector<EventPtr>> ReadEventsCsv(const SchemaRegistry& registry,
+                                            std::istream& in,
+                                            const CsvReadOptions& options,
+                                            CsvReadStats* stats);
 Result<std::vector<EventPtr>> ReadEventsCsvFile(const SchemaRegistry& registry,
                                                 const std::string& path);
+Result<std::vector<EventPtr>> ReadEventsCsvFile(const SchemaRegistry& registry,
+                                                const std::string& path,
+                                                const CsvReadOptions& options,
+                                                CsvReadStats* stats);
 
 /// Splits a CSV record into fields, honouring double-quote escaping.
 /// Exposed for testing.

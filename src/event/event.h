@@ -24,6 +24,9 @@ class Event {
 
   EventTypeId type() const { return type_; }
   const EventSchema& schema() const { return *schema_; }
+  /// Shared schema handle (for constructing derived events, e.g. the
+  /// fault-injection corruptor).
+  const SchemaPtr& shared_schema() const { return schema_; }
   Timestamp timestamp() const { return timestamp_; }
   uint64_t sequence() const { return sequence_; }
 

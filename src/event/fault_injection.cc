@@ -1,0 +1,128 @@
+#include "event/fault_injection.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace cep {
+
+std::string FaultInjectionStats::ToString() const {
+  return StrFormat(
+      "delivered=%llu dropped=%llu duplicated=%llu delayed=%llu "
+      "corrupted=%llu",
+      static_cast<unsigned long long>(delivered),
+      static_cast<unsigned long long>(dropped),
+      static_cast<unsigned long long>(duplicated),
+      static_cast<unsigned long long>(delayed),
+      static_cast<unsigned long long>(corrupted));
+}
+
+FaultInjectingStream::FaultInjectingStream(std::unique_ptr<EventStream> inner,
+                                           FaultInjectionOptions options)
+    : inner_(std::move(inner)), options_(options), rng_(options.seed) {}
+
+EventPtr FaultInjectingStream::TakeDueDelayed() {
+  for (auto it = delayed_.begin(); it != delayed_.end(); ++it) {
+    if (it->first <= stats_.delivered) {
+      EventPtr event = std::move(it->second);
+      delayed_.erase(it);
+      return event;
+    }
+  }
+  return nullptr;
+}
+
+EventPtr FaultInjectingStream::Corrupt(const EventPtr& event) {
+  std::vector<Value> values;
+  values.reserve(event->num_attributes());
+  for (size_t i = 0; i < event->num_attributes(); ++i) {
+    values.push_back(event->attribute(static_cast<int>(i)));
+  }
+  if (!values.empty()) {
+    const size_t victim = rng_.NextBounded(values.size());
+    if (rng_.NextBernoulli(options_.corrupt_null_fraction)) {
+      values[victim] = Value::Null();
+    } else {
+      // Type flip: keep the payload recognisably wrong rather than garbage
+      // bytes, the way an upstream serialisation bug manifests.
+      const Value& old = values[victim];
+      switch (old.type()) {
+        case ValueType::kInt:
+          values[victim] = Value(std::to_string(old.int_value()) + "?");
+          break;
+        case ValueType::kDouble:
+          values[victim] = Value(std::to_string(old.double_value()) + "?");
+          break;
+        case ValueType::kString:
+          values[victim] = Value(static_cast<int64_t>(-1));
+          break;
+        case ValueType::kBool:
+          values[victim] = Value(static_cast<int64_t>(old.bool_value()));
+          break;
+        case ValueType::kNull:
+          values[victim] = Value("corrupt");
+          break;
+      }
+    }
+  }
+  return std::make_shared<Event>(event->type(), event->shared_schema(),
+                                 event->timestamp(), std::move(values),
+                                 event->sequence());
+}
+
+EventPtr FaultInjectingStream::Next() {
+  while (true) {
+    // Delayed events re-enter first once their release point passes.
+    if (EventPtr due = TakeDueDelayed()) {
+      ++stats_.delivered;
+      return due;
+    }
+    if (!pending_duplicates_.empty()) {
+      EventPtr dup = std::move(pending_duplicates_.front());
+      pending_duplicates_.pop_front();
+      ++stats_.delivered;
+      return dup;
+    }
+    EventPtr event = inner_->Next();
+    if (event == nullptr) {
+      // End of inner stream: flush whatever is still held back.
+      if (!delayed_.empty()) {
+        EventPtr held = std::move(delayed_.front().second);
+        delayed_.erase(delayed_.begin());
+        ++stats_.delivered;
+        return held;
+      }
+      return nullptr;
+    }
+    const Timestamp ts = event->timestamp();
+    const bool active =
+        ts >= options_.active_from && ts < options_.active_until;
+    if (!active) {
+      ++stats_.delivered;
+      return event;
+    }
+    if (rng_.NextBernoulli(options_.drop_probability)) {
+      ++stats_.dropped;
+      continue;
+    }
+    if (rng_.NextBernoulli(options_.delay_probability)) {
+      ++stats_.delayed;
+      delayed_.emplace_back(
+          stats_.delivered + std::max<size_t>(options_.delay_events, 1),
+          std::move(event));
+      continue;
+    }
+    if (rng_.NextBernoulli(options_.duplicate_probability)) {
+      ++stats_.duplicated;
+      pending_duplicates_.push_back(event);
+    }
+    if (rng_.NextBernoulli(options_.corrupt_probability)) {
+      ++stats_.corrupted;
+      event = Corrupt(event);
+    }
+    ++stats_.delivered;
+    return event;
+  }
+}
+
+}  // namespace cep

@@ -1,0 +1,93 @@
+#ifndef CEPSHED_EVENT_FAULT_INJECTION_H_
+#define CEPSHED_EVENT_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "event/stream.h"
+
+namespace cep {
+
+/// \brief Per-fault probabilities and scheduling for FaultInjectingStream.
+///
+/// All faults are driven by one seeded RNG, so the same (options, inner
+/// stream) pair replays the identical fault schedule — tests and benches can
+/// compare strategies under bit-identical storms.
+struct FaultInjectionOptions {
+  /// Event is silently discarded.
+  double drop_probability = 0.0;
+  /// Event is delivered, then delivered again (same sequence number — the
+  /// duplicate is indistinguishable from an at-least-once redelivery).
+  double duplicate_probability = 0.0;
+  /// Event is held back and re-emitted after `delay_events` later
+  /// deliveries, i.e. out of timestamp order (feed a ReorderBuffer, or let
+  /// the engine's error budget quarantine the regression).
+  double delay_probability = 0.0;
+  size_t delay_events = 8;
+  /// One attribute is corrupted: nulled with `corrupt_null_fraction`,
+  /// otherwise type-flipped (int -> string, string -> int, ...).
+  double corrupt_probability = 0.0;
+  double corrupt_null_fraction = 0.5;
+
+  /// Faults are injected only for events whose timestamp falls in
+  /// [active_from, active_until); defaults cover the whole stream. Use a
+  /// sub-range to model a bounded storm.
+  Timestamp active_from = INT64_MIN;
+  Timestamp active_until = kMaxTimestamp;
+
+  uint64_t seed = 0xfa517;
+};
+
+/// Counters of injected faults (and clean deliveries).
+struct FaultInjectionStats {
+  uint64_t delivered = 0;   ///< events emitted downstream (incl. duplicates)
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t delayed = 0;
+  uint64_t corrupted = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Deterministic fault-injecting wrapper around an EventStream.
+///
+/// Reproduces the failure modes a production ingestion path sees — loss,
+/// at-least-once redelivery, reordering, and payload corruption — with
+/// per-fault probabilities, a bounded activity window, and a fixed seed.
+/// Exactly one fault is applied per event (drop wins over delay wins over
+/// duplicate; corruption composes with duplication so a redelivered event
+/// can also be poisoned).
+class FaultInjectingStream final : public EventStream {
+ public:
+  FaultInjectingStream(std::unique_ptr<EventStream> inner,
+                       FaultInjectionOptions options);
+
+  EventPtr Next() override;
+
+  const FaultInjectionStats& stats() const { return stats_; }
+
+ private:
+  /// Copy of `event` with one attribute nulled or type-flipped.
+  EventPtr Corrupt(const EventPtr& event);
+
+  /// Pops a delayed event due for release, if any.
+  EventPtr TakeDueDelayed();
+
+  std::unique_ptr<EventStream> inner_;
+  FaultInjectionOptions options_;
+  Rng rng_;
+  FaultInjectionStats stats_;
+  std::deque<EventPtr> pending_duplicates_;
+  /// (release after this many deliveries, event)
+  std::vector<std::pair<uint64_t, EventPtr>> delayed_;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_EVENT_FAULT_INJECTION_H_

@@ -22,4 +22,21 @@ AccuracyReport CompareMatches(const std::vector<Match>& golden,
   return report;
 }
 
+AccuracyReport CompareMatchesInRange(const std::vector<Match>& golden,
+                                     const std::vector<Match>& lossy,
+                                     Timestamp from, Timestamp to) {
+  const auto in_range = [from, to](const Match& m) {
+    return m.last_ts >= from && m.last_ts < to;
+  };
+  std::vector<Match> golden_slice;
+  std::vector<Match> lossy_slice;
+  for (const auto& m : golden) {
+    if (in_range(m)) golden_slice.push_back(m);
+  }
+  for (const auto& m : lossy) {
+    if (in_range(m)) lossy_slice.push_back(m);
+  }
+  return CompareMatches(golden_slice, lossy_slice);
+}
+
 }  // namespace cep

@@ -43,6 +43,14 @@ struct AccuracyReport {
 AccuracyReport CompareMatches(const std::vector<Match>& golden,
                               const std::vector<Match>& lossy);
 
+/// CompareMatches restricted to matches completed in [from, to) — i.e. whose
+/// final event's timestamp falls inside the range. Used by the resilience
+/// experiments to score recall separately before, during, and after an
+/// injected fault storm.
+AccuracyReport CompareMatchesInRange(const std::vector<Match>& golden,
+                                     const std::vector<Match>& lossy,
+                                     Timestamp from, Timestamp to);
+
 }  // namespace cep
 
 #endif  // CEPSHED_HARNESS_ACCURACY_H_

@@ -24,6 +24,21 @@ test -s "$WORKDIR/matches.csv"
     --shedder sbls --max-runs 5 --hash req:loc --stats \
     | grep -q "shed"
 
+# Resilience path: fault injection + degradation ladder + error budget over
+# a deliberately corrupted input survives and reports stats.
+printf 'garbage line that is not csv\n' >> "$WORKDIR/bike.csv"
+"$CLI" run --schema bike --query "$QUERY" --input "$WORKDIR/bike.csv" \
+    --resilience --theta 50 --shedder sbls --hash req:loc \
+    --fault-corrupt 0.05 --fault-dup 0.1 --fault-seed 3 --stats \
+    | grep -q "faults:"
+
+# Without --resilience the corrupted line is fatal.
+if "$CLI" run --schema bike --query "$QUERY" --input "$WORKDIR/bike.csv" \
+    2>/dev/null; then
+  echo "expected csv parse failure" >&2
+  exit 1
+fi
+
 # Error paths exit non-zero.
 if "$CLI" run --schema bike --query "PATTERN garbage" \
     --input "$WORKDIR/bike.csv" 2>/dev/null; then

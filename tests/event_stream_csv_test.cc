@@ -181,5 +181,107 @@ TEST(CsvTest, MissingFileIsIoError) {
                   .IsIoError());
 }
 
+// Registers msg(txt: string, n: int) for the pathological-value tests.
+EventTypeId RegisterMsg(SchemaRegistry* registry) {
+  return registry
+      ->Register("msg",
+                 {{"txt", ValueType::kString}, {"n", ValueType::kInt}})
+      .ValueOrDie();
+}
+
+EventPtr MakeMsg(const SchemaRegistry& registry, EventTypeId id, Timestamp ts,
+                 Value txt, Value n, uint64_t seq) {
+  return std::make_shared<Event>(id, registry.schema(id), ts,
+                                 std::vector<Value>{std::move(txt),
+                                                    std::move(n)},
+                                 seq);
+}
+
+TEST(CsvTest, PathologicalValuesRoundTrip) {
+  SchemaRegistry registry;
+  const EventTypeId id = RegisterMsg(&registry);
+  const std::vector<EventPtr> events = {
+      MakeMsg(registry, id, 1, Value(std::string("plain")), Value(int64_t{7}),
+              0),
+      MakeMsg(registry, id, 2, Value(std::string("a,b,,c")), Value::Null(), 1),
+      MakeMsg(registry, id, 3, Value(std::string("say \"hi\" twice \"\"")),
+              Value(int64_t{-9}), 2),
+      MakeMsg(registry, id, 4, Value(std::string("line1\nline2\n,\"mix\"")),
+              Value(int64_t{0}), 3),
+      MakeMsg(registry, id, 5, Value::Null(), Value(int64_t{1}), 4),
+  };
+  std::stringstream buffer;
+  CEP_ASSERT_OK(WriteEventsCsv(buffer, events));
+  // The embedded newline makes the serialized form span more physical lines
+  // than there are events; the reader must stitch quoted records back up.
+  const auto parsed = ReadEventsCsv(registry, buffer).ValueOrDie();
+  ASSERT_EQ(parsed.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(parsed[i]->timestamp(), events[i]->timestamp()) << "event " << i;
+    EXPECT_EQ(parsed[i]->attribute("txt"), events[i]->attribute("txt"))
+        << "event " << i;
+    EXPECT_EQ(parsed[i]->attribute("n"), events[i]->attribute("n"))
+        << "event " << i;
+  }
+}
+
+TEST(CsvTest, UnterminatedQuoteAtEofIsParseError) {
+  SchemaRegistry registry;
+  RegisterMsg(&registry);
+  std::stringstream in("msg,1,\"never closed\nmore text");
+  EXPECT_TRUE(ReadEventsCsv(registry, in).status().IsParseError());
+}
+
+TEST(CsvTest, QuarantineSkipsBadRecordsWhenBudgetEnabled) {
+  BikeSchema fixture;
+  std::stringstream in(
+      "req,1,10,20\n"
+      "utter garbage\n"
+      "req,2,11,21\n"
+      "req,notatimestamp,0,0\n"
+      "req,3,12,22\n");
+  // Default is fail-fast: the first bad line is fatal and names its line.
+  {
+    std::stringstream copy(in.str());
+    const auto result = ReadEventsCsv(fixture.registry, copy);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().ToString().find("line 2"), std::string::npos)
+        << result.status().ToString();
+  }
+  // With an error budget the bad lines are quarantined and counted.
+  CsvReadOptions options;
+  options.max_consecutive_errors = 4;
+  CsvReadStats stats;
+  const auto events =
+      ReadEventsCsv(fixture.registry, in, options, &stats).ValueOrDie();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(stats.quarantined, 2u);
+  EXPECT_NE(stats.last_error.find("line 4"), std::string::npos)
+      << stats.last_error;
+  // Sequence numbers of surviving events stay dense.
+  EXPECT_EQ(events[0]->sequence(), 0u);
+  EXPECT_EQ(events[1]->sequence(), 1u);
+  EXPECT_EQ(events[2]->sequence(), 2u);
+}
+
+TEST(CsvTest, QuarantineBudgetExhaustsOnConsecutiveBadRecords) {
+  BikeSchema fixture;
+  std::stringstream in(
+      "req,1,10,20\n"
+      "bad one\n"
+      "bad two\n"
+      "bad three\n"
+      "req,2,11,21\n");
+  CsvReadOptions options;
+  options.max_consecutive_errors = 3;
+  CsvReadStats stats;
+  const auto result = ReadEventsCsv(fixture.registry, in, options, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("error budget exhausted"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_EQ(stats.quarantined, 3u);
+}
+
 }  // namespace
 }  // namespace cep

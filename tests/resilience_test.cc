@@ -1,0 +1,556 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/degradation.h"
+#include "engine/engine.h"
+#include "event/fault_injection.h"
+#include "event/reorder.h"
+#include "event/stream.h"
+#include "harness/accuracy.h"
+#include "shedding/random_shedder.h"
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+
+// ---------------------------------------------------------------------------
+// DegradationController unit tests: ladder mechanics in isolation.
+// ---------------------------------------------------------------------------
+
+DegradationOptions SmallLadder() {
+  DegradationOptions options;
+  options.enabled = true;
+  options.shedding_enter_ratio = 1.0;
+  options.emergency_enter_ratio = 2.0;
+  options.bypass_enter_ratio = 4.0;
+  options.hysteresis = 0.5;
+  options.cooldown_events = 4;
+  return options;
+}
+
+TEST(DegradationControllerTest, ClimbsImmediatelyAndDescendsStepwise) {
+  DegradationController ladder(SmallLadder());
+  EXPECT_EQ(ladder.level(), DegradationLevel::kHealthy);
+  EXPECT_EQ(ladder.Update(0.5, 0, 0), DegradationLevel::kHealthy);
+
+  // Escalation is immediate, one Update is enough.
+  EXPECT_EQ(ladder.Update(1.5, 0, 0), DegradationLevel::kShedding);
+  EXPECT_EQ(ladder.ups(), 1u);
+  // A severe burst jumps multiple levels; each step is counted.
+  EXPECT_EQ(ladder.Update(5.0, 0, 0), DegradationLevel::kBypass);
+  EXPECT_EQ(ladder.ups(), 3u);
+  EXPECT_EQ(ladder.entries(DegradationLevel::kEmergency), 1u);
+  EXPECT_EQ(ladder.entries(DegradationLevel::kBypass), 1u);
+
+  // De-escalation needs cooldown_events quiet updates per step.
+  for (int step = 0; step < 3; ++step) {
+    const DegradationLevel before = ladder.level();
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(ladder.Update(0.0, 0, 0), before);  // still cooling down
+    }
+    EXPECT_LT(ladder.Update(0.0, 0, 0), before);  // 4th quiet event steps down
+  }
+  EXPECT_EQ(ladder.level(), DegradationLevel::kHealthy);
+  EXPECT_EQ(ladder.downs(), 3u);
+}
+
+TEST(DegradationControllerTest, HysteresisBlocksOscillation) {
+  DegradationController ladder(SmallLadder());
+  ASSERT_EQ(ladder.Update(1.2, 0, 0), DegradationLevel::kShedding);
+  // Ratio drops below the entry threshold (1.0) but stays above the release
+  // threshold (1.0 * hysteresis 0.5): the ladder must hold its level no
+  // matter how long the cooldown has elapsed.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ladder.Update(0.8, 0, 0), DegradationLevel::kShedding);
+  }
+  EXPECT_EQ(ladder.downs(), 0u);
+  // Once the signal falls below 0.5 the pending cooldown releases it.
+  EXPECT_EQ(ladder.Update(0.3, 0, 0), DegradationLevel::kHealthy);
+}
+
+TEST(DegradationControllerTest, ByteBudgetEscalates) {
+  DegradationOptions options = SmallLadder();
+  options.run_bytes_budget = 1000;
+  DegradationController ladder(options);
+  EXPECT_EQ(ladder.Update(0.0, 900, 0), DegradationLevel::kHealthy);
+  EXPECT_EQ(ladder.Update(0.0, 1500, 0), DegradationLevel::kEmergency);
+  EXPECT_EQ(ladder.Update(0.0, 2500, 0), DegradationLevel::kBypass);
+}
+
+TEST(DegradationControllerTest, ErrorStreakForcesBypass) {
+  DegradationOptions options = SmallLadder();
+  options.error_streak_bypass = 8;
+  DegradationController ladder(options);
+  EXPECT_EQ(ladder.Update(0.0, 0, 7), DegradationLevel::kHealthy);
+  EXPECT_EQ(ladder.Update(0.0, 0, 8), DegradationLevel::kBypass);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingStream: deterministic replay and per-fault behavior.
+// ---------------------------------------------------------------------------
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  std::vector<EventPtr> Reqs(int n, Timestamp spacing = kSecond) {
+    std::vector<EventPtr> events;
+    for (int i = 0; i < n; ++i) {
+      events.push_back(fixture_.Req(kMinute + i * spacing, i % 7, 100 + i));
+    }
+    return events;
+  }
+
+  static std::vector<EventPtr> DrainFaulty(const std::vector<EventPtr>& events,
+                                           const FaultInjectionOptions& options,
+                                           FaultInjectionStats* stats = nullptr) {
+    FaultInjectingStream stream(std::make_unique<VectorEventStream>(events),
+                                options);
+    std::vector<EventPtr> out;
+    while (EventPtr e = stream.Next()) out.push_back(std::move(e));
+    if (stats != nullptr) *stats = stream.stats();
+    return out;
+  }
+
+  BikeSchema fixture_;
+};
+
+TEST_F(FaultInjectionTest, SameSeedReplaysIdenticalSchedule) {
+  const std::vector<EventPtr> events = Reqs(200);
+  FaultInjectionOptions options;
+  options.drop_probability = 0.2;
+  options.duplicate_probability = 0.2;
+  options.delay_probability = 0.2;
+  options.corrupt_probability = 0.2;
+  options.seed = 42;
+
+  FaultInjectionStats stats_a, stats_b;
+  const auto a = DrainFaulty(events, options, &stats_a);
+  const auto b = DrainFaulty(events, options, &stats_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i]->timestamp(), b[i]->timestamp());
+    EXPECT_EQ(a[i]->sequence(), b[i]->sequence());
+  }
+  EXPECT_EQ(stats_a.dropped, stats_b.dropped);
+  EXPECT_EQ(stats_a.corrupted, stats_b.corrupted);
+  // The storm actually exercised every fault class.
+  EXPECT_GT(stats_a.dropped, 0u);
+  EXPECT_GT(stats_a.duplicated, 0u);
+  EXPECT_GT(stats_a.delayed, 0u);
+  EXPECT_GT(stats_a.corrupted, 0u);
+
+  // A different seed produces a different schedule.
+  options.seed = 43;
+  FaultInjectionStats stats_c;
+  DrainFaulty(events, options, &stats_c);
+  EXPECT_NE(stats_a.dropped, stats_c.dropped);
+}
+
+TEST_F(FaultInjectionTest, DropAllDeliversNothing) {
+  FaultInjectionOptions options;
+  options.drop_probability = 1.0;
+  FaultInjectionStats stats;
+  EXPECT_TRUE(DrainFaulty(Reqs(25), options, &stats).empty());
+  EXPECT_EQ(stats.dropped, 25u);
+  EXPECT_EQ(stats.delivered, 0u);
+}
+
+TEST_F(FaultInjectionTest, DuplicateAllDoublesTheStream) {
+  FaultInjectionOptions options;
+  options.duplicate_probability = 1.0;
+  FaultInjectionStats stats;
+  const auto out = DrainFaulty(Reqs(10), options, &stats);
+  ASSERT_EQ(out.size(), 20u);
+  EXPECT_EQ(stats.duplicated, 10u);
+  for (size_t i = 0; i < out.size(); i += 2) {
+    // Redelivery keeps the same sequence number (at-least-once semantics).
+    EXPECT_EQ(out[i]->sequence(), out[i + 1]->sequence());
+  }
+}
+
+TEST_F(FaultInjectionTest, CorruptFlipsExactlyOneAttributeType) {
+  FaultInjectionOptions options;
+  options.corrupt_probability = 1.0;
+  options.corrupt_null_fraction = 0.0;  // always type-flip
+  const std::vector<EventPtr> events = Reqs(50);
+  const auto out = DrainFaulty(events, options);
+  ASSERT_EQ(out.size(), events.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i]->timestamp(), events[i]->timestamp());
+    size_t flipped = 0;
+    for (size_t a = 0; a < out[i]->num_attributes(); ++a) {
+      if (out[i]->attribute(static_cast<int>(a)).type() !=
+          events[i]->attribute(static_cast<int>(a)).type()) {
+        ++flipped;
+      }
+    }
+    EXPECT_EQ(flipped, 1u);
+  }
+}
+
+TEST_F(FaultInjectionTest, CorruptNullFractionNullsInstead) {
+  FaultInjectionOptions options;
+  options.corrupt_probability = 1.0;
+  options.corrupt_null_fraction = 1.0;
+  const auto out = DrainFaulty(Reqs(20), options);
+  for (const auto& e : out) {
+    size_t nulls = 0;
+    for (size_t a = 0; a < e->num_attributes(); ++a) {
+      if (e->attribute(static_cast<int>(a)).is_null()) ++nulls;
+    }
+    EXPECT_EQ(nulls, 1u);
+  }
+}
+
+TEST_F(FaultInjectionTest, ActivityWindowBoundsTheStorm) {
+  FaultInjectionOptions options;
+  options.drop_probability = 1.0;
+  options.active_from = kMinute + 10 * kSecond;
+  options.active_until = kMinute + 20 * kSecond;
+  FaultInjectionStats stats;
+  const auto out = DrainFaulty(Reqs(30), options, &stats);
+  EXPECT_EQ(out.size(), 20u);   // events outside [10s, 20s) pass untouched
+  EXPECT_EQ(stats.dropped, 10u);
+  for (const auto& e : out) {
+    EXPECT_TRUE(e->timestamp() < options.active_from ||
+                e->timestamp() >= options.active_until);
+  }
+}
+
+TEST_F(FaultInjectionTest, DelayReordersAndReorderBufferRepairs) {
+  FaultInjectionOptions options;
+  options.delay_probability = 0.3;
+  options.delay_events = 4;
+  options.seed = 7;
+  FaultInjectionStats stats;
+  const auto out = DrainFaulty(Reqs(100), options, &stats);
+  ASSERT_EQ(out.size(), 100u);  // delayed, not lost
+  EXPECT_GT(stats.delayed, 0u);
+  size_t inversions = 0;
+  for (size_t i = 1; i < out.size(); ++i) {
+    if (out[i]->timestamp() < out[i - 1]->timestamp()) ++inversions;
+  }
+  EXPECT_GT(inversions, 0u);
+
+  // A ReorderBuffer sized for the injected delay restores timestamp order.
+  ReorderBuffer buffer(/*max_delay=*/10 * kSecond);
+  std::vector<EventPtr> repaired;
+  for (const auto& e : out) {
+    for (auto& r : buffer.Push(e)) repaired.push_back(std::move(r));
+  }
+  for (auto& r : buffer.Flush()) repaired.push_back(std::move(r));
+  ASSERT_EQ(repaired.size(), 100u);
+  EXPECT_EQ(buffer.late_dropped(), 0u);
+  EXPECT_TRUE(std::is_sorted(
+      repaired.begin(), repaired.end(), [](const EventPtr& a, const EventPtr& b) {
+        return a->timestamp() < b->timestamp();
+      }));
+}
+
+TEST_F(FaultInjectionTest, EngineSurfacesReorderBufferMetrics) {
+  BikeSchema fixture;
+  NfaPtr nfa = fixture.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 10 min");
+  Engine engine(nfa, EngineOptions{});
+
+  // An undersized buffer is forced to late-drop the delayed events; the
+  // engine mirrors the buffer's counters into its own Metrics (satellite:
+  // ReorderBuffer observability).
+  FaultInjectionOptions options;
+  options.delay_probability = 0.3;
+  options.delay_events = 4;
+  options.seed = 7;
+  const auto out = DrainFaulty(Reqs(100), options);
+  ReorderBuffer buffer(/*max_delay=*/kMillisecond);
+  engine.AttachReorderBuffer(&buffer);
+  for (const auto& e : out) {
+    for (const auto& r : buffer.Push(e)) CEP_ASSERT_OK(engine.ProcessEvent(r));
+  }
+  for (const auto& r : buffer.Flush()) CEP_ASSERT_OK(engine.ProcessEvent(r));
+  engine.SyncReorderMetrics();
+  EXPECT_GT(buffer.late_dropped(), 0u);
+  EXPECT_EQ(engine.metrics().reorder_late_dropped, buffer.late_dropped());
+  EXPECT_GT(engine.metrics().reorder_buffered_peak, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Error budget: poison-tolerant ingestion through Engine::OfferEvent.
+// ---------------------------------------------------------------------------
+
+class ErrorBudgetTest : public ::testing::Test {
+ protected:
+  NfaPtr Nfa() {
+    // `a.loc >= 0` rides the spawn edge: a req whose loc is not an integer
+    // poisons ProcessEvent with a TypeError the moment it arrives.
+    return fixture_.Compile(
+        "PATTERN SEQ(req a, unlock c) WHERE a.loc >= 0, c.uid = a.uid "
+        "WITHIN 60 min");
+  }
+
+  EventPtr PoisonReq(Timestamp ts) {
+    return fixture_.Make("req", ts,
+                         {Value(std::string("poison")), Value(int64_t{1})}, 0);
+  }
+
+  BikeSchema fixture_;
+};
+
+TEST_F(ErrorBudgetTest, QuarantinesPoisonAndKeepsMatching) {
+  EngineOptions options;
+  options.error_budget.enabled = true;
+  options.error_budget.max_consecutive_errors = 4;
+  Engine engine(Nfa(), options);
+
+  CEP_ASSERT_OK(engine.OfferEvent(fixture_.Req(kMinute, 1, 7)));
+  CEP_ASSERT_OK(engine.OfferEvent(PoisonReq(kMinute + 1 * kSecond)));
+  EXPECT_EQ(engine.consecutive_errors(), 1u);
+  CEP_ASSERT_OK(engine.OfferEvent(fixture_.Unlock(kMinute + 2 * kSecond, 1, 7, 5)));
+  EXPECT_EQ(engine.consecutive_errors(), 0u);  // success resets the streak
+
+  EXPECT_EQ(engine.metrics().quarantined_events, 1u);
+  ASSERT_EQ(engine.matches().size(), 1u);  // the clean pair still matched
+}
+
+TEST_F(ErrorBudgetTest, FailsFastWhenBudgetDisabled) {
+  Engine engine(Nfa(), EngineOptions{});  // error budget off by default
+  CEP_ASSERT_OK(engine.OfferEvent(fixture_.Req(kMinute, 1, 7)));
+  const Status poisoned = engine.OfferEvent(PoisonReq(kMinute + kSecond));
+  EXPECT_FALSE(poisoned.ok());
+  EXPECT_EQ(engine.metrics().quarantined_events, 0u);
+
+  // ProcessStream propagates the failure (fail-fast default).
+  Engine fresh(Nfa(), EngineOptions{});
+  VectorEventStream stream({fixture_.Req(kMinute, 1, 7),
+                            PoisonReq(kMinute + kSecond),
+                            fixture_.Unlock(kMinute + 2 * kSecond, 1, 7, 5)});
+  EXPECT_FALSE(fresh.ProcessStream(&stream).ok());
+}
+
+TEST_F(ErrorBudgetTest, ProcessStreamCompletesOverPoisonWithBudget) {
+  EngineOptions options;
+  options.error_budget.enabled = true;
+  options.error_budget.max_consecutive_errors = 4;
+  Engine engine(Nfa(), options);
+  VectorEventStream stream({fixture_.Req(kMinute, 1, 7),
+                            PoisonReq(kMinute + kSecond),
+                            PoisonReq(kMinute + 2 * kSecond),
+                            fixture_.Unlock(kMinute + 3 * kSecond, 1, 7, 5)});
+  CEP_ASSERT_OK(engine.ProcessStream(&stream));
+  EXPECT_EQ(engine.metrics().quarantined_events, 2u);
+  EXPECT_EQ(engine.matches().size(), 1u);
+}
+
+TEST_F(ErrorBudgetTest, ExhaustsAfterConsecutiveFailures) {
+  EngineOptions options;
+  options.error_budget.enabled = true;
+  options.error_budget.max_consecutive_errors = 3;
+  // Keep the ladder out of the way so every poison event actually reaches
+  // the failing spawn predicate instead of being bypassed.
+  Engine engine(Nfa(), options);
+
+  CEP_ASSERT_OK(engine.OfferEvent(PoisonReq(kMinute)));
+  CEP_ASSERT_OK(engine.OfferEvent(PoisonReq(kMinute + kSecond)));
+  const Status exhausted = engine.OfferEvent(PoisonReq(kMinute + 2 * kSecond));
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_NE(exhausted.ToString().find("error budget exhausted"),
+            std::string::npos)
+      << exhausted.ToString();
+  EXPECT_EQ(engine.metrics().quarantined_events, 3u);
+}
+
+TEST_F(ErrorBudgetTest, QuarantinesTimestampRegression) {
+  EngineOptions options;
+  options.error_budget.enabled = true;
+  options.error_budget.max_consecutive_errors = 4;
+  Engine engine(Nfa(), options);
+  CEP_ASSERT_OK(engine.OfferEvent(fixture_.Req(kMinute, 1, 7)));
+  // An out-of-order event (no ReorderBuffer in front) is quarantined, not
+  // fatal.
+  CEP_ASSERT_OK(engine.OfferEvent(fixture_.Req(kMinute - 10 * kSecond, 1, 8)));
+  EXPECT_EQ(engine.metrics().quarantined_events, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine + ladder integration.
+// ---------------------------------------------------------------------------
+
+TEST(EngineDegradationTest, LatencySheddingIsGatedByTheLadder) {
+  BikeSchema fixture;
+  NfaPtr nfa = fixture.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 60 min");
+  EngineOptions options;
+  options.latency_mode = LatencyMode::kVirtualCost;
+  options.virtual_ns_per_op = 1000.0;
+  options.latency_threshold_micros = 50.0;
+  options.latency_window_events = 16;
+  options.shed_cooldown_events = 16;
+  options.shed_amount.fraction = 0.5;
+  options.degradation.enabled = true;
+  options.degradation.emergency_drop_probability = 0.0;
+
+  // With the ladder held at kHealthy by absurd entry thresholds, µ(t) > θ
+  // alone must NOT trigger latency shedding any more.
+  EngineOptions gated = options;
+  gated.degradation.shedding_enter_ratio = 1e9;
+  gated.degradation.emergency_enter_ratio = 2e9;
+  gated.degradation.bypass_enter_ratio = 4e9;
+  Engine held(nfa, gated, std::make_unique<RandomShedder>(1));
+  Engine armed(nfa, options, std::make_unique<RandomShedder>(1));
+  for (int i = 0; i < 400; ++i) {
+    const EventPtr req = fixture.Req(kMinute + 2 * i, 1, i);
+    const EventPtr probe = fixture.Unlock(kMinute + 2 * i + 1, 1, -1, 1);
+    CEP_ASSERT_OK(held.ProcessEvent(req));
+    CEP_ASSERT_OK(held.ProcessEvent(probe));
+    CEP_ASSERT_OK(armed.ProcessEvent(req));
+    CEP_ASSERT_OK(armed.ProcessEvent(probe));
+  }
+  EXPECT_EQ(held.metrics().shed_triggers, 0u);
+  EXPECT_EQ(held.degradation_level(), DegradationLevel::kHealthy);
+  EXPECT_GT(armed.metrics().shed_triggers, 0u);
+  EXPECT_GT(armed.metrics().runs_shed, 0u);
+  EXPECT_GE(armed.metrics().degradation_ups, 1u);
+}
+
+TEST(EngineDegradationTest, ByteBudgetCapsRunSetGrowth) {
+  BikeSchema fixture;
+  NfaPtr nfa = fixture.Compile("PATTERN SEQ(req a, unlock c) WITHIN 60 min");
+  EngineOptions options;
+  options.degradation.enabled = true;
+  options.degradation.run_bytes_budget = 20000;
+  options.degradation.emergency_drop_probability = 0.0;
+  Engine engine(nfa, options);
+  for (int i = 0; i < 500; ++i) {
+    CEP_ASSERT_OK(engine.ProcessEvent(fixture.Req(kMinute + i, i % 50, i)));
+  }
+  EXPECT_GT(engine.metrics().peak_run_bytes, options.degradation.run_bytes_budget);
+  EXPECT_GT(engine.metrics().bypassed_spawns, 0u);
+  EXPECT_LT(engine.num_runs(), 500u);  // bypass stopped the growth
+  EXPECT_EQ(engine.degradation_level(), DegradationLevel::kBypass);
+}
+
+TEST(EngineDegradationTest, EmergencyLevelShedsInput) {
+  BikeSchema fixture;
+  NfaPtr nfa = fixture.Compile("PATTERN SEQ(req a, unlock c) WITHIN 60 min");
+  EngineOptions options;
+  options.latency_mode = LatencyMode::kVirtualCost;
+  options.latency_threshold_micros = 0.001;  // any activity is overload
+  options.degradation.enabled = true;
+  options.degradation.emergency_drop_probability = 1.0;
+  Engine engine(nfa, options);
+  for (int i = 0; i < 50; ++i) {
+    CEP_ASSERT_OK(engine.ProcessEvent(fixture.Req(kMinute + i, 1, i)));
+  }
+  // The first event sees an empty latency window (ratio 0) and spawns; every
+  // later event is dropped in front of the automaton.
+  EXPECT_EQ(engine.num_runs(), 1u);
+  EXPECT_EQ(engine.metrics().emergency_input_drops, 49u);
+  EXPECT_GE(engine.metrics().events_dropped, 49u);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance storm: burst + poison drives the full ladder up, recovery
+// brings it back down, and post-storm recall returns to the clean baseline.
+// ---------------------------------------------------------------------------
+
+TEST(ResilienceStormTest, SurvivesStormClimbsLadderAndRecovers) {
+  BikeSchema fixture;
+  const std::string query =
+      "PATTERN SEQ(req a, unlock c) WHERE a.loc >= 0, c.uid = a.uid "
+      "WITHIN 60 sec";
+  NfaPtr nfa = fixture.Compile(query);
+
+  EngineOptions options;
+  options.latency_mode = LatencyMode::kVirtualCost;
+  options.virtual_ns_per_op = 1000.0;           // µ(t) in µs == mean ops
+  options.latency_threshold_micros = 25.0;      // θ
+  options.latency_window_events = 16;
+  options.degradation.enabled = true;
+  options.degradation.cooldown_events = 32;
+  options.degradation.emergency_drop_probability = 0.0;  // keep deterministic
+  options.error_budget.enabled = true;
+  options.error_budget.max_consecutive_errors = 32;
+  Engine engine(nfa, options);
+
+  // Phase 1 — healthy traffic: five clean pairs, all matched, ladder quiet.
+  const Timestamp t0 = kMinute;
+  for (int i = 0; i < 5; ++i) {
+    const Timestamp t = t0 + i * 30 * kSecond;
+    CEP_ASSERT_OK(engine.OfferEvent(fixture.Req(t, 1, 10 + i)));
+    CEP_ASSERT_OK(engine.OfferEvent(fixture.Unlock(t + kSecond, 1, 10 + i, 3)));
+  }
+  ASSERT_EQ(engine.matches().size(), 5u);
+  EXPECT_EQ(engine.degradation_level(), DegradationLevel::kHealthy);
+  EXPECT_EQ(engine.metrics().degradation_ups, 0u);
+
+  // Phase 2 — burst: a req flood grows R(t) while unmatched unlocks probe
+  // every run, driving µ(t) through θ and 2θ.
+  const Timestamp t1 = t0 + 160 * kSecond;
+  for (int i = 0; i < 400; ++i) {
+    const Timestamp t = t1 + i * 100 * kMillisecond;
+    if (i % 4 == 0) {
+      CEP_ASSERT_OK(engine.OfferEvent(fixture.Req(t, 1, 100000 + i)));
+    } else {
+      CEP_ASSERT_OK(engine.OfferEvent(fixture.Unlock(t, 1, -1, 1)));
+    }
+  }
+  EXPECT_GE(engine.degradation_level(), DegradationLevel::kShedding);
+  EXPECT_GE(engine.metrics().degradation_ups, 2u);
+
+  // Phase 3 — poison streak: corrupted reqs fail the spawn predicate until
+  // the error streak forces kBypass (which then suppresses the evaluation
+  // entirely, so exactly error_streak_bypass events are quarantined).
+  const Timestamp t2 = t1 + 40 * kSecond;
+  for (int i = 0; i < 12; ++i) {
+    CEP_ASSERT_OK(engine.OfferEvent(
+        fixture.Make("req", t2 + i * 100 * kMillisecond,
+                     {Value(std::string("poison")), Value(int64_t{1})}, 0)));
+  }
+  EXPECT_EQ(engine.degradation_level(), DegradationLevel::kBypass);
+  EXPECT_EQ(engine.metrics().quarantined_events,
+            static_cast<uint64_t>(options.degradation.error_streak_bypass));
+  EXPECT_GT(engine.metrics().bypassed_spawns, 0u);
+  EXPECT_GE(engine.metrics().degradation_ups, 3u);
+  EXPECT_GE(engine.degradation()->entries(DegradationLevel::kBypass), 1u);
+
+  // Phase 4 — calm: the storm's runs expire, cheap traffic drains the
+  // latency window, and the ladder steps back down through every level.
+  Timestamp t3 = t2 + 72 * kSecond;
+  int calm = 0;
+  for (; calm < 400 && engine.degradation_level() != DegradationLevel::kHealthy;
+       ++calm) {
+    CEP_ASSERT_OK(
+        engine.OfferEvent(fixture.Unlock(t3 + calm * 100 * kMillisecond, 1,
+                                         -999, 1)));
+  }
+  EXPECT_EQ(engine.degradation_level(), DegradationLevel::kHealthy)
+      << "ladder stuck after " << calm << " calm events: "
+      << engine.degradation()->ToString();
+  EXPECT_GE(engine.metrics().degradation_downs, 3u);
+
+  // Phase 5 — recovery: post-storm recall returns to the no-fault baseline.
+  const Timestamp t4 = t3 + 50 * kSecond;
+  std::vector<EventPtr> recovery;
+  for (int i = 0; i < 20; ++i) {
+    const Timestamp t = t4 + i * kSecond;
+    recovery.push_back(fixture.Req(t, 1, 200000 + i));
+    recovery.push_back(fixture.Unlock(t + 100 * kMillisecond, 1, 200000 + i, 4));
+  }
+  for (const auto& e : recovery) CEP_ASSERT_OK(engine.OfferEvent(e));
+
+  Engine baseline(fixture.Compile(query), EngineOptions{});
+  for (const auto& e : recovery) CEP_ASSERT_OK(baseline.ProcessEvent(e));
+
+  const AccuracyReport report = CompareMatchesInRange(
+      baseline.matches(), engine.matches(), t4, kMaxTimestamp);
+  EXPECT_EQ(report.golden_matches, 20u);
+  EXPECT_DOUBLE_EQ(report.recall(), 1.0);
+  EXPECT_EQ(report.false_positives(), 0u);
+}
+
+}  // namespace
+}  // namespace cep

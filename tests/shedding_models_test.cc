@@ -166,5 +166,45 @@ TEST(ComputeShedTargetTest, NeverExceedsRunCount) {
   EXPECT_LE(ComputeShedTarget(options, 10, 0, 0), 10u);
 }
 
+TEST(ComputeShedTargetTest, ZeroRunsAlwaysZeroRegardlessOfFloors) {
+  ShedAmountOptions options;
+  options.fraction = 0.5;
+  options.min_victims = 10;
+  EXPECT_EQ(ComputeShedTarget(options, 0, 0, 0), 0u);
+  options.mode = ShedAmountOptions::Mode::kAdaptive;
+  EXPECT_EQ(ComputeShedTarget(options, 0, 1e9, 1.0), 0u);
+}
+
+TEST(ComputeShedTargetTest, ExtremeOvershootClampedByMaxFraction) {
+  ShedAmountOptions options;
+  options.mode = ShedAmountOptions::Mode::kAdaptive;
+  options.fraction = 0.2;
+  options.adaptive_gain = 1.0;
+  options.max_fraction = 0.8;
+  // µ/θ >> 1: the adaptive fraction explodes but must clamp at max_fraction.
+  EXPECT_EQ(ComputeShedTarget(options, 1000, 1e12, 1.0), 800u);
+  // θ == 0 must not divide by zero.
+  const size_t with_zero_theta = ComputeShedTarget(options, 1000, 100.0, 0.0);
+  EXPECT_LE(with_zero_theta, 800u);
+}
+
+TEST(ComputeShedTargetTest, MinVictimsFloorApplies) {
+  ShedAmountOptions options;
+  options.fraction = 0.001;  // rounds to 0 victims on small run sets
+  options.min_victims = 5;
+  EXPECT_EQ(ComputeShedTarget(options, 100, 0, 0), 5u);
+  // The floor itself is capped by the run count.
+  EXPECT_EQ(ComputeShedTarget(options, 3, 0, 0), 3u);
+}
+
+TEST(ComputeShedTargetTest, FractionAtOrAboveOneShedsEverything) {
+  ShedAmountOptions options;
+  options.fraction = 1.0;
+  options.max_fraction = 2.0;
+  EXPECT_EQ(ComputeShedTarget(options, 57, 0, 0), 57u);
+  options.fraction = 1.5;
+  EXPECT_EQ(ComputeShedTarget(options, 57, 0, 0), 57u);
+}
+
 }  // namespace
 }  // namespace cep

@@ -20,6 +20,7 @@
 #include "common/string_util.h"
 #include "engine/engine.h"
 #include "event/csv.h"
+#include "event/fault_injection.h"
 #include "nfa/compiler.h"
 #include "nfa/dot.h"
 #include "query/analyzer.h"
@@ -44,6 +45,10 @@ int Usage() {
       "         [--shedder none|sbls|rbls|ttl|ibls] [--theta <micros>]\n"
       "         [--fraction <0..1>] [--max-runs <n>]\n"
       "         [--hash type:attr[,type:attr...]] [--bucket <width>]\n"
+      "         [--resilience] [--run-bytes-budget <bytes>]\n"
+      "         [--error-budget <n-consecutive>]\n"
+      "         [--fault-drop <p>] [--fault-dup <p>] [--fault-delay <p>]\n"
+      "         [--fault-corrupt <p>] [--fault-seed <n>]\n"
       "         [--stats]\n"
       "generate --workload cluster|bike|stock --out <events.csv>\n"
       "         [--duration-hours <h>] [--seed <n>] [--scale <f>]\n"
@@ -190,14 +195,31 @@ Status RunCommand(const Args& args) {
   SchemaRegistry registry;
   CEP_RETURN_NOT_OK(LoadSchema(args.Get("schema"), &registry));
   CEP_ASSIGN_OR_RETURN(NfaPtr nfa, CompileQuery(args.Get("query"), registry));
+
+  const bool resilience = args.Has("resilience");
+  CsvReadOptions csv_options;
+  CsvReadStats csv_stats;
+  if (resilience || args.Has("error-budget")) {
+    csv_options.max_consecutive_errors =
+        static_cast<size_t>(args.GetInt("error-budget", 64));
+  }
   CEP_ASSIGN_OR_RETURN(std::vector<EventPtr> events,
-                       ReadEventsCsvFile(registry, args.Get("input")));
+                       ReadEventsCsvFile(registry, args.Get("input"),
+                                         csv_options, &csv_stats));
 
   EngineOptions options;
   options.latency_threshold_micros = args.GetDouble("theta", 0.0);
   options.shed_amount.fraction = args.GetDouble("fraction", 0.2);
   options.max_runs = static_cast<size_t>(args.GetInt("max-runs", 0));
   options.collect_matches = false;
+  if (resilience) {
+    options.degradation.enabled = true;
+    options.degradation.run_bytes_budget =
+        static_cast<size_t>(args.GetInt("run-bytes-budget", 0));
+    options.error_budget.enabled = true;
+    options.error_budget.max_consecutive_errors =
+        static_cast<size_t>(args.GetInt("error-budget", 64));
+  }
   CEP_ASSIGN_OR_RETURN(ShedderPtr shedder, MakeShedder(args, registry));
 
   Engine engine(nfa, options, std::move(shedder));
@@ -228,15 +250,45 @@ Status RunCommand(const Args& args) {
       if (printed == 20) std::printf("... (use --matches FILE for all)\n");
     }
   });
-  for (const auto& event : events) {
-    CEP_RETURN_NOT_OK(engine.ProcessEvent(event));
+  // Optional fault injection between the materialised input and the engine
+  // (deterministic storms for resilience experiments).
+  auto stream = std::make_unique<VectorEventStream>(events);
+  std::unique_ptr<EventStream> source = std::move(stream);
+  FaultInjectingStream* faults = nullptr;
+  if (args.Has("fault-drop") || args.Has("fault-dup") ||
+      args.Has("fault-delay") || args.Has("fault-corrupt")) {
+    FaultInjectionOptions fault_options;
+    fault_options.drop_probability = args.GetDouble("fault-drop", 0.0);
+    fault_options.duplicate_probability = args.GetDouble("fault-dup", 0.0);
+    fault_options.delay_probability = args.GetDouble("fault-delay", 0.0);
+    fault_options.corrupt_probability = args.GetDouble("fault-corrupt", 0.0);
+    fault_options.seed = static_cast<uint64_t>(args.GetInt("fault-seed", 7));
+    auto injector = std::make_unique<FaultInjectingStream>(std::move(source),
+                                                           fault_options);
+    faults = injector.get();
+    source = std::move(injector);
   }
+
+  CEP_RETURN_NOT_OK(engine.ProcessStream(source.get()));
   std::printf("%llu matches over %zu events\n",
               static_cast<unsigned long long>(
                   engine.metrics().matches_emitted),
               events.size());
   if (args.Has("stats")) {
     std::printf("%s\n", engine.metrics().ToString().c_str());
+    if (csv_stats.quarantined > 0) {
+      std::printf("csv: %llu/%llu records quarantined (last: %s)\n",
+                  static_cast<unsigned long long>(csv_stats.quarantined),
+                  static_cast<unsigned long long>(csv_stats.lines_read),
+                  csv_stats.last_error.c_str());
+    }
+    if (faults != nullptr) {
+      std::printf("faults: %s\n", faults->stats().ToString().c_str());
+    }
+    if (engine.degradation() != nullptr) {
+      std::printf("degradation: %s\n",
+                  engine.degradation()->ToString().c_str());
+    }
   }
   return Status::OK();
 }

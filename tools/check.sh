@@ -1,0 +1,18 @@
+#!/bin/sh
+# Sanitized verification pass: builds the ASan+UBSan preset into
+# build-sanitize/ and runs the full test suite under it, so the
+# fault-injection and resilience paths are exercised with memory and UB
+# checking on. Usage: tools/check.sh [extra ctest args...]
+set -e
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-sanitize"
+
+cmake -B "$BUILD" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCEPSHED_SANITIZE=ON \
+    -DCEPSHED_BUILD_BENCHMARKS=OFF \
+    -DCEPSHED_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)"
+cd "$BUILD"
+ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)" "$@"
+echo "sanitized check ok"
