@@ -5,7 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
 #include "engine/engine.h"
+#include "event/stream.h"
 #include "nfa/compiler.h"
 #include "query/analyzer.h"
 #include "query/parser.h"
@@ -165,10 +170,10 @@ BENCHMARK(BM_SblsOnRunExtended);
 void BM_SelectVictims(benchmark::State& state) {
   BikeFixture fixture;
   const int64_t n = state.range(0);
-  std::vector<std::unique_ptr<Run>> runs;
+  std::vector<RunPtr> runs;
   const EventPtr event = fixture.MakeReq(1, 2, 3);
   for (int64_t i = 0; i < n; ++i) {
-    auto run = std::make_unique<Run>(static_cast<uint64_t>(i), 2, 1, i);
+    auto run = MakeRun(static_cast<uint64_t>(i), 2, 1, i);
     run->Bind(0, event, 1);
     runs.push_back(std::move(run));
   }
@@ -199,6 +204,85 @@ void BM_GoogleTraceGeneration(benchmark::State& state) {
 BENCHMARK(BM_GoogleTraceGeneration);
 
 }  // namespace
+
+/// Threads × batch-size sweep over the engine's dominant loop (one event
+/// against |R(t)| = 4096 predicate-failing runs), written as machine-readable
+/// JSON so CI can track parallel scaling. Speedups are relative to the
+/// threads=1, batch=1 row; on a single-core container they will hover
+/// around (or below) 1.0 — the JSON records `hardware_threads` so readers
+/// can tell scheduling noise from a real scaling regression.
+void RunParallelSweepAndWriteJson(const char* path) {
+  BikeFixture fixture;
+  NfaPtr nfa = CompileBikeQuery(
+      fixture.registry,
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 24 hours");
+  constexpr int kPreloadRuns = 4096;
+  constexpr int kMeasuredEvents = 2000;
+
+  struct Row {
+    size_t threads;
+    size_t batch;
+    double events_per_sec;
+  };
+  std::vector<Row> rows;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    for (size_t batch : {1u, 64u}) {
+      EngineOptions options;
+      options.parallel.threads = threads;
+      Engine engine(nfa, options);
+      Timestamp ts = kMinute;
+      for (int i = 0; i < kPreloadRuns; ++i) {
+        (void)engine.ProcessEvent(fixture.MakeReq(++ts, 1, 1000000 + i));
+      }
+      std::vector<EventPtr> measured;
+      measured.reserve(kMeasuredEvents);
+      for (int i = 0; i < kMeasuredEvents; ++i) {
+        // uid -1 never matches: pure predicate-evaluation cost per run.
+        measured.push_back(fixture.MakeUnlock(++ts, 1, -1));
+      }
+      VectorEventStream stream(std::move(measured));
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)engine.ProcessStream(&stream, batch);
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      rows.push_back({threads, batch, kMeasuredEvents / secs});
+    }
+  }
+
+  const double serial = rows.front().events_per_sec;
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n  \"benchmark\": \"parallel_sweep\",\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"preloaded_runs\": %d,\n  \"measured_events\": %d,\n"
+               "  \"results\": [\n",
+               std::thread::hardware_concurrency(), kPreloadRuns,
+               kMeasuredEvents);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"batch\": %zu, "
+                 "\"events_per_sec\": %.1f, \"speedup_vs_serial\": %.3f}%s\n",
+                 rows[i].threads, rows[i].batch, rows[i].events_per_sec,
+                 rows[i].events_per_sec / serial,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace cep
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  cep::RunParallelSweepAndWriteJson("BENCH_parallel.json");
+  return 0;
+}

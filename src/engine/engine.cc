@@ -34,9 +34,14 @@ Engine::Engine(NfaPtr nfa, EngineOptions options, ShedderPtr shedder)
       options_(options),
       shedder_(std::move(shedder)),
       resilience_rng_(options.degradation.seed),
+      arena_(options.parallel.arena_block_runs),
       scratch_empty_run_(0, nfa_->analyzed().num_variables(), 0, 0) {
   if (options_.degradation.enabled) {
     degradation_ = std::make_unique<DegradationController>(options_.degradation);
+  }
+  if (options_.parallel.threads > 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.parallel.threads);
+    pool_ = owned_pool_.get();
   }
   switch (options_.latency_mode) {
     case LatencyMode::kWallClock:
@@ -72,6 +77,13 @@ Engine::Engine(NfaPtr nfa, EngineOptions options, ShedderPtr shedder)
         std::make_shared<EventSchema>(spec.event_name, std::move(attrs));
   }
   if (shedder_ != nullptr) shedder_->Attach(*nfa_);
+}
+
+void Engine::SetThreadPool(ThreadPool* pool) {
+  pool_ = pool;
+  if (owned_pool_ != nullptr && pool_ != owned_pool_.get()) {
+    owned_pool_.reset();
+  }
 }
 
 Result<bool> Engine::EvalEdge(const Run& run, const Edge& edge,
@@ -125,6 +137,157 @@ Result<bool> Engine::TryEmit(const Run& run, Timestamp now) {
   return true;
 }
 
+void Engine::EvalRunRange(const Event& event, Timestamp now, size_t begin,
+                          size_t end, ShardScratch* scratch) {
+  const uint64_t ebit = TypeBit(event.type());
+  const Duration window = nfa_->window();
+  const bool in_place =
+      options_.selection != SelectionStrategy::kSkipTillAnyMatch;
+  for (size_t i = begin; i < end; ++i) {
+    const Run& run = *runs_[i];
+    RunDecision decision;
+    if (run.Expired(now, window)) {
+      decision.flags = kDecisionExpired;
+      decisions_[i] = decision;
+      continue;
+    }
+    if ((state_type_masks_[run.state()] & ebit) != 0) {
+      const State& state = nfa_->state(run.state());
+      for (size_t e = 0; e < state.edges.size(); ++e) {
+        const Edge& edge = state.edges[e];
+        if (edge.event_type != event.type()) continue;
+        ++decision.ops;
+        const Result<bool> pass = EvalEdge(run, edge, event);
+        if (!pass.ok()) {
+          // The merge phase aborts the event exactly where the serial loop
+          // would have: after this run's earlier fired edges were applied.
+          decision.flags |= kDecisionError;
+          scratch->errors.emplace_back(i, pass.status());
+          break;
+        }
+        if (!pass.ValueOrDie()) continue;
+        if (edge.kind == EdgeKind::kKill) {
+          decision.flags |= kDecisionKilled;
+          break;
+        }
+        scratch->fired.push_back(static_cast<uint16_t>(e));
+        ++decision.fired;
+        // Greedy strategies apply the first applicable transition in place
+        // and stop scanning edges for this run.
+        if (in_place) break;
+      }
+    }
+    decisions_[i] = decision;
+  }
+}
+
+Status Engine::ApplyDecisions(const EventPtr& event, Timestamp now,
+                              size_t num_shards, bool track_bytes,
+                              size_t* live_bytes, bool* any_dead) {
+  const SelectionStrategy sel = options_.selection;
+  const bool strict = sel == SelectionStrategy::kStrictContiguity;
+  const bool in_place = sel != SelectionStrategy::kSkipTillAnyMatch;
+  const size_t n = runs_.size();
+  for (size_t s = 0; s < num_shards; ++s) {
+    const ShardScratch& scratch = shard_scratch_[s];
+    size_t fired_cursor = 0;
+    size_t error_cursor = 0;
+    const size_t shard_end = ShardBegin(s + 1, num_shards, n);
+    for (size_t i = ShardBegin(s, num_shards, n); i < shard_end; ++i) {
+      RunPtr& slot = runs_[i];
+      Run* run = slot.get();
+      const RunDecision decision = decisions_[i];
+      ops_this_event_ += decision.ops;
+      const size_t run_bytes = track_bytes ? run->ApproxBytes() : 0;
+      *live_bytes += run_bytes;
+      if ((decision.flags & kDecisionExpired) != 0) {
+        // A run waiting at a deferred final state (trailing negation) is
+        // confirmed by its window closing without a violation: emit now.
+        if (nfa_->state(run->state()).deferred_final) {
+          CEP_RETURN_NOT_OK(TryEmit(*run, now).status());
+        }
+        if (shedder_ != nullptr) shedder_->OnRunExpired(*run, now);
+        ++metrics_.runs_expired;
+        slot.reset();
+        *live_bytes -= run_bytes;
+        *any_dead = true;
+        continue;
+      }
+      const State& state = nfa_->state(run->state());
+      for (uint16_t f = 0; f < decision.fired; ++f) {
+        const Edge& edge = state.edges[scratch.fired[fired_cursor + f]];
+        if (!in_place) {
+          // Skip-till-any-match: branch; the original run survives untouched.
+          RunPtr child = run->Extend(next_run_id_++, edge.var_index, event,
+                                     edge.target, arena_ptr());
+          ++metrics_.runs_extended;
+          if (shedder_ != nullptr) {
+            shedder_->OnRunExtended(run, child.get(), *event, now);
+          }
+          const State& target = nfa_->state(edge.target);
+          bool keep = true;
+          if (target.is_final) {
+            if (target.deferred_final) {
+              // Trailing negation: emission waits for the window to close.
+            } else {
+              CEP_RETURN_NOT_OK(TryEmit(*child, now).status());
+              // A final state with outgoing edges is a trailing Kleene
+              // state: the child keeps collecting; a plain final state
+              // completes it.
+              keep = !target.edges.empty();
+            }
+          }
+          if (keep) new_runs_.push_back(std::move(child));
+        } else {
+          run->Bind(edge.var_index, event, edge.target);
+          ++metrics_.runs_extended;
+          if (shedder_ != nullptr) {
+            shedder_->OnRunExtended(nullptr, run, *event, now);
+          }
+          const State& target = nfa_->state(edge.target);
+          if (target.is_final && !target.deferred_final) {
+            CEP_RETURN_NOT_OK(TryEmit(*run, now).status());
+            if (target.edges.empty()) {
+              slot.reset();
+              *live_bytes -= run_bytes;
+              *any_dead = true;
+            }
+          }
+        }
+      }
+      fired_cursor += decision.fired;
+      if ((decision.flags & kDecisionError) != 0) {
+        // Propagate the predicate error recorded for this run, after its
+        // earlier fired edges took effect (serial semantics).
+        while (error_cursor < scratch.errors.size() &&
+               scratch.errors[error_cursor].first != i) {
+          ++error_cursor;
+        }
+        return error_cursor < scratch.errors.size()
+                   ? scratch.errors[error_cursor].second
+                   : Status::Internal("lost shard evaluation error");
+      }
+      if ((decision.flags & kDecisionKilled) != 0) {
+        ++metrics_.runs_killed;
+        slot.reset();
+        *live_bytes -= run_bytes;
+        *any_dead = true;
+        continue;
+      }
+      if (strict && decision.fired == 0 && slot != nullptr &&
+          !nfa_->state(slot->state()).deferred_final) {
+        // Strict contiguity: an event that does not advance the run breaks
+        // it.
+        ++metrics_.runs_killed;
+        slot.reset();
+        *live_bytes -= run_bytes;
+        *any_dead = true;
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status Engine::ProcessEvent(const EventPtr& event) {
   using Clock = std::chrono::steady_clock;
   const bool wall = options_.latency_mode == LatencyMode::kWallClock;
@@ -175,103 +338,42 @@ Status Engine::ProcessEvent(const EventPtr& event) {
   }
 
   const uint64_t ebit = TypeBit(event->type());
-  const Duration window = nfa_->window();
-  const SelectionStrategy sel = options_.selection;
-  const bool strict = sel == SelectionStrategy::kStrictContiguity;
-  const bool in_place = sel != SelectionStrategy::kSkipTillAnyMatch;
   const bool track_bytes = degradation_ != nullptr;
   size_t live_bytes = 0;
   bool any_dead = false;
 
-  for (auto& slot : runs_) {
-    Run* run = slot.get();
-    const size_t run_bytes = track_bytes ? run->ApproxBytes() : 0;
-    live_bytes += run_bytes;
-    if (run->Expired(now, window)) {
-      // A run waiting at a deferred final state (trailing negation) is
-      // confirmed by its window closing without a violation: emit now.
-      if (nfa_->state(run->state()).deferred_final) {
-        CEP_RETURN_NOT_OK(TryEmit(*run, now).status());
-      }
-      if (shedder_ != nullptr) shedder_->OnRunExpired(*run, now);
-      ++metrics_.runs_expired;
-      slot.reset();
-      live_bytes -= run_bytes;
-      any_dead = true;
-      continue;
-    }
-    const bool relevant = (state_type_masks_[run->state()] & ebit) != 0;
-    bool fired = false;
-    bool killed = false;
-    if (relevant) {
-      const State& state = nfa_->state(run->state());
-      for (const Edge& edge : state.edges) {
-        if (edge.event_type != event->type()) continue;
-        ++ops_this_event_;
-        CEP_ASSIGN_OR_RETURN(bool pass, EvalEdge(*run, edge, *event));
-        if (!pass) continue;
-        if (edge.kind == EdgeKind::kKill) {
-          killed = true;
-          break;
-        }
-        fired = true;
-        if (!in_place) {
-          // Skip-till-any-match: branch; the original run survives untouched.
-          std::unique_ptr<Run> child =
-              run->Extend(next_run_id_++, edge.var_index, event, edge.target);
-          ++metrics_.runs_extended;
-          if (shedder_ != nullptr) {
-            shedder_->OnRunExtended(run, child.get(), *event, now);
-          }
-          const State& target = nfa_->state(edge.target);
-          bool keep = true;
-          if (target.is_final) {
-            if (target.deferred_final) {
-              // Trailing negation: emission waits for the window to close.
-            } else {
-              CEP_RETURN_NOT_OK(TryEmit(*child, now).status());
-              // A final state with outgoing edges is a trailing Kleene
-              // state: the child keeps collecting; a plain final state
-              // completes it.
-              keep = !target.edges.empty();
-            }
-          }
-          if (keep) new_runs_.push_back(std::move(child));
-        } else {
-          // Greedy strategies: apply the first applicable transition in
-          // place and stop scanning edges for this run.
-          run->Bind(edge.var_index, event, edge.target);
-          ++metrics_.runs_extended;
-          if (shedder_ != nullptr) shedder_->OnRunExtended(nullptr, run, *event, now);
-          const State& target = nfa_->state(edge.target);
-          if (target.is_final && !target.deferred_final) {
-            CEP_RETURN_NOT_OK(TryEmit(*run, now).status());
-            if (target.edges.empty()) {
-              slot.reset();
-              live_bytes -= run_bytes;
-              any_dead = true;
-            }
-          }
-          break;
-        }
-      }
-    }
-    if (killed) {
-      ++metrics_.runs_killed;
-      slot.reset();
-      live_bytes -= run_bytes;
-      any_dead = true;
-      continue;
-    }
-    if (strict && !fired && slot != nullptr &&
-        !nfa_->state(slot->state()).deferred_final) {
-      // Strict contiguity: an event that does not advance the run breaks it.
-      ++metrics_.runs_killed;
-      slot.reset();
-      live_bytes -= run_bytes;
-      any_dead = true;
-    }
+  // Evaluation phase: per-run verdicts, sharded across the pool when R(t)
+  // is large enough to amortize the dispatch. Decisions are identical for
+  // every shard count, so parallelism never changes results.
+  const size_t n = runs_.size();
+  size_t num_shards = 1;
+  const bool sharded = pool_ != nullptr && pool_->num_threads() > 1 &&
+                       n >= options_.parallel.min_parallel_runs && n > 0;
+  if (sharded) {
+    num_shards = options_.parallel.shards > 0 ? options_.parallel.shards
+                                              : pool_->num_threads();
+    num_shards = std::min(num_shards, n);
   }
+  decisions_.resize(n);
+  if (shard_scratch_.size() < num_shards) shard_scratch_.resize(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shard_scratch_[s].fired.clear();
+    shard_scratch_[s].errors.clear();
+  }
+  if (sharded && num_shards > 1) {
+    ++metrics_.parallel_events;
+    pool_->ParallelFor(num_shards, [&](size_t s) {
+      EvalRunRange(*event, now, ShardBegin(s, num_shards, n),
+                   ShardBegin(s + 1, num_shards, n), &shard_scratch_[s]);
+    });
+  } else if (n > 0) {
+    EvalRunRange(*event, now, 0, n, &shard_scratch_[0]);
+  }
+
+  // Merge phase: serial, in run order — matches, model updates, and
+  // shedder bookkeeping replay exactly as the serial engine produced them.
+  CEP_RETURN_NOT_OK(ApplyDecisions(event, now, num_shards, track_bytes,
+                                   &live_bytes, &any_dead));
 
   // Spawn new runs from the initial state. kBypass sacrifices new pattern
   // instances to preserve the ones already in flight.
@@ -293,9 +395,13 @@ Status Engine::ProcessEvent(const EventPtr& event) {
         if (!pass) break;
       }
       if (!pass) continue;
-      auto run = std::make_unique<Run>(
-          next_run_id_++, nfa_->analyzed().num_variables(),
-          nfa_->start_state(), now);
+      RunPtr run = arena_ptr() != nullptr
+                       ? arena_.New(next_run_id_++,
+                                    nfa_->analyzed().num_variables(),
+                                    nfa_->start_state(), now)
+                       : MakeRun(next_run_id_++,
+                                 nfa_->analyzed().num_variables(),
+                                 nfa_->start_state(), now);
       run->Bind(edge.var_index, event, edge.target);
       ++metrics_.runs_created;
       if (shedder_ != nullptr) shedder_->OnRunCreated(run.get(), *event, now);
@@ -326,6 +432,8 @@ Status Engine::ProcessEvent(const EventPtr& event) {
   ++metrics_.events_processed;
   metrics_.edge_evaluations += ops_this_event_;
   metrics_.peak_runs = std::max<uint64_t>(metrics_.peak_runs, runs_.size());
+  metrics_.arena_bytes_reserved = std::max<uint64_t>(
+      metrics_.arena_bytes_reserved, arena_.bytes_reserved());
 
   double micros = 0.0;
   if (wall) {
@@ -379,11 +487,32 @@ Status Engine::OfferEvent(const EventPtr& event) {
   return Status::OK();
 }
 
-Status Engine::ProcessStream(EventStream* stream) {
-  while (EventPtr event = stream->Next()) {
+Status Engine::ProcessBatch(std::span<const EventPtr> events) {
+  for (const EventPtr& event : events) {
     CEP_RETURN_NOT_OK(OfferEvent(event));
   }
   return Status::OK();
+}
+
+Status Engine::ProcessStream(EventStream* stream, size_t batch_size) {
+  if (batch_size <= 1) {
+    while (EventPtr event = stream->Next()) {
+      CEP_RETURN_NOT_OK(OfferEvent(event));
+    }
+    return Status::OK();
+  }
+  std::vector<EventPtr> batch;
+  batch.reserve(batch_size);
+  for (;;) {
+    batch.clear();
+    while (batch.size() < batch_size) {
+      EventPtr event = stream->Next();
+      if (event == nullptr) break;
+      batch.push_back(std::move(event));
+    }
+    if (batch.empty()) return Status::OK();
+    CEP_RETURN_NOT_OK(ProcessBatch(batch));
+  }
 }
 
 void Engine::RecoverFromError() {

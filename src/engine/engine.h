@@ -3,8 +3,11 @@
 
 #include <functional>
 #include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "engine/degradation.h"
@@ -13,6 +16,7 @@
 #include "engine/metrics.h"
 #include "engine/options.h"
 #include "engine/run.h"
+#include "engine/run_arena.h"
 #include "event/reorder.h"
 #include "event/stream.h"
 #include "nfa/nfa.h"
@@ -29,7 +33,14 @@ namespace cep {
 /// threshold θ — asks the installed Shedder to discard partial matches
 /// (state-based load shedding) and/or input events (input-based baselines).
 ///
-/// Not thread-safe; one engine per thread.
+/// Per-event processing is split into a side-effect-free *evaluation* phase
+/// (predicate verdicts per run, shardable across a worker pool — see
+/// ParallelOptions and docs/PARALLELISM.md) and a serial *merge* phase that
+/// applies births, matches, and shedder bookkeeping in run order. Results
+/// are therefore bit-identical for any thread/shard configuration.
+///
+/// One engine is driven by one thread at a time; the worker pool is an
+/// internal implementation detail of ProcessEvent.
 class Engine {
  public:
   using MatchCallback = std::function<void(const Match&)>;
@@ -52,9 +63,16 @@ class Engine {
   /// propagate. With the budget disabled this is exactly ProcessEvent.
   Status OfferEvent(const EventPtr& event);
 
+  /// Feeds a batch through OfferEvent in order. Semantically identical to
+  /// the event-at-a-time loop; exists to amortize per-event dispatch on the
+  /// ingestion path (one virtual stream pull and one branch-predicted loop
+  /// per batch instead of per event).
+  Status ProcessBatch(std::span<const EventPtr> events);
+
   /// Drains `stream` through OfferEvent (poison-tolerant when the error
   /// budget is enabled; identical to repeated ProcessEvent otherwise).
-  Status ProcessStream(EventStream* stream);
+  /// `batch_size` > 1 pulls events in batches of that size (ProcessBatch).
+  Status ProcessStream(EventStream* stream, size_t batch_size = 1);
 
   /// End-of-stream: confirms and emits runs parked at deferred final states
   /// (trailing negation, whose windows have not closed yet). Other runs are
@@ -79,7 +97,7 @@ class Engine {
   Shedder* shedder() { return shedder_.get(); }
 
   /// Active partial matches R(t). Null slots never escape ProcessEvent.
-  const std::vector<std::unique_ptr<Run>>& runs() const { return runs_; }
+  const std::vector<RunPtr>& runs() const { return runs_; }
   size_t num_runs() const { return runs_.size(); }
 
   /// Current latency estimate µ(t) in microseconds.
@@ -106,6 +124,18 @@ class Engine {
   /// Current quarantined-failure streak (error budget).
   size_t consecutive_errors() const { return consecutive_errors_; }
 
+  /// Shares an external worker pool for the evaluation phase (MultiEngine
+  /// hands all its engines one pool). Replaces any pool the engine owns;
+  /// nullptr reverts to serial evaluation. The pool must outlive the
+  /// engine's last ProcessEvent.
+  void SetThreadPool(ThreadPool* pool);
+
+  /// Pool used for sharded evaluation (null = serial).
+  ThreadPool* thread_pool() const { return pool_; }
+
+  /// The run arena backing R(t) (allocation pooling stats).
+  const RunArena& arena() const { return arena_; }
+
   /// Mirrors `buffer`'s late-drop / occupancy counters into metrics() on
   /// every processed event (and on SyncReorderMetrics). The buffer must
   /// outlive the engine or be detached with nullptr.
@@ -119,9 +149,47 @@ class Engine {
   void SyncReorderMetrics();
 
  private:
+  /// Per-run verdict computed by the evaluation phase. Fired edge indices
+  /// live in the owning shard's scratch, appended in run order, so the
+  /// merge phase consumes them with a cursor — no per-run allocation.
+  struct RunDecision {
+    uint32_t ops = 0;      ///< edge evaluations performed for this run
+    uint16_t fired = 0;    ///< passing-edge entries appended to shard scratch
+    uint8_t flags = 0;     ///< kDecision* bits
+  };
+
+  static constexpr uint8_t kDecisionExpired = 1;
+  static constexpr uint8_t kDecisionKilled = 2;
+  static constexpr uint8_t kDecisionError = 4;
+
+  /// Per-shard evaluation scratch. Padded so adjacent shards' bookkeeping
+  /// does not false-share while workers append concurrently.
+  struct alignas(64) ShardScratch {
+    std::vector<uint16_t> fired;  ///< passing edge indices, run order
+    std::vector<std::pair<size_t, Status>> errors;  ///< (run index, status)
+  };
+
   /// Evaluates edge predicates with `event` virtually bound to
   /// `edge.var_index` of `run`. Exit predicates (if any) are checked first.
   Result<bool> EvalEdge(const Run& run, const Edge& edge, const Event& event);
+
+  /// Evaluation phase over runs_[begin, end): writes decisions_ and
+  /// `scratch`. Reads engine state but mutates nothing else — safe to run
+  /// on worker threads alongside other shards.
+  void EvalRunRange(const Event& event, Timestamp now, size_t begin,
+                    size_t end, ShardScratch* scratch);
+
+  /// Merge phase: applies the decisions in run order (expiry, kills,
+  /// extensions, emissions, shedder hooks), exactly reproducing serial
+  /// evaluation. `num_shards` must match the evaluation phase split.
+  Status ApplyDecisions(const EventPtr& event, Timestamp now,
+                        size_t num_shards, bool track_bytes,
+                        size_t* live_bytes, bool* any_dead);
+
+  /// Shard bounds: runs_[ShardBegin(s), ShardBegin(s+1)) for shard s.
+  size_t ShardBegin(size_t shard, size_t num_shards, size_t n) const {
+    return n * shard / num_shards;
+  }
 
   /// Emits a match from `run` if the state's final predicates hold.
   /// Returns true if a match was emitted.
@@ -129,6 +197,9 @@ class Engine {
 
   Result<EventPtr> BuildComplexEvent(const Run& run);
 
+  RunArena* arena_ptr() {
+    return options_.parallel.arena_block_runs > 0 ? &arena_ : nullptr;
+  }
   void TriggerShed(Timestamp now, double latency);
   void CompactRuns();
 
@@ -144,11 +215,21 @@ class Engine {
   Rng resilience_rng_;
   const ReorderBuffer* reorder_buffer_ = nullptr;
 
-  std::vector<std::unique_ptr<Run>> runs_;
-  std::vector<std::unique_ptr<Run>> new_runs_;  // births of the current event
+  // Arena must outlive the run vectors drawing from it (destruction is in
+  // reverse declaration order).
+  RunArena arena_;
+  std::vector<RunPtr> runs_;
+  std::vector<RunPtr> new_runs_;  // births of the current event
   std::vector<Match> matches_;
   MatchCallback match_callback_;
   EngineMetrics metrics_;
+
+  // Worker pool for the evaluation phase: owned when options.parallel
+  // requests threads, or shared via SetThreadPool.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
+  std::vector<RunDecision> decisions_;
+  std::vector<ShardScratch> shard_scratch_;
 
   // Per-state bitmask over (event type id % 64): quick "any edge may react
   // to this event type" filter on the per-run hot loop.

@@ -38,6 +38,12 @@ std::string EngineMetrics::ToString() const {
         static_cast<unsigned long long>(reorder_late_dropped),
         static_cast<unsigned long long>(reorder_buffered_peak));
   }
+  if (parallel_events > 0 || arena_bytes_reserved > 0) {
+    out += StrFormat(
+        " parallel{events=%llu arena_bytes=%llu}",
+        static_cast<unsigned long long>(parallel_events),
+        static_cast<unsigned long long>(arena_bytes_reserved));
+  }
   return out;
 }
 

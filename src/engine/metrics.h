@@ -37,6 +37,15 @@ struct EngineMetrics {
   uint64_t reorder_late_dropped = 0;  ///< events behind the watermark
   uint64_t reorder_buffered_peak = 0;  ///< max events held for reordering
 
+  // --- parallel evaluation / run arena (options.h ParallelOptions) ---------
+  /// Events whose evaluation phase ran sharded on the worker pool. Purely
+  /// informational: results are identical to serial evaluation.
+  uint64_t parallel_events = 0;
+  /// Peak bytes reserved by the run arena's slot blocks (0 with pooling
+  /// disabled); compare against peak_run_bytes to validate the degradation
+  /// ladder's byte estimate.
+  uint64_t arena_bytes_reserved = 0;
+
   std::string ToString() const;
 };
 

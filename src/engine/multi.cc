@@ -7,29 +7,67 @@ size_t MultiEngine::AddQuery(NfaPtr nfa, EngineOptions options,
   if (name.empty()) name = nfa->query().name;
   engines_.push_back(
       std::make_unique<Engine>(std::move(nfa), options, std::move(shedder)));
+  if (pool_ != nullptr) engines_.back()->SetThreadPool(pool_.get());
   names_.push_back(std::move(name));
   return engines_.size() - 1;
 }
 
-Status MultiEngine::ProcessEvent(const EventPtr& event) {
-  for (auto& engine : engines_) {
-    CEP_RETURN_NOT_OK(engine->ProcessEvent(event));
+void MultiEngine::EnableParallel(size_t threads) {
+  pool_ = threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+  for (auto& engine : engines_) engine->SetThreadPool(pool_.get());
+}
+
+template <typename Fn>
+Status MultiEngine::ForEachEngine(Fn&& fn) {
+  if (pool_ == nullptr || engines_.size() < 2) {
+    for (size_t i = 0; i < engines_.size(); ++i) {
+      CEP_RETURN_NOT_OK(fn(i));
+    }
+    return Status::OK();
+  }
+  statuses_.assign(engines_.size(), Status::OK());
+  pool_->ParallelFor(engines_.size(),
+                     [&](size_t i) { statuses_[i] = fn(i); });
+  for (Status& status : statuses_) {
+    if (!status.ok()) return std::move(status);
   }
   return Status::OK();
+}
+
+Status MultiEngine::ProcessEvent(const EventPtr& event) {
+  return ForEachEngine(
+      [&](size_t i) { return engines_[i]->ProcessEvent(event); });
 }
 
 Status MultiEngine::OfferEvent(const EventPtr& event) {
-  for (auto& engine : engines_) {
-    CEP_RETURN_NOT_OK(engine->OfferEvent(event));
-  }
-  return Status::OK();
+  return ForEachEngine(
+      [&](size_t i) { return engines_[i]->OfferEvent(event); });
 }
 
-Status MultiEngine::ProcessStream(EventStream* stream) {
-  while (EventPtr event = stream->Next()) {
-    CEP_RETURN_NOT_OK(OfferEvent(event));
+Status MultiEngine::ProcessBatch(std::span<const EventPtr> events) {
+  return ForEachEngine(
+      [&](size_t i) { return engines_[i]->ProcessBatch(events); });
+}
+
+Status MultiEngine::ProcessStream(EventStream* stream, size_t batch_size) {
+  if (batch_size <= 1) {
+    while (EventPtr event = stream->Next()) {
+      CEP_RETURN_NOT_OK(OfferEvent(event));
+    }
+    return Status::OK();
   }
-  return Status::OK();
+  std::vector<EventPtr> batch;
+  batch.reserve(batch_size);
+  for (;;) {
+    batch.clear();
+    while (batch.size() < batch_size) {
+      EventPtr event = stream->Next();
+      if (event == nullptr) break;
+      batch.push_back(std::move(event));
+    }
+    if (batch.empty()) return Status::OK();
+    CEP_RETURN_NOT_OK(ProcessBatch(batch));
+  }
 }
 
 EngineMetrics MultiEngine::AggregateMetrics() const {
@@ -56,6 +94,8 @@ EngineMetrics MultiEngine::AggregateMetrics() const {
     total.peak_run_bytes += m.peak_run_bytes;
     total.reorder_late_dropped += m.reorder_late_dropped;
     total.reorder_buffered_peak += m.reorder_buffered_peak;
+    total.parallel_events += m.parallel_events;
+    total.arena_bytes_reserved += m.arena_bytes_reserved;
   }
   return total;
 }

@@ -2,9 +2,11 @@
 #define CEPSHED_ENGINE_MULTI_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "engine/engine.h"
 
 namespace cep {
@@ -16,6 +18,16 @@ namespace cep {
 /// MultiEngine fans events out, aggregates metrics, and exposes per-query
 /// results. Pattern sharing across queries (paper §VI / [16]) is future
 /// work; this is the operational composition layer.
+///
+/// EnableParallel(threads) runs independent engines concurrently on one
+/// shared worker pool with a barrier per event (or per batch): engines
+/// share no mutable state, and each engine's own processing stays serial
+/// and deterministic, so per-engine matches and metrics are identical to
+/// serial fan-out. Match callbacks then fire concurrently across engines
+/// (never concurrently within one engine) and must be thread-safe if they
+/// touch shared state. On an error, serial fan-out stops at the first
+/// failing engine while parallel fan-out completes the event on all
+/// engines before reporting the lowest-indexed failure.
 class MultiEngine {
  public:
   MultiEngine() = default;
@@ -31,7 +43,19 @@ class MultiEngine {
   const Engine& engine(size_t index) const { return *engines_[index]; }
   const std::string& query_name(size_t index) const { return names_[index]; }
 
-  /// Feeds `event` to every engine. Stops at the first error.
+  /// Creates the shared worker pool (total width `threads`; 0 or 1 reverts
+  /// to serial fan-out). All current and future engines share the pool:
+  /// per-event they run concurrently, and an engine whose run set is large
+  /// enough also shards its own evaluation phase on the same pool when it
+  /// is the only engine active (nested use runs inline, so the pool is
+  /// never oversubscribed).
+  void EnableParallel(size_t threads);
+
+  /// Shared pool (null when serial).
+  ThreadPool* thread_pool() const { return pool_.get(); }
+
+  /// Feeds `event` to every engine. Stops at the first error (serial) or
+  /// reports the first engine's error after the barrier (parallel).
   Status ProcessEvent(const EventPtr& event);
 
   /// Feeds `event` through every engine's error budget (Engine::OfferEvent):
@@ -40,8 +64,14 @@ class MultiEngine {
   /// others. Stops only on a fatal (budget-exhausted or fail-fast) error.
   Status OfferEvent(const EventPtr& event);
 
-  /// Drains a stream through every engine via OfferEvent.
-  Status ProcessStream(EventStream* stream);
+  /// Feeds a batch through every engine with one barrier per batch instead
+  /// of per event (engines are independent, so batch-at-a-time and
+  /// event-at-a-time fan-out produce identical per-engine results).
+  Status ProcessBatch(std::span<const EventPtr> events);
+
+  /// Drains a stream through every engine via OfferEvent; `batch_size` > 1
+  /// pulls events in batches (ProcessBatch).
+  Status ProcessStream(EventStream* stream, size_t batch_size = 1);
 
   /// Sum of all engines' counters.
   EngineMetrics AggregateMetrics() const;
@@ -50,8 +80,15 @@ class MultiEngine {
   size_t TotalRuns() const;
 
  private:
+  /// Runs `fn(engine_index)` over all engines — on the pool when parallel
+  /// fan-out is enabled — and returns the lowest-indexed error.
+  template <typename Fn>
+  Status ForEachEngine(Fn&& fn);
+
   std::vector<std::unique_ptr<Engine>> engines_;
   std::vector<std::string> names_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<Status> statuses_;  // per-engine results of the current round
 };
 
 }  // namespace cep

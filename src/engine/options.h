@@ -107,6 +107,32 @@ struct ErrorBudgetOptions {
   size_t max_consecutive_errors = 16;
 };
 
+/// \brief Parallel evaluation and run-allocation configuration.
+///
+/// The engine's evaluation phase (predicate checks over R(t)) can run on a
+/// worker pool, sharded over the run set; the merge phase that applies
+/// births, matches, and shedder bookkeeping stays serial and in run order,
+/// so results are bit-identical for every (threads, shards) setting. See
+/// docs/PARALLELISM.md for the determinism contract and tuning notes.
+struct ParallelOptions {
+  /// Total evaluation lanes for intra-engine run sharding (0 or 1 =
+  /// serial). The engine owns a pool of this width unless one is shared in
+  /// via Engine::SetThreadPool.
+  size_t threads = 0;
+
+  /// Run-set shards per event (0 = one shard per pool lane). Affects only
+  /// load balance, never results.
+  size_t shards = 0;
+
+  /// Below this |R(t)| the engine evaluates serially even with a pool
+  /// attached: pool dispatch costs more than it saves on small run sets.
+  size_t min_parallel_runs = 256;
+
+  /// Run-arena block size in runs (engine/run_arena.h); 0 disables pooling
+  /// and allocates runs from the global heap.
+  size_t arena_block_runs = 512;
+};
+
 /// \brief Engine configuration.
 struct EngineOptions {
   SelectionStrategy selection = SelectionStrategy::kSkipTillAnyMatch;
@@ -145,6 +171,9 @@ struct EngineOptions {
 
   /// Poison tolerance for OfferEvent / ProcessStream.
   ErrorBudgetOptions error_budget;
+
+  /// Worker-pool evaluation and run-arena settings.
+  ParallelOptions parallel;
 };
 
 }  // namespace cep

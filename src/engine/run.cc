@@ -1,8 +1,18 @@
 #include "engine/run.h"
 
 #include "common/string_util.h"
+#include "engine/run_arena.h"
 
 namespace cep {
+
+void RunDeleter::operator()(Run* run) const noexcept {
+  if (run == nullptr) return;
+  if (arena != nullptr) {
+    arena->Release(run);
+  } else {
+    delete run;
+  }
+}
 
 void Run::Bind(int var_index, EventPtr event, int state) {
   last_ts_ = event->timestamp();
@@ -19,11 +29,14 @@ void Run::Bind(int var_index, EventPtr event, int state) {
   ++size_;
 }
 
-std::unique_ptr<Run> Run::Extend(uint64_t child_id, int var_index,
-                                 const EventPtr& event, int state) const {
-  auto child = std::make_unique<Run>(child_id,
-                                     static_cast<int>(bindings_.size()),
-                                     state_, start_ts_);
+RunPtr Run::Extend(uint64_t child_id, int var_index, const EventPtr& event,
+                   int state, RunArena* arena) const {
+  RunPtr child =
+      arena != nullptr
+          ? arena->New(child_id, static_cast<int>(bindings_.size()), state_,
+                       start_ts_)
+          : MakeRun(child_id, static_cast<int>(bindings_.size()), state_,
+                    start_ts_);
   child->bindings_ = bindings_;
   child->trail_ = trail_;
   child->size_ = size_;

@@ -13,6 +13,25 @@
 
 namespace cep {
 
+class Run;
+class RunArena;
+
+/// Deleter for pooled runs: returns the slot to its arena, or falls back to
+/// the global heap for runs allocated outside any arena (MakeRun).
+struct RunDeleter {
+  RunArena* arena = nullptr;
+  void operator()(Run* run) const noexcept;
+};
+
+/// Owning handle to a Run, pooled (engine/run_arena.h) or heap-allocated.
+using RunPtr = std::unique_ptr<Run, RunDeleter>;
+
+/// Shared empty binding returned for unbound variables. Namespace-level so
+/// the hot path pays no function-local-static guard, and there is no
+/// mutable-adjacent hidden state once run evaluation moves onto worker
+/// threads.
+inline const std::vector<EventPtr> kEmptyBinding{};
+
 /// \brief A partial match: one element of the engine's state set R(t).
 ///
 /// A run records the NFA state it occupies and, per pattern variable, the
@@ -50,8 +69,8 @@ class Run {
   int size() const { return size_; }
 
   const std::vector<EventPtr>& binding(int var_index) const {
-    static const std::vector<EventPtr> kEmpty;
-    return bindings_[var_index] == nullptr ? kEmpty : *bindings_[var_index];
+    return bindings_[var_index] == nullptr ? kEmptyBinding
+                                           : *bindings_[var_index];
   }
 
   /// Materialises all bindings (match construction; O(bound events)).
@@ -61,8 +80,9 @@ class Run {
   void Bind(int var_index, EventPtr event, int state);
 
   /// Copy of this run extended with `event` bound to `var_index` at `state`.
-  std::unique_ptr<Run> Extend(uint64_t child_id, int var_index,
-                              const EventPtr& event, int state) const;
+  /// The child is drawn from `arena` when one is given, else from the heap.
+  RunPtr Extend(uint64_t child_id, int var_index, const EventPtr& event,
+                int state, RunArena* arena = nullptr) const;
 
   /// SBLS model trail (see class comment).
   const std::vector<uint64_t>& trail() const { return trail_; }
@@ -106,6 +126,12 @@ class Run {
   std::vector<uint64_t> trail_;
   uint64_t pm_hash_ = 0;
 };
+
+/// Heap-allocates a Run outside any arena (tests, tools, standalone use).
+template <typename... Args>
+RunPtr MakeRun(Args&&... args) {
+  return RunPtr(new Run(std::forward<Args>(args)...), RunDeleter{nullptr});
+}
 
 /// \brief BindingView over a run, optionally with a candidate event
 /// virtually bound to `current_var` (take-edge evaluation).

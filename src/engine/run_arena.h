@@ -1,0 +1,117 @@
+#ifndef CEPSHED_ENGINE_RUN_ARENA_H_
+#define CEPSHED_ENGINE_RUN_ARENA_H_
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "engine/run.h"
+
+namespace cep {
+
+/// \brief Free-list pool allocator for Run objects.
+///
+/// Run creation, shedding, and window expiry are the engine's dominant
+/// allocator load: under skip-till-any-match every transition heap-allocates
+/// a fresh run and every shed episode frees a fifth of R(t). The arena
+/// carves fixed-size slots out of block allocations and recycles released
+/// slots through an intrusive free list, so the steady-state churn costs a
+/// pointer pop/push instead of a malloc/free round trip, and the memory the
+/// run set occupies stays resident and traversal-friendly.
+///
+/// Not thread-safe by design: each Engine owns one arena, and all run
+/// births/deaths happen on the engine's serial merge path (see
+/// docs/PARALLELISM.md), so no lock is needed even when the evaluation
+/// phase runs on the worker pool.
+///
+/// `bytes_reserved()` feeds EngineMetrics::arena_bytes_reserved so the
+/// degradation ladder's byte accounting can be checked against the real
+/// footprint.
+class RunArena {
+ public:
+  /// Slots are allocated `runs_per_block` at a time; 0 disables pooling
+  /// (New() falls back to the global heap, Release() to delete).
+  explicit RunArena(size_t runs_per_block = 512)
+      : runs_per_block_(runs_per_block) {}
+
+  ~RunArena() {
+    // All runs must have been released; the engine destroys its run vectors
+    // before the arena (member order) so this holds by construction.
+    assert(live_ == 0 && "RunArena destroyed with live runs");
+  }
+
+  RunArena(const RunArena&) = delete;
+  RunArena& operator=(const RunArena&) = delete;
+
+  /// Constructs a Run in a pooled slot (or on the heap when pooling is
+  /// disabled). The returned RunPtr releases the slot back to this arena.
+  template <typename... Args>
+  RunPtr New(Args&&... args) {
+    if (runs_per_block_ == 0) {
+      return RunPtr(new Run(std::forward<Args>(args)...), RunDeleter{nullptr});
+    }
+    Slot* slot = AcquireSlot();
+    Run* run = new (slot->storage) Run(std::forward<Args>(args)...);
+    ++live_;
+    return RunPtr(run, RunDeleter{this});
+  }
+
+  /// Destroys `run` and recycles its slot (called via RunDeleter).
+  void Release(Run* run) noexcept {
+    run->~Run();
+    Slot* slot = reinterpret_cast<Slot*>(run);
+    slot->next = free_;
+    free_ = slot;
+    --live_;
+  }
+
+  /// Runs currently alive in this arena.
+  size_t live() const { return live_; }
+
+  /// Total slots reserved across all blocks.
+  size_t capacity() const { return blocks_.size() * runs_per_block_; }
+
+  /// Bytes reserved by the arena's blocks (0 when pooling is disabled).
+  size_t bytes_reserved() const { return capacity() * sizeof(Slot); }
+
+  /// Returns all blocks to the heap. May only be called with no live runs;
+  /// the next New() starts growing fresh blocks.
+  void Reset() {
+    assert(live_ == 0 && "RunArena::Reset with live runs");
+    blocks_.clear();
+    free_ = nullptr;
+  }
+
+ private:
+  union Slot {
+    Slot* next;
+    alignas(Run) unsigned char storage[sizeof(Run)];
+  };
+
+  Slot* AcquireSlot() {
+    if (free_ == nullptr) {
+      blocks_.push_back(std::make_unique<Slot[]>(runs_per_block_));
+      Slot* block = blocks_.back().get();
+      // Thread the fresh block onto the free list back to front so slots
+      // are first handed out in address order.
+      for (size_t i = runs_per_block_; i > 0; --i) {
+        block[i - 1].next = free_;
+        free_ = &block[i - 1];
+      }
+    }
+    Slot* slot = free_;
+    free_ = slot->next;
+    return slot;
+  }
+
+  size_t runs_per_block_;
+  std::vector<std::unique_ptr<Slot[]>> blocks_;
+  Slot* free_ = nullptr;
+  size_t live_ = 0;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_ENGINE_RUN_ARENA_H_

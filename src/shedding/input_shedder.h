@@ -39,7 +39,7 @@ class InputShedder final : public Shedder {
 
   bool ShouldDropEvent(const Event& event, bool overloaded) override;
 
-  void SelectVictims(const std::vector<std::unique_ptr<Run>>& runs,
+  void SelectVictims(const std::vector<RunPtr>& runs,
                      Timestamp now, size_t target,
                      std::vector<size_t>* victims) override {
     (void)runs;

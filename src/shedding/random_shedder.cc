@@ -4,7 +4,7 @@
 
 namespace cep {
 
-void RandomShedder::SelectVictims(const std::vector<std::unique_ptr<Run>>& runs,
+void RandomShedder::SelectVictims(const std::vector<RunPtr>& runs,
                                   Timestamp now, size_t target,
                                   std::vector<size_t>* victims) {
   (void)now;
@@ -23,7 +23,7 @@ void RandomShedder::SelectVictims(const std::vector<std::unique_ptr<Run>>& runs,
   }
 }
 
-void TtlShedder::SelectVictims(const std::vector<std::unique_ptr<Run>>& runs,
+void TtlShedder::SelectVictims(const std::vector<RunPtr>& runs,
                                Timestamp now, size_t target,
                                std::vector<size_t>* victims) {
   (void)now;

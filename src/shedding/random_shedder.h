@@ -16,7 +16,7 @@ class RandomShedder final : public Shedder {
 
   std::string name() const override { return "RBLS"; }
 
-  void SelectVictims(const std::vector<std::unique_ptr<Run>>& runs,
+  void SelectVictims(const std::vector<RunPtr>& runs,
                      Timestamp now, size_t target,
                      std::vector<size_t>* victims) override;
 
@@ -34,7 +34,7 @@ class TtlShedder final : public Shedder {
 
   std::string name() const override { return "TTL"; }
 
-  void SelectVictims(const std::vector<std::unique_ptr<Run>>& runs,
+  void SelectVictims(const std::vector<RunPtr>& runs,
                      Timestamp now, size_t target,
                      std::vector<size_t>* victims) override;
 };

@@ -20,6 +20,11 @@ namespace cep {
 ///    contribution and resource-consumption statistics online. Hooks must be
 ///    O(1): the paper requires shedding decisions in constant time, and the
 ///    hooks are on the hot path even when the system is not overloaded.
+///    Merge-safety contract: the engine invokes every hook (and
+///    SelectVictims) only from its serial merge phase, in deterministic run
+///    order, regardless of how many worker threads evaluate predicates
+///    (docs/PARALLELISM.md) — implementations therefore need no locking and
+///    may use seeded RNGs without losing reproducibility.
 ///  * *Shedding decisions* — when overload is detected (µ(t) > θ), the
 ///    engine asks for `target` victims among the active runs; for
 ///    input-based baselines, ShouldDropEvent() can discard events before
@@ -80,9 +85,8 @@ class Shedder {
   /// `target` victims to `victims`. Entries may be null (already dead this
   /// round) and must be skipped. Called only when the engine detected
   /// overload; `now` is the current stream time.
-  virtual void SelectVictims(const std::vector<std::unique_ptr<Run>>& runs,
-                             Timestamp now, size_t target,
-                             std::vector<size_t>* victims) = 0;
+  virtual void SelectVictims(const std::vector<RunPtr>& runs, Timestamp now,
+                             size_t target, std::vector<size_t>* victims) = 0;
 };
 
 using ShedderPtr = std::unique_ptr<Shedder>;

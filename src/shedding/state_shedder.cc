@@ -89,7 +89,7 @@ double StateShedder::Score(const Run& run, Timestamp now) const {
   return ScorePartialMatch(options_.scoring, c_plus, c_minus, ttl);
 }
 
-void StateShedder::SelectVictims(const std::vector<std::unique_ptr<Run>>& runs,
+void StateShedder::SelectVictims(const std::vector<RunPtr>& runs,
                                  Timestamp now, size_t target,
                                  std::vector<size_t>* victims) {
   struct Candidate {

@@ -65,7 +65,7 @@ class StateShedder final : public Shedder {
                      Timestamp now) override;
   void OnMatchEmitted(const Run& run, Timestamp now) override;
 
-  void SelectVictims(const std::vector<std::unique_ptr<Run>>& runs,
+  void SelectVictims(const std::vector<RunPtr>& runs,
                      Timestamp now, size_t target,
                      std::vector<size_t>* victims) override;
 

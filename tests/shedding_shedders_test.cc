@@ -14,12 +14,11 @@ namespace {
 
 using testing_util::BikeSchema;
 
-std::vector<std::unique_ptr<Run>> MakeRuns(int n, int num_vars = 2) {
-  std::vector<std::unique_ptr<Run>> runs;
+std::vector<RunPtr> MakeRuns(int n, int num_vars = 2) {
+  std::vector<RunPtr> runs;
   for (int i = 0; i < n; ++i) {
-    runs.push_back(
-        std::make_unique<Run>(static_cast<uint64_t>(i + 1), num_vars,
-                              /*state=*/1, /*start_ts=*/i * kMinute));
+    runs.push_back(MakeRun(static_cast<uint64_t>(i + 1), num_vars,
+                           /*state=*/1, /*start_ts=*/i * kMinute));
   }
   return runs;
 }

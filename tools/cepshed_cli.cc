@@ -49,6 +49,7 @@ int Usage() {
       "         [--error-budget <n-consecutive>]\n"
       "         [--fault-drop <p>] [--fault-dup <p>] [--fault-delay <p>]\n"
       "         [--fault-corrupt <p>] [--fault-seed <n>]\n"
+      "         [--threads <n>] [--batch-size <n>]\n"
       "         [--stats]\n"
       "generate --workload cluster|bike|stock --out <events.csv>\n"
       "         [--duration-hours <h>] [--seed <n>] [--scale <f>]\n"
@@ -212,6 +213,10 @@ Status RunCommand(const Args& args) {
   options.shed_amount.fraction = args.GetDouble("fraction", 0.2);
   options.max_runs = static_cast<size_t>(args.GetInt("max-runs", 0));
   options.collect_matches = false;
+  // Parallel evaluation core: shard runs across a worker pool. Results are
+  // bit-identical to --threads 1 for any thread count (see
+  // docs/PARALLELISM.md).
+  options.parallel.threads = static_cast<size_t>(args.GetInt("threads", 0));
   if (resilience) {
     options.degradation.enabled = true;
     options.degradation.run_bytes_budget =
@@ -269,7 +274,9 @@ Status RunCommand(const Args& args) {
     source = std::move(injector);
   }
 
-  CEP_RETURN_NOT_OK(engine.ProcessStream(source.get()));
+  const size_t batch_size =
+      static_cast<size_t>(args.GetInt("batch-size", 1));
+  CEP_RETURN_NOT_OK(engine.ProcessStream(source.get(), batch_size));
   std::printf("%llu matches over %zu events\n",
               static_cast<unsigned long long>(
                   engine.metrics().matches_emitted),

@@ -1,18 +1,30 @@
 #!/bin/sh
-# Sanitized verification pass: builds the ASan+UBSan preset into
-# build-sanitize/ and runs the full test suite under it, so the
-# fault-injection and resilience paths are exercised with memory and UB
-# checking on. Usage: tools/check.sh [extra ctest args...]
+# Sanitized verification pass, two builds:
+#   1. build-sanitize/  — ASan+UBSan, full test suite (memory/UB coverage for
+#      the fault-injection and resilience paths).
+#   2. build-tsan/      — ThreadSanitizer, the Parallel* suites (data-race
+#      coverage for the worker pool, run sharding, and MultiEngine fan-out).
+# Usage: tools/check.sh [extra ctest args for the ASan pass...]
 set -e
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="$ROOT/build-sanitize"
+JOBS="$(nproc 2>/dev/null || echo 4)"
 
+BUILD="$ROOT/build-sanitize"
 cmake -B "$BUILD" -S "$ROOT" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCEPSHED_SANITIZE=ON \
+    -DCEPSHED_SANITIZE=address \
     -DCEPSHED_BUILD_BENCHMARKS=OFF \
     -DCEPSHED_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)"
-cd "$BUILD"
-ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)" "$@"
+cmake --build "$BUILD" -j "$JOBS"
+(cd "$BUILD" && ctest --output-on-failure -j "$JOBS" "$@")
+
+TSAN_BUILD="$ROOT/build-tsan"
+cmake -B "$TSAN_BUILD" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCEPSHED_SANITIZE=thread \
+    -DCEPSHED_BUILD_BENCHMARKS=OFF \
+    -DCEPSHED_BUILD_EXAMPLES=OFF
+cmake --build "$TSAN_BUILD" -j "$JOBS"
+(cd "$TSAN_BUILD" && ctest --output-on-failure -j "$JOBS" -R 'Parallel')
+
 echo "sanitized check ok"
