@@ -292,6 +292,9 @@ Status Engine::ProcessEvent(const EventPtr& event) {
   using Clock = std::chrono::steady_clock;
   const bool wall = options_.latency_mode == LatencyMode::kWallClock;
   const Clock::time_point t0 = wall ? Clock::now() : Clock::time_point();
+  // Trace timebase: this event's span starts where the busy clock stood
+  // before the event was processed.
+  const uint64_t busy_start_us = BusyClockMicros();
 
   const Timestamp now = event->timestamp();
   if (now < last_event_ts_) {
@@ -309,9 +312,17 @@ Status Engine::ProcessEvent(const EventPtr& event) {
     const double theta = options_.latency_threshold_micros;
     const double ratio =
         theta > 0 ? latency_monitor_->CurrentLatencyMicros() / theta : 0.0;
+    const DegradationLevel prev_level = degradation_->level();
     level = degradation_->Update(ratio, approx_run_bytes_, consecutive_errors_);
     metrics_.degradation_ups = degradation_->ups();
     metrics_.degradation_downs = degradation_->downs();
+    if constexpr (obs::kEnabled) {
+      if (tracer_ != nullptr && level != prev_level) {
+        tracer_->Instant(level > prev_level ? "ladder_up" : "ladder_down",
+                         busy_start_us, obs_id_ * 4, "level",
+                         static_cast<uint64_t>(level));
+      }
+    }
     if (level >= DegradationLevel::kEmergency &&
         resilience_rng_.NextBernoulli(
             options_.degradation.emergency_drop_probability)) {
@@ -347,13 +358,19 @@ Status Engine::ProcessEvent(const EventPtr& event) {
   // every shard count, so parallelism never changes results.
   const size_t n = runs_.size();
   size_t num_shards = 1;
-  const bool sharded = pool_ != nullptr && pool_->num_threads() > 1 &&
-                       n >= options_.parallel.min_parallel_runs && n > 0;
+  // Eligibility is pool-independent (the run set alone decides), so the
+  // parallel_events metric — and every observability export derived from it
+  // — is byte-identical across --threads settings.
+  const bool parallel_eligible =
+      n > 0 && n >= options_.parallel.min_parallel_runs;
+  const bool sharded =
+      pool_ != nullptr && pool_->num_threads() > 1 && parallel_eligible;
   if (sharded) {
     num_shards = options_.parallel.shards > 0 ? options_.parallel.shards
                                               : pool_->num_threads();
     num_shards = std::min(num_shards, n);
   }
+  if (parallel_eligible) ++metrics_.parallel_events;
   decisions_.resize(n);
   if (shard_scratch_.size() < num_shards) shard_scratch_.resize(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
@@ -361,7 +378,6 @@ Status Engine::ProcessEvent(const EventPtr& event) {
     shard_scratch_[s].errors.clear();
   }
   if (sharded && num_shards > 1) {
-    ++metrics_.parallel_events;
     pool_->ParallelFor(num_shards, [&](size_t s) {
       EvalRunRange(*event, now, ShardBegin(s, num_shards, n),
                    ShardBegin(s + 1, num_shards, n), &shard_scratch_[s]);
@@ -372,8 +388,10 @@ Status Engine::ProcessEvent(const EventPtr& event) {
 
   // Merge phase: serial, in run order — matches, model updates, and
   // shedder bookkeeping replay exactly as the serial engine produced them.
+  const uint64_t ops_before_merge = ops_this_event_;
   CEP_RETURN_NOT_OK(ApplyDecisions(event, now, num_shards, track_bytes,
                                    &live_bytes, &any_dead));
+  const uint64_t eval_ops = ops_this_event_ - ops_before_merge;
 
   // Spawn new runs from the initial state. kBypass sacrifices new pattern
   // instances to preserve the ones already in flight.
@@ -436,14 +454,41 @@ Status Engine::ProcessEvent(const EventPtr& event) {
       metrics_.arena_bytes_reserved, arena_.bytes_reserved());
 
   double micros = 0.0;
+  double busy_added = 0.0;
   if (wall) {
     micros = std::chrono::duration<double, std::micro>(Clock::now() - t0)
                  .count();
-    metrics_.busy_micros += micros;
+    busy_added = micros;
   } else {
-    metrics_.busy_micros +=
-        static_cast<double>(ops_this_event_) * options_.virtual_ns_per_op /
-        1000.0;
+    busy_added = static_cast<double>(ops_this_event_) *
+                 options_.virtual_ns_per_op / 1000.0;
+  }
+  metrics_.busy_micros += busy_added;
+  if constexpr (obs::kEnabled) {
+    event_busy_us_.Record(busy_added);
+    if (n > 0) {
+      // Serial-merge cost proxy: one run-scan per live run. Deterministic
+      // (unlike wall time) and proportional to the real merge work.
+      merge_us_.Record(static_cast<double>(n) * options_.virtual_ns_per_op /
+                       1000.0);
+    }
+    if (tracer_ != nullptr) {
+      const uint32_t lane = obs_id_ * 4;
+      const uint64_t dur = static_cast<uint64_t>(busy_added);
+      tracer_->Span("event", busy_start_us, dur, lane, "ops", ops_this_event_);
+      if (n > 0) {
+        const uint64_t eval_dur = static_cast<uint64_t>(
+            static_cast<double>(eval_ops) * options_.virtual_ns_per_op /
+            1000.0);
+        tracer_->Span(parallel_eligible ? "eval_parallel" : "eval",
+                      busy_start_us, eval_dur, lane + 1, "runs", n);
+        tracer_->Span("merge", busy_start_us + eval_dur,
+                      static_cast<uint64_t>(
+                          static_cast<double>(n) * options_.virtual_ns_per_op /
+                          1000.0),
+                      lane + 2, "runs", n);
+      }
+    }
   }
   latency_monitor_->Record(now, micros, ops_this_event_);
   ++events_since_shed_;
@@ -488,8 +533,16 @@ Status Engine::OfferEvent(const EventPtr& event) {
 }
 
 Status Engine::ProcessBatch(std::span<const EventPtr> events) {
+  const uint64_t batch_start_us = BusyClockMicros();
   for (const EventPtr& event : events) {
     CEP_RETURN_NOT_OK(OfferEvent(event));
+  }
+  if constexpr (obs::kEnabled) {
+    if (tracer_ != nullptr && !events.empty()) {
+      tracer_->Span("ingest_batch", batch_start_us,
+                    BusyClockMicros() - batch_start_us, obs_id_ * 4, "events",
+                    events.size());
+    }
   }
   return Status::OK();
 }
@@ -527,6 +580,45 @@ void Engine::SyncReorderMetrics() {
       metrics_.reorder_buffered_peak, reorder_buffer_->buffered());
 }
 
+void Engine::ExportMetrics(obs::Registry* registry,
+                           const obs::LabelSet& labels) const {
+  size_t count = 0;
+  const EngineMetricField* fields = EngineMetricFields(&count);
+  for (size_t i = 0; i < count; ++i) {
+    const EngineMetricField& field = fields[i];
+    if (field.u64 != nullptr && field.monotonic) {
+      registry->GetCounter(field.prom_name, field.help, labels)
+          ->Set(metrics_.*field.u64);
+    } else if (field.u64 != nullptr) {
+      registry->GetGauge(field.prom_name, field.help, labels)
+          ->Set(static_cast<double>(metrics_.*field.u64));
+    } else {
+      // Fractional totals (busy_micros) export as gauges: the Counter
+      // instrument is integral.
+      registry->GetGauge(field.prom_name, field.help, labels)
+          ->Set(metrics_.*field.f64);
+    }
+  }
+  registry
+      ->GetHistogram("cep_event_busy_us",
+                     "Per-event busy time (virtual microseconds except under "
+                     "wall-clock latency mode)",
+                     event_busy_us_.spec(), labels)
+      ->CopyFrom(event_busy_us_);
+  registry
+      ->GetHistogram("cep_merge_us",
+                     "Per-event serial merge cost proxy (one scan per live "
+                     "run, virtual microseconds)",
+                     merge_us_.spec(), labels)
+      ->CopyFrom(merge_us_);
+  registry
+      ->GetHistogram("cep_shed_episode_us",
+                     "Shedding-episode cost proxy (one score-and-rank pass "
+                     "over R(t), virtual microseconds)",
+                     shed_episode_us_.spec(), labels)
+      ->CopyFrom(shed_episode_us_);
+}
+
 Status Engine::Flush() {
   bool any_dead = false;
   for (auto& slot : runs_) {
@@ -539,6 +631,45 @@ Status Engine::Flush() {
   }
   if (any_dead) CompactRuns();
   return Status::OK();
+}
+
+size_t Engine::ApplyVictims(const std::vector<size_t>& victims,
+                            Timestamp now) {
+  const size_t live = runs_.size();
+  const double fraction =
+      live > 0 ? static_cast<double>(victims.size()) / live : 0.0;
+  const uint64_t episode = metrics_.shed_triggers;  // 0-based ordinal
+  size_t applied = 0;
+  for (const size_t idx : victims) {
+    if (idx >= runs_.size() || runs_[idx] == nullptr) continue;
+    if constexpr (obs::kEnabled) {
+      if (audit_log_ != nullptr || shed_callback_) {
+        const Run& run = *runs_[idx];
+        obs::ShedDecisionRecord record;
+        record.engine_id = obs_id_;
+        record.episode = episode;
+        record.run_id = run.id();
+        record.nfa_state = run.state();
+        record.shed_ts = now;
+        record.run_start_ts = run.start_ts();
+        ShedVictimScores scores;
+        if (shedder_->DescribeVictim(run, now, &scores)) {
+          record.c_plus = scores.c_plus;
+          record.c_minus = scores.c_minus;
+          record.score = scores.score;
+          record.time_slice = scores.time_slice;
+        }
+        record.shed_fraction = fraction;
+        record.degradation_level = static_cast<uint8_t>(degradation_level());
+        if (shed_callback_) shed_callback_(run, record);
+        if (audit_log_ != nullptr) audit_log_->Append(std::move(record));
+      }
+    }
+    runs_[idx].reset();
+    ++metrics_.runs_shed;
+    ++applied;
+  }
+  return applied;
 }
 
 void Engine::TriggerShed(Timestamp now, double latency) {
@@ -558,14 +689,21 @@ void Engine::TriggerShed(Timestamp now, double latency) {
   std::vector<size_t> victims;
   victims.reserve(target);
   shedder_->SelectVictims(runs_, now, target, &victims);
-  for (const size_t idx : victims) {
-    if (idx < runs_.size() && runs_[idx] != nullptr) {
-      runs_[idx].reset();
-      ++metrics_.runs_shed;
-    }
-  }
+  const size_t scanned = runs_.size();
+  const size_t applied = ApplyVictims(victims, now);
   CompactRuns();
   ++metrics_.shed_triggers;
+  if constexpr (obs::kEnabled) {
+    // Episode cost proxy: one score-and-rank pass over the live run set.
+    const double episode_us =
+        static_cast<double>(scanned) * options_.virtual_ns_per_op / 1000.0;
+    shed_episode_us_.Record(episode_us);
+    if (tracer_ != nullptr) {
+      tracer_->Span("shed_episode", BusyClockMicros(),
+                    static_cast<uint64_t>(episode_us), obs_id_ * 4 + 3,
+                    "victims", applied);
+    }
+  }
   // Past latency samples describe the pre-shed state set; start a fresh
   // measurement interval so µ(t) reflects the reduced load.
   latency_monitor_->Reset();
@@ -577,14 +715,20 @@ void Engine::ForceShed(size_t target) {
   std::vector<size_t> victims;
   victims.reserve(target);
   shedder_->SelectVictims(runs_, last_event_ts_, target, &victims);
-  for (const size_t idx : victims) {
-    if (idx < runs_.size() && runs_[idx] != nullptr) {
-      runs_[idx].reset();
-      ++metrics_.runs_shed;
-    }
-  }
+  const size_t scanned = runs_.size();
+  const size_t applied = ApplyVictims(victims, last_event_ts_);
   CompactRuns();
   ++metrics_.shed_triggers;
+  if constexpr (obs::kEnabled) {
+    const double episode_us =
+        static_cast<double>(scanned) * options_.virtual_ns_per_op / 1000.0;
+    shed_episode_us_.Record(episode_us);
+    if (tracer_ != nullptr) {
+      tracer_->Span("shed_episode", BusyClockMicros(),
+                    static_cast<uint64_t>(episode_us), obs_id_ * 4 + 3,
+                    "victims", applied);
+    }
+  }
 }
 
 void Engine::CompactRuns() {

@@ -20,6 +20,9 @@
 #include "event/reorder.h"
 #include "event/stream.h"
 #include "nfa/nfa.h"
+#include "obs/audit.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shedding/shedder.h"
 
 namespace cep {
@@ -148,6 +151,50 @@ class Engine {
   /// (useful after flushing the buffer at end-of-stream).
   void SyncReorderMetrics();
 
+  // --- observability (src/obs/, docs/OBSERVABILITY.md) ----------------------
+
+  /// Identity of this engine in observability output: audit records carry it
+  /// as engine_id, trace spans use it as their tid. MultiEngine assigns the
+  /// query index; standalone engines default to 0.
+  void SetObsId(uint32_t id) { obs_id_ = id; }
+  uint32_t obs_id() const { return obs_id_; }
+
+  /// Records every shedding decision into `log` (shared across engines
+  /// under MultiEngine). The log must outlive the engine; nullptr detaches.
+  void AttachAuditLog(obs::ShedAuditLog* log) { audit_log_ = log; }
+  obs::ShedAuditLog* audit_log() const { return audit_log_; }
+
+  /// Emits spans for event processing, merges, shedding episodes, and
+  /// ladder transitions into `tracer`. Timestamps are the engine's
+  /// cumulative busy clock (virtual microseconds under kVirtualCost /
+  /// kQueueSimulation — deterministic across thread counts). nullptr
+  /// detaches.
+  void AttachTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
+  /// Invoked once per shed victim, before the run is destroyed, with the
+  /// audit record describing the decision (called even when no audit log is
+  /// attached). Lets harnesses capture victim bindings for post-hoc recall
+  /// attribution against an oracle run.
+  using ShedCallback =
+      std::function<void(const Run&, const obs::ShedDecisionRecord&)>;
+  void SetShedCallback(ShedCallback callback) {
+    shed_callback_ = std::move(callback);
+  }
+
+  /// Latency histograms (virtual microseconds except under kWallClock).
+  const obs::Histogram& event_busy_histogram() const { return event_busy_us_; }
+  const obs::Histogram& merge_histogram() const { return merge_us_; }
+  const obs::Histogram& shed_episode_histogram() const {
+    return shed_episode_us_;
+  }
+
+  /// Mirrors every EngineMetrics field plus the latency histograms into
+  /// `registry` under `labels` (e.g. {{"query", name}} from MultiEngine).
+  /// Call again to refresh; counters are snapshot-assigned.
+  void ExportMetrics(obs::Registry* registry,
+                     const obs::LabelSet& labels = {}) const;
+
  private:
   /// Per-run verdict computed by the evaluation phase. Fired edge indices
   /// live in the owning shard's scratch, appended in run order, so the
@@ -203,6 +250,17 @@ class Engine {
   void TriggerShed(Timestamp now, double latency);
   void CompactRuns();
 
+  /// Shared victim-application loop of TriggerShed/ForceShed: audits each
+  /// victim (DescribeVictim scores + audit log + shed callback), resets the
+  /// slots, and bumps runs_shed. Returns the number of victims applied
+  /// (stale / duplicate indices are skipped).
+  size_t ApplyVictims(const std::vector<size_t>& victims, Timestamp now);
+
+  /// Cumulative busy clock in whole microseconds — the trace timebase.
+  uint64_t BusyClockMicros() const {
+    return static_cast<uint64_t>(metrics_.busy_micros);
+  }
+
   /// Restores run-set consistency after a failed ProcessEvent (drops the
   /// failing event's half-born runs, compacts null slots).
   void RecoverFromError();
@@ -244,6 +302,15 @@ class Engine {
   uint64_t ops_this_event_ = 0;
   size_t approx_run_bytes_ = 0;
   size_t consecutive_errors_ = 0;
+
+  // --- observability ---------------------------------------------------------
+  uint32_t obs_id_ = 0;
+  obs::ShedAuditLog* audit_log_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  ShedCallback shed_callback_;
+  obs::Histogram event_busy_us_;
+  obs::Histogram merge_us_;
+  obs::Histogram shed_episode_us_;
 };
 
 }  // namespace cep

@@ -4,47 +4,102 @@
 
 namespace cep {
 
+namespace {
+
+#define CEP_METRIC_U64(field, prom, monotonic, help) \
+  {#field, prom, help, monotonic, &EngineMetrics::field, nullptr}
+#define CEP_METRIC_F64(field, prom, monotonic, help) \
+  {#field, prom, help, monotonic, nullptr, &EngineMetrics::field}
+
+/// One entry per EngineMetrics field, in declaration order. The reflection
+/// test (metrics_reflection_test.cc) fails when sizeof(EngineMetrics)
+/// disagrees with this table, so a new field cannot silently skip
+/// serialization, aggregation, or registry export.
+constexpr EngineMetricField kEngineMetricFields[] = {
+    CEP_METRIC_U64(events_processed, "cep_events_processed_total", true,
+                   "Events fully processed by the engine"),
+    CEP_METRIC_U64(events_dropped, "cep_events_dropped_total", true,
+                   "Events discarded before processing (input shedding)"),
+    CEP_METRIC_U64(runs_created, "cep_runs_created_total", true,
+                   "Runs started at the initial NFA state"),
+    CEP_METRIC_U64(runs_extended, "cep_runs_extended_total", true,
+                   "Transitions that produced or advanced a run"),
+    CEP_METRIC_U64(runs_expired, "cep_runs_expired_total", true,
+                   "Runs removed by window expiry"),
+    CEP_METRIC_U64(runs_killed, "cep_runs_killed_total", true,
+                   "Runs removed by negation or strict contiguity"),
+    CEP_METRIC_U64(runs_shed, "cep_runs_shed_total", true,
+                   "Partial matches removed by load shedding"),
+    CEP_METRIC_U64(shed_triggers, "cep_shed_triggers_total", true,
+                   "Overload episodes that invoked the shedder"),
+    CEP_METRIC_U64(matches_emitted, "cep_matches_emitted_total", true,
+                   "Complete matches emitted"),
+    CEP_METRIC_U64(edge_evaluations, "cep_edge_evaluations_total", true,
+                   "Candidate event x run edge predicate evaluations"),
+    CEP_METRIC_U64(peak_runs, "cep_peak_runs", false,
+                   "Maximum |R(t)| observed"),
+    CEP_METRIC_F64(busy_micros, "cep_busy_micros", true,
+                   "Total processing time, wall or virtual microseconds"),
+    CEP_METRIC_U64(quarantined_events, "cep_quarantined_events_total", true,
+                   "Poisoned events skipped by the error budget"),
+    CEP_METRIC_U64(degradation_ups, "cep_degradation_ups_total", true,
+                   "Degradation ladder escalation steps"),
+    CEP_METRIC_U64(degradation_downs, "cep_degradation_downs_total", true,
+                   "Degradation ladder recovery steps"),
+    CEP_METRIC_U64(bypassed_spawns, "cep_bypassed_spawns_total", true,
+                   "Events whose run births kBypass suppressed"),
+    CEP_METRIC_U64(emergency_input_drops, "cep_emergency_input_drops_total",
+                   true, "Events dropped at kEmergency or above"),
+    CEP_METRIC_U64(peak_run_bytes, "cep_peak_run_bytes", false,
+                   "Maximum run-set byte estimate observed"),
+    CEP_METRIC_U64(reorder_late_dropped, "cep_reorder_late_dropped_total",
+                   true, "Events behind the reorder-buffer watermark"),
+    CEP_METRIC_U64(reorder_buffered_peak, "cep_reorder_buffered_peak", false,
+                   "Maximum events held for reordering"),
+    CEP_METRIC_U64(parallel_events, "cep_parallel_events_total", true,
+                   "Events whose run set met the sharding threshold"),
+    CEP_METRIC_U64(arena_bytes_reserved, "cep_arena_bytes_reserved", false,
+                   "Peak bytes reserved by the run arena"),
+};
+
+#undef CEP_METRIC_U64
+#undef CEP_METRIC_F64
+
+}  // namespace
+
+const EngineMetricField* EngineMetricFields(size_t* count) {
+  *count = sizeof(kEngineMetricFields) / sizeof(kEngineMetricFields[0]);
+  return kEngineMetricFields;
+}
+
 std::string EngineMetrics::ToString() const {
-  std::string out = StrFormat(
-      "events=%llu dropped=%llu runs{created=%llu extended=%llu expired=%llu "
-      "killed=%llu shed=%llu peak=%llu} matches=%llu sheds=%llu evals=%llu "
-      "busy_us=%.1f",
-      static_cast<unsigned long long>(events_processed),
-      static_cast<unsigned long long>(events_dropped),
-      static_cast<unsigned long long>(runs_created),
-      static_cast<unsigned long long>(runs_extended),
-      static_cast<unsigned long long>(runs_expired),
-      static_cast<unsigned long long>(runs_killed),
-      static_cast<unsigned long long>(runs_shed),
-      static_cast<unsigned long long>(peak_runs),
-      static_cast<unsigned long long>(matches_emitted),
-      static_cast<unsigned long long>(shed_triggers),
-      static_cast<unsigned long long>(edge_evaluations), busy_micros);
-  if (quarantined_events > 0 || degradation_ups > 0 || degradation_downs > 0 ||
-      bypassed_spawns > 0 || emergency_input_drops > 0) {
-    out += StrFormat(
-        " resilience{quarantined=%llu ladder_ups=%llu ladder_downs=%llu "
-        "bypassed=%llu emergency_drops=%llu peak_run_bytes=%llu}",
-        static_cast<unsigned long long>(quarantined_events),
-        static_cast<unsigned long long>(degradation_ups),
-        static_cast<unsigned long long>(degradation_downs),
-        static_cast<unsigned long long>(bypassed_spawns),
-        static_cast<unsigned long long>(emergency_input_drops),
-        static_cast<unsigned long long>(peak_run_bytes));
-  }
-  if (reorder_late_dropped > 0 || reorder_buffered_peak > 0) {
-    out += StrFormat(
-        " reorder{late_dropped=%llu buffered_peak=%llu}",
-        static_cast<unsigned long long>(reorder_late_dropped),
-        static_cast<unsigned long long>(reorder_buffered_peak));
-  }
-  if (parallel_events > 0 || arena_bytes_reserved > 0) {
-    out += StrFormat(
-        " parallel{events=%llu arena_bytes=%llu}",
-        static_cast<unsigned long long>(parallel_events),
-        static_cast<unsigned long long>(arena_bytes_reserved));
+  std::string out;
+  size_t count = 0;
+  const EngineMetricField* fields = EngineMetricFields(&count);
+  for (size_t i = 0; i < count; ++i) {
+    const EngineMetricField& field = fields[i];
+    if (!out.empty()) out += ' ';
+    if (field.u64 != nullptr) {
+      out += StrFormat("%s=%llu", field.name,
+                       static_cast<unsigned long long>(this->*field.u64));
+    } else {
+      out += StrFormat("%s=%.1f", field.name, this->*field.f64);
+    }
   }
   return out;
+}
+
+void EngineMetrics::Add(const EngineMetrics& other) {
+  size_t count = 0;
+  const EngineMetricField* fields = EngineMetricFields(&count);
+  for (size_t i = 0; i < count; ++i) {
+    const EngineMetricField& field = fields[i];
+    if (field.u64 != nullptr) {
+      this->*field.u64 += other.*field.u64;
+    } else {
+      this->*field.f64 += other.*field.f64;
+    }
+  }
 }
 
 }  // namespace cep

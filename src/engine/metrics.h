@@ -1,6 +1,7 @@
 #ifndef CEPSHED_ENGINE_METRICS_H_
 #define CEPSHED_ENGINE_METRICS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -11,6 +12,12 @@ namespace cep {
 /// `edge_evaluations` is the engine's unit of work: one candidate event
 /// checked against one run edge. The virtual-cost latency monitor converts it
 /// into a deterministic latency proxy.
+///
+/// Every field MUST be listed in kEngineMetricFields (metrics.cc): the field
+/// table drives ToString(), MultiEngine aggregation, and the observability
+/// registry export, and a reflection test fails the build's test suite when
+/// sizeof(EngineMetrics) disagrees with the table — add the field there and
+/// everything else follows.
 struct EngineMetrics {
   uint64_t events_processed = 0;
   uint64_t events_dropped = 0;   ///< input-based shedding only
@@ -38,16 +45,42 @@ struct EngineMetrics {
   uint64_t reorder_buffered_peak = 0;  ///< max events held for reordering
 
   // --- parallel evaluation / run arena (options.h ParallelOptions) ---------
-  /// Events whose evaluation phase ran sharded on the worker pool. Purely
-  /// informational: results are identical to serial evaluation.
+  /// Events whose run set met min_parallel_runs, i.e. whose evaluation phase
+  /// is sharded whenever a multi-lane pool is attached. Deliberately
+  /// pool-independent so every metric export is byte-identical across
+  /// --threads settings (the repo's determinism guarantee extends to
+  /// observability output).
   uint64_t parallel_events = 0;
   /// Peak bytes reserved by the run arena's slot blocks (0 with pooling
   /// disabled); compare against peak_run_bytes to validate the degradation
   /// ladder's byte estimate.
   uint64_t arena_bytes_reserved = 0;
 
+  /// All fields, in declaration order: "name=value name=value ...".
   std::string ToString() const;
+
+  /// Adds every field of `other` into this (field-table driven, so new
+  /// fields aggregate automatically). Peak fields are summed too — an upper
+  /// bound for concurrent engines; callers wanting a max can post-process.
+  void Add(const EngineMetrics& other);
 };
+
+/// \brief Reflection entry for one EngineMetrics field. Exactly one of
+/// `u64` / `f64` is non-null.
+struct EngineMetricField {
+  const char* name;  ///< struct field name, used in ToString()
+  /// Fully qualified Prometheus family name (counters carry _total).
+  const char* prom_name;
+  const char* help;
+  /// True for monotonically increasing totals; false for peaks/gauges.
+  bool monotonic;
+  uint64_t EngineMetrics::* u64;
+  double EngineMetrics::* f64;
+};
+
+/// The field table: one entry per EngineMetrics field, declaration order.
+/// `*count` receives the entry count.
+const EngineMetricField* EngineMetricFields(size_t* count);
 
 }  // namespace cep
 

@@ -8,8 +8,45 @@ size_t MultiEngine::AddQuery(NfaPtr nfa, EngineOptions options,
   engines_.push_back(
       std::make_unique<Engine>(std::move(nfa), options, std::move(shedder)));
   if (pool_ != nullptr) engines_.back()->SetThreadPool(pool_.get());
+  Engine* engine = engines_.back().get();
+  engine->SetObsId(static_cast<uint32_t>(engines_.size() - 1));
+  engine->AttachAuditLog(audit_log_);
+  engine->AttachTracer(tracer_);
   names_.push_back(std::move(name));
   return engines_.size() - 1;
+}
+
+void MultiEngine::AttachAuditLog(obs::ShedAuditLog* log) {
+  audit_log_ = log;
+  for (auto& engine : engines_) engine->AttachAuditLog(log);
+}
+
+void MultiEngine::AttachTracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  for (auto& engine : engines_) engine->AttachTracer(tracer);
+}
+
+void MultiEngine::ExportMetrics(obs::Registry* registry) const {
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    engines_[i]->ExportMetrics(registry, {{"query", names_[i]}});
+  }
+  if (engines_.size() == 1) return;  // the labelled export says it all
+  // Unlabelled aggregate: counter fields only (histograms merge poorly with
+  // snapshot semantics, and per-query is the interesting view anyway).
+  const EngineMetrics total = AggregateMetrics();
+  size_t count = 0;
+  const EngineMetricField* fields = EngineMetricFields(&count);
+  for (size_t i = 0; i < count; ++i) {
+    const EngineMetricField& field = fields[i];
+    if (field.u64 != nullptr && field.monotonic) {
+      registry->GetCounter(field.prom_name, field.help)->Set(total.*field.u64);
+    } else if (field.u64 != nullptr) {
+      registry->GetGauge(field.prom_name, field.help)
+          ->Set(static_cast<double>(total.*field.u64));
+    } else {
+      registry->GetGauge(field.prom_name, field.help)->Set(total.*field.f64);
+    }
+  }
 }
 
 void MultiEngine::EnableParallel(size_t threads) {
@@ -73,29 +110,9 @@ Status MultiEngine::ProcessStream(EventStream* stream, size_t batch_size) {
 EngineMetrics MultiEngine::AggregateMetrics() const {
   EngineMetrics total;
   for (const auto& engine : engines_) {
-    const EngineMetrics& m = engine->metrics();
-    total.events_processed = engine->metrics().events_processed;  // same stream
-    total.events_dropped += m.events_dropped;
-    total.runs_created += m.runs_created;
-    total.runs_extended += m.runs_extended;
-    total.runs_expired += m.runs_expired;
-    total.runs_killed += m.runs_killed;
-    total.runs_shed += m.runs_shed;
-    total.shed_triggers += m.shed_triggers;
-    total.matches_emitted += m.matches_emitted;
-    total.edge_evaluations += m.edge_evaluations;
-    total.peak_runs += m.peak_runs;
-    total.busy_micros += m.busy_micros;
-    total.quarantined_events += m.quarantined_events;
-    total.degradation_ups += m.degradation_ups;
-    total.degradation_downs += m.degradation_downs;
-    total.bypassed_spawns += m.bypassed_spawns;
-    total.emergency_input_drops += m.emergency_input_drops;
-    total.peak_run_bytes += m.peak_run_bytes;
-    total.reorder_late_dropped += m.reorder_late_dropped;
-    total.reorder_buffered_peak += m.reorder_buffered_peak;
-    total.parallel_events += m.parallel_events;
-    total.arena_bytes_reserved += m.arena_bytes_reserved;
+    total.Add(engine->metrics());
+    // Every engine sees the same stream: report it once, not per query.
+    total.events_processed = engine->metrics().events_processed;
   }
   return total;
 }

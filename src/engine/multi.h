@@ -79,6 +79,20 @@ class MultiEngine {
   /// Total active partial matches across queries.
   size_t TotalRuns() const;
 
+  // --- observability --------------------------------------------------------
+
+  /// Shares one audit log across all engines (current and future): every
+  /// record carries the originating engine's id (its query index).
+  void AttachAuditLog(obs::ShedAuditLog* log);
+
+  /// Shares one tracer across all engines; each engine's spans occupy its
+  /// own lane block (tid = engine id * 4 + phase).
+  void AttachTracer(obs::Tracer* tracer);
+
+  /// Mirrors every engine's metrics into `registry`, labelled
+  /// {"query": query_name(i)}, plus the unlabelled aggregate.
+  void ExportMetrics(obs::Registry* registry) const;
+
  private:
   /// Runs `fn(engine_index)` over all engines — on the pool when parallel
   /// fan-out is enabled — and returns the lowest-indexed error.
@@ -89,6 +103,8 @@ class MultiEngine {
   std::vector<std::string> names_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<Status> statuses_;  // per-engine results of the current round
+  obs::ShedAuditLog* audit_log_ = nullptr;  // shared; applied to new engines
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace cep

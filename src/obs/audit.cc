@@ -1,0 +1,97 @@
+#include "obs/audit.h"
+
+#include <ostream>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace cep {
+namespace obs {
+
+std::string ShedDecisionRecord::ToJson() const {
+  std::string out = "{";
+  out += StrFormat("\"seq\":%llu,\"engine\":%u,\"episode\":%llu",
+                   static_cast<unsigned long long>(sequence), engine_id,
+                   static_cast<unsigned long long>(episode));
+  out += StrFormat(",\"run_id\":%llu,\"state\":%d",
+                   static_cast<unsigned long long>(run_id), nfa_state);
+  out += StrFormat(",\"shed_ts\":%lld,\"run_start_ts\":%lld",
+                   static_cast<long long>(shed_ts),
+                   static_cast<long long>(run_start_ts));
+  out += StrFormat(",\"time_slice\":%d", time_slice);
+  out += ",\"c_plus\":" + FormatMetricValue(c_plus);
+  out += ",\"c_minus\":" + FormatMetricValue(c_minus);
+  out += ",\"score\":" + FormatMetricValue(score);
+  out += ",\"shed_fraction\":" + FormatMetricValue(shed_fraction);
+  out += StrFormat(",\"degradation_level\":%u",
+                   static_cast<unsigned>(degradation_level));
+  out += "}";
+  return out;
+}
+
+ShedAuditLog::ShedAuditLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_ < 1024 ? capacity_ : 1024);
+}
+
+uint64_t ShedAuditLog::Append(ShedDecisionRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.sequence = appended_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[next_] = std::move(record);
+    next_ = (next_ + 1) % capacity_;
+  }
+  return appended_++;
+}
+
+size_t ShedAuditLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t ShedAuditLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_ - ring_.size();
+}
+
+uint64_t ShedAuditLog::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+std::vector<ShedDecisionRecord> ShedAuditLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ShedDecisionRecord> out;
+  out.reserve(ring_.size());
+  // Oldest first: [next_, end) then [0, next_) once the ring has wrapped.
+  for (size_t i = next_; i < ring_.size(); ++i) out.push_back(ring_[i]);
+  for (size_t i = 0; i < next_; ++i) out.push_back(ring_[i]);
+  return out;
+}
+
+std::string ShedAuditLog::ToJsonl() const {
+  std::string out;
+  for (const ShedDecisionRecord& record : Snapshot()) {
+    out += record.ToJson();
+    out += "\n";
+  }
+  return out;
+}
+
+Status ShedAuditLog::WriteJsonl(std::ostream& out) const {
+  out << ToJsonl();
+  if (!out.good()) return Status::IoError("audit JSONL write failed");
+  return Status::OK();
+}
+
+void ShedAuditLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  appended_ = 0;
+}
+
+}  // namespace obs
+}  // namespace cep

@@ -1,0 +1,87 @@
+#ifndef CEPSHED_OBS_AUDIT_H_
+#define CEPSHED_OBS_AUDIT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "obs/obs_config.h"
+
+namespace cep {
+namespace obs {
+
+/// \brief One shedding decision: everything the engine and shedder knew
+/// about a victim at the moment it was discarded.
+///
+/// This is the record pSPICE/hSPICE-style quality analyses need: joining the
+/// per-victim model scores against an oracle (an exhaustive run of the same
+/// stream) attributes recall loss to individual decisions instead of to the
+/// aggregate runs_shed counter. All fields are deterministic for a fixed
+/// seed — the audit trail is part of the engine's reproducibility surface.
+struct ShedDecisionRecord {
+  uint64_t sequence = 0;      ///< decision ordinal, assigned by the log
+  uint32_t engine_id = 0;     ///< query index under MultiEngine (else 0)
+  uint64_t episode = 0;       ///< shed-trigger ordinal within the engine
+  uint64_t run_id = 0;        ///< victim's Run::id()
+  int nfa_state = 0;          ///< NFA state the victim occupied
+  Timestamp shed_ts = 0;      ///< stream time of the decision
+  Timestamp run_start_ts = 0; ///< victim's first-event timestamp
+  int time_slice = -1;        ///< shedder's relative-time slice (-1: none)
+  double c_plus = 0.0;        ///< contribution estimate C+(r|t) (SBLS)
+  double c_minus = 0.0;       ///< cost estimate C-(r|t) (SBLS)
+  double score = 0.0;         ///< combined ranking score (lowest shed first)
+  /// Victims selected this episode / live runs at selection time.
+  double shed_fraction = 0.0;
+  uint8_t degradation_level = 0;  ///< DegradationLevel at the decision
+
+  /// One JSON object, no trailing newline (JSONL export writes one per
+  /// line). Field order is fixed; doubles format via FormatMetricValue, so
+  /// equal records serialize byte-identically.
+  std::string ToJson() const;
+};
+
+/// \brief Bounded ring buffer of shedding decisions.
+///
+/// Appends are O(1) and mutex-guarded (shedding episodes are rare relative
+/// to events, so the lock never contends with anything hot); once `capacity`
+/// records are held the oldest are overwritten and counted in dropped().
+/// Export order is oldest-to-newest, deterministic for deterministic inputs.
+class ShedAuditLog {
+ public:
+  explicit ShedAuditLog(size_t capacity = 1 << 16);
+
+  /// Appends a record, stamping its `sequence`. Returns the stamped ordinal.
+  uint64_t Append(ShedDecisionRecord record);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  /// Records overwritten after the ring filled.
+  uint64_t dropped() const;
+  /// Total records ever appended (== size() + dropped()).
+  uint64_t total_appended() const;
+
+  /// Snapshot of the retained records, oldest first.
+  std::vector<ShedDecisionRecord> Snapshot() const;
+
+  /// JSONL: one record per line, oldest first.
+  std::string ToJsonl() const;
+  Status WriteJsonl(std::ostream& out) const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::vector<ShedDecisionRecord> ring_;
+  size_t next_ = 0;        // ring slot for the next append
+  uint64_t appended_ = 0;  // total appends == next sequence number
+};
+
+}  // namespace obs
+}  // namespace cep
+
+#endif  // CEPSHED_OBS_AUDIT_H_

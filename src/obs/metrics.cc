@@ -1,0 +1,328 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace cep {
+namespace obs {
+
+namespace {
+
+/// Canonical map key for (name, labels). '\x1f' (unit separator) cannot
+/// appear in metric names or sane label values, so the encoding is
+/// collision-free in practice.
+std::string EntryKey(const std::string& name, const LabelSet& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1f';
+    key += v;
+  }
+  return key;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// `{key="value",...}` including the braces; empty string for no labels.
+std::string PromLabelBlock(const LabelSet& labels,
+                           const std::string& extra_key = "",
+                           const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + v + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string JsonLabelObject(const LabelSet& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+const char* KindName(bool is_counter, bool is_gauge) {
+  return is_counter ? "counter" : (is_gauge ? "gauge" : "histogram");
+}
+
+}  // namespace
+
+std::string FormatMetricValue(double value) {
+  if (std::isfinite(value) && std::nearbyint(value) == value &&
+      std::fabs(value) < 9.007199254740992e15) {
+    return StrFormat("%.0f", value);
+  }
+  return StrFormat("%.9g", value);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(HistogramSpec spec) : spec_(std::move(spec)) {
+  if (spec_.num_buckets == 0) spec_.num_buckets = 1;
+  if (spec_.growth <= 1.0) spec_.growth = 2.0;
+  if (spec_.base <= 0.0) spec_.base = 1.0;
+  bounds_.reserve(spec_.num_buckets);
+  double bound = spec_.base;
+  for (size_t i = 0; i < spec_.num_buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= spec_.growth;
+  }
+  buckets_ =
+      std::make_unique<std::atomic<uint64_t>[]>(spec_.num_buckets + 1);
+  for (size_t i = 0; i <= spec_.num_buckets; ++i) buckets_[i].store(0);
+}
+
+void Histogram::Record(double value) {
+  // Bucket search is a linear scan: the bounds are few, ascending, and in
+  // L1, and typical latencies land in the first handful of buckets — this
+  // beats a log() call and is exact.
+  size_t index = bounds_.size();  // +Inf overflow by default
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      index = i;
+      break;
+    }
+  }
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::count() const {
+  // Derived on read so Record() stays two atomic adds; exports are rare.
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::CopyFrom(const Histogram& other) {
+  const size_t n = std::min(bounds_.size(), other.bounds_.size());
+  for (size_t i = 0; i <= n; ++i) {
+    buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+  sum_.store(other.sum(), std::memory_order_relaxed);
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  const size_t n = std::min(bounds_.size(), other.bounds_.size());
+  for (size_t i = 0; i <= n; ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+Registry::Entry* Registry::FindOrCreate(Kind kind, const std::string& name,
+                                        const std::string& help,
+                                        LabelSet labels,
+                                        const HistogramSpec* spec) {
+  std::sort(labels.begin(), labels.end());
+  const std::string key = EntryKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) return &it->second;
+  Entry entry;
+  entry.kind = kind;
+  entry.name = name;
+  entry.help = help;
+  entry.labels = std::move(labels);
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>(
+          spec != nullptr ? *spec : HistogramSpec{});
+      break;
+  }
+  return &entries_.emplace(key, std::move(entry)).first->second;
+}
+
+Counter* Registry::GetCounter(const std::string& name, const std::string& help,
+                              LabelSet labels) {
+  return FindOrCreate(Kind::kCounter, name, help, std::move(labels), nullptr)
+      ->counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& help,
+                          LabelSet labels) {
+  return FindOrCreate(Kind::kGauge, name, help, std::move(labels), nullptr)
+      ->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& help, HistogramSpec spec,
+                                  LabelSet labels) {
+  return FindOrCreate(Kind::kHistogram, name, help, std::move(labels), &spec)
+      ->histogram.get();
+}
+
+size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string Registry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  const std::string* last_family = nullptr;
+  for (const auto& [key, entry] : entries_) {
+    // One HELP/TYPE block per family (entries with the same name but
+    // different labels are adjacent in map order).
+    if (last_family == nullptr || *last_family != entry.name) {
+      out += "# HELP " + entry.name + " " + entry.help + "\n";
+      out += StrFormat("# TYPE %s %s\n", entry.name.c_str(),
+                       KindName(entry.kind == Kind::kCounter,
+                                entry.kind == Kind::kGauge));
+      last_family = &entry.name;
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += entry.name + PromLabelBlock(entry.labels) + " " +
+               StrFormat("%llu",
+                         static_cast<unsigned long long>(
+                             entry.counter->value())) +
+               "\n";
+        break;
+      case Kind::kGauge:
+        out += entry.name + PromLabelBlock(entry.labels) + " " +
+               FormatMetricValue(entry.gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.num_buckets(); ++i) {
+          cumulative += h.bucket_count(i);
+          out += entry.name + "_bucket" +
+                 PromLabelBlock(entry.labels, "le",
+                                FormatMetricValue(h.upper_bound(i))) +
+                 " " + StrFormat("%llu", static_cast<unsigned long long>(
+                                             cumulative)) +
+                 "\n";
+        }
+        cumulative += h.bucket_count(h.num_buckets());
+        out += entry.name + "_bucket" +
+               PromLabelBlock(entry.labels, "le", "+Inf") + " " +
+               StrFormat("%llu", static_cast<unsigned long long>(cumulative)) +
+               "\n";
+        out += entry.name + "_sum" + PromLabelBlock(entry.labels) + " " +
+               FormatMetricValue(h.sum()) + "\n";
+        out += entry.name + "_count" + PromLabelBlock(entry.labels) + " " +
+               StrFormat("%llu",
+                         static_cast<unsigned long long>(h.count())) +
+               "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const auto& [key, entry] : entries_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(entry.name) + "\",\"type\":\"";
+    out += KindName(entry.kind == Kind::kCounter, entry.kind == Kind::kGauge);
+    out += "\",\"labels\":" + JsonLabelObject(entry.labels);
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += StrFormat(",\"value\":%llu", static_cast<unsigned long long>(
+                                                entry.counter->value()));
+        break;
+      case Kind::kGauge:
+        out += ",\"value\":" + FormatMetricValue(entry.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out += ",\"unit\":\"" + JsonEscape(h.spec().unit) + "\"";
+        out += StrFormat(",\"count\":%llu",
+                         static_cast<unsigned long long>(h.count()));
+        out += ",\"sum\":" + FormatMetricValue(h.sum());
+        out += ",\"buckets\":[";
+        for (size_t i = 0; i < h.num_buckets(); ++i) {
+          if (i > 0) out += ",";
+          out += "{\"le\":" + FormatMetricValue(h.upper_bound(i)) +
+                 StrFormat(",\"count\":%llu",
+                           static_cast<unsigned long long>(
+                               h.bucket_count(i))) +
+                 "}";
+        }
+        out += StrFormat(",{\"le\":\"+Inf\",\"count\":%llu}",
+                         static_cast<unsigned long long>(
+                             h.bucket_count(h.num_buckets())));
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace cep

@@ -1,0 +1,167 @@
+#ifndef CEPSHED_OBS_METRICS_H_
+#define CEPSHED_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs_config.h"
+
+namespace cep {
+namespace obs {
+
+/// Metric labels as (key, value) pairs. Canonicalised (sorted by key) on
+/// registration so that label order never changes a metric's identity or its
+/// export position.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Monotonically increasing counter. All operations are atomic and
+/// safe to call from any thread; relaxed ordering is sufficient because
+/// metric values carry no synchronisation obligations.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Snapshot-style assignment (used when mirroring an external counter,
+  /// e.g. an EngineMetrics field, into the registry).
+  void Set(uint64_t value) { value_.store(value, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Point-in-time measurement that may go up or down.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Shape of a histogram's fixed log-scaled buckets: bucket i covers
+/// values <= base · growth^i, with one implicit overflow (+Inf) bucket. The
+/// defaults (1, 2.0, 26) span 1µs .. ~33s of latency at power-of-two
+/// resolution — fixed bounds keep exports byte-stable across runs and make
+/// histograms from different engines mergeable.
+struct HistogramSpec {
+  double base = 1.0;
+  double growth = 2.0;
+  size_t num_buckets = 26;  ///< finite buckets; +Inf overflow is extra
+  std::string unit = "us";
+};
+
+/// \brief Fixed-bucket histogram with atomic recording. Record() is two
+/// relaxed atomic adds (bucket + sum; the count is derived from the buckets
+/// on read) and costs tens of nanoseconds — cheap enough for per-event
+/// instrumentation.
+class Histogram {
+ public:
+  explicit Histogram(HistogramSpec spec = HistogramSpec{});
+
+  void Record(double value);
+
+  uint64_t count() const;
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  size_t num_buckets() const { return bounds_.size(); }  // excludes +Inf
+  /// Upper bound of finite bucket `i`.
+  double upper_bound(size_t i) const { return bounds_[i]; }
+  /// Observations in bucket `i`; `i == num_buckets()` is the +Inf bucket.
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  const HistogramSpec& spec() const { return spec_; }
+
+  /// Overwrites this histogram with `other`'s contents (snapshot export of
+  /// an engine-local histogram into a registry). Specs must have identical
+  /// bucket shape.
+  void CopyFrom(const Histogram& other);
+  /// Adds `other`'s contents into this histogram (cross-engine aggregation).
+  void MergeFrom(const Histogram& other);
+
+  void Reset();
+
+ private:
+  HistogramSpec spec_;
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // num_buckets + 1
+  std::atomic<double> sum_{0.0};
+};
+
+/// \brief Thread-safe metrics registry: named counters, gauges, and
+/// histograms with optional labels, exporting to Prometheus text exposition
+/// and to JSON.
+///
+/// Get* registers on first use and returns the same instrument for the same
+/// (name, labels) afterwards; returned pointers stay valid for the
+/// registry's lifetime, so hot paths can cache them. Exports iterate metrics
+/// in (name, labels) order — output is deterministic regardless of
+/// registration order or thread interleaving.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      LabelSet labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  LabelSet labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          HistogramSpec spec = HistogramSpec{},
+                          LabelSet labels = {});
+
+  /// Prometheus text exposition format (one HELP/TYPE block per family,
+  /// cumulative histogram buckets).
+  std::string ToPrometheusText() const;
+
+  /// {"metrics": [{"name": ..., "type": ..., "labels": {...}, ...}]}
+  std::string ToJson() const;
+
+  size_t size() const;
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::string help;
+    LabelSet labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(Kind kind, const std::string& name,
+                      const std::string& help, LabelSet labels,
+                      const HistogramSpec* spec);
+
+  mutable std::mutex mu_;
+  // Keyed by name + '\x1f' + canonical label encoding: map order gives the
+  // deterministic export order.
+  std::map<std::string, Entry> entries_;
+};
+
+/// Formats a metric value: integral values print without a decimal point,
+/// everything else as shortest-round-trip-ish %.9g. Deterministic for equal
+/// inputs (export byte-stability relies on this).
+std::string FormatMetricValue(double value);
+
+}  // namespace obs
+}  // namespace cep
+
+#endif  // CEPSHED_OBS_METRICS_H_

@@ -1,0 +1,24 @@
+#ifndef CEPSHED_OBS_OBS_CONFIG_H_
+#define CEPSHED_OBS_OBS_CONFIG_H_
+
+/// Compile-time observability switch. The build defines CEPSHED_OBS=0
+/// (cmake -DCEPSHED_OBS=OFF) to compile every piece of hot-path
+/// instrumentation — histogram recording, audit appends, trace emission —
+/// down to no-ops while keeping the obs types and export APIs available, so
+/// callers need no #ifdefs. Default is on.
+#ifndef CEPSHED_OBS
+#define CEPSHED_OBS 1
+#endif
+
+namespace cep {
+namespace obs {
+
+/// True when hot-path instrumentation is compiled in. Gate per-event
+/// recording with `if constexpr (obs::kEnabled)` so the disabled build pays
+/// nothing — not even a branch.
+inline constexpr bool kEnabled = CEPSHED_OBS != 0;
+
+}  // namespace obs
+}  // namespace cep
+
+#endif  // CEPSHED_OBS_OBS_CONFIG_H_

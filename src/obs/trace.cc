@@ -1,0 +1,180 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <ostream>
+#include <tuple>
+
+#include "common/string_util.h"
+
+namespace cep {
+namespace obs {
+
+namespace {
+
+int NameCmp(const char* a, const char* b) {
+  if (a == b) return 0;
+  return std::strcmp(a == nullptr ? "" : a, b == nullptr ? "" : b);
+}
+
+std::atomic<uint64_t> g_next_tracer_id{1};
+
+}  // namespace
+
+bool TraceSpan::operator<(const TraceSpan& other) const {
+  if (ts_us != other.ts_us) return ts_us < other.ts_us;
+  if (tid != other.tid) return tid < other.tid;
+  const int name_cmp = NameCmp(name, other.name);
+  if (name_cmp != 0) return name_cmp < 0;
+  if (ph != other.ph) return ph < other.ph;
+  if (dur_us != other.dur_us) return dur_us < other.dur_us;
+  const int arg_cmp = NameCmp(arg_name, other.arg_name);
+  if (arg_cmp != 0) return arg_cmp < 0;
+  return arg < other.arg;
+}
+
+bool TraceSpan::operator==(const TraceSpan& other) const {
+  return ts_us == other.ts_us && tid == other.tid && ph == other.ph &&
+         dur_us == other.dur_us && arg == other.arg &&
+         NameCmp(name, other.name) == 0 &&
+         NameCmp(arg_name, other.arg_name) == 0;
+}
+
+Tracer::Tracer(size_t capacity_per_thread)
+    : capacity_(capacity_per_thread == 0 ? 1 : capacity_per_thread),
+      id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::Buffer* Tracer::ThreadBuffer() {
+  // Per-thread cache of (tracer id -> buffer). Tracer ids are process-unique
+  // and never reused, so a stale entry for a destroyed tracer can never
+  // match a live one; the handful of stale slots a thread accumulates over
+  // its lifetime is noise.
+  struct CacheEntry {
+    uint64_t tracer_id;
+    Buffer* buffer;
+  };
+  static thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& entry : cache) {
+    if (entry.tracer_id == id_) return entry.buffer;
+  }
+  Buffer* buffer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<Buffer>());
+    buffer = buffers_.back().get();
+    buffer->spans.reserve(capacity_ < 4096 ? capacity_ : 4096);
+  }
+  cache.push_back(CacheEntry{id_, buffer});
+  return buffer;
+}
+
+void Tracer::Record(const TraceSpan& span) {
+  Buffer* buffer = ThreadBuffer();
+  if (buffer->spans.size() < capacity_) {
+    buffer->spans.push_back(span);
+    return;
+  }
+  buffer->spans[buffer->next] = span;
+  buffer->next = (buffer->next + 1) % capacity_;
+  ++buffer->dropped;
+}
+
+void Tracer::Span(const char* name, uint64_t ts_us, uint64_t dur_us,
+                  uint32_t tid, const char* arg_name, uint64_t arg) {
+  TraceSpan span;
+  span.name = name;
+  span.ts_us = ts_us;
+  span.dur_us = dur_us;
+  span.tid = tid;
+  span.ph = 'X';
+  span.arg_name = arg_name;
+  span.arg = arg;
+  Record(span);
+}
+
+void Tracer::Instant(const char* name, uint64_t ts_us, uint32_t tid,
+                     const char* arg_name, uint64_t arg) {
+  TraceSpan span;
+  span.name = name;
+  span.ts_us = ts_us;
+  span.tid = tid;
+  span.ph = 'i';
+  span.arg_name = arg_name;
+  span.arg = arg;
+  Record(span);
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->spans.size();
+  return total;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->dropped;
+  return total;
+}
+
+std::vector<TraceSpan> Tracer::SortedSpans() const {
+  std::vector<TraceSpan> spans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t total = 0;
+    for (const auto& buffer : buffers_) total += buffer->spans.size();
+    spans.reserve(total);
+    for (const auto& buffer : buffers_) {
+      spans.insert(spans.end(), buffer->spans.begin(), buffer->spans.end());
+    }
+  }
+  std::sort(spans.begin(), spans.end());
+  return spans;
+}
+
+std::string Tracer::ToJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& span : SortedSpans()) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("{\"name\":\"%s\",\"ph\":\"%c\",\"pid\":0,\"tid\":%u",
+                     span.name, span.ph, span.tid);
+    out += StrFormat(",\"ts\":%llu",
+                     static_cast<unsigned long long>(span.ts_us));
+    if (span.ph == 'X') {
+      out += StrFormat(",\"dur\":%llu",
+                       static_cast<unsigned long long>(span.dur_us));
+    }
+    if (span.ph == 'i') out += ",\"s\":\"t\"";
+    if (span.arg_name != nullptr) {
+      out += StrFormat(",\"args\":{\"%s\":%llu}", span.arg_name,
+                       static_cast<unsigned long long>(span.arg));
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status Tracer::WriteJson(std::ostream& out) const {
+  out << ToJson();
+  if (!out.good()) return Status::IoError("trace JSON write failed");
+  return Status::OK();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buffer : buffers_) {
+    buffer->spans.clear();
+    buffer->next = 0;
+    buffer->dropped = 0;
+  }
+}
+
+}  // namespace obs
+}  // namespace cep

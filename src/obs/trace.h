@@ -1,0 +1,104 @@
+#ifndef CEPSHED_OBS_TRACE_H_
+#define CEPSHED_OBS_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/obs_config.h"
+
+namespace cep {
+namespace obs {
+
+/// \brief One Chrome trace_event entry: a complete span (ph 'X') or an
+/// instant marker (ph 'i').
+///
+/// `name` and `arg_name` must be string literals (or otherwise outlive the
+/// tracer) — emission stores the pointer, never copies, so a span costs a
+/// handful of stores.
+///
+/// Timestamps are microseconds on the *engine's* clock: deterministic
+/// virtual time (cumulative evaluation cost) under the virtual-cost and
+/// queueing latency modes, wall time under kWallClock. Virtual-time traces
+/// are byte-identical across thread counts for a fixed seed; that is the
+/// repo-wide determinism contract extended to observability.
+struct TraceSpan {
+  const char* name = "";
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;
+  char ph = 'X';
+  const char* arg_name = nullptr;  ///< optional single numeric argument
+  uint64_t arg = 0;
+
+  /// Total order over every field — ties sort identical spans together, so
+  /// sorted output is byte-stable no matter which thread recorded what.
+  bool operator<(const TraceSpan& other) const;
+  bool operator==(const TraceSpan& other) const;
+};
+
+/// \brief Span collector with per-thread ring buffers.
+///
+/// Each recording thread appends to its own fixed-capacity ring without
+/// taking any lock (the registry of buffers is mutex-guarded, but a thread
+/// touches it only on its first span per tracer). When a ring is full the
+/// oldest spans are overwritten and counted; because the engine emits spans
+/// deterministically, the retained suffix is deterministic too.
+///
+/// Export gathers every buffer, sorts by the total span order, and writes
+/// Chrome trace_event JSON (load in Perfetto or chrome://tracing).
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity_per_thread = 1 << 18);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Records a complete span (ph 'X').
+  void Span(const char* name, uint64_t ts_us, uint64_t dur_us, uint32_t tid,
+            const char* arg_name = nullptr, uint64_t arg = 0);
+
+  /// Records an instant event (ph 'i').
+  void Instant(const char* name, uint64_t ts_us, uint32_t tid,
+               const char* arg_name = nullptr, uint64_t arg = 0);
+
+  /// Retained spans across all threads.
+  size_t size() const;
+  /// Spans overwritten because some ring filled.
+  uint64_t dropped() const;
+  size_t capacity_per_thread() const { return capacity_; }
+
+  /// Sorted snapshot of all retained spans.
+  std::vector<TraceSpan> SortedSpans() const;
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"}
+  std::string ToJson() const;
+  Status WriteJson(std::ostream& out) const;
+
+  void Clear();
+
+ private:
+  struct Buffer {
+    std::vector<TraceSpan> spans;
+    size_t next = 0;       // overwrite cursor once full
+    uint64_t dropped = 0;  // overwritten span count
+  };
+
+  void Record(const TraceSpan& span);
+  Buffer* ThreadBuffer();
+
+  const size_t capacity_;
+  const uint64_t id_;  // distinguishes tracers in the thread-local cache
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+}  // namespace obs
+}  // namespace cep
+
+#endif  // CEPSHED_OBS_TRACE_H_

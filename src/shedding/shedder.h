@@ -11,6 +11,16 @@
 
 namespace cep {
 
+/// \brief Model scores behind one shedding decision, reported through
+/// Shedder::DescribeVictim for the observability audit trail
+/// (obs/audit.h). Strategies without models leave the defaults.
+struct ShedVictimScores {
+  double c_plus = 0.0;   ///< contribution estimate C+(r|t)
+  double c_minus = 0.0;  ///< cost estimate C-(r|t)
+  double score = 0.0;    ///< combined ranking score (lowest shed first)
+  int time_slice = -1;   ///< relative-time slice, -1 when not sliced
+};
+
 /// \brief Pluggable load-shedding strategy.
 ///
 /// The engine drives the strategy through two channels:
@@ -87,6 +97,21 @@ class Shedder {
   /// overload; `now` is the current stream time.
   virtual void SelectVictims(const std::vector<RunPtr>& runs, Timestamp now,
                              size_t target, std::vector<size_t>* victims) = 0;
+
+  // --- observability ---------------------------------------------------------
+
+  /// Fills `scores` with the model values this strategy would use to rank
+  /// `run` at `now` and returns true; returns false (leaving `scores`
+  /// untouched) when the strategy has no per-run model. The engine calls
+  /// this for each selected victim to build the shed-decision audit trail;
+  /// implementations must be read-only and O(1) like the learning hooks.
+  virtual bool DescribeVictim(const Run& run, Timestamp now,
+                              ShedVictimScores* scores) const {
+    (void)run;
+    (void)now;
+    (void)scores;
+    return false;
+  }
 };
 
 using ShedderPtr = std::unique_ptr<Shedder>;

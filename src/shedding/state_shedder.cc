@@ -89,6 +89,19 @@ double StateShedder::Score(const Run& run, Timestamp now) const {
   return ScorePartialMatch(options_.scoring, c_plus, c_minus, ttl);
 }
 
+bool StateShedder::DescribeVictim(const Run& run, Timestamp now,
+                                  ShedVictimScores* scores) const {
+  const uint64_t key = run.trail().empty() ? CellKey(run, now)
+                                           : run.trail().back();
+  scores->c_plus = contribution_.Estimate(key, options_.contribution_optimism);
+  scores->c_minus = cost_.Estimate(key, options_.cost_pessimism);
+  const double ttl = slicer_.TtlFraction(run.start_ts(), now);
+  scores->score =
+      ScorePartialMatch(options_.scoring, scores->c_plus, scores->c_minus, ttl);
+  scores->time_slice = slicer_.Slice(run.start_ts(), now);
+  return true;
+}
+
 void StateShedder::SelectVictims(const std::vector<RunPtr>& runs,
                                  Timestamp now, size_t target,
                                  std::vector<size_t>* victims) {

@@ -69,6 +69,9 @@ class StateShedder final : public Shedder {
                      Timestamp now, size_t target,
                      std::vector<size_t>* victims) override;
 
+  bool DescribeVictim(const Run& run, Timestamp now,
+                      ShedVictimScores* scores) const override;
+
   /// Score of one run at `now` (exposed for tests and ablations).
   double Score(const Run& run, Timestamp now) const;
 

@@ -1,8 +1,11 @@
 #!/bin/sh
 # End-to-end smoke test for cepshed_cli: generate -> explain -> run,
-# exercising the full CSV -> parse -> compile -> engine -> shedding path.
+# exercising the full CSV -> parse -> compile -> engine -> shedding path,
+# plus the observability exports (validated when a validate_obs binary is
+# passed as the second argument).
 set -e
 CLI="$1"
+VALIDATOR="$2"
 WORKDIR="$(mktemp -d)"
 trap 'rm -rf "$WORKDIR"' EXIT
 
@@ -19,10 +22,34 @@ grep -q "digraph" "$WORKDIR/nfa.dot"
     --matches "$WORKDIR/matches.csv" --stats | grep -q "matches over"
 test -s "$WORKDIR/matches.csv"
 
-# Shedding path: SBLS with a hard run cap.
+# Shedding path: SBLS with a hard run cap, exporting every observability
+# artifact (metrics in both formats, Chrome trace, shed-decision audit).
 "$CLI" run --schema bike --query "$QUERY" --input "$WORKDIR/bike.csv" \
     --shedder sbls --max-runs 5 --hash req:loc --stats \
+    --metrics-out "$WORKDIR/metrics.prom" --trace-out "$WORKDIR/trace.json" \
+    --audit-out "$WORKDIR/audit.jsonl" \
     | grep -q "shed"
+"$CLI" run --schema bike --query "$QUERY" --input "$WORKDIR/bike.csv" \
+    --shedder sbls --max-runs 5 --hash req:loc \
+    --metrics-out "$WORKDIR/metrics.json" > /dev/null
+test -s "$WORKDIR/metrics.prom"
+test -s "$WORKDIR/metrics.json"
+test -s "$WORKDIR/trace.json"
+test -s "$WORKDIR/audit.jsonl"
+grep -q "cep_runs_shed_total" "$WORKDIR/metrics.prom"
+grep -q "traceEvents" "$WORKDIR/trace.json"
+grep -q '"run_id"' "$WORKDIR/audit.jsonl"
+if [ -n "$VALIDATOR" ]; then
+  "$VALIDATOR" metrics-prom "$WORKDIR/metrics.prom"
+  "$VALIDATOR" metrics-json "$WORKDIR/metrics.json"
+  "$VALIDATOR" trace "$WORKDIR/trace.json"
+  "$VALIDATOR" audit "$WORKDIR/audit.jsonl"
+fi
+
+# Periodic metric snapshots go to stderr, at least one for this input size.
+"$CLI" run --schema bike --query "$QUERY" --input "$WORKDIR/bike.csv" \
+    --stats-interval-events 100 2> "$WORKDIR/snapshots.txt" > /dev/null
+grep -q "stats\[" "$WORKDIR/snapshots.txt"
 
 # Resilience path: fault injection + degradation ladder + error budget over
 # a deliberately corrupted input survives and reports stats.

@@ -1,0 +1,148 @@
+// Edge-case tests for the µ(t) latency monitors (engine/latency_monitor.h):
+// zero-cost events, monotonic-clock regressions in the queueing simulation,
+// and the engine's strict µ(t) > θ overload comparison at exactly µ(t) = θ.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/latency_monitor.h"
+#include "shedding/random_shedder.h"
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+
+// --- zero-cost events -------------------------------------------------------
+
+TEST(LatencyMonitorTest, ZeroCostEventsKeepEstimateAtZero) {
+  WallClockLatencyMonitor wall(8);
+  VirtualCostLatencyMonitor virt(8, /*ns_per_op=*/100.0);
+  QueueingLatencyMonitor queue(8, /*ns_per_op=*/100.0,
+                               /*stream_micros_per_arrival_micro=*/1.0);
+  for (int i = 0; i < 20; ++i) {
+    wall.Record(i, 0.0, 0);
+    virt.Record(i, 0.0, 0);
+    queue.Record(i, 0.0, 0);
+  }
+  EXPECT_EQ(wall.CurrentLatencyMicros(), 0.0);
+  EXPECT_EQ(virt.CurrentLatencyMicros(), 0.0);
+  // Zero service time and strictly advancing arrivals: the queue never
+  // builds, so the simulated latency is exactly zero too.
+  EXPECT_EQ(queue.CurrentLatencyMicros(), 0.0);
+}
+
+TEST(LatencyMonitorTest, ZeroCostEventsDilutePriorLoad) {
+  VirtualCostLatencyMonitor virt(4, /*ns_per_op=*/1000.0);
+  virt.Record(0, 0.0, 8);  // 8 µs
+  EXPECT_DOUBLE_EQ(virt.CurrentLatencyMicros(), 8.0);
+  virt.Record(1, 0.0, 0);
+  EXPECT_DOUBLE_EQ(virt.CurrentLatencyMicros(), 4.0);
+  // Rolling out of the window removes the expensive sample entirely.
+  for (int i = 0; i < 4; ++i) virt.Record(2 + i, 0.0, 0);
+  EXPECT_EQ(virt.CurrentLatencyMicros(), 0.0);
+}
+
+// --- monotonic-clock regressions -------------------------------------------
+
+TEST(LatencyMonitorTest, QueueingSurvivesBackwardsTimestamps) {
+  QueueingLatencyMonitor queue(8, /*ns_per_op=*/1000.0,
+                               /*stream_micros_per_arrival_micro=*/1.0);
+  queue.Record(1000, 0.0, 500);  // arrival 1000, service 500 µs
+  const double busy_after_first = queue.busy_until_micros();
+  EXPECT_DOUBLE_EQ(busy_after_first, 1500.0);
+  // A timestamp regression (duplicate delivery, clock skew between sources)
+  // must not rewind the server: the late event queues behind the work in
+  // progress and its latency includes the wait.
+  queue.Record(200, 0.0, 100);
+  EXPECT_GE(queue.busy_until_micros(), busy_after_first);
+  EXPECT_DOUBLE_EQ(queue.busy_until_micros(), 1600.0);
+  // Latency of the regressed event: finished at 1600, "arrived" at 200.
+  EXPECT_DOUBLE_EQ(queue.CurrentLatencyMicros(), (500.0 + 1400.0) / 2.0);
+  // µ(t) never goes negative no matter how the clock jumps.
+  queue.Record(0, 0.0, 0);
+  EXPECT_GT(queue.CurrentLatencyMicros(), 0.0);
+}
+
+TEST(LatencyMonitorTest, QueueBacklogPersistsAcrossReset) {
+  QueueingLatencyMonitor queue(4, /*ns_per_op=*/1000.0,
+                               /*stream_micros_per_arrival_micro=*/1.0);
+  queue.Record(0, 0.0, 2000);  // 2000 µs of service from t=0
+  EXPECT_DOUBLE_EQ(queue.busy_until_micros(), 2000.0);
+  queue.Reset();
+  // Reset starts a fresh measurement window but cannot decree the backlog
+  // away: the simulated server is still busy.
+  EXPECT_EQ(queue.CurrentLatencyMicros(), 0.0);
+  EXPECT_DOUBLE_EQ(queue.busy_until_micros(), 2000.0);
+  queue.Record(100, 0.0, 0);
+  EXPECT_DOUBLE_EQ(queue.CurrentLatencyMicros(), 1900.0);
+}
+
+// --- threshold hysteresis at exactly µ(t) = θ -------------------------------
+
+/// A stream of req events against SEQ(req, unlock) gives every event the
+/// identical virtual cost (one initial op + one spawn-edge evaluation), so
+/// µ(t) settles at an exactly representable constant we can aim θ at.
+std::vector<EventPtr> ConstantCostEvents(BikeSchema* fixture, int n) {
+  std::vector<EventPtr> events;
+  events.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    events.push_back(fixture->Req(kMinute + i * kSecond, 1, 100 + i));
+  }
+  return events;
+}
+
+EngineOptions ConstantCostOptions(double theta) {
+  EngineOptions options;
+  options.latency_mode = LatencyMode::kVirtualCost;
+  options.latency_threshold_micros = theta;
+  options.latency_window_events = 8;
+  options.shed_cooldown_events = 1;
+  return options;
+}
+
+TEST(LatencyMonitorTest, NoSheddingAtExactlyTheta) {
+  BikeSchema fixture;
+  const std::vector<EventPtr> events = ConstantCostEvents(&fixture, 64);
+  const char* query =
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 30 min";
+
+  // Probe the µ(t) trajectory with shedding disabled (θ = 0). The mean can
+  // wobble by an ulp while the sample window warms up, so aim θ at the
+  // maximum the trajectory ever reaches.
+  Engine probe(fixture.Compile(query), ConstantCostOptions(0.0),
+               std::make_unique<RandomShedder>(1));
+  double mu = 0.0;
+  for (const auto& event : events) {
+    CEP_ASSERT_OK(probe.ProcessEvent(event));
+    mu = std::max(mu, probe.CurrentLatencyMicros());
+  }
+  ASSERT_GT(mu, 0.0);
+  EXPECT_EQ(probe.metrics().shed_triggers, 0u);
+
+  // θ = µ exactly: overload requires µ(t) > θ strictly, so the engine must
+  // sit on the boundary forever without a single shed.
+  Engine at_theta(fixture.Compile(query), ConstantCostOptions(mu),
+                  std::make_unique<RandomShedder>(1));
+  for (const auto& event : events) {
+    CEP_ASSERT_OK(at_theta.ProcessEvent(event));
+  }
+  EXPECT_LE(at_theta.CurrentLatencyMicros(), mu);
+  EXPECT_EQ(at_theta.metrics().shed_triggers, 0u);
+  EXPECT_EQ(at_theta.metrics().runs_shed, 0u);
+
+  // Any θ below µ crosses the boundary and sheds.
+  Engine below(fixture.Compile(query), ConstantCostOptions(mu * 0.999),
+               std::make_unique<RandomShedder>(1));
+  for (const auto& event : events) {
+    CEP_ASSERT_OK(below.ProcessEvent(event));
+  }
+  EXPECT_GT(below.metrics().shed_triggers, 0u);
+  EXPECT_GT(below.metrics().runs_shed, 0u);
+}
+
+}  // namespace
+}  // namespace cep

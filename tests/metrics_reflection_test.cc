@@ -1,0 +1,123 @@
+// Reflection tests for the EngineMetrics field table (engine/metrics.cc):
+// every field must be listed exactly once, so that ToString(), Add(), and
+// the observability registry export can never silently skip a field. Adding
+// a field to EngineMetrics without a table entry fails the size check here.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "engine/metrics.h"
+
+namespace cep {
+namespace {
+
+TEST(MetricsReflectionTest, TableCoversEveryField) {
+  size_t count = 0;
+  const EngineMetricField* fields = EngineMetricFields(&count);
+  ASSERT_GT(count, 0u);
+  size_t covered_bytes = 0;
+  std::set<const void*> seen_members;
+  EngineMetrics probe;
+  for (size_t i = 0; i < count; ++i) {
+    const EngineMetricField& field = fields[i];
+    // Exactly one member pointer per entry.
+    ASSERT_TRUE((field.u64 != nullptr) != (field.f64 != nullptr))
+        << field.name;
+    covered_bytes += field.u64 != nullptr ? sizeof(uint64_t) : sizeof(double);
+    // No field listed twice: resolve each member pointer to its address
+    // within one struct instance.
+    const void* addr = field.u64 != nullptr
+                           ? static_cast<const void*>(&(probe.*field.u64))
+                           : static_cast<const void*>(&(probe.*field.f64));
+    EXPECT_TRUE(seen_members.insert(addr).second)
+        << "field listed twice: " << field.name;
+  }
+  // EngineMetrics is all 8-byte members, so covered bytes == sizeof means
+  // the table is complete. A new field without a table entry breaks this.
+  EXPECT_EQ(covered_bytes, sizeof(EngineMetrics))
+      << "EngineMetrics has a field missing from kEngineMetricFields "
+         "(engine/metrics.cc) — add it there so serialization, aggregation, "
+         "and export pick it up";
+}
+
+TEST(MetricsReflectionTest, NamesAreWellFormedAndUnique) {
+  size_t count = 0;
+  const EngineMetricField* fields = EngineMetricFields(&count);
+  std::set<std::string> names;
+  std::set<std::string> prom_names;
+  for (size_t i = 0; i < count; ++i) {
+    const EngineMetricField& field = fields[i];
+    ASSERT_NE(field.name, nullptr);
+    ASSERT_NE(field.prom_name, nullptr);
+    ASSERT_NE(field.help, nullptr);
+    EXPECT_GT(std::strlen(field.help), 0u) << field.name;
+    EXPECT_TRUE(names.insert(field.name).second) << field.name;
+    EXPECT_TRUE(prom_names.insert(field.prom_name).second) << field.prom_name;
+    const std::string prom = field.prom_name;
+    EXPECT_EQ(prom.rfind("cep_", 0), 0u) << prom;
+    // Monotonic counters follow the Prometheus _total convention; peaks and
+    // other gauges must not.
+    const bool has_total =
+        prom.size() > 6 && prom.compare(prom.size() - 6, 6, "_total") == 0;
+    if (field.monotonic && field.u64 != nullptr) {
+      EXPECT_TRUE(has_total) << prom;
+    } else if (!field.monotonic) {
+      EXPECT_FALSE(has_total) << prom;
+    }
+  }
+}
+
+TEST(MetricsReflectionTest, ToStringCoversEveryField) {
+  size_t count = 0;
+  const EngineMetricField* fields = EngineMetricFields(&count);
+  EngineMetrics metrics;
+  // Give every field a distinct value through its member pointer.
+  for (size_t i = 0; i < count; ++i) {
+    if (fields[i].u64 != nullptr) {
+      metrics.*fields[i].u64 = 1000 + i;
+    } else {
+      metrics.*fields[i].f64 = 1000.5 + static_cast<double>(i);
+    }
+  }
+  const std::string text = metrics.ToString();
+  for (size_t i = 0; i < count; ++i) {
+    const std::string needle =
+        std::string(fields[i].name) + "=" +
+        (fields[i].u64 != nullptr
+             ? std::to_string(1000 + i)
+             : std::to_string(1000 + i) + ".5");
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "ToString missing '" << needle << "': " << text;
+  }
+}
+
+TEST(MetricsReflectionTest, AddSumsEveryField) {
+  size_t count = 0;
+  const EngineMetricField* fields = EngineMetricFields(&count);
+  EngineMetrics a;
+  EngineMetrics b;
+  for (size_t i = 0; i < count; ++i) {
+    if (fields[i].u64 != nullptr) {
+      a.*fields[i].u64 = i + 1;
+      b.*fields[i].u64 = 10 * (i + 1);
+    } else {
+      a.*fields[i].f64 = static_cast<double>(i + 1);
+      b.*fields[i].f64 = 10.0 * static_cast<double>(i + 1);
+    }
+  }
+  a.Add(b);
+  for (size_t i = 0; i < count; ++i) {
+    if (fields[i].u64 != nullptr) {
+      EXPECT_EQ(a.*fields[i].u64, 11 * (i + 1)) << fields[i].name;
+    } else {
+      EXPECT_DOUBLE_EQ(a.*fields[i].f64, 11.0 * static_cast<double>(i + 1))
+          << fields[i].name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cep

@@ -2,7 +2,7 @@
 //
 //   cepshed_cli generate --workload cluster --out trace.csv --duration-hours 6
 //   cepshed_cli explain  --schema cluster --query 'PATTERN SEQ(...) ...'
-//   cepshed_cli run      --schema cluster --query q.sase --input trace.csv \
+//   cepshed_cli run      --schema cluster --query q.sase --input trace.csv
 //                        --shedder sbls --theta 80 --stats
 //
 // Schemas: --schema accepts a file (one event type per line:
@@ -20,6 +20,9 @@
 #include "common/string_util.h"
 #include "engine/engine.h"
 #include "event/csv.h"
+#include "obs/audit.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "event/fault_injection.h"
 #include "nfa/compiler.h"
 #include "nfa/dot.h"
@@ -50,7 +53,9 @@ int Usage() {
       "         [--fault-drop <p>] [--fault-dup <p>] [--fault-delay <p>]\n"
       "         [--fault-corrupt <p>] [--fault-seed <n>]\n"
       "         [--threads <n>] [--batch-size <n>]\n"
-      "         [--stats]\n"
+      "         [--stats] [--stats-interval-events <n>]\n"
+      "         [--metrics-out <file[.prom|.json]>] [--trace-out <file>]\n"
+      "         [--audit-out <file.jsonl>]\n"
       "generate --workload cluster|bike|stock --out <events.csv>\n"
       "         [--duration-hours <h>] [--seed <n>] [--scale <f>]\n"
       "explain  --schema <...> --query <...> [--dot <out.dot>]\n");
@@ -192,6 +197,19 @@ Result<ShedderPtr> MakeShedder(const Args& args,
   return Status::InvalidArgument("unknown shedder '" + name + "'");
 }
 
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << text;
+  if (!out.good()) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
 Status RunCommand(const Args& args) {
   SchemaRegistry registry;
   CEP_RETURN_NOT_OK(LoadSchema(args.Get("schema"), &registry));
@@ -228,6 +246,13 @@ Status RunCommand(const Args& args) {
   CEP_ASSIGN_OR_RETURN(ShedderPtr shedder, MakeShedder(args, registry));
 
   Engine engine(nfa, options, std::move(shedder));
+  // Observability sinks. Exports use the engine's virtual busy clock (the
+  // default latency mode), so for a fixed input and seed they are
+  // byte-identical across --threads settings.
+  obs::ShedAuditLog audit_log;
+  if (args.Has("audit-out")) engine.AttachAuditLog(&audit_log);
+  obs::Tracer tracer;
+  if (args.Has("trace-out")) engine.AttachTracer(&tracer);
   std::ofstream matches_file;
   const bool to_file = args.Has("matches");
   if (to_file) {
@@ -276,7 +301,38 @@ Status RunCommand(const Args& args) {
 
   const size_t batch_size =
       static_cast<size_t>(args.GetInt("batch-size", 1));
-  CEP_RETURN_NOT_OK(engine.ProcessStream(source.get(), batch_size));
+  const uint64_t stats_interval =
+      static_cast<uint64_t>(args.GetInt("stats-interval-events", 0));
+  if (stats_interval > 0) {
+    // Periodic snapshots need an event-at-a-time loop; snapshots go to
+    // stderr so stdout stays parseable.
+    uint64_t offered = 0;
+    while (EventPtr event = source->Next()) {
+      CEP_RETURN_NOT_OK(engine.OfferEvent(event));
+      if (++offered % stats_interval == 0) {
+        std::fprintf(stderr, "stats[%llu] %s\n",
+                     static_cast<unsigned long long>(offered),
+                     engine.metrics().ToString().c_str());
+      }
+    }
+  } else {
+    CEP_RETURN_NOT_OK(engine.ProcessStream(source.get(), batch_size));
+  }
+  if (args.Has("metrics-out")) {
+    const std::string path = args.Get("metrics-out");
+    obs::Registry metrics_registry;
+    engine.ExportMetrics(&metrics_registry);
+    CEP_RETURN_NOT_OK(WriteTextFile(
+        path, EndsWith(path, ".prom") ? metrics_registry.ToPrometheusText()
+                                      : metrics_registry.ToJson()));
+  }
+  if (args.Has("trace-out")) {
+    CEP_RETURN_NOT_OK(WriteTextFile(args.Get("trace-out"), tracer.ToJson()));
+  }
+  if (args.Has("audit-out")) {
+    CEP_RETURN_NOT_OK(
+        WriteTextFile(args.Get("audit-out"), audit_log.ToJsonl()));
+  }
   std::printf("%llu matches over %zu events\n",
               static_cast<unsigned long long>(
                   engine.metrics().matches_emitted),

@@ -4,10 +4,33 @@
 #      the fault-injection and resilience paths).
 #   2. build-tsan/      — ThreadSanitizer, the Parallel* suites (data-race
 #      coverage for the worker pool, run sharding, and MultiEngine fan-out).
+# Each build also runs the CLI on an example workload with the observability
+# exports enabled and validates them with validate_obs (schema regressions
+# and instrumentation races surface here).
 # Usage: tools/check.sh [extra ctest args for the ASan pass...]
 set -e
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# obs_check BUILD_DIR — generate a workload, run it with every observability
+# export enabled (threads >1 so instrumentation runs under the sanitizer's
+# eye), and validate the output files.
+obs_check() {
+  OBS_DIR="$(mktemp -d)"
+  Q='PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 5 min RETURN w(loc = a.loc, user = a.uid)'
+  "$1/tools/cepshed_cli" generate --workload bike --out "$OBS_DIR/bike.csv" \
+      --duration-hours 1 --seed 7 > /dev/null
+  "$1/tools/cepshed_cli" run --schema bike --query "$Q" \
+      --input "$OBS_DIR/bike.csv" --shedder sbls --max-runs 5 \
+      --hash req:loc --threads 4 \
+      --metrics-out "$OBS_DIR/metrics.prom" \
+      --trace-out "$OBS_DIR/trace.json" \
+      --audit-out "$OBS_DIR/audit.jsonl" > /dev/null
+  "$1/tools/validate_obs" metrics-prom "$OBS_DIR/metrics.prom"
+  "$1/tools/validate_obs" trace "$OBS_DIR/trace.json"
+  "$1/tools/validate_obs" audit "$OBS_DIR/audit.jsonl"
+  rm -rf "$OBS_DIR"
+}
 
 BUILD="$ROOT/build-sanitize"
 cmake -B "$BUILD" -S "$ROOT" \
@@ -17,6 +40,7 @@ cmake -B "$BUILD" -S "$ROOT" \
     -DCEPSHED_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD" -j "$JOBS"
 (cd "$BUILD" && ctest --output-on-failure -j "$JOBS" "$@")
+obs_check "$BUILD"
 
 TSAN_BUILD="$ROOT/build-tsan"
 cmake -B "$TSAN_BUILD" -S "$ROOT" \
@@ -26,5 +50,6 @@ cmake -B "$TSAN_BUILD" -S "$ROOT" \
     -DCEPSHED_BUILD_EXAMPLES=OFF
 cmake --build "$TSAN_BUILD" -j "$JOBS"
 (cd "$TSAN_BUILD" && ctest --output-on-failure -j "$JOBS" -R 'Parallel')
+obs_check "$TSAN_BUILD"
 
 echo "sanitized check ok"

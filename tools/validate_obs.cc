@@ -1,0 +1,493 @@
+// validate_obs — structural validator for the observability exports
+// (docs/OBSERVABILITY.md). Used by tools/check.sh and the CLI smoke test to
+// catch format regressions without external dependencies.
+//
+//   validate_obs metrics-json FILE   cepshed_cli --metrics-out x.json
+//   validate_obs metrics-prom FILE   cepshed_cli --metrics-out x.prom
+//   validate_obs trace FILE          cepshed_cli --trace-out x.json
+//   validate_obs audit FILE          cepshed_cli --audit-out x.jsonl
+//
+// Exit 0 when the file parses and satisfies the schema, 1 with a message on
+// stderr otherwise.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- minimal JSON parser ----------------------------------------------------
+// Just enough JSON to validate our own exports: objects, arrays, strings,
+// numbers, booleans, null. No \uXXXX decoding (we never emit it).
+
+struct JsonValue;
+using JsonPtr = std::unique_ptr<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kObject, kArray, kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::map<std::string, JsonPtr> object;
+  std::vector<JsonPtr> array;
+  std::string string;
+  double number = 0.0;
+  bool boolean = false;
+
+  const JsonValue* Get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : it->second.get();
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonPtr Parse(std::string* error) {
+    JsonPtr value = ParseValue();
+    SkipSpace();
+    if (value == nullptr || pos_ != text_.size()) {
+      *error = error_.empty() ? "trailing garbage" : error_;
+      return nullptr;
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      std::ostringstream os;
+      os << what << " at offset " << pos_;
+      error_ = os.str();
+    }
+    return false;
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return Fail(std::string("expected '") + c + "'");
+  }
+
+  JsonPtr ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return nullptr;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  JsonPtr ParseObject() {
+    auto value = std::make_unique<JsonValue>();
+    value->kind = JsonValue::Kind::kObject;
+    if (!Consume('{')) return nullptr;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      JsonPtr key = ParseString();
+      if (key == nullptr) return nullptr;
+      if (!Consume(':')) return nullptr;
+      JsonPtr item = ParseValue();
+      if (item == nullptr) return nullptr;
+      value->object[key->string] = std::move(item);
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!Consume('}')) return nullptr;
+      return value;
+    }
+  }
+
+  JsonPtr ParseArray() {
+    auto value = std::make_unique<JsonValue>();
+    value->kind = JsonValue::Kind::kArray;
+    if (!Consume('[')) return nullptr;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      JsonPtr item = ParseValue();
+      if (item == nullptr) return nullptr;
+      value->array.push_back(std::move(item));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!Consume(']')) return nullptr;
+      return value;
+    }
+  }
+
+  JsonPtr ParseString() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      Fail("expected string");
+      return nullptr;
+    }
+    ++pos_;
+    auto value = std::make_unique<JsonValue>();
+    value->kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default:
+            Fail("unsupported escape");
+            return nullptr;
+        }
+      }
+      value->string += c;
+    }
+    if (pos_ >= text_.size()) {
+      Fail("unterminated string");
+      return nullptr;
+    }
+    ++pos_;  // closing quote
+    return value;
+  }
+
+  JsonPtr ParseNumber() {
+    SkipSpace();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("expected number");
+      return nullptr;
+    }
+    auto value = std::make_unique<JsonValue>();
+    value->kind = JsonValue::Kind::kNumber;
+    value->number = std::atof(text_.substr(start, pos_ - start).c_str());
+    return value;
+  }
+
+  JsonPtr ParseBool() {
+    SkipSpace();
+    auto value = std::make_unique<JsonValue>();
+    value->kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value->boolean = true;
+      pos_ += 4;
+      return value;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return value;
+    }
+    Fail("expected boolean");
+    return nullptr;
+  }
+
+  JsonPtr ParseNull() {
+    SkipSpace();
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return std::make_unique<JsonValue>();
+    }
+    Fail("expected null");
+    return nullptr;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+int Invalid(const char* format, const std::string& detail) {
+  std::fprintf(stderr, format, detail.c_str());
+  std::fprintf(stderr, "\n");
+  return 1;
+}
+
+JsonPtr ParseOrDie(const std::string& text, int* rc) {
+  std::string error;
+  JsonPtr value = JsonParser(text).Parse(&error);
+  if (value == nullptr) {
+    *rc = Invalid("invalid JSON: %s", error);
+    return nullptr;
+  }
+  *rc = 0;
+  return value;
+}
+
+/// Metric families every engine export must contain (a subset of
+/// kEngineMetricFields' prom names plus the engine histograms).
+const char* const kRequiredFamilies[] = {
+    "cep_events_processed_total", "cep_matches_emitted_total",
+    "cep_runs_created_total",     "cep_runs_shed_total",
+    "cep_edge_evaluations_total", "cep_event_busy_us",
+    "cep_merge_us",               "cep_shed_episode_us",
+};
+
+// --- metrics (JSON form) ----------------------------------------------------
+
+int ValidateMetricsJson(const std::string& text) {
+  int rc = 0;
+  JsonPtr root = ParseOrDie(text, &rc);
+  if (root == nullptr) return rc;
+  if (root->kind != JsonValue::Kind::kObject) {
+    return Invalid("metrics JSON: top level must be an object%s", "");
+  }
+  const JsonValue* metrics = root->Get("metrics");
+  if (metrics == nullptr || metrics->kind != JsonValue::Kind::kArray) {
+    return Invalid("metrics JSON: missing \"metrics\" array%s", "");
+  }
+  std::map<std::string, int> seen;
+  for (const JsonPtr& metric : metrics->array) {
+    if (metric->kind != JsonValue::Kind::kObject) {
+      return Invalid("metrics JSON: non-object metric entry%s", "");
+    }
+    const JsonValue* name = metric->Get("name");
+    const JsonValue* type = metric->Get("type");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+        type == nullptr || type->kind != JsonValue::Kind::kString) {
+      return Invalid("metrics JSON: metric missing name/type%s", "");
+    }
+    const std::string& t = type->string;
+    if (t != "counter" && t != "gauge" && t != "histogram") {
+      return Invalid("metrics JSON: unknown metric type '%s'", t);
+    }
+    if (t == "histogram") {
+      const JsonValue* buckets = metric->Get("buckets");
+      const JsonValue* count = metric->Get("count");
+      if (buckets == nullptr || buckets->kind != JsonValue::Kind::kArray ||
+          count == nullptr) {
+        return Invalid("metrics JSON: histogram '%s' missing buckets/count",
+                       name->string);
+      }
+    } else if (metric->Get("value") == nullptr) {
+      return Invalid("metrics JSON: metric '%s' missing value", name->string);
+    }
+    ++seen[name->string];
+  }
+  for (const char* family : kRequiredFamilies) {
+    if (seen.count(family) == 0) {
+      return Invalid("metrics JSON: required family '%s' missing", family);
+    }
+  }
+  return 0;
+}
+
+// --- metrics (Prometheus text exposition) -----------------------------------
+
+int ValidateMetricsProm(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::map<std::string, std::string> types;  // family -> TYPE
+  std::map<std::string, int> samples;        // family -> sample count
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::ostringstream ctx;
+    ctx << "line " << line_no;
+    if (line[0] == '#') {
+      std::istringstream fields(line);
+      std::string hash, keyword, family, rest;
+      fields >> hash >> keyword >> family;
+      if (keyword != "HELP" && keyword != "TYPE") {
+        return Invalid("metrics prom: %s: comment is neither HELP nor TYPE",
+                       ctx.str());
+      }
+      if (keyword == "TYPE") {
+        fields >> rest;
+        if (rest != "counter" && rest != "gauge" && rest != "histogram") {
+          return Invalid("metrics prom: unknown TYPE '%s'", rest);
+        }
+        types[family] = rest;
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    const size_t brace = line.find('{');
+    const size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      return Invalid("metrics prom: %s: sample line without value", ctx.str());
+    }
+    std::string name =
+        line.substr(0, brace == std::string::npos ? space
+                                                  : std::min(brace, space));
+    // _bucket/_sum/_count samples belong to their histogram family.
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const size_t len = std::strlen(suffix);
+      if (name.size() > len &&
+          name.compare(name.size() - len, len, suffix) == 0) {
+        const std::string family = name.substr(0, name.size() - len);
+        if (types.count(family) != 0 && types[family] == "histogram") {
+          name = family;
+          break;
+        }
+      }
+    }
+    if (types.count(name) == 0) {
+      return Invalid("metrics prom: sample '%s' has no preceding TYPE", name);
+    }
+    ++samples[name];
+  }
+  for (const auto& [family, type] : types) {
+    if (samples.count(family) == 0) {
+      return Invalid("metrics prom: family '%s' declared but has no samples",
+                     family);
+    }
+    (void)type;
+  }
+  for (const char* family : kRequiredFamilies) {
+    if (types.count(family) == 0) {
+      return Invalid("metrics prom: required family '%s' missing", family);
+    }
+  }
+  return 0;
+}
+
+// --- Chrome trace_event JSON ------------------------------------------------
+
+int ValidateTrace(const std::string& text) {
+  int rc = 0;
+  JsonPtr root = ParseOrDie(text, &rc);
+  if (root == nullptr) return rc;
+  if (root->kind != JsonValue::Kind::kObject) {
+    return Invalid("trace: top level must be an object%s", "");
+  }
+  const JsonValue* events = root->Get("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    return Invalid("trace: missing \"traceEvents\" array%s", "");
+  }
+  double last_ts = -1.0;
+  for (const JsonPtr& event : events->array) {
+    if (event->kind != JsonValue::Kind::kObject) {
+      return Invalid("trace: non-object event%s", "");
+    }
+    const JsonValue* name = event->Get("name");
+    const JsonValue* ph = event->Get("ph");
+    const JsonValue* ts = event->Get("ts");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+        ph == nullptr || ph->kind != JsonValue::Kind::kString ||
+        ts == nullptr || ts->kind != JsonValue::Kind::kNumber ||
+        event->Get("pid") == nullptr || event->Get("tid") == nullptr) {
+      return Invalid("trace: event missing name/ph/ts/pid/tid%s", "");
+    }
+    if (ph->string == "X" && event->Get("dur") == nullptr) {
+      return Invalid("trace: complete span '%s' missing dur", name->string);
+    }
+    if (ts->number < last_ts) {
+      return Invalid("trace: events not sorted by ts (at '%s')", name->string);
+    }
+    last_ts = ts->number;
+  }
+  return 0;
+}
+
+// --- shed-decision audit JSONL ----------------------------------------------
+
+int ValidateAudit(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  double last_seq = -1.0;
+  const char* const required[] = {
+      "seq",     "engine",  "episode", "run_id",        "state",
+      "shed_ts", "c_plus",  "c_minus", "score",         "shed_fraction",
+      "run_start_ts", "time_slice", "degradation_level",
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    int rc = 0;
+    JsonPtr record = ParseOrDie(line, &rc);
+    if (record == nullptr) {
+      std::fprintf(stderr, "audit: at line %zu\n", line_no);
+      return rc;
+    }
+    if (record->kind != JsonValue::Kind::kObject) {
+      return Invalid("audit: non-object record%s", "");
+    }
+    for (const char* key : required) {
+      const JsonValue* field = record->Get(key);
+      if (field == nullptr || field->kind != JsonValue::Kind::kNumber) {
+        return Invalid("audit: record missing numeric field '%s'", key);
+      }
+    }
+    const double seq = record->Get("seq")->number;
+    if (seq <= last_seq) {
+      return Invalid("audit: seq not strictly increasing%s", "");
+    }
+    last_seq = seq;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: validate_obs <metrics-json|metrics-prom|trace|audit> "
+                 "<file>\n");
+    return 2;
+  }
+  std::ifstream file(argv[2]);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+  const std::string kind = argv[1];
+  int rc;
+  if (kind == "metrics-json") {
+    rc = ValidateMetricsJson(text);
+  } else if (kind == "metrics-prom") {
+    rc = ValidateMetricsProm(text);
+  } else if (kind == "trace") {
+    rc = ValidateTrace(text);
+  } else if (kind == "audit") {
+    rc = ValidateAudit(text);
+  } else {
+    std::fprintf(stderr, "unknown kind '%s'\n", kind.c_str());
+    return 2;
+  }
+  if (rc == 0) std::printf("%s: %s ok\n", kind.c_str(), argv[2]);
+  return rc;
+}
