@@ -1,0 +1,116 @@
+#include "ckpt/event_codec.h"
+
+#include <utility>
+
+namespace cep {
+namespace ckpt {
+
+uint32_t EventTableBuilder::InternSchema(const EventSchema& schema) {
+  Sink record;
+  record.WriteString(schema.name());
+  record.WriteU32(static_cast<uint32_t>(schema.num_attributes()));
+  for (const auto& attr : schema.attributes()) {
+    record.WriteString(attr.name);
+    record.WriteU8(static_cast<uint8_t>(attr.type));
+  }
+  auto it = schema_index_.find(record.bytes());
+  if (it != schema_index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(encoded_schemas_.size());
+  std::string bytes = record.TakeBytes();
+  schema_index_.emplace(bytes, id);
+  encoded_schemas_.push_back(std::move(bytes));
+  return id;
+}
+
+uint32_t EventTableBuilder::Intern(const EventPtr& event) {
+  Sink record;
+  record.WriteU32(InternSchema(event->schema()));
+  record.WriteU32(event->type());
+  record.WriteI64(event->timestamp());
+  record.WriteU64(event->sequence());
+  record.WriteU32(static_cast<uint32_t>(event->num_attributes()));
+  for (size_t i = 0; i < event->num_attributes(); ++i) {
+    record.WriteValue(event->attribute(static_cast<int>(i)));
+  }
+  auto it = index_.find(record.bytes());
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(encoded_events_.size());
+  std::string bytes = record.TakeBytes();
+  index_.emplace(bytes, id);
+  encoded_events_.push_back(std::move(bytes));
+  return id;
+}
+
+void EventTableBuilder::Serialize(Sink& sink) const {
+  sink.WriteU32(static_cast<uint32_t>(encoded_schemas_.size()));
+  for (const auto& record : encoded_schemas_) {
+    sink.WriteBytes(record.data(), record.size());
+  }
+  sink.WriteU32(static_cast<uint32_t>(encoded_events_.size()));
+  for (const auto& record : encoded_events_) {
+    sink.WriteBytes(record.data(), record.size());
+  }
+}
+
+Status EventTable::RestoreFrom(Source& source) {
+  events_.clear();
+  CEP_ASSIGN_OR_RETURN(uint32_t num_schemas, source.ReadU32());
+  std::vector<SchemaPtr> schemas;
+  schemas.reserve(num_schemas);
+  for (uint32_t s = 0; s < num_schemas; ++s) {
+    CEP_ASSIGN_OR_RETURN(std::string name, source.ReadString());
+    CEP_ASSIGN_OR_RETURN(uint32_t num_attrs, source.ReadU32());
+    std::vector<AttributeDef> attrs;
+    attrs.reserve(num_attrs);
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      AttributeDef def;
+      CEP_ASSIGN_OR_RETURN(def.name, source.ReadString());
+      CEP_ASSIGN_OR_RETURN(uint8_t type_tag, source.ReadU8());
+      if (type_tag > static_cast<uint8_t>(ValueType::kString)) {
+        return Status::ParseError("invalid attribute type tag " +
+                                  std::to_string(type_tag) + " in schema '" +
+                                  name + "'");
+      }
+      def.type = static_cast<ValueType>(type_tag);
+      attrs.push_back(std::move(def));
+    }
+    schemas.push_back(
+        std::make_shared<const EventSchema>(std::move(name), std::move(attrs)));
+  }
+
+  CEP_ASSIGN_OR_RETURN(uint32_t num_events, source.ReadU32());
+  events_.reserve(num_events);
+  for (uint32_t e = 0; e < num_events; ++e) {
+    CEP_ASSIGN_OR_RETURN(uint32_t schema_id, source.ReadU32());
+    if (schema_id >= schemas.size()) {
+      return Status::ParseError("event references schema " +
+                                std::to_string(schema_id) + " of " +
+                                std::to_string(schemas.size()));
+    }
+    CEP_ASSIGN_OR_RETURN(uint32_t type, source.ReadU32());
+    CEP_ASSIGN_OR_RETURN(int64_t timestamp, source.ReadI64());
+    CEP_ASSIGN_OR_RETURN(uint64_t sequence, source.ReadU64());
+    CEP_ASSIGN_OR_RETURN(uint32_t num_attrs, source.ReadU32());
+    std::vector<Value> values;
+    values.reserve(num_attrs);
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      CEP_ASSIGN_OR_RETURN(Value v, source.ReadValue());
+      values.push_back(std::move(v));
+    }
+    events_.push_back(std::make_shared<const Event>(
+        type, schemas[schema_id], timestamp, std::move(values), sequence));
+  }
+  return Status::OK();
+}
+
+Result<EventPtr> EventTable::Get(uint32_t index) const {
+  if (index >= events_.size()) {
+    return Status::OutOfRange("event table index " + std::to_string(index) +
+                              " out of range (" + std::to_string(events_.size()) +
+                              " entries)");
+  }
+  return events_[index];
+}
+
+}  // namespace ckpt
+}  // namespace cep

@@ -1,0 +1,72 @@
+#ifndef CEPSHED_CKPT_EVENT_CODEC_H_
+#define CEPSHED_CKPT_EVENT_CODEC_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ckpt/io.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "event/event.h"
+#include "event/schema.h"
+
+namespace cep {
+namespace ckpt {
+
+/// \brief Deduplicating event table for snapshot serialization.
+///
+/// Runs share events via shared_ptr, so the exponential partial-match state
+/// references each arriving event many times. The snapshot stores every
+/// distinct event once and encodes run bindings as indices into this table.
+/// Schemas are likewise deduplicated and serialized self-contained, so
+/// restore does not need access to the original SchemaRegistry.
+///
+/// Deduplication is keyed on the serialized record bytes, not on pointer
+/// identity. This matters for replay determinism: after a restore, the
+/// engine holds reconstructed copies of pre-checkpoint events alongside the
+/// stream originals of post-restore events, and a later snapshot must intern
+/// a logically identical event to the same slot regardless of which
+/// allocation a binding happens to reference.
+///
+/// Usage: call Intern() for every event reachable from runs/matches while
+/// serializing them into a side sink, then Serialize() the table itself ahead
+/// of that sink's bytes.
+class EventTableBuilder {
+ public:
+  /// Returns the table index for `event`, adding it on first sight.
+  uint32_t Intern(const EventPtr& event);
+
+  /// Writes the schema table followed by the event table.
+  void Serialize(Sink& sink) const;
+
+  size_t size() const { return encoded_events_.size(); }
+
+ private:
+  uint32_t InternSchema(const EventSchema& schema);
+
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> encoded_events_;
+  std::unordered_map<std::string, uint32_t> schema_index_;
+  std::vector<std::string> encoded_schemas_;
+};
+
+/// \brief Restored event table: resolves binding indices back to shared
+/// events. Events deduplicated at serialization time come back as one shared
+/// allocation, preserving the memory profile of the original engine.
+class EventTable {
+ public:
+  Status RestoreFrom(Source& source);
+
+  Result<EventPtr> Get(uint32_t index) const;
+
+  size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<EventPtr> events_;
+};
+
+}  // namespace ckpt
+}  // namespace cep
+
+#endif  // CEPSHED_CKPT_EVENT_CODEC_H_

@@ -1,0 +1,180 @@
+#include "ckpt/io.h"
+
+#include <cstring>
+
+namespace cep {
+namespace ckpt {
+
+void Sink::WriteBytes(const void* data, size_t size) {
+  bytes_.append(static_cast<const char*>(data), size);
+}
+
+void Sink::WriteU8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+
+void Sink::WriteU32(uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  bytes_.append(buf, 4);
+}
+
+void Sink::WriteU64(uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  bytes_.append(buf, 8);
+}
+
+void Sink::WriteDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void Sink::WriteString(std::string_view s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  bytes_.append(s.data(), s.size());
+}
+
+void Sink::WriteValue(const Value& v) {
+  WriteU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      WriteBool(v.bool_value());
+      break;
+    case ValueType::kInt:
+      WriteI64(v.int_value());
+      break;
+    case ValueType::kDouble:
+      WriteDouble(v.double_value());
+      break;
+    case ValueType::kString:
+      WriteString(v.string_value());
+      break;
+  }
+}
+
+Status Source::CheckAvailable(size_t n) const {
+  if (bytes_.size() - pos_ < n) {
+    return Status::OutOfRange("snapshot section truncated: need " +
+                              std::to_string(n) + " bytes, have " +
+                              std::to_string(bytes_.size() - pos_));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> Source::ReadU8() {
+  CEP_RETURN_NOT_OK(CheckAvailable(1));
+  return static_cast<uint8_t>(bytes_[pos_++]);
+}
+
+Result<uint32_t> Source::ReadU32() {
+  CEP_RETURN_NOT_OK(CheckAvailable(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Source::ReadU64() {
+  CEP_RETURN_NOT_OK(CheckAvailable(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> Source::ReadI64() {
+  CEP_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> Source::ReadDouble() {
+  CEP_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<bool> Source::ReadBool() {
+  CEP_ASSIGN_OR_RETURN(uint8_t v, ReadU8());
+  if (v > 1) {
+    return Status::ParseError("invalid bool encoding: " + std::to_string(v));
+  }
+  return v != 0;
+}
+
+Result<std::string> Source::ReadString() {
+  CEP_ASSIGN_OR_RETURN(uint32_t size, ReadU32());
+  CEP_RETURN_NOT_OK(CheckAvailable(size));
+  std::string s(bytes_.data() + pos_, size);
+  pos_ += size;
+  return s;
+}
+
+Result<std::string_view> Source::ReadBytes(size_t size) {
+  CEP_RETURN_NOT_OK(CheckAvailable(size));
+  std::string_view view = bytes_.substr(pos_, size);
+  pos_ += size;
+  return view;
+}
+
+Result<Value> Source::ReadValue() {
+  CEP_ASSIGN_OR_RETURN(uint8_t tag, ReadU8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool: {
+      CEP_ASSIGN_OR_RETURN(bool v, ReadBool());
+      return Value(v);
+    }
+    case ValueType::kInt: {
+      CEP_ASSIGN_OR_RETURN(int64_t v, ReadI64());
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      CEP_ASSIGN_OR_RETURN(double v, ReadDouble());
+      return Value(v);
+    }
+    case ValueType::kString: {
+      CEP_ASSIGN_OR_RETURN(std::string v, ReadString());
+      return Value(std::move(v));
+    }
+  }
+  return Status::ParseError("unknown Value type tag: " + std::to_string(tag));
+}
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const Crc32Table table;
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table.entries[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ckpt
+}  // namespace cep

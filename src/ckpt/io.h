@@ -1,0 +1,83 @@
+#ifndef CEPSHED_CKPT_IO_H_
+#define CEPSHED_CKPT_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace cep {
+namespace ckpt {
+
+/// \brief Append-only byte sink for snapshot serialization.
+///
+/// All multi-byte integers are written little-endian regardless of host
+/// order; doubles are written as their IEEE-754 bit pattern so NaN payloads
+/// and signed zeros round-trip exactly. Strings are length-prefixed (u32) and
+/// may contain embedded NULs.
+class Sink {
+ public:
+  Sink() = default;
+
+  void WriteBytes(const void* data, size_t size);
+  void WriteU8(uint8_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+  void WriteDouble(double v);
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+  void WriteString(std::string_view s);
+  void WriteValue(const Value& v);
+
+  const std::string& bytes() const { return bytes_; }
+  std::string TakeBytes() { return std::move(bytes_); }
+  size_t size() const { return bytes_.size(); }
+  void Clear() { bytes_.clear(); }
+
+ private:
+  std::string bytes_;
+};
+
+/// \brief Bounded cursor over serialized bytes; every read is range-checked
+/// and returns OutOfRange instead of reading past the end, so a truncated or
+/// corrupted section can never crash the restore path.
+class Source {
+ public:
+  explicit Source(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadDouble();
+  Result<bool> ReadBool();
+  Result<std::string> ReadString();
+  Result<Value> ReadValue();
+  /// Reads `size` raw bytes as a view into the underlying buffer (valid only
+  /// while the buffer outlives the Source).
+  Result<std::string_view> ReadBytes(size_t size);
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  Status CheckAvailable(size_t n) const;
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte
+/// range. Guards every snapshot file against torn writes and bit rot.
+uint32_t Crc32(const void* data, size_t size);
+inline uint32_t Crc32(std::string_view s) { return Crc32(s.data(), s.size()); }
+
+}  // namespace ckpt
+}  // namespace cep
+
+#endif  // CEPSHED_CKPT_IO_H_

@@ -1,0 +1,113 @@
+#ifndef CEPSHED_CKPT_SNAPSHOT_H_
+#define CEPSHED_CKPT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ckpt/io.h"
+#include "ckpt/state_component.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cep {
+namespace ckpt {
+
+/// Snapshot file layout (version 1, all integers little-endian):
+///
+///   [0..7]   magic "CEPSNAP\x01"
+///   u32      format version (1)
+///   u32      flags (reserved, 0)
+///   u64      stream offset (events consumed before this snapshot)
+///   u32      component count N
+///   N x {    string  component name
+///            u64     payload size P
+///            P bytes payload
+///            u64     digest (FNV-1a of payload bytes) }
+///   u32      CRC-32 of everything above
+///
+/// No wall-clock timestamps: equal engine state produces byte-identical
+/// snapshot files, which the replay-determinism tests rely on.
+inline constexpr char kSnapshotMagic[8] = {'C', 'E', 'P', 'S',
+                                          'N', 'A', 'P', '\x01'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+/// Suffix of in-progress snapshot writes; readers ignore these.
+inline constexpr const char* kSnapshotTempSuffix = ".tmp";
+/// Extension of completed snapshot files: ckpt-<offset>.cep
+inline constexpr const char* kSnapshotExtension = ".cep";
+
+/// \brief One named, length-prefixed component section of a parsed snapshot.
+struct SnapshotSection {
+  std::string name;
+  std::string_view payload;  ///< view into the parsed buffer
+  uint64_t digest = 0;
+};
+
+/// \brief Parsed, CRC-verified snapshot. `sections` views point into the
+/// buffer passed to ParseSnapshot, which must outlive the view.
+struct SnapshotView {
+  uint32_t version = 0;
+  uint64_t stream_offset = 0;
+  std::vector<SnapshotSection> sections;
+
+  const SnapshotSection* Find(std::string_view name) const {
+    for (const auto& s : sections) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+};
+
+/// \brief Assembles a snapshot byte string from a component registry.
+class SnapshotBuilder {
+ public:
+  explicit SnapshotBuilder(uint64_t stream_offset)
+      : stream_offset_(stream_offset) {}
+
+  /// Serializes every registered component into its own section.
+  Status AddComponents(const ComponentRegistry& registry);
+
+  /// Adds a pre-serialized section (used by MultiEngine to nest per-query
+  /// engine snapshots).
+  void AddSection(std::string_view name, std::string_view payload);
+
+  /// Finalizes header + sections + CRC trailer and returns the file bytes.
+  std::string Finish() const;
+
+ private:
+  uint64_t stream_offset_;
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// Parses and validates snapshot bytes: magic, version, CRC trailer, and
+/// per-section digests. CRC or digest mismatch yields DataLoss; structural
+/// problems yield ParseError.
+Result<SnapshotView> ParseSnapshot(std::string_view bytes);
+
+/// Restores every section of `view` into the matching component of
+/// `registry`. Fails with NotFound if a section has no registered component
+/// or a component has no section (config mismatch between snapshot and
+/// engine).
+Status RestoreComponents(const SnapshotView& view,
+                         const ComponentRegistry& registry);
+
+/// Writes `bytes` to `path` atomically: write to `path + ".tmp"`, fsync,
+/// rename. A crash mid-write leaves only a torn temp file that readers skip.
+Status WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFileBytes(const std::string& path);
+
+/// Composes the snapshot filename for a stream offset: ckpt-<offset>.cep
+/// (offset zero-padded to 20 digits so lexicographic order equals numeric).
+std::string SnapshotFileName(uint64_t stream_offset);
+
+/// Parses a stream offset back out of a snapshot filename; returns error for
+/// non-snapshot files (temp files, strangers in the directory).
+Result<uint64_t> ParseSnapshotFileName(std::string_view filename);
+
+}  // namespace ckpt
+}  // namespace cep
+
+#endif  // CEPSHED_CKPT_SNAPSHOT_H_

@@ -1,0 +1,81 @@
+#ifndef CEPSHED_CKPT_STATE_COMPONENT_H_
+#define CEPSHED_CKPT_STATE_COMPONENT_H_
+
+#include <string>
+#include <vector>
+
+#include "ckpt/io.h"
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace cep {
+namespace ckpt {
+
+/// \brief Uniform serialization surface for every piece of engine state.
+///
+/// A StateComponent owns one length-prefixed section of a snapshot. The
+/// engine checkpoints by iterating a ComponentRegistry — it never reaches
+/// into a component's internals, so adding durable state to the engine means
+/// implementing this interface and registering, nothing more.
+///
+/// Contract: SerializeTo must emit a byte string that is a pure function of
+/// the component's logical state (no pointers, wall-clock timestamps, or
+/// iteration over unordered containers without sorting), so that two
+/// components with equal state produce equal bytes and Digest() can be used
+/// for snapshot diffing.
+class StateComponent {
+ public:
+  virtual ~StateComponent() = default;
+
+  /// Appends this component's state to `sink`.
+  virtual Status SerializeTo(Sink& sink) const = 0;
+
+  /// Replaces this component's state from `source`. On error the component
+  /// may be left in an unspecified state; callers restore into fresh objects
+  /// or discard the engine on failure.
+  virtual Status RestoreFrom(Source& source) = 0;
+
+  /// Stable fingerprint of the component's logical state. The default
+  /// serializes and hashes; override only when a cheaper exact fingerprint
+  /// exists.
+  virtual uint64_t Digest() const {
+    Sink sink;
+    if (!SerializeTo(sink).ok()) return 0;
+    return HashBytes(sink.bytes().data(), sink.size());
+  }
+};
+
+/// \brief One named entry in a component registry. The name becomes the
+/// section name inside the snapshot and must be unique per engine.
+struct RegisteredComponent {
+  std::string name;
+  StateComponent* component = nullptr;
+};
+
+/// \brief Ordered list of components that together form an engine's durable
+/// state. Order is the serialization order and must be stable across builds
+/// for snapshot files to be comparable.
+class ComponentRegistry {
+ public:
+  void Register(std::string name, StateComponent* component) {
+    entries_.push_back(RegisteredComponent{std::move(name), component});
+  }
+
+  const std::vector<RegisteredComponent>& entries() const { return entries_; }
+  void Clear() { entries_.clear(); }
+
+  StateComponent* Find(std::string_view name) const {
+    for (const auto& e : entries_) {
+      if (e.name == name) return e.component;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<RegisteredComponent> entries_;
+};
+
+}  // namespace ckpt
+}  // namespace cep
+
+#endif  // CEPSHED_CKPT_STATE_COMPONENT_H_

@@ -1,6 +1,7 @@
 #ifndef CEPSHED_COMMON_RNG_H_
 #define CEPSHED_COMMON_RNG_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -42,6 +43,14 @@ class Rng {
 
   /// Fisher–Yates shuffle of indices [0, n).
   std::vector<size_t> Permutation(size_t n);
+
+  /// Raw xoshiro256** state, for checkpointing. The zipf table is a pure
+  /// cache keyed by (n, s) and rebuilds on demand, so it is not part of the
+  /// durable state.
+  std::array<uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
  private:
   uint64_t s_[4];

@@ -22,6 +22,7 @@ enum class StatusCode : int {
   kIoError = 7,
   kNotImplemented = 8,
   kInternal = 9,
+  kDataLoss = 10,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK", "ParseError", ...).
@@ -70,6 +71,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -85,6 +89,7 @@ class Status {
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ckpt/io.h"
+#include "common/result.h"
 #include "common/string_util.h"
 
 namespace cep {
@@ -90,6 +92,31 @@ DegradationLevel DegradationController::Update(double overload_ratio,
     events_at_level_ = 0;
   }
   return level_;
+}
+
+Status DegradationController::SerializeTo(ckpt::Sink& sink) const {
+  sink.WriteU8(static_cast<uint8_t>(level_));
+  sink.WriteU64(events_at_level_);
+  sink.WriteU64(ups_);
+  sink.WriteU64(downs_);
+  for (const uint64_t entry : entries_) sink.WriteU64(entry);
+  return Status::OK();
+}
+
+Status DegradationController::RestoreFrom(ckpt::Source& source) {
+  CEP_ASSIGN_OR_RETURN(uint8_t level, source.ReadU8());
+  if (level > static_cast<uint8_t>(DegradationLevel::kBypass)) {
+    return Status::ParseError("degradation snapshot level out of range");
+  }
+  CEP_ASSIGN_OR_RETURN(uint64_t events_at_level, source.ReadU64());
+  CEP_ASSIGN_OR_RETURN(ups_, source.ReadU64());
+  CEP_ASSIGN_OR_RETURN(downs_, source.ReadU64());
+  for (uint64_t& entry : entries_) {
+    CEP_ASSIGN_OR_RETURN(entry, source.ReadU64());
+  }
+  level_ = static_cast<DegradationLevel>(level);
+  events_at_level_ = static_cast<size_t>(events_at_level);
+  return Status::OK();
 }
 
 std::string DegradationController::ToString() const {

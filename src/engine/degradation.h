@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string>
 
+#include "ckpt/state_component.h"
+#include "common/status.h"
 #include "engine/options.h"
 
 namespace cep {
@@ -34,7 +36,7 @@ namespace cep {
 /// level *and* only once the driving signal has fallen below the entry
 /// threshold scaled by `hysteresis` — the classic dual-threshold scheme that
 /// keeps the controller from oscillating at a level boundary.
-class DegradationController {
+class DegradationController : public ckpt::StateComponent {
  public:
   explicit DegradationController(DegradationOptions options);
 
@@ -62,6 +64,12 @@ class DegradationController {
   size_t events_at_level() const { return events_at_level_; }
 
   std::string ToString() const;
+
+  /// Checkpoint codec: the ladder position, the cooldown clock, and the
+  /// transition counters. Options are configuration, not state, and are not
+  /// serialized.
+  Status SerializeTo(ckpt::Sink& sink) const override;
+  Status RestoreFrom(ckpt::Source& source) override;
 
  private:
   /// Highest level demanded by any driving signal, ignoring hysteresis.

@@ -1,8 +1,13 @@
 #include "engine/engine.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <array>
 #include <chrono>
 
+#include "ckpt/event_codec.h"
+#include "ckpt/io.h"
 #include "common/string_util.h"
 #include "shedding/adaptive.h"
 
@@ -28,6 +33,213 @@ const char* SelectionStrategyName(SelectionStrategy strategy) {
   }
   return "?";
 }
+
+// --- checkpoint component adapters ------------------------------------------
+//
+// These adapters expose composite engine state as StateComponents so
+// Engine::SerializeSnapshot is a registry walk. Each owns one snapshot
+// section; the byte layouts below are part of the snapshot format
+// (docs/CHECKPOINTING.md).
+
+/// Scalar engine state: id counters, ingestion position, shed cooldown, the
+/// resilience RNG stream.
+class Engine::CoreComponent final : public ckpt::StateComponent {
+ public:
+  explicit CoreComponent(Engine* engine) : e_(engine) {}
+
+  Status SerializeTo(ckpt::Sink& sink) const override {
+    sink.WriteU64(e_->next_run_id_);
+    sink.WriteU64(e_->next_match_id_);
+    sink.WriteU64(e_->events_since_shed_);
+    sink.WriteI64(e_->last_event_ts_);
+    sink.WriteU64(e_->approx_run_bytes_);
+    sink.WriteU64(e_->consecutive_errors_);
+    sink.WriteU64(e_->stream_offset_);
+    for (const uint64_t word : e_->resilience_rng_.state()) {
+      sink.WriteU64(word);
+    }
+    return Status::OK();
+  }
+
+  Status RestoreFrom(ckpt::Source& source) override {
+    CEP_ASSIGN_OR_RETURN(e_->next_run_id_, source.ReadU64());
+    CEP_ASSIGN_OR_RETURN(e_->next_match_id_, source.ReadU64());
+    CEP_ASSIGN_OR_RETURN(e_->events_since_shed_, source.ReadU64());
+    CEP_ASSIGN_OR_RETURN(e_->last_event_ts_, source.ReadI64());
+    CEP_ASSIGN_OR_RETURN(uint64_t run_bytes, source.ReadU64());
+    e_->approx_run_bytes_ = static_cast<size_t>(run_bytes);
+    CEP_ASSIGN_OR_RETURN(uint64_t errors, source.ReadU64());
+    e_->consecutive_errors_ = static_cast<size_t>(errors);
+    CEP_ASSIGN_OR_RETURN(e_->stream_offset_, source.ReadU64());
+    std::array<uint64_t, 4> rng_state;
+    for (auto& word : rng_state) {
+      CEP_ASSIGN_OR_RETURN(word, source.ReadU64());
+    }
+    e_->resilience_rng_.set_state(rng_state);
+    return Status::OK();
+  }
+
+ private:
+  Engine* e_;
+};
+
+/// The run set R(t): a deduplicating event table followed by every run's
+/// bindings encoded as table indices (see Run::SerializeTo).
+class Engine::RunSetComponent final : public ckpt::StateComponent {
+ public:
+  explicit RunSetComponent(Engine* engine) : e_(engine) {}
+
+  Status SerializeTo(ckpt::Sink& sink) const override {
+    ckpt::EventTableBuilder table;
+    ckpt::Sink runs;
+    runs.WriteU64(e_->runs_.size());
+    for (const RunPtr& run : e_->runs_) {
+      CEP_RETURN_NOT_OK(run->SerializeTo(runs, &table));
+    }
+    // The table is written first (restore needs it before the runs), but
+    // built while serializing the runs — hence the side sink.
+    table.Serialize(sink);
+    sink.WriteBytes(runs.bytes().data(), runs.size());
+    return Status::OK();
+  }
+
+  Status RestoreFrom(ckpt::Source& source) override {
+    ckpt::EventTable table;
+    CEP_RETURN_NOT_OK(table.RestoreFrom(source));
+    CEP_ASSIGN_OR_RETURN(uint64_t count, source.ReadU64());
+    e_->new_runs_.clear();
+    e_->runs_.clear();
+    e_->runs_.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      CEP_ASSIGN_OR_RETURN(
+          RunPtr run, Run::RestoreFrom(source, table, e_->arena_ptr()));
+      e_->runs_.push_back(std::move(run));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Engine* e_;
+};
+
+/// Accumulated matches (options.collect_matches): exactly-once resume must
+/// re-emit the pre-checkpoint output, so matches are engine state.
+class Engine::MatchesComponent final : public ckpt::StateComponent {
+ public:
+  explicit MatchesComponent(Engine* engine) : e_(engine) {}
+
+  Status SerializeTo(ckpt::Sink& sink) const override {
+    ckpt::EventTableBuilder table;
+    ckpt::Sink body;
+    body.WriteU64(e_->matches_.size());
+    for (const Match& match : e_->matches_) {
+      body.WriteU64(match.id);
+      body.WriteI64(match.first_ts);
+      body.WriteI64(match.last_ts);
+      body.WriteU64(match.fingerprint);
+      body.WriteU32(static_cast<uint32_t>(match.bindings.size()));
+      for (const auto& binding : match.bindings) {
+        body.WriteU32(static_cast<uint32_t>(binding.size()));
+        for (const EventPtr& event : binding) {
+          body.WriteU32(table.Intern(event));
+        }
+      }
+      if (match.complex_event != nullptr) {
+        body.WriteU8(1);
+        body.WriteU32(table.Intern(match.complex_event));
+      } else {
+        body.WriteU8(0);
+      }
+    }
+    table.Serialize(sink);
+    sink.WriteBytes(body.bytes().data(), body.size());
+    return Status::OK();
+  }
+
+  Status RestoreFrom(ckpt::Source& source) override {
+    ckpt::EventTable table;
+    CEP_RETURN_NOT_OK(table.RestoreFrom(source));
+    CEP_ASSIGN_OR_RETURN(uint64_t count, source.ReadU64());
+    e_->matches_.clear();
+    e_->matches_.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      Match match;
+      CEP_ASSIGN_OR_RETURN(match.id, source.ReadU64());
+      CEP_ASSIGN_OR_RETURN(match.first_ts, source.ReadI64());
+      CEP_ASSIGN_OR_RETURN(match.last_ts, source.ReadI64());
+      CEP_ASSIGN_OR_RETURN(match.fingerprint, source.ReadU64());
+      CEP_ASSIGN_OR_RETURN(uint32_t num_vars, source.ReadU32());
+      match.bindings.resize(num_vars);
+      for (uint32_t v = 0; v < num_vars; ++v) {
+        CEP_ASSIGN_OR_RETURN(uint32_t num_events, source.ReadU32());
+        match.bindings[v].reserve(num_events);
+        for (uint32_t k = 0; k < num_events; ++k) {
+          CEP_ASSIGN_OR_RETURN(uint32_t index, source.ReadU32());
+          CEP_ASSIGN_OR_RETURN(EventPtr event, table.Get(index));
+          match.bindings[v].push_back(std::move(event));
+        }
+      }
+      CEP_ASSIGN_OR_RETURN(uint8_t has_complex, source.ReadU8());
+      if (has_complex != 0) {
+        CEP_ASSIGN_OR_RETURN(uint32_t index, source.ReadU32());
+        CEP_ASSIGN_OR_RETURN(match.complex_event, table.Get(index));
+      }
+      e_->matches_.push_back(std::move(match));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Engine* e_;
+};
+
+/// EngineMetrics (field-table driven, so new counters snapshot
+/// automatically) plus the latency histograms.
+class Engine::MetricsComponent final : public ckpt::StateComponent {
+ public:
+  explicit MetricsComponent(Engine* engine) : e_(engine) {}
+
+  Status SerializeTo(ckpt::Sink& sink) const override {
+    size_t count = 0;
+    const EngineMetricField* fields = EngineMetricFields(&count);
+    sink.WriteU32(static_cast<uint32_t>(count));
+    for (size_t i = 0; i < count; ++i) {
+      if (fields[i].u64 != nullptr) {
+        sink.WriteU64(e_->metrics_.*fields[i].u64);
+      } else {
+        sink.WriteDouble(e_->metrics_.*fields[i].f64);
+      }
+    }
+    e_->event_busy_us_.SerializeTo(sink);
+    e_->merge_us_.SerializeTo(sink);
+    e_->shed_episode_us_.SerializeTo(sink);
+    return Status::OK();
+  }
+
+  Status RestoreFrom(ckpt::Source& source) override {
+    size_t count = 0;
+    const EngineMetricField* fields = EngineMetricFields(&count);
+    CEP_ASSIGN_OR_RETURN(uint32_t stored, source.ReadU32());
+    if (stored != count) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot has %u metric fields, this build has %zu", stored, count));
+    }
+    for (size_t i = 0; i < count; ++i) {
+      if (fields[i].u64 != nullptr) {
+        CEP_ASSIGN_OR_RETURN(e_->metrics_.*fields[i].u64, source.ReadU64());
+      } else {
+        CEP_ASSIGN_OR_RETURN(e_->metrics_.*fields[i].f64, source.ReadDouble());
+      }
+    }
+    CEP_RETURN_NOT_OK(e_->event_busy_us_.RestoreFrom(source));
+    CEP_RETURN_NOT_OK(e_->merge_us_.RestoreFrom(source));
+    CEP_RETURN_NOT_OK(e_->shed_episode_us_.RestoreFrom(source));
+    return Status::OK();
+  }
+
+ private:
+  Engine* e_;
+};
 
 Engine::Engine(NfaPtr nfa, EngineOptions options, ShedderPtr shedder)
     : nfa_(std::move(nfa)),
@@ -77,7 +289,17 @@ Engine::Engine(NfaPtr nfa, EngineOptions options, ShedderPtr shedder)
         std::make_shared<EventSchema>(spec.event_name, std::move(attrs));
   }
   if (shedder_ != nullptr) shedder_->Attach(*nfa_);
+  core_component_ = std::make_unique<CoreComponent>(this);
+  runs_component_ = std::make_unique<RunSetComponent>(this);
+  matches_component_ = std::make_unique<MatchesComponent>(this);
+  metrics_component_ = std::make_unique<MetricsComponent>(this);
+  if (options_.checkpoint.enabled()) {
+    ckpt_manager_ = std::make_unique<ckpt::CheckpointManager>(
+        options_.checkpoint.directory, options_.checkpoint.keep);
+  }
 }
+
+Engine::~Engine() = default;
 
 void Engine::SetThreadPool(ThreadPool* pool) {
   pool_ = pool;
@@ -518,16 +740,25 @@ Status Engine::OfferEvent(const EventPtr& event) {
   Status status = ProcessEvent(event);
   if (status.ok()) {
     consecutive_errors_ = 0;
+  } else if (!options_.error_budget.enabled) {
     return status;
+  } else {
+    ++consecutive_errors_;
+    ++metrics_.quarantined_events;
+    RecoverFromError();
+    if (consecutive_errors_ >= options_.error_budget.max_consecutive_errors) {
+      return status.WithContext(
+          StrFormat("error budget exhausted (%zu consecutive failures)",
+                    consecutive_errors_));
+    }
   }
-  if (!options_.error_budget.enabled) return status;
-  ++consecutive_errors_;
-  ++metrics_.quarantined_events;
-  RecoverFromError();
-  if (consecutive_errors_ >= options_.error_budget.max_consecutive_errors) {
-    return status.WithContext(
-        StrFormat("error budget exhausted (%zu consecutive failures)",
-                  consecutive_errors_));
+  // Every consumed event (including quarantined ones) advances the stream
+  // position: on restore the CLI skips exactly stream_offset() events, so
+  // the offset must count consumption, not successful evaluation.
+  ++stream_offset_;
+  if (ckpt_manager_ != nullptr &&
+      stream_offset_ % options_.checkpoint.interval_events == 0) {
+    CEP_RETURN_NOT_OK(MaybeCheckpoint());
   }
   return Status::OK();
 }
@@ -633,14 +864,21 @@ Status Engine::Flush() {
   return Status::OK();
 }
 
-size_t Engine::ApplyVictims(const std::vector<size_t>& victims,
-                            Timestamp now) {
+bool Engine::WantShedScores() const {
+  if constexpr (obs::kEnabled) {
+    return audit_log_ != nullptr || static_cast<bool>(shed_callback_);
+  }
+  return false;
+}
+
+size_t Engine::ApplyVictims(const ShedDecision& decision, Timestamp now) {
   const size_t live = runs_.size();
   const double fraction =
-      live > 0 ? static_cast<double>(victims.size()) / live : 0.0;
+      live > 0 ? static_cast<double>(decision.victims.size()) / live : 0.0;
   const uint64_t episode = metrics_.shed_triggers;  // 0-based ordinal
   size_t applied = 0;
-  for (const size_t idx : victims) {
+  for (const ShedVictim& victim : decision.victims) {
+    const size_t idx = victim.index;
     if (idx >= runs_.size() || runs_[idx] == nullptr) continue;
     if constexpr (obs::kEnabled) {
       if (audit_log_ != nullptr || shed_callback_) {
@@ -652,12 +890,11 @@ size_t Engine::ApplyVictims(const std::vector<size_t>& victims,
         record.nfa_state = run.state();
         record.shed_ts = now;
         record.run_start_ts = run.start_ts();
-        ShedVictimScores scores;
-        if (shedder_->DescribeVictim(run, now, &scores)) {
-          record.c_plus = scores.c_plus;
-          record.c_minus = scores.c_minus;
-          record.score = scores.score;
-          record.time_slice = scores.time_slice;
+        if (victim.has_scores) {
+          record.c_plus = victim.scores.c_plus;
+          record.c_minus = victim.scores.c_minus;
+          record.score = victim.scores.score;
+          record.time_slice = victim.scores.time_slice;
         }
         record.shed_fraction = fraction;
         record.degradation_level = static_cast<uint8_t>(degradation_level());
@@ -686,11 +923,10 @@ void Engine::TriggerShed(Timestamp now, double latency) {
     target = std::max(target, runs_.size() - options_.max_runs);
   }
   if (target == 0) return;
-  std::vector<size_t> victims;
-  victims.reserve(target);
-  shedder_->SelectVictims(runs_, now, target, &victims);
+  const ShedContext ctx{runs_, now, target, WantShedScores()};
+  const ShedDecision decision = shedder_->Decide(ctx);
   const size_t scanned = runs_.size();
-  const size_t applied = ApplyVictims(victims, now);
+  const size_t applied = ApplyVictims(decision, now);
   CompactRuns();
   ++metrics_.shed_triggers;
   if constexpr (obs::kEnabled) {
@@ -712,11 +948,10 @@ void Engine::TriggerShed(Timestamp now, double latency) {
 
 void Engine::ForceShed(size_t target) {
   if (shedder_ == nullptr || runs_.empty() || target == 0) return;
-  std::vector<size_t> victims;
-  victims.reserve(target);
-  shedder_->SelectVictims(runs_, last_event_ts_, target, &victims);
+  const ShedContext ctx{runs_, last_event_ts_, target, WantShedScores()};
+  const ShedDecision decision = shedder_->Decide(ctx);
   const size_t scanned = runs_.size();
-  const size_t applied = ApplyVictims(victims, last_event_ts_);
+  const size_t applied = ApplyVictims(decision, last_event_ts_);
   CompactRuns();
   ++metrics_.shed_triggers;
   if constexpr (obs::kEnabled) {
@@ -733,6 +968,88 @@ void Engine::ForceShed(size_t target) {
 
 void Engine::CompactRuns() {
   runs_.erase(std::remove(runs_.begin(), runs_.end(), nullptr), runs_.end());
+}
+
+// --- checkpoint / restore ----------------------------------------------------
+
+void Engine::BuildComponentRegistry() {
+  // Rebuilt on every snapshot/restore so late attachments (audit log,
+  // degradation controller) are always reflected.
+  components_.Clear();
+  components_.Register("engine.core", core_component_.get());
+  components_.Register("engine.arena", &arena_);
+  components_.Register("engine.runs", runs_component_.get());
+  components_.Register("engine.matches", matches_component_.get());
+  components_.Register("engine.metrics", metrics_component_.get());
+  components_.Register("engine.latency", latency_monitor_.get());
+  if (degradation_ != nullptr) {
+    components_.Register("engine.degradation", degradation_.get());
+  }
+  if (shedder_ != nullptr) {
+    // Embedding the shedder kind in the section name makes a restore into an
+    // engine with a different shedder fail as a configuration mismatch.
+    components_.Register("shedder." + shedder_->name(), shedder_.get());
+  }
+  if (audit_log_ != nullptr) {
+    components_.Register("obs.audit", audit_log_);
+  }
+}
+
+const ckpt::ComponentRegistry& Engine::components() {
+  BuildComponentRegistry();
+  return components_;
+}
+
+Result<std::string> Engine::SerializeSnapshot() {
+  BuildComponentRegistry();
+  ckpt::SnapshotBuilder builder(stream_offset_);
+  Status st = builder.AddComponents(components_);
+  if (!st.ok()) return st;
+  return builder.Finish();
+}
+
+Status Engine::RestoreFromSnapshot(std::string_view bytes) {
+  CEP_ASSIGN_OR_RETURN(ckpt::SnapshotView view, ckpt::ParseSnapshot(bytes));
+  BuildComponentRegistry();
+  CEP_RETURN_NOT_OK(ckpt::RestoreComponents(view, components_));
+  stream_offset_ = view.stream_offset;
+  return Status::OK();
+}
+
+Status Engine::RestoreFromFile(const std::string& path) {
+  std::string file = path;
+  struct stat file_stat;
+  if (::stat(path.c_str(), &file_stat) == 0 && S_ISDIR(file_stat.st_mode)) {
+    CEP_ASSIGN_OR_RETURN(file, ckpt::CheckpointManager::FindLatest(path));
+  }
+  CEP_ASSIGN_OR_RETURN(std::string bytes, ckpt::ReadFileBytes(file));
+  return RestoreFromSnapshot(bytes)
+      .WithContext("restoring from '" + file + "'");
+}
+
+Status Engine::Checkpoint() {
+  if (ckpt_manager_ == nullptr) {
+    return Status::InvalidArgument("no checkpoint directory configured");
+  }
+  CEP_ASSIGN_OR_RETURN(std::string blob, SerializeSnapshot());
+  return ckpt_manager_->WriteNow(blob, stream_offset_);
+}
+
+Status Engine::MaybeCheckpoint() {
+  CEP_ASSIGN_OR_RETURN(std::string blob, SerializeSnapshot());
+  if (options_.checkpoint.synchronous) {
+    return ckpt_manager_->WriteNow(blob, stream_offset_);
+  }
+  ckpt_manager_->SubmitAsync(std::move(blob), stream_offset_);
+  return Status::OK();
+}
+
+Status Engine::FlushCheckpoints() {
+  return ckpt_manager_ != nullptr ? ckpt_manager_->Flush() : Status::OK();
+}
+
+uint64_t Engine::checkpoints_written() const {
+  return ckpt_manager_ != nullptr ? ckpt_manager_->snapshots_written() : 0;
 }
 
 }  // namespace cep

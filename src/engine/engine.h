@@ -4,9 +4,14 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "ckpt/manager.h"
+#include "ckpt/snapshot.h"
+#include "ckpt/state_component.h"
 #include "common/parallel.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -50,6 +55,7 @@ class Engine {
 
   /// `shedder` may be null (exhaustive processing, used for golden runs).
   Engine(NfaPtr nfa, EngineOptions options, ShedderPtr shedder = nullptr);
+  ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -151,6 +157,46 @@ class Engine {
   /// (useful after flushing the buffer at end-of-stream).
   void SyncReorderMetrics();
 
+  // --- checkpoint / restore (src/ckpt/, docs/CHECKPOINTING.md) --------------
+
+  /// Serializes the engine's full durable state — run set, learned model
+  /// backends, matches, metrics, µ(t) monitor, degradation ladder, RNG
+  /// streams, and ingestion offset — into versioned snapshot bytes. Call
+  /// between events (the serial merge barrier), where state is quiescent.
+  Result<std::string> SerializeSnapshot();
+
+  /// Forces a snapshot now and writes it durably to the configured
+  /// checkpoint directory before returning. InvalidArgument when
+  /// options.checkpoint has no directory.
+  Status Checkpoint();
+
+  /// Replaces this engine's state from snapshot bytes. The engine must be
+  /// configured like the writer (same shedder kind, latency mode, arena
+  /// layout, attached audit log); mismatches fail with a typed error rather
+  /// than restoring skewed state. On failure the engine should be discarded.
+  Status RestoreFromSnapshot(std::string_view bytes);
+
+  /// Restores from a snapshot file — or, when `path` is a directory, from
+  /// the newest valid snapshot inside it (torn temp files and corrupt
+  /// snapshots are skipped).
+  Status RestoreFromFile(const std::string& path);
+
+  /// Events consumed through OfferEvent/ProcessStream so far: the resume
+  /// position recorded in snapshots. A driver restoring from a snapshot
+  /// skips this many events before resuming the feed.
+  uint64_t stream_offset() const { return stream_offset_; }
+
+  /// Waits for outstanding background checkpoint writes and surfaces the
+  /// first write error since the last flush. OK when checkpointing is off.
+  Status FlushCheckpoints();
+
+  /// Snapshots written (sync + async) since construction.
+  uint64_t checkpoints_written() const;
+
+  /// The engine's durable components, in serialization order (tests,
+  /// ckpt_tool). Rebuilt on each call to reflect current attachments.
+  const ckpt::ComponentRegistry& components();
+
   // --- observability (src/obs/, docs/OBSERVABILITY.md) ----------------------
 
   /// Identity of this engine in observability output: audit records carry it
@@ -251,10 +297,14 @@ class Engine {
   void CompactRuns();
 
   /// Shared victim-application loop of TriggerShed/ForceShed: audits each
-  /// victim (DescribeVictim scores + audit log + shed callback), resets the
-  /// slots, and bumps runs_shed. Returns the number of victims applied
-  /// (stale / duplicate indices are skipped).
-  size_t ApplyVictims(const std::vector<size_t>& victims, Timestamp now);
+  /// victim (scores carried in the decision + audit log + shed callback),
+  /// resets the slots, and bumps runs_shed. Returns the number of victims
+  /// applied (stale / duplicate indices are skipped).
+  size_t ApplyVictims(const ShedDecision& decision, Timestamp now);
+
+  /// True when shed decisions should carry per-victim scores (an audit sink
+  /// or shed callback will consume them).
+  bool WantShedScores() const;
 
   /// Cumulative busy clock in whole microseconds — the trace timebase.
   uint64_t BusyClockMicros() const {
@@ -264,6 +314,23 @@ class Engine {
   /// Restores run-set consistency after a failed ProcessEvent (drops the
   /// failing event's half-born runs, compacts null slots).
   void RecoverFromError();
+
+  // Composite-state adapters (defined in engine.cc): they expose groups of
+  // engine fields — scalars, the run set, accumulated matches, metrics — as
+  // StateComponents so checkpointing stays a registry walk.
+  class CoreComponent;
+  class RunSetComponent;
+  class MatchesComponent;
+  class MetricsComponent;
+
+  /// Rebuilds components_ from the engine's current configuration and
+  /// attachments (audit log, shedder). Section order is the snapshot layout.
+  void BuildComponentRegistry();
+
+  /// Interval-driven snapshot from OfferEvent: serialize at the merge
+  /// barrier, hand off to the background writer (or write synchronously
+  /// under options.checkpoint.synchronous).
+  Status MaybeCheckpoint();
 
   NfaPtr nfa_;
   EngineOptions options_;
@@ -302,6 +369,15 @@ class Engine {
   uint64_t ops_this_event_ = 0;
   size_t approx_run_bytes_ = 0;
   size_t consecutive_errors_ = 0;
+
+  // --- checkpoint / restore --------------------------------------------------
+  uint64_t stream_offset_ = 0;
+  std::unique_ptr<CoreComponent> core_component_;
+  std::unique_ptr<RunSetComponent> runs_component_;
+  std::unique_ptr<MatchesComponent> matches_component_;
+  std::unique_ptr<MetricsComponent> metrics_component_;
+  ckpt::ComponentRegistry components_;
+  std::unique_ptr<ckpt::CheckpointManager> ckpt_manager_;
 
   // --- observability ---------------------------------------------------------
   uint32_t obs_id_ = 0;

@@ -1,9 +1,65 @@
 #include "engine/latency_monitor.h"
 
+#include "ckpt/io.h"
+#include "common/string_util.h"
+
 namespace cep {
 
 namespace {
 constexpr size_t kMinWindow = 1;
+
+// Snapshot kind tags; restoring a snapshot written by a different monitor
+// kind means the engine configuration changed and the µ(t) state is
+// meaningless — reject it.
+constexpr uint8_t kTagWallClock = 1;
+constexpr uint8_t kTagVirtualCost = 2;
+constexpr uint8_t kTagQueueing = 3;
+
+void SerializeRing(ckpt::Sink& sink, uint8_t tag, size_t window_events,
+                   const double* samples, size_t next, size_t count,
+                   double sum) {
+  sink.WriteU8(tag);
+  sink.WriteU64(window_events);
+  sink.WriteU64(next);
+  sink.WriteU64(count);
+  sink.WriteDouble(sum);
+  // Unfilled slots are zero (value-initialized and Reset keeps them so);
+  // writing the whole ring keeps the codec positionally trivial.
+  for (size_t i = 0; i < window_events; ++i) sink.WriteDouble(samples[i]);
+}
+
+Status RestoreRing(ckpt::Source& source, uint8_t expected_tag,
+                   size_t window_events, double* samples, size_t* next,
+                   size_t* count, double* sum) {
+  CEP_ASSIGN_OR_RETURN(uint8_t tag, source.ReadU8());
+  if (tag != expected_tag) {
+    return Status::InvalidArgument(
+        StrFormat("latency-monitor snapshot kind %u does not match the "
+                  "configured monitor (kind %u)",
+                  tag, expected_tag));
+  }
+  CEP_ASSIGN_OR_RETURN(uint64_t window, source.ReadU64());
+  if (window != window_events) {
+    return Status::InvalidArgument(
+        StrFormat("latency-monitor snapshot window %llu does not match the "
+                  "configured window %llu",
+                  static_cast<unsigned long long>(window),
+                  static_cast<unsigned long long>(window_events)));
+  }
+  CEP_ASSIGN_OR_RETURN(uint64_t next64, source.ReadU64());
+  CEP_ASSIGN_OR_RETURN(uint64_t count64, source.ReadU64());
+  if (next64 >= window_events || count64 > window_events) {
+    return Status::ParseError("latency-monitor snapshot cursor out of range");
+  }
+  CEP_ASSIGN_OR_RETURN(double restored_sum, source.ReadDouble());
+  for (size_t i = 0; i < window_events; ++i) {
+    CEP_ASSIGN_OR_RETURN(samples[i], source.ReadDouble());
+  }
+  *next = static_cast<size_t>(next64);
+  *count = static_cast<size_t>(count64);
+  *sum = restored_sum;
+  return Status::OK();
+}
 }  // namespace
 
 WallClockLatencyMonitor::WallClockLatencyMonitor(size_t window_events)
@@ -30,6 +86,17 @@ void WallClockLatencyMonitor::Reset() {
   next_ = count_ = 0;
   sum_ = 0;
   for (size_t i = 0; i < window_events_; ++i) samples_[i] = 0;
+}
+
+Status WallClockLatencyMonitor::SerializeTo(ckpt::Sink& sink) const {
+  SerializeRing(sink, kTagWallClock, window_events_, samples_.get(), next_,
+                count_, sum_);
+  return Status::OK();
+}
+
+Status WallClockLatencyMonitor::RestoreFrom(ckpt::Source& source) {
+  return RestoreRing(source, kTagWallClock, window_events_, samples_.get(),
+                     &next_, &count_, &sum_);
 }
 
 VirtualCostLatencyMonitor::VirtualCostLatencyMonitor(size_t window_events,
@@ -60,6 +127,17 @@ void VirtualCostLatencyMonitor::Reset() {
   next_ = count_ = 0;
   sum_ = 0;
   for (size_t i = 0; i < window_events_; ++i) samples_[i] = 0;
+}
+
+Status VirtualCostLatencyMonitor::SerializeTo(ckpt::Sink& sink) const {
+  SerializeRing(sink, kTagVirtualCost, window_events_, samples_.get(), next_,
+                count_, sum_);
+  return Status::OK();
+}
+
+Status VirtualCostLatencyMonitor::RestoreFrom(ckpt::Source& source) {
+  return RestoreRing(source, kTagVirtualCost, window_events_, samples_.get(),
+                     &next_, &count_, &sum_);
 }
 
 QueueingLatencyMonitor::QueueingLatencyMonitor(
@@ -101,6 +179,20 @@ void QueueingLatencyMonitor::Reset() {
   // The queue itself persists across measurement intervals: Reset only
   // starts a fresh µ(t) sample window (shedding reduces future service
   // times; the backlog drains physically, not by decree).
+}
+
+Status QueueingLatencyMonitor::SerializeTo(ckpt::Sink& sink) const {
+  SerializeRing(sink, kTagQueueing, window_events_, samples_.get(), next_,
+                count_, sum_);
+  sink.WriteDouble(busy_until_);
+  return Status::OK();
+}
+
+Status QueueingLatencyMonitor::RestoreFrom(ckpt::Source& source) {
+  CEP_RETURN_NOT_OK(RestoreRing(source, kTagQueueing, window_events_,
+                                  samples_.get(), &next_, &count_, &sum_));
+  CEP_ASSIGN_OR_RETURN(busy_until_, source.ReadDouble());
+  return Status::OK();
 }
 
 }  // namespace cep

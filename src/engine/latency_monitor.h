@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "ckpt/state_component.h"
+#include "common/status.h"
 #include "common/time.h"
 
 namespace cep {
@@ -13,10 +15,14 @@ namespace cep {
 ///
 /// The engine reports each event's processing cost; CurrentLatencyMicros()
 /// is compared against the threshold θ to detect overload.
-class LatencyMonitor {
+///
+/// Monitors are StateComponents: a snapshot captures the sample ring (and,
+/// for the queueing monitor, the server clock) so a restored engine sees the
+/// same µ(t) trajectory — and thus makes the same shed decisions — as the
+/// uninterrupted run. Each monitor writes a kind tag so restoring into a
+/// differently-configured engine fails loudly instead of silently skewing.
+class LatencyMonitor : public ckpt::StateComponent {
  public:
-  virtual ~LatencyMonitor() = default;
-
   /// Records one processed event: its stream timestamp, `micros` of
   /// wall-clock processing time, and `ops` edge evaluations performed.
   virtual void Record(Timestamp event_ts, double micros, uint64_t ops) = 0;
@@ -37,6 +43,9 @@ class WallClockLatencyMonitor final : public LatencyMonitor {
   void Record(Timestamp event_ts, double micros, uint64_t ops) override;
   double CurrentLatencyMicros() const override;
   void Reset() override;
+
+  Status SerializeTo(ckpt::Sink& sink) const override;
+  Status RestoreFrom(ckpt::Source& source) override;
 
  private:
   size_t window_events_;
@@ -59,6 +68,9 @@ class VirtualCostLatencyMonitor final : public LatencyMonitor {
   void Reset() override;
 
   double ns_per_op() const { return ns_per_op_; }
+
+  Status SerializeTo(ckpt::Sink& sink) const override;
+  Status RestoreFrom(ckpt::Source& source) override;
 
  private:
   size_t window_events_;
@@ -92,6 +104,9 @@ class QueueingLatencyMonitor final : public LatencyMonitor {
   /// Arrival-clock time at which the server finishes the last recorded
   /// event (exposed for tests).
   double busy_until_micros() const { return busy_until_; }
+
+  Status SerializeTo(ckpt::Sink& sink) const override;
+  Status RestoreFrom(ckpt::Source& source) override;
 
  private:
   size_t window_events_;

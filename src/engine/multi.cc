@@ -1,5 +1,11 @@
 #include "engine/multi.h"
 
+#include <sys/stat.h>
+
+#include "ckpt/manager.h"
+#include "ckpt/snapshot.h"
+#include "common/string_util.h"
+
 namespace cep {
 
 size_t MultiEngine::AddQuery(NfaPtr nfa, EngineOptions options,
@@ -121,6 +127,53 @@ size_t MultiEngine::TotalRuns() const {
   size_t total = 0;
   for (const auto& engine : engines_) total += engine->num_runs();
   return total;
+}
+
+Result<std::string> MultiEngine::SerializeSnapshot() {
+  ckpt::SnapshotBuilder builder(stream_offset());
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    CEP_ASSIGN_OR_RETURN(std::string blob, engines_[i]->SerializeSnapshot());
+    builder.AddSection(StrFormat("query.%zu", i), blob);
+  }
+  return builder.Finish();
+}
+
+Status MultiEngine::RestoreFromSnapshot(std::string_view bytes) {
+  CEP_ASSIGN_OR_RETURN(ckpt::SnapshotView view, ckpt::ParseSnapshot(bytes));
+  if (view.sections.size() != engines_.size()) {
+    return Status::NotFound(StrFormat(
+        "snapshot holds %zu queries, this MultiEngine has %zu: "
+        "configuration mismatch",
+        view.sections.size(), engines_.size()));
+  }
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    const std::string name = StrFormat("query.%zu", i);
+    const ckpt::SnapshotSection* section = view.Find(name);
+    if (section == nullptr) {
+      return Status::NotFound("snapshot has no section '" + name +
+                              "': configuration mismatch");
+    }
+    CEP_RETURN_NOT_OK(engines_[i]
+                          ->RestoreFromSnapshot(section->payload)
+                          .WithContext("restoring " + name + " ('" +
+                                       names_[i] + "')"));
+  }
+  return Status::OK();
+}
+
+Status MultiEngine::RestoreFromFile(const std::string& path) {
+  std::string file = path;
+  struct stat file_stat;
+  if (::stat(path.c_str(), &file_stat) == 0 && S_ISDIR(file_stat.st_mode)) {
+    CEP_ASSIGN_OR_RETURN(file, ckpt::CheckpointManager::FindLatest(path));
+  }
+  CEP_ASSIGN_OR_RETURN(std::string bytes, ckpt::ReadFileBytes(file));
+  return RestoreFromSnapshot(bytes).WithContext("restoring from '" + file +
+                                                "'");
+}
+
+uint64_t MultiEngine::stream_offset() const {
+  return engines_.empty() ? 0 : engines_.front()->stream_offset();
 }
 
 }  // namespace cep

@@ -4,9 +4,11 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/result.h"
 #include "engine/engine.h"
 
 namespace cep {
@@ -78,6 +80,29 @@ class MultiEngine {
 
   /// Total active partial matches across queries.
   size_t TotalRuns() const;
+
+  // --- checkpoint / restore -------------------------------------------------
+
+  /// Serializes all engines into one outer snapshot: section "query.<i>"
+  /// holds engine i's complete (self-validating) inner snapshot. The outer
+  /// stream offset mirrors engine 0's, since every engine consumes the same
+  /// stream. Note: when an audit log is shared, each engine section carries
+  /// its own copy of the log; restore rewrites the same content per engine,
+  /// which is redundant but correct.
+  Result<std::string> SerializeSnapshot();
+
+  /// Restores every engine from its "query.<i>" section. Fails with a
+  /// configuration-mismatch error when the snapshot's query count differs
+  /// from this MultiEngine's.
+  Status RestoreFromSnapshot(std::string_view bytes);
+
+  /// Restores from a snapshot file, or from the newest valid snapshot when
+  /// `path` is a directory.
+  Status RestoreFromFile(const std::string& path);
+
+  /// Events consumed by the fan-out (engine 0's stream position; all
+  /// engines advance in lockstep). 0 when no queries are registered.
+  uint64_t stream_offset() const;
 
   // --- observability --------------------------------------------------------
 

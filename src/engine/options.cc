@@ -1,0 +1,80 @@
+#include "engine/options.h"
+
+#include "common/string_util.h"
+
+namespace cep {
+
+namespace {
+Status Invalid(std::string msg) {
+  return Status::InvalidArgument(std::move(msg));
+}
+}  // namespace
+
+Result<EngineOptions> EngineOptions::Validated() const {
+  if (batch_size == 0) {
+    return Invalid("batch_size must be >= 1 (1 = event-at-a-time)");
+  }
+  if (latency_window_events == 0) {
+    return Invalid("latency_window_events must be >= 1: µ(t) is a sliding "
+                   "mean over at least one measurement");
+  }
+  if (latency_mode != LatencyMode::kWallClock && virtual_ns_per_op <= 0) {
+    return Invalid("virtual_ns_per_op must be positive under kVirtualCost / "
+                   "kQueueSimulation: it is the service time of one edge "
+                   "evaluation");
+  }
+  if (latency_mode == LatencyMode::kQueueSimulation &&
+      queue_time_compression <= 0) {
+    return Invalid("queue_time_compression must be positive: it maps stream "
+                   "time onto the arrival clock");
+  }
+  if (shed_amount.fraction <= 0 || shed_amount.fraction > 1) {
+    return Invalid(StrFormat(
+        "shed_amount.fraction must be in (0, 1], got %g: it is the share of "
+        "R(t) dropped per trigger",
+        shed_amount.fraction));
+  }
+  if (shed_amount.mode == ShedAmountOptions::Mode::kAdaptive &&
+      (shed_amount.max_fraction <= 0 || shed_amount.max_fraction > 1)) {
+    return Invalid(StrFormat(
+        "shed_amount.max_fraction must be in (0, 1], got %g",
+        shed_amount.max_fraction));
+  }
+  if (max_runs > 0 && parallel.shards > max_runs) {
+    return Invalid(StrFormat(
+        "parallel.shards (%llu) exceeds the run cap max_runs (%llu): every "
+        "shard would hold less than one run",
+        static_cast<unsigned long long>(parallel.shards),
+        static_cast<unsigned long long>(max_runs)));
+  }
+  if (degradation.enabled) {
+    if (!(degradation.shedding_enter_ratio < degradation.emergency_enter_ratio &&
+          degradation.emergency_enter_ratio < degradation.bypass_enter_ratio)) {
+      return Invalid(StrFormat(
+          "degradation enter ratios must be strictly increasing "
+          "(shedding %g < emergency %g < bypass %g)",
+          degradation.shedding_enter_ratio, degradation.emergency_enter_ratio,
+          degradation.bypass_enter_ratio));
+    }
+    if (degradation.hysteresis <= 0 || degradation.hysteresis > 1) {
+      return Invalid(StrFormat(
+          "degradation.hysteresis must be in (0, 1], got %g: de-escalation "
+          "must require a ratio at or below the entry threshold",
+          degradation.hysteresis));
+    }
+  }
+  if (checkpoint.enabled() && checkpoint.interval_events == 0) {
+    return Invalid("checkpoint.interval_events must be >= 1 when a checkpoint "
+                   "directory is set");
+  }
+  if (!checkpoint.restore_from.empty() && checkpoint.fault_injection_active) {
+    return Invalid(
+        "restore-from cannot be combined with fault injection: the injected "
+        "fault schedule is positional, so a resumed run would see a "
+        "different storm than the uninterrupted one — exactly-once replay "
+        "is impossible");
+  }
+  return *this;
+}
+
+}  // namespace cep

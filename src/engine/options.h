@@ -3,6 +3,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+
+#include "common/result.h"
 
 namespace cep {
 
@@ -133,6 +136,43 @@ struct ParallelOptions {
   size_t arena_block_runs = 512;
 };
 
+/// \brief Checkpoint/restore configuration (src/ckpt/,
+/// docs/CHECKPOINTING.md).
+///
+/// When a directory is set, the engine snapshots its full state every
+/// `interval_events` events at the serial merge barrier (where state is
+/// quiescent) and hands the encoded blob to a background writer, so the hot
+/// path never blocks on the filesystem.
+struct CheckpointOptions {
+  /// Directory snapshots are written to; empty disables checkpointing.
+  std::string directory;
+
+  /// Events between automatic snapshots.
+  size_t interval_events = 10000;
+
+  /// Completed snapshots retained on disk, newest first (0 = keep all).
+  size_t keep = 3;
+
+  /// Write snapshots on the offering thread instead of the background
+  /// writer. Slower, but every snapshot is durable before the next event is
+  /// processed — used by tests and the crash-injection harness.
+  bool synchronous = false;
+
+  /// Snapshot file — or a checkpoint directory, in which case the newest
+  /// valid snapshot wins — to restore from before processing starts; empty
+  /// starts cold.
+  std::string restore_from;
+
+  /// Set by the driver when the input stream is wrapped in fault injection.
+  /// The injected fault schedule is positional (one RNG drawn per delivered
+  /// event), so resuming mid-stream would replay a different storm than the
+  /// uninterrupted run saw — exactly-once resume is impossible and
+  /// Validated() rejects the combination.
+  bool fault_injection_active = false;
+
+  bool enabled() const { return !directory.empty(); }
+};
+
 /// \brief Engine configuration.
 struct EngineOptions {
   SelectionStrategy selection = SelectionStrategy::kSkipTillAnyMatch;
@@ -174,6 +214,21 @@ struct EngineOptions {
 
   /// Worker-pool evaluation and run-arena settings.
   ParallelOptions parallel;
+
+  /// Events pulled per ProcessStream batch (1 = event-at-a-time; must be
+  /// >= 1 — Validated() rejects 0).
+  size_t batch_size = 1;
+
+  /// Checkpoint/restore settings (disabled by default).
+  CheckpointOptions checkpoint;
+
+  /// Returns a copy of these options after cross-field validation, or an
+  /// InvalidArgument Status naming the first conflicting setting. Call this
+  /// before constructing an Engine: individual fields have sane defaults,
+  /// but combinations (a shard count above the run cap, restore-from under
+  /// fault injection, a zero batch size) only a whole-struct check can
+  /// reject.
+  Result<EngineOptions> Validated() const;
 };
 
 }  // namespace cep

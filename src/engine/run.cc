@@ -1,5 +1,9 @@
 #include "engine/run.h"
 
+#include <algorithm>
+
+#include "ckpt/event_codec.h"
+#include "ckpt/io.h"
 #include "common/string_util.h"
 #include "engine/run_arena.h"
 
@@ -53,6 +57,75 @@ std::vector<std::vector<EventPtr>> Run::CopyBindings() const {
     out.push_back(b == nullptr ? std::vector<EventPtr>{} : *b);
   }
   return out;
+}
+
+Status Run::SerializeTo(ckpt::Sink& sink,
+                        ckpt::EventTableBuilder* table) const {
+  sink.WriteU64(id_);
+  sink.WriteI64(state_);
+  sink.WriteI64(start_ts_);
+  sink.WriteI64(last_ts_);
+  sink.WriteI64(size_);
+  sink.WriteU64(pm_hash_);
+  sink.WriteU32(static_cast<uint32_t>(bindings_.size()));
+  for (const BindingPtr& binding : bindings_) {
+    if (binding == nullptr) {
+      sink.WriteU8(0);
+      continue;
+    }
+    sink.WriteU8(1);
+    sink.WriteU32(static_cast<uint32_t>(binding->size()));
+    for (const EventPtr& event : *binding) {
+      sink.WriteU32(table->Intern(event));
+    }
+  }
+  // Trail capacity is serialized because ApproxBytes() counts it: the
+  // degradation byte budget must see identical estimates after restore.
+  sink.WriteU32(static_cast<uint32_t>(trail_.size()));
+  sink.WriteU32(static_cast<uint32_t>(trail_.capacity()));
+  for (const uint64_t key : trail_) sink.WriteU64(key);
+  return Status::OK();
+}
+
+Result<RunPtr> Run::RestoreFrom(ckpt::Source& source,
+                                const ckpt::EventTable& table,
+                                RunArena* arena) {
+  CEP_ASSIGN_OR_RETURN(uint64_t id, source.ReadU64());
+  CEP_ASSIGN_OR_RETURN(int64_t state, source.ReadI64());
+  CEP_ASSIGN_OR_RETURN(int64_t start_ts, source.ReadI64());
+  CEP_ASSIGN_OR_RETURN(int64_t last_ts, source.ReadI64());
+  CEP_ASSIGN_OR_RETURN(int64_t size, source.ReadI64());
+  CEP_ASSIGN_OR_RETURN(uint64_t pm_hash, source.ReadU64());
+  CEP_ASSIGN_OR_RETURN(uint32_t num_variables, source.ReadU32());
+  RunPtr run = arena != nullptr
+                   ? arena->New(id, static_cast<int>(num_variables),
+                                static_cast<int>(state), start_ts)
+                   : MakeRun(id, static_cast<int>(num_variables),
+                             static_cast<int>(state), start_ts);
+  run->last_ts_ = last_ts;
+  run->size_ = static_cast<int>(size);
+  run->pm_hash_ = pm_hash;
+  for (uint32_t v = 0; v < num_variables; ++v) {
+    CEP_ASSIGN_OR_RETURN(uint8_t present, source.ReadU8());
+    if (present == 0) continue;
+    CEP_ASSIGN_OR_RETURN(uint32_t count, source.ReadU32());
+    auto events = std::make_shared<std::vector<EventPtr>>();
+    events->reserve(count);
+    for (uint32_t e = 0; e < count; ++e) {
+      CEP_ASSIGN_OR_RETURN(uint32_t index, source.ReadU32());
+      CEP_ASSIGN_OR_RETURN(EventPtr event, table.Get(index));
+      events->push_back(std::move(event));
+    }
+    run->bindings_[v] = std::move(events);
+  }
+  CEP_ASSIGN_OR_RETURN(uint32_t trail_size, source.ReadU32());
+  CEP_ASSIGN_OR_RETURN(uint32_t trail_capacity, source.ReadU32());
+  run->trail_.reserve(std::max(trail_size, trail_capacity));
+  for (uint32_t i = 0; i < trail_size; ++i) {
+    CEP_ASSIGN_OR_RETURN(uint64_t key, source.ReadU64());
+    run->trail_.push_back(key);
+  }
+  return run;
 }
 
 std::string Run::ToString(const ParsedQuery& query) const {

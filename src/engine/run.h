@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
+#include "common/status.h"
 #include "common/time.h"
 #include "event/event.h"
 #include "nfa/nfa.h"
@@ -15,6 +17,13 @@ namespace cep {
 
 class Run;
 class RunArena;
+
+namespace ckpt {
+class Sink;
+class Source;
+class EventTableBuilder;
+class EventTable;
+}  // namespace ckpt
 
 /// Deleter for pooled runs: returns the slot to its arena, or falls back to
 /// the global heap for runs allocated outside any arena (MakeRun).
@@ -115,6 +124,18 @@ class Run {
   }
 
   std::string ToString(const ParsedQuery& query) const;
+
+  /// Checkpoint codec. Events are interned into `table` (deduplicated across
+  /// the run set, so shared events snapshot once) and bindings encode as
+  /// table indices. Not virtual: runs are hot objects and gain no vtable for
+  /// checkpointing; the engine's run-set StateComponent drives this.
+  Status SerializeTo(ckpt::Sink& sink, ckpt::EventTableBuilder* table) const;
+
+  /// Rebuilds a run from `source`, resolving bindings through `table`. The
+  /// run is drawn from `arena` when one is given, else from the heap.
+  static Result<RunPtr> RestoreFrom(ckpt::Source& source,
+                                    const ckpt::EventTable& table,
+                                    RunArena* arena);
 
  private:
   uint64_t id_;

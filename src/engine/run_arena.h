@@ -7,6 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/io.h"
+#include "ckpt/state_component.h"
+#include "common/status.h"
 #include "engine/run.h"
 
 namespace cep {
@@ -29,7 +32,7 @@ namespace cep {
 /// `bytes_reserved()` feeds EngineMetrics::arena_bytes_reserved so the
 /// degradation ladder's byte accounting can be checked against the real
 /// footprint.
-class RunArena {
+class RunArena : public ckpt::StateComponent {
  public:
   /// Slots are allocated `runs_per_block` at a time; 0 disables pooling
   /// (New() falls back to the global heap, Release() to delete).
@@ -82,6 +85,34 @@ class RunArena {
     assert(live_ == 0 && "RunArena::Reset with live runs");
     blocks_.clear();
     free_ = nullptr;
+  }
+
+  /// Checkpoint codec. The arena's blocks and free list are allocator
+  /// mechanics, not logical state — the pooled runs themselves snapshot
+  /// through the engine's run-set component and re-seat into fresh slots on
+  /// restore. What the section carries is the configuration fingerprint
+  /// (slot size, block size) so a snapshot cannot be restored into an arena
+  /// whose layout would silently skew the byte-budget accounting.
+  Status SerializeTo(ckpt::Sink& sink) const override {
+    sink.WriteU64(runs_per_block_);
+    sink.WriteU64(live_);
+    return Status::OK();
+  }
+
+  Status RestoreFrom(ckpt::Source& source) override {
+    Result<uint64_t> per_block = source.ReadU64();
+    if (!per_block.ok()) return per_block.status();
+    if (per_block.ValueOrDie() != runs_per_block_) {
+      return Status::InvalidArgument(
+          "snapshot was written with arena_block_runs=" +
+          std::to_string(per_block.ValueOrDie()) + ", this engine uses " +
+          std::to_string(runs_per_block_));
+    }
+    Result<uint64_t> live = source.ReadU64();
+    if (!live.ok()) return live.status();
+    // `live` is restored implicitly when the run-set component re-creates
+    // its runs through New(); here it only documents the snapshot.
+    return Status::OK();
   }
 
  private:

@@ -93,5 +93,66 @@ void ShedAuditLog::Clear() {
   appended_ = 0;
 }
 
+Status ShedAuditLog::SerializeTo(ckpt::Sink& sink) const {
+  // The logical state is (appended_, retained records oldest-first); the
+  // ring's physical rotation is not observable and is normalised away.
+  std::vector<ShedDecisionRecord> records = Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  sink.WriteU64(appended_);
+  sink.WriteU64(records.size());
+  for (const ShedDecisionRecord& r : records) {
+    sink.WriteU64(r.sequence);
+    sink.WriteU32(r.engine_id);
+    sink.WriteU64(r.episode);
+    sink.WriteU64(r.run_id);
+    sink.WriteI64(r.nfa_state);
+    sink.WriteI64(r.shed_ts);
+    sink.WriteI64(r.run_start_ts);
+    sink.WriteI64(r.time_slice);
+    sink.WriteDouble(r.c_plus);
+    sink.WriteDouble(r.c_minus);
+    sink.WriteDouble(r.score);
+    sink.WriteDouble(r.shed_fraction);
+    sink.WriteU8(r.degradation_level);
+  }
+  return Status::OK();
+}
+
+Status ShedAuditLog::RestoreFrom(ckpt::Source& source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CEP_ASSIGN_OR_RETURN(uint64_t appended, source.ReadU64());
+  CEP_ASSIGN_OR_RETURN(uint64_t count, source.ReadU64());
+  if (count > capacity_) {
+    return Status::InvalidArgument(
+        "audit snapshot retains " + std::to_string(count) +
+        " records but log capacity is " + std::to_string(capacity_));
+  }
+  ring_.clear();
+  ring_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ShedDecisionRecord r;
+    CEP_ASSIGN_OR_RETURN(r.sequence, source.ReadU64());
+    CEP_ASSIGN_OR_RETURN(r.engine_id, source.ReadU32());
+    CEP_ASSIGN_OR_RETURN(r.episode, source.ReadU64());
+    CEP_ASSIGN_OR_RETURN(r.run_id, source.ReadU64());
+    CEP_ASSIGN_OR_RETURN(int64_t nfa_state, source.ReadI64());
+    r.nfa_state = static_cast<int>(nfa_state);
+    CEP_ASSIGN_OR_RETURN(r.shed_ts, source.ReadI64());
+    CEP_ASSIGN_OR_RETURN(r.run_start_ts, source.ReadI64());
+    CEP_ASSIGN_OR_RETURN(int64_t time_slice, source.ReadI64());
+    r.time_slice = static_cast<int>(time_slice);
+    CEP_ASSIGN_OR_RETURN(r.c_plus, source.ReadDouble());
+    CEP_ASSIGN_OR_RETURN(r.c_minus, source.ReadDouble());
+    CEP_ASSIGN_OR_RETURN(r.score, source.ReadDouble());
+    CEP_ASSIGN_OR_RETURN(r.shed_fraction, source.ReadDouble());
+    CEP_ASSIGN_OR_RETURN(r.degradation_level, source.ReadU8());
+    ring_.push_back(std::move(r));
+  }
+  // Oldest record sits at index 0, so the overwrite cursor starts there.
+  next_ = 0;
+  appended_ = appended;
+  return Status::OK();
+}
+
 }  // namespace obs
 }  // namespace cep

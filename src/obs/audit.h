@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/state_component.h"
 #include "common/status.h"
 #include "common/time.h"
 #include "obs/obs_config.h"
@@ -50,7 +51,11 @@ struct ShedDecisionRecord {
 /// to events, so the lock never contends with anything hot); once `capacity`
 /// records are held the oldest are overwritten and counted in dropped().
 /// Export order is oldest-to-newest, deterministic for deterministic inputs.
-class ShedAuditLog {
+///
+/// Checkpointable: the retained records and total-appended counter are part
+/// of the engine's durable state, so a restored engine's JSONL export is
+/// byte-identical to the uninterrupted run's.
+class ShedAuditLog : public ckpt::StateComponent {
  public:
   explicit ShedAuditLog(size_t capacity = 1 << 16);
 
@@ -72,6 +77,9 @@ class ShedAuditLog {
   Status WriteJsonl(std::ostream& out) const;
 
   void Clear();
+
+  Status SerializeTo(ckpt::Sink& sink) const override;
+  Status RestoreFrom(ckpt::Source& source) override;
 
  private:
   mutable std::mutex mu_;

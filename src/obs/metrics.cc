@@ -167,6 +167,31 @@ void Histogram::Reset() {
   sum_.store(0.0, std::memory_order_relaxed);
 }
 
+void Histogram::SerializeTo(ckpt::Sink& sink) const {
+  sink.WriteU32(static_cast<uint32_t>(bounds_.size()));
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    sink.WriteU64(buckets_[i].load(std::memory_order_relaxed));
+  }
+  sink.WriteDouble(sum_.load(std::memory_order_relaxed));
+}
+
+Status Histogram::RestoreFrom(ckpt::Source& source) {
+  CEP_ASSIGN_OR_RETURN(uint32_t num_buckets, source.ReadU32());
+  if (num_buckets != bounds_.size()) {
+    return Status::InvalidArgument(
+        "histogram bucket count mismatch: snapshot has " +
+        std::to_string(num_buckets) + ", spec has " +
+        std::to_string(bounds_.size()));
+  }
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    CEP_ASSIGN_OR_RETURN(uint64_t count, source.ReadU64());
+    buckets_[i].store(count, std::memory_order_relaxed);
+  }
+  CEP_ASSIGN_OR_RETURN(double sum, source.ReadDouble());
+  sum_.store(sum, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 // --- Registry ---------------------------------------------------------------
 
 Registry::Entry* Registry::FindOrCreate(Kind kind, const std::string& name,

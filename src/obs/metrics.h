@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/io.h"
+#include "common/status.h"
 #include "obs/obs_config.h"
 
 namespace cep {
@@ -94,6 +96,11 @@ class Histogram {
   void MergeFrom(const Histogram& other);
 
   void Reset();
+
+  /// Checkpoint support: bucket counts + sum. Restore requires a histogram
+  /// constructed with the identical spec (bucket shape is config, not state).
+  void SerializeTo(ckpt::Sink& sink) const;
+  Status RestoreFrom(ckpt::Source& source);
 
  private:
   HistogramSpec spec_;

@@ -30,4 +30,18 @@ bool InputShedder::ShouldDropEvent(const Event& event, bool overloaded) {
   return rng_.NextBernoulli(p);
 }
 
+Status InputShedder::SerializeTo(ckpt::Sink& sink) const {
+  for (const uint64_t word : rng_.state()) sink.WriteU64(word);
+  return Status::OK();
+}
+
+Status InputShedder::RestoreFrom(ckpt::Source& source) {
+  std::array<uint64_t, 4> state;
+  for (auto& word : state) {
+    CEP_ASSIGN_OR_RETURN(word, source.ReadU64());
+  }
+  rng_.set_state(state);
+  return Status::OK();
+}
+
 }  // namespace cep

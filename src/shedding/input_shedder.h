@@ -26,8 +26,12 @@ struct InputShedderOptions {
 
 /// \brief Input-based load shedding (the classical stream-processing
 /// approach the paper argues against, §I/§II): drops events *before* they
-/// reach the automaton. Never discards partial matches — SelectVictims is a
-/// no-op, so overload persists until enough input has been dropped.
+/// reach the automaton. Never discards partial matches — Decide selects no
+/// victims (the base default), so overload persists until enough input has
+/// been dropped.
+///
+/// The Bernoulli drop stream is checkpointed so a restored engine drops the
+/// same events the uninterrupted run would.
 class InputShedder final : public Shedder {
  public:
   explicit InputShedder(InputShedderOptions options)
@@ -39,14 +43,8 @@ class InputShedder final : public Shedder {
 
   bool ShouldDropEvent(const Event& event, bool overloaded) override;
 
-  void SelectVictims(const std::vector<RunPtr>& runs,
-                     Timestamp now, size_t target,
-                     std::vector<size_t>* victims) override {
-    (void)runs;
-    (void)now;
-    (void)target;
-    (void)victims;  // input-based: state is never shed
-  }
+  Status SerializeTo(ckpt::Sink& sink) const override;
+  Status RestoreFrom(ckpt::Source& source) override;
 
  private:
   InputShedderOptions options_;

@@ -1,7 +1,9 @@
 #include "shedding/model_backend.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
+#include <vector>
 
 #include "common/string_util.h"
 
@@ -49,6 +51,37 @@ Status ExactCounterBackend::Load(std::istream& in) {
       return Status::ParseError(
           StrFormat("truncated exact-backend snapshot at cell %zu", i));
     }
+    cells_.emplace(key, cell);
+  }
+  return Status::OK();
+}
+
+Status ExactCounterBackend::SerializeTo(ckpt::Sink& sink) const {
+  // Sorted by key so equal tables produce equal bytes (unordered_map
+  // iteration order is not deterministic across processes).
+  std::vector<uint64_t> keys;
+  keys.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  sink.WriteU64(cells_.size());
+  for (const uint64_t key : keys) {
+    const Cell& cell = cells_.at(key);
+    sink.WriteU64(key);
+    sink.WriteDouble(cell.num);
+    sink.WriteDouble(cell.den);
+  }
+  return Status::OK();
+}
+
+Status ExactCounterBackend::RestoreFrom(ckpt::Source& source) {
+  CEP_ASSIGN_OR_RETURN(uint64_t n, source.ReadU64());
+  cells_.clear();
+  cells_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    CEP_ASSIGN_OR_RETURN(uint64_t key, source.ReadU64());
+    Cell cell;
+    CEP_ASSIGN_OR_RETURN(cell.num, source.ReadDouble());
+    CEP_ASSIGN_OR_RETURN(cell.den, source.ReadDouble());
     cells_.emplace(key, cell);
   }
   return Status::OK();

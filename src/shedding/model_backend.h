@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "ckpt/state_component.h"
 #include "common/status.h"
 
 namespace cep {
@@ -19,9 +20,9 @@ namespace cep {
 /// (shedding/sketch.h) that bounds memory at the price of overestimated
 /// counts — the paper's §VI "more efficient data structures, for instance
 /// based on sketching".
-class CounterBackend {
+class CounterBackend : public ckpt::StateComponent {
  public:
-  virtual ~CounterBackend() = default;
+  ~CounterBackend() override = default;
 
   virtual void Add(uint64_t key, double num_delta, double den_delta) = 0;
 
@@ -43,6 +44,10 @@ class CounterBackend {
   /// by a backend of the same type and shape.
   virtual Status Save(std::ostream& out) const = 0;
   virtual Status Load(std::istream& in) = 0;
+
+  // StateComponent (binary snapshot) surface is inherited: SerializeTo must
+  // be deterministic — equal model state yields equal bytes — so digests can
+  // diff snapshots; implementations with unordered storage sort first.
 };
 
 /// \brief Exact open-hashing backend (unordered_map).
@@ -58,6 +63,8 @@ class ExactCounterBackend final : public CounterBackend {
   std::string name() const override { return "exact"; }
   Status Save(std::ostream& out) const override;
   Status Load(std::istream& in) override;
+  Status SerializeTo(ckpt::Sink& sink) const override;
+  Status RestoreFrom(ckpt::Source& source) override;
 
   size_t num_cells() const { return cells_.size(); }
 

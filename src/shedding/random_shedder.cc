@@ -4,42 +4,56 @@
 
 namespace cep {
 
-void RandomShedder::SelectVictims(const std::vector<RunPtr>& runs,
-                                  Timestamp now, size_t target,
-                                  std::vector<size_t>* victims) {
-  (void)now;
+ShedDecision RandomShedder::Decide(const ShedContext& ctx) {
   std::vector<size_t> alive;
-  alive.reserve(runs.size());
-  for (size_t i = 0; i < runs.size(); ++i) {
-    if (runs[i] != nullptr) alive.push_back(i);
+  alive.reserve(ctx.runs.size());
+  for (size_t i = 0; i < ctx.runs.size(); ++i) {
+    if (ctx.runs[i] != nullptr) alive.push_back(i);
   }
-  target = std::min(target, alive.size());
+  const size_t target = std::min(ctx.target, alive.size());
+  ShedDecision decision;
+  decision.victims.reserve(target);
   // Partial Fisher–Yates: the first `target` entries become a uniform sample
   // without replacement.
   for (size_t i = 0; i < target; ++i) {
     const size_t j = i + rng_.NextBounded(alive.size() - i);
     std::swap(alive[i], alive[j]);
-    victims->push_back(alive[i]);
+    ShedVictim victim;
+    victim.index = alive[i];
+    decision.victims.push_back(victim);
   }
+  return decision;
 }
 
-void TtlShedder::SelectVictims(const std::vector<RunPtr>& runs,
-                               Timestamp now, size_t target,
-                               std::vector<size_t>* victims) {
-  (void)now;
+Status RandomShedder::SerializeTo(ckpt::Sink& sink) const {
+  for (const uint64_t word : rng_.state()) sink.WriteU64(word);
+  return Status::OK();
+}
+
+Status RandomShedder::RestoreFrom(ckpt::Source& source) {
+  std::array<uint64_t, 4> state;
+  for (auto& word : state) {
+    CEP_ASSIGN_OR_RETURN(word, source.ReadU64());
+  }
+  rng_.set_state(state);
+  return Status::OK();
+}
+
+ShedDecision TtlShedder::Decide(const ShedContext& ctx) {
   struct Candidate {
     Timestamp start_ts;
     size_t index;
   };
   std::vector<Candidate> candidates;
-  candidates.reserve(runs.size());
-  for (size_t i = 0; i < runs.size(); ++i) {
-    if (runs[i] != nullptr) {
-      candidates.push_back(Candidate{runs[i]->start_ts(), i});
+  candidates.reserve(ctx.runs.size());
+  for (size_t i = 0; i < ctx.runs.size(); ++i) {
+    if (ctx.runs[i] != nullptr) {
+      candidates.push_back(Candidate{ctx.runs[i]->start_ts(), i});
     }
   }
-  if (candidates.empty()) return;
-  target = std::min(target, candidates.size());
+  ShedDecision decision;
+  if (candidates.empty() || ctx.target == 0) return decision;
+  const size_t target = std::min(ctx.target, candidates.size());
   // Oldest first == least remaining TTL first.
   std::nth_element(candidates.begin(), candidates.begin() + (target - 1),
                    candidates.end(), [](const Candidate& a, const Candidate& b) {
@@ -48,7 +62,13 @@ void TtlShedder::SelectVictims(const std::vector<RunPtr>& runs,
                      }
                      return a.index < b.index;
                    });
-  for (size_t i = 0; i < target; ++i) victims->push_back(candidates[i].index);
+  decision.victims.reserve(target);
+  for (size_t i = 0; i < target; ++i) {
+    ShedVictim victim;
+    victim.index = candidates[i].index;
+    decision.victims.push_back(victim);
+  }
+  return decision;
 }
 
 }  // namespace cep

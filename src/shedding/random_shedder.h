@@ -10,15 +10,19 @@ namespace cep {
 
 /// \brief RBLS — random shedding of partial matches (the paper's Table II
 /// baseline). No models, no learning; victims are a uniform sample of R(t).
+///
+/// The RNG stream is checkpointed so a restored engine draws the same victim
+/// sample the uninterrupted run would.
 class RandomShedder final : public Shedder {
  public:
   explicit RandomShedder(uint64_t seed) : rng_(seed) {}
 
   std::string name() const override { return "RBLS"; }
 
-  void SelectVictims(const std::vector<RunPtr>& runs,
-                     Timestamp now, size_t target,
-                     std::vector<size_t>* victims) override;
+  ShedDecision Decide(const ShedContext& ctx) override;
+
+  Status SerializeTo(ckpt::Sink& sink) const override;
+  Status RestoreFrom(ckpt::Source& source) override;
 
  private:
   Rng rng_;
@@ -27,16 +31,14 @@ class RandomShedder final : public Shedder {
 /// \brief Expiring-first heuristic: sheds the partial matches with the least
 /// remaining TTL (the intuition of the paper's §I example — matches about to
 /// expire are the least likely to still complete). Model-free ablation
-/// baseline between RBLS and SBLS.
+/// baseline between RBLS and SBLS. Stateless, so nothing to checkpoint.
 class TtlShedder final : public Shedder {
  public:
   TtlShedder() = default;
 
   std::string name() const override { return "TTL"; }
 
-  void SelectVictims(const std::vector<RunPtr>& runs,
-                     Timestamp now, size_t target,
-                     std::vector<size_t>* victims) override;
+  ShedDecision Decide(const ShedContext& ctx) override;
 };
 
 }  // namespace cep

@@ -5,20 +5,50 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/state_component.h"
 #include "common/time.h"
 #include "engine/run.h"
 #include "nfa/nfa.h"
 
 namespace cep {
 
-/// \brief Model scores behind one shedding decision, reported through
-/// Shedder::DescribeVictim for the observability audit trail
-/// (obs/audit.h). Strategies without models leave the defaults.
+/// \brief Model scores behind one shedding decision, recorded in the
+/// observability audit trail (obs/audit.h). Strategies without models leave
+/// the defaults.
 struct ShedVictimScores {
   double c_plus = 0.0;   ///< contribution estimate C+(r|t)
   double c_minus = 0.0;  ///< cost estimate C-(r|t)
   double score = 0.0;    ///< combined ranking score (lowest shed first)
   int time_slice = -1;   ///< relative-time slice, -1 when not sliced
+};
+
+/// \brief Everything a strategy sees when asked for a shedding decision.
+///
+/// `runs` entries may be null (already dead this round) and must be skipped.
+/// `want_scores` is true when an audit consumer (audit log or shed callback)
+/// is attached: strategies with models should then fill ShedVictim::scores,
+/// reusing the scores they computed for ranking instead of recomputing them
+/// per victim as the old two-call SelectVictims/DescribeVictim surface did.
+struct ShedContext {
+  const std::vector<RunPtr>& runs;
+  Timestamp now = 0;
+  size_t target = 0;  ///< upper bound on victims to select
+  bool want_scores = false;
+};
+
+/// \brief One selected victim: its index into ShedContext::runs plus the
+/// model scores behind the decision (when the strategy has them and the
+/// context asked for them).
+struct ShedVictim {
+  size_t index = 0;
+  bool has_scores = false;
+  ShedVictimScores scores;
+};
+
+/// \brief The outcome of one shedding episode: the victims, in the order the
+/// strategy ranked them, with their audit records in the same batch.
+struct ShedDecision {
+  std::vector<ShedVictim> victims;
 };
 
 /// \brief Pluggable load-shedding strategy.
@@ -30,18 +60,23 @@ struct ShedVictimScores {
 ///    contribution and resource-consumption statistics online. Hooks must be
 ///    O(1): the paper requires shedding decisions in constant time, and the
 ///    hooks are on the hot path even when the system is not overloaded.
-///    Merge-safety contract: the engine invokes every hook (and
-///    SelectVictims) only from its serial merge phase, in deterministic run
-///    order, regardless of how many worker threads evaluate predicates
-///    (docs/PARALLELISM.md) — implementations therefore need no locking and
-///    may use seeded RNGs without losing reproducibility.
+///    Merge-safety contract: the engine invokes every hook (and Decide) only
+///    from its serial merge phase, in deterministic run order, regardless of
+///    how many worker threads evaluate predicates (docs/PARALLELISM.md) —
+///    implementations therefore need no locking and may use seeded RNGs
+///    without losing reproducibility.
 ///  * *Shedding decisions* — when overload is detected (µ(t) > θ), the
-///    engine asks for `target` victims among the active runs; for
-///    input-based baselines, ShouldDropEvent() can discard events before
-///    they are processed.
-class Shedder {
+///    engine calls Decide() for up to `target` victims among the active
+///    runs; for input-based baselines, ShouldDropEvent() can discard events
+///    before they are processed.
+///
+/// Shedders are StateComponents: strategies with durable state (learned
+/// models, RNG streams) serialize it so a restored engine sheds exactly as
+/// the uninterrupted one would. The default implementation serializes
+/// nothing, which is correct for stateless strategies.
+class Shedder : public ckpt::StateComponent {
  public:
-  virtual ~Shedder() = default;
+  ~Shedder() override = default;
 
   /// Strategy name used in experiment reports ("SBLS", "RBLS", ...).
   virtual std::string name() const = 0;
@@ -91,26 +126,51 @@ class Shedder {
     return false;
   }
 
-  /// State-based shedding: append the indices (into `runs`) of up to
-  /// `target` victims to `victims`. Entries may be null (already dead this
-  /// round) and must be skipped. Called only when the engine detected
-  /// overload; `now` is the current stream time.
+  /// State-based shedding: select up to `ctx.target` victims among
+  /// `ctx.runs` and return them together with their audit records. Called
+  /// only when the engine detected overload.
+  ///
+  /// The default implementation bridges legacy strategies that still
+  /// override the deprecated SelectVictims/DescribeVictim pair; new
+  /// strategies override Decide() alone.
+  virtual ShedDecision Decide(const ShedContext& ctx);
+
+  // --- deprecated two-call surface -------------------------------------------
+
+  /// DEPRECATED: override Decide() instead. Legacy entry point kept so
+  /// existing strategies compile unchanged; the default is a no-op (select
+  /// nothing), matching a strategy that never sheds state.
   virtual void SelectVictims(const std::vector<RunPtr>& runs, Timestamp now,
-                             size_t target, std::vector<size_t>* victims) = 0;
+                             size_t target, std::vector<size_t>* victims) {
+    (void)runs;
+    (void)now;
+    (void)target;
+    (void)victims;
+  }
 
-  // --- observability ---------------------------------------------------------
-
-  /// Fills `scores` with the model values this strategy would use to rank
-  /// `run` at `now` and returns true; returns false (leaving `scores`
-  /// untouched) when the strategy has no per-run model. The engine calls
-  /// this for each selected victim to build the shed-decision audit trail;
-  /// implementations must be read-only and O(1) like the learning hooks.
+  /// DEPRECATED: return scores from Decide() instead. Fills `scores` with
+  /// the model values this strategy would use to rank `run` at `now` and
+  /// returns true; returns false (leaving `scores` untouched) when the
+  /// strategy has no per-run model.
   virtual bool DescribeVictim(const Run& run, Timestamp now,
                               ShedVictimScores* scores) const {
     (void)run;
     (void)now;
     (void)scores;
     return false;
+  }
+
+  // --- checkpointing ---------------------------------------------------------
+
+  /// Stateless by default; strategies with learned models or RNG streams
+  /// override both.
+  Status SerializeTo(ckpt::Sink& sink) const override {
+    (void)sink;
+    return Status::OK();
+  }
+  Status RestoreFrom(ckpt::Source& source) override {
+    (void)source;
+    return Status::OK();
   }
 };
 

@@ -78,6 +78,29 @@ void CountMinSketch::Clear() {
   std::fill(rows_.begin(), rows_.end(), 0.0);
 }
 
+void CountMinSketch::SerializeTo(ckpt::Sink& sink) const {
+  sink.WriteU64(width_);
+  sink.WriteU64(depth_);
+  for (const uint64_t seed : row_seeds_) sink.WriteU64(seed);
+  for (const double cell : rows_) sink.WriteDouble(cell);
+}
+
+Status CountMinSketch::RestoreFrom(ckpt::Source& source) {
+  CEP_ASSIGN_OR_RETURN(uint64_t width, source.ReadU64());
+  CEP_ASSIGN_OR_RETURN(uint64_t depth, source.ReadU64());
+  if (width != width_ || depth != depth_) {
+    return Status::InvalidArgument(
+        "count-min snapshot shape mismatch: configure the same width/depth");
+  }
+  for (auto& seed : row_seeds_) {
+    CEP_ASSIGN_OR_RETURN(seed, source.ReadU64());
+  }
+  for (auto& cell : rows_) {
+    CEP_ASSIGN_OR_RETURN(cell, source.ReadDouble());
+  }
+  return Status::OK();
+}
+
 SketchCounterBackend::SketchCounterBackend(size_t width, size_t depth,
                                            uint64_t seed)
     : num_(width, depth, seed), den_(width, depth, Mix64(seed) + 1) {}
@@ -115,6 +138,17 @@ Status SketchCounterBackend::Load(std::istream& in) {
 void SketchCounterBackend::Clear() {
   num_.Clear();
   den_.Clear();
+}
+
+Status SketchCounterBackend::SerializeTo(ckpt::Sink& sink) const {
+  num_.SerializeTo(sink);
+  den_.SerializeTo(sink);
+  return Status::OK();
+}
+
+Status SketchCounterBackend::RestoreFrom(ckpt::Source& source) {
+  CEP_RETURN_NOT_OK(num_.RestoreFrom(source));
+  return den_.RestoreFrom(source);
 }
 
 }  // namespace cep

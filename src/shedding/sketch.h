@@ -5,6 +5,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "ckpt/io.h"
 #include "shedding/model_backend.h"
 
 namespace cep {
@@ -30,6 +31,9 @@ class CountMinSketch {
   void Clear();
   Status Save(std::ostream& out) const;
   Status Load(std::istream& in);
+  /// Binary snapshot codec: shape is validated, rows are bit-exact.
+  void SerializeTo(ckpt::Sink& sink) const;
+  Status RestoreFrom(ckpt::Source& source);
 
  private:
   size_t Index(uint64_t key, size_t row) const;
@@ -56,6 +60,8 @@ class SketchCounterBackend final : public CounterBackend {
   std::string name() const override { return "count-min"; }
   Status Save(std::ostream& out) const override;
   Status Load(std::istream& in) override;
+  Status SerializeTo(ckpt::Sink& sink) const override;
+  Status RestoreFrom(ckpt::Source& source) override;
 
  private:
   CountMinSketch num_;

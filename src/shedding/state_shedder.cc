@@ -89,36 +89,35 @@ double StateShedder::Score(const Run& run, Timestamp now) const {
   return ScorePartialMatch(options_.scoring, c_plus, c_minus, ttl);
 }
 
-bool StateShedder::DescribeVictim(const Run& run, Timestamp now,
-                                  ShedVictimScores* scores) const {
+ShedVictimScores StateShedder::ScoresFor(const Run& run, Timestamp now) const {
+  ShedVictimScores scores;
   const uint64_t key = run.trail().empty() ? CellKey(run, now)
                                            : run.trail().back();
-  scores->c_plus = contribution_.Estimate(key, options_.contribution_optimism);
-  scores->c_minus = cost_.Estimate(key, options_.cost_pessimism);
+  scores.c_plus = contribution_.Estimate(key, options_.contribution_optimism);
+  scores.c_minus = cost_.Estimate(key, options_.cost_pessimism);
   const double ttl = slicer_.TtlFraction(run.start_ts(), now);
-  scores->score =
-      ScorePartialMatch(options_.scoring, scores->c_plus, scores->c_minus, ttl);
-  scores->time_slice = slicer_.Slice(run.start_ts(), now);
-  return true;
+  scores.score =
+      ScorePartialMatch(options_.scoring, scores.c_plus, scores.c_minus, ttl);
+  scores.time_slice = slicer_.Slice(run.start_ts(), now);
+  return scores;
 }
 
-void StateShedder::SelectVictims(const std::vector<RunPtr>& runs,
-                                 Timestamp now, size_t target,
-                                 std::vector<size_t>* victims) {
+ShedDecision StateShedder::Decide(const ShedContext& ctx) {
   struct Candidate {
     double score;
     Timestamp start_ts;
     size_t index;
   };
   std::vector<Candidate> candidates;
-  candidates.reserve(runs.size());
-  for (size_t i = 0; i < runs.size(); ++i) {
-    if (runs[i] == nullptr) continue;
+  candidates.reserve(ctx.runs.size());
+  for (size_t i = 0; i < ctx.runs.size(); ++i) {
+    if (ctx.runs[i] == nullptr) continue;
     candidates.push_back(
-        Candidate{Score(*runs[i], now), runs[i]->start_ts(), i});
+        Candidate{Score(*ctx.runs[i], ctx.now), ctx.runs[i]->start_ts(), i});
   }
-  if (candidates.empty()) return;
-  target = std::min(target, candidates.size());
+  ShedDecision decision;
+  if (candidates.empty() || ctx.target == 0) return decision;
+  const size_t target = std::min(ctx.target, candidates.size());
   // Lowest score first; ties broken towards partial matches closer to
   // expiry (they have the least remaining opportunity to contribute).
   const auto worse = [](const Candidate& a, const Candidate& b) {
@@ -128,9 +127,17 @@ void StateShedder::SelectVictims(const std::vector<RunPtr>& runs,
   };
   std::nth_element(candidates.begin(), candidates.begin() + (target - 1),
                    candidates.end(), worse);
+  decision.victims.reserve(target);
   for (size_t i = 0; i < target; ++i) {
-    victims->push_back(candidates[i].index);
+    ShedVictim victim;
+    victim.index = candidates[i].index;
+    if (ctx.want_scores) {
+      victim.has_scores = true;
+      victim.scores = ScoresFor(*ctx.runs[victim.index], ctx.now);
+    }
+    decision.victims.push_back(victim);
   }
+  return decision;
 }
 
 namespace {
@@ -173,6 +180,23 @@ Status StateShedder::LoadModels(std::istream& in) {
   }
   CEP_RETURN_NOT_OK(contribution_.mutable_backend()->Load(in));
   return cost_.mutable_backend()->Load(in);
+}
+
+Status StateShedder::SerializeTo(ckpt::Sink& sink) const {
+  sink.WriteU64(ConfigFingerprint(options_, slicer_));
+  CEP_RETURN_NOT_OK(contribution_.backend().SerializeTo(sink));
+  return cost_.backend().SerializeTo(sink);
+}
+
+Status StateShedder::RestoreFrom(ckpt::Source& source) {
+  CEP_ASSIGN_OR_RETURN(uint64_t fingerprint, source.ReadU64());
+  if (fingerprint != ConfigFingerprint(options_, slicer_)) {
+    return Status::InvalidArgument(
+        "model snapshot was written under a different shedder "
+        "configuration (hash selectors / slices / window / backend)");
+  }
+  CEP_RETURN_NOT_OK(contribution_.mutable_backend()->RestoreFrom(source));
+  return cost_.mutable_backend()->RestoreFrom(source);
 }
 
 ShedderPtr MakeStateShedder(StateShedderOptions options,

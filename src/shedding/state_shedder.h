@@ -65,15 +65,16 @@ class StateShedder final : public Shedder {
                      Timestamp now) override;
   void OnMatchEmitted(const Run& run, Timestamp now) override;
 
-  void SelectVictims(const std::vector<RunPtr>& runs,
-                     Timestamp now, size_t target,
-                     std::vector<size_t>* victims) override;
-
-  bool DescribeVictim(const Run& run, Timestamp now,
-                      ShedVictimScores* scores) const override;
+  /// Scores every live partial match in O(1) each, selects the lowest-scored
+  /// `ctx.target`, and (when `ctx.want_scores`) attaches the C+/C-/score/
+  /// time-slice audit record per victim in the same batch.
+  ShedDecision Decide(const ShedContext& ctx) override;
 
   /// Score of one run at `now` (exposed for tests and ablations).
   double Score(const Run& run, Timestamp now) const;
+
+  /// Model scores for one run at `now` (the per-victim audit record).
+  ShedVictimScores ScoresFor(const Run& run, Timestamp now) const;
 
   const ContributionModel& contribution_model() const { return contribution_; }
   const CostModel& cost_model() const { return cost_; }
@@ -91,6 +92,12 @@ class StateShedder final : public Shedder {
   /// enters the fingerprint.
   Status SaveModels(std::ostream& out) const;
   Status LoadModels(std::istream& in);
+
+  /// Binary StateComponent surface used by engine checkpoints: the same
+  /// configuration fingerprint guard as SaveModels/LoadModels, followed by
+  /// both model backends bit-exactly.
+  Status SerializeTo(ckpt::Sink& sink) const override;
+  Status RestoreFrom(ckpt::Source& source) override;
 
  private:
   void EnterCell(Run* run, Timestamp now);

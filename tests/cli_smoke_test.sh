@@ -2,10 +2,12 @@
 # End-to-end smoke test for cepshed_cli: generate -> explain -> run,
 # exercising the full CSV -> parse -> compile -> engine -> shedding path,
 # plus the observability exports (validated when a validate_obs binary is
-# passed as the second argument).
+# passed as the second argument) and the checkpoint/restore path including
+# crash injection (ckpt_tool binary as the third argument).
 set -e
 CLI="$1"
 VALIDATOR="$2"
+CKPT_TOOL="$3"
 WORKDIR="$(mktemp -d)"
 trap 'rm -rf "$WORKDIR"' EXIT
 
@@ -50,6 +52,87 @@ fi
 "$CLI" run --schema bike --query "$QUERY" --input "$WORKDIR/bike.csv" \
     --stats-interval-events 100 2> "$WORKDIR/snapshots.txt" > /dev/null
 grep -q "stats\[" "$WORKDIR/snapshots.txt"
+
+# Checkpoint/restore path: a checkpointed run and a crash-interrupted-then-
+# resumed run over the same input must produce byte-identical outputs, and
+# snapshot corruption must be detected, skipped, or rejected as appropriate.
+"$CLI" generate --workload bike --out "$WORKDIR/crash.csv" \
+    --duration-hours 48 --seed 11 > /dev/null
+CKPT_FLAGS="--schema bike --input $WORKDIR/crash.csv --shedder sbls \
+    --max-runs 5 --hash req:loc --threads 2"
+
+# Baseline: uninterrupted run, checkpointing every 100 events.
+"$CLI" run $CKPT_FLAGS --query "$QUERY" \
+    --checkpoint-dir "$WORKDIR/ckpts_base" --checkpoint-interval-events 100 \
+    --checkpoint-sync --checkpoint-keep 4 \
+    --matches "$WORKDIR/matches_base.csv" \
+    --metrics-out "$WORKDIR/metrics_base.json" > /dev/null
+test "$(ls "$WORKDIR/ckpts_base" | grep -c '\.cep$')" -ge 1
+
+if [ -n "$CKPT_TOOL" ]; then
+  "$CKPT_TOOL" verify "$WORKDIR/ckpts_base" | grep -q "valid"
+  FIRST_SNAP="$(ls "$WORKDIR"/ckpts_base/*.cep | head -n 1)"
+  "$CKPT_TOOL" inspect "$FIRST_SNAP" | grep -q "stream offset"
+  "$CKPT_TOOL" diff "$FIRST_SNAP" "$FIRST_SNAP" > /dev/null
+fi
+
+# Crash injection: SIGKILL the CLI once at least two snapshots exist. The
+# kill can land mid-write; recovery must never see a torn file as valid.
+"$CLI" run $CKPT_FLAGS --query "$QUERY" \
+    --checkpoint-dir "$WORKDIR/ckpts_crash" --checkpoint-interval-events 100 \
+    --checkpoint-sync > /dev/null 2>&1 &
+CLI_PID=$!
+TRIES=0
+while [ "$(ls "$WORKDIR/ckpts_crash" 2>/dev/null | grep -c '\.cep$')" -lt 2 ]
+do
+  kill -0 "$CLI_PID" 2>/dev/null || break
+  TRIES=$((TRIES + 1))
+  [ "$TRIES" -gt 600 ] && break
+  sleep 0.05
+done
+kill -9 "$CLI_PID" 2>/dev/null || true
+wait "$CLI_PID" 2>/dev/null || true
+test "$(ls "$WORKDIR/ckpts_crash" | grep -c '\.cep$')" -ge 1
+
+# A torn temp file (as a crash mid-write would leave) must be ignored by
+# recovery even though its name sorts newest.
+printf 'torn partial snapshot bytes' \
+    > "$WORKDIR/ckpts_crash/ckpt-18446744073709551615.cep.tmp"
+
+# A complete-looking but corrupted newest snapshot must fail its CRC and
+# recovery must fall back to the previous good one.
+NEWEST="$(ls "$WORKDIR"/ckpts_crash/*.cep | tail -n 1)"
+cp "$NEWEST" "$WORKDIR/ckpts_crash/ckpt-18446744073709551614.cep"
+SIZE="$(wc -c < "$NEWEST")"
+printf '\377' | dd of="$WORKDIR/ckpts_crash/ckpt-18446744073709551614.cep" \
+    bs=1 seek=$((SIZE / 2)) conv=notrunc 2> /dev/null
+
+if [ -n "$CKPT_TOOL" ]; then
+  if "$CKPT_TOOL" verify "$WORKDIR/ckpts_crash/ckpt-18446744073709551614.cep" \
+      > /dev/null 2>&1; then
+    echo "expected ckpt_tool verify to fail on the corrupted snapshot" >&2
+    exit 1
+  fi
+fi
+
+# Restoring directly from the corrupted file is a typed DataLoss error.
+if "$CLI" run $CKPT_FLAGS --query "$QUERY" \
+    --restore-from "$WORKDIR/ckpts_crash/ckpt-18446744073709551614.cep" \
+    > /dev/null 2> "$WORKDIR/restore_err.txt"; then
+  echo "expected restore from corrupted snapshot to fail" >&2
+  exit 1
+fi
+grep -q "DataLoss" "$WORKDIR/restore_err.txt"
+
+# Resume from the directory: picks the newest snapshot that verifies, skips
+# the torn temp and the corrupted file, and finishes with outputs
+# byte-identical to the uninterrupted run.
+"$CLI" run $CKPT_FLAGS --query "$QUERY" \
+    --restore-from "$WORKDIR/ckpts_crash" \
+    --matches "$WORKDIR/matches_resumed.csv" \
+    --metrics-out "$WORKDIR/metrics_resumed.json" > /dev/null
+cmp "$WORKDIR/matches_base.csv" "$WORKDIR/matches_resumed.csv"
+cmp "$WORKDIR/metrics_base.json" "$WORKDIR/metrics_resumed.json"
 
 # Resilience path: fault injection + degradation ladder + error budget over
 # a deliberately corrupted input survives and reports stats.

@@ -23,13 +23,25 @@ std::vector<RunPtr> MakeRuns(int n, int num_vars = 2) {
   return runs;
 }
 
+std::vector<size_t> VictimIndices(Shedder& shedder,
+                                  const std::vector<RunPtr>& runs,
+                                  Timestamp now, size_t target) {
+  const ShedDecision decision =
+      shedder.Decide(ShedContext{runs, now, target, /*want_scores=*/false});
+  std::vector<size_t> indices;
+  indices.reserve(decision.victims.size());
+  for (const ShedVictim& victim : decision.victims) {
+    indices.push_back(victim.index);
+  }
+  return indices;
+}
+
 TEST(RandomShedderTest, SelectsDistinctAliveIndices) {
   RandomShedder shedder(17);
   auto runs = MakeRuns(50);
   runs[10] = nullptr;
   runs[20] = nullptr;
-  std::vector<size_t> victims;
-  shedder.SelectVictims(runs, 0, 10, &victims);
+  std::vector<size_t> victims = VictimIndices(shedder, runs, 0, 10);
   ASSERT_EQ(victims.size(), 10u);
   std::set<size_t> unique(victims.begin(), victims.end());
   EXPECT_EQ(unique.size(), 10u);
@@ -40,17 +52,15 @@ TEST(RandomShedderTest, SelectsDistinctAliveIndices) {
 TEST(RandomShedderTest, TargetLargerThanPopulation) {
   RandomShedder shedder(17);
   auto runs = MakeRuns(5);
-  std::vector<size_t> victims;
-  shedder.SelectVictims(runs, 0, 100, &victims);
-  EXPECT_EQ(victims.size(), 5u);
+  EXPECT_EQ(VictimIndices(shedder, runs, 0, 100).size(), 5u);
 }
 
 TEST(RandomShedderTest, DeterministicPerSeed) {
   auto runs = MakeRuns(30);
-  std::vector<size_t> a, b, c;
-  RandomShedder(5).SelectVictims(runs, 0, 10, &a);
-  RandomShedder(5).SelectVictims(runs, 0, 10, &b);
-  RandomShedder(6).SelectVictims(runs, 0, 10, &c);
+  RandomShedder s5a(5), s5b(5), s6(6);
+  const std::vector<size_t> a = VictimIndices(s5a, runs, 0, 10);
+  const std::vector<size_t> b = VictimIndices(s5b, runs, 0, 10);
+  const std::vector<size_t> c = VictimIndices(s6, runs, 0, 10);
   EXPECT_EQ(a, b);
   EXPECT_NE(a, c);
 }
@@ -58,8 +68,7 @@ TEST(RandomShedderTest, DeterministicPerSeed) {
 TEST(TtlShedderTest, ShedsOldestFirst) {
   TtlShedder shedder;
   auto runs = MakeRuns(10);  // start_ts = 0, 1min, 2min, ...
-  std::vector<size_t> victims;
-  shedder.SelectVictims(runs, 10 * kMinute, 3, &victims);
+  std::vector<size_t> victims = VictimIndices(shedder, runs, 10 * kMinute, 3);
   std::set<size_t> got(victims.begin(), victims.end());
   EXPECT_EQ(got, (std::set<size_t>{0, 1, 2}));
 }
@@ -111,12 +120,10 @@ TEST(InputShedderTest, TypeUtilityProtectsImportantTypes) {
   EXPECT_EQ(unlock_drops, 100);
 }
 
-TEST(InputShedderTest, SelectVictimsIsNoOp) {
+TEST(InputShedderTest, DecideIsNoOp) {
   InputShedder shedder(InputShedderOptions{});
   auto runs = MakeRuns(10);
-  std::vector<size_t> victims;
-  shedder.SelectVictims(runs, 0, 5, &victims);
-  EXPECT_TRUE(victims.empty());
+  EXPECT_TRUE(VictimIndices(shedder, runs, 0, 5).empty());
 }
 
 TEST(PmHasherTest, DefaultHashesAllAttributes) {

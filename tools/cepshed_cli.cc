@@ -53,6 +53,9 @@ int Usage() {
       "         [--fault-drop <p>] [--fault-dup <p>] [--fault-delay <p>]\n"
       "         [--fault-corrupt <p>] [--fault-seed <n>]\n"
       "         [--threads <n>] [--batch-size <n>]\n"
+      "         [--checkpoint-dir <dir>] [--checkpoint-interval-events <n>]\n"
+      "         [--checkpoint-keep <n>] [--checkpoint-sync]\n"
+      "         [--restore-from <file|dir>]\n"
       "         [--stats] [--stats-interval-events <n>]\n"
       "         [--metrics-out <file[.prom|.json]>] [--trace-out <file>]\n"
       "         [--audit-out <file.jsonl>]\n"
@@ -243,6 +246,24 @@ Status RunCommand(const Args& args) {
     options.error_budget.max_consecutive_errors =
         static_cast<size_t>(args.GetInt("error-budget", 64));
   }
+  options.checkpoint.directory = args.Get("checkpoint-dir");
+  options.checkpoint.interval_events = static_cast<size_t>(
+      args.GetInt("checkpoint-interval-events", 10000));
+  options.checkpoint.keep =
+      static_cast<size_t>(args.GetInt("checkpoint-keep", 3));
+  options.checkpoint.synchronous = args.Has("checkpoint-sync");
+  options.checkpoint.restore_from = args.Get("restore-from");
+  options.checkpoint.fault_injection_active =
+      args.Has("fault-drop") || args.Has("fault-dup") ||
+      args.Has("fault-delay") || args.Has("fault-corrupt");
+  // Matches are engine state when checkpointing: a resumed run must re-emit
+  // exactly the matches the interrupted run produced, so they are collected
+  // in the engine (and snapshotted) and written once at the end instead of
+  // streamed through the callback.
+  const bool ckpt_active = options.checkpoint.enabled() ||
+                           !options.checkpoint.restore_from.empty();
+  if (ckpt_active) options.collect_matches = true;
+  CEP_ASSIGN_OR_RETURN(options, options.Validated());
   CEP_ASSIGN_OR_RETURN(ShedderPtr shedder, MakeShedder(args, registry));
 
   Engine engine(nfa, options, std::move(shedder));
@@ -262,7 +283,7 @@ Status RunCommand(const Args& args) {
     }
   }
   uint64_t printed = 0;
-  engine.SetMatchCallback([&](const Match& match) {
+  auto emit_match = [&](const Match& match) {
     if (to_file) {
       if (match.complex_event != nullptr) {
         matches_file << EventToCsvLine(*match.complex_event) << "\n";
@@ -279,7 +300,25 @@ Status RunCommand(const Args& args) {
       ++printed;
       if (printed == 20) std::printf("... (use --matches FILE for all)\n");
     }
-  });
+  };
+  if (!ckpt_active) engine.SetMatchCallback(emit_match);
+  // Resume: load the snapshot (newest valid one when given a directory) and
+  // skip the events it already consumed, so the remainder of the stream
+  // replays exactly as the uninterrupted run would have processed it.
+  const size_t total_events = events.size();
+  if (!options.checkpoint.restore_from.empty()) {
+    CEP_RETURN_NOT_OK(
+        engine.RestoreFromFile(options.checkpoint.restore_from));
+    const uint64_t skip = engine.stream_offset();
+    if (skip > events.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot was taken at event %llu but the input has only %zu "
+          "events: wrong input file?",
+          static_cast<unsigned long long>(skip), events.size()));
+    }
+    events.erase(events.begin(),
+                 events.begin() + static_cast<ptrdiff_t>(skip));
+  }
   // Optional fault injection between the materialised input and the engine
   // (deterministic storms for resilience experiments).
   auto stream = std::make_unique<VectorEventStream>(events);
@@ -318,6 +357,12 @@ Status RunCommand(const Args& args) {
   } else {
     CEP_RETURN_NOT_OK(engine.ProcessStream(source.get(), batch_size));
   }
+  // Surface background-writer errors and make the final snapshot durable
+  // before reporting success.
+  CEP_RETURN_NOT_OK(engine.FlushCheckpoints());
+  if (ckpt_active) {
+    for (const Match& match : engine.matches()) emit_match(match);
+  }
   if (args.Has("metrics-out")) {
     const std::string path = args.Get("metrics-out");
     obs::Registry metrics_registry;
@@ -336,9 +381,15 @@ Status RunCommand(const Args& args) {
   std::printf("%llu matches over %zu events\n",
               static_cast<unsigned long long>(
                   engine.metrics().matches_emitted),
-              events.size());
+              total_events);
   if (args.Has("stats")) {
     std::printf("%s\n", engine.metrics().ToString().c_str());
+    if (options.checkpoint.enabled()) {
+      std::printf("checkpoints: %llu written to %s\n",
+                  static_cast<unsigned long long>(
+                      engine.checkpoints_written()),
+                  options.checkpoint.directory.c_str());
+    }
     if (csv_stats.quarantined > 0) {
       std::printf("csv: %llu/%llu records quarantined (last: %s)\n",
                   static_cast<unsigned long long>(csv_stats.quarantined),

@@ -6,11 +6,26 @@
 #      coverage for the worker pool, run sharding, and MultiEngine fan-out).
 # Each build also runs the CLI on an example workload with the observability
 # exports enabled and validates them with validate_obs (schema regressions
-# and instrumentation races surface here).
+# and instrumentation races surface here), then writes checkpoints and
+# verifies them with ckpt_tool (snapshot CRC/format coverage under both
+# sanitizers).
 # Usage: tools/check.sh [extra ctest args for the ASan pass...]
 set -e
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# configure BUILD_DIR [cmake args...] — fail fast with a pointed message if
+# the configure step itself breaks (a silent half-configured build directory
+# otherwise produces confusing downstream compile errors).
+configure() {
+  CONFIG_DIR="$1"
+  shift
+  if ! cmake -B "$CONFIG_DIR" -S "$ROOT" "$@"; then
+    echo "error: cmake configure failed for $CONFIG_DIR -- fix the" \
+         "configuration error above before looking at build output" >&2
+    exit 1
+  fi
+}
 
 # obs_check BUILD_DIR — generate a workload, run it with every observability
 # export enabled (threads >1 so instrumentation runs under the sanitizer's
@@ -32,8 +47,31 @@ obs_check() {
   rm -rf "$OBS_DIR"
 }
 
+# ckpt_check BUILD_DIR — run a checkpointed job, verify every snapshot with
+# ckpt_tool, and restore from the newest one; the serializers, CRC paths,
+# and background writer all run under the build's sanitizer.
+ckpt_check() {
+  CKPT_DIR="$(mktemp -d)"
+  Q='PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 5 min RETURN w(loc = a.loc, user = a.uid)'
+  "$1/tools/cepshed_cli" generate --workload bike --out "$CKPT_DIR/bike.csv" \
+      --duration-hours 1 --seed 7 > /dev/null
+  "$1/tools/cepshed_cli" run --schema bike --query "$Q" \
+      --input "$CKPT_DIR/bike.csv" --shedder sbls --max-runs 5 \
+      --hash req:loc --threads 4 \
+      --checkpoint-dir "$CKPT_DIR/ckpts" \
+      --checkpoint-interval-events 500 > /dev/null
+  "$1/tools/ckpt_tool" verify "$CKPT_DIR/ckpts"
+  for SNAP in "$CKPT_DIR"/ckpts/*.cep; do
+    "$1/tools/ckpt_tool" verify "$SNAP" > /dev/null
+  done
+  "$1/tools/cepshed_cli" run --schema bike --query "$Q" \
+      --input "$CKPT_DIR/bike.csv" --shedder sbls --max-runs 5 \
+      --hash req:loc --restore-from "$CKPT_DIR/ckpts" > /dev/null
+  rm -rf "$CKPT_DIR"
+}
+
 BUILD="$ROOT/build-sanitize"
-cmake -B "$BUILD" -S "$ROOT" \
+configure "$BUILD" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCEPSHED_SANITIZE=address \
     -DCEPSHED_BUILD_BENCHMARKS=OFF \
@@ -41,9 +79,10 @@ cmake -B "$BUILD" -S "$ROOT" \
 cmake --build "$BUILD" -j "$JOBS"
 (cd "$BUILD" && ctest --output-on-failure -j "$JOBS" "$@")
 obs_check "$BUILD"
+ckpt_check "$BUILD"
 
 TSAN_BUILD="$ROOT/build-tsan"
-cmake -B "$TSAN_BUILD" -S "$ROOT" \
+configure "$TSAN_BUILD" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCEPSHED_SANITIZE=thread \
     -DCEPSHED_BUILD_BENCHMARKS=OFF \
@@ -51,5 +90,6 @@ cmake -B "$TSAN_BUILD" -S "$ROOT" \
 cmake --build "$TSAN_BUILD" -j "$JOBS"
 (cd "$TSAN_BUILD" && ctest --output-on-failure -j "$JOBS" -R 'Parallel')
 obs_check "$TSAN_BUILD"
+ckpt_check "$TSAN_BUILD"
 
 echo "sanitized check ok"
