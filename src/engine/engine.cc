@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 #include "ckpt/event_codec.h"
 #include "ckpt/io.h"
@@ -452,14 +454,24 @@ Status Engine::ApplyDecisions(const EventPtr& event, Timestamp now,
             if (target.deferred_final) {
               // Trailing negation: emission waits for the window to close.
             } else {
-              CEP_RETURN_NOT_OK(TryEmit(*child, now).status());
+              const Result<bool> emitted = TryEmit(*child, now);
+              if (!emitted.ok()) {
+                // The child was counted in runs_extended but never joins
+                // R(t); book the exit so the conservation ledger closes.
+                ++metrics_.runs_aborted;
+                return emitted.status();
+              }
               // A final state with outgoing edges is a trailing Kleene
               // state: the child keeps collecting; a plain final state
               // completes it.
               keep = !target.edges.empty();
             }
           }
-          if (keep) new_runs_.push_back(std::move(child));
+          if (keep) {
+            new_runs_.push_back(std::move(child));
+          } else {
+            ++metrics_.runs_completed;
+          }
         } else {
           run->Bind(edge.var_index, event, edge.target);
           ++metrics_.runs_extended;
@@ -470,6 +482,7 @@ Status Engine::ApplyDecisions(const EventPtr& event, Timestamp now,
           if (target.is_final && !target.deferred_final) {
             CEP_RETURN_NOT_OK(TryEmit(*run, now).status());
             if (target.edges.empty()) {
+              ++metrics_.runs_completed;
               slot.reset();
               *live_bytes -= run_bytes;
               *any_dead = true;
@@ -649,11 +662,20 @@ Status Engine::ProcessEvent(const EventPtr& event) {
       bool keep = true;
       if (target.is_final) {
         if (!target.deferred_final) {
-          CEP_RETURN_NOT_OK(TryEmit(*run, now).status());
+          const Result<bool> emitted = TryEmit(*run, now);
+          if (!emitted.ok()) {
+            // Counted in runs_created but never joins R(t).
+            ++metrics_.runs_aborted;
+            return emitted.status();
+          }
           keep = !target.edges.empty();
         }
       }
-      if (keep) new_runs_.push_back(std::move(run));
+      if (keep) {
+        new_runs_.push_back(std::move(run));
+      } else {
+        ++metrics_.runs_completed;
+      }
     }
   }
 
@@ -733,6 +755,18 @@ Status Engine::ProcessEvent(const EventPtr& event) {
     if (latency_overload || cap_overload) TriggerShed(now, latency);
   }
   if (reorder_buffer_ != nullptr) SyncReorderMetrics();
+#ifndef NDEBUG
+  {
+    // Merge barrier: new_runs_ is folded into R(t) and shedding has run, so
+    // the conservation ledger must balance here on every event.
+    const Status invariants = VerifyInvariants();
+    if (!invariants.ok()) {
+      std::fprintf(stderr, "Engine::VerifyInvariants failed: %s\n",
+                   invariants.ToString().c_str());
+      std::abort();
+    }
+  }
+#endif
   return Status::OK();
 }
 
@@ -800,8 +834,60 @@ Status Engine::ProcessStream(EventStream* stream, size_t batch_size) {
 }
 
 void Engine::RecoverFromError() {
+  // The failing event's half-born runs were counted created/extended but
+  // never reached R(t): book them as aborted so conservation still holds.
+  metrics_.runs_aborted += new_runs_.size();
   new_runs_.clear();
   CompactRuns();
+}
+
+Status Engine::VerifyInvariants() const {
+  const EngineMetrics& m = metrics_;
+  // Under skip-till-any-match every extension is a new run object; the
+  // greedy strategies mutate in place, so only creations enter the ledger.
+  const uint64_t entered =
+      m.runs_created +
+      (options_.selection == SelectionStrategy::kSkipTillAnyMatch
+           ? m.runs_extended
+           : 0);
+  const uint64_t exited = m.runs_completed + m.runs_expired + m.runs_killed +
+                          m.runs_shed + m.runs_aborted;
+  const uint64_t live = runs_.size();
+  if (entered != exited + live) {
+    return Status::Internal(StrFormat(
+        "run conservation violated: created=%llu extended=%llu (entered=%llu)"
+        " != completed=%llu + expired=%llu + killed=%llu + shed=%llu +"
+        " aborted=%llu (exited=%llu) + live=%llu",
+        static_cast<unsigned long long>(m.runs_created),
+        static_cast<unsigned long long>(m.runs_extended),
+        static_cast<unsigned long long>(entered),
+        static_cast<unsigned long long>(m.runs_completed),
+        static_cast<unsigned long long>(m.runs_expired),
+        static_cast<unsigned long long>(m.runs_killed),
+        static_cast<unsigned long long>(m.runs_shed),
+        static_cast<unsigned long long>(m.runs_aborted),
+        static_cast<unsigned long long>(exited),
+        static_cast<unsigned long long>(live)));
+  }
+  if (m.peak_runs < live) {
+    return Status::Internal(StrFormat(
+        "peak_runs=%llu below live run count %llu",
+        static_cast<unsigned long long>(m.peak_runs),
+        static_cast<unsigned long long>(live)));
+  }
+  if (m.runs_shed > entered) {
+    return Status::Internal(StrFormat(
+        "runs_shed=%llu exceeds runs ever entered %llu",
+        static_cast<unsigned long long>(m.runs_shed),
+        static_cast<unsigned long long>(entered)));
+  }
+  if (m.parallel_events > m.events_processed) {
+    return Status::Internal(StrFormat(
+        "parallel_events=%llu exceeds events_processed=%llu",
+        static_cast<unsigned long long>(m.parallel_events),
+        static_cast<unsigned long long>(m.events_processed)));
+  }
+  return Status::OK();
 }
 
 void Engine::SyncReorderMetrics() {

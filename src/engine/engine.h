@@ -100,6 +100,16 @@ class Engine {
     match_callback_ = std::move(callback);
   }
 
+  /// Checks the run-conservation ledger: every run that ever entered R(t)
+  /// (runs_created, plus runs_extended under skip-till-any-match, where each
+  /// extension is a distinct run object) must be accounted for by exactly one
+  /// exit counter (runs_completed / runs_expired / runs_killed / runs_shed /
+  /// runs_aborted) or still be live. Also validates peak/derived counters.
+  /// Meaningful at the merge barrier — i.e. between (Offer|Process)Event
+  /// calls; debug builds assert it after every processed event. Returns
+  /// Internal naming the broken equation on violation.
+  Status VerifyInvariants() const;
+
   const EngineMetrics& metrics() const { return metrics_; }
   const Nfa& nfa() const { return *nfa_; }
   const EngineOptions& options() const { return options_; }

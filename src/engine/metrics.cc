@@ -30,6 +30,10 @@ constexpr EngineMetricField kEngineMetricFields[] = {
                    "Runs removed by negation or strict contiguity"),
     CEP_METRIC_U64(runs_shed, "cep_runs_shed_total", true,
                    "Partial matches removed by load shedding"),
+    CEP_METRIC_U64(runs_completed, "cep_runs_completed_total", true,
+                   "Runs retired by emitting at a plain final state"),
+    CEP_METRIC_U64(runs_aborted, "cep_runs_aborted_total", true,
+                   "Half-born runs discarded by quarantined-error recovery"),
     CEP_METRIC_U64(shed_triggers, "cep_shed_triggers_total", true,
                    "Overload episodes that invoked the shedder"),
     CEP_METRIC_U64(matches_emitted, "cep_matches_emitted_total", true,

@@ -26,6 +26,18 @@ struct EngineMetrics {
   uint64_t runs_expired = 0;     ///< window expiry
   uint64_t runs_killed = 0;      ///< negation violations
   uint64_t runs_shed = 0;        ///< removed by load shedding
+  /// Runs retired because they emitted at a plain final state (immediate
+  /// completions at spawn/extension, in-place completions). Together with
+  /// expired/killed/shed/aborted this closes the run-conservation ledger:
+  /// Engine::VerifyInvariants checks
+  ///   runs_created (+ runs_extended under skip-till-any-match)
+  ///     == runs_completed + runs_expired + runs_killed + runs_shed
+  ///        + runs_aborted + |R(t)|.
+  uint64_t runs_completed = 0;
+  /// Half-born runs discarded while recovering from a quarantined
+  /// processing error (they were counted created/extended but never joined
+  /// or already left R(t)).
+  uint64_t runs_aborted = 0;
   uint64_t shed_triggers = 0;    ///< overload episodes
   uint64_t matches_emitted = 0;
   uint64_t edge_evaluations = 0;

@@ -9,10 +9,10 @@ std::vector<EventPtr> ReorderBuffer::Push(EventPtr event) {
     return released;
   }
   if (event->timestamp() > max_seen_) max_seen_ = event->timestamp();
-  heap_.push(std::move(event));
+  heap_.push(Entry{std::move(event), next_arrival_++});
   const Timestamp mark = watermark();
-  while (!heap_.empty() && heap_.top()->timestamp() <= mark) {
-    released.push_back(heap_.top());
+  while (!heap_.empty() && heap_.top().event->timestamp() <= mark) {
+    released.push_back(heap_.top().event);
     heap_.pop();
   }
   return released;
@@ -22,7 +22,7 @@ std::vector<EventPtr> ReorderBuffer::Flush() {
   std::vector<EventPtr> released;
   released.reserve(heap_.size());
   while (!heap_.empty()) {
-    released.push_back(heap_.top());
+    released.push_back(heap_.top().event);
     heap_.pop();
   }
   return released;

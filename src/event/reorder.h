@@ -14,9 +14,15 @@ namespace cep {
 /// The engine requires non-decreasing timestamps, but real sources deliver
 /// events out of order. The buffer holds events until the watermark —
 /// highest timestamp seen minus `max_delay` — passes them, then releases
-/// them in (timestamp, sequence) order. Events arriving behind the watermark
-/// are *late*: they cannot be ordered anymore and are dropped and counted
-/// (the stream-processing convention for bounded-delay ingestion).
+/// them in (timestamp, sequence, arrival) order. Events arriving behind the
+/// watermark are *late*: they cannot be ordered anymore and are dropped and
+/// counted (the stream-processing convention for bounded-delay ingestion).
+///
+/// The arrival index is stamped by the buffer itself: events whose producer
+/// left the sequence unset (EventBuilder defaults to 0) or duplicated it
+/// (fault-injection dup faults) would otherwise release in arbitrary heap
+/// order on timestamp ties, making buffered ingestion of an already-ordered
+/// stream differ from unbuffered ingestion.
 class ReorderBuffer {
  public:
   explicit ReorderBuffer(Duration max_delay) : max_delay_(max_delay) {}
@@ -38,18 +44,27 @@ class ReorderBuffer {
   size_t buffered() const { return heap_.size(); }
 
  private:
+  struct Entry {
+    EventPtr event;
+    uint64_t arrival;  ///< dense per-buffer arrival index, breaks final ties
+  };
+
   struct Later {
-    bool operator()(const EventPtr& a, const EventPtr& b) const {
-      if (a->timestamp() != b->timestamp()) {
-        return a->timestamp() > b->timestamp();
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.event->timestamp() != b.event->timestamp()) {
+        return a.event->timestamp() > b.event->timestamp();
       }
-      return a->sequence() > b->sequence();
+      if (a.event->sequence() != b.event->sequence()) {
+        return a.event->sequence() > b.event->sequence();
+      }
+      return a.arrival > b.arrival;
     }
   };
 
   Duration max_delay_;
   Timestamp max_seen_ = INT64_MIN;
-  std::priority_queue<EventPtr, std::vector<EventPtr>, Later> heap_;
+  uint64_t next_arrival_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   uint64_t late_dropped_ = 0;
 };
 

@@ -1,0 +1,9 @@
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  cep::fuzz::RunQueryFuzz(data, size);
+  return 0;
+}

@@ -1,0 +1,61 @@
+#ifndef CEPSHED_FUZZ_FUZZ_UTIL_H_
+#define CEPSHED_FUZZ_FUZZ_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cep {
+namespace fuzz {
+
+/// \brief Consuming cursor over fuzzer-provided bytes.
+///
+/// Every accessor is total: once the input is exhausted it keeps returning
+/// zeros/empties instead of failing, so a target's control flow is a pure
+/// function of the bytes and shrinking a crashing input stays meaningful.
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ == size_; }
+
+  uint8_t TakeByte();
+  uint64_t TakeU64();
+  int64_t TakeI64() { return static_cast<int64_t>(TakeU64()); }
+  /// Uniform-ish pick in [0, n); returns 0 for n == 0.
+  uint64_t TakeBounded(uint64_t n);
+  bool TakeBool() { return (TakeByte() & 1) != 0; }
+  /// Up to `max_len` raw bytes as a string (may contain NULs).
+  std::string TakeString(size_t max_len);
+  /// All unconsumed bytes.
+  std::string TakeRest();
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// Fuzz-target bodies, shared between the libFuzzer entry points and the
+// corpus-replay driver. Each consumes arbitrary bytes and must never crash:
+// malformed inputs surface as Status errors inside, and violated round-trip
+// properties abort() so both drivers report them as findings.
+
+/// Query pipeline: lexer + parser + analyzer (+ NFA compile for small
+/// patterns), plus the parse -> ToString -> reparse fixpoint property.
+void RunQueryFuzz(const uint8_t* data, size_t size);
+
+/// CSV ingestion: SplitCsvRecord, strict and quarantining ReadEventsCsv
+/// (quoted/multi-line records), plus a write -> reread round-trip property.
+void RunCsvFuzz(const uint8_t* data, size_t size);
+
+/// Checkpoint codec: range-checked Source reads, Value round-trips, and
+/// ParseSnapshot over raw, assembled-valid, and assembled-then-corrupted
+/// snapshot images.
+void RunSnapshotFuzz(const uint8_t* data, size_t size);
+
+}  // namespace fuzz
+}  // namespace cep
+
+#endif  // CEPSHED_FUZZ_FUZZ_UTIL_H_

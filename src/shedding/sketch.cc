@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <istream>
+#include <limits>
 #include <ostream>
 
 #include "common/hash.h"
@@ -49,7 +50,13 @@ Status CountMinSketch::Save(std::ostream& out) const {
   out << "cmsketch " << width_ << " " << depth_ << "\n";
   for (const uint64_t seed : row_seeds_) out << seed << " ";
   out << "\n";
+  // Cells must round-trip bit-exactly: the default ostream precision (6
+  // significant figures) silently degrades the model on every save/load
+  // cycle. max_digits10 digits reproduce any double, including subnormals.
+  const std::streamsize saved_precision =
+      out.precision(std::numeric_limits<double>::max_digits10);
   for (const double cell : rows_) out << cell << " ";
+  out.precision(saved_precision);
   out << "\n";
   if (!out) return Status::IoError("failed writing sketch");
   return Status::OK();

@@ -27,7 +27,11 @@ class TimeSlicer {
     Duration age = now - start_ts;
     if (age < 0) age = 0;
     if (age >= window_) return num_slices_ - 1;
-    return static_cast<int>((age * num_slices_) / window_);
+    // age * num_slices_ overflows int64 once window_ > INT64_MAX/num_slices_
+    // (giant WITHIN windows); widen the intermediate instead of dividing
+    // first, which would mis-bucket windows not divisible by the slice count.
+    return static_cast<int>(
+        (static_cast<__int128>(age) * num_slices_) / window_);
   }
 
   /// Remaining time-to-live as a fraction of the window, in [0, 1].

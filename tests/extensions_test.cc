@@ -77,6 +77,51 @@ TEST_F(ReorderBufferTest, TiesReleaseInSequenceOrder) {
   EXPECT_EQ(released[1]->sequence(), 7u);
 }
 
+TEST_F(ReorderBufferTest, EqualTimestampAndSequenceReleaseInArrivalOrder) {
+  // Regression: events that tie on (timestamp, sequence) — producers that
+  // never set a sequence leave it 0, and fault-injection duplicates share
+  // one — used to release in arbitrary heap order, so buffered ingestion of
+  // an already-ordered stream was not bit-identical to unbuffered ingestion.
+  const EventTypeId req = fixture_.registry.FindType("req");
+  const SchemaPtr schema = fixture_.registry.schema(req);
+  auto unsequenced = [&](Timestamp ts, int64_t loc) {
+    return std::make_shared<Event>(
+        req, schema, ts, std::vector<Value>{Value(loc), Value(int64_t{1})},
+        /*sequence=*/0);
+  };
+  std::vector<EventPtr> arrivals;
+  for (int64_t i = 0; i < 6; ++i) arrivals.push_back(unsequenced(100, i));
+  for (int64_t i = 6; i < 9; ++i) arrivals.push_back(unsequenced(101, i));
+
+  ReorderBuffer buffer(5);
+  std::vector<EventPtr> released;
+  for (const auto& e : arrivals) {
+    for (auto& out : buffer.Push(e)) released.push_back(std::move(out));
+  }
+  for (auto& out : buffer.Flush()) released.push_back(std::move(out));
+
+  ASSERT_EQ(released.size(), arrivals.size());
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_EQ(released[i].get(), arrivals[i].get())
+        << "position " << i << " released out of arrival order";
+  }
+}
+
+TEST_F(ReorderBufferTest, DuplicateEventsSurviveWithStableOrder) {
+  // The same EventPtr offered twice (a dup fault) must come out twice, in
+  // arrival order, not collapse or invert.
+  const EventPtr original = fixture_.Req(50, 3, 9, /*seq=*/4);
+  ReorderBuffer buffer(100);
+  (void)buffer.Push(original);
+  (void)buffer.Push(original);
+  (void)buffer.Push(fixture_.Req(49, 1, 1, /*seq=*/2));
+  const auto released = buffer.Flush();
+  ASSERT_EQ(released.size(), 3u);
+  EXPECT_EQ(released[0]->timestamp(), 49);
+  EXPECT_EQ(released[1].get(), original.get());
+  EXPECT_EQ(released[2].get(), original.get());
+}
+
 TEST_F(ReorderBufferTest, FeedsEngineCorrectly) {
   // A shuffled stream through the buffer produces the same matches as the
   // sorted stream fed directly.

@@ -143,12 +143,32 @@ TEST_P(EngineInvariantProperty, MetricsAreConsistent) {
   for (const auto& e : events) CEP_ASSERT_OK(engine.ProcessEvent(e));
   const EngineMetrics& m = engine.metrics();
   EXPECT_EQ(m.events_processed, events.size());
-  // Every run that ever existed is either still active, expired, killed,
-  // shed, or completed (completions only retire runs at plain final states).
-  EXPECT_GE(m.runs_created + m.runs_extended,
-            m.runs_expired + m.runs_killed + m.runs_shed +
-                engine.num_runs());
+  // Exact run conservation: every run that ever entered R(t) left through
+  // exactly one exit counter or is still live.
+  CEP_ASSERT_OK(engine.VerifyInvariants());
+  EXPECT_EQ(m.runs_created + m.runs_extended,
+            m.runs_completed + m.runs_expired + m.runs_killed + m.runs_shed +
+                m.runs_aborted + engine.num_runs());
   EXPECT_LE(engine.num_runs(), m.peak_runs);
+}
+
+TEST_P(EngineInvariantProperty, RunConservationHoldsUnderShedding) {
+  const auto [query_idx, seed] = GetParam();
+  NfaPtr nfa = fixture_.Compile(kQueries[query_idx]);
+  const auto events = RandomStream(&fixture_, 7000 + seed, 400);
+  EngineOptions lossy;
+  lossy.max_runs = 10;
+  lossy.shed_amount.fraction = 0.5;
+  Engine engine(nfa, lossy,
+                std::make_unique<RandomShedder>(static_cast<uint64_t>(seed)));
+  for (const auto& e : events) {
+    CEP_ASSERT_OK(engine.ProcessEvent(e));
+    CEP_ASSERT_OK(engine.VerifyInvariants());
+  }
+  EXPECT_GT(engine.metrics().runs_shed, 0u)
+      << "max_runs=10 should have forced shedding on this stream";
+  CEP_ASSERT_OK(engine.Flush());
+  CEP_ASSERT_OK(engine.VerifyInvariants());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -167,6 +187,28 @@ class SelectionProperty
  protected:
   BikeSchema fixture_;
 };
+
+TEST_P(SelectionProperty, RunConservationHoldsPerStrategy) {
+  // The ledger differs per strategy (skip-till-any-match counts extensions
+  // as new run objects; the greedy strategies extend in place), so sweep all
+  // three over a Kleene query that exercises completion, kill, and expiry.
+  NfaPtr nfa = fixture_.Compile(kQueries[1]);
+  const auto events = RandomStream(&fixture_, 79, 400);
+  EngineOptions options;
+  options.selection = GetParam();
+  Engine engine(nfa, options);
+  for (const auto& e : events) {
+    CEP_ASSERT_OK(engine.ProcessEvent(e));
+    CEP_ASSERT_OK(engine.VerifyInvariants());
+  }
+  CEP_ASSERT_OK(engine.Flush());
+  CEP_ASSERT_OK(engine.VerifyInvariants());
+  // Strict contiguity rarely completes on a random stream (any interleaved
+  // event breaks the run), so only the skip-till strategies must complete.
+  if (GetParam() != SelectionStrategy::kStrictContiguity) {
+    EXPECT_GT(engine.metrics().runs_completed, 0u);
+  }
+}
 
 TEST_P(SelectionProperty, WindowRespectedUnderAllStrategies) {
   NfaPtr nfa = fixture_.Compile(kQueries[1]);

@@ -345,6 +345,38 @@ TEST_F(ErrorBudgetTest, ProcessStreamCompletesOverPoisonWithBudget) {
   EXPECT_EQ(engine.matches().size(), 1u);
 }
 
+TEST_F(ErrorBudgetTest, QuarantineRecoveryKeepsRunConservation) {
+  // Under skip-till-any-match a poison event can fail one run's predicate
+  // *after* another run already produced a child: the child was counted in
+  // runs_extended but is discarded by recovery, so it must be booked as
+  // aborted for the conservation ledger to balance.
+  EngineOptions options;
+  options.error_budget.enabled = true;
+  options.error_budget.max_consecutive_errors = 4;
+  options.selection = SelectionStrategy::kSkipTillAnyMatch;
+  NfaPtr nfa = fixture_.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE b[i].loc < a.loc, c.uid = a.uid WITHIN 60 min");
+  Engine engine(nfa, options);
+
+  // Spawn edge carries no predicate, so the poison req spawns a run whose
+  // `a.loc` binding is a string; the clean run sits ahead of it in R(t).
+  CEP_ASSERT_OK(engine.OfferEvent(fixture_.Req(kMinute, 10, 7)));
+  CEP_ASSERT_OK(engine.OfferEvent(PoisonReq(kMinute + kSecond)));
+  CEP_ASSERT_OK(engine.VerifyInvariants());
+
+  // The avail extends the clean run (child pushed), then type-errors on the
+  // poison run's `b[i].loc < a.loc` — the whole event is quarantined.
+  CEP_ASSERT_OK(engine.OfferEvent(fixture_.Avail(kMinute + 2 * kSecond, 3, 1)));
+  EXPECT_EQ(engine.metrics().quarantined_events, 1u);
+  EXPECT_GT(engine.metrics().runs_aborted, 0u);
+  CEP_ASSERT_OK(engine.VerifyInvariants());
+
+  CEP_ASSERT_OK(
+      engine.OfferEvent(fixture_.Unlock(kMinute + 3 * kSecond, 10, 7, 1)));
+  CEP_ASSERT_OK(engine.VerifyInvariants());
+}
+
 TEST_F(ErrorBudgetTest, ExhaustsAfterConsecutiveFailures) {
   EngineOptions options;
   options.error_budget.enabled = true;

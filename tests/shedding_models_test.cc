@@ -88,6 +88,43 @@ TEST(TimeSlicerTest, SingleSliceDegenerate) {
   EXPECT_EQ(slicer.num_slices(), 1);
 }
 
+TEST(TimeSlicerTest, HugeWindowsDoNotOverflow) {
+  // Regression: Slice computed (age * num_slices) / window in int64, which
+  // overflows (signed UB) once window > INT64_MAX / num_slices — reachable
+  // with giant WITHIN windows and extreme CSV timestamps. The widened
+  // intermediate must bucket such ages exactly.
+  // Even power of two so the boundary expectations below divide exactly.
+  const Duration window = int64_t{1} << 62;  // > INT64_MAX / 16
+  TimeSlicer slicer(window, 16);
+  EXPECT_EQ(slicer.Slice(0, 0), 0);
+  EXPECT_EQ(slicer.Slice(0, window / 16 - 1), 0);
+  EXPECT_EQ(slicer.Slice(0, window / 16 + 1), 1);
+  EXPECT_EQ(slicer.Slice(0, window / 2), 8);
+  EXPECT_EQ(slicer.Slice(0, window - 1), 15);
+  EXPECT_EQ(slicer.Slice(0, window), 15);  // clamp
+  // Maximum representable age, window just above it: still the last slice.
+  TimeSlicer max_window(INT64_MAX, 64);
+  EXPECT_EQ(max_window.Slice(0, INT64_MAX - 1), 63);
+  EXPECT_EQ(max_window.Slice(INT64_MIN / 2, INT64_MAX / 2), 63);
+  // Extreme negative start (e.g. a corrupt CSV timestamp) with a huge now.
+  TimeSlicer wide(INT64_MAX, 8);
+  EXPECT_GE(wide.Slice(-4, INT64_MAX - 8), 7);
+}
+
+TEST(TimeSlicerTest, HugeWindowSlicesAreMonotonic) {
+  const Duration window = INT64_MAX - 1;
+  TimeSlicer slicer(window, 10);
+  int last = 0;
+  for (int i = 0; i <= 10; ++i) {
+    const Timestamp now = static_cast<Timestamp>((window / 10) * i);
+    const int slice = slicer.Slice(0, now);
+    EXPECT_GE(slice, last);
+    EXPECT_LT(slice, 10);
+    last = slice;
+  }
+  EXPECT_EQ(last, 9);
+}
+
 TEST(TimeSlicerTest, TtlFraction) {
   TimeSlicer slicer(100, 10);
   EXPECT_DOUBLE_EQ(slicer.TtlFraction(0, 0), 1.0);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <sstream>
+
 #include "common/rng.h"
 
 namespace cep {
@@ -36,6 +40,60 @@ TEST(CountMinSketchTest, ExactWhenSparse) {
     EXPECT_DOUBLE_EQ(sketch.Estimate(k), static_cast<double>(k + 1));
   }
   EXPECT_DOUBLE_EQ(sketch.Estimate(999), 0.0);
+}
+
+TEST(CountMinSketchTest, TextSaveLoadRoundTripsAdversarialDoubles) {
+  // Regression: Save streamed cells at the default ostream precision (6
+  // significant figures), so each text save/load cycle silently rounded the
+  // learned counters. Adversarial magnitudes must now round-trip bit-exactly.
+  const double kAdversarial[] = {
+      std::numeric_limits<double>::denorm_min(),        // smallest subnormal
+      std::numeric_limits<double>::min() / 2,           // subnormal
+      std::numeric_limits<double>::min(),               // smallest normal
+      1e-300,
+      0.1 + 0.2,                                        // 0.30000000000000004
+      1.0 + std::numeric_limits<double>::epsilon(),     // 17-digit payload
+      12345678.910111213,
+      1e300,
+      std::numeric_limits<double>::max(),
+  };
+  CountMinSketch sketch(32, 3, 0xabcd);
+  uint64_t key = 1;
+  for (const double v : kAdversarial) sketch.Add(key++, v);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(sketch.Save(buffer).ok());
+  CountMinSketch loaded(32, 3, 0xabcd);
+  ASSERT_TRUE(loaded.Load(buffer).ok());
+
+  key = 1;
+  for (const double v : kAdversarial) {
+    const double expected = sketch.Estimate(key);
+    const double actual = loaded.Estimate(key);
+    EXPECT_EQ(expected, actual)
+        << "cell for value " << v << " did not round-trip bit-exactly";
+    ++key;
+  }
+
+  // A second save must be byte-identical to the first: the text codec has a
+  // fixed point after one cycle or state drifts on every warm start.
+  std::stringstream again;
+  ASSERT_TRUE(loaded.Save(again).ok());
+  EXPECT_EQ(buffer.str(), again.str());
+}
+
+TEST(CountMinSketchTest, SavePreservesCallerStreamPrecision) {
+  std::ostringstream out;
+  out.precision(3);
+  CountMinSketch sketch(8, 1);
+  sketch.Add(1, 1.0);
+  ASSERT_TRUE(sketch.Save(out).ok());
+  EXPECT_EQ(out.precision(), 3);
+  out << 0.123456789;
+  const std::string text = out.str();
+  EXPECT_TRUE(text.ends_with("0.123"))
+      << "Save leaked its precision change into the caller's stream: "
+      << text;
 }
 
 TEST(CountMinSketchTest, OverestimateBoundedByTheory) {

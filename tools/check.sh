@@ -1,7 +1,8 @@
 #!/bin/sh
 # Sanitized verification pass, two builds:
 #   1. build-sanitize/  — ASan+UBSan, full test suite (memory/UB coverage for
-#      the fault-injection and resilience paths).
+#      the fault-injection and resilience paths), plus the fuzz corpus
+#      replays and a differential stress sweep (docs/FUZZING.md).
 #   2. build-tsan/      — ThreadSanitizer, the Parallel* suites (data-race
 #      coverage for the worker pool, run sharding, and MultiEngine fan-out).
 # Each build also runs the CLI on an example workload with the observability
@@ -70,16 +71,36 @@ ckpt_check() {
   rm -rf "$CKPT_DIR"
 }
 
+# fuzz_check BUILD_DIR — differential stress sweep plus, when the toolchain
+# supports -fsanitize=fuzzer (clang), a short coverage-guided run of each
+# fuzz target over its checked-in corpus. The corpus-replay ctest entries
+# already ran as part of the suite; this adds the wider seeded sweep.
+fuzz_check() {
+  "$1/tools/stress_engine" --configs 120 --seed 7
+  if grep -q 'CEPSHED_LIBFUZZER_SUPPORTED.*=1' "$1/CMakeCache.txt"; then
+    FUZZ_DIR="$(mktemp -d)"
+    for TARGET in query csv snapshot; do
+      # New inputs land in the scratch dir; the checked-in seeds stay pristine.
+      mkdir -p "$FUZZ_DIR/$TARGET"
+      "$1/fuzz/fuzz_$TARGET" -max_total_time=60 -timeout=10 \
+          "$FUZZ_DIR/$TARGET" "$ROOT/tests/corpus/$TARGET"
+    done
+    rm -rf "$FUZZ_DIR"
+  fi
+}
+
 BUILD="$ROOT/build-sanitize"
 configure "$BUILD" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCEPSHED_SANITIZE=address \
+    -DCEPSHED_FUZZ=ON \
     -DCEPSHED_BUILD_BENCHMARKS=OFF \
     -DCEPSHED_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD" -j "$JOBS"
 (cd "$BUILD" && ctest --output-on-failure -j "$JOBS" "$@")
 obs_check "$BUILD"
 ckpt_check "$BUILD"
+fuzz_check "$BUILD"
 
 TSAN_BUILD="$ROOT/build-tsan"
 configure "$TSAN_BUILD" \
