@@ -1,0 +1,261 @@
+// bench_service_isolation — multi-tenant noisy-neighbour isolation through
+// the service layer (TenantSession + QuotaAllocator, docs/SERVICE.md).
+//
+// Tenant B runs the paper's cluster Q1 with SBLS at a normal event rate.
+// Tenant A runs the same query but is driven at ~10x B's rate against a
+// byte quota sized for B's load, so A's degradation ladder must engage.
+// Because quotas are per-tenant slices of the global budget (weights are
+// fixed at hello time) and every engine runs the deterministic virtual-cost
+// clock, B's recall and p99 µ(t) must be unchanged — bit-identical, well
+// inside the 5% acceptance band — whether A is hammering the server or not.
+//
+// Writes BENCH_service.json into the working directory.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "event/csv.h"
+#include "harness/accuracy.h"
+#include "service/quota.h"
+#include "service/tenant.h"
+
+namespace cep {
+namespace bench {
+namespace {
+
+constexpr double kThetaMicros = 80.0;
+constexpr size_t kGlobalBudgetBytes = 1 << 20;  // 1 MiB of run state, total
+constexpr double kWeightA = 0.5;
+constexpr double kWeightB = 0.5;
+
+// Mirrors SblsOptions(MakeClusterQ1(...)) in spec form so the service layer
+// builds the exact shedder the in-process experiments use.
+const char kQuerySpec[] =
+    "theta=80 fraction=0.2 cooldown=256 shedder=sbls seed=23317 "
+    "hash=submit:priority,schedule:machine_id,schedule:priority "
+    "bucket=4 slices=16 wplus=4 wminus=1";
+
+struct TenantOutcome {
+  double recall = 0.0;
+  double p99_micros = 0.0;
+  uint64_t matches = 0;
+  uint64_t shed_events = 0;
+  uint64_t degradation_ups = 0;
+};
+
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t idx = std::min(
+      samples.size() - 1, static_cast<size_t>(q * (samples.size() - 1)));
+  return samples[idx];
+}
+
+std::unique_ptr<service::TenantSession> MakeTenant(
+    const std::string& base, const std::string& name, double weight,
+    const service::QuotaAllocator& quota, const std::string& query_text) {
+  service::TenantSession::Config config;
+  config.tenant = name;
+  config.root = base + "/" + name;
+  config.theta = kThetaMicros;
+  config.weight = weight;
+  config.quota_bytes = quota.QuotaBytes(weight);
+  config.checkpoint_interval_events = 0;  // not under test here
+  auto session =
+      CheckResult(service::TenantSession::Create(std::move(config)),
+                  "create tenant");
+  CheckOk(session->ApplySchemaCommand({"cluster"}), "apply cluster schema");
+  CheckOk(session->AddQuery("q1", kQuerySpec, query_text), "add query");
+  return session;
+}
+
+/// Streams B's events through a fresh tenant (optionally interleaved with
+/// tenant A's 10x stream by timestamp) and reports B's recall/p99 against
+/// `golden`.
+TenantOutcome RunTenantB(const std::string& base, bool with_noisy,
+                         const ClusterWorkload& workload_b,
+                         const ClusterWorkload& workload_a,
+                         const std::string& query_text,
+                         const std::vector<Match>& golden,
+                         TenantOutcome* noisy_outcome) {
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base);
+
+  service::QuotaAllocator quota(kGlobalBudgetBytes, /*admission_ratio=*/0.9,
+                                /*default_weight=*/0.25);
+  std::unique_ptr<service::TenantSession> a;
+  if (with_noisy) {
+    CheckResult(quota.AdmitTenant("a", kWeightA, 0), "admit tenant a");
+    a = MakeTenant(base, "a", kWeightA, quota, query_text);
+  }
+  CheckResult(quota.AdmitTenant("b", kWeightB, 0), "admit tenant b");
+  auto b = MakeTenant(base, "b", kWeightB, quota, query_text);
+
+  Engine* engine_b = b->FindEngine("q1");
+  std::vector<double> mu_samples;
+  mu_samples.reserve(workload_b.events.size());
+
+  // Merge the two streams by timestamp — the arrival order a server would
+  // see with A flooding at 10x B's rate.
+  size_t ia = 0;
+  size_t ib = 0;
+  const auto& ea = workload_a.events;
+  const auto& eb = workload_b.events;
+  while (ib < eb.size() || (with_noisy && ia < ea.size())) {
+    const bool take_a =
+        with_noisy && ia < ea.size() &&
+        (ib >= eb.size() || ea[ia]->timestamp() <= eb[ib]->timestamp());
+    if (take_a) {
+      CheckOk(a->IngestLine(EventToCsvLine(*ea[ia])), "ingest A");
+      ++ia;
+    } else {
+      CheckOk(b->IngestLine(EventToCsvLine(*eb[ib])), "ingest B");
+      ++ib;
+      mu_samples.push_back(engine_b->CurrentLatencyMicros());
+    }
+  }
+
+  CheckOk(b->Drain(base + "/out_b"), "drain tenant b");
+  TenantOutcome out;
+  const AccuracyReport report = CompareMatches(golden, engine_b->matches());
+  out.recall = report.recall();
+  out.p99_micros = Percentile(std::move(mu_samples), 0.99);
+  out.matches = engine_b->matches().size();
+  out.shed_events = engine_b->metrics().runs_shed;
+  out.degradation_ups = engine_b->metrics().degradation_ups;
+  if (with_noisy && noisy_outcome != nullptr) {
+    CheckOk(a->Drain(base + "/out_a"), "drain tenant a");
+    Engine* engine_a = a->FindEngine("q1");
+    noisy_outcome->matches = engine_a->matches().size();
+    noisy_outcome->shed_events = engine_a->metrics().runs_shed;
+    noisy_outcome->degradation_ups = engine_a->metrics().degradation_ups;
+  }
+  return out;
+}
+
+double DeltaPercent(double solo, double shared) {
+  if (solo == 0.0) return shared == 0.0 ? 0.0 : 100.0;
+  return 100.0 * (shared - solo) / solo;
+}
+
+int Main() {
+  std::printf("=== Service isolation: tenant B vs a 10x noisy neighbour "
+              "===\n\n");
+  const auto workload_b = BuildClusterWorkload(1.0, /*seed=*/42);
+  const auto workload_a = BuildClusterWorkload(10.0, /*seed=*/77);
+  std::printf("tenant B: %zu events, tenant A: %zu events (%.1fx)\n",
+              workload_b->events.size(), workload_a->events.size(),
+              static_cast<double>(workload_a->events.size()) /
+                  static_cast<double>(workload_b->events.size()));
+
+  const Duration window = 3 * kHour;
+  const auto query =
+      CheckResult(MakeClusterQ1(workload_b->registry, window), "compile Q1");
+
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "cepshed_bench_service")
+          .string();
+
+  // Oracle: exhaustive engine fed through the same service ingest path
+  // (sequence numbers are assigned by WAL ordinal, so golden fingerprints
+  // must come from an identically-sequenced stream).
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base);
+  std::vector<Match> golden;
+  {
+    service::TenantSession::Config config;
+    config.tenant = "oracle";
+    config.root = base + "/oracle";
+    config.checkpoint_interval_events = 0;
+    auto oracle =
+        CheckResult(service::TenantSession::Create(std::move(config)),
+                    "create oracle tenant");
+    CheckOk(oracle->ApplySchemaCommand({"cluster"}), "oracle schema");
+    CheckOk(oracle->AddQuery("q1", "theta=0", query.text), "oracle query");
+    for (const auto& e : workload_b->events) {
+      CheckOk(oracle->IngestLine(EventToCsvLine(*e)), "oracle ingest");
+    }
+    CheckOk(oracle->Drain(base + "/out_oracle"), "oracle drain");
+    golden = oracle->FindEngine("q1")->matches();
+  }
+  std::printf("golden: %zu matches for tenant B's stream\n\n", golden.size());
+  TenantOutcome noisy;
+  const TenantOutcome solo = RunTenantB(base, /*with_noisy=*/false,
+                                        *workload_b, *workload_a, query.text,
+                                        golden, nullptr);
+  const TenantOutcome shared = RunTenantB(base, /*with_noisy=*/true,
+                                          *workload_b, *workload_a,
+                                          query.text, golden, &noisy);
+  std::filesystem::remove_all(base);
+
+  const double recall_delta = DeltaPercent(solo.recall, shared.recall);
+  const double p99_delta = DeltaPercent(solo.p99_micros, shared.p99_micros);
+  const bool isolated =
+      std::abs(recall_delta) <= 5.0 && std::abs(p99_delta) <= 5.0;
+
+  std::printf("tenant B solo:   recall %.4f  p99 %.1f us  matches %llu  "
+              "shed %llu  ladder ups %llu\n",
+              solo.recall, solo.p99_micros,
+              static_cast<unsigned long long>(solo.matches),
+              static_cast<unsigned long long>(solo.shed_events),
+              static_cast<unsigned long long>(solo.degradation_ups));
+  std::printf("tenant B shared: recall %.4f  p99 %.1f us  matches %llu  "
+              "shed %llu  ladder ups %llu\n",
+              shared.recall, shared.p99_micros,
+              static_cast<unsigned long long>(shared.matches),
+              static_cast<unsigned long long>(shared.shed_events),
+              static_cast<unsigned long long>(shared.degradation_ups));
+  std::printf("tenant A (noisy): matches %llu  shed %llu  ladder ups %llu\n",
+              static_cast<unsigned long long>(noisy.matches),
+              static_cast<unsigned long long>(noisy.shed_events),
+              static_cast<unsigned long long>(noisy.degradation_ups));
+  std::printf("\nrecall delta %.2f%%  p99 delta %.2f%%  -> %s\n",
+              recall_delta, p99_delta,
+              isolated ? "ISOLATED (within 5%)" : "ISOLATION BREACH");
+
+  FILE* json = std::fopen("BENCH_service.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write BENCH_service.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"benchmark\": \"service_tenant_isolation\",\n"
+               "  \"noisy_rate_multiplier\": 10.0,\n"
+               "  \"global_budget_bytes\": %zu,\n"
+               "  \"tenant_b_events\": %zu,\n"
+               "  \"tenant_a_events\": %zu,\n"
+               "  \"golden_matches\": %zu,\n"
+               "  \"solo\": {\"recall\": %.6f, \"p99_micros\": %.2f, "
+               "\"matches\": %llu},\n"
+               "  \"shared\": {\"recall\": %.6f, \"p99_micros\": %.2f, "
+               "\"matches\": %llu},\n"
+               "  \"noisy_tenant\": {\"matches\": %llu, \"shed\": %llu, "
+               "\"ladder_ups\": %llu},\n"
+               "  \"recall_delta_pct\": %.4f,\n"
+               "  \"p99_delta_pct\": %.4f,\n"
+               "  \"isolated_within_5pct\": %s\n"
+               "}\n",
+               kGlobalBudgetBytes, workload_b->events.size(),
+               workload_a->events.size(), golden.size(), solo.recall,
+               solo.p99_micros, static_cast<unsigned long long>(solo.matches),
+               shared.recall, shared.p99_micros,
+               static_cast<unsigned long long>(shared.matches),
+               static_cast<unsigned long long>(noisy.matches),
+               static_cast<unsigned long long>(noisy.shed_events),
+               static_cast<unsigned long long>(noisy.degradation_ups),
+               recall_delta, p99_delta, isolated ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote BENCH_service.json\n");
+  return isolated ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cep
+
+int main() { return cep::bench::Main(); }

@@ -14,7 +14,28 @@
 namespace cep {
 namespace ckpt {
 
-namespace {
+bool IsSafePathComponent(std::string_view name) {
+  if (name.empty() || name.size() > 64) return false;
+  if (name.front() == '.') return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<std::string> JoinNamespace(const std::string& root,
+                                  std::string_view component) {
+  if (!IsSafePathComponent(component)) {
+    return Status::InvalidArgument("unsafe path component '" +
+                                   std::string(component) + "'");
+  }
+  std::string path = root;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path.append(component);
+  return path;
+}
 
 Status EnsureDirectory(const std::string& path) {
   struct stat st;
@@ -27,6 +48,8 @@ Status EnsureDirectory(const std::string& path) {
   }
   return Status::OK();
 }
+
+namespace {
 
 /// Lists completed snapshot filenames in `directory`, sorted ascending by
 /// offset (the zero-padded name makes lexicographic == numeric order).

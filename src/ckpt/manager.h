@@ -6,6 +6,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "common/result.h"
@@ -23,6 +24,24 @@ namespace ckpt {
 /// prunes old snapshots. If a new blob arrives while one is still being
 /// written, the pending (not yet started) one is replaced: under backlog we
 /// keep the newest state rather than queueing history.
+/// True when `name` is safe to embed as one path component under a
+/// checkpoint root: non-empty, at most 64 bytes, only [A-Za-z0-9_.-], and
+/// not starting with a dot (no hidden files, no "." / ".." traversal).
+/// Tenant and query names arrive over the network; everything that becomes
+/// a directory name must pass this check.
+bool IsSafePathComponent(std::string_view name);
+
+/// Joins `root` and one validated component into a namespaced directory
+/// path ("<root>/<component>"). InvalidArgument when the component fails
+/// IsSafePathComponent — the caller must treat that as a protocol error,
+/// not sanitize and continue.
+Result<std::string> JoinNamespace(const std::string& root,
+                                  std::string_view component);
+
+/// Creates `path` as a directory if it does not exist (one level; the
+/// parent must exist). IoError when the path exists as a non-directory.
+Status EnsureDirectory(const std::string& path);
+
 class CheckpointManager {
  public:
   /// `keep` limits how many completed snapshots remain after each write

@@ -548,7 +548,8 @@ Status Engine::ProcessEvent(const EventPtr& event) {
     const double ratio =
         theta > 0 ? latency_monitor_->CurrentLatencyMicros() / theta : 0.0;
     const DegradationLevel prev_level = degradation_->level();
-    level = degradation_->Update(ratio, approx_run_bytes_, consecutive_errors_);
+    level = degradation_->Update(ratio, approx_run_bytes_ + external_run_bytes_,
+                                 consecutive_errors_);
     metrics_.degradation_ups = degradation_->ups();
     metrics_.degradation_downs = degradation_->downs();
     if constexpr (obs::kEnabled) {

@@ -140,6 +140,14 @@ class Engine {
   /// (0 when the ladder is disabled).
   size_t approx_run_bytes() const { return approx_run_bytes_; }
 
+  /// Bytes held by co-tenant engines sharing this engine's byte budget.
+  /// The degradation ladder compares `approx_run_bytes() + external` against
+  /// the budget, so a tenant's engines shed as one unit: when a sibling
+  /// query balloons, this engine feels the pressure too. Not serialized —
+  /// the owning session recomputes it after every event and after restore.
+  void SetExternalRunBytes(size_t bytes) { external_run_bytes_ = bytes; }
+  size_t external_run_bytes() const { return external_run_bytes_; }
+
   /// Current quarantined-failure streak (error budget).
   size_t consecutive_errors() const { return consecutive_errors_; }
 
@@ -378,6 +386,7 @@ class Engine {
   Timestamp last_event_ts_ = INT64_MIN;
   uint64_t ops_this_event_ = 0;
   size_t approx_run_bytes_ = 0;
+  size_t external_run_bytes_ = 0;
   size_t consecutive_errors_ = 0;
 
   // --- checkpoint / restore --------------------------------------------------

@@ -1,6 +1,7 @@
 #include "event/csv.h"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -62,6 +63,45 @@ Result<Value> FieldToValue(const std::string& field, ValueType type) {
       return Status::TypeError("schema declares null-typed attribute");
   }
   return Status::Internal("unreachable");
+}
+
+/// Bounded getline: reads one physical line (up to '\n', delimiter
+/// consumed but not stored) into `*line`, never holding more than
+/// `max_bytes` of it in memory (0 = unbounded). When the bound is hit the
+/// rest of the physical line is discarded unread and `*truncated` is set.
+/// Returns false when the stream is exhausted before any input was read.
+bool GetlineBounded(std::istream& in, std::string* line, size_t max_bytes,
+                    bool* truncated) {
+  line->clear();
+  *truncated = false;
+  char buf[4096];
+  bool read_any = false;
+  while (true) {
+    in.getline(buf, sizeof(buf));
+    const auto count = static_cast<size_t>(in.gcount());
+    if (count == 0 && !read_any) return false;  // end of stream
+    if (count > 0) read_any = true;
+    // getline stops for one of three reasons: the delimiter was extracted
+    // (gcount counts it, stream still good), the buffer filled (failbit,
+    // gcount == capacity-1), or EOF cut the final unterminated line
+    // (eofbit only, gcount == stored chars).
+    const bool buffer_full =
+        in.fail() && !in.eof() && count == sizeof(buf) - 1;
+    const size_t stored =
+        (buffer_full || in.eof()) ? count : (count > 0 ? count - 1 : 0);
+    if (max_bytes > 0 && line->size() + stored > max_bytes) {
+      *truncated = true;
+      line->append(buf, max_bytes - line->size());
+      if (buffer_full) {
+        in.clear();
+        in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+      }
+      return true;
+    }
+    line->append(buf, stored);
+    if (!buffer_full) return true;
+    in.clear();
+  }
 }
 
 }  // namespace
@@ -172,38 +212,67 @@ Result<std::vector<EventPtr>> ReadEventsCsv(const SchemaRegistry& registry,
   uint64_t seq = 0;
   size_t line_no = 0;
   size_t consecutive_errors = 0;
-  while (std::getline(in, line)) {
+  const size_t max_bytes = options.max_record_bytes;
+  bool truncated = false;
+  // Shared quarantine path for malformed and oversized records: strict mode
+  // (max_consecutive_errors == 0) fails the read, otherwise the record is
+  // skipped and only a long run of consecutive bad records aborts.
+  const auto quarantine = [&](const Status& contextual,
+                              bool oversized) -> Status {
+    if (stats != nullptr) {
+      ++stats->quarantined;
+      if (oversized) ++stats->oversized;
+      stats->last_error = contextual.ToString();
+    }
+    if (options.max_consecutive_errors == 0) return contextual;
+    ++consecutive_errors;
+    if (consecutive_errors >= options.max_consecutive_errors) {
+      return contextual.WithContext(
+          StrFormat("CSV error budget exhausted (%zu consecutive bad "
+                    "records)",
+                    consecutive_errors));
+    }
+    return Status::OK();
+  };
+  while (GetlineBounded(in, &line, max_bytes, &truncated)) {
     ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (StripWhitespace(line).empty()) continue;
+    if (!truncated && StripWhitespace(line).empty()) continue;
     // Quoted fields may contain raw newlines: keep appending physical lines
     // until the quotes balance (or input ends, leaving the record malformed).
+    // The record bound covers the stitched whole, so an unterminated quote
+    // can no longer buffer the rest of the file.
     std::string continuation;
-    while (!CsvRecordComplete(line) && std::getline(in, continuation)) {
+    bool cont_truncated = false;
+    while (!truncated && !CsvRecordComplete(line) &&
+           GetlineBounded(in, &continuation, max_bytes, &cont_truncated)) {
       ++line_no;
       if (!continuation.empty() && continuation.back() == '\r') {
         continuation.pop_back();
       }
       line += '\n';
       line += continuation;
+      if (cont_truncated || (max_bytes > 0 && line.size() > max_bytes)) {
+        truncated = true;
+      }
     }
     if (stats != nullptr) ++stats->lines_read;
+    if (truncated) {
+      // Distinct reason code: oversized records are an OutOfRange
+      // quarantine, not a ParseError — callers can tell a hostile record
+      // size from ordinary corruption.
+      const Status contextual =
+          Status::OutOfRange(
+              StrFormat("record exceeds max_record_bytes=%zu", max_bytes))
+              .WithContext(StrFormat("line %zu", line_no));
+      CEP_RETURN_NOT_OK(quarantine(contextual, /*oversized=*/true));
+      continue;
+    }
     auto result = EventFromCsvLine(registry, line, seq);
     if (!result.ok()) {
       const Status contextual =
           result.status().WithContext(StrFormat("line %zu", line_no));
-      if (options.max_consecutive_errors == 0) return contextual;
-      ++consecutive_errors;
-      if (stats != nullptr) {
-        ++stats->quarantined;
-        stats->last_error = contextual.ToString();
-      }
-      if (consecutive_errors >= options.max_consecutive_errors) {
-        return contextual.WithContext(
-            StrFormat("CSV error budget exhausted (%zu consecutive bad "
-                      "records)",
-                      consecutive_errors));
-      }
+      CEP_RETURN_NOT_OK(quarantine(contextual, /*oversized=*/false));
       continue;
     }
     consecutive_errors = 0;

@@ -41,12 +41,23 @@ Result<EventPtr> EventFromCsvLine(const SchemaRegistry& registry,
 /// record, is broken).
 struct CsvReadOptions {
   size_t max_consecutive_errors = 0;
+
+  /// Upper bound on one logical record's size in bytes, including quoted
+  /// multi-line continuations. Input is read in bounded chunks, so an
+  /// attacker-sized record never materialises in memory: once the bound is
+  /// hit the rest of the record is discarded unread and the record is
+  /// quarantined (or, in strict mode, fails the read) with a distinct
+  /// oversized reason. 0 disables the bound.
+  size_t max_record_bytes = 1 << 20;
 };
 
 /// Counters reported by a quarantining read.
 struct CsvReadStats {
   uint64_t lines_read = 0;        ///< non-blank records seen
   uint64_t quarantined = 0;       ///< malformed records skipped
+  uint64_t oversized = 0;         ///< records discarded for exceeding
+                                  ///< max_record_bytes (also counted in
+                                  ///< quarantined)
   std::string last_error;         ///< diagnostic for the latest bad record
 };
 

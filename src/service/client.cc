@@ -1,0 +1,144 @@
+#include "service/client.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "service/framing.h"
+
+namespace cep {
+namespace service {
+
+namespace {
+
+Status Errno(const char* op) {
+  return Status::IoError(std::string(op) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+BlockingClient::~BlockingClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<BlockingClient>> BlockingClient::ConnectUnix(
+    const std::string& socket_path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("connect '" + socket_path +
+                           "': " + std::strerror(errno));
+  }
+  return std::unique_ptr<BlockingClient>(new BlockingClient(fd));
+}
+
+Result<std::unique_ptr<BlockingClient>> BlockingClient::ConnectTcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("connect 127.0.0.1:" + std::to_string(port) +
+                           ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<BlockingClient>(new BlockingClient(fd));
+}
+
+Status BlockingClient::SendAll(const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a dead server yields EPIPE, not a process-killing
+    // SIGPIPE — the chaos harness depends on clients surviving the SIGKILL.
+    const ssize_t n =
+        ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status BlockingClient::SendLine(std::string_view line) {
+  if (line.find('\n') != std::string_view::npos) {
+    return Status::InvalidArgument(
+        "line contains '\\n'; use SendFrame for payloads with newlines");
+  }
+  std::string out(line);
+  out += '\n';
+  return SendAll(out.data(), out.size());
+}
+
+Status BlockingClient::SendFrame(std::string_view payload) {
+  const std::string framed = EncodeFrame(payload);
+  return SendAll(framed.data(), framed.size());
+}
+
+Result<std::string> BlockingClient::ReadLine() {
+  for (;;) {
+    const size_t nl = inbuf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = inbuf_.substr(0, nl);
+      inbuf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      return Status::IoError("connection closed by server");
+    }
+    inbuf_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<std::string> BlockingClient::Command(std::string_view line) {
+  CEP_RETURN_NOT_OK(SendLine(line));
+  CEP_ASSIGN_OR_RETURN(std::string reply, ReadLine());
+  if (reply.rfind("!err", 0) == 0) {
+    return Status::Internal("server rejected '" + std::string(line) +
+                            "': " + reply);
+  }
+  return reply;
+}
+
+Result<std::string> BlockingClient::ReadBlock() {
+  CEP_ASSIGN_OR_RETURN(std::string begin, ReadLine());
+  if (begin.rfind("!begin", 0) != 0) {
+    return Status::ParseError("expected !begin, got: " + begin);
+  }
+  std::string body;
+  for (;;) {
+    CEP_ASSIGN_OR_RETURN(std::string line, ReadLine());
+    if (line == "!end") return body;
+    body += line;
+    body += '\n';
+  }
+}
+
+}  // namespace service
+}  // namespace cep

@@ -1,0 +1,60 @@
+#ifndef CEPSHED_SERVICE_CLIENT_H_
+#define CEPSHED_SERVICE_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cep {
+namespace service {
+
+/// \brief Minimal blocking client for the cepshed_server protocol — used by
+/// cepshed_client, the chaos harness, and stress_engine --server.
+///
+/// One connection, synchronous semantics: SendLine/SendFrame write fully or
+/// fail; ReadLine blocks until one '\n'-terminated reply arrives. A peer
+/// that dies mid-call surfaces as IoError (never SIGPIPE — the socket is
+/// opened with SIGPIPE suppressed).
+class BlockingClient {
+ public:
+  ~BlockingClient();
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  static Result<std::unique_ptr<BlockingClient>> ConnectUnix(
+      const std::string& socket_path);
+  static Result<std::unique_ptr<BlockingClient>> ConnectTcp(int port);
+
+  /// Writes `line` + '\n' (the text encoding). `line` must not contain
+  /// '\n'.
+  Status SendLine(std::string_view line);
+
+  /// Writes `payload` as a binary frame (0xCE + u32le length + payload).
+  Status SendFrame(std::string_view payload);
+
+  /// Blocks for the next '\n'-terminated line from the server (without the
+  /// terminator, '\r' stripped). IoError on EOF/connection loss.
+  Result<std::string> ReadLine();
+
+  /// Sends a control line and reads one reply line; error if the reply
+  /// starts with "!err".
+  Result<std::string> Command(std::string_view line);
+
+  /// Reads a "!begin <what>" ... "!end" block and returns the body.
+  Result<std::string> ReadBlock();
+
+ private:
+  explicit BlockingClient(int fd) : fd_(fd) {}
+  Status SendAll(const char* data, size_t size);
+
+  int fd_ = -1;
+  std::string inbuf_;
+};
+
+}  // namespace service
+}  // namespace cep
+
+#endif  // CEPSHED_SERVICE_CLIENT_H_

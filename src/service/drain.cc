@@ -1,0 +1,15 @@
+#include "service/drain.h"
+
+namespace cep {
+namespace service {
+
+Status DrainEngine(Engine& engine, bool flush_runs) {
+  if (flush_runs) CEP_RETURN_NOT_OK(engine.Flush());
+  if (engine.options().checkpoint.enabled()) {
+    CEP_RETURN_NOT_OK(engine.Checkpoint());
+  }
+  return engine.FlushCheckpoints();
+}
+
+}  // namespace service
+}  // namespace cep

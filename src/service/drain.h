@@ -1,0 +1,28 @@
+#ifndef CEPSHED_SERVICE_DRAIN_H_
+#define CEPSHED_SERVICE_DRAIN_H_
+
+#include "common/status.h"
+#include "engine/engine.h"
+
+namespace cep {
+namespace service {
+
+/// \brief Shared graceful-shutdown path for one engine (docs/SERVICE.md).
+///
+/// Used by the server's terminal drain and by cepshed_cli's SIGINT/SIGTERM
+/// handler: make the engine's durable state safe before the process exits.
+///
+/// `flush_runs` controls Engine::Flush() — the server's drain is
+/// end-of-stream (deferred final states must emit), while an interrupted
+/// CLI run is mid-stream (flushing would emit matches the resumed run
+/// would then emit again, breaking exactly-once resume).
+///
+/// When the engine has a checkpoint directory configured, a final
+/// synchronous snapshot is written; background checkpoint writes are always
+/// flushed and their first error surfaced.
+Status DrainEngine(Engine& engine, bool flush_runs);
+
+}  // namespace service
+}  // namespace cep
+
+#endif  // CEPSHED_SERVICE_DRAIN_H_

@@ -1,0 +1,121 @@
+#include "service/framing.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace cep {
+namespace service {
+
+const char* ProtocolErrorName(ProtocolError reason) {
+  switch (reason) {
+    case ProtocolError::kOversizedLine: return "oversized_line";
+    case ProtocolError::kOversizedFrame: return "oversized_frame";
+  }
+  return "?";
+}
+
+void FrameReader::Feed(const char* data, size_t size) {
+  // Bytes being discarded never enter the buffer: an oversized frame's
+  // body is dropped straight from the socket read, so a hostile frame
+  // length cannot make the reader allocate.
+  size_t offset = 0;
+  if (discard_ > 0) {
+    const size_t skip = std::min(discard_, size);
+    discard_ -= skip;
+    offset += skip;
+  }
+  if (discard_line_ && offset < size) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(data + offset, '\n', size - offset));
+    if (nl == nullptr) {
+      offset = size;
+    } else {
+      offset = static_cast<size_t>(nl - data) + 1;
+      discard_line_ = false;
+    }
+  }
+  if (offset < size) buffer_.append(data + offset, size - offset);
+}
+
+void FrameReader::Compact() {
+  if (consumed_ == 0) return;
+  buffer_.erase(0, consumed_);
+  consumed_ = 0;
+}
+
+Result<FrameReader::Message> FrameReader::Next() {
+  Compact();
+  if (buffer_.empty()) return Message{};
+  if (static_cast<uint8_t>(buffer_[0]) == kFrameMagic) {
+    if (buffer_.size() < kFrameHeaderBytes) return Message{};
+    uint32_t length = 0;
+    for (int i = 0; i < 4; ++i) {
+      length |= static_cast<uint32_t>(static_cast<uint8_t>(buffer_[1 + i]))
+                << (8 * i);
+    }
+    if (max_message_bytes_ > 0 && length > max_message_bytes_) {
+      // Quarantine: skip the declared body (whatever part is already
+      // buffered now, the rest as it streams through Feed) and resync on
+      // the next message.
+      const size_t buffered_body = buffer_.size() - kFrameHeaderBytes;
+      const size_t drop = std::min<size_t>(length, buffered_body);
+      buffer_.erase(0, kFrameHeaderBytes + drop);
+      discard_ = length - drop;
+      return Status::OutOfRange(
+          StrFormat("protocol error %s: frame declares %u bytes (max %zu)",
+                    ProtocolErrorName(ProtocolError::kOversizedFrame),
+                    length, max_message_bytes_));
+    }
+    if (buffer_.size() < kFrameHeaderBytes + length) return Message{};
+    Message m;
+    m.have = true;
+    m.binary = true;
+    m.payload.assign(buffer_, kFrameHeaderBytes, length);
+    consumed_ = kFrameHeaderBytes + length;
+    return m;
+  }
+  const size_t nl = buffer_.find('\n');
+  if (nl == std::string::npos) {
+    if (max_message_bytes_ > 0 && buffer_.size() > max_message_bytes_) {
+      // The line already exceeds the bound with no terminator in sight:
+      // drop what is buffered and keep discarding until the '\n' arrives.
+      buffer_.clear();
+      discard_line_ = true;
+      return Status::OutOfRange(
+          StrFormat("protocol error %s: line exceeds %zu bytes",
+                    ProtocolErrorName(ProtocolError::kOversizedLine),
+                    max_message_bytes_));
+    }
+    return Message{};
+  }
+  if (max_message_bytes_ > 0 && nl > max_message_bytes_) {
+    buffer_.erase(0, nl + 1);
+    return Status::OutOfRange(
+        StrFormat("protocol error %s: line exceeds %zu bytes",
+                  ProtocolErrorName(ProtocolError::kOversizedLine),
+                  max_message_bytes_));
+  }
+  Message m;
+  m.have = true;
+  m.payload.assign(buffer_, 0, nl);
+  if (!m.payload.empty() && m.payload.back() == '\r') m.payload.pop_back();
+  consumed_ = nl + 1;
+  return m;
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.push_back(static_cast<char>(kFrameMagic));
+  const auto length = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((length >> (8 * i)) & 0xff));
+  }
+  out.append(payload);
+  return out;
+}
+
+}  // namespace service
+}  // namespace cep

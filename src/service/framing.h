@@ -1,0 +1,94 @@
+#ifndef CEPSHED_SERVICE_FRAMING_H_
+#define CEPSHED_SERVICE_FRAMING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cep {
+namespace service {
+
+/// \brief Wire framing for the cepshed_server socket protocol
+/// (docs/SERVICE.md).
+///
+/// Two message encodings share one connection and may be freely mixed:
+///
+///   text line     <payload bytes without 0xCE as first byte> '\n'
+///                 (a trailing '\r' before the '\n' is stripped)
+///   binary frame  0xCE u32le(payload length) <payload bytes>
+///
+/// Both decode to the same thing — one payload string, interpreted
+/// identically by the session layer (control command, event CSV record, or
+/// HTTP request line). The binary frame exists so payloads may contain
+/// newlines and so bulk senders skip the per-byte newline scan.
+inline constexpr uint8_t kFrameMagic = 0xCE;
+/// Frame header size: magic byte + u32le payload length.
+inline constexpr size_t kFrameHeaderBytes = 5;
+
+/// Distinct protocol-error reasons. Carried in the Status message and
+/// counted per reason by the server's quarantine machinery.
+enum class ProtocolError : uint8_t {
+  kOversizedLine,   ///< text line exceeded max_message_bytes before '\n'
+  kOversizedFrame,  ///< binary frame declared a payload over the limit
+};
+
+const char* ProtocolErrorName(ProtocolError reason);
+
+/// \brief Incremental decoder: Feed() raw socket bytes, then call Next()
+/// until it reports that more input is needed.
+///
+/// Oversized input is quarantined, not fatal: an oversized text line is
+/// discarded up to its terminating '\n' and an oversized binary frame is
+/// discarded for its declared length, after which decoding resynchronises
+/// on the next message. Each quarantined message surfaces as exactly one
+/// OutOfRange status whose message names the ProtocolError reason.
+class FrameReader {
+ public:
+  /// `max_message_bytes` bounds both text-line and frame payloads
+  /// (0 disables the bound, which only tests should do).
+  explicit FrameReader(size_t max_message_bytes = 1 << 20)
+      : max_message_bytes_(max_message_bytes) {}
+
+  /// Appends raw bytes from the socket.
+  void Feed(const char* data, size_t size);
+
+  /// Decode result: `have` false means the buffer holds no complete
+  /// message yet (read more from the socket).
+  struct Message {
+    bool have = false;
+    bool binary = false;   ///< arrived as a binary frame
+    std::string payload;
+  };
+
+  /// Extracts the next complete message, or an OutOfRange protocol error
+  /// for each quarantined oversized message. Call in a loop until
+  /// `!result->have`.
+  Result<Message> Next();
+
+  /// Bytes currently buffered (bounded by max + frame header slack).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  /// True while a partially received message sits in the buffer — used by
+  /// the server's partial-frame timeout.
+  bool mid_message() const { return buffered_bytes() > 0 || discard_ > 0; }
+
+ private:
+  void Compact();
+
+  size_t max_message_bytes_;  // not const: FrameReader is reassignable
+  std::string buffer_;
+  size_t consumed_ = 0;   ///< prefix of buffer_ already handed out
+  size_t discard_ = 0;    ///< bytes of an oversized frame left to skip
+  bool discard_line_ = false;  ///< skipping an oversized line to its '\n'
+};
+
+/// Encodes `payload` as a binary frame (magic + u32le length + payload).
+std::string EncodeFrame(std::string_view payload);
+
+}  // namespace service
+}  // namespace cep
+
+#endif  // CEPSHED_SERVICE_FRAMING_H_

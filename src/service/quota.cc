@@ -1,0 +1,62 @@
+#include "service/quota.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace cep {
+namespace service {
+
+// Tolerance for weight-sum comparisons: lets 4 x 0.25 fill the budget
+// exactly despite floating-point addition.
+constexpr double kWeightEpsilon = 1e-9;
+
+Result<double> QuotaAllocator::AdmitTenant(const std::string& tenant,
+                                           double weight, size_t used_bytes) {
+  const auto it = weights_.find(tenant);
+  if (it != weights_.end()) return it->second;  // idempotent re-hello
+  if (weight <= 0.0) weight = default_weight_;
+  if (!(weight > 0.0) || weight > 1.0 + kWeightEpsilon) {
+    return Status::InvalidArgument(
+        StrFormat("tenant weight %g outside (0, 1]", weight));
+  }
+  if (reserved_ + weight > 1.0 + kWeightEpsilon) {
+    return Status::OutOfRange(
+        StrFormat("admission rejected: weight %g does not fit (%.3g of 1.0 "
+                  "already reserved)",
+                  weight, reserved_));
+  }
+  CEP_RETURN_NOT_OK(AdmitQuery(used_bytes));
+  weights_[tenant] = weight;
+  reserved_ += weight;
+  return weight;
+}
+
+void QuotaAllocator::ReleaseTenant(const std::string& tenant) {
+  const auto it = weights_.find(tenant);
+  if (it == weights_.end()) return;
+  reserved_ -= it->second;
+  if (reserved_ < 0.0) reserved_ = 0.0;
+  weights_.erase(it);
+}
+
+Status QuotaAllocator::AdmitQuery(size_t used_bytes) const {
+  if (budget_bytes_ == 0) return Status::OK();
+  const auto watermark =
+      static_cast<size_t>(admission_ratio_ * static_cast<double>(budget_bytes_));
+  if (used_bytes > watermark) {
+    return Status::OutOfRange(
+        StrFormat("admission rejected: run-set bytes %zu above watermark %zu "
+                  "(%.2f of budget %zu)",
+                  used_bytes, watermark, admission_ratio_, budget_bytes_));
+  }
+  return Status::OK();
+}
+
+size_t QuotaAllocator::QuotaBytes(double weight) const {
+  if (budget_bytes_ == 0) return 0;
+  return static_cast<size_t>(weight * static_cast<double>(budget_bytes_));
+}
+
+}  // namespace service
+}  // namespace cep

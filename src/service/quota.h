@@ -1,0 +1,71 @@
+#ifndef CEPSHED_SERVICE_QUOTA_H_
+#define CEPSHED_SERVICE_QUOTA_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cep {
+namespace service {
+
+/// \brief Divides the server's global run-set byte budget among tenants and
+/// gates admission (docs/SERVICE.md).
+///
+/// Each tenant holds a static weight in (0, 1], fixed at `!hello` time so a
+/// tenant's shed behaviour never depends on who joins later (determinism:
+/// the engines' degradation budgets are pure config). A tenant's quota is
+/// weight x global budget; the sum of admitted weights may not exceed 1.
+///
+/// Admission control is the dynamic half: new tenants and new queries are
+/// rejected while total run-set bytes across all tenants sit above
+/// `admission_ratio` of the global budget — a saturated server sheds for
+/// its existing tenants instead of taking on more work it cannot isolate.
+class QuotaAllocator {
+ public:
+  /// `budget_bytes` 0 disables byte budgeting entirely: every quota is 0
+  /// (engines run without a degradation byte budget) and admission never
+  /// rejects on bytes.
+  QuotaAllocator(size_t budget_bytes, double admission_ratio,
+                 double default_weight)
+      : budget_bytes_(budget_bytes),
+        admission_ratio_(admission_ratio),
+        default_weight_(default_weight) {}
+
+  /// Reserves `weight` (<= 0 selects the default weight) for `tenant`.
+  /// InvalidArgument for a weight outside (0, 1]; ResourceExhausted-style
+  /// OutOfRange when the weight does not fit the remaining headroom or when
+  /// `used_bytes` is already past the admission watermark. Re-admitting an
+  /// existing tenant keeps its original weight (idempotent hello).
+  Result<double> AdmitTenant(const std::string& tenant, double weight,
+                             size_t used_bytes);
+
+  /// Releases a tenant's reservation.
+  void ReleaseTenant(const std::string& tenant);
+
+  /// Gate for adding a query to an admitted tenant: only the byte
+  /// watermark applies (weights were reserved at hello).
+  Status AdmitQuery(size_t used_bytes) const;
+
+  /// The byte quota backing `weight`: weight x budget (0 when budgeting is
+  /// disabled).
+  size_t QuotaBytes(double weight) const;
+
+  double reserved_weight() const { return reserved_; }
+  size_t budget_bytes() const { return budget_bytes_; }
+  double default_weight() const { return default_weight_; }
+
+ private:
+  const size_t budget_bytes_;
+  const double admission_ratio_;
+  const double default_weight_;
+  std::map<std::string, double> weights_;
+  double reserved_ = 0.0;
+};
+
+}  // namespace service
+}  // namespace cep
+
+#endif  // CEPSHED_SERVICE_QUOTA_H_

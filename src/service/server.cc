@@ -1,0 +1,682 @@
+#include "service/server.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "ckpt/snapshot.h"
+#include "common/string_util.h"
+
+namespace cep {
+namespace service {
+
+namespace {
+
+int64_t MonotonicMillis() {
+  struct timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError(std::string("fcntl O_NONBLOCK: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+Result<std::map<std::string, std::string>> TokensToKv(
+    const std::vector<std::string>& tokens, size_t from) {
+  std::string spec;
+  for (size_t i = from; i < tokens.size(); ++i) {
+    if (!spec.empty()) spec += ' ';
+    spec += tokens[i];
+  }
+  return ParseKvSpec(spec);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      quota_(options_.run_bytes_budget, options_.admission_ratio,
+             options_.default_weight) {}
+
+Server::~Server() {
+  for (auto& conn : connections_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  if (unix_listen_fd_ >= 0) ::close(unix_listen_fd_);
+  if (tcp_listen_fd_ >= 0) ::close(tcp_listen_fd_);
+  if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
+  if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
+  if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
+}
+
+Result<std::unique_ptr<Server>> Server::Create(ServerOptions options) {
+  if (options.root.empty()) {
+    return Status::InvalidArgument("server needs a state --root directory");
+  }
+  if (options.socket_path.empty() && options.tcp_port == 0) {
+    return Status::InvalidArgument(
+        "server needs a --socket path or a --port to listen on");
+  }
+  if (options.out_dir.empty()) options.out_dir = options.root;
+  std::unique_ptr<Server> server(new Server(std::move(options)));
+  CEP_RETURN_NOT_OK(ckpt::EnsureDirectory(server->options_.root));
+  CEP_RETURN_NOT_OK(server->Bind());
+  CEP_RETURN_NOT_OK(server->RecoverTenants());
+  return server;
+}
+
+Status Server::Bind() {
+  if (::pipe(stop_pipe_) != 0) {
+    return Status::IoError(std::string("pipe: ") + std::strerror(errno));
+  }
+  CEP_RETURN_NOT_OK(SetNonBlocking(stop_pipe_[0]));
+  if (!options_.socket_path.empty()) {
+    unix_listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_listen_fd_ < 0) {
+      return Status::IoError(std::string("socket(AF_UNIX): ") +
+                             std::strerror(errno));
+    }
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("socket path too long: " +
+                                     options_.socket_path);
+    }
+    std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.socket_path.c_str());  // stale socket from a crash
+    if (::bind(unix_listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Status::IoError("bind '" + options_.socket_path +
+                             "': " + std::strerror(errno));
+    }
+    if (::listen(unix_listen_fd_, 64) != 0) {
+      return Status::IoError(std::string("listen: ") + std::strerror(errno));
+    }
+    CEP_RETURN_NOT_OK(SetNonBlocking(unix_listen_fd_));
+  }
+  if (options_.tcp_port != 0) {
+    tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_listen_fd_ < 0) {
+      return Status::IoError(std::string("socket(AF_INET): ") +
+                             std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+    if (::bind(tcp_listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Status::IoError(StrFormat("bind 127.0.0.1:%d: %s",
+                                       options_.tcp_port,
+                                       std::strerror(errno)));
+    }
+    if (::listen(tcp_listen_fd_, 64) != 0) {
+      return Status::IoError(std::string("listen: ") + std::strerror(errno));
+    }
+    CEP_RETURN_NOT_OK(SetNonBlocking(tcp_listen_fd_));
+  }
+  return Status::OK();
+}
+
+Status Server::RecoverTenants() {
+  DIR* dir = ::opendir(options_.root.c_str());
+  if (dir == nullptr) {
+    return Status::IoError("opendir '" + options_.root +
+                           "': " + std::strerror(errno));
+  }
+  std::vector<std::string> tenants;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (!ckpt::IsSafePathComponent(name)) continue;
+    // A tenant directory is one with a meta file; anything else under the
+    // root (artifacts, stray files) is ignored.
+    if (TenantSession::ReadMetaHeader(options_.root + "/" + name).ok()) {
+      tenants.push_back(name);
+    }
+  }
+  ::closedir(dir);
+  std::sort(tenants.begin(), tenants.end());
+  for (const std::string& tenant : tenants) {
+    const std::string root = options_.root + "/" + tenant;
+    CEP_ASSIGN_OR_RETURN(TenantSession::MetaHeader header,
+                         TenantSession::ReadMetaHeader(root));
+    CEP_ASSIGN_OR_RETURN(double weight,
+                         quota_.AdmitTenant(tenant, header.weight, 0));
+    TenantSession::Config config;
+    config.tenant = tenant;
+    config.root = root;
+    config.theta = header.theta;
+    config.weight = weight;
+    config.quota_bytes = quota_.QuotaBytes(weight);
+    config.ckpt_keep = options_.ckpt_keep;
+    config.checkpoint_interval_events = options_.checkpoint_interval_events;
+    config.wal_sync = options_.wal_sync;
+    CEP_ASSIGN_OR_RETURN(auto session, TenantSession::Recover(config));
+    sessions_[tenant] = std::move(session);
+    queues_[tenant];
+  }
+  return Status::OK();
+}
+
+void Server::RequestStop() {
+  const char byte = 's';
+  // Best-effort: the loop also checks stop_requested_, this wakes poll().
+  [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+}
+
+TenantSession* Server::FindTenant(const std::string& tenant) {
+  const auto it = sessions_.find(tenant);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+size_t Server::TotalRunBytes() const {
+  size_t total = 0;
+  for (const auto& [name, session] : sessions_) {
+    total += session->TotalRunBytes();
+  }
+  return total;
+}
+
+void Server::ExportMetrics(obs::Registry* registry) const {
+  for (const auto& [name, session] : sessions_) {
+    session->ExportMetrics(registry);
+  }
+  registry
+      ->GetCounter("cep_server_connections_total",
+                   "Connections accepted since startup")
+      ->Set(accepted_total_);
+  registry
+      ->GetCounter("cep_server_protocol_errors_total",
+                   "Messages rejected as protocol errors")
+      ->Set(protocol_errors_total_);
+  registry
+      ->GetCounter("cep_server_admission_rejected_total",
+                   "Sessions/queries rejected by admission control")
+      ->Set(admission_rejected_total_);
+  registry
+      ->GetCounter("cep_server_quarantined_connections_total",
+                   "Connections closed for exhausting the protocol-error "
+                   "budget")
+      ->Set(quarantined_connections_total_);
+  registry
+      ->GetCounter("cep_server_idle_closed_total",
+                   "Connections closed by the idle/partial-frame timeout")
+      ->Set(idle_closed_total_);
+  size_t queued = 0;
+  for (const auto& [name, queue] : queues_) queued += queue.size();
+  registry
+      ->GetGauge("cep_server_queued_events", "Events waiting in ingest queues")
+      ->Set(static_cast<double>(queued));
+  registry
+      ->GetGauge("cep_server_run_bytes_total",
+                 "Run-set bytes across all tenants")
+      ->Set(static_cast<double>(TotalRunBytes()));
+}
+
+Status Server::Run() {
+  while (!stop_requested_) {
+    std::vector<struct pollfd> fds;
+    // Slot 0: self-pipe. Then listeners, then connections (index mapping
+    // rebuilt every turn — connections close and open freely).
+    fds.push_back({stop_pipe_[0], POLLIN, 0});
+    const size_t unix_slot = fds.size();
+    if (unix_listen_fd_ >= 0) fds.push_back({unix_listen_fd_, POLLIN, 0});
+    const size_t tcp_slot = fds.size();
+    if (tcp_listen_fd_ >= 0) fds.push_back({tcp_listen_fd_, POLLIN, 0});
+    const size_t conn_base = fds.size();
+    for (const auto& conn : connections_) {
+      short events = 0;
+      // Backpressure: a connection bound to a tenant whose queue is full
+      // is simply not read from — the kernel socket buffer fills and the
+      // client's write blocks, without costing any other tenant anything.
+      const bool queue_full =
+          conn->session != nullptr &&
+          queues_[conn->session->tenant()].size() >= options_.queue_events;
+      if (!queue_full && !conn->close_after_write) events |= POLLIN;
+      if (!conn->outbuf.empty()) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+    }
+
+    const bool work_pending = [&] {
+      for (const auto& [name, queue] : queues_) {
+        if (!queue.empty()) return true;
+      }
+      return false;
+    }();
+    const int timeout_ms =
+        work_pending ? 0 : (options_.idle_timeout_ms > 0 ? 50 : 200);
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      return Status::IoError(std::string("poll: ") + std::strerror(errno));
+    }
+
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(stop_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+      stop_requested_ = true;
+    }
+    if (unix_listen_fd_ >= 0 && (fds[unix_slot].revents & POLLIN)) {
+      AcceptPending(unix_listen_fd_);
+    }
+    if (tcp_listen_fd_ >= 0 && (fds[tcp_slot].revents & POLLIN)) {
+      AcceptPending(tcp_listen_fd_);
+    }
+    const int64_t now = MonotonicMillis();
+    for (size_t i = 0; i < connections_.size() && conn_base + i < fds.size();
+         ++i) {
+      Connection* conn = connections_[i].get();
+      const short revents = fds[conn_base + i].revents;
+      if (revents & POLLOUT) FlushOut(conn);
+      if (revents & (POLLIN | POLLHUP | POLLERR)) ReadFrom(conn);
+      if (revents != 0) conn->last_activity_ms = now;
+    }
+    PumpQueues(options_.pump_quantum);
+    // Reap: closed by peer (fd -1), finished writes on closing conns, and
+    // idle/partial-frame timeouts.
+    for (size_t i = connections_.size(); i > 0; --i) {
+      Connection* conn = connections_[i - 1].get();
+      if (conn->fd < 0) {
+        CloseConnection(i - 1);
+        continue;
+      }
+      if (conn->close_after_write && conn->outbuf.empty()) {
+        CloseConnection(i - 1);
+        continue;
+      }
+      if (options_.idle_timeout_ms > 0 &&
+          now - conn->last_activity_ms > options_.idle_timeout_ms) {
+        ++idle_closed_total_;
+        if (conn->reader.mid_message()) {
+          // A half-delivered frame that stalls is indistinguishable from a
+          // wedged or malicious client: quarantine, do not wait forever.
+          ++protocol_errors_total_;
+          ++quarantined_connections_total_;
+        }
+        CloseConnection(i - 1);
+      }
+    }
+  }
+  return DrainAll();
+}
+
+Status Server::DrainAll() {
+  // Stop accepting (listeners are simply no longer polled), finish every
+  // queued event, then flush, checkpoint, and export each tenant.
+  PumpQueues(0);  // 0 = unbounded quantum
+  Status first;
+  for (auto& [name, session] : sessions_) {
+    const Status st = session->Drain(options_.out_dir);
+    if (!st.ok() && first.ok()) first = st;
+  }
+  obs::Registry registry;
+  ExportMetrics(&registry);
+  const Status st = ckpt::WriteFileAtomic(
+      options_.out_dir + "/server.metrics.prom", registry.ToPrometheusText());
+  if (!st.ok() && first.ok()) first = st;
+  for (size_t i = connections_.size(); i > 0; --i) CloseConnection(i - 1);
+  return first;
+}
+
+void Server::AcceptPending(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error — next poll retries
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->reader = FrameReader(options_.max_message_bytes);
+    conn->last_activity_ms = MonotonicMillis();
+    connections_.push_back(std::move(conn));
+    ++accepted_total_;
+  }
+}
+
+void Server::ReadFrom(Connection* conn) {
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->reader.Feed(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // EOF or hard error: mark for reaping. Anything already buffered is
+    // still dispatched below (a client may send its last events and close).
+    ::close(conn->fd);
+    conn->fd = -1;
+    break;
+  }
+  for (;;) {
+    auto next = conn->reader.Next();
+    if (!next.ok()) {
+      ProtocolError(conn, next.status());
+      if (conn->fd < 0 || conn->close_after_write) return;
+      continue;
+    }
+    if (!next.ValueOrDie().have) break;
+    Dispatch(conn, next.MoveValueUnsafe());
+    if (conn->fd < 0) return;
+  }
+}
+
+void Server::Dispatch(Connection* conn, FrameReader::Message message) {
+  if (conn->http) return;  // draining header lines of an HTTP request
+  const std::string& payload = message.payload;
+  if (payload.empty()) return;
+  if (payload[0] == '!') {
+    HandleControl(conn, payload);
+    return;
+  }
+  if (!message.binary && payload.rfind("GET ", 0) == 0) {
+    HandleHttp(conn, payload);
+    return;
+  }
+  EnqueueEvent(conn, std::move(message.payload));
+}
+
+void Server::EnqueueEvent(Connection* conn, std::string line) {
+  if (conn->session == nullptr) {
+    ProtocolError(conn, Status::InvalidArgument(
+                            "event before !hello — bind a tenant first"));
+    return;
+  }
+  queues_[conn->session->tenant()].push_back(std::move(line));
+}
+
+void Server::PumpQueues(size_t per_tenant_quantum) {
+  for (auto& [tenant, queue] : queues_) {
+    PumpTenant(tenant, per_tenant_quantum);
+  }
+}
+
+void Server::PumpTenant(const std::string& tenant, size_t quantum) {
+  const auto session_it = sessions_.find(tenant);
+  const auto queue_it = queues_.find(tenant);
+  if (session_it == sessions_.end() || queue_it == queues_.end()) return;
+  TenantSession* session = session_it->second.get();
+  std::deque<std::string>& queue = queue_it->second;
+  size_t processed = 0;
+  while (!queue.empty() && (quantum == 0 || processed < quantum)) {
+    const std::string line = std::move(queue.front());
+    queue.pop_front();
+    ++processed;
+    // Parse quarantine is counted inside the session; engine-level errors
+    // are quarantined by the per-engine error budget. Either way the pump
+    // keeps going — one bad record must not wedge the tenant.
+    (void)session->IngestLine(line);
+  }
+}
+
+void Server::Reply(Connection* conn, const std::string& line) {
+  conn->outbuf += line;
+  conn->outbuf += '\n';
+  FlushOut(conn);
+}
+
+void Server::ProtocolError(Connection* conn, const Status& status) {
+  ++protocol_errors_total_;
+  ++conn->protocol_errors;
+  Reply(conn, "!err " + status.ToString());
+  if (conn->protocol_errors >= options_.protocol_error_budget) {
+    ++quarantined_connections_total_;
+    conn->close_after_write = true;
+  }
+}
+
+void Server::FlushOut(Connection* conn) {
+  while (!conn->outbuf.empty() && conn->fd >= 0) {
+    const ssize_t n =
+        ::write(conn->fd, conn->outbuf.data(), conn->outbuf.size());
+    if (n > 0) {
+      conn->outbuf.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    ::close(conn->fd);  // peer is gone; reaped next turn
+    conn->fd = -1;
+    return;
+  }
+}
+
+void Server::CloseConnection(size_t index) {
+  Connection* conn = connections_[index].get();
+  if (conn->fd >= 0) ::close(conn->fd);
+  connections_.erase(connections_.begin() +
+                     static_cast<ptrdiff_t>(index));
+}
+
+Result<TenantSession*> Server::HandleHello(
+    const std::string& tenant, const std::map<std::string, std::string>& kv) {
+  if (!ckpt::IsSafePathComponent(tenant)) {
+    return Status::InvalidArgument("unsafe tenant name '" + tenant + "'");
+  }
+  const auto existing = sessions_.find(tenant);
+  if (existing != sessions_.end()) return existing->second.get();
+  double weight = 0.0;
+  const auto weight_it = kv.find("weight");
+  if (weight_it != kv.end()) {
+    CEP_ASSIGN_OR_RETURN(weight, ParseDouble(weight_it->second));
+  }
+  double theta = options_.default_theta;
+  const auto theta_it = kv.find("theta");
+  if (theta_it != kv.end()) {
+    CEP_ASSIGN_OR_RETURN(theta, ParseDouble(theta_it->second));
+  }
+  auto admitted = quota_.AdmitTenant(tenant, weight, TotalRunBytes());
+  if (!admitted.ok()) {
+    ++admission_rejected_total_;
+    return admitted.status();
+  }
+  TenantSession::Config config;
+  config.tenant = tenant;
+  config.root = options_.root + "/" + tenant;
+  config.theta = theta;
+  config.weight = admitted.ValueOrDie();
+  config.quota_bytes = quota_.QuotaBytes(admitted.ValueOrDie());
+  config.ckpt_keep = options_.ckpt_keep;
+  config.checkpoint_interval_events = options_.checkpoint_interval_events;
+  config.wal_sync = options_.wal_sync;
+  auto session = TenantSession::Create(config);
+  if (!session.ok()) {
+    quota_.ReleaseTenant(tenant);
+    return session.status();
+  }
+  TenantSession* raw = session.ValueOrDie().get();
+  sessions_[tenant] = session.MoveValueUnsafe();
+  queues_[tenant];
+  return raw;
+}
+
+void Server::HandleControl(Connection* conn, const std::string& payload) {
+  const std::vector<std::string> tokens = Tokenize(payload);
+  if (tokens.empty()) return;
+  const std::string& command = tokens[0];
+  // Control commands observe (and may change) the tenant's WAL offset, so
+  // any queued events are processed first — a `!query` lands at exactly
+  // the offset the client has streamed to, and `!drain` means drained.
+  if (conn->session != nullptr) {
+    PumpTenant(conn->session->tenant(), 0);
+  }
+  if (command == "!hello") {
+    if (tokens.size() < 2) {
+      ProtocolError(conn,
+                    Status::InvalidArgument("!hello needs a tenant name"));
+      return;
+    }
+    auto kv = TokensToKv(tokens, 2);
+    if (!kv.ok()) {
+      ProtocolError(conn, kv.status());
+      return;
+    }
+    auto session = HandleHello(tokens[1], kv.ValueOrDie());
+    if (!session.ok()) {
+      Reply(conn, "!err admission " + session.status().ToString());
+      return;
+    }
+    conn->session = session.ValueOrDie();
+    Reply(conn, StrFormat("!ok hello tenant=%s ingested=%llu",
+                          tokens[1].c_str(),
+                          static_cast<unsigned long long>(
+                              conn->session->ingested())));
+    return;
+  }
+  if (command == "!quit") {
+    Reply(conn, "!ok bye");
+    conn->close_after_write = true;
+    return;
+  }
+  if (command == "!metrics") {
+    obs::Registry registry;
+    if (conn->session != nullptr) {
+      conn->session->ExportMetrics(&registry);
+    } else {
+      ExportMetrics(&registry);
+    }
+    Reply(conn, "!begin metrics");
+    std::string text = registry.ToPrometheusText();
+    if (!text.empty() && text.back() == '\n') text.pop_back();
+    Reply(conn, text);
+    Reply(conn, "!end");
+    return;
+  }
+  if (conn->session == nullptr) {
+    ProtocolError(conn, Status::InvalidArgument(
+                            command + " requires a bound tenant (!hello)"));
+    return;
+  }
+  TenantSession* session = conn->session;
+  if (command == "!schema") {
+    const std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+    const Status st = session->ApplySchemaCommand(args);
+    Reply(conn, st.ok() ? "!ok schema" : "!err " + st.ToString());
+    return;
+  }
+  if (command == "!query") {
+    const size_t sep = payload.find(" :: ");
+    if (sep == std::string::npos) {
+      ProtocolError(conn, Status::InvalidArgument(
+                              "!query needs ' :: ' before the query text"));
+      return;
+    }
+    const std::vector<std::string> head =
+        Tokenize(payload.substr(0, sep));
+    if (head.size() < 2) {
+      ProtocolError(conn,
+                    Status::InvalidArgument("!query needs a query name"));
+      return;
+    }
+    std::string spec;
+    for (size_t i = 2; i < head.size(); ++i) {
+      if (!spec.empty()) spec += ' ';
+      spec += head[i];
+    }
+    const Status admit = quota_.AdmitQuery(TotalRunBytes());
+    if (!admit.ok()) {
+      ++admission_rejected_total_;
+      Reply(conn, "!err admission " + admit.ToString());
+      return;
+    }
+    const Status st =
+        session->AddQuery(head[1], spec, payload.substr(sep + 4));
+    Reply(conn, st.ok() ? "!ok query name=" + head[1]
+                        : "!err " + st.ToString());
+    return;
+  }
+  if (command == "!drop") {
+    if (tokens.size() != 2) {
+      ProtocolError(conn, Status::InvalidArgument("!drop needs a query name"));
+      return;
+    }
+    const Status st = session->DropQuery(tokens[1]);
+    Reply(conn, st.ok() ? "!ok drop name=" + tokens[1]
+                        : "!err " + st.ToString());
+    return;
+  }
+  if (command == "!checkpoint") {
+    const Status st = session->Checkpoint(/*synchronous=*/true);
+    Reply(conn, st.ok()
+                    ? StrFormat("!ok checkpoint offset=%llu",
+                                static_cast<unsigned long long>(
+                                    session->ingested()))
+                    : "!err " + st.ToString());
+    return;
+  }
+  if (command == "!stats") {
+    Reply(conn, "!begin stats");
+    std::string text = session->StatsText();
+    if (!text.empty() && text.back() == '\n') text.pop_back();
+    Reply(conn, text);
+    Reply(conn, "!end");
+    return;
+  }
+  if (command == "!drain") {
+    // The pump above already emptied this tenant's queue.
+    Reply(conn, StrFormat("!ok drain ingested=%llu quarantined=%llu",
+                          static_cast<unsigned long long>(session->ingested()),
+                          static_cast<unsigned long long>(
+                              session->quarantined())));
+    return;
+  }
+  ProtocolError(conn, Status::InvalidArgument("unknown control command '" +
+                                              command + "'"));
+}
+
+void Server::HandleHttp(Connection* conn, const std::string& request_line) {
+  conn->http = true;
+  conn->close_after_write = true;
+  std::string body;
+  std::string status_line = "HTTP/1.0 200 OK";
+  if (request_line.rfind("GET /metrics", 0) == 0) {
+    obs::Registry registry;
+    ExportMetrics(&registry);
+    body = registry.ToPrometheusText();
+  } else {
+    status_line = "HTTP/1.0 404 Not Found";
+    body = "only /metrics lives here\n";
+  }
+  conn->outbuf += status_line;
+  conn->outbuf +=
+      "\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
+  conn->outbuf += body;
+  FlushOut(conn);
+}
+
+}  // namespace service
+}  // namespace cep

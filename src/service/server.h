@@ -1,0 +1,145 @@
+#ifndef CEPSHED_SERVICE_SERVER_H_
+#define CEPSHED_SERVICE_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "service/framing.h"
+#include "service/quota.h"
+#include "service/tenant.h"
+
+namespace cep {
+namespace service {
+
+/// Tuning and wiring for one cepshed_server instance (docs/SERVICE.md).
+struct ServerOptions {
+  std::string socket_path;     ///< Unix listener ("" = none)
+  int tcp_port = 0;            ///< loopback TCP listener (0 = none)
+  std::string root;            ///< tenant state root (WAL, meta, snapshots)
+  std::string out_dir;         ///< drain artifacts ("" = root)
+
+  size_t run_bytes_budget = 0;     ///< global run-set byte budget (0 = off)
+  double admission_ratio = 0.9;    ///< reject new work above this fill level
+  double default_weight = 0.25;    ///< tenant weight when !hello names none
+  double default_theta = 0.0;      ///< tenant θ when !hello names none
+
+  size_t queue_events = 1024;      ///< per-tenant ingest queue bound
+  size_t pump_quantum = 256;       ///< events pumped per tenant per loop turn
+  size_t checkpoint_interval_events = 256;
+  size_t ckpt_keep = 3;
+  bool wal_sync = false;
+
+  int idle_timeout_ms = 0;         ///< close idle / half-framed conns (0 = off)
+  size_t max_message_bytes = 1 << 20;
+  size_t protocol_error_budget = 64;  ///< quarantine threshold per connection
+};
+
+/// \brief The cepshed service daemon: a single-threaded poll() loop serving
+/// per-tenant CEP sessions over Unix/TCP sockets.
+///
+/// Lifecycle: Create() binds the listeners and crash-recovers every tenant
+/// found under `root` (meta + snapshot + WAL-tail replay); Run() serves
+/// until RequestStop() (or a byte on stop_write_fd(), which is what signal
+/// handlers use), then drains: queued events are processed, every tenant
+/// flushes, checkpoints, and writes its artifact files, and Run() returns.
+///
+/// Isolation: each tenant has a bounded ingest queue — when it fills, the
+/// server simply stops reading that tenant's sockets (TCP/Unix flow control
+/// pushes back on the client) while other tenants' queues keep draining.
+/// Each loop turn pumps at most `pump_quantum` events per tenant,
+/// round-robin, so one hot tenant cannot monopolise the loop. Byte budgets
+/// are per-tenant quotas carved from `run_bytes_budget` (see
+/// QuotaAllocator), fed to each engine's DegradationController.
+class Server {
+ public:
+  static Result<std::unique_ptr<Server>> Create(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves until a stop is requested, then drains and returns. The
+  /// returned status is the first drain failure (OK on a clean shutdown).
+  Status Run();
+
+  /// Requests a graceful stop; safe from any thread.
+  void RequestStop();
+
+  /// Write end of the self-pipe: a signal handler may write() one byte here
+  /// (async-signal-safe) to trigger the same graceful stop.
+  int stop_write_fd() const { return stop_pipe_[1]; }
+
+  /// Bound TCP port (after Create; useful when options.tcp_port was
+  /// ephemeral 0 is not supported — port 0 disables TCP).
+  int tcp_port() const { return options_.tcp_port; }
+
+  size_t num_tenants() const { return sessions_.size(); }
+  TenantSession* FindTenant(const std::string& tenant);
+
+  /// Full export: every tenant's engines plus server-level counters.
+  void ExportMetrics(obs::Registry* registry) const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameReader reader;
+    std::string outbuf;
+    TenantSession* session = nullptr;
+    size_t protocol_errors = 0;
+    int64_t last_activity_ms = 0;
+    bool close_after_write = false;
+    bool http = false;  ///< served an HTTP /metrics response
+  };
+
+  explicit Server(ServerOptions options);
+
+  Status Bind();
+  Status RecoverTenants();
+  Status DrainAll();
+
+  void AcceptPending(int listen_fd);
+  void ReadFrom(Connection* conn);
+  void Dispatch(Connection* conn, FrameReader::Message message);
+  void HandleControl(Connection* conn, const std::string& payload);
+  void HandleHttp(Connection* conn, const std::string& request_line);
+  void EnqueueEvent(Connection* conn, std::string line);
+  void PumpQueues(size_t per_tenant_quantum);
+  void PumpTenant(const std::string& tenant, size_t quantum);
+  void Reply(Connection* conn, const std::string& line);
+  void ProtocolError(Connection* conn, const Status& status);
+  void FlushOut(Connection* conn);
+  void CloseConnection(size_t index);
+  size_t TotalRunBytes() const;
+  Result<TenantSession*> HandleHello(
+      const std::string& tenant,
+      const std::map<std::string, std::string>& kv);
+
+  ServerOptions options_;
+  QuotaAllocator quota_;
+  int stop_pipe_[2] = {-1, -1};
+  int unix_listen_fd_ = -1;
+  int tcp_listen_fd_ = -1;
+  bool stop_requested_ = false;
+
+  std::map<std::string, std::unique_ptr<TenantSession>> sessions_;
+  std::map<std::string, std::deque<std::string>> queues_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  // Server-level counters (exported next to the per-tenant metrics).
+  uint64_t accepted_total_ = 0;
+  uint64_t protocol_errors_total_ = 0;
+  uint64_t admission_rejected_total_ = 0;
+  uint64_t quarantined_connections_total_ = 0;
+  uint64_t idle_closed_total_ = 0;
+};
+
+}  // namespace service
+}  // namespace cep
+
+#endif  // CEPSHED_SERVICE_SERVER_H_

@@ -1,0 +1,116 @@
+#include "service/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace cep {
+namespace service {
+
+namespace {
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::IoError(std::string(op) + " '" + path +
+                         "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path, bool sync) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Errno("open", path);
+  // Scan for the last complete record: everything after the final '\n' is a
+  // torn tail from an interrupted append and is cut off before counting.
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Errno("lseek", path);
+  }
+  uint64_t count = 0;
+  off_t keep = 0;
+  {
+    char buf[1 << 16];
+    off_t pos = 0;
+    while (pos < size) {
+      const size_t want =
+          static_cast<size_t>(std::min<off_t>(sizeof(buf), size - pos));
+      const ssize_t got = ::pread(fd, buf, want, pos);
+      if (got < 0) {
+        ::close(fd);
+        return Errno("pread", path);
+      }
+      if (got == 0) break;
+      for (ssize_t i = 0; i < got; ++i) {
+        if (buf[i] == '\n') {
+          ++count;
+          keep = pos + i + 1;
+        }
+      }
+      pos += got;
+    }
+  }
+  if (keep < size) {
+    if (::ftruncate(fd, keep) != 0) {
+      ::close(fd);
+      return Errno("ftruncate", path);
+    }
+  }
+  return std::unique_ptr<Wal>(new Wal(path, fd, sync, count));
+}
+
+Status Wal::Append(std::string_view record) {
+  if (record.find('\n') != std::string_view::npos) {
+    return Status::InvalidArgument("WAL record contains a newline");
+  }
+  std::string line(record);
+  line += '\n';
+  size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        ::write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A partial append leaves a torn tail; the next Open repairs it, and
+      // this process must treat the record as not ingested.
+      return Errno("write", path_);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (sync_ && ::fdatasync(fd_) != 0) return Errno("fdatasync", path_);
+  ++count_;
+  return Status::OK();
+}
+
+Status Wal::Replay(
+    uint64_t after,
+    const std::function<Status(uint64_t, std::string_view)>& callback) const {
+  std::ifstream in(path_);
+  if (!in) return Status::IoError("cannot reopen WAL '" + path_ + "'");
+  std::string line;
+  uint64_t ordinal = 0;
+  while (ordinal < count_ && std::getline(in, line)) {
+    ++ordinal;
+    if (ordinal <= after) continue;
+    CEP_RETURN_NOT_OK(callback(ordinal, line));
+  }
+  if (ordinal < count_ && after < count_) {
+    return Status::DataLoss(
+        StrFormat("WAL '%s' holds %llu records but %llu were appended",
+                  path_.c_str(), static_cast<unsigned long long>(ordinal),
+                  static_cast<unsigned long long>(count_)));
+  }
+  return Status::OK();
+}
+
+}  // namespace service
+}  // namespace cep

@@ -1,0 +1,68 @@
+#ifndef CEPSHED_SERVICE_WAL_H_
+#define CEPSHED_SERVICE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cep {
+namespace service {
+
+/// \brief Per-tenant write-ahead log of ingested events (docs/SERVICE.md).
+///
+/// One canonical CSV record per line, appended *before* the event is offered
+/// to any engine: a record's 1-based ordinal in this file is the event's
+/// sequence number, and snapshots record how many ordinals each engine has
+/// consumed — together they give exactly-once replay after a crash.
+///
+/// Crash safety: Open() truncates a torn tail (bytes after the last
+/// complete '\n' from a write cut short by SIGKILL or ENOSPC), so the log
+/// always ends on a record boundary. With `sync` on, every append is
+/// fdatasync'd before the event is processed; with it off, a crash may lose
+/// the most recent records — but never reorder or corrupt earlier ones.
+class Wal {
+ public:
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Opens (creating if needed) the log at `path`, repairs a torn tail,
+  /// and counts existing records.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+                                           bool sync);
+
+  /// Records appended so far (including those found at Open).
+  uint64_t count() const { return count_; }
+
+  /// Appends one record (must not contain '\n'); its ordinal is the new
+  /// count(). Durable before return when sync mode is on.
+  Status Append(std::string_view record);
+
+  /// Replays records with ordinals in (`after`, count()] in order. The
+  /// callback returns a Status; the first failure aborts the replay.
+  Status Replay(
+      uint64_t after,
+      const std::function<Status(uint64_t ordinal, std::string_view record)>&
+          callback) const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Wal(std::string path, int fd, bool sync, uint64_t count)
+      : path_(std::move(path)), fd_(fd), sync_(sync), count_(count) {}
+
+  const std::string path_;
+  int fd_ = -1;
+  const bool sync_ = false;
+  uint64_t count_ = 0;
+};
+
+}  // namespace service
+}  // namespace cep
+
+#endif  // CEPSHED_SERVICE_WAL_H_

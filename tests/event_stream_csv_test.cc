@@ -264,6 +264,80 @@ TEST(CsvTest, QuarantineSkipsBadRecordsWhenBudgetEnabled) {
   EXPECT_EQ(events[2]->sequence(), 2u);
 }
 
+TEST(CsvTest, OversizedRecordIsQuarantinedWithBoundedMemory) {
+  BikeSchema fixture;
+  // An attacker-sized line (no newline for megabytes) must not be buffered
+  // whole: the reader discards past max_record_bytes and quarantines the
+  // record under its own reason code.
+  std::stringstream in;
+  in << "req,1,10,20\n";
+  in << "req,2," << std::string(4096, '9') << ",0\n";
+  in << "req,3,11,21\n";
+  CsvReadOptions options;
+  options.max_record_bytes = 256;
+  options.max_consecutive_errors = 4;
+  CsvReadStats stats;
+  const auto events =
+      ReadEventsCsv(fixture.registry, in, options, &stats).ValueOrDie();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_EQ(stats.oversized, 1u);
+  EXPECT_NE(stats.last_error.find("max_record_bytes"), std::string::npos)
+      << stats.last_error;
+  EXPECT_NE(stats.last_error.find("line 2"), std::string::npos)
+      << stats.last_error;
+  // The stream resynchronises on the next newline: event timestamps 1, 3.
+  EXPECT_EQ(events[1]->timestamp(), 3);
+}
+
+TEST(CsvTest, OversizedRecordFailsFastInStrictMode) {
+  BikeSchema fixture;
+  std::stringstream in;
+  in << "req,1,10,20\n" << std::string(1024, 'x') << "\nreq,2,11,21\n";
+  CsvReadOptions options;
+  options.max_record_bytes = 64;
+  CsvReadStats stats;
+  const auto result = ReadEventsCsv(fixture.registry, in, options, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfRange()) << result.status().ToString();
+  EXPECT_EQ(stats.oversized, 1u);
+}
+
+TEST(CsvTest, OversizedQuotedContinuationIsBounded) {
+  BikeSchema fixture;
+  // A quoted field swallowing newlines must count the total stitched record
+  // size against the bound, not each physical line separately — otherwise
+  // an unterminated quote grows the buffer without limit.
+  std::stringstream in;
+  in << "req,1,10,20\n" << "req,2,\"";
+  for (int i = 0; i < 64; ++i) in << std::string(32, 'a') << "\n";
+  in << "\",0\nreq,3,11,21\n";
+  CsvReadOptions options;
+  options.max_record_bytes = 128;
+  // The resynchronisation point is the next physical newline, so the
+  // remaining continuation lines surface as ordinary quarantined records.
+  options.max_consecutive_errors = 128;
+  CsvReadStats stats;
+  const auto events =
+      ReadEventsCsv(fixture.registry, in, options, &stats).ValueOrDie();
+  EXPECT_GE(stats.oversized, 1u);
+  EXPECT_GE(events.size(), 1u);
+  EXPECT_EQ(events.front()->timestamp(), 1);
+}
+
+TEST(CsvTest, ZeroMaxRecordBytesDisablesTheBound) {
+  BikeSchema fixture;
+  std::stringstream in;
+  in << "req,1," << std::string(1 << 16, '0') << "7,20\n";
+  CsvReadOptions options;
+  options.max_record_bytes = 0;
+  CsvReadStats stats;
+  const auto events =
+      ReadEventsCsv(fixture.registry, in, options, &stats).ValueOrDie();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(stats.oversized, 0u);
+}
+
 TEST(CsvTest, QuarantineBudgetExhaustsOnConsecutiveBadRecords) {
   BikeSchema fixture;
   std::stringstream in(

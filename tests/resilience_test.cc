@@ -91,6 +91,60 @@ TEST(DegradationControllerTest, ErrorStreakForcesBypass) {
   EXPECT_EQ(ladder.Update(0.0, 0, 8), DegradationLevel::kBypass);
 }
 
+TEST(DegradationControllerTest, WallClockRegressionDoesNotShortcutCooldown) {
+  // A wall-clock latency source can regress to zero instantly (e.g. the
+  // monitor window rotating out a stall). The ladder must treat the sudden
+  // all-clear like any other quiet signal: full cooldown per step, one
+  // level at a time, never a jump straight to healthy.
+  DegradationController ladder(SmallLadder());
+  ASSERT_EQ(ladder.Update(5.0, 0, 0), DegradationLevel::kBypass);
+  EXPECT_EQ(ladder.ups(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(ladder.Update(0.0, 0, 0), DegradationLevel::kBypass);
+  }
+  // The 4th quiet event releases exactly one level, not three.
+  EXPECT_EQ(ladder.Update(0.0, 0, 0), DegradationLevel::kEmergency);
+  EXPECT_EQ(ladder.downs(), 1u);
+  // The cooldown clock restarted at the new level.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(ladder.Update(0.0, 0, 0), DegradationLevel::kEmergency);
+  }
+  EXPECT_EQ(ladder.Update(0.0, 0, 0), DegradationLevel::kShedding);
+  EXPECT_EQ(ladder.downs(), 2u);
+}
+
+TEST(DegradationControllerTest, ExactThresholdsAreExclusive) {
+  // Entry uses strict '>': a ratio sitting exactly on the entry threshold
+  // must not escalate (otherwise a system pinned at µ == θ flaps).
+  DegradationController ladder(SmallLadder());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(ladder.Update(1.0, 0, 0), DegradationLevel::kHealthy);
+  }
+  EXPECT_EQ(ladder.ups(), 0u);
+
+  // Release uses strict '<' against enter * hysteresis: a ratio sitting
+  // exactly on the release threshold (1.0 * 0.5) holds the level forever.
+  ASSERT_EQ(ladder.Update(1.5, 0, 0), DegradationLevel::kShedding);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(ladder.Update(0.5, 0, 0), DegradationLevel::kShedding);
+  }
+  EXPECT_EQ(ladder.downs(), 0u);
+}
+
+TEST(DegradationControllerTest, ReentryAfterReleaseEscalatesImmediately) {
+  // Hysteresis delays release, never re-entry: the moment the signal
+  // crosses the entry threshold again the ladder climbs back without any
+  // cooldown, and the entry counter records the second visit.
+  DegradationController ladder(SmallLadder());
+  ASSERT_EQ(ladder.Update(1.5, 0, 0), DegradationLevel::kShedding);
+  for (int i = 0; i < 4; ++i) ladder.Update(0.1, 0, 0);
+  ASSERT_EQ(ladder.level(), DegradationLevel::kHealthy);
+  ASSERT_EQ(ladder.downs(), 1u);
+  EXPECT_EQ(ladder.Update(1.5, 0, 0), DegradationLevel::kShedding);
+  EXPECT_EQ(ladder.entries(DegradationLevel::kShedding), 2u);
+  EXPECT_EQ(ladder.ups(), 2u);
+}
+
 // ---------------------------------------------------------------------------
 // FaultInjectingStream: deterministic replay and per-fault behavior.
 // ---------------------------------------------------------------------------

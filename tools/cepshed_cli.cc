@@ -9,6 +9,7 @@
 // `name attr:type attr:type ...`, types int|double|string|bool) or one of
 // the builtin names `cluster`, `bike`, `stock`.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,6 +19,7 @@
 #include <string>
 
 #include "common/string_util.h"
+#include "service/drain.h"
 #include "engine/engine.h"
 #include "event/csv.h"
 #include "obs/audit.h"
@@ -37,6 +39,22 @@
 
 namespace cep {
 namespace {
+
+// SIGINT/SIGTERM during `run` stop the ingest loop after the in-flight
+// event (or batch) instead of killing the process mid-write: the engine
+// writes a final snapshot and every requested export before exiting, so a
+// later --restore-from resumes exactly-once.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void HandleInterrupt(int) { g_interrupted = 1; }
+
+void InstallInterruptHandlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleInterrupt;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
 
 int Usage() {
   std::fprintf(
@@ -342,24 +360,57 @@ Status RunCommand(const Args& args) {
       static_cast<size_t>(args.GetInt("batch-size", 1));
   const uint64_t stats_interval =
       static_cast<uint64_t>(args.GetInt("stats-interval-events", 0));
-  if (stats_interval > 0) {
-    // Periodic snapshots need an event-at-a-time loop; snapshots go to
-    // stderr so stdout stays parseable.
-    uint64_t offered = 0;
+  InstallInterruptHandlers();
+  uint64_t offered = 0;
+  bool interrupted = false;
+  if (batch_size <= 1 || stats_interval > 0) {
+    // Event-at-a-time loop (also used for periodic stats snapshots, which
+    // go to stderr so stdout stays parseable).
     while (EventPtr event = source->Next()) {
+      if (g_interrupted) {
+        interrupted = true;
+        break;
+      }
       CEP_RETURN_NOT_OK(engine.OfferEvent(event));
-      if (++offered % stats_interval == 0) {
+      ++offered;
+      if (stats_interval > 0 && offered % stats_interval == 0) {
         std::fprintf(stderr, "stats[%llu] %s\n",
                      static_cast<unsigned long long>(offered),
                      engine.metrics().ToString().c_str());
       }
     }
   } else {
-    CEP_RETURN_NOT_OK(engine.ProcessStream(source.get(), batch_size));
+    std::vector<EventPtr> batch;
+    batch.reserve(batch_size);
+    for (;;) {
+      if (g_interrupted) {
+        interrupted = true;
+        break;
+      }
+      batch.clear();
+      while (batch.size() < batch_size) {
+        EventPtr event = source->Next();
+        if (event == nullptr) break;
+        batch.push_back(std::move(event));
+      }
+      if (batch.empty()) break;
+      offered += batch.size();
+      CEP_RETURN_NOT_OK(engine.ProcessBatch(batch));
+    }
   }
   // Surface background-writer errors and make the final snapshot durable
-  // before reporting success.
-  CEP_RETURN_NOT_OK(engine.FlushCheckpoints());
+  // before reporting success. An interrupted run drains without
+  // Engine::Flush(): deferred final states stay parked so the resumed run
+  // emits them exactly once.
+  if (interrupted) {
+    std::fprintf(stderr,
+                 "interrupted after %llu events: writing final snapshot "
+                 "and exports\n",
+                 static_cast<unsigned long long>(offered));
+    CEP_RETURN_NOT_OK(service::DrainEngine(engine, /*flush_runs=*/false));
+  } else {
+    CEP_RETURN_NOT_OK(engine.FlushCheckpoints());
+  }
   if (ckpt_active) {
     for (const Match& match : engine.matches()) emit_match(match);
   }

@@ -1,0 +1,176 @@
+// cepshed_client — stream events and control commands to cepshed_server.
+//
+//   cepshed_client --socket s.sock --tenant alice --theta 80
+//                  --schema bike
+//                  --query-name q1 --query 'PATTERN SEQ(...) ...'
+//                  --input trace.csv --drain
+//
+// Resume after a server crash: rerun with --resume — the client skips the
+// first `ingested` events the server reports in its `!ok hello` reply, so
+// the stream continues exactly where the WAL left off.
+//
+// Exit codes: 0 success, 1 protocol/file error, 2 usage, 3 connection lost
+// (the chaos harness treats 3 as expected when it SIGKILLs the server).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/string_util.h"
+#include "service/client.h"
+
+namespace cep {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cepshed_client (--socket <path> | --port <p>) --tenant <name>\n"
+      "       [--theta <micros>] [--weight <0..1>]\n"
+      "       [--schema <cluster|bike|stock|file>]\n"
+      "       [--query-name <name>] [--query <file|text>]\n"
+      "       [--query-opts 'k=v ...'] [--input <events.csv>] [--resume]\n"
+      "       [--binary-frames] [--checkpoint] [--stats] [--drain] [--quit]\n");
+  return 2;
+}
+
+constexpr int kExitConnectionLost = 3;
+
+int FailWith(const Status& status) {
+  std::fprintf(stderr, "cepshed_client: %s\n", status.ToString().c_str());
+  return status.IsIoError() ? kExitConnectionLost : 1;
+}
+
+Result<std::string> ReadFileOrLiteral(const std::string& arg) {
+  std::ifstream file(arg);
+  if (!file) return arg;
+  std::string text((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  return text;
+}
+
+int Main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) return Usage();
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args[key] = argv[++i];
+    } else {
+      args[key] = "";
+    }
+  }
+  const auto has = [&](const char* k) { return args.count(k) > 0; };
+  const auto get = [&](const char* k, const char* fallback = "") {
+    const auto it = args.find(k);
+    return it == args.end() ? std::string(fallback) : it->second;
+  };
+  if (!has("tenant") || (!has("socket") && !has("port"))) return Usage();
+
+  auto connected =
+      has("socket")
+          ? service::BlockingClient::ConnectUnix(get("socket"))
+          : service::BlockingClient::ConnectTcp(std::atoi(get("port").c_str()));
+  if (!connected.ok()) return FailWith(connected.status());
+  std::unique_ptr<service::BlockingClient> client =
+      connected.MoveValueUnsafe();
+
+  std::string hello = "!hello " + get("tenant");
+  if (has("theta")) hello += " theta=" + get("theta");
+  if (has("weight")) hello += " weight=" + get("weight");
+  auto reply = client->Command(hello);
+  if (!reply.ok()) return FailWith(reply.status());
+  uint64_t ingested = 0;
+  const size_t pos = reply.ValueOrDie().find("ingested=");
+  if (pos != std::string::npos) {
+    ingested = std::strtoull(reply.ValueOrDie().c_str() + pos + 9, nullptr, 10);
+  }
+  std::printf("%s\n", reply.ValueOrDie().c_str());
+
+  if (has("schema")) {
+    const std::string schema = get("schema");
+    std::ifstream file(schema);
+    if (file) {
+      // Schema file: one `name attr:type ...` line per event type.
+      std::string line;
+      while (std::getline(file, line)) {
+        const auto stripped = StripWhitespace(line);
+        if (stripped.empty() || stripped[0] == '#') continue;
+        auto st = client->Command("!schema " + std::string(stripped));
+        if (!st.ok()) return FailWith(st.status());
+      }
+    } else {
+      auto st = client->Command("!schema " + schema);
+      if (!st.ok()) return FailWith(st.status());
+    }
+  }
+  if (has("query")) {
+    auto text = ReadFileOrLiteral(get("query"));
+    if (!text.ok()) return FailWith(text.status());
+    std::string query_text = text.ValueOrDie();
+    while (!query_text.empty() &&
+           (query_text.back() == '\n' || query_text.back() == '\r')) {
+      query_text.pop_back();
+    }
+    std::string command = "!query " + get("query-name", "q0");
+    if (has("query-opts")) command += " " + get("query-opts");
+    command += " :: " + query_text;
+    auto st = client->Command(command);
+    if (!st.ok()) return FailWith(st.status());
+  }
+  if (has("input")) {
+    std::ifstream input(get("input"));
+    if (!input) {
+      std::fprintf(stderr, "cepshed_client: cannot open %s\n",
+                   get("input").c_str());
+      return 1;
+    }
+    const bool binary = has("binary-frames");
+    const uint64_t skip = has("resume") ? ingested : 0;
+    uint64_t sent = 0, seen = 0;
+    std::string line;
+    while (std::getline(input, line)) {
+      if (StripWhitespace(line).empty()) continue;
+      ++seen;
+      if (seen <= skip) continue;
+      const Status st =
+          binary ? client->SendFrame(line) : client->SendLine(line);
+      if (!st.ok()) return FailWith(st);
+      ++sent;
+    }
+    std::printf("sent %llu events (skipped %llu already ingested)\n",
+                static_cast<unsigned long long>(sent),
+                static_cast<unsigned long long>(skip));
+  }
+  if (has("checkpoint")) {
+    auto st = client->Command("!checkpoint");
+    if (!st.ok()) return FailWith(st.status());
+    std::printf("%s\n", st.ValueOrDie().c_str());
+  }
+  if (has("stats")) {
+    if (auto st = client->SendLine("!stats"); !st.ok()) return FailWith(st);
+    auto block = client->ReadBlock();
+    if (!block.ok()) return FailWith(block.status());
+    std::printf("%s", block.ValueOrDie().c_str());
+  }
+  if (has("drain")) {
+    auto st = client->Command("!drain");
+    if (!st.ok()) return FailWith(st.status());
+    std::printf("%s\n", st.ValueOrDie().c_str());
+  }
+  if (has("quit")) {
+    auto st = client->Command("!quit");
+    if (!st.ok()) return FailWith(st.status());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cep
+
+int main(int argc, char** argv) { return cep::Main(argc, argv); }

@@ -9,7 +9,8 @@
 # exports enabled and validates them with validate_obs (schema regressions
 # and instrumentation races surface here), then writes checkpoints and
 # verifies them with ckpt_tool (snapshot CRC/format coverage under both
-# sanitizers).
+# sanitizers), and runs the service-mode chaos harness (SIGKILL + resume)
+# with a server-vs-in-process differential sweep.
 # Usage: tools/check.sh [extra ctest args for the ASan pass...]
 set -e
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -71,6 +72,16 @@ ckpt_check() {
   rm -rf "$CKPT_DIR"
 }
 
+# server_check BUILD_DIR — service-mode pass: the SIGKILL chaos harness
+# (crash recovery must reproduce a byte-identical drain) and a short
+# differential sweep of the server transport/WAL/session path against
+# in-process engines, all under the build's sanitizer.
+server_check() {
+  sh "$ROOT/tests/server_smoke_test.sh" \
+      "$1/tools/cepshed_server" "$1/tools/cepshed_client"
+  "$1/tools/stress_engine" --server --configs 10 --seed 11
+}
+
 # fuzz_check BUILD_DIR — differential stress sweep plus, when the toolchain
 # supports -fsanitize=fuzzer (clang), a short coverage-guided run of each
 # fuzz target over its checked-in corpus. The corpus-replay ctest entries
@@ -100,6 +111,7 @@ cmake --build "$BUILD" -j "$JOBS"
 (cd "$BUILD" && ctest --output-on-failure -j "$JOBS" "$@")
 obs_check "$BUILD"
 ckpt_check "$BUILD"
+server_check "$BUILD"
 fuzz_check "$BUILD"
 
 TSAN_BUILD="$ROOT/build-tsan"
@@ -112,5 +124,6 @@ cmake --build "$TSAN_BUILD" -j "$JOBS"
 (cd "$TSAN_BUILD" && ctest --output-on-failure -j "$JOBS" -R 'Parallel')
 obs_check "$TSAN_BUILD"
 ckpt_check "$TSAN_BUILD"
+server_check "$TSAN_BUILD"
 
 echo "sanitized check ok"

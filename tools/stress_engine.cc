@@ -29,14 +29,19 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/hash.h"
 #include "common/rng.h"
 #include "oracle.h"
 #include "engine/engine.h"
+#include "event/csv.h"
 #include "event/event.h"
 #include "event/schema.h"
 #include "nfa/compiler.h"
@@ -44,6 +49,9 @@
 #include "obs/metrics.h"
 #include "query/analyzer.h"
 #include "query/parser.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/tenant.h"
 #include "shedding/input_shedder.h"
 #include "shedding/random_shedder.h"
 #include "shedding/state_shedder.h"
@@ -489,6 +497,185 @@ bool RunConfig(const Fixture& fixture, const StressConfig& config,
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// --server mode: replay the seeded config sweep through a live cepshed
+// server over its Unix socket and assert that the drained artifact files
+// (matches, metrics, audit JSONL) are byte-identical to an in-process
+// engine built from the same query spec. The reference engine is
+// constructed with the service's own spec parsers, so a divergence isolates
+// the transport/WAL/session path: framing, CSV round-trip, WAL sequence
+// assignment, queue pumping, and drain.
+// ---------------------------------------------------------------------------
+
+/// The `!query` option spec reproducing MakeOptions + MakeShedder for one
+/// config (errorbudget=0: the in-process engines run strict).
+std::string BuildQuerySpec(const StressConfig& config) {
+  // KvUint parses through ParseInt64, so the shedder seed must fit in 63
+  // bits; the reference engine uses the identical masked value.
+  const uint64_t seed =
+      Mix64(config.stream_seed ^ 0x5eedbeefu) & 0x7fffffffffffffffull;
+  std::ostringstream spec;
+  spec << "selection=" << static_cast<int>(config.selection)
+       << " fraction=0.4 cooldown=8 errorbudget=0 minparallel=4"
+       << " threads=" << config.threads << " shards=" << config.shards
+       << " batch=" << config.batch << " arena=" << config.arena_block;
+  if (config.max_runs > 0) spec << " maxruns=" << config.max_runs;
+  const bool latency_shed =
+      config.shedder != ShedderKind::kNone && config.max_runs == 0;
+  spec << " theta=" << (latency_shed ? 50 : 0);
+  if (config.shedder != ShedderKind::kNone) {
+    spec << " shedder=" << ShedderKindName(config.shedder) << " seed=" << seed;
+    if (config.shedder == ShedderKind::kInput) spec << " drop=0.2";
+    if (config.shedder == ShedderKind::kState) {
+      spec << " hash=req:loc slices=16";
+    }
+  }
+  return spec.str();
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return text;
+}
+
+/// In-process reference: same spec, same events, no server in between.
+struct ServiceArtifacts {
+  std::string matches;
+  std::string metrics;
+  std::string audit_jsonl;
+};
+
+bool ReferenceArtifacts(const Fixture& fixture, const NfaPtr& nfa,
+                        const std::string& spec,
+                        const std::vector<EventPtr>& events,
+                        const StressConfig& config, ServiceArtifacts* out,
+                        std::vector<Failure>* failures) {
+  auto kv = service::ParseKvSpec(spec);
+  STRESS_OK(kv.status(), "reference spec failed to parse");
+  auto options = service::MakeEngineOptionsFromSpec(kv.ValueOrDie(),
+                                                    /*default_theta=*/0.0,
+                                                    /*quota_bytes=*/0);
+  STRESS_OK(options.status(), "reference options invalid");
+  auto shedder =
+      service::MakeShedderFromSpec(kv.ValueOrDie(), fixture.registry());
+  STRESS_OK(shedder.status(), "reference shedder invalid");
+  Engine engine(nfa, options.ValueOrDie(), shedder.MoveValueUnsafe());
+  obs::ShedAuditLog audit(1 << 12);
+  engine.AttachAuditLog(&audit);
+  for (const EventPtr& event : events) {
+    STRESS_OK(engine.OfferEvent(event), "reference OfferEvent failed");
+  }
+  STRESS_OK(engine.Flush(), "reference Flush failed");
+  std::string matches;
+  for (const Match& m : engine.matches()) {
+    matches += service::FormatMatch(m, nfa->query());
+    matches += '\n';
+  }
+  out->matches = std::move(matches);
+  out->metrics = engine.metrics().ToString() + "\n";
+  out->audit_jsonl = audit.ToJsonl();
+  return true;
+}
+
+bool RunServerConfig(const Fixture& fixture, const StressConfig& config,
+                     const std::string& base_dir,
+                     std::vector<Failure>* failures) {
+  auto nfa = fixture.Compile(kQueries[config.query]);
+  if (!nfa.ok()) {
+    failures->push_back({config.ToString(), "query failed to compile: " +
+                                                nfa.status().ToString()});
+    return false;
+  }
+  const std::vector<EventPtr> events = fixture.MakeStream(config);
+  const std::string spec = BuildQuerySpec(config);
+
+  ServiceArtifacts expected;
+  if (!ReferenceArtifacts(fixture, nfa.ValueOrDie(), spec, events, config,
+                          &expected, failures)) {
+    return false;
+  }
+
+  const std::string tenant =
+      "t" + std::to_string(static_cast<unsigned long long>(config.ordinal));
+  const std::string dir =
+      base_dir + "/cfg" +
+      std::to_string(static_cast<unsigned long long>(config.ordinal));
+  std::error_code ec;
+  std::filesystem::create_directories(dir + "/root", ec);
+  std::filesystem::create_directories(dir + "/out", ec);
+
+  service::ServerOptions server_options;
+  server_options.socket_path = dir + "/s.sock";
+  server_options.root = dir + "/root";
+  server_options.out_dir = dir + "/out";
+  server_options.checkpoint_interval_events = 32;  // exercise async snapshots
+  auto server = service::Server::Create(std::move(server_options));
+  STRESS_OK(server.status(), "server failed to start");
+  Status run_status;
+  std::thread runner(
+      [&] { run_status = server.ValueOrDie()->Run(); });
+
+  const auto fail_and_stop = [&](const std::string& what, const Status& st) {
+    server.ValueOrDie()->RequestStop();
+    runner.join();
+    failures->push_back({config.ToString(), what + ": " + st.ToString()});
+    return false;
+  };
+  auto connected = service::BlockingClient::ConnectUnix(dir + "/s.sock");
+  if (!connected.ok()) return fail_and_stop("connect", connected.status());
+  const std::unique_ptr<service::BlockingClient> client =
+      connected.MoveValueUnsafe();
+  for (const std::string& command :
+       {"!hello " + tenant, std::string("!schema req loc:int uid:int"),
+        std::string("!schema avail loc:int bid:int"),
+        std::string("!schema unlock loc:int uid:int bid:int"),
+        "!query q0 " + spec + " :: " + kQueries[config.query]}) {
+    auto reply = client->Command(command);
+    if (!reply.ok()) return fail_and_stop("control command", reply.status());
+  }
+  // Stream the events, alternating text lines and binary frames so both
+  // protocol paths carry real traffic.
+  for (size_t i = 0; i < events.size(); ++i) {
+    const std::string line = EventToCsvLine(*events[i]);
+    const Status sent =
+        (i % 2 == 0) ? client->SendLine(line) : client->SendFrame(line);
+    if (!sent.ok()) return fail_and_stop("event send", sent);
+  }
+  // Command replies are ordered after every queued event for this tenant,
+  // so this barrier guarantees the server ingested the whole stream before
+  // the drain starts.
+  auto barrier = client->Command("!checkpoint");
+  if (!barrier.ok()) return fail_and_stop("checkpoint barrier",
+                                          barrier.status());
+  server.ValueOrDie()->RequestStop();
+  runner.join();
+  STRESS_OK(run_status, "server drain failed");
+
+  ServiceArtifacts actual;
+  const std::string prefix = dir + "/out/" + tenant + "--q0";
+  auto matches = ReadWholeFile(prefix + ".matches.csv");
+  STRESS_OK(matches.status(), "drained matches missing");
+  actual.matches = matches.MoveValueUnsafe();
+  auto metrics = ReadWholeFile(prefix + ".metrics.txt");
+  STRESS_OK(metrics.status(), "drained metrics missing");
+  actual.metrics = metrics.MoveValueUnsafe();
+  auto audit = ReadWholeFile(prefix + ".audit.jsonl");
+  STRESS_OK(audit.status(), "drained audit missing");
+  actual.audit_jsonl = audit.MoveValueUnsafe();
+
+  STRESS_CHECK(actual.matches == expected.matches,
+               "server: drained matches diverge from in-process engine");
+  STRESS_CHECK(actual.metrics == expected.metrics,
+               "server: drained metrics diverge from in-process engine");
+  STRESS_CHECK(actual.audit_jsonl == expected.audit_jsonl,
+               "server: drained audit JSONL diverges from in-process engine");
+  std::filesystem::remove_all(dir, ec);
+  return true;
+}
+
 #undef STRESS_CHECK
 #undef STRESS_OK
 
@@ -498,6 +685,8 @@ bool RunConfig(const Fixture& fixture, const StressConfig& config,
 int main(int argc, char** argv) {
   uint64_t configs = 100;
   uint64_t seed = 7;
+  bool server_mode = false;
+  bool configs_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -505,30 +694,57 @@ int main(int argc, char** argv) {
     };
     if (arg == "--configs") {
       configs = std::strtoull(next(), nullptr, 10);
+      configs_set = true;
     } else if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--server") {
+      server_mode = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--configs N] [--seed S]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--configs N] [--seed S] [--server]\n",
+                   argv[0]);
       return 2;
     }
   }
+  // Each --server config spins up (and tears down) a whole daemon, so the
+  // default sweep is smaller than the in-process one.
+  if (server_mode && !configs_set) configs = 20;
 
   cep::Fixture fixture;
   std::vector<cep::Failure> failures;
   uint64_t oracle_checked = 0;
+  std::string server_dir;
+  if (server_mode) {
+    server_dir = "stress_server_tmp_" + std::to_string(seed) + "_" +
+                 std::to_string(static_cast<long long>(::getpid()));
+    std::error_code ec;
+    std::filesystem::create_directories(server_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n", server_dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+  }
   for (uint64_t c = 0; c < configs; ++c) {
     const cep::StressConfig config = cep::MakeConfig(seed, c);
-    if (config.shedder == cep::ShedderKind::kNone &&
-        config.selection == cep::SelectionStrategy::kSkipTillAnyMatch &&
-        config.query < 9) {
-      ++oracle_checked;
+    if (server_mode) {
+      cep::RunServerConfig(fixture, config, server_dir, &failures);
+    } else {
+      if (config.shedder == cep::ShedderKind::kNone &&
+          config.selection == cep::SelectionStrategy::kSkipTillAnyMatch &&
+          config.query < 9) {
+        ++oracle_checked;
+      }
+      cep::RunConfig(fixture, config, &failures);
     }
-    cep::RunConfig(fixture, config, &failures);
     if ((c + 1) % 100 == 0) {
       std::fprintf(stderr, "  ... %llu/%llu configs, %zu failures\n",
                    static_cast<unsigned long long>(c + 1),
                    static_cast<unsigned long long>(configs), failures.size());
     }
+  }
+  if (server_mode && failures.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(server_dir, ec);
   }
 
   if (!failures.empty()) {
@@ -538,6 +754,15 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "  %s\n    %s\n", f.config.c_str(), f.what.c_str());
     }
     return 1;
+  }
+  if (server_mode) {
+    std::printf(
+        "stress_engine: %llu configs passed through the live server "
+        "(drained artifacts byte-identical to in-process engines), seed "
+        "%llu\n",
+        static_cast<unsigned long long>(configs),
+        static_cast<unsigned long long>(seed));
+    return 0;
   }
   std::printf(
       "stress_engine: %llu configs passed (oracle cross-checked on %llu; "
