@@ -257,6 +257,20 @@ void RunParallelSweepAndWriteJson(const char* path) {
   }
 
   const double serial = rows.front().events_per_sec;
+  size_t max_threads = 0;
+  for (const Row& row : rows) max_threads = std::max(max_threads, row.threads);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  // When the sweep asks for more threads than the machine has, speedup rows
+  // measure scheduler time-slicing, not scaling: flag the file so CI and
+  // readers don't treat those rows as a regression (or an improvement).
+  const bool valid_scaling = hardware >= max_threads;
+  if (!valid_scaling) {
+    std::fprintf(stderr,
+                 "warning: sweep uses up to %zu threads but only %u hardware "
+                 "thread(s) are available; speedup rows measure time-slicing, "
+                 "not scaling (valid_scaling=false)\n",
+                 max_threads, hardware);
+  }
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -265,9 +279,10 @@ void RunParallelSweepAndWriteJson(const char* path) {
   std::fprintf(out,
                "{\n  \"benchmark\": \"parallel_sweep\",\n"
                "  \"hardware_threads\": %u,\n"
+               "  \"valid_scaling\": %s,\n"
                "  \"preloaded_runs\": %d,\n  \"measured_events\": %d,\n"
                "  \"results\": [\n",
-               std::thread::hardware_concurrency(), kPreloadRuns,
+               hardware, valid_scaling ? "true" : "false", kPreloadRuns,
                kMeasuredEvents);
   for (size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(out,

@@ -1,0 +1,104 @@
+#ifndef CEPSHED_COMMON_INLINE_BITMAP_H_
+#define CEPSHED_COMMON_INLINE_BITMAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace cep {
+
+/// \brief Dynamically sized bitmap with inline storage for small sets.
+///
+/// The run store keeps its live and victim masks in one of these per column:
+/// up to kInlineWords*64 bits live directly in the object (no allocation for
+/// small run sets), larger sets spill to a heap word array. Bits beyond
+/// bit_count() are kept zero so popcounts and word scans need no tail masks.
+class InlineBitmap {
+ public:
+  InlineBitmap() { inline_words_[0] = inline_words_[1] = 0; }
+
+  InlineBitmap(const InlineBitmap&) = delete;
+  InlineBitmap& operator=(const InlineBitmap&) = delete;
+
+  /// Number of addressable bits.
+  size_t bit_count() const { return bits_; }
+
+  /// Grows or shrinks to `bits`. New bits are zero; on shrink the dropped
+  /// tail is zeroed so stale bits cannot resurface on a later grow.
+  void Resize(size_t bits) {
+    const size_t words = WordsFor(bits);
+    if (words > word_capacity_) {
+      heap_.resize(words, 0);
+      if (word_capacity_ == kInlineWords) {
+        std::memcpy(heap_.data(), inline_words_,
+                    kInlineWords * sizeof(uint64_t));
+      }
+      word_capacity_ = heap_.size();
+    }
+    if (bits < bits_) {
+      uint64_t* w = words_data();
+      for (size_t i = words; i < WordsFor(bits_); ++i) w[i] = 0;
+      if (bits % 64 != 0 && words > 0) {
+        w[words - 1] &= (uint64_t{1} << (bits % 64)) - 1;
+      }
+    }
+    bits_ = bits;
+  }
+
+  bool Get(size_t i) const {
+    assert(i < bits_);
+    return (words_data()[i / 64] >> (i % 64)) & 1;
+  }
+
+  void Set(size_t i) {
+    assert(i < bits_);
+    words_data()[i / 64] |= uint64_t{1} << (i % 64);
+  }
+
+  void Clear(size_t i) {
+    assert(i < bits_);
+    words_data()[i / 64] &= ~(uint64_t{1} << (i % 64));
+  }
+
+  /// Zeroes every bit (size unchanged).
+  void ClearAll() {
+    uint64_t* w = words_data();
+    for (size_t i = 0; i < WordsFor(bits_); ++i) w[i] = 0;
+  }
+
+  /// Number of set bits.
+  size_t CountSet() const {
+    size_t n = 0;
+    const uint64_t* w = words_data();
+    for (size_t i = 0; i < WordsFor(bits_); ++i) {
+      n += static_cast<size_t>(__builtin_popcountll(w[i]));
+    }
+    return n;
+  }
+
+  /// Raw words (ceil(bit_count()/64) of them); tail bits are zero.
+  const uint64_t* words() const { return words_data(); }
+
+ private:
+  static constexpr size_t kInlineWords = 2;
+
+  static size_t WordsFor(size_t bits) { return (bits + 63) / 64; }
+
+  uint64_t* words_data() {
+    return word_capacity_ == kInlineWords ? inline_words_ : heap_.data();
+  }
+  const uint64_t* words_data() const {
+    return word_capacity_ == kInlineWords ? inline_words_ : heap_.data();
+  }
+
+  uint64_t inline_words_[kInlineWords];
+  std::vector<uint64_t> heap_;
+  size_t word_capacity_ = kInlineWords;
+  size_t bits_ = 0;
+};
+
+}  // namespace cep
+
+#endif  // CEPSHED_COMMON_INLINE_BITMAP_H_

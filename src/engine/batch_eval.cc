@@ -1,0 +1,203 @@
+#include "engine/batch_eval.h"
+
+namespace cep {
+
+namespace {
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+int BatchEvalPlan::InternHotSlot(int var, int attr_index, bool last) {
+  for (size_t k = 0; k < hot_.size(); ++k) {
+    if (hot_[k].var == var && hot_[k].attr_index == attr_index &&
+        hot_[k].last == last) {
+      return static_cast<int>(k);
+    }
+  }
+  hot_.push_back(HotAttr{var, attr_index, last});
+  return static_cast<int>(hot_.size() - 1);
+}
+
+bool BatchEvalPlan::CompileOperand(const Expr& expr, int current_var,
+                                   Operand* out) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(expr).value();
+      if (!v.is_numeric() && !v.is_null()) return false;
+      out->src = Src::kLit;
+      out->lit = EncodeHotValue(v);
+      return true;
+    }
+    case ExprKind::kAttrRef: {
+      const auto& ref = static_cast<const AttrRefExpr&>(expr);
+      if (!ref.resolved()) return false;
+      const int var = ref.var_index();
+      // During take-edge evaluation the candidate is virtually bound to
+      // current_var, so Single/Last/Current on that variable all read the
+      // candidate event; references to other variables read stored binding
+      // endpoints, which the RunStore gathers as hot columns.
+      switch (ref.ref_kind()) {
+        case RefKind::kCurrent:
+          out->src = Src::kCurrent;
+          out->attr_index = ref.attr_index();
+          return true;
+        case RefKind::kSingle:
+          if (var == current_var) {
+            out->src = Src::kCurrent;
+            out->attr_index = ref.attr_index();
+          } else {
+            out->src = Src::kHot;
+            out->hot_slot = InternHotSlot(var, ref.attr_index(), false);
+          }
+          return true;
+        case RefKind::kFirst:
+          // On the variable being taken, [first] may resolve to the virtual
+          // candidate (empty stored binding) — run-dependent, so generic.
+          if (var == current_var) return false;
+          out->src = Src::kHot;
+          out->hot_slot = InternHotSlot(var, ref.attr_index(), false);
+          return true;
+        case RefKind::kLast:
+          if (var == current_var) {
+            // Virtual append: [last] is the candidate itself.
+            out->src = Src::kCurrent;
+            out->attr_index = ref.attr_index();
+          } else {
+            out->src = Src::kHot;
+            out->hot_slot = InternHotSlot(var, ref.attr_index(), true);
+          }
+          return true;
+        case RefKind::kPrev:
+          // With the candidate virtually appended, [i-1] on the current
+          // variable is the stored chain head; on any other variable it is
+          // the second-from-last stored element — a chain walk, not a column.
+          if (var != current_var) return false;
+          out->src = Src::kHot;
+          out->hot_slot = InternHotSlot(var, ref.attr_index(), true);
+          return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+bool BatchEvalPlan::CompileTerm(const Expr& expr, int current_var, Term* out) {
+  if (expr.kind() == ExprKind::kCall) {
+    const auto& call = static_cast<const CallExpr&>(expr);
+    if (call.builtin() != Builtin::kDiff || call.args().size() != 2) {
+      return false;
+    }
+    out->is_diff = true;
+    return CompileOperand(*call.args()[0], current_var, &out->x) &&
+           CompileOperand(*call.args()[1], current_var, &out->y);
+  }
+  out->is_diff = false;
+  return CompileOperand(expr, current_var, &out->x);
+}
+
+bool BatchEvalPlan::CompilePred(const Expr& expr, int current_var, Pred* out) {
+  if (expr.kind() != ExprKind::kBinary) return false;
+  const auto& binary = static_cast<const BinaryExpr&>(expr);
+  if (!IsComparison(binary.op())) return false;
+  out->op = binary.op();
+  return CompileTerm(binary.left(), current_var, &out->lhs) &&
+         CompileTerm(binary.right(), current_var, &out->rhs);
+}
+
+void BatchEvalPlan::Compile(const Nfa& nfa) {
+  edges_.clear();
+  state_base_.assign(nfa.num_states() + 1, 0);
+  preds_.clear();
+  hot_.clear();
+  fast_edges_ = 0;
+  total_edges_ = 0;
+  for (const State& state : nfa.states()) {
+    state_base_[static_cast<size_t>(state.id)] =
+        static_cast<uint32_t>(edges_.size());
+    for (size_t e = 0; e < state.edges.size(); ++e) {
+      const Edge& edge = state.edges[e];
+      CompiledEdge ce;
+      ce.fast = true;
+      ce.first = static_cast<uint32_t>(preds_.size());
+      ++total_edges_;
+      // Interpreter order: exit predicates first, then take predicates.
+      for (const auto* group : {&edge.exit_predicates, &edge.predicates}) {
+        for (const Expr* pred : *group) {
+          Pred compiled;
+          if (!CompilePred(*pred, edge.var_index, &compiled)) {
+            ce.fast = false;
+            break;
+          }
+          preds_.push_back(compiled);
+        }
+        if (!ce.fast) break;
+      }
+      if (!ce.fast) {
+        preds_.resize(ce.first);
+        ce.count = 0;
+      } else {
+        ce.count = static_cast<uint32_t>(preds_.size()) - ce.first;
+        ++fast_edges_;
+      }
+      edges_.push_back(ce);
+    }
+  }
+  state_base_[nfa.num_states()] = static_cast<uint32_t>(edges_.size());
+  bound_.assign(preds_.size(), {});
+}
+
+void BatchEvalPlan::BindOperand(const Operand& op, const RunStore& store,
+                                BoundOperand* out) const {
+  switch (op.src) {
+    case Src::kCurrent:
+      out->col = nullptr;
+      out->val = (op.attr_index >= 0 &&
+                  static_cast<size_t>(op.attr_index) < event_attrs_.size())
+                     ? event_attrs_[static_cast<size_t>(op.attr_index)]
+                     : HotCell{kHotOther, 0, 0.0};
+      return;
+    case Src::kHot:
+      out->col = store.hot(static_cast<size_t>(op.hot_slot));
+      return;
+    case Src::kLit:
+      out->col = nullptr;
+      out->val = op.lit;
+      return;
+  }
+}
+
+void BatchEvalPlan::BeginEvent(const Event& event, const RunStore& store) {
+  const size_t n = event.num_attributes();
+  event_attrs_.resize(n);
+  for (size_t a = 0; a < n; ++a) {
+    event_attrs_[a] = EncodeHotValue(event.attribute(static_cast<int>(a)));
+  }
+  for (size_t p = 0; p < preds_.size(); ++p) {
+    const Pred& pred = preds_[p];
+    BoundPred& bp = bound_[p];
+    bp.op = pred.op;
+    bp.lhs.is_diff = pred.lhs.is_diff;
+    BindOperand(pred.lhs.x, store, &bp.lhs.x);
+    if (pred.lhs.is_diff) BindOperand(pred.lhs.y, store, &bp.lhs.y);
+    bp.rhs.is_diff = pred.rhs.is_diff;
+    BindOperand(pred.rhs.x, store, &bp.rhs.x);
+    if (pred.rhs.is_diff) BindOperand(pred.rhs.y, store, &bp.rhs.y);
+  }
+}
+
+}  // namespace cep

@@ -1,0 +1,155 @@
+#ifndef CEPSHED_ENGINE_BINDING_SLAB_H_
+#define CEPSHED_ENGINE_BINDING_SLAB_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "event/event.h"
+
+namespace cep {
+
+class BindingCellPool;
+
+/// \brief One element of a copy-on-write binding chain.
+///
+/// A run's per-variable binding is a singly linked chain of cells, newest
+/// first. Extending a run appends one cell whose `prev` is the parent's head;
+/// the parent chain is never mutated, so any number of derived runs share
+/// their common prefix — the compact-encoding direction of the paper's [26],
+/// without a `shared_ptr<vector>` (two allocations plus a full vector copy
+/// per bind) behind every variable.
+///
+/// Cells are reference counted: `refs` counts direct owners (run binding
+/// heads plus successor cells). Cells carry their owning pool so chains may
+/// mix pooled cells (engine runs) and heap cells (standalone runs in tests)
+/// and still release correctly.
+struct BindingCell {
+  EventPtr event;
+  BindingCell* prev = nullptr;
+  BindingCellPool* pool = nullptr;  ///< owning slab, or nullptr for the heap
+  uint32_t refs = 1;
+};
+
+/// \brief Free-list slab allocator for BindingCell.
+///
+/// Binding cells are the engine's highest-churn small objects after run
+/// slots: every bind allocates exactly one. The pool carves cells out of
+/// block allocations and recycles released cells through an intrusive free
+/// list, keeping the chains resident in a few contiguous slabs instead of
+/// scattered across the heap. Not thread-safe: all binds happen on the
+/// engine's serial merge path (docs/PARALLELISM.md).
+class BindingCellPool {
+ public:
+  explicit BindingCellPool(size_t cells_per_block = 1024)
+      : cells_per_block_(cells_per_block == 0 ? 1024 : cells_per_block) {}
+
+  ~BindingCellPool() {
+    assert(live_ == 0 && "BindingCellPool destroyed with live cells");
+  }
+
+  BindingCellPool(const BindingCellPool&) = delete;
+  BindingCellPool& operator=(const BindingCellPool&) = delete;
+
+  /// Constructs a cell in a pooled slot.
+  BindingCell* New(EventPtr event, BindingCell* prev) {
+    Slot* slot = AcquireSlot();
+    BindingCell* cell = new (slot->storage) BindingCell;
+    cell->event = std::move(event);
+    cell->prev = prev;
+    cell->pool = this;
+    ++live_;
+    if (live_ > peak_live_) peak_live_ = live_;
+    return cell;
+  }
+
+  /// Destroys `cell` and recycles its slot. Internal: use ReleaseBindingChain.
+  void Free(BindingCell* cell) noexcept {
+    cell->~BindingCell();
+    Slot* slot = reinterpret_cast<Slot*>(cell);
+    slot->next = free_;
+    free_ = slot;
+    --live_;
+  }
+
+  /// Cells currently alive in this pool.
+  size_t live() const { return live_; }
+
+  /// Highest live() ever observed (obs: binding slab occupancy).
+  size_t peak_live() const { return peak_live_; }
+
+  /// Total slots reserved across all blocks.
+  size_t capacity() const { return blocks_.size() * cells_per_block_; }
+
+  /// Bytes reserved by the pool's blocks.
+  size_t bytes_reserved() const { return capacity() * sizeof(Slot); }
+
+  /// Returns all blocks to the heap. May only be called with no live cells.
+  void Reset() {
+    assert(live_ == 0 && "BindingCellPool::Reset with live cells");
+    blocks_.clear();
+    free_ = nullptr;
+  }
+
+ private:
+  union Slot {
+    Slot* next;
+    alignas(BindingCell) unsigned char storage[sizeof(BindingCell)];
+  };
+
+  Slot* AcquireSlot() {
+    if (free_ == nullptr) {
+      blocks_.push_back(std::make_unique<Slot[]>(cells_per_block_));
+      Slot* block = blocks_.back().get();
+      for (size_t i = cells_per_block_; i > 0; --i) {
+        block[i - 1].next = free_;
+        free_ = &block[i - 1];
+      }
+    }
+    Slot* slot = free_;
+    free_ = slot->next;
+    return slot;
+  }
+
+  size_t cells_per_block_;
+  std::vector<std::unique_ptr<Slot[]>> blocks_;
+  Slot* free_ = nullptr;
+  size_t live_ = 0;
+  size_t peak_live_ = 0;
+};
+
+/// Allocates a cell from `pool`, or from the heap when `pool` is null.
+inline BindingCell* NewBindingCell(BindingCellPool* pool, EventPtr event,
+                                   BindingCell* prev) {
+  if (pool != nullptr) return pool->New(std::move(event), prev);
+  BindingCell* cell = new BindingCell;
+  cell->event = std::move(event);
+  cell->prev = prev;
+  return cell;
+}
+
+/// Adds one owner to `head` (a derived run now shares the chain).
+inline void RetainBindingChain(BindingCell* head) {
+  if (head != nullptr) ++head->refs;
+}
+
+/// Drops one owner from `head`, freeing every cell whose last owner left.
+/// Iterative so arbitrarily long chains cannot overflow the stack.
+inline void ReleaseBindingChain(BindingCell* head) noexcept {
+  while (head != nullptr && --head->refs == 0) {
+    BindingCell* prev = head->prev;
+    if (head->pool != nullptr) {
+      head->pool->Free(head);
+    } else {
+      delete head;
+    }
+    head = prev;
+  }
+}
+
+}  // namespace cep
+
+#endif  // CEPSHED_ENGINE_BINDING_SLAB_H_

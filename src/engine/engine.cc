@@ -94,8 +94,8 @@ class Engine::RunSetComponent final : public ckpt::StateComponent {
   Status SerializeTo(ckpt::Sink& sink) const override {
     ckpt::EventTableBuilder table;
     ckpt::Sink runs;
-    runs.WriteU64(e_->runs_.size());
-    for (const RunPtr& run : e_->runs_) {
+    runs.WriteU64(e_->run_store_.size());
+    for (const RunPtr& run : e_->run_store_.slots()) {
       CEP_RETURN_NOT_OK(run->SerializeTo(runs, &table));
     }
     // The table is written first (restore needs it before the runs), but
@@ -110,13 +110,16 @@ class Engine::RunSetComponent final : public ckpt::StateComponent {
     CEP_RETURN_NOT_OK(table.RestoreFrom(source));
     CEP_ASSIGN_OR_RETURN(uint64_t count, source.ReadU64());
     e_->new_runs_.clear();
-    e_->runs_.clear();
-    e_->runs_.reserve(count);
+    e_->run_store_.Clear();
     for (uint64_t i = 0; i < count; ++i) {
       CEP_ASSIGN_OR_RETURN(
           RunPtr run, Run::RestoreFrom(source, table, e_->arena_ptr()));
-      e_->runs_.push_back(std::move(run));
+      e_->run_store_.Push(std::move(run));
     }
+    // Restored chains are rebuilt without cross-run sharing, so the
+    // incremental byte ledger is only trustworthy again after the next
+    // event's from-scratch recomputation.
+    e_->bytes_synced_ = false;
     return Status::OK();
   }
 
@@ -278,6 +281,9 @@ Engine::Engine(NfaPtr nfa, EngineOptions options, ShedderPtr shedder)
       state_type_masks_[state.id] |= TypeBit(edge.event_type);
     }
   }
+  batch_plan_.Compile(*nfa_);
+  run_store_.SetHotPlan(&batch_plan_.hot_plan());
+  metrics_.hot_attr_slots = batch_plan_.hot_plan().size();
   const ReturnSpec& spec = nfa_->query().return_spec;
   if (!spec.empty()) {
     std::vector<AttributeDef> attrs;
@@ -367,29 +373,45 @@ void Engine::EvalRunRange(const Event& event, Timestamp now, size_t begin,
   const Duration window = nfa_->window();
   const bool in_place =
       options_.selection != SelectionStrategy::kSkipTillAnyMatch;
+  // Hot loop: expiry and state routing read the store's flat columns, and
+  // compiled-fast edges evaluate against the gathered HotCell columns — a
+  // non-advancing run is decided without ever dereferencing its Run object.
+  const int32_t* states = run_store_.states();
+  const int64_t* start_ts = run_store_.start_ts();
   for (size_t i = begin; i < end; ++i) {
-    const Run& run = *runs_[i];
     RunDecision decision;
-    if (run.Expired(now, window)) {
+    if (now - start_ts[i] > window) {  // Run::Expired over the column
       decision.flags = kDecisionExpired;
       decisions_[i] = decision;
       continue;
     }
-    if ((state_type_masks_[run.state()] & ebit) != 0) {
-      const State& state = nfa_->state(run.state());
+    const int32_t st = states[i];
+    if ((state_type_masks_[st] & ebit) != 0) {
+      const State& state = nfa_->state(st);
       for (size_t e = 0; e < state.edges.size(); ++e) {
         const Edge& edge = state.edges[e];
         if (edge.event_type != event.type()) continue;
         ++decision.ops;
-        const Result<bool> pass = EvalEdge(run, edge, event);
-        if (!pass.ok()) {
-          // The merge phase aborts the event exactly where the serial loop
-          // would have: after this run's earlier fired edges were applied.
-          decision.flags |= kDecisionError;
-          scratch->errors.emplace_back(i, pass.status());
-          break;
+        bool passed;
+        const BatchEvalPlan::CompiledEdge& ce = batch_plan_.edge(st, e);
+        const FastVerdict verdict = ce.fast
+                                        ? batch_plan_.EvalFast(ce, i)
+                                        : FastVerdict::kFallback;
+        if (verdict != FastVerdict::kFallback) {
+          passed = verdict == FastVerdict::kTrue;
+          ++decision.fast_ops;
+        } else {
+          const Result<bool> pass = EvalEdge(*run_store_.at(i), edge, event);
+          if (!pass.ok()) {
+            // The merge phase aborts the event exactly where the serial loop
+            // would have: after this run's earlier fired edges were applied.
+            decision.flags |= kDecisionError;
+            scratch->errors.emplace_back(i, pass.status());
+            break;
+          }
+          passed = pass.ValueOrDie();
         }
-        if (!pass.ValueOrDie()) continue;
+        if (!passed) continue;
         if (edge.kind == EdgeKind::kKill) {
           decision.flags |= kDecisionKilled;
           break;
@@ -411,17 +433,18 @@ Status Engine::ApplyDecisions(const EventPtr& event, Timestamp now,
   const SelectionStrategy sel = options_.selection;
   const bool strict = sel == SelectionStrategy::kStrictContiguity;
   const bool in_place = sel != SelectionStrategy::kSkipTillAnyMatch;
-  const size_t n = runs_.size();
+  const size_t n = run_store_.size();
   for (size_t s = 0; s < num_shards; ++s) {
     const ShardScratch& scratch = shard_scratch_[s];
     size_t fired_cursor = 0;
     size_t error_cursor = 0;
     const size_t shard_end = ShardBegin(s + 1, num_shards, n);
     for (size_t i = ShardBegin(s, num_shards, n); i < shard_end; ++i) {
-      RunPtr& slot = runs_[i];
+      RunPtr& slot = run_store_.slot(i);
       Run* run = slot.get();
       const RunDecision decision = decisions_[i];
       ops_this_event_ += decision.ops;
+      metrics_.fast_path_edges += decision.fast_ops;
       const size_t run_bytes = track_bytes ? run->ApproxBytes() : 0;
       *live_bytes += run_bytes;
       if ((decision.flags & kDecisionExpired) != 0) {
@@ -432,7 +455,7 @@ Status Engine::ApplyDecisions(const EventPtr& event, Timestamp now,
         }
         if (shedder_ != nullptr) shedder_->OnRunExpired(*run, now);
         ++metrics_.runs_expired;
-        slot.reset();
+        run_store_.Kill(i);
         *live_bytes -= run_bytes;
         *any_dead = true;
         continue;
@@ -473,7 +496,7 @@ Status Engine::ApplyDecisions(const EventPtr& event, Timestamp now,
             ++metrics_.runs_completed;
           }
         } else {
-          run->Bind(edge.var_index, event, edge.target);
+          run->Bind(edge.var_index, event, edge.target, arena_.cell_pool());
           ++metrics_.runs_extended;
           if (shedder_ != nullptr) {
             shedder_->OnRunExtended(nullptr, run, *event, now);
@@ -483,7 +506,7 @@ Status Engine::ApplyDecisions(const EventPtr& event, Timestamp now,
             CEP_RETURN_NOT_OK(TryEmit(*run, now).status());
             if (target.edges.empty()) {
               ++metrics_.runs_completed;
-              slot.reset();
+              run_store_.Kill(i);
               *live_bytes -= run_bytes;
               *any_dead = true;
             }
@@ -491,6 +514,12 @@ Status Engine::ApplyDecisions(const EventPtr& event, Timestamp now,
         }
       }
       fired_cursor += decision.fired;
+      if (in_place && decision.fired > 0 && slot != nullptr) {
+        // The greedy bind mutated the run in place: re-gather its columns
+        // and book the growth (run_bytes above was measured pre-mutation).
+        run_store_.Refresh(i);
+        if (track_bytes) *live_bytes += run->ApproxBytes() - run_bytes;
+      }
       if ((decision.flags & kDecisionError) != 0) {
         // Propagate the predicate error recorded for this run, after its
         // earlier fired edges took effect (serial semantics).
@@ -504,7 +533,7 @@ Status Engine::ApplyDecisions(const EventPtr& event, Timestamp now,
       }
       if ((decision.flags & kDecisionKilled) != 0) {
         ++metrics_.runs_killed;
-        slot.reset();
+        run_store_.Kill(i);
         *live_bytes -= run_bytes;
         *any_dead = true;
         continue;
@@ -514,7 +543,7 @@ Status Engine::ApplyDecisions(const EventPtr& event, Timestamp now,
         // Strict contiguity: an event that does not advance the run breaks
         // it.
         ++metrics_.runs_killed;
-        slot.reset();
+        run_store_.Kill(i);
         *live_bytes -= run_bytes;
         *any_dead = true;
       }
@@ -592,7 +621,7 @@ Status Engine::ProcessEvent(const EventPtr& event) {
   // Evaluation phase: per-run verdicts, sharded across the pool when R(t)
   // is large enough to amortize the dispatch. Decisions are identical for
   // every shard count, so parallelism never changes results.
-  const size_t n = runs_.size();
+  const size_t n = run_store_.size();
   size_t num_shards = 1;
   // Eligibility is pool-independent (the run set alone decides), so the
   // parallel_events metric — and every observability export derived from it
@@ -607,6 +636,9 @@ Status Engine::ProcessEvent(const EventPtr& event) {
     num_shards = std::min(num_shards, n);
   }
   if (parallel_eligible) ++metrics_.parallel_events;
+  // Encode the candidate's attributes once, serially: every shard's fast
+  // edge evaluations read this scratch row concurrently.
+  if (n > 0) batch_plan_.BeginEvent(*event, run_store_);
   decisions_.resize(n);
   if (shard_scratch_.size() < num_shards) shard_scratch_.resize(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
@@ -656,7 +688,7 @@ Status Engine::ProcessEvent(const EventPtr& event) {
                        : MakeRun(next_run_id_++,
                                  nfa_->analyzed().num_variables(),
                                  nfa_->start_state(), now);
-      run->Bind(edge.var_index, event, edge.target);
+      run->Bind(edge.var_index, event, edge.target, arena_.cell_pool());
       ++metrics_.runs_created;
       if (shedder_ != nullptr) shedder_->OnRunCreated(run.get(), *event, now);
       const State& target = nfa_->state(edge.target);
@@ -683,18 +715,20 @@ Status Engine::ProcessEvent(const EventPtr& event) {
   if (any_dead) CompactRuns();
   for (auto& run : new_runs_) {
     if (track_bytes) live_bytes += run->ApproxBytes();
-    runs_.push_back(std::move(run));
+    run_store_.Push(std::move(run));
   }
   new_runs_.clear();
   if (track_bytes) {
     approx_run_bytes_ = live_bytes;
+    bytes_synced_ = true;
     metrics_.peak_run_bytes =
         std::max<uint64_t>(metrics_.peak_run_bytes, live_bytes);
   }
 
   ++metrics_.events_processed;
   metrics_.edge_evaluations += ops_this_event_;
-  metrics_.peak_runs = std::max<uint64_t>(metrics_.peak_runs, runs_.size());
+  metrics_.peak_runs =
+      std::max<uint64_t>(metrics_.peak_runs, run_store_.size());
   metrics_.arena_bytes_reserved = std::max<uint64_t>(
       metrics_.arena_bytes_reserved, arena_.bytes_reserved());
 
@@ -738,7 +772,7 @@ Status Engine::ProcessEvent(const EventPtr& event) {
   latency_monitor_->Record(now, micros, ops_this_event_);
   ++events_since_shed_;
 
-  if (shedder_ != nullptr && !runs_.empty()) {
+  if (shedder_ != nullptr && !run_store_.empty()) {
     const double latency = latency_monitor_->CurrentLatencyMicros();
     bool latency_overload =
         options_.latency_threshold_micros > 0 &&
@@ -752,7 +786,7 @@ Status Engine::ProcessEvent(const EventPtr& event) {
       latency_overload = false;
     }
     const bool cap_overload =
-        options_.max_runs > 0 && runs_.size() > options_.max_runs;
+        options_.max_runs > 0 && run_store_.size() > options_.max_runs;
     if (latency_overload || cap_overload) TriggerShed(now, latency);
   }
   if (reorder_buffer_ != nullptr) SyncReorderMetrics();
@@ -840,6 +874,9 @@ void Engine::RecoverFromError() {
   metrics_.runs_aborted += new_runs_.size();
   new_runs_.clear();
   CompactRuns();
+  // The aborted event never reached the byte recomputation, and the merge
+  // may have partially applied (greedy binds, deaths) before failing.
+  bytes_synced_ = false;
 }
 
 Status Engine::VerifyInvariants() const {
@@ -853,7 +890,7 @@ Status Engine::VerifyInvariants() const {
            : 0);
   const uint64_t exited = m.runs_completed + m.runs_expired + m.runs_killed +
                           m.runs_shed + m.runs_aborted;
-  const uint64_t live = runs_.size();
+  const uint64_t live = run_store_.size();
   if (entered != exited + live) {
     return Status::Internal(StrFormat(
         "run conservation violated: created=%llu extended=%llu (entered=%llu)"
@@ -887,6 +924,30 @@ Status Engine::VerifyInvariants() const {
         "parallel_events=%llu exceeds events_processed=%llu",
         static_cast<unsigned long long>(m.parallel_events),
         static_cast<unsigned long long>(m.events_processed)));
+  }
+  if (m.fast_path_edges > m.edge_evaluations) {
+    return Status::Internal(StrFormat(
+        "fast_path_edges=%llu exceeds edge_evaluations=%llu",
+        static_cast<unsigned long long>(m.fast_path_edges),
+        static_cast<unsigned long long>(m.edge_evaluations)));
+  }
+  // SoA columns must mirror the runs they cache (deep-checks a bounded
+  // prefix; the mask/slot agreement is checked for every row).
+  CEP_RETURN_NOT_OK(run_store_.CheckConsistency(128));
+  // The degradation ladder's byte ledger must be the exact sum of
+  // Run::ApproxBytes over R(t) whenever the incremental accounting is in
+  // sync (i.e. outside restore/quarantine windows).
+  if (degradation_ != nullptr && bytes_synced_) {
+    size_t sum = 0;
+    for (const RunPtr& run : run_store_.slots()) {
+      if (run != nullptr) sum += run->ApproxBytes();
+    }
+    if (sum != approx_run_bytes_) {
+      return Status::Internal(StrFormat(
+          "run byte ledger drifted: approx_run_bytes=%zu, exact sum=%zu over "
+          "%llu runs",
+          approx_run_bytes_, sum, static_cast<unsigned long long>(live)));
+    }
   }
   return Status::OK();
 }
@@ -935,15 +996,35 @@ void Engine::ExportMetrics(obs::Registry* registry,
                      "over R(t), virtual microseconds)",
                      shed_episode_us_.spec(), labels)
       ->CopyFrom(shed_episode_us_);
+  // Binding-slab occupancy is export-only (never checkpointed): restored run
+  // sets rebuild chains without cross-run sharing, so slab stats are not
+  // restore-deterministic the way EngineMetrics fields must be.
+  registry
+      ->GetGauge("cep_binding_slab_bytes",
+                 "Bytes reserved by the pooled binding-cell slab", labels)
+      ->Set(static_cast<double>(arena_.cell_bytes_reserved()));
+  if (const BindingCellPool* cells = arena_.cell_pool()) {
+    registry
+        ->GetGauge("cep_binding_cells_live",
+                   "Pooled binding-chain cells currently live", labels)
+        ->Set(static_cast<double>(cells->live()));
+    registry
+        ->GetGauge("cep_binding_cells_peak",
+                   "Peak live pooled binding-chain cells", labels)
+        ->Set(static_cast<double>(cells->peak_live()));
+  }
 }
 
 Status Engine::Flush() {
   bool any_dead = false;
-  for (auto& slot : runs_) {
-    if (nfa_->state(slot->state()).deferred_final) {
-      CEP_RETURN_NOT_OK(TryEmit(*slot, last_event_ts_).status());
+  const size_t n = run_store_.size();
+  for (size_t i = 0; i < n; ++i) {
+    Run* run = run_store_.at(i);
+    if (nfa_->state(run->state()).deferred_final) {
+      CEP_RETURN_NOT_OK(TryEmit(*run, last_event_ts_).status());
       ++metrics_.runs_expired;
-      slot.reset();
+      NoteRunBytesFreed(run->ApproxBytes());
+      run_store_.Kill(i);
       any_dead = true;
     }
   }
@@ -959,17 +1040,17 @@ bool Engine::WantShedScores() const {
 }
 
 size_t Engine::ApplyVictims(const ShedDecision& decision, Timestamp now) {
-  const size_t live = runs_.size();
+  const size_t live = run_store_.size();
   const double fraction =
       live > 0 ? static_cast<double>(decision.victims.size()) / live : 0.0;
   const uint64_t episode = metrics_.shed_triggers;  // 0-based ordinal
   size_t applied = 0;
   for (const ShedVictim& victim : decision.victims) {
     const size_t idx = victim.index;
-    if (idx >= runs_.size() || runs_[idx] == nullptr) continue;
+    if (idx >= run_store_.size() || run_store_.at(idx) == nullptr) continue;
     if constexpr (obs::kEnabled) {
       if (audit_log_ != nullptr || shed_callback_) {
-        const Run& run = *runs_[idx];
+        const Run& run = *run_store_.at(idx);
         obs::ShedDecisionRecord record;
         record.engine_id = obs_id_;
         record.episode = episode;
@@ -989,11 +1070,17 @@ size_t Engine::ApplyVictims(const ShedDecision& decision, Timestamp now) {
         if (audit_log_ != nullptr) audit_log_->Append(std::move(record));
       }
     }
-    runs_[idx].reset();
+    NoteRunBytesFreed(run_store_.at(idx)->ApproxBytes());
+    run_store_.MarkVictim(idx);
     ++metrics_.runs_shed;
     ++applied;
   }
   return applied;
+}
+
+void Engine::NoteRunBytesFreed(size_t bytes) {
+  if (degradation_ == nullptr || !bytes_synced_) return;
+  approx_run_bytes_ -= std::min(approx_run_bytes_, bytes);
 }
 
 void Engine::TriggerShed(Timestamp now, double latency) {
@@ -1004,15 +1091,15 @@ void Engine::TriggerShed(Timestamp now, double latency) {
     // regardless of the configured mode.
     amount.mode = ShedAmountOptions::Mode::kAdaptive;
   }
-  size_t target = ComputeShedTarget(amount, runs_.size(), latency,
+  size_t target = ComputeShedTarget(amount, run_store_.size(), latency,
                                     options_.latency_threshold_micros);
-  if (options_.max_runs > 0 && runs_.size() > options_.max_runs) {
-    target = std::max(target, runs_.size() - options_.max_runs);
+  if (options_.max_runs > 0 && run_store_.size() > options_.max_runs) {
+    target = std::max(target, run_store_.size() - options_.max_runs);
   }
   if (target == 0) return;
-  const ShedContext ctx{runs_, now, target, WantShedScores()};
+  const ShedContext ctx{run_store_.slots(), now, target, WantShedScores()};
   const ShedDecision decision = shedder_->Decide(ctx);
-  const size_t scanned = runs_.size();
+  const size_t scanned = run_store_.size();
   const size_t applied = ApplyVictims(decision, now);
   CompactRuns();
   ++metrics_.shed_triggers;
@@ -1034,10 +1121,11 @@ void Engine::TriggerShed(Timestamp now, double latency) {
 }
 
 void Engine::ForceShed(size_t target) {
-  if (shedder_ == nullptr || runs_.empty() || target == 0) return;
-  const ShedContext ctx{runs_, last_event_ts_, target, WantShedScores()};
+  if (shedder_ == nullptr || run_store_.empty() || target == 0) return;
+  const ShedContext ctx{run_store_.slots(), last_event_ts_, target,
+                        WantShedScores()};
   const ShedDecision decision = shedder_->Decide(ctx);
-  const size_t scanned = runs_.size();
+  const size_t scanned = run_store_.size();
   const size_t applied = ApplyVictims(decision, last_event_ts_);
   CompactRuns();
   ++metrics_.shed_triggers;
@@ -1053,9 +1141,7 @@ void Engine::ForceShed(size_t target) {
   }
 }
 
-void Engine::CompactRuns() {
-  runs_.erase(std::remove(runs_.begin(), runs_.end(), nullptr), runs_.end());
-}
+void Engine::CompactRuns() { run_store_.Compact(); }
 
 // --- checkpoint / restore ----------------------------------------------------
 

@@ -15,6 +15,7 @@
 #include "common/parallel.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "engine/batch_eval.h"
 #include "engine/degradation.h"
 #include "engine/latency_monitor.h"
 #include "engine/match.h"
@@ -22,6 +23,7 @@
 #include "engine/options.h"
 #include "engine/run.h"
 #include "engine/run_arena.h"
+#include "engine/run_store.h"
 #include "event/reorder.h"
 #include "event/stream.h"
 #include "nfa/nfa.h"
@@ -116,8 +118,14 @@ class Engine {
   Shedder* shedder() { return shedder_.get(); }
 
   /// Active partial matches R(t). Null slots never escape ProcessEvent.
-  const std::vector<RunPtr>& runs() const { return runs_; }
-  size_t num_runs() const { return runs_.size(); }
+  const std::vector<RunPtr>& runs() const { return run_store_.slots(); }
+  size_t num_runs() const { return run_store_.size(); }
+
+  /// The flat SoA store backing R(t) (column/bitmap introspection).
+  const RunStore& run_store() const { return run_store_; }
+
+  /// Compiled batched-evaluation plan for this engine's query.
+  const BatchEvalPlan& batch_plan() const { return batch_plan_; }
 
   /// Current latency estimate µ(t) in microseconds.
   double CurrentLatencyMicros() const {
@@ -264,9 +272,10 @@ class Engine {
   /// live in the owning shard's scratch, appended in run order, so the
   /// merge phase consumes them with a cursor — no per-run allocation.
   struct RunDecision {
-    uint32_t ops = 0;      ///< edge evaluations performed for this run
-    uint16_t fired = 0;    ///< passing-edge entries appended to shard scratch
-    uint8_t flags = 0;     ///< kDecision* bits
+    uint32_t ops = 0;       ///< edge evaluations performed for this run
+    uint16_t fired = 0;     ///< passing-edge entries appended to shard scratch
+    uint16_t fast_ops = 0;  ///< ops decided by the compiled fast path
+    uint8_t flags = 0;      ///< kDecision* bits
   };
 
   static constexpr uint8_t kDecisionExpired = 1;
@@ -314,6 +323,11 @@ class Engine {
   void TriggerShed(Timestamp now, double latency);
   void CompactRuns();
 
+  /// Books `bytes` out of approx_run_bytes_ when the degradation ladder's
+  /// incremental accounting is active and in sync (shedding / Flush kill
+  /// runs outside the per-event recomputation).
+  void NoteRunBytesFreed(size_t bytes);
+
   /// Shared victim-application loop of TriggerShed/ForceShed: audits each
   /// victim (scores carried in the decision + audit log + shed callback),
   /// resets the slots, and bumps runs_shed. Returns the number of victims
@@ -358,10 +372,11 @@ class Engine {
   Rng resilience_rng_;
   const ReorderBuffer* reorder_buffer_ = nullptr;
 
-  // Arena must outlive the run vectors drawing from it (destruction is in
-  // reverse declaration order).
+  // Arena must outlive the run store and vectors drawing from it
+  // (destruction is in reverse declaration order).
   RunArena arena_;
-  std::vector<RunPtr> runs_;
+  BatchEvalPlan batch_plan_;  ///< compiled predicates; outlives run_store_
+  RunStore run_store_;        ///< R(t): slots + SoA columns + live/victim masks
   std::vector<RunPtr> new_runs_;  // births of the current event
   std::vector<Match> matches_;
   MatchCallback match_callback_;
@@ -386,6 +401,11 @@ class Engine {
   Timestamp last_event_ts_ = INT64_MIN;
   uint64_t ops_this_event_ = 0;
   size_t approx_run_bytes_ = 0;
+  /// True while approx_run_bytes_ is an exact sum over the live run set
+  /// (set by the per-event recomputation, cleared on restore / quarantine).
+  /// Gates the exact-sum assertion in VerifyInvariants and the incremental
+  /// subtraction in NoteRunBytesFreed.
+  bool bytes_synced_ = false;
   size_t external_run_bytes_ = 0;
   size_t consecutive_errors_ = 0;
 

@@ -64,6 +64,10 @@ constexpr EngineMetricField kEngineMetricFields[] = {
                    "Events whose run set met the sharding threshold"),
     CEP_METRIC_U64(arena_bytes_reserved, "cep_arena_bytes_reserved", false,
                    "Peak bytes reserved by the run arena"),
+    CEP_METRIC_U64(fast_path_edges, "cep_fast_path_edges_total", true,
+                   "Edge evaluations decided by the compiled fast path"),
+    CEP_METRIC_U64(hot_attr_slots, "cep_hot_attr_slots", false,
+                   "Hot attribute columns gathered for batched evaluation"),
 };
 
 #undef CEP_METRIC_U64

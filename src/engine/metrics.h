@@ -68,6 +68,16 @@ struct EngineMetrics {
   /// ladder's byte estimate.
   uint64_t arena_bytes_reserved = 0;
 
+  // --- batched predicate evaluation (engine/batch_eval.h) ------------------
+  /// Edge evaluations decided by the compiled fast path over the run store's
+  /// flat columns (a subset of edge_evaluations; the rest went through the
+  /// generic Expr interpreter).
+  uint64_t fast_path_edges = 0;
+  /// Hot run-side attribute columns the RunStore gathers for this query's
+  /// compiled predicates (constant per engine; batch width of the SoA
+  /// gather).
+  uint64_t hot_attr_slots = 0;
+
   /// All fields, in declaration order: "name=value name=value ...".
   std::string ToString() const;
 

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/time.h"
+#include "engine/binding_slab.h"
 #include "event/event.h"
 #include "nfa/nfa.h"
 #include "query/expr.h"
@@ -35,12 +36,6 @@ struct RunDeleter {
 /// Owning handle to a Run, pooled (engine/run_arena.h) or heap-allocated.
 using RunPtr = std::unique_ptr<Run, RunDeleter>;
 
-/// Shared empty binding returned for unbound variables. Namespace-level so
-/// the hot path pays no function-local-static guard, and there is no
-/// mutable-adjacent hidden state once run evaluation moves onto worker
-/// threads.
-inline const std::vector<EventPtr> kEmptyBinding{};
-
 /// \brief A partial match: one element of the engine's state set R(t).
 ///
 /// A run records the NFA state it occupies and, per pattern variable, the
@@ -49,6 +44,12 @@ inline const std::vector<EventPtr> kEmptyBinding{};
 /// exactly what makes |R(t)| grow exponentially (paper Table I) and what
 /// state-based load shedding prunes.
 ///
+/// Bindings are copy-on-write chains of pooled BindingCells (newest first):
+/// extending a run appends exactly one cell and retains the parent's chain,
+/// so the run itself is a small fixed-size record — the hot scalars plus one
+/// VarBinding{head, first, count} per variable (inline up to kInlineVars,
+/// a single heap row beyond). See docs/DATA_LAYOUT.md.
+///
 /// `trail` is the run's model trail for SBLS: one model-cell key per
 /// transition the run (and its ancestors) performed. When the run later
 /// produces a complete match or derives further runs, every cell on the
@@ -56,16 +57,35 @@ inline const std::vector<EventPtr> kEmptyBinding{};
 /// it empty.
 class Run {
  public:
-  /// Per-variable binding: immutable, shared between a run and the runs
-  /// extended from it (copy-on-write — extending a run clones only the
-  /// variable being appended to, which keeps Extend() O(pattern size + one
-  /// binding) instead of O(all bound events); the direction of the paper's
-  /// compact-encoding citation [26]).
-  using BindingPtr = std::shared_ptr<const std::vector<EventPtr>>;
+  /// Per-variable binding: a shared COW chain plus the two endpoints the hot
+  /// path reads — `first` for SEQ variables (paper queries reference the
+  /// first bound event) and `head` (most recent) for Kleene closures.
+  struct VarBinding {
+    BindingCell* head = nullptr;   ///< newest bound event, or null
+    const Event* first = nullptr;  ///< oldest bound event, or null
+    uint32_t count = 0;            ///< bound events for this variable
+  };
+
+  /// Variables stored inline in the run record before spilling the
+  /// VarBinding row to the heap. 4 covers every query in the bench/test
+  /// corpus; wider patterns cost one extra allocation per run, not per bind.
+  static constexpr int kInlineVars = 4;
 
   Run(uint64_t id, int num_variables, int state, Timestamp start_ts)
-      : id_(id), state_(state), start_ts_(start_ts),
-        bindings_(static_cast<size_t>(num_variables)) {}
+      : id_(id),
+        state_(state),
+        start_ts_(start_ts),
+        num_vars_(num_variables),
+        vars_(num_variables <= kInlineVars ? inline_vars_
+                                           : new VarBinding[num_variables]) {}
+
+  ~Run() {
+    for (int v = 0; v < num_vars_; ++v) ReleaseBindingChain(vars_[v].head);
+    if (vars_ != inline_vars_) delete[] vars_;
+  }
+
+  Run(const Run&) = delete;
+  Run& operator=(const Run&) = delete;
 
   uint64_t id() const { return id_; }
   int state() const { return state_; }
@@ -77,19 +97,44 @@ class Run {
   /// Total number of bound events across all variables.
   int size() const { return size_; }
 
-  const std::vector<EventPtr>& binding(int var_index) const {
-    return bindings_[var_index] == nullptr ? kEmptyBinding
-                                           : *bindings_[var_index];
+  int num_variables() const { return num_vars_; }
+
+  /// Number of events bound to `var_index`.
+  uint32_t binding_count(int var_index) const {
+    return vars_[var_index].count;
   }
+
+  /// Oldest event bound to `var_index` (null when unbound). O(1).
+  const Event* first_event(int var_index) const {
+    return vars_[var_index].first;
+  }
+
+  /// Newest event bound to `var_index` (null when unbound). O(1).
+  const Event* last_event(int var_index) const {
+    const VarBinding& vb = vars_[var_index];
+    return vb.head == nullptr ? nullptr : vb.head->event.get();
+  }
+
+  /// `idx`-th (oldest-first) event bound to `var_index`, or null when out of
+  /// range. O(1) at either end, O(count) in the middle (chain walk).
+  const Event* kleene_event(int var_index, int idx) const;
+
+  /// Materialises `var_index`'s binding oldest-first. O(count); match
+  /// construction and diagnostics only — the hot path uses the O(1)
+  /// endpoint accessors above.
+  std::vector<EventPtr> binding(int var_index) const;
 
   /// Materialises all bindings (match construction; O(bound events)).
   std::vector<std::vector<EventPtr>> CopyBindings() const;
 
-  /// Appends `event` to `var_index`'s binding and moves to `state`.
-  void Bind(int var_index, EventPtr event, int state);
+  /// Appends `event` to `var_index`'s binding and moves to `state`. The new
+  /// chain cell is drawn from `pool` when one is given, else from the heap.
+  void Bind(int var_index, EventPtr event, int state,
+            BindingCellPool* pool = nullptr);
 
   /// Copy of this run extended with `event` bound to `var_index` at `state`.
-  /// The child is drawn from `arena` when one is given, else from the heap.
+  /// The child is drawn from `arena` when one is given, else from the heap;
+  /// parent chains are shared (retained), only one cell is appended.
   RunPtr Extend(uint64_t child_id, int var_index, const EventPtr& event,
                 int state, RunArena* arena = nullptr) const;
 
@@ -102,15 +147,20 @@ class Run {
   uint64_t pm_hash() const { return pm_hash_; }
   void set_pm_hash(uint64_t h) { pm_hash_ = h; }
 
-  /// Cheap estimate of this run's heap footprint, for the degradation
-  /// controller's run-set byte budget. Shared (copy-on-write) bindings are
+  /// Exact byte footprint of this run's record, for the degradation
+  /// controller's run-set byte budget: the fixed record, the spilled
+  /// VarBinding row (if any), one BindingCell per bound event, and the trail
+  /// payload. Chain cells shared with derived runs (copy-on-write) are
   /// attributed to every run referencing them — deliberately conservative:
-  /// the budget should trip before the allocator does.
+  /// the budget should trip before the allocator does. Asserted against the
+  /// engine's incremental byte accounting in VerifyInvariants().
   size_t ApproxBytes() const {
-    return sizeof(Run) + bindings_.size() * sizeof(BindingPtr) +
-           static_cast<size_t>(size_) *
-               (sizeof(EventPtr) + sizeof(std::vector<EventPtr>) / 2) +
-           trail_.capacity() * sizeof(uint64_t);
+    size_t bytes = sizeof(Run) + static_cast<size_t>(size_) * sizeof(BindingCell) +
+                   trail_.size() * sizeof(uint64_t);
+    if (vars_ != inline_vars_) {
+      bytes += static_cast<size_t>(num_vars_) * sizeof(VarBinding);
+    }
+    return bytes;
   }
 
   /// Remaining time-to-live at `now` given the query window.
@@ -127,23 +177,33 @@ class Run {
 
   /// Checkpoint codec. Events are interned into `table` (deduplicated across
   /// the run set, so shared events snapshot once) and bindings encode as
-  /// table indices. Not virtual: runs are hot objects and gain no vtable for
-  /// checkpointing; the engine's run-set StateComponent drives this.
+  /// table indices, oldest-first — the same wire format as the
+  /// shared_ptr<vector> layout this replaced, so pre-refactor snapshots
+  /// restore unchanged. Not virtual: runs are hot objects and gain no vtable
+  /// for checkpointing; the engine's run-set StateComponent drives this.
   Status SerializeTo(ckpt::Sink& sink, ckpt::EventTableBuilder* table) const;
 
   /// Rebuilds a run from `source`, resolving bindings through `table`. The
-  /// run is drawn from `arena` when one is given, else from the heap.
+  /// run is drawn from `arena` when one is given, else from the heap; chain
+  /// cells come from `pool` when one is given.
   static Result<RunPtr> RestoreFrom(ckpt::Source& source,
                                     const ckpt::EventTable& table,
-                                    RunArena* arena);
+                                    RunArena* arena,
+                                    BindingCellPool* pool = nullptr);
 
  private:
+  /// Appends one chain cell for `event` on `var_index` without touching the
+  /// run scalars (Bind and RestoreFrom share this).
+  void AppendEvent(int var_index, EventPtr event, BindingCellPool* pool);
+
   uint64_t id_;
-  int state_;
+  int32_t state_;
   Timestamp start_ts_;
   Timestamp last_ts_ = 0;
-  int size_ = 0;
-  std::vector<BindingPtr> bindings_;
+  int32_t size_ = 0;
+  int32_t num_vars_;
+  VarBinding* vars_;  ///< = inline_vars_, or a heap row when num_vars_ > kInlineVars
+  VarBinding inline_vars_[kInlineVars];
   std::vector<uint64_t> trail_;
   uint64_t pm_hash_ = 0;
 };
@@ -170,23 +230,19 @@ class RunBindingView final : public BindingView {
 
   const Event* Single(int var_index) const override {
     if (var_index == current_var_ && current_ != nullptr) return current_;
-    const auto& events = run_.binding(var_index);
-    return events.empty() ? nullptr : events.front().get();
+    return run_.first_event(var_index);
   }
 
   int KleeneCount(int var_index) const override {
-    int n = static_cast<int>(run_.binding(var_index).size());
+    int n = static_cast<int>(run_.binding_count(var_index));
     if (var_index == current_var_ && current_ != nullptr) ++n;
     return n;
   }
 
   const Event* KleeneAt(int var_index, int idx) const override {
-    const auto& events = run_.binding(var_index);
-    if (idx >= 0 && idx < static_cast<int>(events.size())) {
-      return events[idx].get();
-    }
-    if (var_index == current_var_ && current_ != nullptr &&
-        idx == static_cast<int>(events.size())) {
+    const int n = static_cast<int>(run_.binding_count(var_index));
+    if (idx >= 0 && idx < n) return run_.kleene_event(var_index, idx);
+    if (var_index == current_var_ && current_ != nullptr && idx == n) {
       return current_;
     }
     return nullptr;

@@ -10,6 +10,7 @@
 #include "ckpt/io.h"
 #include "ckpt/state_component.h"
 #include "common/status.h"
+#include "engine/binding_slab.h"
 #include "engine/run.h"
 
 namespace cep {
@@ -35,9 +36,11 @@ namespace cep {
 class RunArena : public ckpt::StateComponent {
  public:
   /// Slots are allocated `runs_per_block` at a time; 0 disables pooling
-  /// (New() falls back to the global heap, Release() to delete).
+  /// (New() falls back to the global heap, Release() to delete, and
+  /// cell_pool() reports null so binding chains also go to the heap).
   explicit RunArena(size_t runs_per_block = 512)
-      : runs_per_block_(runs_per_block) {}
+      : runs_per_block_(runs_per_block),
+        cells_(runs_per_block == 0 ? 1024 : runs_per_block * 2) {}
 
   ~RunArena() {
     // All runs must have been released; the engine destroys its run vectors
@@ -76,8 +79,27 @@ class RunArena : public ckpt::StateComponent {
   /// Total slots reserved across all blocks.
   size_t capacity() const { return blocks_.size() * runs_per_block_; }
 
-  /// Bytes reserved by the arena's blocks (0 when pooling is disabled).
+  /// Bytes reserved by the arena's run-slot blocks (0 when pooling is
+  /// disabled). The binding-cell slab is reported separately
+  /// (cell_bytes_reserved()) and deliberately kept out of the checkpointed
+  /// arena_bytes_reserved metric: a restored run set rebuilds its chains
+  /// without cross-run sharing, so slab capacity is not restore-deterministic
+  /// the way slot capacity is.
   size_t bytes_reserved() const { return capacity() * sizeof(Slot); }
+
+  /// Bytes reserved by the binding-cell slab (obs only; see above).
+  size_t cell_bytes_reserved() const {
+    return runs_per_block_ == 0 ? 0 : cells_.bytes_reserved();
+  }
+
+  /// Binding-cell slab shared by this arena's runs, or null when pooling is
+  /// disabled (chain cells then come from the heap).
+  BindingCellPool* cell_pool() {
+    return runs_per_block_ == 0 ? nullptr : &cells_;
+  }
+  const BindingCellPool* cell_pool() const {
+    return runs_per_block_ == 0 ? nullptr : &cells_;
+  }
 
   /// Returns all blocks to the heap. May only be called with no live runs;
   /// the next New() starts growing fresh blocks.
@@ -85,6 +107,7 @@ class RunArena : public ckpt::StateComponent {
     assert(live_ == 0 && "RunArena::Reset with live runs");
     blocks_.clear();
     free_ = nullptr;
+    cells_.Reset();
   }
 
   /// Checkpoint codec. The arena's blocks and free list are allocator
@@ -141,6 +164,10 @@ class RunArena : public ckpt::StateComponent {
   std::vector<std::unique_ptr<Slot[]>> blocks_;
   Slot* free_ = nullptr;
   size_t live_ = 0;
+  /// Chain cells for this arena's runs. Declared after the run blocks only
+  /// for layout; destruction order is irrelevant because the engine releases
+  /// all runs (and thereby all cells) before the arena dies.
+  BindingCellPool cells_;
 };
 
 }  // namespace cep

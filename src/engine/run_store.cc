@@ -1,0 +1,175 @@
+#include "engine/run_store.h"
+
+#include "common/string_util.h"
+
+namespace cep {
+
+HotCell EncodeHotValue(const Value& value) {
+  HotCell cell;
+  switch (value.type()) {
+    case ValueType::kNull:
+      cell.tag = kHotNull;
+      break;
+    case ValueType::kInt:
+      cell.tag = kHotInt;
+      cell.i = value.int_value();
+      cell.d = static_cast<double>(value.int_value());
+      break;
+    case ValueType::kDouble:
+      cell.tag = kHotDouble;
+      cell.d = value.double_value();
+      break;
+    default:
+      cell.tag = kHotOther;
+      break;
+  }
+  return cell;
+}
+
+HotCell EncodeHotAttr(const Event* event, int attr_index) {
+  if (event == nullptr) return HotCell{};
+  if (attr_index < 0 ||
+      static_cast<size_t>(attr_index) >= event->num_attributes()) {
+    // Malformed/corrupted payload: let the generic interpreter decide.
+    HotCell cell;
+    cell.tag = kHotOther;
+    return cell;
+  }
+  return EncodeHotValue(event->attribute(attr_index));
+}
+
+void RunStore::Gather(size_t i, const Run& run) {
+  states_[i] = static_cast<int32_t>(run.state());
+  start_ts_[i] = run.start_ts();
+  last_ts_[i] = run.last_ts();
+  sizes_[i] = run.size();
+  if (plan_ == nullptr) return;
+  for (size_t k = 0; k < plan_->size(); ++k) {
+    const HotAttr& attr = (*plan_)[k];
+    const Event* event =
+        attr.last ? run.last_event(attr.var) : run.first_event(attr.var);
+    hot_[k][i] = EncodeHotAttr(event, attr.attr_index);
+  }
+}
+
+void RunStore::Push(RunPtr run) {
+  const size_t i = slots_.size();
+  slots_.push_back(std::move(run));
+  states_.resize(i + 1);
+  start_ts_.resize(i + 1);
+  last_ts_.resize(i + 1);
+  sizes_.resize(i + 1);
+  for (auto& column : hot_) column.resize(i + 1);
+  live_.Resize(i + 1);
+  victims_.Resize(i + 1);
+  live_.Set(i);
+  victims_.Clear(i);
+  Gather(i, *slots_[i]);
+}
+
+void RunStore::Refresh(size_t i) { Gather(i, *slots_[i]); }
+
+void RunStore::Kill(size_t i) {
+  slots_[i].reset();
+  live_.Clear(i);
+}
+
+void RunStore::MarkVictim(size_t i) {
+  victims_.Set(i);
+  Kill(i);
+}
+
+void RunStore::Compact() {
+  size_t out = 0;
+  const size_t n = slots_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (slots_[i] == nullptr) continue;
+    if (out != i) {
+      slots_[out] = std::move(slots_[i]);
+      states_[out] = states_[i];
+      start_ts_[out] = start_ts_[i];
+      last_ts_[out] = last_ts_[i];
+      sizes_[out] = sizes_[i];
+      for (auto& column : hot_) column[out] = column[i];
+    }
+    ++out;
+  }
+  slots_.resize(out);
+  states_.resize(out);
+  start_ts_.resize(out);
+  last_ts_.resize(out);
+  sizes_.resize(out);
+  for (auto& column : hot_) column.resize(out);
+  live_.Resize(out);
+  victims_.Resize(out);
+  // Every surviving row is live by construction; victim bits die with the
+  // episode that set them.
+  for (size_t i = 0; i < out; ++i) live_.Set(i);
+  victims_.ClearAll();
+}
+
+void RunStore::Clear() {
+  slots_.clear();
+  states_.clear();
+  start_ts_.clear();
+  last_ts_.clear();
+  sizes_.clear();
+  for (auto& column : hot_) column.clear();
+  live_.Resize(0);
+  victims_.Resize(0);
+}
+
+Status RunStore::CheckConsistency(size_t deep_limit) const {
+  const size_t n = slots_.size();
+  if (states_.size() != n || start_ts_.size() != n || last_ts_.size() != n ||
+      sizes_.size() != n || live_.bit_count() != n ||
+      victims_.bit_count() != n) {
+    return Status::Internal(StrFormat(
+        "run store columns out of step: %zu slots, %zu states, %zu live bits",
+        n, states_.size(), live_.bit_count()));
+  }
+  for (const auto& column : hot_) {
+    if (column.size() != n) {
+      return Status::Internal("run store hot column out of step");
+    }
+  }
+  size_t checked = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool has_run = slots_[i] != nullptr;
+    if (live_.Get(i) != has_run) {
+      return Status::Internal(
+          StrFormat("live mask disagrees with slot %zu", i));
+    }
+    if (!has_run || checked >= deep_limit) continue;
+    ++checked;
+    const Run& run = *slots_[i];
+    if (states_[i] != run.state() || start_ts_[i] != run.start_ts() ||
+        last_ts_[i] != run.last_ts() || sizes_[i] != run.size()) {
+      return Status::Internal(StrFormat(
+          "run store scalar column stale at row %zu (run#%llu)", i,
+          static_cast<unsigned long long>(run.id())));
+    }
+    if (plan_ != nullptr) {
+      for (size_t k = 0; k < plan_->size(); ++k) {
+        const HotAttr& attr = (*plan_)[k];
+        const Event* event = attr.last ? run.last_event(attr.var)
+                                       : run.first_event(attr.var);
+        const HotCell expect = EncodeHotAttr(event, attr.attr_index);
+        const HotCell& got = hot_[k][i];
+        const bool same =
+            expect.tag == got.tag &&
+            (expect.tag != kHotInt || expect.i == got.i) &&
+            (expect.tag != kHotDouble ||
+             (expect.d == got.d || (expect.d != expect.d && got.d != got.d)));
+        if (!same) {
+          return Status::Internal(StrFormat(
+              "run store hot column %zu stale at row %zu (run#%llu)", k, i,
+              static_cast<unsigned long long>(run.id())));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cep

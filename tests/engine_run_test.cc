@@ -32,14 +32,18 @@ TEST_F(RunTest, BindSetsTimestampsAndState) {
 }
 
 TEST_F(RunTest, ExtendSharesUnchangedBindingsCopyOnWrite) {
+  BindingCellPool pool;
   ::cep::Run parent(1, 2, 0, 0);
-  parent.Bind(0, fixture_.Req(1, 1, 2), 1);
-  parent.Bind(1, fixture_.Avail(2, 1, 3), 1);
+  parent.Bind(0, fixture_.Req(1, 1, 2), 1, &pool);
+  parent.Bind(1, fixture_.Avail(2, 1, 3), 1, &pool);
+  ASSERT_EQ(pool.live(), 2u);
   const EventPtr extra = fixture_.Avail(3, 1, 4);
   auto child = parent.Extend(2, 1, extra, 1);
-  // Unchanged variable shares storage; the extended one does not alias.
-  EXPECT_EQ(&parent.binding(0), &child->binding(0));
-  EXPECT_NE(&parent.binding(1), &child->binding(1));
+  // Extending retains the parent's chains and appends exactly one cell
+  // (heap-allocated here: no arena was given) — no pooled cell is copied.
+  EXPECT_EQ(pool.live(), 2u);
+  EXPECT_EQ(parent.first_event(0), child->first_event(0));
+  EXPECT_EQ(parent.first_event(1), child->first_event(1));
   // The parent is untouched by the child's extension.
   EXPECT_EQ(parent.binding(1).size(), 1u);
   EXPECT_EQ(child->binding(1).size(), 2u);

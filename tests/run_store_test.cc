@@ -1,0 +1,394 @@
+// Tests for the flat SoA run storage behind batched predicate evaluation:
+// the pooled binding-cell slab (COW chains), the run arena's slot free list,
+// the InlineBitmap masks, the RunStore columns, the BatchEvalPlan compiler,
+// and stability of the run section's snapshot wire format.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/event_codec.h"
+#include "ckpt/io.h"
+#include "common/inline_bitmap.h"
+#include "engine/batch_eval.h"
+#include "engine/binding_slab.h"
+#include "engine/engine.h"
+#include "engine/run.h"
+#include "engine/run_arena.h"
+#include "engine/run_store.h"
+#include "test_util.h"
+
+namespace cep {
+namespace {
+
+using testing_util::BikeSchema;
+
+// --- binding-cell slab ------------------------------------------------------
+
+TEST(BindingCellPoolTest, BlockExhaustionAndFreeListReuse) {
+  BikeSchema schema;
+  const EventPtr event = schema.Req(1, 2, 3);
+  BindingCellPool pool(/*cells_per_block=*/4);
+  std::vector<BindingCell*> cells;
+  for (int i = 0; i < 9; ++i) {
+    cells.push_back(NewBindingCell(&pool, event, nullptr));
+  }
+  EXPECT_EQ(pool.live(), 9u);
+  EXPECT_EQ(pool.peak_live(), 9u);
+  const size_t capacity = pool.capacity();
+  EXPECT_GE(capacity, 9u);
+  const size_t bytes = pool.bytes_reserved();
+  EXPECT_EQ(bytes, capacity * sizeof(BindingCell));
+
+  for (BindingCell* cell : cells) ReleaseBindingChain(cell);
+  cells.clear();
+  EXPECT_EQ(pool.live(), 0u);
+
+  // Refilling up to the old population must be pure free-list reuse.
+  for (size_t i = 0; i < capacity; ++i) {
+    cells.push_back(NewBindingCell(&pool, event, nullptr));
+  }
+  EXPECT_EQ(pool.capacity(), capacity);
+  // One past capacity exhausts the free list and grows a fresh block.
+  cells.push_back(NewBindingCell(&pool, event, nullptr));
+  EXPECT_EQ(pool.capacity(), capacity + 4);
+  EXPECT_EQ(pool.peak_live(), capacity + 1);
+  for (BindingCell* cell : cells) ReleaseBindingChain(cell);
+}
+
+TEST(BindingCellPoolTest, ReleaseWalksSharedChainsByRefcount) {
+  BikeSchema schema;
+  BindingCellPool pool(/*cells_per_block=*/8);
+  // parent chain: e1 <- e2 ; two children each append one cell onto e2.
+  BindingCell* e1 = NewBindingCell(&pool, schema.Req(1, 1, 1), nullptr);
+  BindingCell* e2 = NewBindingCell(&pool, schema.Req(2, 1, 1), e1);
+  RetainBindingChain(e2);  // second owner of the shared prefix
+  BindingCell* childa = NewBindingCell(&pool, schema.Req(3, 1, 1), e2);
+  BindingCell* childb = NewBindingCell(&pool, schema.Req(4, 1, 1), e2);
+  EXPECT_EQ(pool.live(), 4u);
+  ReleaseBindingChain(childa);
+  // The shared prefix survives: only child A's own cell was freed.
+  EXPECT_EQ(pool.live(), 3u);
+  ReleaseBindingChain(childb);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+// --- run arena slot free list ----------------------------------------------
+
+TEST(RunArenaTest, SlotReuseAndFreeListExhaustion) {
+  RunArena arena(/*runs_per_block=*/4);
+  std::vector<RunPtr> runs;
+  for (int i = 0; i < 10; ++i) {
+    runs.push_back(arena.New(static_cast<uint64_t>(i), 2, 0, Timestamp{0}));
+  }
+  EXPECT_EQ(arena.live(), 10u);
+  EXPECT_EQ(arena.capacity(), 12u);  // three blocks of four
+  runs.clear();
+  EXPECT_EQ(arena.live(), 0u);
+
+  // Recycling: refilling to capacity pops the free list, no new block.
+  for (int i = 0; i < 12; ++i) {
+    runs.push_back(arena.New(static_cast<uint64_t>(100 + i), 2, 0,
+                             Timestamp{0}));
+  }
+  EXPECT_EQ(arena.capacity(), 12u);
+  // The 13th allocation exhausts the free list and grows a block.
+  runs.push_back(arena.New(999, 2, 0, Timestamp{0}));
+  EXPECT_EQ(arena.capacity(), 16u);
+  EXPECT_EQ(arena.live(), 13u);
+}
+
+TEST(RunArenaTest, EngineExtensionSharesChainCellsCopyOnWrite) {
+  BikeSchema schema;
+  NfaPtr nfa = schema.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE c.uid = a.uid WITHIN 10 min "
+      "RETURN out(u = a.uid)");
+  ASSERT_NE(nfa, nullptr);
+  Engine engine(nfa, EngineOptions{});  // arena pooling on by default
+  Timestamp ts = kMinute;
+  CEP_ASSERT_OK(engine.ProcessEvent(schema.Req(++ts, 1, 7)));
+  for (int i = 0; i < 5; ++i) {
+    CEP_ASSERT_OK(engine.ProcessEvent(schema.Avail(++ts, 1, 100 + i)));
+  }
+  const BindingCellPool* cells = engine.arena().cell_pool();
+  ASSERT_NE(cells, nullptr);
+  size_t bound_sum = 0;
+  for (const RunPtr& run : engine.runs()) {
+    bound_sum += static_cast<size_t>(run->size());
+  }
+  // Skip-till-any-match branching: chains are shared copy-on-write, so the
+  // slab holds far fewer cells than the per-run binding totals suggest.
+  EXPECT_GT(engine.num_runs(), 2u);
+  EXPECT_LT(cells->live(), bound_sum);
+  // Each bind appends exactly one cell: live cells == binds performed.
+  const EngineMetrics& m = engine.metrics();
+  EXPECT_EQ(cells->live(), m.runs_created + m.runs_extended);
+}
+
+// --- inline bitmap ----------------------------------------------------------
+
+TEST(InlineBitmapTest, InlineSpillShrinkRegrow) {
+  InlineBitmap bm;
+  EXPECT_EQ(bm.bit_count(), 0u);
+  bm.Resize(64);
+  bm.Set(0);
+  bm.Set(63);
+  EXPECT_TRUE(bm.Get(0));
+  EXPECT_TRUE(bm.Get(63));
+  EXPECT_FALSE(bm.Get(31));
+  EXPECT_EQ(bm.CountSet(), 2u);
+
+  bm.Resize(200);  // spills past the inline words; bits preserved
+  EXPECT_TRUE(bm.Get(0));
+  EXPECT_TRUE(bm.Get(63));
+  bm.Set(199);
+  EXPECT_EQ(bm.CountSet(), 3u);
+
+  bm.Resize(50);  // shrink zeroes the dropped tail, including bit 63
+  EXPECT_EQ(bm.CountSet(), 1u);
+  bm.Resize(200);  // stale bits must not resurface
+  EXPECT_FALSE(bm.Get(63));
+  EXPECT_FALSE(bm.Get(199));
+  EXPECT_EQ(bm.CountSet(), 1u);
+
+  bm.Clear(0);
+  EXPECT_EQ(bm.CountSet(), 0u);
+  bm.Set(130);
+  bm.ClearAll();
+  EXPECT_EQ(bm.CountSet(), 0u);
+}
+
+// --- run store columns ------------------------------------------------------
+
+TEST(RunStoreTest, EncodeHotValueTags) {
+  EXPECT_EQ(EncodeHotValue(Value()).tag, kHotNull);
+  const HotCell i = EncodeHotValue(Value(int64_t{42}));
+  EXPECT_EQ(i.tag, kHotInt);
+  EXPECT_EQ(i.i, 42);
+  EXPECT_EQ(i.d, 42.0);  // both representations, int-int stays exact
+  const HotCell d = EncodeHotValue(Value(2.5));
+  EXPECT_EQ(d.tag, kHotDouble);
+  EXPECT_EQ(d.d, 2.5);
+  EXPECT_EQ(EncodeHotValue(Value(true)).tag, kHotOther);
+  EXPECT_EQ(EncodeHotValue(Value("text")).tag, kHotOther);
+  // Null event / out-of-range attribute route to null / interpreter.
+  EXPECT_EQ(EncodeHotAttr(nullptr, 0).tag, kHotNull);
+  BikeSchema schema;
+  const EventPtr event = schema.Req(1, 5, 6);
+  EXPECT_EQ(EncodeHotAttr(event.get(), 1).tag, kHotInt);
+  EXPECT_EQ(EncodeHotAttr(event.get(), 99).tag, kHotOther);
+}
+
+TEST(RunStoreTest, PushKillRefreshCompactKeepColumnsInStep) {
+  BikeSchema schema;
+  RunStore store;
+  const std::vector<HotAttr> plan{{0, 1, /*last=*/false}};  // a.uid
+  store.SetHotPlan(&plan);
+
+  for (int i = 0; i < 5; ++i) {
+    RunPtr run = MakeRun(static_cast<uint64_t>(i + 1), 2, 0, Timestamp{0});
+    run->Bind(0, schema.Req(10 + i, 1, 100 + i), 1);
+    store.Push(std::move(run));
+  }
+  ASSERT_EQ(store.size(), 5u);
+  CEP_EXPECT_OK(store.CheckConsistency(100));
+  EXPECT_EQ(store.live_mask().CountSet(), 5u);
+  EXPECT_EQ(store.states()[2], 1);
+  EXPECT_EQ(store.hot(0)[2].i, 102);
+
+  // Mutating a run behind the store's back must be caught...
+  store.at(2)->Bind(1, schema.Unlock(20, 1, 102, 1), 2);
+  EXPECT_FALSE(store.CheckConsistency(100).ok());
+  // ...and Refresh re-gathers the row.
+  store.Refresh(2);
+  CEP_EXPECT_OK(store.CheckConsistency(100));
+  EXPECT_EQ(store.states()[2], 2);
+
+  store.Kill(1);
+  store.MarkVictim(3);
+  EXPECT_EQ(store.live_mask().CountSet(), 3u);
+  EXPECT_EQ(store.victim_mask().CountSet(), 1u);
+  EXPECT_TRUE(store.victim_mask().Get(3));
+  CEP_EXPECT_OK(store.CheckConsistency(100));
+
+  store.Compact();
+  ASSERT_EQ(store.size(), 3u);
+  // Stable order: survivors are runs 1, 3, 5 by id.
+  EXPECT_EQ(store.at(0)->id(), 1u);
+  EXPECT_EQ(store.at(1)->id(), 3u);
+  EXPECT_EQ(store.at(2)->id(), 5u);
+  EXPECT_EQ(store.hot(0)[1].i, 102);
+  // Victim bits die with the episode that set them.
+  EXPECT_EQ(store.victim_mask().CountSet(), 0u);
+  EXPECT_EQ(store.live_mask().CountSet(), 3u);
+  CEP_EXPECT_OK(store.CheckConsistency(100));
+
+  store.Clear();
+  EXPECT_TRUE(store.empty());
+  CEP_EXPECT_OK(store.CheckConsistency(100));
+}
+
+// --- batch evaluation plan --------------------------------------------------
+
+TEST(BatchEvalTest, CompilesComparisonAndDiffPredicates) {
+  BikeSchema schema;
+  NfaPtr nfa = schema.Compile(
+      "PATTERN SEQ(req a, unlock c) "
+      "WHERE c.uid = a.uid, diff(c.loc, a.loc) > 5 WITHIN 10 min");
+  ASSERT_NE(nfa, nullptr);
+  BatchEvalPlan plan;
+  plan.Compile(*nfa);
+  EXPECT_GT(plan.fast_edge_count(), 0u);
+  // Hot run-side operands: a.uid and a.loc, one column slot each.
+  EXPECT_EQ(plan.hot_plan().size(), 2u);
+}
+
+TEST(BatchEvalTest, AggregatePredicatesStayOnTheInterpreter) {
+  BikeSchema schema;
+  NfaPtr nfa = schema.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE diff(b[i].loc, a.loc) < 5, COUNT(b[]) > 2, c.uid = a.uid "
+      "WITHIN 10 min");
+  ASSERT_NE(nfa, nullptr);
+  BatchEvalPlan plan;
+  plan.Compile(*nfa);
+  // COUNT(b[]) is not a plain comparison of gatherable operands: its edge
+  // must fall back, while at least one other edge compiles fast.
+  EXPECT_GT(plan.fast_edge_count(), 0u);
+  EXPECT_LT(plan.fast_edge_count(), plan.total_edge_count());
+}
+
+TEST(BatchEvalTest, EngineCountsFastPathEdgesAndMatchesStayExact) {
+  BikeSchema schema;
+  NfaPtr nfa = schema.Compile(
+      "PATTERN SEQ(req a, unlock c) WHERE c.uid = a.uid WITHIN 10 min "
+      "RETURN out(u = a.uid)");
+  ASSERT_NE(nfa, nullptr);
+  EngineOptions options;
+  Engine engine(nfa, options);
+  EXPECT_EQ(engine.metrics().hot_attr_slots, 1u);  // a.uid
+  Timestamp ts = kMinute;
+  for (int i = 0; i < 8; ++i) {
+    CEP_ASSERT_OK(engine.ProcessEvent(schema.Req(++ts, 1, i)));
+  }
+  // One matching unlock (uid 3) and one that matches nothing.
+  CEP_ASSERT_OK(engine.ProcessEvent(schema.Unlock(++ts, 1, 3, 1)));
+  CEP_ASSERT_OK(engine.ProcessEvent(schema.Unlock(++ts, 1, -1, 1)));
+  EXPECT_EQ(engine.metrics().matches_emitted, 1u);
+  // Every take-edge evaluation of `c.uid = a.uid` ran on the fast path.
+  EXPECT_GT(engine.metrics().fast_path_edges, 0u);
+  EXPECT_LE(engine.metrics().fast_path_edges,
+            engine.metrics().edge_evaluations);
+  CEP_EXPECT_OK(engine.VerifyInvariants());
+}
+
+// --- snapshot wire format ---------------------------------------------------
+
+/// Hand-authors one run section exactly as the pre-refactor
+/// shared_ptr<vector> layout wrote it, restores it through the flat-layout
+/// Run, and re-serializes: the bytes must survive unchanged (including an
+/// over-reserved trail capacity).
+TEST(RunSnapshotTest, PreRefactorRunSectionRestoresAndReserializesByteIdentical) {
+  BikeSchema schema;
+  const EventPtr e1 = schema.Req(100, 1, 7);
+  const EventPtr e2 = schema.Avail(130, 1, 41);
+  const EventPtr e3 = schema.Avail(190, 1, 42);
+
+  ckpt::EventTableBuilder builder;
+  ckpt::Sink run_sink;
+  run_sink.WriteU64(7);      // id
+  run_sink.WriteI64(3);      // state
+  run_sink.WriteI64(100);    // start_ts
+  run_sink.WriteI64(190);    // last_ts
+  run_sink.WriteI64(3);      // size
+  run_sink.WriteU64(0xabc);  // pm_hash
+  run_sink.WriteU32(3);      // num_vars
+  run_sink.WriteU8(1);       // var 0 present
+  run_sink.WriteU32(1);
+  run_sink.WriteU32(builder.Intern(e1));
+  run_sink.WriteU8(1);  // var 1: Kleene binding, oldest first
+  run_sink.WriteU32(2);
+  run_sink.WriteU32(builder.Intern(e2));
+  run_sink.WriteU32(builder.Intern(e3));
+  run_sink.WriteU8(0);  // var 2 unbound
+  run_sink.WriteU32(2);  // trail size
+  run_sink.WriteU32(8);  // trail capacity (over-reserved by the old writer)
+  run_sink.WriteU64(11);
+  run_sink.WriteU64(22);
+
+  ckpt::Sink full;
+  builder.Serialize(full);
+  full.WriteBytes(run_sink.bytes().data(), run_sink.size());
+
+  ckpt::Source source(full.bytes());
+  ckpt::EventTable table;
+  CEP_ASSERT_OK(table.RestoreFrom(source));
+  CEP_ASSERT_OK_AND_ASSIGN(RunPtr run,
+                           Run::RestoreFrom(source, table, nullptr));
+  EXPECT_EQ(run->id(), 7u);
+  EXPECT_EQ(run->state(), 3);
+  EXPECT_EQ(run->start_ts(), 100);
+  EXPECT_EQ(run->last_ts(), 190);
+  EXPECT_EQ(run->size(), 3);
+  EXPECT_EQ(run->pm_hash(), 0xabcu);
+  EXPECT_EQ(run->binding_count(0), 1u);
+  ASSERT_EQ(run->binding_count(1), 2u);
+  EXPECT_EQ(run->first_event(1)->timestamp(), 130);
+  EXPECT_EQ(run->last_event(1)->timestamp(), 190);
+  EXPECT_EQ(run->binding_count(2), 0u);
+  EXPECT_EQ(run->trail(), (std::vector<uint64_t>{11, 22}));
+
+  ckpt::EventTableBuilder builder2;
+  ckpt::Sink out;
+  CEP_ASSERT_OK(run->SerializeTo(out, &builder2));
+  EXPECT_EQ(out.bytes(), run_sink.bytes());
+}
+
+TEST(RunSnapshotTest, EngineSnapshotRoundTripIsByteIdentical) {
+  BikeSchema schema;
+  NfaPtr nfa = schema.Compile(
+      "PATTERN SEQ(req a, avail+ b[], unlock c) "
+      "WHERE c.uid = a.uid WITHIN 10 min "
+      "RETURN out(u = a.uid)");
+  ASSERT_NE(nfa, nullptr);
+  EngineOptions options;
+  options.collect_matches = true;
+  Engine writer(nfa, options);
+  Timestamp ts = kMinute;
+  for (int i = 0; i < 24; ++i) {
+    switch (i % 4) {
+      case 0:
+        CEP_ASSERT_OK(writer.OfferEvent(schema.Req(++ts, i % 3, i % 5)));
+        break;
+      case 3:
+        CEP_ASSERT_OK(
+            writer.OfferEvent(schema.Unlock(++ts, i % 3, (i - 3) % 5, 1)));
+        break;
+      default:
+        CEP_ASSERT_OK(writer.OfferEvent(schema.Avail(++ts, i % 3, i)));
+        break;
+    }
+  }
+  ASSERT_GT(writer.num_runs(), 0u);
+  CEP_ASSERT_OK_AND_ASSIGN(std::string snap1, writer.SerializeSnapshot());
+
+  Engine reader(nfa, options);
+  CEP_ASSERT_OK(reader.RestoreFromSnapshot(snap1));
+  CEP_ASSERT_OK(reader.VerifyInvariants());
+  CEP_ASSERT_OK_AND_ASSIGN(std::string snap2, reader.SerializeSnapshot());
+  EXPECT_EQ(snap1, snap2);
+
+  // The restored engine must also continue identically.
+  for (int i = 0; i < 10; ++i) {
+    const EventPtr event = schema.Unlock(++ts, i % 3, i % 5, 1);
+    CEP_ASSERT_OK(writer.OfferEvent(event));
+    CEP_ASSERT_OK(reader.OfferEvent(event));
+  }
+  EXPECT_EQ(writer.metrics().ToString(), reader.metrics().ToString());
+  EXPECT_EQ(writer.matches().size(), reader.matches().size());
+}
+
+}  // namespace
+}  // namespace cep

@@ -1,10 +1,13 @@
 #!/bin/sh
-# Sanitized verification pass, two builds:
+# Sanitized verification pass, three builds:
 #   1. build-sanitize/  — ASan+UBSan, full test suite (memory/UB coverage for
 #      the fault-injection and resilience paths), plus the fuzz corpus
 #      replays and a differential stress sweep (docs/FUZZING.md).
 #   2. build-tsan/      — ThreadSanitizer, the Parallel* suites (data-race
 #      coverage for the worker pool, run sharding, and MultiEngine fan-out).
+#   3. build-release/   — -O2 -DNDEBUG, full test suite (assert-free paths)
+#      and a bench_micro_engine throughput smoke that fails on a >20%
+#      single-thread regression vs the committed BENCH_parallel.json.
 # Each build also runs the CLI on an example workload with the observability
 # exports enabled and validates them with validate_obs (schema regressions
 # and instrumentation races surface here), then writes checkpoints and
@@ -82,6 +85,33 @@ server_check() {
   "$1/tools/stress_engine" --server --configs 10 --seed 11
 }
 
+# perf_check BUILD_DIR — throughput smoke against the committed baseline:
+# re-run the bench_micro_engine parallel sweep (Release build) and fail when
+# single-thread events/sec drops more than 20% below the checked-in
+# BENCH_parallel.json. Catches hot-path regressions (run storage, predicate
+# fast path) that no correctness test would notice.
+perf_check() {
+  PERF_DIR="$(mktemp -d)"
+  (cd "$PERF_DIR" && "$1/bench/bench_micro_engine" --benchmark_filter=NONE \
+      > /dev/null)
+  ROW='s/.*"threads": 1, "batch": 1, "events_per_sec": \([0-9.]*\).*/\1/p'
+  NEW="$(sed -n "$ROW" "$PERF_DIR/BENCH_parallel.json")"
+  BASE="$(sed -n "$ROW" "$ROOT/BENCH_parallel.json")"
+  rm -rf "$PERF_DIR"
+  awk -v new="$NEW" -v base="$BASE" 'BEGIN {
+    if (new == "" || base == "") {
+      print "error: perf smoke could not parse events_per_sec" > "/dev/stderr"
+      exit 1
+    }
+    if (new + 0 < 0.8 * base) {
+      printf "error: perf smoke: single-thread %.1f ev/s is >20%% below the \
+committed baseline %.1f ev/s (BENCH_parallel.json)\n", new, base > "/dev/stderr"
+      exit 1
+    }
+    printf "perf smoke ok: single-thread %.1f ev/s (baseline %.1f)\n", new, base
+  }'
+}
+
 # fuzz_check BUILD_DIR — differential stress sweep plus, when the toolchain
 # supports -fsanitize=fuzzer (clang), a short coverage-guided run of each
 # fuzz target over its checked-in corpus. The corpus-replay ctest entries
@@ -125,5 +155,18 @@ cmake --build "$TSAN_BUILD" -j "$JOBS"
 obs_check "$TSAN_BUILD"
 ckpt_check "$TSAN_BUILD"
 server_check "$TSAN_BUILD"
+
+# Release pass: the suite again under -O2 -DNDEBUG (assert-free code paths,
+# optimizer-exposed UB) plus the throughput smoke against the committed
+# baseline.
+REL_BUILD="$ROOT/build-release"
+configure "$REL_BUILD" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG" \
+    -DCEPSHED_BUILD_BENCHMARKS=ON \
+    -DCEPSHED_BUILD_EXAMPLES=OFF
+cmake --build "$REL_BUILD" -j "$JOBS"
+(cd "$REL_BUILD" && ctest --output-on-failure -j "$JOBS")
+perf_check "$REL_BUILD"
 
 echo "sanitized check ok"
