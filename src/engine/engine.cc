@@ -11,6 +11,7 @@
 #include "ckpt/event_codec.h"
 #include "ckpt/io.h"
 #include "common/string_util.h"
+#include "engine/shadow.h"
 #include "shedding/adaptive.h"
 
 namespace cep {
@@ -297,6 +298,17 @@ Engine::Engine(NfaPtr nfa, EngineOptions options, ShedderPtr shedder)
         std::make_shared<EventSchema>(spec.event_name, std::move(attrs));
   }
   if (shedder_ != nullptr) shedder_->Attach(*nfa_);
+  if (options_.quality.slo.enabled) {
+    slo_ = std::make_unique<obs::ThetaSloMonitor>(
+        options_.quality.slo.windows, options_.quality.slo.budget_fraction);
+  }
+  if (options_.quality.calibration.enabled) {
+    calibration_ = std::make_unique<obs::CalibrationMonitor>(
+        options_.quality.calibration.num_buckets);
+  }
+  if (options_.quality.shadow.enabled()) {
+    shadow_ = std::make_unique<ShadowOracle>(nfa_, options_);
+  }
   core_component_ = std::make_unique<CoreComponent>(this);
   runs_component_ = std::make_unique<RunSetComponent>(this);
   matches_component_ = std::make_unique<MatchesComponent>(this);
@@ -362,6 +374,10 @@ Result<bool> Engine::TryEmit(const Run& run, Timestamp now) {
   }
   ++metrics_.matches_emitted;
   if (shedder_ != nullptr) shedder_->OnMatchEmitted(run, now);
+  if (shadow_ != nullptr) {
+    shadow_->NotePrimaryMatch(match.fingerprint, match.first_ts,
+                              match.last_ts);
+  }
   if (match_callback_) match_callback_(match);
   if (options_.collect_matches) matches_.push_back(std::move(match));
   return true;
@@ -450,10 +466,12 @@ Status Engine::ApplyDecisions(const EventPtr& event, Timestamp now,
       if ((decision.flags & kDecisionExpired) != 0) {
         // A run waiting at a deferred final state (trailing negation) is
         // confirmed by its window closing without a violation: emit now.
+        bool emitted = false;
         if (nfa_->state(run->state()).deferred_final) {
-          CEP_RETURN_NOT_OK(TryEmit(*run, now).status());
+          CEP_ASSIGN_OR_RETURN(emitted, TryEmit(*run, now));
         }
         if (shedder_ != nullptr) shedder_->OnRunExpired(*run, now);
+        NoteRunOutcome(*run, now, emitted);
         ++metrics_.runs_expired;
         run_store_.Kill(i);
         *live_bytes -= run_bytes;
@@ -493,6 +511,7 @@ Status Engine::ApplyDecisions(const EventPtr& event, Timestamp now,
           if (keep) {
             new_runs_.push_back(std::move(child));
           } else {
+            NoteRunOutcome(*child, now, /*completed=*/true);
             ++metrics_.runs_completed;
           }
         } else {
@@ -505,6 +524,7 @@ Status Engine::ApplyDecisions(const EventPtr& event, Timestamp now,
           if (target.is_final && !target.deferred_final) {
             CEP_RETURN_NOT_OK(TryEmit(*run, now).status());
             if (target.edges.empty()) {
+              NoteRunOutcome(*run, now, /*completed=*/true);
               ++metrics_.runs_completed;
               run_store_.Kill(i);
               *live_bytes -= run_bytes;
@@ -532,6 +552,7 @@ Status Engine::ApplyDecisions(const EventPtr& event, Timestamp now,
                    : Status::Internal("lost shard evaluation error");
       }
       if ((decision.flags & kDecisionKilled) != 0) {
+        NoteRunOutcome(*run, now, /*completed=*/false);
         ++metrics_.runs_killed;
         run_store_.Kill(i);
         *live_bytes -= run_bytes;
@@ -542,6 +563,7 @@ Status Engine::ApplyDecisions(const EventPtr& event, Timestamp now,
           !nfa_->state(slot->state()).deferred_final) {
         // Strict contiguity: an event that does not advance the run breaks
         // it.
+        NoteRunOutcome(*slot, now, /*completed=*/false);
         ++metrics_.runs_killed;
         run_store_.Kill(i);
         *live_bytes -= run_bytes;
@@ -553,6 +575,20 @@ Status Engine::ApplyDecisions(const EventPtr& event, Timestamp now,
 }
 
 Status Engine::ProcessEvent(const EventPtr& event) {
+  if (shadow_ == nullptr) return ProcessEventInternal(event);
+  const Status status = ProcessEventInternal(event);
+  // Drive the oracle only once the event's fate is known, outside the
+  // latency measurement: a failed (quarantined) event leaves no trace in
+  // shadow state, and shadow work never inflates µ(t).
+  if (status.ok()) {
+    shadow_->OnEventConsumed(event);
+  } else {
+    shadow_->DiscardPending();
+  }
+  return status;
+}
+
+Status Engine::ProcessEventInternal(const EventPtr& event) {
   using Clock = std::chrono::steady_clock;
   const bool wall = options_.latency_mode == LatencyMode::kWallClock;
   const Clock::time_point t0 = wall ? Clock::now() : Clock::time_point();
@@ -596,6 +632,7 @@ Status Engine::ProcessEvent(const EventPtr& event) {
       ++metrics_.emergency_input_drops;
       ++metrics_.events_dropped;
       latency_monitor_->Record(now, 0.0, 1);
+      NoteSloSample(0.0);
       return Status::OK();
     }
   }
@@ -609,6 +646,7 @@ Status Engine::ProcessEvent(const EventPtr& event) {
     if (shedder_->ShouldDropEvent(*event, overloaded)) {
       ++metrics_.events_dropped;
       latency_monitor_->Record(now, 0.0, 1);
+      NoteSloSample(0.0);
       return Status::OK();
     }
   }
@@ -707,6 +745,7 @@ Status Engine::ProcessEvent(const EventPtr& event) {
       if (keep) {
         new_runs_.push_back(std::move(run));
       } else {
+        NoteRunOutcome(*run, now, /*completed=*/true);
         ++metrics_.runs_completed;
       }
     }
@@ -770,6 +809,7 @@ Status Engine::ProcessEvent(const EventPtr& event) {
     }
   }
   latency_monitor_->Record(now, micros, ops_this_event_);
+  NoteSloSample(busy_added);
   ++events_since_shed_;
 
   if (shedder_ != nullptr && !run_store_.empty()) {
@@ -1013,6 +1053,18 @@ void Engine::ExportMetrics(obs::Registry* registry,
                    "Peak live pooled binding-chain cells", labels)
         ->Set(static_cast<double>(cells->peak_live()));
   }
+  registry
+      ->GetGauge("cep_degradation_level",
+                 "Current overload-degradation ladder level (0 = healthy, "
+                 "1 = shedding, 2 = emergency, 3 = bypass)",
+                 labels)
+      ->Set(static_cast<double>(degradation_level()));
+  if (slo_ != nullptr) slo_->Export(registry, labels);
+  if (calibration_ != nullptr) {
+    calibration_->Export(registry, labels,
+                         shedder_ != nullptr ? shedder_->name() : "none");
+  }
+  if (shadow_ != nullptr) shadow_->Export(registry, labels);
 }
 
 Status Engine::Flush() {
@@ -1021,7 +1073,8 @@ Status Engine::Flush() {
   for (size_t i = 0; i < n; ++i) {
     Run* run = run_store_.at(i);
     if (nfa_->state(run->state()).deferred_final) {
-      CEP_RETURN_NOT_OK(TryEmit(*run, last_event_ts_).status());
+      CEP_ASSIGN_OR_RETURN(const bool emitted, TryEmit(*run, last_event_ts_));
+      NoteRunOutcome(*run, last_event_ts_, emitted);
       ++metrics_.runs_expired;
       NoteRunBytesFreed(run->ApproxBytes());
       run_store_.Kill(i);
@@ -1033,10 +1086,44 @@ Status Engine::Flush() {
 }
 
 bool Engine::WantShedScores() const {
+  if (calibration_ != nullptr) return true;
   if constexpr (obs::kEnabled) {
     return audit_log_ != nullptr || static_cast<bool>(shed_callback_);
   }
   return false;
+}
+
+void Engine::NoteRunOutcome(const Run& run, Timestamp now, bool completed) {
+  if (calibration_ == nullptr || shedder_ == nullptr) return;
+  ShedVictimScores scores;
+  if (!shedder_->DescribeVictim(run, now, &scores)) return;
+  // C+(r|t) is a matches-per-run ratio and can exceed 1 for prolific cells;
+  // clamp to read it as a completion probability.
+  calibration_->ObserveOutcome(std::clamp(scores.c_plus, 0.0, 1.0),
+                               completed);
+}
+
+void Engine::NoteSloSample(double busy_micros) {
+  if (slo_ == nullptr) return;
+  const double theta = options_.latency_threshold_micros;
+  slo_->Observe(
+      theta > 0 && latency_monitor_->CurrentLatencyMicros() > theta,
+      busy_micros);
+}
+
+void Engine::FinishShadowSpan() {
+  if (shadow_ != nullptr) shadow_->Finish();
+}
+
+std::string Engine::ExportQualityJson() const {
+  std::string out = "{\"schema_version\":1";
+  if (shadow_ != nullptr) out += ",\"shadow\":" + shadow_->ToJson();
+  if (calibration_ != nullptr) {
+    out += ",\"calibration\":" + calibration_->ToJson();
+  }
+  if (slo_ != nullptr) out += ",\"theta_slo\":" + slo_->ToJson();
+  out += "}";
+  return out;
 }
 
 size_t Engine::ApplyVictims(const ShedDecision& decision, Timestamp now) {
@@ -1069,6 +1156,10 @@ size_t Engine::ApplyVictims(const ShedDecision& decision, Timestamp now) {
         if (shed_callback_) shed_callback_(run, record);
         if (audit_log_ != nullptr) audit_log_->Append(std::move(record));
       }
+    }
+    if (calibration_ != nullptr && victim.has_scores) {
+      calibration_->ObserveShed(
+          std::clamp(victim.scores.c_plus, 0.0, 1.0));
     }
     NoteRunBytesFreed(run_store_.at(idx)->ApproxBytes());
     run_store_.MarkVictim(idx);
@@ -1166,6 +1257,13 @@ void Engine::BuildComponentRegistry() {
   if (audit_log_ != nullptr) {
     components_.Register("obs.audit", audit_log_);
   }
+  // Quality monitors append after every pre-existing section so snapshots
+  // from builds without them keep their prefix layout.
+  if (slo_ != nullptr) components_.Register("obs.slo", slo_.get());
+  if (calibration_ != nullptr) {
+    components_.Register("obs.calibration", calibration_.get());
+  }
+  if (shadow_ != nullptr) components_.Register("obs.shadow", shadow_.get());
 }
 
 const ckpt::ComponentRegistry& Engine::components() {

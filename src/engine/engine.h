@@ -29,10 +29,13 @@
 #include "nfa/nfa.h"
 #include "obs/audit.h"
 #include "obs/metrics.h"
+#include "obs/quality.h"
 #include "obs/trace.h"
 #include "shedding/shedder.h"
 
 namespace cep {
+
+class ShadowOracle;
 
 /// \brief NFA-based CEP evaluation engine with pluggable load shedding.
 ///
@@ -267,6 +270,28 @@ class Engine {
   void ExportMetrics(obs::Registry* registry,
                      const obs::LabelSet& labels = {}) const;
 
+  // --- shedding-quality observability (options.quality) ---------------------
+
+  /// Shadow recall oracle (null unless options.quality.shadow enabled).
+  const ShadowOracle* shadow() const { return shadow_.get(); }
+
+  /// Completion-model calibration monitor (null unless enabled).
+  const obs::CalibrationMonitor* calibration() const {
+    return calibration_.get();
+  }
+
+  /// θ burn-rate SLO monitor (null unless enabled).
+  const obs::ThetaSloMonitor* theta_slo() const { return slo_.get(); }
+
+  /// Closes a still-open shadow span so end-of-stream matches are scored.
+  /// Call after Flush(); no-op without the shadow oracle.
+  void FinishShadowSpan();
+
+  /// Quality document: {"schema_version":1,"shadow":{...},
+  /// "calibration":{...},"theta_slo":{...}} with absent sections omitted.
+  /// Schema checked by tools/validate_obs `quality`.
+  std::string ExportQualityJson() const;
+
  private:
   /// Per-run verdict computed by the evaluation phase. Fired edge indices
   /// live in the owning shard's scratch, appended in run order, so the
@@ -347,6 +372,20 @@ class Engine {
   /// failing event's half-born runs, compacts null slots).
   void RecoverFromError();
 
+  /// ProcessEvent body. The public ProcessEvent wraps it to drive the
+  /// shadow oracle strictly after the event is fully applied (outside the
+  /// latency measurement), so the oracle can never perturb primary results.
+  Status ProcessEventInternal(const EventPtr& event);
+
+  /// Joins the model's prediction for `run` (when the shedder has one)
+  /// against its actual exit outcome in the calibration monitor. Called at
+  /// every run exit in the serial merge phase, so observation order — and
+  /// the monitor's bytes — are deterministic.
+  void NoteRunOutcome(const Run& run, Timestamp now, bool completed);
+
+  /// One θ SLO sample: was µ(t) above the bound after this event?
+  void NoteSloSample(double busy_micros);
+
   // Composite-state adapters (defined in engine.cc): they expose groups of
   // engine fields — scalars, the run set, accumulated matches, metrics — as
   // StateComponents so checkpointing stays a registry walk.
@@ -426,6 +465,11 @@ class Engine {
   obs::Histogram event_busy_us_;
   obs::Histogram merge_us_;
   obs::Histogram shed_episode_us_;
+
+  // --- shedding-quality observability ----------------------------------------
+  std::unique_ptr<ShadowOracle> shadow_;
+  std::unique_ptr<obs::CalibrationMonitor> calibration_;
+  std::unique_ptr<obs::ThetaSloMonitor> slo_;
 };
 
 }  // namespace cep

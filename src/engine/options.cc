@@ -67,6 +67,53 @@ Result<EngineOptions> EngineOptions::Validated() const {
     return Invalid("checkpoint.interval_events must be >= 1 when a checkpoint "
                    "directory is set");
   }
+  if (quality.shadow.enabled()) {
+    if (quality.shadow.span_width < 0) {
+      return Invalid(StrFormat(
+          "quality.shadow.span_width must be >= 0 (0 = derive from the query "
+          "window), got %lld",
+          static_cast<long long>(quality.shadow.span_width)));
+    }
+    if (quality.shadow.max_ghost_runs == 0) {
+      return Invalid("quality.shadow.max_ghost_runs must be >= 1: the ghost "
+                     "engine needs room for at least one run");
+    }
+    if (quality.shadow.window_spans == 0) {
+      return Invalid("quality.shadow.window_spans must be >= 1: the recall "
+                     "estimate needs at least one closed span");
+    }
+  }
+  if (quality.calibration.enabled &&
+      (quality.calibration.num_buckets == 0 ||
+       quality.calibration.num_buckets > 1000)) {
+    return Invalid(StrFormat(
+        "quality.calibration.num_buckets must be in [1, 1000], got %llu",
+        static_cast<unsigned long long>(quality.calibration.num_buckets)));
+  }
+  if (quality.slo.enabled) {
+    if (quality.slo.budget_fraction <= 0 || quality.slo.budget_fraction > 1) {
+      return Invalid(StrFormat(
+          "quality.slo.budget_fraction must be in (0, 1], got %g",
+          quality.slo.budget_fraction));
+    }
+    if (quality.slo.windows.empty()) {
+      return Invalid("quality.slo.windows must name at least one window");
+    }
+    size_t prev = 0;
+    for (size_t w : quality.slo.windows) {
+      if (w <= prev) {
+        return Invalid("quality.slo.windows must be strictly increasing "
+                       "event counts >= 1");
+      }
+      prev = w;
+    }
+    if (quality.slo.windows.back() > (size_t{1} << 24)) {
+      return Invalid(StrFormat(
+          "quality.slo.windows.back() (%llu) exceeds the ring cap (2^24 "
+          "events): the violation ring is kept in memory",
+          static_cast<unsigned long long>(quality.slo.windows.back())));
+    }
+  }
   if (!checkpoint.restore_from.empty() && checkpoint.fault_injection_active) {
     return Invalid(
         "restore-from cannot be combined with fault injection: the injected "

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 
@@ -173,6 +174,64 @@ struct CheckpointOptions {
   bool enabled() const { return !directory.empty(); }
 };
 
+/// \brief Shadow-oracle sampling (engine/shadow.h).
+///
+/// A seeded subset of event-time slices ("spans") is mirrored through an
+/// unshed ghost engine; comparing the primary's matches against the ghost's
+/// within each sampled span yields a live estimate of recall under shedding.
+struct ShadowOptions {
+  /// Sample one span in `sample_every` (0 disables the shadow oracle,
+  /// 1 mirrors every span). Selection is seeded and event-time based, so it
+  /// is identical across threads/shards/batch configurations.
+  size_t sample_every = 0;
+
+  /// Span width in event-time units (0 = 2x the query window, so most
+  /// matches that start in a span also end in it).
+  int64_t span_width = 0;
+
+  /// Seed for the span-selection hash.
+  uint64_t seed = 0x5eedc0de;
+
+  /// Ghost run-set cap: a sampled span whose unshed ghost exceeds this many
+  /// runs is abandoned (counted in cep_shadow_spans_aborted; the primary is
+  /// never affected).
+  size_t max_ghost_runs = 1 << 20;
+
+  /// Closed spans retained for the windowed recall estimate.
+  size_t window_spans = 64;
+
+  bool enabled() const { return sample_every > 0; }
+};
+
+/// \brief Completion-model calibration monitoring (obs/quality.h).
+struct CalibrationOptions {
+  bool enabled = false;
+  /// Fixed-width prediction buckets over [0, 1].
+  size_t num_buckets = 10;
+};
+
+/// \brief Multi-window θ burn-rate SLO tracking (obs/quality.h).
+struct SloOptions {
+  bool enabled = false;
+  /// Tolerated fraction of events with µ(t) > θ (0.01 = 99% within bound).
+  double budget_fraction = 0.01;
+  /// Strictly increasing event-count windows; the largest bounds the ring.
+  std::vector<size_t> windows = {1024, 8192, 65536};
+};
+
+/// \brief Shedding-quality observability: shadow oracle, calibration
+/// monitor, and θ SLO tracking. All three are deterministic (serial-merge
+/// fed, event-time driven) and checkpointed as engine state components.
+struct QualityOptions {
+  ShadowOptions shadow;
+  CalibrationOptions calibration;
+  SloOptions slo;
+
+  bool any_enabled() const {
+    return shadow.enabled() || calibration.enabled || slo.enabled;
+  }
+};
+
 /// \brief Engine configuration.
 struct EngineOptions {
   SelectionStrategy selection = SelectionStrategy::kSkipTillAnyMatch;
@@ -221,6 +280,9 @@ struct EngineOptions {
 
   /// Checkpoint/restore settings (disabled by default).
   CheckpointOptions checkpoint;
+
+  /// Shedding-quality observability (disabled by default).
+  QualityOptions quality;
 
   /// Returns a copy of these options after cross-field validation, or an
   /// InvalidArgument Status naming the first conflicting setting. Call this

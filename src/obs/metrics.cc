@@ -91,6 +91,11 @@ const char* KindName(bool is_counter, bool is_gauge) {
   return is_counter ? "counter" : (is_gauge ? "gauge" : "histogram");
 }
 
+/// Quantiles exported for every histogram (Prometheus summary-style samples
+/// on the family name, p50/p90/p99 fields in JSON).
+constexpr std::pair<const char*, double> kExportedQuantiles[] = {
+    {"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}};
+
 }  // namespace
 
 std::string FormatMetricValue(double value) {
@@ -140,6 +145,35 @@ uint64_t Histogram::count() const {
     total += buckets_[i].load(std::memory_order_relaxed);
   }
   return total;
+}
+
+double Histogram::Quantile(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Snapshot the buckets once so a concurrent Record() cannot move the
+  // cumulative walk under us mid-scan.
+  const size_t n = bounds_.size();
+  std::vector<uint64_t> counts(n + 1);
+  uint64_t total = 0;
+  for (size_t i = 0; i <= n; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (counts[i] > 0 &&
+        rank <= static_cast<double>(cumulative + counts[i])) {
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double fraction = (rank - static_cast<double>(cumulative)) /
+                              static_cast<double>(counts[i]);
+      return lower + (bounds_[i] - lower) * fraction;
+    }
+    cumulative += counts[i];
+  }
+  // Rank lies in the +Inf bucket: the best finite answer is the last bound.
+  return bounds_.back();
 }
 
 void Histogram::CopyFrom(const Histogram& other) {
@@ -296,6 +330,13 @@ std::string Registry::ToPrometheusText() const {
                StrFormat("%llu",
                          static_cast<unsigned long long>(h.count())) +
                "\n";
+        // Interpolated quantiles as plain samples on the family name (the
+        // summary-style convention); derived from the buckets above, so
+        // they add no new state and stay byte-stable.
+        for (const auto& [label, q] : kExportedQuantiles) {
+          out += entry.name + PromLabelBlock(entry.labels, "quantile", label) +
+                 " " + FormatMetricValue(h.Quantile(q)) + "\n";
+        }
         break;
       }
     }
@@ -327,6 +368,9 @@ std::string Registry::ToJson() const {
         out += StrFormat(",\"count\":%llu",
                          static_cast<unsigned long long>(h.count()));
         out += ",\"sum\":" + FormatMetricValue(h.sum());
+        out += ",\"p50\":" + FormatMetricValue(h.Quantile(0.5));
+        out += ",\"p90\":" + FormatMetricValue(h.Quantile(0.9));
+        out += ",\"p99\":" + FormatMetricValue(h.Quantile(0.99));
         out += ",\"buckets\":[";
         for (size_t i = 0; i < h.num_buckets(); ++i) {
           if (i > 0) out += ",";

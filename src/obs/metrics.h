@@ -79,6 +79,16 @@ class Histogram {
 
   uint64_t count() const;
   double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Interpolated quantile estimate for `q` in [0, 1], derived from the
+  /// bucket counts: the bucket containing rank q·count is located by
+  /// cumulative count, then the value is linearly interpolated between the
+  /// bucket's lower and upper bound. Exact at bucket boundaries: when q·count
+  /// equals a cumulative bucket count, the result is that bucket's upper
+  /// bound. Ranks landing in the +Inf bucket clamp to the last finite bound.
+  /// Returns 0 for an empty histogram. Deterministic for equal bucket state
+  /// (export byte-stability relies on this).
+  double Quantile(double q) const;
   size_t num_buckets() const { return bounds_.size(); }  // excludes +Inf
   /// Upper bound of finite bucket `i`.
   double upper_bound(size_t i) const { return bounds_[i]; }

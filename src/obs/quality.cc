@@ -1,0 +1,369 @@
+#include "obs/quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace cep {
+namespace obs {
+
+// --- CalibrationMonitor -----------------------------------------------------
+
+CalibrationMonitor::CalibrationMonitor(size_t num_buckets)
+    : buckets_(num_buckets == 0 ? 1 : num_buckets) {}
+
+size_t CalibrationMonitor::BucketIndex(double predicted) const {
+  if (predicted <= 0.0) return 0;
+  if (predicted >= 1.0) return buckets_.size() - 1;
+  const size_t index =
+      static_cast<size_t>(predicted * static_cast<double>(buckets_.size()));
+  return std::min(index, buckets_.size() - 1);
+}
+
+void CalibrationMonitor::ObserveOutcome(double predicted, bool completed) {
+  Bucket& bucket = buckets_[BucketIndex(predicted)];
+  ++bucket.count;
+  bucket.sum_predicted += predicted;
+  bucket.sum_outcome += completed ? 1.0 : 0.0;
+  ++outcomes_;
+  const double error = predicted - (completed ? 1.0 : 0.0);
+  brier_sum_ += error * error;
+}
+
+void CalibrationMonitor::ObserveShed(double predicted) {
+  ++shed_count_;
+  shed_sum_predicted_ += predicted;
+}
+
+double CalibrationMonitor::BrierScore() const {
+  return outcomes_ == 0 ? 0.0
+                        : brier_sum_ / static_cast<double>(outcomes_);
+}
+
+double CalibrationMonitor::Drift() const {
+  if (outcomes_ == 0) return 0.0;
+  double weighted = 0.0;
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.count == 0) continue;
+    const double n = static_cast<double>(bucket.count);
+    weighted += n * std::fabs(bucket.sum_predicted / n -
+                              bucket.sum_outcome / n);
+  }
+  return weighted / static_cast<double>(outcomes_);
+}
+
+double CalibrationMonitor::MeanShedPrediction() const {
+  return shed_count_ == 0
+             ? 0.0
+             : shed_sum_predicted_ / static_cast<double>(shed_count_);
+}
+
+double CalibrationMonitor::bucket_predicted(size_t b) const {
+  const Bucket& bucket = buckets_[b];
+  return bucket.count == 0
+             ? 0.0
+             : bucket.sum_predicted / static_cast<double>(bucket.count);
+}
+
+double CalibrationMonitor::bucket_observed(size_t b) const {
+  const Bucket& bucket = buckets_[b];
+  return bucket.count == 0
+             ? 0.0
+             : bucket.sum_outcome / static_cast<double>(bucket.count);
+}
+
+void CalibrationMonitor::Export(Registry* registry, const LabelSet& labels,
+                                const std::string& shedder_name) const {
+  LabelSet shedder_labels = labels;
+  shedder_labels.emplace_back("shedder", shedder_name);
+  registry
+      ->GetCounter("cep_calibration_outcomes_total",
+                   "Run exits joined against a model prediction", labels)
+      ->Set(outcomes_);
+  registry
+      ->GetCounter("cep_calibration_shed_predictions_total",
+                   "Shed victims recorded predicted-only (outcome "
+                   "unobservable)",
+                   labels)
+      ->Set(shed_count_);
+  registry
+      ->GetGauge("cep_calibration_brier_score",
+                 "Brier score of the shedder's completion-probability model "
+                 "over observed run outcomes (0 = perfect)",
+                 shedder_labels)
+      ->Set(BrierScore());
+  registry
+      ->GetGauge("cep_calibration_drift",
+                 "Count-weighted |predicted - observed| completion rate over "
+                 "prediction buckets (0 = calibrated)",
+                 shedder_labels)
+      ->Set(Drift());
+  registry
+      ->GetGauge("cep_calibration_mean_shed_prediction",
+                 "Mean predicted completion probability of shed victims",
+                 shedder_labels)
+      ->Set(MeanShedPrediction());
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    LabelSet bucket_labels = labels;
+    bucket_labels.emplace_back("bucket", StrFormat("%zu", b));
+    registry
+        ->GetGauge("cep_calibration_bucket_observed_rate",
+                   "Observed completion rate per prediction bucket",
+                   bucket_labels)
+        ->Set(bucket_observed(b));
+    registry
+        ->GetGauge("cep_calibration_bucket_count",
+                   "Observations per prediction bucket", bucket_labels)
+        ->Set(static_cast<double>(buckets_[b].count));
+  }
+}
+
+std::string CalibrationMonitor::ToJson() const {
+  std::string out = "{";
+  out += StrFormat("\"outcomes\":%llu",
+                   static_cast<unsigned long long>(outcomes_));
+  out += StrFormat(",\"shed_predictions\":%llu",
+                   static_cast<unsigned long long>(shed_count_));
+  out += ",\"brier_score\":" + FormatMetricValue(BrierScore());
+  out += ",\"drift\":" + FormatMetricValue(Drift());
+  out += ",\"mean_shed_prediction\":" + FormatMetricValue(MeanShedPrediction());
+  out += ",\"buckets\":[";
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    if (b > 0) out += ",";
+    out += StrFormat("{\"count\":%llu",
+                     static_cast<unsigned long long>(buckets_[b].count));
+    out += ",\"predicted\":" + FormatMetricValue(bucket_predicted(b));
+    out += ",\"observed\":" + FormatMetricValue(bucket_observed(b)) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status CalibrationMonitor::SerializeTo(ckpt::Sink& sink) const {
+  sink.WriteU32(static_cast<uint32_t>(buckets_.size()));
+  for (const Bucket& bucket : buckets_) {
+    sink.WriteU64(bucket.count);
+    sink.WriteDouble(bucket.sum_predicted);
+    sink.WriteDouble(bucket.sum_outcome);
+  }
+  sink.WriteU64(outcomes_);
+  sink.WriteDouble(brier_sum_);
+  sink.WriteU64(shed_count_);
+  sink.WriteDouble(shed_sum_predicted_);
+  return Status::OK();
+}
+
+Status CalibrationMonitor::RestoreFrom(ckpt::Source& source) {
+  CEP_ASSIGN_OR_RETURN(uint32_t num_buckets, source.ReadU32());
+  if (num_buckets != buckets_.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "calibration bucket count mismatch: snapshot has %u, config has %zu",
+        num_buckets, buckets_.size()));
+  }
+  for (Bucket& bucket : buckets_) {
+    CEP_ASSIGN_OR_RETURN(bucket.count, source.ReadU64());
+    CEP_ASSIGN_OR_RETURN(bucket.sum_predicted, source.ReadDouble());
+    CEP_ASSIGN_OR_RETURN(bucket.sum_outcome, source.ReadDouble());
+  }
+  CEP_ASSIGN_OR_RETURN(outcomes_, source.ReadU64());
+  CEP_ASSIGN_OR_RETURN(brier_sum_, source.ReadDouble());
+  CEP_ASSIGN_OR_RETURN(shed_count_, source.ReadU64());
+  CEP_ASSIGN_OR_RETURN(shed_sum_predicted_, source.ReadDouble());
+  return Status::OK();
+}
+
+// --- ThetaSloMonitor --------------------------------------------------------
+
+ThetaSloMonitor::ThetaSloMonitor(std::vector<size_t> windows,
+                                 double budget_fraction)
+    : windows_(std::move(windows)),
+      budget_fraction_(budget_fraction > 0.0 ? budget_fraction : 0.01) {
+  if (windows_.empty()) windows_.push_back(1024);
+  std::sort(windows_.begin(), windows_.end());
+  ring_.assign((windows_.back() + 63) / 64, 0);
+  window_violations_.assign(windows_.size(), 0);
+}
+
+bool ThetaSloMonitor::Bit(uint64_t event_index) const {
+  const uint64_t pos = event_index % windows_.back();
+  return (ring_[pos / 64] >> (pos % 64)) & 1;
+}
+
+void ThetaSloMonitor::SetBit(uint64_t event_index, bool value) {
+  const uint64_t pos = event_index % windows_.back();
+  const uint64_t mask = uint64_t{1} << (pos % 64);
+  if (value) {
+    ring_[pos / 64] |= mask;
+  } else {
+    ring_[pos / 64] &= ~mask;
+  }
+}
+
+void ThetaSloMonitor::Observe(bool violating, double busy_micros) {
+  // Retire the bit leaving each window before overwriting the slot: the ring
+  // holds the largest window, so every smaller window's expiring bit is
+  // still resident.
+  for (size_t w = 0; w < windows_.size(); ++w) {
+    if (events_ >= windows_[w] && Bit(events_ - windows_[w])) {
+      --window_violations_[w];
+    }
+  }
+  SetBit(events_, violating);
+  ++events_;
+  if (violating) {
+    ++violating_events_;
+    time_in_violation_us_ += busy_micros;
+    ++current_streak_;
+    longest_streak_ = std::max(longest_streak_, current_streak_);
+    for (uint64_t& count : window_violations_) ++count;
+  } else {
+    current_streak_ = 0;
+  }
+}
+
+double ThetaSloMonitor::BurnRate(size_t w) const {
+  const uint64_t effective =
+      std::min<uint64_t>(events_, windows_[w]);
+  if (effective == 0) return 0.0;
+  const double fraction = static_cast<double>(window_violations_[w]) /
+                          static_cast<double>(effective);
+  return fraction / budget_fraction_;
+}
+
+void ThetaSloMonitor::Export(Registry* registry,
+                             const LabelSet& labels) const {
+  registry
+      ->GetCounter("cep_slo_events_total",
+                   "Events observed by the theta SLO tracker", labels)
+      ->Set(events_);
+  registry
+      ->GetCounter("cep_slo_violating_events_total",
+                   "Events whose post-event latency estimate exceeded theta",
+                   labels)
+      ->Set(violating_events_);
+  registry
+      ->GetGauge("cep_slo_time_in_violation_us",
+                 "Cumulative busy microseconds spent processing events while "
+                 "above theta",
+                 labels)
+      ->Set(time_in_violation_us_);
+  registry
+      ->GetGauge("cep_slo_violation_streak",
+                 "Current consecutive events above theta", labels)
+      ->Set(static_cast<double>(current_streak_));
+  registry
+      ->GetGauge("cep_slo_violation_streak_max",
+                 "Longest consecutive run of events above theta", labels)
+      ->Set(static_cast<double>(longest_streak_));
+  for (size_t w = 0; w < windows_.size(); ++w) {
+    LabelSet window_labels = labels;
+    window_labels.emplace_back("window",
+                               StrFormat("%zu", windows_[w]));
+    registry
+        ->GetGauge("cep_slo_burn_rate",
+                   "Theta violation rate over the window divided by the "
+                   "error-budget fraction (1.0 = budget consumed exactly at "
+                   "the sustainable rate)",
+                   window_labels)
+        ->Set(BurnRate(w));
+  }
+}
+
+std::string ThetaSloMonitor::ToJson() const {
+  std::string out = "{";
+  out += StrFormat("\"events\":%llu",
+                   static_cast<unsigned long long>(events_));
+  out += StrFormat(",\"violating_events\":%llu",
+                   static_cast<unsigned long long>(violating_events_));
+  out += ",\"time_in_violation_us\":" +
+         FormatMetricValue(time_in_violation_us_);
+  out += StrFormat(",\"violation_streak\":%llu",
+                   static_cast<unsigned long long>(current_streak_));
+  out += StrFormat(",\"violation_streak_max\":%llu",
+                   static_cast<unsigned long long>(longest_streak_));
+  out += ",\"budget_fraction\":" + FormatMetricValue(budget_fraction_);
+  out += ",\"burn_rates\":[";
+  for (size_t w = 0; w < windows_.size(); ++w) {
+    if (w > 0) out += ",";
+    out += StrFormat("{\"window\":%zu,", windows_[w]);
+    out += "\"burn_rate\":" + FormatMetricValue(BurnRate(w)) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status ThetaSloMonitor::SerializeTo(ckpt::Sink& sink) const {
+  sink.WriteU32(static_cast<uint32_t>(windows_.size()));
+  for (const size_t window : windows_) {
+    sink.WriteU64(window);
+  }
+  sink.WriteU32(static_cast<uint32_t>(ring_.size()));
+  for (const uint64_t word : ring_) {
+    sink.WriteU64(word);
+  }
+  for (const uint64_t count : window_violations_) {
+    sink.WriteU64(count);
+  }
+  sink.WriteU64(events_);
+  sink.WriteU64(violating_events_);
+  sink.WriteDouble(time_in_violation_us_);
+  sink.WriteU64(current_streak_);
+  sink.WriteU64(longest_streak_);
+  return Status::OK();
+}
+
+Status ThetaSloMonitor::RestoreFrom(ckpt::Source& source) {
+  CEP_ASSIGN_OR_RETURN(uint32_t num_windows, source.ReadU32());
+  if (num_windows != windows_.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "SLO window count mismatch: snapshot has %u, config has %zu",
+        num_windows, windows_.size()));
+  }
+  for (const size_t window : windows_) {
+    CEP_ASSIGN_OR_RETURN(uint64_t stored, source.ReadU64());
+    if (stored != window) {
+      return Status::InvalidArgument(StrFormat(
+          "SLO window mismatch: snapshot has %llu, config has %zu",
+          static_cast<unsigned long long>(stored), window));
+    }
+  }
+  CEP_ASSIGN_OR_RETURN(uint32_t ring_words, source.ReadU32());
+  if (ring_words != ring_.size()) {
+    return Status::InvalidArgument("SLO ring size mismatch");
+  }
+  for (uint64_t& word : ring_) {
+    CEP_ASSIGN_OR_RETURN(word, source.ReadU64());
+  }
+  for (uint64_t& count : window_violations_) {
+    CEP_ASSIGN_OR_RETURN(count, source.ReadU64());
+  }
+  CEP_ASSIGN_OR_RETURN(events_, source.ReadU64());
+  CEP_ASSIGN_OR_RETURN(violating_events_, source.ReadU64());
+  CEP_ASSIGN_OR_RETURN(time_in_violation_us_, source.ReadDouble());
+  CEP_ASSIGN_OR_RETURN(current_streak_, source.ReadU64());
+  CEP_ASSIGN_OR_RETURN(longest_streak_, source.ReadU64());
+  return Status::OK();
+}
+
+// --- Wilson interval --------------------------------------------------------
+
+WilsonInterval WilsonScore(uint64_t successes, uint64_t trials) {
+  WilsonInterval interval;
+  if (trials == 0) return interval;
+  constexpr double z = 1.959963985;  // ~95%
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  interval.center = p;
+  interval.lower = std::max(0.0, center - margin);
+  interval.upper = std::min(1.0, center + margin);
+  return interval;
+}
+
+}  // namespace obs
+}  // namespace cep

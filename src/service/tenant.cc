@@ -136,6 +136,21 @@ Result<EngineOptions> MakeEngineOptionsFromSpec(
     options.degradation.enabled = true;
     options.degradation.run_bytes_budget = quota_bytes;
   }
+  // Shedding-quality observability (docs/OBSERVABILITY.md): shadow=N
+  // samples one span in N through the unshed ghost oracle, calibration=1
+  // joins model predictions against run outcomes, slo=<frac> tracks θ
+  // burn rates against that violation budget.
+  CEP_ASSIGN_OR_RETURN(uint64_t shadow, KvUint(kv, "shadow", 0));
+  options.quality.shadow.sample_every = static_cast<size_t>(shadow);
+  CEP_ASSIGN_OR_RETURN(uint64_t shadow_width, KvUint(kv, "shadowwidth", 0));
+  options.quality.shadow.span_width = static_cast<int64_t>(shadow_width);
+  CEP_ASSIGN_OR_RETURN(uint64_t calibration, KvUint(kv, "calibration", 0));
+  options.quality.calibration.enabled = calibration > 0;
+  CEP_ASSIGN_OR_RETURN(double slo_budget, KvDouble(kv, "slo", 0.0));
+  if (slo_budget > 0) {
+    options.quality.slo.enabled = true;
+    options.quality.slo.budget_fraction = slo_budget;
+  }
   return options.Validated();
 }
 
@@ -603,6 +618,10 @@ std::string TenantSession::StatsText() const {
   for (const auto& q : queries_) {
     out += StrFormat("query=%s %s\n", q->name.c_str(),
                      q->engine->metrics().ToString().c_str());
+    if (q->engine->options().quality.any_enabled()) {
+      out += StrFormat("quality=%s %s\n", q->name.c_str(),
+                       q->engine->ExportQualityJson().c_str());
+    }
   }
   return out;
 }

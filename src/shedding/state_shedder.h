@@ -76,6 +76,14 @@ class StateShedder final : public Shedder {
   /// Model scores for one run at `now` (the per-victim audit record).
   ShedVictimScores ScoresFor(const Run& run, Timestamp now) const;
 
+  /// Exposes the model scores to callers that join predictions against run
+  /// outcomes (the engine's calibration monitor).
+  bool DescribeVictim(const Run& run, Timestamp now,
+                      ShedVictimScores* scores) const override {
+    *scores = ScoresFor(run, now);
+    return true;
+  }
+
   const ContributionModel& contribution_model() const { return contribution_; }
   const CostModel& cost_model() const { return cost_; }
   const StateShedderOptions& options() const { return options_; }

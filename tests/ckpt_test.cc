@@ -216,13 +216,23 @@ std::vector<EventPtr> MakeWorkload(BikeSchema& fixture, int n) {
   return events;
 }
 
-EngineOptions CheckpointedOptions(size_t threads, size_t shards) {
+EngineOptions CheckpointedOptions(size_t threads, size_t shards,
+                                  bool with_quality = false) {
   EngineOptions options;
   options.collect_matches = true;
   options.max_runs = 96;  // deterministic overload trigger
   options.parallel.threads = threads;
   options.parallel.shards = shards;
   options.parallel.min_parallel_runs = 1;
+  if (with_quality) {
+    options.quality.shadow.sample_every = 1;
+    // The Kleene query explodes without the primary's max_runs cap; a small
+    // ghost cap makes overloaded spans abort (deterministically) instead of
+    // burning minutes of unshed evaluation.
+    options.quality.shadow.max_ghost_runs = 512;
+    options.quality.calibration.enabled = true;
+    options.quality.slo.enabled = true;
+  }
   return options;
 }
 
@@ -251,6 +261,7 @@ struct RunOutcome {
   std::string final_snapshot;
   std::string metrics;
   std::string audit;
+  std::string quality;
   std::vector<std::string> matches;
 };
 
@@ -265,6 +276,7 @@ RunOutcome Drive(Engine& engine, obs::ShedAuditLog& audit,
   if (snapshot.ok()) outcome.final_snapshot = snapshot.MoveValueUnsafe();
   outcome.metrics = engine.metrics().ToString();
   outcome.audit = audit.ToJsonl();
+  outcome.quality = engine.ExportQualityJson();
   for (const Match& match : engine.matches()) {
     outcome.matches.push_back(match.ToString(engine.nfa().query()));
   }
@@ -278,11 +290,14 @@ TEST(EngineReplayTest, RestoredRunIsByteIdenticalAcrossThreadsAndShards) {
 
   for (const size_t threads : {size_t{1}, size_t{4}}) {
     for (const size_t shards : {size_t{1}, size_t{8}}) {
+    for (const bool with_quality : {false, true}) {
       SCOPED_TRACE(testing::Message()
-                   << "threads=" << threads << " shards=" << shards);
+                   << "threads=" << threads << " shards=" << shards
+                   << " quality=" << with_quality);
       const NfaPtr nfa = fixture.Compile(kKleeneQuery);
       ASSERT_NE(nfa, nullptr);
-      const EngineOptions options = CheckpointedOptions(threads, shards);
+      const EngineOptions options =
+          CheckpointedOptions(threads, shards, with_quality);
 
       // Uninterrupted baseline.
       obs::ShedAuditLog baseline_audit;
@@ -314,10 +329,12 @@ TEST(EngineReplayTest, RestoredRunIsByteIdenticalAcrossThreadsAndShards) {
       EXPECT_EQ(actual.matches, expected.matches);
       EXPECT_EQ(actual.metrics, expected.metrics);
       EXPECT_EQ(actual.audit, expected.audit);
+      EXPECT_EQ(actual.quality, expected.quality);
       EXPECT_EQ(DescribeSections(actual.final_snapshot),
                 DescribeSections(expected.final_snapshot))
           << "restored engine state diverged from the uninterrupted run";
       EXPECT_TRUE(actual.final_snapshot == expected.final_snapshot);
+    }
     }
   }
 }

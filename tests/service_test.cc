@@ -12,6 +12,7 @@
 
 #include "ckpt/manager.h"
 #include "event/csv.h"
+#include "obs/metrics.h"
 #include "service/framing.h"
 #include "service/quota.h"
 #include "service/tenant.h"
@@ -350,6 +351,56 @@ TEST(TenantSessionTest, ParseFailuresQuarantineWithoutTouchingTheWal) {
   EXPECT_EQ(session->ingested(), 0u);
   ASSERT_TRUE(session->IngestLine("req,1000,1,1").ok());
   EXPECT_EQ(session->ingested(), 1u);
+}
+
+TEST(TenantSessionTest, MetricsExportCarriesQualityAndDegradationLabels) {
+  const std::string dir = TestDir("tenant_quality_metrics");
+  auto config = MakeConfig(dir);
+  config.quota_bytes = 1 << 20;  // enables the degradation ladder
+  auto session = TenantSession::Create(config).ValueOrDie();
+  ASSERT_TRUE(ApplyBikeSchema(*session).ok());
+  ASSERT_TRUE(session->AddQuery("plain", "", kQueryText).ok());
+  ASSERT_TRUE(
+      session->AddQuery("watched", "shadow=1 calibration=1 slo=0.01",
+                        kQueryText)
+          .ok());
+  for (const auto& line : MakeLines(20)) {
+    ASSERT_TRUE(session->IngestLine(line).ok());
+  }
+
+  obs::Registry registry;
+  session->ExportMetrics(&registry);
+  const std::string prom = registry.ToPrometheusText();
+  // Quality series carry the {tenant, query} labels of the engine that
+  // produced them, and only quality-enabled queries emit them.
+  EXPECT_NE(
+      prom.find(
+          "cep_shadow_spans_sampled_total{query=\"watched\",tenant=\"alice\"}"),
+      std::string::npos);
+  EXPECT_NE(
+      prom.find("cep_slo_events_total{query=\"watched\",tenant=\"alice\"}"),
+      std::string::npos);
+  EXPECT_NE(prom.find("cep_calibration_outcomes_total{query=\"watched\","
+                      "tenant=\"alice\"}"),
+            std::string::npos);
+  EXPECT_EQ(
+      prom.find(
+          "cep_shadow_spans_sampled_total{query=\"plain\",tenant=\"alice\"}"),
+      std::string::npos);
+  // The degradation ladder gauge is per query regardless of quality config.
+  EXPECT_NE(
+      prom.find("cep_degradation_level{query=\"plain\",tenant=\"alice\"}"),
+      std::string::npos);
+  EXPECT_NE(
+      prom.find("cep_degradation_level{query=\"watched\",tenant=\"alice\"}"),
+      std::string::npos);
+  EXPECT_NE(prom.find("cep_tenant_run_bytes{tenant=\"alice\"}"),
+            std::string::npos);
+
+  // !stats surfaces the quality JSON only for quality-enabled queries.
+  const std::string stats = session->StatsText();
+  EXPECT_NE(stats.find("quality=watched"), std::string::npos);
+  EXPECT_EQ(stats.find("quality=plain"), std::string::npos);
 }
 
 TEST(ParseKvSpecTest, RejectsDuplicatesAndMalformedTokens) {

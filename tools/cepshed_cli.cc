@@ -77,6 +77,9 @@ int Usage() {
       "         [--stats] [--stats-interval-events <n>]\n"
       "         [--metrics-out <file[.prom|.json]>] [--trace-out <file>]\n"
       "         [--audit-out <file.jsonl>]\n"
+      "         [--shadow-sample <1-in-n spans>] [--shadow-width <ts>]\n"
+      "         [--shadow-seed <n>] [--calibration] [--slo-budget <frac>]\n"
+      "         [--quality-out <file.json>]\n"
       "generate --workload cluster|bike|stock --out <events.csv>\n"
       "         [--duration-hours <h>] [--seed <n>] [--scale <f>]\n"
       "explain  --schema <...> --query <...> [--dot <out.dot>]\n");
@@ -281,6 +284,20 @@ Status RunCommand(const Args& args) {
   const bool ckpt_active = options.checkpoint.enabled() ||
                            !options.checkpoint.restore_from.empty();
   if (ckpt_active) options.collect_matches = true;
+  // Shedding-quality observability: shadow recall oracle, calibration
+  // monitor, θ SLO burn rates (docs/OBSERVABILITY.md).
+  options.quality.shadow.sample_every =
+      static_cast<size_t>(args.GetInt("shadow-sample", 0));
+  options.quality.shadow.span_width = args.GetInt("shadow-width", 0);
+  if (args.Has("shadow-seed")) {
+    options.quality.shadow.seed =
+        static_cast<uint64_t>(args.GetInt("shadow-seed", 0));
+  }
+  if (args.Has("calibration")) options.quality.calibration.enabled = true;
+  if (args.Has("slo-budget")) {
+    options.quality.slo.enabled = true;
+    options.quality.slo.budget_fraction = args.GetDouble("slo-budget", 0.01);
+  }
   CEP_ASSIGN_OR_RETURN(options, options.Validated());
   CEP_ASSIGN_OR_RETURN(ShedderPtr shedder, MakeShedder(args, registry));
 
@@ -414,6 +431,13 @@ Status RunCommand(const Args& args) {
   if (ckpt_active) {
     for (const Match& match : engine.matches()) emit_match(match);
   }
+  // Close a still-open shadow span so end-of-stream matches are scored
+  // before the quality/metrics exports are written.
+  engine.FinishShadowSpan();
+  if (args.Has("quality-out")) {
+    CEP_RETURN_NOT_OK(WriteTextFile(args.Get("quality-out"),
+                                    engine.ExportQualityJson() + "\n"));
+  }
   if (args.Has("metrics-out")) {
     const std::string path = args.Get("metrics-out");
     obs::Registry metrics_registry;
@@ -453,6 +477,9 @@ Status RunCommand(const Args& args) {
     if (engine.degradation() != nullptr) {
       std::printf("degradation: %s\n",
                   engine.degradation()->ToString().c_str());
+    }
+    if (options.quality.any_enabled()) {
+      std::printf("quality: %s\n", engine.ExportQualityJson().c_str());
     }
   }
   return Status::OK();

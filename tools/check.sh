@@ -5,9 +5,12 @@
 #      replays and a differential stress sweep (docs/FUZZING.md).
 #   2. build-tsan/      — ThreadSanitizer, the Parallel* suites (data-race
 #      coverage for the worker pool, run sharding, and MultiEngine fan-out).
-#   3. build-release/   — -O2 -DNDEBUG, full test suite (assert-free paths)
-#      and a bench_micro_engine throughput smoke that fails on a >20%
-#      single-thread regression vs the committed BENCH_parallel.json.
+#   3. build-release/   — -O2 -DNDEBUG, full test suite (assert-free paths),
+#      a bench_micro_engine throughput smoke that fails on a >20%
+#      single-thread regression vs the committed BENCH_parallel.json, and
+#      the bench_suite shedding-quality smoke (schema-checked output,
+#      shadow-recall accuracy gate, coarse throughput floor vs the
+#      committed BENCH_suite.json).
 # Each build also runs the CLI on an example workload with the observability
 # exports enabled and validates them with validate_obs (schema regressions
 # and instrumentation races surface here), then writes checkpoints and
@@ -43,12 +46,15 @@ obs_check() {
   "$1/tools/cepshed_cli" run --schema bike --query "$Q" \
       --input "$OBS_DIR/bike.csv" --shedder sbls --max-runs 5 \
       --hash req:loc --threads 4 \
+      --shadow-sample 1 --calibration --slo-budget 0.01 \
       --metrics-out "$OBS_DIR/metrics.prom" \
       --trace-out "$OBS_DIR/trace.json" \
-      --audit-out "$OBS_DIR/audit.jsonl" > /dev/null
+      --audit-out "$OBS_DIR/audit.jsonl" \
+      --quality-out "$OBS_DIR/quality.json" > /dev/null
   "$1/tools/validate_obs" metrics-prom "$OBS_DIR/metrics.prom"
   "$1/tools/validate_obs" trace "$OBS_DIR/trace.json"
   "$1/tools/validate_obs" audit "$OBS_DIR/audit.jsonl"
+  "$1/tools/validate_obs" quality "$OBS_DIR/quality.json"
   rm -rf "$OBS_DIR"
 }
 
@@ -112,12 +118,46 @@ committed baseline %.1f ev/s (BENCH_parallel.json)\n", new, base > "/dev/stderr"
   }'
 }
 
+# suite_check BUILD_DIR — shedding-quality trajectory smoke (Release build,
+# small preset): re-run the standing bench suite, schema-check its output
+# with validate_obs, and fail when single-thread throughput drops below 80%
+# of the committed BENCH_suite.json baseline. The baseline is the full-scale
+# run while this smoke uses CEPSHED_SCALE=0.1 (which is faster per event),
+# so the floor is deliberately coarse — it catches catastrophic hot-path
+# regressions; the tight 20% gate is perf_check's job. bench_suite itself
+# also fails when the shadow oracle's online recall estimate drifts more
+# than 5 points from the offline truth on the cluster workload.
+suite_check() {
+  SUITE_DIR="$(mktemp -d)"
+  (cd "$SUITE_DIR" && CEPSHED_SCALE=0.1 "$1/bench/bench_suite" \
+      > /dev/null 2>&1)
+  "$1/tools/validate_obs" bench-suite "$SUITE_DIR/BENCH_suite.json"
+  ROW='s/.*"single_thread_eps": \([0-9.]*\).*/\1/p'
+  NEW="$(sed -n "$ROW" "$SUITE_DIR/BENCH_suite.json")"
+  BASE="$(sed -n "$ROW" "$ROOT/BENCH_suite.json")"
+  rm -rf "$SUITE_DIR"
+  awk -v new="$NEW" -v base="$BASE" 'BEGIN {
+    if (new == "" || base == "") {
+      print "error: suite smoke could not parse single_thread_eps" \
+          > "/dev/stderr"
+      exit 1
+    }
+    if (new + 0 < 0.8 * base) {
+      printf "error: suite smoke: single-thread %.1f ev/s is >20%% below the \
+committed baseline %.1f ev/s (BENCH_suite.json)\n", new, base > "/dev/stderr"
+      exit 1
+    }
+    printf "suite smoke ok: single-thread %.1f ev/s (baseline %.1f)\n", \
+        new, base
+  }'
+}
+
 # fuzz_check BUILD_DIR — differential stress sweep plus, when the toolchain
 # supports -fsanitize=fuzzer (clang), a short coverage-guided run of each
 # fuzz target over its checked-in corpus. The corpus-replay ctest entries
 # already ran as part of the suite; this adds the wider seeded sweep.
 fuzz_check() {
-  "$1/tools/stress_engine" --configs 120 --seed 7
+  "$1/tools/stress_engine" --configs 300 --seed 7 --shadow
   if grep -q 'CEPSHED_LIBFUZZER_SUPPORTED.*=1' "$1/CMakeCache.txt"; then
     FUZZ_DIR="$(mktemp -d)"
     for TARGET in query csv snapshot; do
@@ -168,5 +208,6 @@ configure "$REL_BUILD" \
 cmake --build "$REL_BUILD" -j "$JOBS"
 (cd "$REL_BUILD" && ctest --output-on-failure -j "$JOBS")
 perf_check "$REL_BUILD"
+suite_check "$REL_BUILD"
 
 echo "sanitized check ok"

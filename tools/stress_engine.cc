@@ -227,7 +227,8 @@ StressConfig MakeConfig(uint64_t seed, uint64_t ordinal) {
   return c;
 }
 
-EngineOptions MakeOptions(const StressConfig& config, bool parallel) {
+EngineOptions MakeOptions(const StressConfig& config, bool parallel,
+                          bool with_quality = false) {
   EngineOptions options;
   options.selection = config.selection;
   options.latency_mode = LatencyMode::kVirtualCost;  // deterministic µ(t)
@@ -245,6 +246,15 @@ EngineOptions MakeOptions(const StressConfig& config, bool parallel) {
   options.parallel.min_parallel_runs = 4;
   options.parallel.arena_block_runs = config.arena_block;
   options.batch_size = config.batch;
+  if (with_quality) {
+    // The --shadow axis: every span mirrored, with a small ghost cap so the
+    // unshed ghost aborts (deterministically) on Kleene-exploding configs
+    // instead of stalling the sweep.
+    options.quality.shadow.sample_every = 1;
+    options.quality.shadow.max_ghost_runs = 512;
+    options.quality.calibration.enabled = true;
+    options.quality.slo.enabled = true;
+  }
   return options;
 }
 
@@ -278,6 +288,7 @@ struct RunArtifacts {
   std::string metrics;
   std::string snapshot;     ///< final snapshot bytes (full durable state)
   std::string audit_jsonl;
+  std::string quality;      ///< ExportQualityJson (empty object when off)
   std::vector<uint64_t> callback_victims;  ///< run ids via SetShedCallback
   uint64_t audit_appended = 0;
 };
@@ -337,8 +348,8 @@ bool RunEngine(const Fixture& fixture, const NfaPtr& nfa,
                const std::vector<EventPtr>& events,
                const std::string* restore_from, size_t* checkpoint_at,
                std::string* checkpoint_bytes, RunArtifacts* out,
-               std::vector<Failure>* failures) {
-  Engine engine(nfa, MakeOptions(config, parallel),
+               std::vector<Failure>* failures, bool with_quality = false) {
+  Engine engine(nfa, MakeOptions(config, parallel, with_quality),
                 MakeShedder(config, fixture.registry()));
   obs::ShedAuditLog audit(1 << 12);
   engine.AttachAuditLog(&audit);
@@ -400,6 +411,7 @@ bool RunEngine(const Fixture& fixture, const NfaPtr& nfa,
   }
   artifacts.metrics = engine.metrics().ToString();
   artifacts.audit_jsonl = audit.ToJsonl();
+  artifacts.quality = engine.ExportQualityJson();
   auto snapshot = engine.SerializeSnapshot();
   if (!snapshot.ok()) {
     failures->push_back({config.ToString(), "final snapshot failed: " +
@@ -428,7 +440,7 @@ bool CompareArtifacts(const RunArtifacts& a, const RunArtifacts& b,
 }
 
 bool RunConfig(const Fixture& fixture, const StressConfig& config,
-               std::vector<Failure>* failures) {
+               std::vector<Failure>* failures, bool shadow_axis = false) {
   auto nfa = fixture.Compile(kQueries[config.query]);
   if (!nfa.ok()) {
     failures->push_back({config.ToString(),
@@ -494,6 +506,40 @@ bool RunConfig(const Fixture& fixture, const StressConfig& config,
                "resume: audit JSONL diverges");
   STRESS_CHECK(resumed.snapshot == serial.snapshot,
                "resume: final snapshot bytes diverge");
+
+  // Shadow non-interference (D, --shadow): a quality-enabled twin must
+  // reproduce the baseline's primary artifacts exactly (snapshot bytes
+  // excluded — the quality components add durable sections), and its
+  // quality exports must themselves be thread/shard-deterministic.
+  if (shadow_axis) {
+    RunArtifacts quality_serial;
+    if (!RunEngine(fixture, nfa.ValueOrDie(), config, /*parallel=*/false,
+                   events, nullptr, nullptr, nullptr, &quality_serial,
+                   failures, /*with_quality=*/true)) {
+      return false;
+    }
+    STRESS_CHECK(quality_serial.fingerprints == serial.fingerprints,
+                 "shadow twin: match fingerprints diverge from baseline");
+    STRESS_CHECK(quality_serial.metrics == serial.metrics,
+                 "shadow twin: primary metrics diverge from baseline");
+    STRESS_CHECK(quality_serial.audit_jsonl == serial.audit_jsonl,
+                 "shadow twin: audit JSONL diverges from baseline");
+    STRESS_CHECK(quality_serial.callback_victims == serial.callback_victims,
+                 "shadow twin: shed victims diverge from baseline");
+
+    RunArtifacts quality_parallel;
+    if (!RunEngine(fixture, nfa.ValueOrDie(), config, /*parallel=*/true,
+                   events, nullptr, nullptr, nullptr, &quality_parallel,
+                   failures, /*with_quality=*/true)) {
+      return false;
+    }
+    if (!CompareArtifacts(quality_serial, quality_parallel, config,
+                          "shadow serial-vs-parallel", failures)) {
+      return false;
+    }
+    STRESS_CHECK(quality_serial.quality == quality_parallel.quality,
+                 "shadow serial-vs-parallel: quality exports diverge");
+  }
   return true;
 }
 
@@ -686,6 +732,7 @@ int main(int argc, char** argv) {
   uint64_t configs = 100;
   uint64_t seed = 7;
   bool server_mode = false;
+  bool shadow_axis = false;
   bool configs_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -699,8 +746,11 @@ int main(int argc, char** argv) {
       seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--server") {
       server_mode = true;
+    } else if (arg == "--shadow") {
+      shadow_axis = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--configs N] [--seed S] [--server]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--configs N] [--seed S] [--server] [--shadow]\n",
                    argv[0]);
       return 2;
     }
@@ -734,7 +784,7 @@ int main(int argc, char** argv) {
           config.query < 9) {
         ++oracle_checked;
       }
-      cep::RunConfig(fixture, config, &failures);
+      cep::RunConfig(fixture, config, &failures, shadow_axis);
     }
     if ((c + 1) % 100 == 0) {
       std::fprintf(stderr, "  ... %llu/%llu configs, %zu failures\n",
@@ -766,9 +816,11 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "stress_engine: %llu configs passed (oracle cross-checked on %llu; "
-      "determinism, checkpoint-resume, and run-conservation on all), seed %llu\n",
+      "determinism, checkpoint-resume, and run-conservation on all%s), "
+      "seed %llu\n",
       static_cast<unsigned long long>(configs),
       static_cast<unsigned long long>(oracle_checked),
+      shadow_axis ? "; shadow twins non-interfering" : "",
       static_cast<unsigned long long>(seed));
   return 0;
 }

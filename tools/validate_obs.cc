@@ -6,6 +6,8 @@
 //   validate_obs metrics-prom FILE   cepshed_cli --metrics-out x.prom
 //   validate_obs trace FILE          cepshed_cli --trace-out x.json
 //   validate_obs audit FILE          cepshed_cli --audit-out x.jsonl
+//   validate_obs quality FILE        cepshed_cli --quality-out x.json
+//   validate_obs bench-suite FILE    bench/bench_suite BENCH_suite.json
 //
 // Exit 0 when the file parses and satisfies the schema, 1 with a message on
 // stderr otherwise.
@@ -457,13 +459,184 @@ int ValidateAudit(const std::string& text) {
   return 0;
 }
 
+// --- shedding-quality JSON (cepshed_cli --quality-out) ----------------------
+
+/// Checks `object` has a numeric field for every name in `keys`.
+int RequireNumbers(const JsonValue* object, const char* context,
+                   const std::vector<const char*>& keys) {
+  for (const char* key : keys) {
+    const JsonValue* field = object->Get(key);
+    if (field == nullptr || field->kind != JsonValue::Kind::kNumber) {
+      std::fprintf(stderr, "%s: missing numeric field '%s'\n", context, key);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int ValidateQuality(const std::string& text) {
+  int rc = 0;
+  JsonPtr root = ParseOrDie(text, &rc);
+  if (root == nullptr) return rc;
+  if (root->kind != JsonValue::Kind::kObject) {
+    return Invalid("quality: top level must be an object%s", "");
+  }
+  const JsonValue* version = root->Get("schema_version");
+  if (version == nullptr || version->kind != JsonValue::Kind::kNumber) {
+    return Invalid("quality: missing numeric schema_version%s", "");
+  }
+  // Every section is optional (each maps to an independently enabled
+  // monitor), but a present section must carry its full schema.
+  const JsonValue* shadow = root->Get("shadow");
+  if (shadow != nullptr) {
+    if (shadow->kind != JsonValue::Kind::kObject) {
+      return Invalid("quality: shadow must be an object%s", "");
+    }
+    if (RequireNumbers(shadow, "quality: shadow",
+                       {"sample_every", "span_width", "spans_sampled",
+                        "spans_completed", "spans_aborted", "events_mirrored",
+                        "ghost_matches", "matched", "unexpected",
+                        "recall_estimate", "recall_lower", "recall_upper",
+                        "recall_lifetime"}) != 0) {
+      return 1;
+    }
+    const double lower = shadow->Get("recall_lower")->number;
+    const double upper = shadow->Get("recall_upper")->number;
+    const double estimate = shadow->Get("recall_estimate")->number;
+    if (lower < 0.0 || upper > 1.0 || lower > upper) {
+      return Invalid("quality: shadow recall bounds out of order%s", "");
+    }
+    if (shadow->Get("spans_completed")->number > 0 &&
+        (estimate < lower || estimate > upper)) {
+      return Invalid("quality: shadow recall estimate outside its bounds%s",
+                     "");
+    }
+  }
+  const JsonValue* calibration = root->Get("calibration");
+  if (calibration != nullptr) {
+    if (calibration->kind != JsonValue::Kind::kObject) {
+      return Invalid("quality: calibration must be an object%s", "");
+    }
+    if (RequireNumbers(calibration, "quality: calibration",
+                       {"outcomes", "shed_predictions", "brier_score",
+                        "drift", "mean_shed_prediction"}) != 0) {
+      return 1;
+    }
+    const JsonValue* buckets = calibration->Get("buckets");
+    if (buckets == nullptr || buckets->kind != JsonValue::Kind::kArray ||
+        buckets->array.empty()) {
+      return Invalid("quality: calibration missing buckets array%s", "");
+    }
+    for (const JsonPtr& bucket : buckets->array) {
+      if (bucket->kind != JsonValue::Kind::kObject ||
+          RequireNumbers(bucket.get(), "quality: calibration bucket",
+                         {"count", "predicted", "observed"}) != 0) {
+        return 1;
+      }
+    }
+  }
+  const JsonValue* slo = root->Get("theta_slo");
+  if (slo != nullptr) {
+    if (slo->kind != JsonValue::Kind::kObject) {
+      return Invalid("quality: theta_slo must be an object%s", "");
+    }
+    if (RequireNumbers(slo, "quality: theta_slo",
+                       {"events", "violating_events", "time_in_violation_us",
+                        "violation_streak", "violation_streak_max",
+                        "budget_fraction"}) != 0) {
+      return 1;
+    }
+    const JsonValue* rates = slo->Get("burn_rates");
+    if (rates == nullptr || rates->kind != JsonValue::Kind::kArray ||
+        rates->array.empty()) {
+      return Invalid("quality: theta_slo missing burn_rates array%s", "");
+    }
+    double last_window = 0.0;
+    for (const JsonPtr& rate : rates->array) {
+      if (rate->kind != JsonValue::Kind::kObject ||
+          RequireNumbers(rate.get(), "quality: burn_rate",
+                         {"window", "burn_rate"}) != 0) {
+        return 1;
+      }
+      const double window = rate->Get("window")->number;
+      if (window <= last_window) {
+        return Invalid("quality: burn_rate windows not increasing%s", "");
+      }
+      last_window = window;
+    }
+  }
+  return 0;
+}
+
+// --- standing bench suite (bench/bench_suite.cc) ----------------------------
+
+int ValidateBenchSuite(const std::string& text) {
+  int rc = 0;
+  JsonPtr root = ParseOrDie(text, &rc);
+  if (root == nullptr) return rc;
+  if (root->kind != JsonValue::Kind::kObject) {
+    return Invalid("bench-suite: top level must be an object%s", "");
+  }
+  const JsonValue* version = root->Get("schema_version");
+  if (version == nullptr || version->kind != JsonValue::Kind::kNumber ||
+      version->number < 1) {
+    return Invalid("bench-suite: missing numeric schema_version >= 1%s", "");
+  }
+  if (root->Get("single_thread_eps") == nullptr ||
+      root->Get("single_thread_eps")->kind != JsonValue::Kind::kNumber) {
+    return Invalid("bench-suite: missing numeric single_thread_eps%s", "");
+  }
+  const JsonValue* rows = root->Get("rows");
+  if (rows == nullptr || rows->kind != JsonValue::Kind::kArray) {
+    return Invalid("bench-suite: missing rows array%s", "");
+  }
+  std::map<std::string, std::map<std::string, int>> seen;
+  for (const JsonPtr& row : rows->array) {
+    if (row->kind != JsonValue::Kind::kObject) {
+      return Invalid("bench-suite: non-object row%s", "");
+    }
+    const JsonValue* workload = row->Get("workload");
+    const JsonValue* strategy = row->Get("strategy");
+    if (workload == nullptr || workload->kind != JsonValue::Kind::kString ||
+        strategy == nullptr || strategy->kind != JsonValue::Kind::kString) {
+      return Invalid("bench-suite: row missing workload/strategy%s", "");
+    }
+    if (RequireNumbers(row.get(), "bench-suite: row",
+                       {"events", "matches", "throughput_eps", "recall",
+                        "shadow_recall_estimate", "shadow_abs_error",
+                        "shadow_spans", "brier", "drift",
+                        "p99_event_busy_us"}) != 0) {
+      return 1;
+    }
+    const double recall = row->Get("recall")->number;
+    if (recall < 0.0 || recall > 1.0) {
+      return Invalid("bench-suite: recall out of [0,1] for workload '%s'",
+                     workload->string);
+    }
+    ++seen[workload->string][strategy->string];
+  }
+  if (seen.size() < 3) {
+    return Invalid("bench-suite: fewer than 3 workloads%s", "");
+  }
+  for (const auto& [workload, strategies] : seen) {
+    for (const char* required : {"none", "ibls", "rbls", "sbls"}) {
+      const auto it = strategies.find(required);
+      if (it == strategies.end()) {
+        return Invalid("bench-suite: workload missing a strategy row: %s",
+                       workload + "/" + required);
+      }
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc != 3) {
     std::fprintf(stderr,
-                 "usage: validate_obs <metrics-json|metrics-prom|trace|audit> "
-                 "<file>\n");
+                 "usage: validate_obs <metrics-json|metrics-prom|trace|audit"
+                 "|quality|bench-suite> <file>\n");
     return 2;
   }
   std::ifstream file(argv[2]);
@@ -484,6 +657,10 @@ int main(int argc, char** argv) {
     rc = ValidateTrace(text);
   } else if (kind == "audit") {
     rc = ValidateAudit(text);
+  } else if (kind == "quality") {
+    rc = ValidateQuality(text);
+  } else if (kind == "bench-suite") {
+    rc = ValidateBenchSuite(text);
   } else {
     std::fprintf(stderr, "unknown kind '%s'\n", kind.c_str());
     return 2;
