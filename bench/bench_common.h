@@ -7,9 +7,11 @@
 #include <string>
 #include <vector>
 
+#include "common/string_util.h"
 #include "harness/experiment.h"
 #include "shedding/input_shedder.h"
 #include "shedding/random_shedder.h"
+#include "shedding/registry.h"
 #include "shedding/state_shedder.h"
 #include "workload/google_trace.h"
 #include "workload/queries.h"
@@ -99,17 +101,53 @@ inline StateShedderOptions SblsOptions(const CannedQuery& query,
   return options;
 }
 
+/// Renders PmHashOptions selectors in registry spec form ("req:loc;..." —
+/// ';'-separated because spec values cannot contain ',').
+inline std::string PmHashSpecString(const PmHashOptions& hash) {
+  std::string out;
+  for (const auto& selector : hash.attributes) {
+    if (!out.empty()) out += ';';
+    out += selector.event_type + ":" + selector.attribute;
+  }
+  return out;
+}
+
+/// Builds a shedder from a registry spec, exiting on any error (bench
+/// binaries are experiment scripts).
+inline ShedderPtr MakeRegistryShedder(const std::string& spec,
+                                      const SchemaRegistry* registry) {
+  ShedderEnv env;
+  env.schema = registry;
+  auto shedder = ShedderRegistry::Make(spec, env);
+  if (!shedder.ok()) {
+    std::fprintf(stderr, "FATAL shedder spec '%s': %s\n", spec.c_str(),
+                 shedder.status().ToString().c_str());
+    std::exit(1);
+  }
+  return shedder.MoveValueUnsafe();
+}
+
 inline ShedderFactory MakeSblsFactory(const CannedQuery& query,
                                       const SchemaRegistry* registry) {
   return [&query, registry](int rep) -> ShedderPtr {
-    return std::make_unique<StateShedder>(
-        SblsOptions(query, 0x5b15 + static_cast<uint64_t>(rep)), registry);
+    return MakeRegistryShedder(
+        StrFormat("sbls(seed=%llu,slices=16,wplus=4,wminus=1,hash=%s,"
+                  "bucket=%g)",
+                  static_cast<unsigned long long>(
+                      0x5b15 + static_cast<uint64_t>(rep)),
+                  PmHashSpecString(query.pm_hash).c_str(),
+                  query.pm_hash.numeric_bucket_width),
+        registry);
   };
 }
 
 inline ShedderFactory MakeRblsFactory() {
   return [](int rep) -> ShedderPtr {
-    return std::make_unique<RandomShedder>(0xab1e + static_cast<uint64_t>(rep));
+    return MakeRegistryShedder(
+        StrFormat("rbls(seed=%llu)",
+                  static_cast<unsigned long long>(
+                      0xab1e + static_cast<uint64_t>(rep))),
+        nullptr);
   };
 }
 

@@ -637,13 +637,28 @@ Status Engine::ProcessEventInternal(const EventPtr& event) {
     }
   }
 
-  // Input-based shedding hook (baselines; state-based shedders never drop).
+  // Input probe: every arriving event is offered to the strategy, which can
+  // claim it (drop_event) and/or shed runs pre-emptively in one decision.
   if (shedder_ != nullptr) {
-    const bool overloaded =
-        options_.latency_threshold_micros > 0 &&
-        latency_monitor_->CurrentLatencyMicros() >
-            options_.latency_threshold_micros;
-    if (shedder_->ShouldDropEvent(*event, overloaded)) {
+    ShedContext probe{run_store_.slots(), now, /*target=*/0,
+                      WantShedScores()};
+    probe.event = event.get();
+    probe.overloaded = options_.latency_threshold_micros > 0 &&
+                       latency_monitor_->CurrentLatencyMicros() >
+                           options_.latency_threshold_micros;
+    probe.store = &run_store_;
+    probe.window = nfa_ != nullptr ? nfa_->window() : 0;
+    probe.degradation_level =
+        degradation_ != nullptr ? static_cast<int>(level) : -1;
+    ShedDecision decision = shedder_->Decide(probe);
+    if (!decision.victims.empty()) {
+      const size_t applied = ApplyVictims(decision, now);
+      if (applied > 0) {
+        CompactRuns();
+        ++metrics_.shed_triggers;
+      }
+    }
+    if (decision.drop_event) {
       ++metrics_.events_dropped;
       latency_monitor_->Record(now, 0.0, 1);
       NoteSloSample(0.0);
@@ -1188,7 +1203,12 @@ void Engine::TriggerShed(Timestamp now, double latency) {
     target = std::max(target, run_store_.size() - options_.max_runs);
   }
   if (target == 0) return;
-  const ShedContext ctx{run_store_.slots(), now, target, WantShedScores()};
+  ShedContext ctx{run_store_.slots(), now, target, WantShedScores()};
+  ctx.overloaded = true;
+  ctx.store = &run_store_;
+  ctx.window = nfa_ != nullptr ? nfa_->window() : 0;
+  ctx.degradation_level =
+      degradation_ != nullptr ? static_cast<int>(degradation_->level()) : -1;
   const ShedDecision decision = shedder_->Decide(ctx);
   const size_t scanned = run_store_.size();
   const size_t applied = ApplyVictims(decision, now);
@@ -1213,8 +1233,12 @@ void Engine::TriggerShed(Timestamp now, double latency) {
 
 void Engine::ForceShed(size_t target) {
   if (shedder_ == nullptr || run_store_.empty() || target == 0) return;
-  const ShedContext ctx{run_store_.slots(), last_event_ts_, target,
-                        WantShedScores()};
+  ShedContext ctx{run_store_.slots(), last_event_ts_, target,
+                  WantShedScores()};
+  ctx.store = &run_store_;
+  ctx.window = nfa_ != nullptr ? nfa_->window() : 0;
+  ctx.degradation_level =
+      degradation_ != nullptr ? static_cast<int>(degradation_->level()) : -1;
   const ShedDecision decision = shedder_->Decide(ctx);
   const size_t scanned = run_store_.size();
   const size_t applied = ApplyVictims(decision, last_event_ts_);

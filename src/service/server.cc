@@ -16,6 +16,7 @@
 
 #include "ckpt/snapshot.h"
 #include "common/string_util.h"
+#include "shedding/registry.h"
 
 namespace cep {
 namespace service {
@@ -550,10 +551,19 @@ void Server::HandleControl(Connection* conn, const std::string& payload) {
       return;
     }
     conn->session = session.ValueOrDie();
-    Reply(conn, StrFormat("!ok hello tenant=%s ingested=%llu",
+    // Advertise the registered shedding strategies so clients can build
+    // `!query ... shedder=<name>` specs without guessing.
+    std::string strategies;
+    for (const ShedderStrategyInfo& info :
+         ShedderRegistry::ListStrategies()) {
+      if (!strategies.empty()) strategies += ',';
+      strategies += info.name;
+    }
+    Reply(conn, StrFormat("!ok hello tenant=%s ingested=%llu strategies=%s",
                           tokens[1].c_str(),
                           static_cast<unsigned long long>(
-                              conn->session->ingested())));
+                              conn->session->ingested()),
+                          strategies.c_str()));
     return;
   }
   if (command == "!quit") {

@@ -12,9 +12,7 @@
 #include "nfa/compiler.h"
 #include "query/analyzer.h"
 #include "query/parser.h"
-#include "shedding/input_shedder.h"
-#include "shedding/random_shedder.h"
-#include "shedding/state_shedder.h"
+#include "shedding/registry.h"
 #include "workload/bikeshare.h"
 #include "workload/google_trace.h"
 #include "workload/stock.h"
@@ -48,21 +46,6 @@ Result<double> KvDouble(const std::map<std::string, std::string>& kv,
   const auto it = kv.find(key);
   if (it == kv.end()) return fallback;
   return ParseDouble(it->second);
-}
-
-Result<PmHashOptions> ParseHashSpec(const std::string& spec, double bucket) {
-  PmHashOptions options;
-  options.numeric_bucket_width = bucket;
-  if (spec.empty()) return options;
-  for (const std::string& item : SplitString(spec, ',')) {
-    const size_t colon = item.find(':');
-    if (colon == std::string::npos) {
-      return Status::ParseError("hash expects type:attr, got '" + item + "'");
-    }
-    options.attributes.push_back(
-        {item.substr(0, colon), item.substr(colon + 1)});
-  }
-  return options;
 }
 
 Status WriteTextFileAtomic(const std::string& path, const std::string& text) {
@@ -158,40 +141,21 @@ Result<ShedderPtr> MakeShedderFromSpec(
     const std::map<std::string, std::string>& kv,
     const SchemaRegistry& registry) {
   const auto it = kv.find("shedder");
-  const std::string name = it == kv.end() ? "none" : it->second;
-  CEP_ASSIGN_OR_RETURN(uint64_t seed, KvUint(kv, "seed", 1));
-  if (name == "none") return ShedderPtr(nullptr);
-  if (name == "rbls") return ShedderPtr(std::make_unique<RandomShedder>(seed));
-  if (name == "ttl") return ShedderPtr(std::make_unique<TtlShedder>());
-  if (name == "ibls") {
-    InputShedderOptions options;
-    CEP_ASSIGN_OR_RETURN(options.drop_probability, KvDouble(kv, "drop", 0.2));
-    options.seed = seed;
-    return ShedderPtr(std::make_unique<InputShedder>(options));
+  const std::string spec = it == kv.end() ? "none" : it->second;
+  // The value may itself be an inline registry spec — "sbls(slices=32)" —
+  // since flat-form values cannot contain whitespace. Parse it, then overlay
+  // the remaining flat keys as strategy parameters (inline keys win); the
+  // registry filters the merged map down to the strategy's own knobs, so
+  // engine options travelling in the same kv map are ignored here.
+  CEP_ASSIGN_OR_RETURN(auto parsed, ShedderRegistry::ParseSpec(spec));
+  ShedderParams params = kv;
+  params.erase("shedder");
+  for (const auto& [key, value] : parsed.second) {
+    params[key] = value;
   }
-  if (name == "sbls") {
-    StateShedderOptions options;
-    const auto hash = kv.find("hash");
-    CEP_ASSIGN_OR_RETURN(double bucket, KvDouble(kv, "bucket", 0.0));
-    CEP_ASSIGN_OR_RETURN(
-        options.pm_hash,
-        ParseHashSpec(hash == kv.end() ? "" : hash->second, bucket));
-    CEP_ASSIGN_OR_RETURN(uint64_t slices, KvUint(kv, "slices", 16));
-    options.time_slices = static_cast<int>(slices);
-    if (kv.count("wplus") > 0) {
-      CEP_ASSIGN_OR_RETURN(
-          options.scoring.weight_contribution,
-          KvDouble(kv, "wplus", options.scoring.weight_contribution));
-    }
-    if (kv.count("wminus") > 0) {
-      CEP_ASSIGN_OR_RETURN(options.scoring.weight_cost,
-                           KvDouble(kv, "wminus",
-                                    options.scoring.weight_cost));
-    }
-    return ShedderPtr(
-        std::make_unique<StateShedder>(std::move(options), &registry));
-  }
-  return Status::InvalidArgument("unknown shedder '" + name + "'");
+  ShedderEnv env;
+  env.schema = &registry;
+  return ShedderRegistry::MakeFromParams(parsed.first, params, env);
 }
 
 std::string FormatMatch(const Match& match, const ParsedQuery& query) {

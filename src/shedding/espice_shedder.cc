@@ -1,0 +1,172 @@
+#include "shedding/espice_shedder.h"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "common/hash.h"
+#include "shedding/registry.h"
+
+namespace cep {
+
+namespace {
+
+/// Fingerprint of the configuration aspects that determine cell keys.
+uint64_t ConfigFingerprint(const EspiceShedderOptions& options,
+                           const TimeSlicer& slicer) {
+  uint64_t h = Mix64(0xe591ce + static_cast<uint64_t>(options.position_buckets));
+  return HashCombine(h, static_cast<uint64_t>(slicer.window()));
+}
+
+}  // namespace
+
+EspiceShedder::EspiceShedder(EspiceShedderOptions options)
+    : options_(options),
+      utility_(std::make_unique<ExactCounterBackend>()),
+      rng_(options.seed) {}
+
+void EspiceShedder::Attach(const Nfa& nfa) {
+  slicer_ = TimeSlicer(nfa.window(), options_.position_buckets);
+}
+
+uint64_t EspiceShedder::CellKey(EventTypeId type, int bucket) const {
+  return Mix64((static_cast<uint64_t>(type) + 1) * 0x9e3779b97f4a7c15ULL ^
+               (static_cast<uint64_t>(bucket) + 0xe591ce));
+}
+
+void EspiceShedder::OnRunCreated(Run* run, const Event& event, Timestamp now) {
+  (void)run;
+  (void)now;
+  // The creating event opens the window, so its position is bucket 0.
+  utility_.Observe(CellKey(event.type(), 0));
+}
+
+void EspiceShedder::OnRunExtended(const Run* parent, Run* child,
+                                  const Event& event, Timestamp now) {
+  (void)parent;
+  // Position of the event within the extended run's window.
+  utility_.Observe(
+      CellKey(event.type(), slicer_.Slice(child->start_ts(), now)));
+}
+
+void EspiceShedder::OnMatchEmitted(const Run& run, Timestamp now) {
+  (void)now;
+  // Re-derive each bound event's (type, position) cell from the bindings
+  // instead of keeping a model trail on the run — events were bound at their
+  // own timestamps, so the buckets recompute exactly. Trail-free learning is
+  // what lets HybridShedder pair this strategy with a trail-owning state-side
+  // strategy on the same runs.
+  std::vector<uint64_t> cells;
+  cells.reserve(static_cast<size_t>(run.size()));
+  for (int v = 0; v < run.num_variables(); ++v) {
+    for (const EventPtr& event : run.binding(v)) {
+      cells.push_back(CellKey(event->type(),
+                              slicer_.Slice(run.start_ts(),
+                                            event->timestamp())));
+    }
+  }
+  utility_.Credit(cells);
+}
+
+double EspiceShedder::Utility(EventTypeId type, int bucket) const {
+  return std::clamp(
+      utility_.Estimate(CellKey(type, bucket), options_.utility_optimism), 0.0,
+      1.0);
+}
+
+ShedDecision EspiceShedder::Decide(const ShedContext& ctx) {
+  ShedDecision decision;
+  if (ctx.event == nullptr) return decision;  // never sheds state
+  if (options_.only_when_overloaded && !ctx.overloaded) return decision;
+  // The event's window position is measured against the oldest open window,
+  // i.e. the oldest live partial match. The run store compacts stably with
+  // the oldest run first, so this scan terminates at the first live slot.
+  int bucket = 0;
+  for (const RunPtr& run : ctx.runs) {
+    if (run != nullptr) {
+      bucket = slicer_.Slice(run->start_ts(), ctx.now);
+      break;
+    }
+  }
+  const double utility = Utility(ctx.event->type(), bucket);
+  decision.drop_event =
+      rng_.NextBernoulli(options_.drop_probability * (1.0 - utility));
+  return decision;
+}
+
+bool EspiceShedder::DescribeVictim(const Run& run, Timestamp now,
+                                   ShedVictimScores* scores) const {
+  double sum = 0.0;
+  int n = 0;
+  for (int v = 0; v < run.num_variables(); ++v) {
+    for (const EventPtr& event : run.binding(v)) {
+      sum += std::clamp(
+          utility_.Estimate(CellKey(event->type(),
+                                    slicer_.Slice(run.start_ts(),
+                                                  event->timestamp())),
+                            options_.utility_optimism),
+          0.0, 1.0);
+      ++n;
+    }
+  }
+  scores->c_plus = n > 0 ? sum / n : options_.utility_optimism;
+  scores->c_minus = 0.0;
+  scores->score = scores->c_plus;
+  scores->time_slice = slicer_.Slice(run.start_ts(), now);
+  return true;
+}
+
+Status EspiceShedder::SerializeTo(ckpt::Sink& sink) const {
+  sink.WriteU64(ConfigFingerprint(options_, slicer_));
+  CEP_RETURN_NOT_OK(utility_.backend().SerializeTo(sink));
+  for (const uint64_t word : rng_.state()) sink.WriteU64(word);
+  return Status::OK();
+}
+
+Status EspiceShedder::RestoreFrom(ckpt::Source& source) {
+  CEP_ASSIGN_OR_RETURN(uint64_t fingerprint, source.ReadU64());
+  if (fingerprint != ConfigFingerprint(options_, slicer_)) {
+    return Status::InvalidArgument(
+        "espice snapshot was written under a different configuration "
+        "(position buckets / window)");
+  }
+  CEP_RETURN_NOT_OK(utility_.mutable_backend()->RestoreFrom(source));
+  std::array<uint64_t, 4> state;
+  for (auto& word : state) {
+    CEP_ASSIGN_OR_RETURN(word, source.ReadU64());
+  }
+  rng_.set_state(state);
+  return Status::OK();
+}
+
+void RegisterEspiceShedder() {
+  ShedderRegistry::Register(
+      {"espice",
+       "eSPICE-style input shedding by learned (event type, window position) "
+       "utility",
+       {{"drop", "baseline drop probability while overloaded (default 0.2)"},
+        {"buckets", "window-position buckets (default 16)"},
+        {"optimism", "prior utility for unseen cells (default 1)"},
+        {"seed", "RNG seed for the drop stream (default 1)"}}},
+      [](const ShedderParams& params,
+         const ShedderEnv&) -> Result<ShedderPtr> {
+        EspiceShedderOptions options;
+        CEP_ASSIGN_OR_RETURN(
+            options.drop_probability,
+            ShedderParamDouble(params, "drop", options.drop_probability));
+        CEP_ASSIGN_OR_RETURN(
+            uint64_t buckets,
+            ShedderParamU64(params, "buckets",
+                            static_cast<uint64_t>(options.position_buckets)));
+        options.position_buckets = static_cast<int>(buckets);
+        CEP_ASSIGN_OR_RETURN(
+            options.utility_optimism,
+            ShedderParamDouble(params, "optimism", options.utility_optimism));
+        CEP_ASSIGN_OR_RETURN(options.seed,
+                             ShedderParamU64(params, "seed", options.seed));
+        return ShedderPtr(std::make_unique<EspiceShedder>(options));
+      });
+}
+
+}  // namespace cep

@@ -1,0 +1,94 @@
+#ifndef CEPSHED_SHEDDING_ESPICE_SHEDDER_H_
+#define CEPSHED_SHEDDING_ESPICE_SHEDDER_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "shedding/contribution_model.h"
+#include "shedding/shedder.h"
+#include "shedding/time_slice.h"
+
+namespace cep {
+
+/// \brief Configuration of the eSPICE-style input shedder.
+struct EspiceShedderOptions {
+  /// Baseline probability of dropping a zero-utility event while overloaded;
+  /// the effective probability is drop_probability · (1 - utility).
+  double drop_probability = 0.2;
+  /// Drop only while µ(t) > θ (true) or unconditionally (false).
+  bool only_when_overloaded = true;
+  /// Window-position discretisation granularity.
+  int position_buckets = 16;
+  /// Prior utility for (type, position) cells without observations; an
+  /// optimistic prior protects never-before-seen cells from being dropped
+  /// before the model has evidence.
+  double utility_optimism = 1.0;
+  uint64_t seed = 1;
+};
+
+/// \brief eSPICE — utility-driven input shedding (Slo et al., "eSPICE:
+/// Probabilistic Load Shedding from Input Event Streams in Complex Event
+/// Processing", Middleware'19; PAPERS.md).
+///
+/// Learns a per-(event type, window position) utility table: the empirical
+/// probability that an event of type T arriving in position bucket p of a
+/// window contributes to a complete match. On overload, arriving events are
+/// dropped with probability drop_probability · (1 - utility), so low-utility
+/// (type, position) combinations absorb the load shedding. Never discards
+/// partial matches.
+///
+/// Deviation note (docs/SHEDDING.md): the original maintains utilities per
+/// pattern window and sheds against a per-window budget; this implementation
+/// measures an event's position relative to the *oldest live partial match*
+/// (the oldest open window) and sheds probabilistically, which keeps the
+/// decision O(1) without per-window bookkeeping and composes with this
+/// engine's single overload signal µ(t) > θ. Learning is trail-free — cells
+/// are recomputed from run bindings at match time — so the strategy composes
+/// inside HybridShedder with any trail-owning state-side strategy.
+class EspiceShedder final : public Shedder {
+ public:
+  explicit EspiceShedder(EspiceShedderOptions options);
+
+  std::string name() const override { return "ESPICE"; }
+
+  void Attach(const Nfa& nfa) override;
+
+  void OnRunCreated(Run* run, const Event& event, Timestamp now) override;
+  void OnRunExtended(const Run* parent, Run* child, const Event& event,
+                     Timestamp now) override;
+  void OnMatchEmitted(const Run& run, Timestamp now) override;
+
+  /// Event probes only: never selects state victims.
+  ShedDecision Decide(const ShedContext& ctx) override;
+
+  /// Mean utility over the run's bound events (their (type, position)
+  /// cells), read as a completion-probability proxy by the calibration
+  /// monitor.
+  bool DescribeVictim(const Run& run, Timestamp now,
+                      ShedVictimScores* scores) const override;
+
+  /// Learned utility of (type, position-bucket), clamped to [0, 1]
+  /// (exposed for tests).
+  double Utility(EventTypeId type, int bucket) const;
+
+  const EspiceShedderOptions& options() const { return options_; }
+
+  Status SerializeTo(ckpt::Sink& sink) const override;
+  Status RestoreFrom(ckpt::Source& source) override;
+
+ private:
+  uint64_t CellKey(EventTypeId type, int bucket) const;
+
+  EspiceShedderOptions options_;
+  TimeSlicer slicer_{1, 1};
+  ContributionModel utility_;
+  Rng rng_;
+};
+
+/// Registers the `espice` strategy with the ShedderRegistry (registry.h);
+/// called from the registry's EnsureRegistered, never directly.
+void RegisterEspiceShedder();
+
+}  // namespace cep
+
+#endif  // CEPSHED_SHEDDING_ESPICE_SHEDDER_H_

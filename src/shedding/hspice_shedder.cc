@@ -1,0 +1,209 @@
+#include "shedding/hspice_shedder.h"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+
+#include "common/hash.h"
+#include "engine/run_store.h"
+#include "shedding/registry.h"
+
+namespace cep {
+
+namespace {
+
+uint64_t ConfigFingerprint(int num_states) {
+  return Mix64(0x45b1ce + static_cast<uint64_t>(num_states));
+}
+
+}  // namespace
+
+HspiceShedder::HspiceShedder(HspiceShedderOptions options)
+    : options_(options),
+      utility_(std::make_unique<ExactCounterBackend>()),
+      state_marginal_(std::make_unique<ExactCounterBackend>()),
+      rng_(options.seed) {}
+
+void HspiceShedder::Attach(const Nfa& nfa) {
+  num_states_ = static_cast<int>(nfa.num_states());
+  start_state_ = nfa.start_state();
+  occupancy_.assign(static_cast<size_t>(num_states_), 0);
+  // Resolve which state a run occupies right after binding each pattern
+  // variable: the target of the take edge binding it (Kleene self-loops keep
+  // the run in the looping state). Used to re-derive (type, state) cells
+  // from run bindings at match time without a model trail on the run.
+  int num_vars = 0;
+  for (const State& state : nfa.states()) {
+    for (const Edge& edge : state.edges) {
+      num_vars = std::max(num_vars, edge.var_index + 1);
+    }
+  }
+  var_state_.assign(static_cast<size_t>(num_vars), -1);
+  for (const State& state : nfa.states()) {
+    for (const Edge& edge : state.edges) {
+      if (edge.var_index < 0) continue;
+      int& slot = var_state_[static_cast<size_t>(edge.var_index)];
+      if (slot != -1) continue;
+      if (edge.kind == EdgeKind::kTake) {
+        slot = edge.target;
+      } else if (edge.kind == EdgeKind::kKleeneTake) {
+        slot = state.id;
+      }
+    }
+  }
+}
+
+uint64_t HspiceShedder::CellKey(EventTypeId type, int state) const {
+  return Mix64((static_cast<uint64_t>(type) + 1) * 0x9e3779b97f4a7c15ULL ^
+               ((static_cast<uint64_t>(state) + 1) * 0xc2b2ae3d27d4eb4fULL));
+}
+
+uint64_t HspiceShedder::StateKey(int state) const {
+  return Mix64((static_cast<uint64_t>(state) + 1) * 0xff51afd7ed558ccdULL);
+}
+
+void HspiceShedder::OnRunCreated(Run* run, const Event& event, Timestamp now) {
+  (void)now;
+  utility_.Observe(CellKey(event.type(), run->state()));
+  state_marginal_.Observe(StateKey(run->state()));
+}
+
+void HspiceShedder::OnRunExtended(const Run* parent, Run* child,
+                                  const Event& event, Timestamp now) {
+  (void)parent;
+  (void)now;
+  utility_.Observe(CellKey(event.type(), child->state()));
+  state_marginal_.Observe(StateKey(child->state()));
+}
+
+void HspiceShedder::OnMatchEmitted(const Run& run, Timestamp now) {
+  (void)now;
+  std::vector<uint64_t> cells;
+  std::vector<uint64_t> states;
+  cells.reserve(static_cast<size_t>(run.size()));
+  states.reserve(static_cast<size_t>(run.size()));
+  for (int v = 0; v < run.num_variables(); ++v) {
+    const int state =
+        v < static_cast<int>(var_state_.size()) ? var_state_[v] : -1;
+    if (state < 0) continue;
+    for (const EventPtr& event : run.binding(v)) {
+      cells.push_back(CellKey(event->type(), state));
+      states.push_back(StateKey(state));
+    }
+  }
+  utility_.Credit(cells);
+  state_marginal_.Credit(states);
+}
+
+double HspiceShedder::Utility(EventTypeId type, int state) const {
+  return std::clamp(
+      utility_.Estimate(CellKey(type, state), options_.utility_optimism), 0.0,
+      1.0);
+}
+
+ShedDecision HspiceShedder::Decide(const ShedContext& ctx) {
+  ShedDecision decision;
+  if (ctx.event == nullptr) return decision;  // never sheds state
+  if (options_.only_when_overloaded && !ctx.overloaded) return decision;
+  const EventTypeId type = ctx.event->type();
+  double utility;
+  if (num_states_ > 0) {
+    // Occupancy-weighted mean utility over the live partial matches' states.
+    // The run store's SoA state column gives a dense scan; without a store
+    // (tests driving Decide directly) fall back to the run slots. The start
+    // state always participates with weight 1: the event may open a new
+    // window even when no run would consume it.
+    std::fill(occupancy_.begin(), occupancy_.end(), 0u);
+    const int32_t* states =
+        ctx.store != nullptr ? ctx.store->states() : nullptr;
+    for (size_t i = 0; i < ctx.runs.size(); ++i) {
+      if (ctx.runs[i] == nullptr) continue;
+      const int state = states != nullptr ? static_cast<int>(states[i])
+                                          : ctx.runs[i]->state();
+      if (state >= 0 && state < num_states_) {
+        ++occupancy_[static_cast<size_t>(state)];
+      }
+    }
+    if (start_state_ >= 0 && start_state_ < num_states_) {
+      ++occupancy_[static_cast<size_t>(start_state_)];
+    }
+    double weighted = 0.0;
+    uint64_t total = 0;
+    for (int s = 0; s < num_states_; ++s) {
+      const uint32_t occ = occupancy_[static_cast<size_t>(s)];
+      if (occ == 0) continue;
+      weighted += static_cast<double>(occ) * Utility(type, s);
+      total += occ;
+    }
+    utility = total > 0 ? weighted / static_cast<double>(total)
+                        : options_.utility_optimism;
+  } else {
+    utility = options_.utility_optimism;
+  }
+  decision.drop_event = rng_.NextBernoulli(
+      options_.drop_probability * (1.0 - std::clamp(utility, 0.0, 1.0)));
+  return decision;
+}
+
+bool HspiceShedder::DescribeVictim(const Run& run, Timestamp now,
+                                   ShedVictimScores* scores) const {
+  (void)now;
+  scores->c_plus = std::clamp(
+      state_marginal_.Estimate(StateKey(run.state()),
+                               options_.utility_optimism),
+      0.0, 1.0);
+  scores->c_minus = 0.0;
+  scores->score = scores->c_plus;
+  scores->time_slice = -1;
+  return true;
+}
+
+Status HspiceShedder::SerializeTo(ckpt::Sink& sink) const {
+  sink.WriteU64(ConfigFingerprint(num_states_));
+  CEP_RETURN_NOT_OK(utility_.backend().SerializeTo(sink));
+  CEP_RETURN_NOT_OK(state_marginal_.backend().SerializeTo(sink));
+  for (const uint64_t word : rng_.state()) sink.WriteU64(word);
+  return Status::OK();
+}
+
+Status HspiceShedder::RestoreFrom(ckpt::Source& source) {
+  CEP_ASSIGN_OR_RETURN(uint64_t fingerprint, source.ReadU64());
+  if (fingerprint != ConfigFingerprint(num_states_)) {
+    return Status::InvalidArgument(
+        "hspice snapshot was written under a different configuration "
+        "(automaton shape)");
+  }
+  CEP_RETURN_NOT_OK(utility_.mutable_backend()->RestoreFrom(source));
+  CEP_RETURN_NOT_OK(state_marginal_.mutable_backend()->RestoreFrom(source));
+  std::array<uint64_t, 4> state;
+  for (auto& word : state) {
+    CEP_ASSIGN_OR_RETURN(word, source.ReadU64());
+  }
+  rng_.set_state(state);
+  return Status::OK();
+}
+
+void RegisterHspiceShedder() {
+  ShedderRegistry::Register(
+      {"hspice",
+       "hSPICE-style input shedding by learned (event type, NFA state) "
+       "utility over live run-store occupancy",
+       {{"drop", "baseline drop probability while overloaded (default 0.2)"},
+        {"optimism", "prior utility for unseen cells (default 1)"},
+        {"seed", "RNG seed for the drop stream (default 1)"}}},
+      [](const ShedderParams& params,
+         const ShedderEnv&) -> Result<ShedderPtr> {
+        HspiceShedderOptions options;
+        CEP_ASSIGN_OR_RETURN(
+            options.drop_probability,
+            ShedderParamDouble(params, "drop", options.drop_probability));
+        CEP_ASSIGN_OR_RETURN(
+            options.utility_optimism,
+            ShedderParamDouble(params, "optimism", options.utility_optimism));
+        CEP_ASSIGN_OR_RETURN(options.seed,
+                             ShedderParamU64(params, "seed", options.seed));
+        return ShedderPtr(std::make_unique<HspiceShedder>(options));
+      });
+}
+
+}  // namespace cep

@@ -1,0 +1,98 @@
+#ifndef CEPSHED_SHEDDING_HSPICE_SHEDDER_H_
+#define CEPSHED_SHEDDING_HSPICE_SHEDDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "shedding/contribution_model.h"
+#include "shedding/shedder.h"
+
+namespace cep {
+
+/// \brief Configuration of the hSPICE-style input shedder.
+struct HspiceShedderOptions {
+  /// Baseline probability of dropping a zero-utility event while overloaded;
+  /// the effective probability is drop_probability · (1 - utility).
+  double drop_probability = 0.2;
+  /// Drop only while µ(t) > θ (true) or unconditionally (false).
+  bool only_when_overloaded = true;
+  /// Prior utility for (type, state) cells without observations.
+  double utility_optimism = 1.0;
+  uint64_t seed = 1;
+};
+
+/// \brief hSPICE — state-aware input shedding (Slo et al., "hSPICE:
+/// State-Aware Event Shedding in Complex Event Processing", DEBS'20;
+/// PAPERS.md).
+///
+/// Learns the utility of an event *relative to the automaton state of the
+/// partial match consuming it*: a per-(event type, NFA state) table of the
+/// empirical probability that binding a type-T event while entering state s
+/// leads to a complete match. On overload, an arriving event's utility is
+/// the live-state-occupancy-weighted mean over the run store's state column
+/// (plus the start state, since the event may open a new window), and the
+/// event is dropped with probability drop_probability · (1 - utility).
+///
+/// Deviation note (docs/SHEDDING.md): the original sheds an event per
+/// partial match (a dropped event may still extend other PMs); this engine
+/// drops input globally, so the per-PM utilities are aggregated over the
+/// current state occupancy — the run store's SoA state column makes that a
+/// single dense scan. Learning is trail-free (cells re-derived from bindings
+/// at match time via a variable→state map), so the strategy composes inside
+/// HybridShedder with any trail-owning state-side strategy.
+class HspiceShedder final : public Shedder {
+ public:
+  explicit HspiceShedder(HspiceShedderOptions options);
+
+  std::string name() const override { return "HSPICE"; }
+
+  void Attach(const Nfa& nfa) override;
+
+  void OnRunCreated(Run* run, const Event& event, Timestamp now) override;
+  void OnRunExtended(const Run* parent, Run* child, const Event& event,
+                     Timestamp now) override;
+  void OnMatchEmitted(const Run& run, Timestamp now) override;
+
+  /// Event probes only: never selects state victims.
+  ShedDecision Decide(const ShedContext& ctx) override;
+
+  /// Per-state completion probability of the run's current state, from the
+  /// state-marginal model (the calibration monitor's completion estimate).
+  bool DescribeVictim(const Run& run, Timestamp now,
+                      ShedVictimScores* scores) const override;
+
+  /// Learned utility of (type, state), clamped to [0, 1] (for tests).
+  double Utility(EventTypeId type, int state) const;
+
+  const HspiceShedderOptions& options() const { return options_; }
+
+  Status SerializeTo(ckpt::Sink& sink) const override;
+  Status RestoreFrom(ckpt::Source& source) override;
+
+ private:
+  uint64_t CellKey(EventTypeId type, int state) const;
+  uint64_t StateKey(int state) const;
+
+  HspiceShedderOptions options_;
+  ContributionModel utility_;
+  /// State-marginal completion model (denominator-shared with utility_ but
+  /// keyed by state alone), feeding DescribeVictim.
+  ContributionModel state_marginal_;
+  Rng rng_;
+  int num_states_ = 0;
+  int start_state_ = 0;
+  /// Pattern variable -> NFA state a run occupies right after binding it
+  /// (resolved in Attach; -1 when a variable never appears on a take edge).
+  std::vector<int> var_state_;
+  /// Scratch occupancy histogram, sized to num_states_ (reused per probe).
+  std::vector<uint32_t> occupancy_;
+};
+
+/// Registers the `hspice` strategy with the ShedderRegistry (registry.h);
+/// called from the registry's EnsureRegistered, never directly.
+void RegisterHspiceShedder();
+
+}  // namespace cep
+
+#endif  // CEPSHED_SHEDDING_HSPICE_SHEDDER_H_

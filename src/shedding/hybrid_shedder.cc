@@ -1,0 +1,80 @@
+#include "shedding/hybrid_shedder.h"
+
+#include <memory>
+
+#include "engine/options.h"
+#include "shedding/registry.h"
+
+namespace cep {
+
+ShedDecision HybridShedder::Decide(const ShedContext& ctx) {
+  if (ctx.event != nullptr) {
+    // Event probe → input side. At kEmergency the ladder forces the input
+    // child active even when µ(t) momentarily dipped back under θ: input
+    // shedding is the cheapest pressure valve and must not flap off while
+    // the controller still considers the engine in distress.
+    ShedContext probe = ctx;
+    if (ctx.degradation_level >=
+        static_cast<int>(DegradationLevel::kEmergency)) {
+      probe.overloaded = true;
+    }
+    return input_->Decide(probe);
+  }
+  // Shed episode → state side.
+  return state_->Decide(ctx);
+}
+
+void RegisterHybridShedder() {
+  ShedderRegistry::Register(
+      {"hybrid",
+       "composes one input-side and one state-side strategy across the "
+       "degradation ladder",
+       {{"input", "input-side child strategy (default espice)"},
+        {"state", "state-side child strategy (default pspice)"},
+        // Shared knobs forwarded to whichever child understands them.
+        {"seed", "forwarded to the children (see their defaults)"},
+        {"drop", "forwarded to the input child"},
+        {"buckets", "forwarded to the input child (espice)"},
+        {"optimism", "forwarded to both children"},
+        {"pessimism", "forwarded to the state child"},
+        {"slices", "forwarded to the state child"},
+        {"eps", "forwarded to the state child (pspice)"},
+        {"hash", "forwarded to the state child (sbls)"},
+        {"bucket", "forwarded to the state child (sbls)"},
+        {"wplus", "forwarded to the state child (sbls)"},
+        {"wminus", "forwarded to the state child (sbls)"},
+        {"backend", "forwarded to the state child (sbls)"},
+        {"width", "forwarded to the state child (sbls)"},
+        {"depth", "forwarded to the state child (sbls)"}}},
+      [](const ShedderParams& params,
+         const ShedderEnv& env) -> Result<ShedderPtr> {
+        const auto pick = [&params](const char* key, const char* fallback) {
+          const auto it = params.find(key);
+          return it == params.end() ? std::string(fallback) : it->second;
+        };
+        const std::string input_name = pick("input", "espice");
+        const std::string state_name = pick("state", "pspice");
+        for (const std::string& child : {input_name, state_name}) {
+          if (child == "hybrid" || child == "none") {
+            return Status::InvalidArgument(
+                "hybrid children cannot be '" + child + "'");
+          }
+        }
+        // MakeFromParams filters the shared knob set down to each child's
+        // own parameters, so one flat spec configures both.
+        CEP_ASSIGN_OR_RETURN(
+            ShedderPtr input,
+            ShedderRegistry::MakeFromParams(input_name, params, env));
+        CEP_ASSIGN_OR_RETURN(
+            ShedderPtr state,
+            ShedderRegistry::MakeFromParams(state_name, params, env));
+        if (input == nullptr || state == nullptr) {
+          return Status::InvalidArgument("hybrid children cannot be 'none'");
+        }
+        return ShedderPtr(
+            std::make_unique<HybridShedder>(std::move(input),
+                                            std::move(state)));
+      });
+}
+
+}  // namespace cep

@@ -1,0 +1,111 @@
+#ifndef CEPSHED_SHEDDING_HYBRID_SHEDDER_H_
+#define CEPSHED_SHEDDING_HYBRID_SHEDDER_H_
+
+#include <string>
+#include <utility>
+
+#include "shedding/shedder.h"
+
+namespace cep {
+
+/// \brief Composes one input-side and one state-side strategy and walks the
+/// degradation ladder across them (ROADMAP's "hybrid shedding family").
+///
+/// Ladder walk, driven by the signals already in ShedContext:
+///
+///  * healthy — neither child sheds: the input child gates itself on
+///    `overloaded` and the engine runs no shed episodes.
+///  * input-shed — µ(t) crosses θ: the input child's probe decisions arm
+///    (events start being dropped by utility) while the run set is still
+///    intact.
+///  * input+state-shed — overload persists into engine shed episodes: the
+///    state child now also discards the lowest-value partial matches.
+///  * emergency — the degradation controller reaches kEmergency: the input
+///    child is forced active on every event (its overload gate is overridden)
+///    on top of the engine's own emergency drops and adaptive shed amounts.
+///
+/// Both children receive every learning hook (input first, then state), so
+/// each maintains its models over the full run lifecycle. The run model
+/// trail belongs to the state-side child; the bundled input-side strategies
+/// (espice, hspice, ibls) learn trail-free, which is what makes this
+/// composition sound. DescribeVictim prefers the state child (its
+/// completion estimates feed the calibration monitor), falling back to the
+/// input child.
+///
+/// The composed name embeds both children ("HYBRID[ESPICE+PSPICE]"), so a
+/// checkpoint taken under one composition refuses to restore into another
+/// (the shedder checkpoint section is keyed by name).
+class HybridShedder final : public Shedder {
+ public:
+  /// Both children must be non-null; build via the registry
+  /// ("hybrid(input=espice,state=pspice,...)") which enforces that.
+  HybridShedder(ShedderPtr input, ShedderPtr state)
+      : input_(std::move(input)), state_(std::move(state)) {}
+
+  std::string name() const override {
+    return "HYBRID[" + input_->name() + "+" + state_->name() + "]";
+  }
+
+  void Attach(const Nfa& nfa) override {
+    input_->Attach(nfa);
+    state_->Attach(nfa);
+  }
+
+  void OnRunCreated(Run* run, const Event& event, Timestamp now) override {
+    input_->OnRunCreated(run, event, now);
+    state_->OnRunCreated(run, event, now);
+  }
+
+  void OnRunExtended(const Run* parent, Run* child, const Event& event,
+                     Timestamp now) override {
+    input_->OnRunExtended(parent, child, event, now);
+    state_->OnRunExtended(parent, child, event, now);
+  }
+
+  void OnMatchEmitted(const Run& run, Timestamp now) override {
+    input_->OnMatchEmitted(run, now);
+    state_->OnMatchEmitted(run, now);
+  }
+
+  void OnRunExpired(const Run& run, Timestamp now) override {
+    input_->OnRunExpired(run, now);
+    state_->OnRunExpired(run, now);
+  }
+
+  bool ShouldDropEvent(const Event& event, bool overloaded) override {
+    return input_->ShouldDropEvent(event, overloaded);
+  }
+
+  ShedDecision Decide(const ShedContext& ctx) override;
+
+  bool DescribeVictim(const Run& run, Timestamp now,
+                      ShedVictimScores* scores) const override {
+    if (state_->DescribeVictim(run, now, scores)) return true;
+    return input_->DescribeVictim(run, now, scores);
+  }
+
+  Status SerializeTo(ckpt::Sink& sink) const override {
+    CEP_RETURN_NOT_OK(input_->SerializeTo(sink));
+    return state_->SerializeTo(sink);
+  }
+
+  Status RestoreFrom(ckpt::Source& source) override {
+    CEP_RETURN_NOT_OK(input_->RestoreFrom(source));
+    return state_->RestoreFrom(source);
+  }
+
+  const Shedder& input_side() const { return *input_; }
+  const Shedder& state_side() const { return *state_; }
+
+ private:
+  ShedderPtr input_;
+  ShedderPtr state_;
+};
+
+/// Registers the `hybrid` strategy with the ShedderRegistry (registry.h);
+/// called from the registry's EnsureRegistered, never directly.
+void RegisterHybridShedder();
+
+}  // namespace cep
+
+#endif  // CEPSHED_SHEDDING_HYBRID_SHEDDER_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "shedding/registry.h"
+
 namespace cep {
 
 void InputShedder::Attach(const Nfa& nfa) {
@@ -42,6 +44,22 @@ Status InputShedder::RestoreFrom(ckpt::Source& source) {
   }
   rng_.set_state(state);
   return Status::OK();
+}
+
+void RegisterInputShedder() {
+  ShedderRegistry::Register(
+      {"ibls",
+       "input-based baseline: Bernoulli-drops arriving events while overloaded",
+       {{"drop", "drop probability while overloaded (default 0.2)"},
+        {"seed", "RNG seed for the drop stream (default 1)"}}},
+      [](const ShedderParams& params,
+         const ShedderEnv&) -> Result<ShedderPtr> {
+        InputShedderOptions options;
+        CEP_ASSIGN_OR_RETURN(options.drop_probability,
+                             ShedderParamDouble(params, "drop", 0.2));
+        CEP_ASSIGN_OR_RETURN(options.seed, ShedderParamU64(params, "seed", 1));
+        return ShedderPtr(std::make_unique<InputShedder>(std::move(options)));
+      });
 }
 
 }  // namespace cep

@@ -53,6 +53,10 @@ class InputShedder final : public Shedder {
   std::vector<double> drop_prob_by_type_;
 };
 
+/// Registers the `ibls` strategy with the ShedderRegistry (registry.h);
+/// called from the registry's EnsureRegistered, never directly.
+void RegisterInputShedder();
+
 }  // namespace cep
 
 #endif  // CEPSHED_SHEDDING_INPUT_SHEDDER_H_

@@ -1,0 +1,181 @@
+#include "shedding/pspice_shedder.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/hash.h"
+#include "shedding/registry.h"
+
+namespace cep {
+
+namespace {
+
+uint64_t ConfigFingerprint(const PspiceShedderOptions& options,
+                           const TimeSlicer& slicer) {
+  uint64_t h = Mix64(0x951ce + static_cast<uint64_t>(options.time_slices));
+  return HashCombine(h, static_cast<uint64_t>(slicer.window()));
+}
+
+}  // namespace
+
+PspiceShedder::PspiceShedder(PspiceShedderOptions options)
+    : options_(options),
+      completion_(std::make_unique<ExactCounterBackend>()),
+      cost_(std::make_unique<ExactCounterBackend>()) {}
+
+void PspiceShedder::Attach(const Nfa& nfa) {
+  slicer_ = TimeSlicer(nfa.window(), options_.time_slices);
+}
+
+uint64_t PspiceShedder::CellKey(int state, int slice) const {
+  return Mix64((static_cast<uint64_t>(state) + 1) * 0x9e3779b97f4a7c15ULL +
+               static_cast<uint64_t>(slice) + 0x951ce);
+}
+
+uint64_t PspiceShedder::KeyFor(const Run& run, Timestamp now) const {
+  if (!run.trail().empty()) return run.trail().back();
+  return CellKey(run.state(), slicer_.Slice(run.start_ts(), now));
+}
+
+void PspiceShedder::OnRunCreated(Run* run, const Event& event, Timestamp now) {
+  (void)event;
+  const uint64_t key =
+      CellKey(run->state(), slicer_.Slice(run->start_ts(), now));
+  run->PushTrail(key);
+  completion_.Observe(key);
+  cost_.Observe(key);
+}
+
+void PspiceShedder::OnRunExtended(const Run* parent, Run* child,
+                                  const Event& event, Timestamp now) {
+  (void)event;
+  const uint64_t key =
+      CellKey(child->state(), slicer_.Slice(child->start_ts(), now));
+  child->PushTrail(key);
+  completion_.Observe(key);
+  cost_.Observe(key);
+  if (parent != nullptr) {
+    // Every cell on the parent's lineage just caused one more derived
+    // partial match — the learned signal behind remaining(r).
+    cost_.Charge(parent->trail());
+  }
+}
+
+void PspiceShedder::OnMatchEmitted(const Run& run, Timestamp now) {
+  (void)now;
+  completion_.Credit(run.trail());
+}
+
+ShedVictimScores PspiceShedder::ScoresFor(const Run& run, Timestamp now) const {
+  ShedVictimScores scores;
+  const uint64_t key = KeyFor(run, now);
+  scores.c_plus = completion_.Estimate(key, options_.completion_optimism);
+  // Expected total cost of carrying the run to its window close: the work
+  // already sunk (bound events) plus the learned descendant count scaled by
+  // the remaining TTL fraction.
+  const double remaining = cost_.Estimate(key, options_.cost_pessimism) *
+                           slicer_.TtlFraction(run.start_ts(), now);
+  scores.c_minus = static_cast<double>(run.size()) + remaining;
+  scores.score =
+      scores.c_plus / (options_.ratio_epsilon + scores.c_minus);
+  scores.time_slice = slicer_.Slice(run.start_ts(), now);
+  return scores;
+}
+
+ShedDecision PspiceShedder::Decide(const ShedContext& ctx) {
+  // Partial-match shedding only; event probes fall through to the base.
+  if (ctx.event != nullptr) return Shedder::Decide(ctx);
+  struct Candidate {
+    double score;
+    Timestamp start_ts;
+    size_t index;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(ctx.runs.size());
+  for (size_t i = 0; i < ctx.runs.size(); ++i) {
+    if (ctx.runs[i] == nullptr) continue;
+    const Run& run = *ctx.runs[i];
+    const uint64_t key = KeyFor(run, ctx.now);
+    const double completion =
+        completion_.Estimate(key, options_.completion_optimism);
+    const double remaining = cost_.Estimate(key, options_.cost_pessimism) *
+                             slicer_.TtlFraction(run.start_ts(), ctx.now);
+    const double total_cost = static_cast<double>(run.size()) + remaining;
+    candidates.push_back(
+        Candidate{completion / (options_.ratio_epsilon + total_cost),
+                  run.start_ts(), i});
+  }
+  ShedDecision decision;
+  if (candidates.empty() || ctx.target == 0) return decision;
+  const size_t target = std::min(ctx.target, candidates.size());
+  // Lowest completion-per-cost first; ties towards expiring runs.
+  const auto worse = [](const Candidate& a, const Candidate& b) {
+    if (a.score != b.score) return a.score < b.score;
+    if (a.start_ts != b.start_ts) return a.start_ts < b.start_ts;
+    return a.index < b.index;
+  };
+  std::nth_element(candidates.begin(), candidates.begin() + (target - 1),
+                   candidates.end(), worse);
+  decision.victims.reserve(target);
+  for (size_t i = 0; i < target; ++i) {
+    ShedVictim victim;
+    victim.index = candidates[i].index;
+    if (ctx.want_scores) {
+      victim.has_scores = true;
+      victim.scores = ScoresFor(*ctx.runs[victim.index], ctx.now);
+    }
+    decision.victims.push_back(victim);
+  }
+  return decision;
+}
+
+Status PspiceShedder::SerializeTo(ckpt::Sink& sink) const {
+  sink.WriteU64(ConfigFingerprint(options_, slicer_));
+  CEP_RETURN_NOT_OK(completion_.backend().SerializeTo(sink));
+  return cost_.backend().SerializeTo(sink);
+}
+
+Status PspiceShedder::RestoreFrom(ckpt::Source& source) {
+  CEP_ASSIGN_OR_RETURN(uint64_t fingerprint, source.ReadU64());
+  if (fingerprint != ConfigFingerprint(options_, slicer_)) {
+    return Status::InvalidArgument(
+        "pspice snapshot was written under a different configuration "
+        "(time slices / window)");
+  }
+  CEP_RETURN_NOT_OK(completion_.mutable_backend()->RestoreFrom(source));
+  return cost_.mutable_backend()->RestoreFrom(source);
+}
+
+void RegisterPspiceShedder() {
+  ShedderRegistry::Register(
+      {"pspice",
+       "pSPICE-style partial-match shedding by completion probability per "
+       "consumed+remaining cost",
+       {{"slices", "relative-time slices (default 16)"},
+        {"optimism", "prior completion probability for unseen cells "
+                     "(default 1)"},
+        {"pessimism", "prior remaining cost for unseen cells (default 0)"},
+        {"eps", "ranking-ratio denominator stabiliser (default 0.001)"}}},
+      [](const ShedderParams& params,
+         const ShedderEnv&) -> Result<ShedderPtr> {
+        PspiceShedderOptions options;
+        CEP_ASSIGN_OR_RETURN(
+            uint64_t slices,
+            ShedderParamU64(params, "slices",
+                            static_cast<uint64_t>(options.time_slices)));
+        options.time_slices = static_cast<int>(slices);
+        CEP_ASSIGN_OR_RETURN(options.completion_optimism,
+                             ShedderParamDouble(params, "optimism",
+                                                options.completion_optimism));
+        CEP_ASSIGN_OR_RETURN(
+            options.cost_pessimism,
+            ShedderParamDouble(params, "pessimism", options.cost_pessimism));
+        CEP_ASSIGN_OR_RETURN(
+            options.ratio_epsilon,
+            ShedderParamDouble(params, "eps", options.ratio_epsilon));
+        return ShedderPtr(std::make_unique<PspiceShedder>(options));
+      });
+}
+
+}  // namespace cep

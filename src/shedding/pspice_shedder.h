@@ -1,0 +1,96 @@
+#ifndef CEPSHED_SHEDDING_PSPICE_SHEDDER_H_
+#define CEPSHED_SHEDDING_PSPICE_SHEDDER_H_
+
+#include <string>
+
+#include "shedding/contribution_model.h"
+#include "shedding/cost_model.h"
+#include "shedding/shedder.h"
+#include "shedding/time_slice.h"
+
+namespace cep {
+
+/// \brief Configuration of the pSPICE-style partial-match shedder.
+struct PspiceShedderOptions {
+  /// Relative-time discretisation of the (state, time-slice) cells.
+  int time_slices = 16;
+  /// Prior completion probability for unseen cells.
+  double completion_optimism = 1.0;
+  /// Prior remaining cost for unseen cells.
+  double cost_pessimism = 0.0;
+  /// Stabiliser added to the cost denominator of the ranking ratio.
+  double ratio_epsilon = 1e-3;
+};
+
+/// \brief pSPICE — partial-match shedding under a consumed-cost /
+/// remaining-cost model (Slo et al., "pSPICE: Partial Match Shedding for
+/// Complex Event Processing", IEEE BigData'19; PAPERS.md).
+///
+/// Where SBLS ranks by the learned C+/C− utilities of content-grouped cells
+/// (pm-hash × state × slice), pSPICE is content-agnostic: it learns, per
+/// (NFA state, time slice) cell, the completion probability of a partial
+/// match and the further processing it will cause, and sheds the partial
+/// matches with the lowest completion-per-expected-total-cost ratio
+///
+///   score(r) = completion / (ε + consumed(r) + remaining(r))
+///
+/// where consumed(r) is the work already sunk into the run (its bound-event
+/// count) and remaining(r) is the learned descendant count scaled by the
+/// run's remaining TTL fraction. Sunk cost keeps *shorter* runs cheaper to
+/// abandon at equal completion probability — the inverse of SBLS's
+/// cost-as-liability reading — which is the distinctive pSPICE trade-off.
+///
+/// Never drops input events. Owns the run model trail (one (state, slice)
+/// cell per transition), so inside HybridShedder it pairs with the
+/// trail-free input-side strategies (espice, hspice, ibls).
+class PspiceShedder final : public Shedder {
+ public:
+  explicit PspiceShedder(PspiceShedderOptions options);
+
+  std::string name() const override { return "PSPICE"; }
+
+  void Attach(const Nfa& nfa) override;
+
+  void OnRunCreated(Run* run, const Event& event, Timestamp now) override;
+  void OnRunExtended(const Run* parent, Run* child, const Event& event,
+                     Timestamp now) override;
+  void OnMatchEmitted(const Run& run, Timestamp now) override;
+
+  /// Sheds the `ctx.target` lowest-scored partial matches; event probes fall
+  /// through to the (non-dropping) base.
+  ShedDecision Decide(const ShedContext& ctx) override;
+
+  /// Model scores for one run at `now`: c_plus = completion probability,
+  /// c_minus = consumed + remaining cost, score = the ranking ratio.
+  ShedVictimScores ScoresFor(const Run& run, Timestamp now) const;
+
+  bool DescribeVictim(const Run& run, Timestamp now,
+                      ShedVictimScores* scores) const override {
+    *scores = ScoresFor(run, now);
+    return true;
+  }
+
+  const PspiceShedderOptions& options() const { return options_; }
+
+  Status SerializeTo(ckpt::Sink& sink) const override;
+  Status RestoreFrom(ckpt::Source& source) override;
+
+ private:
+  uint64_t CellKey(int state, int slice) const;
+  /// The cell a run currently lives in: its last trail entry, or recomputed
+  /// for runs of unknown provenance (restored without this shedder).
+  uint64_t KeyFor(const Run& run, Timestamp now) const;
+
+  PspiceShedderOptions options_;
+  TimeSlicer slicer_{1, 1};
+  ContributionModel completion_;
+  CostModel cost_;
+};
+
+/// Registers the `pspice` strategy with the ShedderRegistry (registry.h);
+/// called from the registry's EnsureRegistered, never directly.
+void RegisterPspiceShedder();
+
+}  // namespace cep
+
+#endif  // CEPSHED_SHEDDING_PSPICE_SHEDDER_H_

@@ -1,10 +1,16 @@
 #include "shedding/random_shedder.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "shedding/registry.h"
 
 namespace cep {
 
 ShedDecision RandomShedder::Decide(const ShedContext& ctx) {
+  // Event probes never shed state here; keep the hot path O(1) and the RNG
+  // stream untouched so decisions match the pre-probe engine byte-for-byte.
+  if (ctx.event != nullptr) return Shedder::Decide(ctx);
   std::vector<size_t> alive;
   alive.reserve(ctx.runs.size());
   for (size_t i = 0; i < ctx.runs.size(); ++i) {
@@ -40,6 +46,7 @@ Status RandomShedder::RestoreFrom(ckpt::Source& source) {
 }
 
 ShedDecision TtlShedder::Decide(const ShedContext& ctx) {
+  if (ctx.event != nullptr) return Shedder::Decide(ctx);
   struct Candidate {
     Timestamp start_ts;
     size_t index;
@@ -69,6 +76,25 @@ ShedDecision TtlShedder::Decide(const ShedContext& ctx) {
     decision.victims.push_back(victim);
   }
   return decision;
+}
+
+void RegisterRandomShedders() {
+  ShedderRegistry::Register(
+      {"rbls",
+       "random state shedding: victims are a uniform sample of R(t)",
+       {{"seed", "RNG seed for victim sampling (default 1)"}}},
+      [](const ShedderParams& params,
+         const ShedderEnv&) -> Result<ShedderPtr> {
+        CEP_ASSIGN_OR_RETURN(uint64_t seed, ShedderParamU64(params, "seed", 1));
+        return ShedderPtr(std::make_unique<RandomShedder>(seed));
+      });
+  ShedderRegistry::Register(
+      {"ttl",
+       "expiring-first state shedding: sheds the least-remaining-TTL runs",
+       {}},
+      [](const ShedderParams&, const ShedderEnv&) -> Result<ShedderPtr> {
+        return ShedderPtr(std::make_unique<TtlShedder>());
+      });
 }
 
 }  // namespace cep

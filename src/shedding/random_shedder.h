@@ -41,6 +41,10 @@ class TtlShedder final : public Shedder {
   ShedDecision Decide(const ShedContext& ctx) override;
 };
 
+/// Registers the `rbls` and `ttl` strategies with the ShedderRegistry
+/// (registry.h); called from the registry's EnsureRegistered, never directly.
+void RegisterRandomShedders();
+
 }  // namespace cep
 
 #endif  // CEPSHED_SHEDDING_RANDOM_SHEDDER_H_

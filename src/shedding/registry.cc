@@ -1,0 +1,201 @@
+#include "shedding/registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <mutex>
+
+#include "common/string_util.h"
+#include "shedding/espice_shedder.h"
+#include "shedding/hspice_shedder.h"
+#include "shedding/hybrid_shedder.h"
+#include "shedding/input_shedder.h"
+#include "shedding/pspice_shedder.h"
+#include "shedding/random_shedder.h"
+#include "shedding/state_shedder.h"
+
+namespace cep {
+
+namespace {
+
+struct Entry {
+  ShedderStrategyInfo info;
+  ShedderRegistry::Factory factory;
+};
+
+std::map<std::string, Entry>& Registry() {
+  static auto* registry = new std::map<std::string, Entry>();
+  return *registry;
+}
+
+// Strategies register through explicit per-unit functions invoked here, not
+// through static initializers: the library is linked statically and an
+// initializer in a translation unit nothing references would be stripped.
+// Adding a strategy = adding its unit + one call below.
+void EnsureRegistered() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    ShedderRegistry::Register(
+        {"none", "no shedding; the engine never drops events or runs", {}},
+        [](const ShedderParams&, const ShedderEnv&) -> Result<ShedderPtr> {
+          return ShedderPtr(nullptr);
+        });
+    RegisterInputShedder();
+    RegisterRandomShedders();
+    RegisterStateShedder();
+    RegisterEspiceShedder();
+    RegisterHspiceShedder();
+    RegisterPspiceShedder();
+    RegisterHybridShedder();
+  });
+}
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+void ShedderRegistry::Register(ShedderStrategyInfo info, Factory factory) {
+  const std::string name = info.name;
+  Registry()[name] = Entry{std::move(info), std::move(factory)};
+}
+
+Result<std::pair<std::string, ShedderParams>> ShedderRegistry::ParseSpec(
+    std::string_view spec) {
+  const std::string trimmed{StripWhitespace(spec)};
+  std::string name = trimmed;
+  ShedderParams params;
+  const size_t open = trimmed.find('(');
+  if (open != std::string::npos) {
+    if (trimmed.back() != ')') {
+      return Status::ParseError("shedder spec '" + trimmed +
+                                "' is missing the closing ')'");
+    }
+    name = trimmed.substr(0, open);
+    const std::string body =
+        trimmed.substr(open + 1, trimmed.size() - open - 2);
+    if (!StripWhitespace(body).empty()) {
+      for (const std::string& item : SplitString(body, ',')) {
+        const std::string token{StripWhitespace(item)};
+        const size_t eq = token.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          return Status::ParseError("shedder spec expects key=val, got '" +
+                                    token + "'");
+        }
+        const std::string key = token.substr(0, eq);
+        if (!params.emplace(key, token.substr(eq + 1)).second) {
+          return Status::InvalidArgument("duplicate shedder option '" + key +
+                                         "'");
+        }
+      }
+    }
+  }
+  name = Lower(StripWhitespace(name));
+  if (name.empty()) {
+    return Status::ParseError("empty shedder spec");
+  }
+  return std::make_pair(name, std::move(params));
+}
+
+Result<ShedderPtr> ShedderRegistry::Make(std::string_view spec,
+                                         const ShedderEnv& env) {
+  EnsureRegistered();
+  CEP_ASSIGN_OR_RETURN(auto parsed, ParseSpec(spec));
+  const auto it = Registry().find(parsed.first);
+  if (it == Registry().end()) {
+    return Status::InvalidArgument("unknown shedder '" + parsed.first +
+                                   "' (see ListStrategies)");
+  }
+  // The spec was written for this strategy alone, so a key it does not know
+  // is a typo, not another subsystem's option.
+  for (const auto& [key, value] : parsed.second) {
+    (void)value;
+    const auto& knobs = it->second.info.knobs;
+    const bool known =
+        std::any_of(knobs.begin(), knobs.end(),
+                    [&](const ShedderKnob& k) { return k.key == key; });
+    if (!known) {
+      return Status::InvalidArgument("shedder '" + parsed.first +
+                                     "' has no option '" + key + "'");
+    }
+  }
+  return it->second.factory(parsed.second, env);
+}
+
+Result<ShedderPtr> ShedderRegistry::MakeFromParams(const std::string& name,
+                                                   const ShedderParams& params,
+                                                   const ShedderEnv& env) {
+  EnsureRegistered();
+  const auto it = Registry().find(Lower(name));
+  if (it == Registry().end()) {
+    return Status::InvalidArgument("unknown shedder '" + name +
+                                   "' (see ListStrategies)");
+  }
+  // Flat option maps carry engine options too; keep only this strategy's
+  // knobs so factories see a clean parameter set.
+  ShedderParams filtered;
+  for (const ShedderKnob& knob : it->second.info.knobs) {
+    const auto p = params.find(knob.key);
+    if (p != params.end()) filtered.emplace(p->first, p->second);
+  }
+  return it->second.factory(filtered, env);
+}
+
+std::vector<ShedderStrategyInfo> ShedderRegistry::ListStrategies() {
+  EnsureRegistered();
+  std::vector<ShedderStrategyInfo> out;
+  out.reserve(Registry().size());
+  for (const auto& [name, entry] : Registry()) {
+    (void)name;
+    out.push_back(entry.info);
+  }
+  return out;  // map iteration is already name-sorted
+}
+
+bool ShedderRegistry::Has(const std::string& name) {
+  EnsureRegistered();
+  return Registry().count(Lower(name)) > 0;
+}
+
+Result<uint64_t> ShedderParamU64(const ShedderParams& params,
+                                 const std::string& key, uint64_t fallback) {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  CEP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(it->second));
+  if (v < 0) {
+    return Status::InvalidArgument("option " + key + " must be >= 0");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+Result<double> ShedderParamDouble(const ShedderParams& params,
+                                  const std::string& key, double fallback) {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return ParseDouble(it->second);
+}
+
+Result<PmHashOptions> ParsePmHashSpec(std::string_view spec,
+                                      double bucket_width) {
+  PmHashOptions options;
+  options.numeric_bucket_width = bucket_width;
+  std::string normalized(spec);
+  // Inline specs cannot contain ',' (it separates parameters), so selector
+  // lists accept ';' as an equivalent separator.
+  std::replace(normalized.begin(), normalized.end(), ';', ',');
+  if (normalized.empty()) return options;
+  for (const std::string& item : SplitString(normalized, ',')) {
+    const size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      return Status::ParseError("hash expects type:attr, got '" + item + "'");
+    }
+    options.attributes.push_back(
+        {item.substr(0, colon), item.substr(colon + 1)});
+  }
+  return options;
+}
+
+}  // namespace cep

@@ -1,0 +1,113 @@
+#ifndef CEPSHED_SHEDDING_REGISTRY_H_
+#define CEPSHED_SHEDDING_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "event/schema.h"
+#include "shedding/pm_hash.h"
+#include "shedding/shedder.h"
+
+namespace cep {
+
+/// Strategy parameters parsed from a spec string: `name(key=val,...)` or the
+/// service's flat `shedder=name key=val ...` form. Ordered map so iteration
+/// (and any derived output) is deterministic.
+using ShedderParams = std::map<std::string, std::string>;
+
+/// \brief Everything a strategy factory may need besides its parameters.
+/// Fields follow the ShedContext stability contract: added with inert
+/// defaults, never removed.
+struct ShedderEnv {
+  /// Schema registry for attribute-selector resolution (SBLS fast path);
+  /// factories must tolerate null (selectors then resolve dynamically).
+  const SchemaRegistry* schema = nullptr;
+};
+
+/// One tunable of a registered strategy, for --help / docs output and for
+/// spec-key validation.
+struct ShedderKnob {
+  std::string key;   ///< parameter name as written in specs
+  std::string help;  ///< one-line description including the default
+};
+
+/// Registration record of one strategy.
+struct ShedderStrategyInfo {
+  std::string name;     ///< spec name, lowercase ("sbls", "espice", ...)
+  std::string summary;  ///< one-line description for --help and !hello
+  std::vector<ShedderKnob> knobs;
+};
+
+/// \brief Central factory for load-shedding strategies.
+///
+/// Every entry point (cepshed_cli flags, cepshed_server query specs, the
+/// stress harness, the benches) constructs shedders through this registry, so
+/// a strategy registered once is immediately available everywhere with the
+/// same spec syntax:
+///
+///   name                      e.g.  "sbls"
+///   name(key=val,...)         e.g.  "sbls(slices=32,wplus=4)"
+///
+/// Values must not contain ',' — the pm-hash selector list uses ';' between
+/// selectors for exactly this reason: "sbls(hash=req:loc;unlock:uid)".
+///
+/// Strategies self-register from their own translation units (see
+/// EnsureRegistered in registry.cc — explicit registration calls, not static
+/// initializers, so a static-library link cannot strip them).
+class ShedderRegistry {
+ public:
+  using Factory =
+      std::function<Result<ShedderPtr>(const ShedderParams&, const ShedderEnv&)>;
+
+  /// Registers (or replaces) a strategy. `info.knobs` doubles as the set of
+  /// parameter keys the strategy accepts.
+  static void Register(ShedderStrategyInfo info, Factory factory);
+
+  /// Parses `spec` and constructs the strategy. Unknown strategy names and —
+  /// because the spec was written for this strategy alone — unknown parameter
+  /// keys are errors. A null ShedderPtr inside an OK result means "no
+  /// shedding" (the `none` strategy).
+  static Result<ShedderPtr> Make(std::string_view spec,
+                                 const ShedderEnv& env = {});
+
+  /// Constructs `name` from an already-parsed parameter map. Unlike Make,
+  /// unknown keys are ignored: callers like the server pass their whole flat
+  /// `k=v` option map, which also carries engine options.
+  static Result<ShedderPtr> MakeFromParams(const std::string& name,
+                                           const ShedderParams& params,
+                                           const ShedderEnv& env = {});
+
+  /// Splits a `name(key=val,...)` spec into its name and parameter map
+  /// without constructing anything. Duplicate keys are errors.
+  static Result<std::pair<std::string, ShedderParams>> ParseSpec(
+      std::string_view spec);
+
+  /// All registered strategies, sorted by name.
+  static std::vector<ShedderStrategyInfo> ListStrategies();
+
+  /// True when `name` is a registered strategy.
+  static bool Has(const std::string& name);
+};
+
+// --- shared parameter parsing helpers (for factories) -------------------------
+
+/// Missing key returns `fallback`; present keys parse strictly.
+Result<uint64_t> ShedderParamU64(const ShedderParams& params,
+                                 const std::string& key, uint64_t fallback);
+Result<double> ShedderParamDouble(const ShedderParams& params,
+                                  const std::string& key, double fallback);
+
+/// Parses a pm-hash selector list "type:attr" separated by ',' or ';' (the
+/// ';' form is for inline specs, where ',' separates parameters).
+Result<PmHashOptions> ParsePmHashSpec(std::string_view spec,
+                                      double bucket_width);
+
+}  // namespace cep
+
+#endif  // CEPSHED_SHEDDING_REGISTRY_H_

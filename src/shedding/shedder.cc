@@ -3,23 +3,13 @@
 namespace cep {
 
 ShedDecision Shedder::Decide(const ShedContext& ctx) {
-  // Bridge for strategies still implementing the deprecated two-call
-  // surface: one SelectVictims batch, then per-victim DescribeVictim when
-  // the caller wants audit records.
   ShedDecision decision;
-  std::vector<size_t> indices;
-  SelectVictims(ctx.runs, ctx.now, ctx.target, &indices);
-  decision.victims.reserve(indices.size());
-  for (const size_t index : indices) {
-    ShedVictim victim;
-    victim.index = index;
-    if (ctx.want_scores && index < ctx.runs.size() &&
-        ctx.runs[index] != nullptr) {
-      victim.has_scores =
-          DescribeVictim(*ctx.runs[index], ctx.now, &victim.scores);
-    }
-    decision.victims.push_back(victim);
+  if (ctx.event != nullptr) {
+    // Event probe: bridge to the simple input predicate. Strategies that
+    // want window-position or run-store context override Decide() itself.
+    decision.drop_event = ShouldDropEvent(*ctx.event, ctx.overloaded);
   }
+  // Shed episode: the base strategy never sheds state.
   return decision;
 }
 

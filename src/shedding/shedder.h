@@ -12,6 +12,8 @@
 
 namespace cep {
 
+class RunStore;
+
 /// \brief Model scores behind one shedding decision, recorded in the
 /// observability audit trail (obs/audit.h). Strategies without models leave
 /// the defaults.
@@ -24,16 +26,49 @@ struct ShedVictimScores {
 
 /// \brief Everything a strategy sees when asked for a shedding decision.
 ///
+/// ShedContext is the single extension surface of the Shedder API: new
+/// per-decision inputs are added here as fields with inert defaults rather
+/// than as new virtual-method parameters. Field stability contract:
+///
+///  * Existing fields are never removed or repurposed; their meaning is
+///    stable across releases.
+///  * New fields always carry a default that reproduces the old behaviour,
+///    so call sites using aggregate initialization keep compiling and
+///    strategies that ignore a field behave exactly as before it existed.
+///  * Pointer fields may be null (the engine feature behind them is off or
+///    the caller is a test harness); strategies must tolerate null.
+///
+/// The engine builds a ShedContext in two situations, distinguished by
+/// `event`:
+///
+///  * *Event probe* (`event != nullptr`): an input event has arrived and the
+///    strategy may claim it (`ShedDecision::drop_event`) and/or shed runs
+///    pre-emptively. `target` is 0 — input probes carry no victim quota.
+///  * *Shed episode* (`event == nullptr`): overload was detected (µ(t) > θ)
+///    and the strategy should select up to `target` victims among `runs`.
+///
 /// `runs` entries may be null (already dead this round) and must be skipped.
 /// `want_scores` is true when an audit consumer (audit log or shed callback)
 /// is attached: strategies with models should then fill ShedVictim::scores,
 /// reusing the scores they computed for ranking instead of recomputing them
-/// per victim as the old two-call SelectVictims/DescribeVictim surface did.
+/// per victim.
 struct ShedContext {
   const std::vector<RunPtr>& runs;
   Timestamp now = 0;
-  size_t target = 0;  ///< upper bound on victims to select
+  size_t target = 0;  ///< upper bound on victims to select (0 on probes)
   bool want_scores = false;
+  /// Arriving event on input probes; null during shed episodes.
+  const Event* event = nullptr;
+  /// µ(t) > θ at the time the context was built (false when θ disabled).
+  bool overloaded = false;
+  /// Live run storage for occupancy/column views (engine/run_store.h);
+  /// null when the caller has no store (unit tests driving Decide directly).
+  const RunStore* store = nullptr;
+  /// Query window size; 0 when no NFA is attached yet.
+  Duration window = 0;
+  /// Degradation ladder level as int(DegradationLevel); -1 when the ladder
+  /// is disabled.
+  int degradation_level = -1;
 };
 
 /// \brief One selected victim: its index into ShedContext::runs plus the
@@ -45,10 +80,14 @@ struct ShedVictim {
   ShedVictimScores scores;
 };
 
-/// \brief The outcome of one shedding episode: the victims, in the order the
-/// strategy ranked them, with their audit records in the same batch.
+/// \brief The outcome of one shedding decision. A single decision can carry
+/// both halves of the paper's design space: drop the arriving input event
+/// (`drop_event`, meaningful only for event probes) and/or shed partial
+/// matches (`victims`, in the order the strategy ranked them, with their
+/// audit records in the same batch).
 struct ShedDecision {
   std::vector<ShedVictim> victims;
+  bool drop_event = false;  ///< drop the probed input event unprocessed
 };
 
 /// \brief Pluggable load-shedding strategy.
@@ -65,10 +104,16 @@ struct ShedDecision {
 ///    how many worker threads evaluate predicates (docs/PARALLELISM.md) —
 ///    implementations therefore need no locking and may use seeded RNGs
 ///    without losing reproducibility.
-///  * *Shedding decisions* — when overload is detected (µ(t) > θ), the
-///    engine calls Decide() for up to `target` victims among the active
-///    runs; for input-based baselines, ShouldDropEvent() can discard events
-///    before they are processed.
+///  * *Shedding decisions* — every decision flows through Decide(): the
+///    engine probes the strategy on each arriving event (ShedContext::event
+///    set) and runs a shed episode when overload is detected (µ(t) > θ,
+///    ShedContext::event null, `target` victims wanted). One ShedDecision
+///    can both drop the input event and shed runs.
+///
+/// Strategies are constructed through the ShedderRegistry (registry.h) from
+/// `name(key=val,...)` spec strings; new strategies register a factory there
+/// so every entry point (CLI, server specs, stress harness, benches) picks
+/// them up without code changes.
 ///
 /// Shedders are StateComponents: strategies with durable state (learned
 /// models, RNG streams) serialize it so a restored engine sheds exactly as
@@ -78,7 +123,9 @@ class Shedder : public ckpt::StateComponent {
  public:
   ~Shedder() override = default;
 
-  /// Strategy name used in experiment reports ("SBLS", "RBLS", ...).
+  /// Strategy name used in experiment reports ("SBLS", "RBLS", ...) and as
+  /// the checkpoint section suffix ("shedder.<name>"), so a snapshot taken
+  /// with one strategy refuses to restore into another.
   virtual std::string name() const = 0;
 
   /// Called once before processing starts.
@@ -118,40 +165,29 @@ class Shedder : public ckpt::StateComponent {
 
   // --- shedding decisions ----------------------------------------------------
 
-  /// Input-based shedding: return true to drop `event` unprocessed.
-  /// `overloaded` reflects µ(t) > θ at arrival time.
+  /// Input-based shedding helper: return true to drop `event` unprocessed.
+  /// `overloaded` reflects µ(t) > θ at arrival time. The base Decide()
+  /// bridges event probes here so simple input strategies only override this
+  /// predicate; strategies that need the full context (run store, window
+  /// position) override Decide() instead.
   virtual bool ShouldDropEvent(const Event& event, bool overloaded) {
     (void)event;
     (void)overloaded;
     return false;
   }
 
-  /// State-based shedding: select up to `ctx.target` victims among
-  /// `ctx.runs` and return them together with their audit records. Called
-  /// only when the engine detected overload.
-  ///
-  /// The default implementation bridges legacy strategies that still
-  /// override the deprecated SelectVictims/DescribeVictim pair; new
-  /// strategies override Decide() alone.
+  /// The single decision entry point; see ShedContext for the probe/episode
+  /// split. The default implementation drops nothing during episodes and
+  /// bridges event probes to ShouldDropEvent().
   virtual ShedDecision Decide(const ShedContext& ctx);
 
-  // --- deprecated two-call surface -------------------------------------------
-
-  /// DEPRECATED: override Decide() instead. Legacy entry point kept so
-  /// existing strategies compile unchanged; the default is a no-op (select
-  /// nothing), matching a strategy that never sheds state.
-  virtual void SelectVictims(const std::vector<RunPtr>& runs, Timestamp now,
-                             size_t target, std::vector<size_t>* victims) {
-    (void)runs;
-    (void)now;
-    (void)target;
-    (void)victims;
-  }
-
-  /// DEPRECATED: return scores from Decide() instead. Fills `scores` with
-  /// the model values this strategy would use to rank `run` at `now` and
-  /// returns true; returns false (leaving `scores` untouched) when the
-  /// strategy has no per-run model.
+  /// Live model introspection for quality observability: fills `scores`
+  /// with the model values this strategy would use to rank `run` at `now`
+  /// and returns true; returns false (leaving `scores` untouched) when the
+  /// strategy has no per-run model. The engine calls this when a run exits
+  /// (match/expiry) to feed CalibrationMonitor with the strategy's own
+  /// completion-probability estimate, so any model-based strategy should
+  /// implement it even though Decide() returns scores for victims.
   virtual bool DescribeVictim(const Run& run, Timestamp now,
                               ShedVictimScores* scores) const {
     (void)run;

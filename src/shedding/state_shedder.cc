@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "common/string_util.h"
+#include "shedding/registry.h"
 #include "shedding/sketch.h"
 
 namespace cep {
@@ -103,6 +104,9 @@ ShedVictimScores StateShedder::ScoresFor(const Run& run, Timestamp now) const {
 }
 
 ShedDecision StateShedder::Decide(const ShedContext& ctx) {
+  // SBLS sheds state only; event probes fall through to the (non-dropping)
+  // base so the hot path stays O(1) per event.
+  if (ctx.event != nullptr) return Shedder::Decide(ctx);
   struct Candidate {
     double score;
     Timestamp start_ts;
@@ -202,6 +206,75 @@ Status StateShedder::RestoreFrom(ckpt::Source& source) {
 ShedderPtr MakeStateShedder(StateShedderOptions options,
                             const SchemaRegistry* registry) {
   return std::make_unique<StateShedder>(std::move(options), registry);
+}
+
+void RegisterStateShedder() {
+  ShedderRegistry::Register(
+      {"sbls",
+       "the paper's state-based shedding: learned C+/C- models over "
+       "(pm-hash, state, time-slice) cells",
+       {{"hash", "pm-hash selectors type:attr[;type:attr...] (default: all "
+                 "attributes)"},
+        {"bucket", "numeric bucket width for hashed attributes (default 0 = "
+                   "exact)"},
+        {"slices", "relative-time slices (default 16)"},
+        {"wplus", "contribution weight in the linear ranking (default 1)"},
+        {"wminus", "cost weight in the linear ranking (default 1)"},
+        {"optimism", "prior C+ for unseen cells (default 1)"},
+        {"pessimism", "prior C- for unseen cells (default 0)"},
+        {"backend", "model storage, exact|sketch (default exact)"},
+        {"width", "sketch width when backend=sketch (default 16384)"},
+        {"depth", "sketch depth when backend=sketch (default 4)"},
+        {"seed", "sketch hash seed (default 0x5b15)"}}},
+      [](const ShedderParams& params,
+         const ShedderEnv& env) -> Result<ShedderPtr> {
+        StateShedderOptions options;
+        const auto hash = params.find("hash");
+        CEP_ASSIGN_OR_RETURN(double bucket,
+                             ShedderParamDouble(params, "bucket", 0.0));
+        CEP_ASSIGN_OR_RETURN(
+            options.pm_hash,
+            ParsePmHashSpec(hash == params.end() ? "" : hash->second, bucket));
+        CEP_ASSIGN_OR_RETURN(uint64_t slices,
+                             ShedderParamU64(params, "slices", 16));
+        options.time_slices = static_cast<int>(slices);
+        CEP_ASSIGN_OR_RETURN(
+            options.scoring.weight_contribution,
+            ShedderParamDouble(params, "wplus",
+                               options.scoring.weight_contribution));
+        CEP_ASSIGN_OR_RETURN(
+            options.scoring.weight_cost,
+            ShedderParamDouble(params, "wminus", options.scoring.weight_cost));
+        CEP_ASSIGN_OR_RETURN(
+            options.contribution_optimism,
+            ShedderParamDouble(params, "optimism",
+                               options.contribution_optimism));
+        CEP_ASSIGN_OR_RETURN(
+            options.cost_pessimism,
+            ShedderParamDouble(params, "pessimism", options.cost_pessimism));
+        const auto backend = params.find("backend");
+        if (backend != params.end()) {
+          if (backend->second == "sketch") {
+            options.backend = StateShedderOptions::Backend::kSketch;
+          } else if (backend->second != "exact") {
+            return Status::InvalidArgument(
+                "sbls backend must be exact or sketch, got '" +
+                backend->second + "'");
+          }
+        }
+        CEP_ASSIGN_OR_RETURN(
+            uint64_t width,
+            ShedderParamU64(params, "width", options.sketch_width));
+        options.sketch_width = static_cast<size_t>(width);
+        CEP_ASSIGN_OR_RETURN(
+            uint64_t depth,
+            ShedderParamU64(params, "depth", options.sketch_depth));
+        options.sketch_depth = static_cast<size_t>(depth);
+        CEP_ASSIGN_OR_RETURN(options.seed,
+                             ShedderParamU64(params, "seed", options.seed));
+        return ShedderPtr(
+            std::make_unique<StateShedder>(std::move(options), env.schema));
+      });
 }
 
 }  // namespace cep

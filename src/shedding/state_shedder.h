@@ -122,6 +122,10 @@ class StateShedder final : public Shedder {
 ShedderPtr MakeStateShedder(StateShedderOptions options,
                             const SchemaRegistry* registry);
 
+/// Registers the `sbls` strategy with the ShedderRegistry (registry.h);
+/// called from the registry's EnsureRegistered, never directly.
+void RegisterStateShedder();
+
 }  // namespace cep
 
 #endif  // CEPSHED_SHEDDING_STATE_SHEDDER_H_

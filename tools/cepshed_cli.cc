@@ -9,6 +9,7 @@
 // `name attr:type attr:type ...`, types int|double|string|bool) or one of
 // the builtin names `cluster`, `bike`, `stock`.
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -30,9 +31,7 @@
 #include "nfa/dot.h"
 #include "query/analyzer.h"
 #include "query/parser.h"
-#include "shedding/input_shedder.h"
-#include "shedding/random_shedder.h"
-#include "shedding/state_shedder.h"
+#include "shedding/registry.h"
 #include "workload/bikeshare.h"
 #include "workload/google_trace.h"
 #include "workload/stock.h"
@@ -57,13 +56,19 @@ void InstallInterruptHandlers() {
 }
 
 int Usage() {
+  std::string strategies;
+  for (const ShedderStrategyInfo& info : ShedderRegistry::ListStrategies()) {
+    if (!strategies.empty()) strategies += "|";
+    strategies += info.name;
+  }
   std::fprintf(
       stderr,
       "usage: cepshed_cli <run|generate|explain> [options]\n"
       "\n"
       "run      --schema <file|cluster|bike|stock> --query <file|text>\n"
       "         --input <events.csv> [--matches <out.csv>]\n"
-      "         [--shedder none|sbls|rbls|ttl|ibls] [--theta <micros>]\n"
+      "         [--shedder <name|'name(key=val,...)'>] [--theta <micros>]\n"
+      "           shedder names: %s\n"
       "         [--fraction <0..1>] [--max-runs <n>]\n"
       "         [--hash type:attr[,type:attr...]] [--bucket <width>]\n"
       "         [--resilience] [--run-bytes-budget <bytes>]\n"
@@ -82,7 +87,8 @@ int Usage() {
       "         [--quality-out <file.json>]\n"
       "generate --workload cluster|bike|stock --out <events.csv>\n"
       "         [--duration-hours <h>] [--seed <n>] [--scale <f>]\n"
-      "explain  --schema <...> --query <...> [--dot <out.dot>]\n");
+      "explain  --schema <...> --query <...> [--dot <out.dot>]\n",
+      strategies.c_str());
   return 2;
 }
 
@@ -175,50 +181,38 @@ Result<NfaPtr> CompileQuery(const std::string& arg,
   return CompileToNfa(std::move(analyzed));
 }
 
-Result<PmHashOptions> ParseHashSelectors(const std::string& spec,
-                                         double bucket) {
-  PmHashOptions options;
-  options.numeric_bucket_width = bucket;
-  if (spec.empty()) return options;
-  for (const std::string& item : SplitString(spec, ',')) {
-    const size_t colon = item.find(':');
-    if (colon == std::string::npos) {
-      return Status::ParseError("--hash expects type:attr, got '" + item +
-                                "'");
-    }
-    options.attributes.push_back(
-        {item.substr(0, colon), item.substr(colon + 1)});
-  }
-  return options;
-}
-
 Result<ShedderPtr> MakeShedder(const Args& args,
                                const SchemaRegistry& registry) {
-  const std::string name = args.Get("shedder", "none");
-  if (name == "none") return ShedderPtr(nullptr);
-  if (name == "rbls") {
-    return ShedderPtr(std::make_unique<RandomShedder>(
-        static_cast<uint64_t>(args.GetInt("seed", 1))));
+  CEP_ASSIGN_OR_RETURN(auto parsed, ShedderRegistry::ParseSpec(
+                                        args.Get("shedder", "none")));
+  // Keys written inside the inline spec were written for this strategy
+  // alone, so reject unknown ones as typos (flags below are filtered).
+  for (const ShedderStrategyInfo& info : ShedderRegistry::ListStrategies()) {
+    if (info.name != parsed.first) continue;
+    for (const auto& [key, value] : parsed.second) {
+      (void)value;
+      const bool known = std::any_of(
+          info.knobs.begin(), info.knobs.end(),
+          [&key = key](const ShedderKnob& k) { return k.key == key; });
+      if (!known) {
+        return Status::InvalidArgument("shedder '" + parsed.first +
+                                       "' has no option '" + key + "'");
+      }
+    }
   }
-  if (name == "ttl") return ShedderPtr(std::make_unique<TtlShedder>());
-  if (name == "ibls") {
-    InputShedderOptions options;
-    options.drop_probability = args.GetDouble("fraction", 0.2);
-    options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
-    return ShedderPtr(std::make_unique<InputShedder>(options));
-  }
-  if (name == "sbls") {
-    StateShedderOptions options;
-    CEP_ASSIGN_OR_RETURN(options.pm_hash,
-                         ParseHashSelectors(args.Get("hash"),
-                                            args.GetDouble("bucket", 0.0)));
-    options.time_slices = static_cast<int>(args.GetInt("slices", 16));
-    options.scoring.weight_contribution = args.GetDouble("wplus", 4.0);
-    options.scoring.weight_cost = args.GetDouble("wminus", 1.0);
-    return ShedderPtr(
-        std::make_unique<StateShedder>(std::move(options), &registry));
-  }
-  return Status::InvalidArgument("unknown shedder '" + name + "'");
+  ShedderParams& params = parsed.second;
+  // Flag overlay: an option inside the inline spec wins over the flag.
+  if (args.Has("seed")) params.emplace("seed", args.Get("seed"));
+  if (args.Has("fraction")) params.emplace("drop", args.Get("fraction"));
+  if (args.Has("hash")) params.emplace("hash", args.Get("hash"));
+  if (args.Has("bucket")) params.emplace("bucket", args.Get("bucket"));
+  if (args.Has("slices")) params.emplace("slices", args.Get("slices"));
+  // CLI defaults that differ from the registry's bare defaults.
+  params.emplace("wplus", args.Get("wplus", "4"));
+  params.emplace("wminus", args.Get("wminus", "1"));
+  ShedderEnv env;
+  env.schema = &registry;
+  return ShedderRegistry::MakeFromParams(parsed.first, params, env);
 }
 
 bool EndsWith(const std::string& s, const std::string& suffix) {

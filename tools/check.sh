@@ -179,6 +179,12 @@ configure "$BUILD" \
     -DCEPSHED_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD" -j "$JOBS"
 (cd "$BUILD" && ctest --output-on-failure -j "$JOBS" "$@")
+# The strategy-conformance suite (every registered shedder: determinism,
+# thread/shard artifact identity, checkpoint-resume byte identity, run
+# conservation) runs explicitly under ASan+UBSan so that user-filtered
+# ctest args above cannot skip it.
+(cd "$BUILD" && ctest --output-on-failure -j "$JOBS" \
+    -R 'StrategyConformance|ShedderRegistry|ShedDecision')
 obs_check "$BUILD"
 ckpt_check "$BUILD"
 server_check "$BUILD"
@@ -191,7 +197,8 @@ configure "$TSAN_BUILD" \
     -DCEPSHED_BUILD_BENCHMARKS=OFF \
     -DCEPSHED_BUILD_EXAMPLES=OFF
 cmake --build "$TSAN_BUILD" -j "$JOBS"
-(cd "$TSAN_BUILD" && ctest --output-on-failure -j "$JOBS" -R 'Parallel')
+(cd "$TSAN_BUILD" && ctest --output-on-failure -j "$JOBS" \
+    -R 'Parallel|StrategyConformance')
 obs_check "$TSAN_BUILD"
 ckpt_check "$TSAN_BUILD"
 server_check "$TSAN_BUILD"

@@ -52,9 +52,7 @@
 #include "service/client.h"
 #include "service/server.h"
 #include "service/tenant.h"
-#include "shedding/input_shedder.h"
-#include "shedding/random_shedder.h"
-#include "shedding/state_shedder.h"
+#include "shedding/registry.h"
 
 namespace cep {
 namespace {
@@ -87,27 +85,17 @@ constexpr const char* kQueries[] = {
 };
 constexpr int kNumQueries = static_cast<int>(std::size(kQueries));
 
-enum class ShedderKind : uint8_t { kNone, kRandom, kInput, kState };
-
-const char* ShedderKindName(ShedderKind kind) {
-  switch (kind) {
-    case ShedderKind::kNone: return "none";
-    case ShedderKind::kRandom: return "rbls";
-    case ShedderKind::kInput: return "ibls";
-    case ShedderKind::kState: return "sbls";
-  }
-  return "?";
-}
-
 /// One generated configuration; every field is a pure function of the
-/// config ordinal and the global seed.
+/// config ordinal and the global seed. The shedder axis iterates every
+/// strategy the ShedderRegistry knows, so a newly registered strategy is
+/// swept differentially without touching this driver.
 struct StressConfig {
   uint64_t ordinal = 0;
   uint64_t stream_seed = 0;
   int query = 0;
   int num_events = 0;
   SelectionStrategy selection = SelectionStrategy::kSkipTillAnyMatch;
-  ShedderKind shedder = ShedderKind::kNone;
+  std::string shedder = "none";
   size_t max_runs = 0;      ///< deterministic shed trigger (0 = off)
   size_t threads = 2;       ///< parallel engine's lanes
   size_t shards = 0;        ///< 0 = one per lane
@@ -123,7 +111,7 @@ struct StressConfig {
                   "max_runs=%zu threads=%zu shards=%zu batch=%zu arena=%zu "
                   "ckpt@%zu giant_ts=%d stream_seed=%llu",
                   static_cast<unsigned long long>(ordinal), query, num_events,
-                  static_cast<int>(selection), ShedderKindName(shedder),
+                  static_cast<int>(selection), shedder.c_str(),
                   max_runs, threads, shards, batch, arena_block, checkpoint_at,
                   giant_timestamps ? 1 : 0,
                   static_cast<unsigned long long>(stream_seed));
@@ -207,15 +195,19 @@ StressConfig MakeConfig(uint64_t seed, uint64_t ordinal) {
   c.stream_seed = rng.Next();
   c.query = static_cast<int>(rng.NextBounded(kNumQueries));
   c.selection = static_cast<SelectionStrategy>(rng.NextBounded(3));
-  c.shedder = static_cast<ShedderKind>(rng.NextBounded(4));
+  // Name-sorted and deterministic, so the sweep reproduces across runs as
+  // long as the registered strategy set is unchanged.
+  static const std::vector<ShedderStrategyInfo> kStrategies =
+      ShedderRegistry::ListStrategies();
+  c.shedder = kStrategies[rng.NextBounded(kStrategies.size())].name;
   const bool oracle_eligible =
-      c.shedder == ShedderKind::kNone &&
+      c.shedder == "none" &&
       c.selection == SelectionStrategy::kSkipTillAnyMatch &&
       c.query < 9;  // the oracle recurses exhaustively — keep streams tiny
   c.num_events =
       oracle_eligible ? 8 + static_cast<int>(rng.NextBounded(7))
                       : 40 + static_cast<int>(rng.NextBounded(160));
-  if (c.shedder != ShedderKind::kNone && rng.NextBounded(2) == 0) {
+  if (c.shedder != "none" && rng.NextBounded(2) == 0) {
     c.max_runs = 8 + rng.NextBounded(24);
   }
   c.threads = 2 + rng.NextBounded(3);
@@ -235,7 +227,7 @@ EngineOptions MakeOptions(const StressConfig& config, bool parallel,
   options.max_runs = config.max_runs;
   options.shed_amount.fraction = 0.4;
   options.shed_cooldown_events = 8;
-  if (config.shedder != ShedderKind::kNone && config.max_runs == 0) {
+  if (config.shedder != "none" && config.max_runs == 0) {
     // Latency-triggered shedding with a deterministic virtual clock.
     options.latency_threshold_micros = 50.0;
   }
@@ -258,28 +250,35 @@ EngineOptions MakeOptions(const StressConfig& config, bool parallel,
   return options;
 }
 
+/// Flat `shedder=... key=val` spec fragment for one config. Used verbatim
+/// both by the in-process engines (via the service spec parser) and inside
+/// the --server `!query` spec, so the two construction paths cannot drift.
+std::string BuildShedderSpec(const StressConfig& config) {
+  // KvUint parses through ParseInt64, so the shedder seed must fit in 63
+  // bits; every consumer of this spec sees the identical masked value.
+  const uint64_t seed =
+      Mix64(config.stream_seed ^ 0x5eedbeefu) & 0x7fffffffffffffffull;
+  std::ostringstream spec;
+  spec << "shedder=" << config.shedder;
+  const bool seeded = config.shedder == "rbls" || config.shedder == "ibls" ||
+                      config.shedder == "sbls" || config.shedder == "espice" ||
+                      config.shedder == "hspice" ||
+                      config.shedder == "hybrid";
+  if (seeded) spec << " seed=" << seed;
+  if (config.shedder == "ibls" || config.shedder == "espice" ||
+      config.shedder == "hspice" || config.shedder == "hybrid") {
+    spec << " drop=0.2";
+  }
+  if (config.shedder == "sbls") spec << " hash=req:loc slices=16";
+  if (config.shedder == "pspice") spec << " slices=16";
+  return spec.str();
+}
+
 ShedderPtr MakeShedder(const StressConfig& config,
                        const SchemaRegistry& registry) {
-  const uint64_t seed = Mix64(config.stream_seed ^ 0x5eedbeefu);
-  switch (config.shedder) {
-    case ShedderKind::kNone:
-      return nullptr;
-    case ShedderKind::kRandom:
-      return std::make_unique<RandomShedder>(seed);
-    case ShedderKind::kInput: {
-      InputShedderOptions options;
-      options.drop_probability = 0.2;
-      options.seed = seed;
-      return std::make_unique<InputShedder>(options);
-    }
-    case ShedderKind::kState: {
-      StateShedderOptions options;
-      options.pm_hash.attributes = {{"req", "loc"}};
-      options.time_slices = 16;
-      return std::make_unique<StateShedder>(std::move(options), &registry);
-    }
-  }
-  return nullptr;
+  auto kv = service::ParseKvSpec(BuildShedderSpec(config));
+  return service::MakeShedderFromSpec(kv.ValueOrDie(), registry)
+      .MoveValueUnsafe();
 }
 
 /// Everything a run of one engine produces that must be reproducible.
@@ -460,7 +459,7 @@ bool RunConfig(const Fixture& fixture, const StressConfig& config,
   }
 
   // Oracle equality (shedding off, STAM, tiny stream).
-  if (config.shedder == ShedderKind::kNone &&
+  if (config.shedder == "none" &&
       config.selection == SelectionStrategy::kSkipTillAnyMatch &&
       config.query < 9) {
     auto oracle = testing_util::OracleMatchFingerprints(*nfa.ValueOrDie(),
@@ -556,26 +555,15 @@ bool RunConfig(const Fixture& fixture, const StressConfig& config,
 /// The `!query` option spec reproducing MakeOptions + MakeShedder for one
 /// config (errorbudget=0: the in-process engines run strict).
 std::string BuildQuerySpec(const StressConfig& config) {
-  // KvUint parses through ParseInt64, so the shedder seed must fit in 63
-  // bits; the reference engine uses the identical masked value.
-  const uint64_t seed =
-      Mix64(config.stream_seed ^ 0x5eedbeefu) & 0x7fffffffffffffffull;
   std::ostringstream spec;
   spec << "selection=" << static_cast<int>(config.selection)
        << " fraction=0.4 cooldown=8 errorbudget=0 minparallel=4"
        << " threads=" << config.threads << " shards=" << config.shards
        << " batch=" << config.batch << " arena=" << config.arena_block;
   if (config.max_runs > 0) spec << " maxruns=" << config.max_runs;
-  const bool latency_shed =
-      config.shedder != ShedderKind::kNone && config.max_runs == 0;
+  const bool latency_shed = config.shedder != "none" && config.max_runs == 0;
   spec << " theta=" << (latency_shed ? 50 : 0);
-  if (config.shedder != ShedderKind::kNone) {
-    spec << " shedder=" << ShedderKindName(config.shedder) << " seed=" << seed;
-    if (config.shedder == ShedderKind::kInput) spec << " drop=0.2";
-    if (config.shedder == ShedderKind::kState) {
-      spec << " hash=req:loc slices=16";
-    }
-  }
+  spec << ' ' << BuildShedderSpec(config);
   return spec.str();
 }
 
@@ -779,7 +767,7 @@ int main(int argc, char** argv) {
     if (server_mode) {
       cep::RunServerConfig(fixture, config, server_dir, &failures);
     } else {
-      if (config.shedder == cep::ShedderKind::kNone &&
+      if (config.shedder == "none" &&
           config.selection == cep::SelectionStrategy::kSkipTillAnyMatch &&
           config.query < 9) {
         ++oracle_checked;

@@ -579,8 +579,11 @@ int ValidateBenchSuite(const std::string& text) {
   }
   const JsonValue* version = root->Get("schema_version");
   if (version == nullptr || version->kind != JsonValue::Kind::kNumber ||
-      version->number < 1) {
-    return Invalid("bench-suite: missing numeric schema_version >= 1%s", "");
+      version->number < 2) {
+    return Invalid(
+        "bench-suite: missing numeric schema_version >= 2 (v2 added the "
+        "cross-strategy rows and per-row shed counters)%s",
+        "");
   }
   if (root->Get("single_thread_eps") == nullptr ||
       root->Get("single_thread_eps")->kind != JsonValue::Kind::kNumber) {
@@ -605,7 +608,8 @@ int ValidateBenchSuite(const std::string& text) {
                        {"events", "matches", "throughput_eps", "recall",
                         "shadow_recall_estimate", "shadow_abs_error",
                         "shadow_spans", "brier", "drift",
-                        "p99_event_busy_us"}) != 0) {
+                        "p99_event_busy_us", "events_dropped",
+                        "runs_shed"}) != 0) {
       return 1;
     }
     const double recall = row->Get("recall")->number;
@@ -619,7 +623,10 @@ int ValidateBenchSuite(const std::string& text) {
     return Invalid("bench-suite: fewer than 3 workloads%s", "");
   }
   for (const auto& [workload, strategies] : seen) {
-    for (const char* required : {"none", "ibls", "rbls", "sbls"}) {
+    // The full shoot-out: SBLS-family baselines plus the SPICE strategies
+    // and the hybrid composition (docs/SHEDDING.md).
+    for (const char* required : {"none", "ibls", "rbls", "sbls", "espice",
+                                 "hspice", "pspice", "hybrid"}) {
       const auto it = strategies.find(required);
       if (it == strategies.end()) {
         return Invalid("bench-suite: workload missing a strategy row: %s",
