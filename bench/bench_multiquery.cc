@@ -1,0 +1,235 @@
+// bench_multiquery — multi-query optimizer throughput sweep
+// (docs/OPTIMIZER.md).
+//
+// Registers 10 / 100 / 1000 overlapping bike-share queries in a MultiEngine
+// and streams the same workload through an unoptimized fan-out and an
+// Optimize()d one. Each query pins `a.loc` to a constant, so the optimizer
+// gets real work on every axis: identical queries merge into one engine,
+// the constant guards intern into the shared-predicate table (evaluated
+// once per event for all queries, and consulted by the per-engine skip fast
+// path), and `avail` events — consumed by no edge of any query — are
+// dropped by the ingestion prefilter.
+//
+// Two overlap settings per query count:
+//   high — queries drawn from 10 distinct templates, so merging collapses
+//          the fan-out to at most 10 physical engines;
+//   low  — every query is distinct (unique zone/window pair), so merging is
+//          inert and the speedup comes from CSE + skip + prefilter alone.
+//
+// Per-query matches must be byte-identical between the two runs (the same
+// invariant stress_engine --multiquery enforces); any divergence is fatal,
+// as is an optimized speedup below 3x at >=100 high-overlap queries — the
+// acceptance floor for the committed BENCH_multiquery.json.
+//
+// Writes BENCH_multiquery.json into the working directory
+// (validate_obs bench-multiquery checks the schema).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/multi.h"
+#include "nfa/compiler.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+#include "workload/bikeshare.h"
+
+namespace cep {
+namespace bench {
+namespace {
+
+constexpr size_t kQueryCounts[] = {10, 100, 1000};
+constexpr int kHighOverlapTemplates = 10;
+
+NfaPtr CompileQuery(const std::string& text, const SchemaRegistry& registry) {
+  auto parsed = CheckResult(ParseQuery(text), "parse query");
+  auto analyzed = CheckResult(Analyze(std::move(parsed), registry),
+                              "analyze query");
+  return CheckResult(CompileToNfa(std::move(analyzed)), "compile query");
+}
+
+/// Query `i` of an N-query panel. High overlap cycles 10 templates (exact
+/// duplicates merge); low overlap gives every query a unique (zone, window)
+/// pair so nothing merges but the constant `a.loc` guards still intern.
+std::string QueryText(size_t i, bool high_overlap, int num_zones) {
+  const int zone = static_cast<int>(
+      i % static_cast<size_t>(high_overlap ? kHighOverlapTemplates
+                                           : num_zones));
+  const int window_min =
+      high_overlap ? 5
+                   : 3 + static_cast<int>(i / static_cast<size_t>(num_zones));
+  return StrFormat(
+      "PATTERN SEQ(req a, unlock c) WHERE a.loc = %d, c.uid = a.uid "
+      "WITHIN %d min RETURN m(loc = a.loc, user = a.uid)",
+      zone, window_min);
+}
+
+struct RunOutcome {
+  double events_per_sec = 0.0;
+  std::vector<std::vector<uint64_t>> per_query;  // match fingerprints
+  size_t engines = 0;
+  size_t shared_preds = 0;
+  uint64_t engine_skips = 0;
+  uint64_t events_prefiltered = 0;
+};
+
+RunOutcome RunOnce(const std::vector<std::string>& queries,
+                   const SchemaRegistry& registry,
+                   const std::vector<EventPtr>& events, bool optimize) {
+  MultiEngine multi;
+  EngineOptions options;
+  // Deterministic virtual-cost clock: keeps wall-clock reads off the hot
+  // path and the two runs' shed/latency state trivially identical (neither
+  // run sheds — no threshold — but the state is still serialized).
+  options.latency_mode = LatencyMode::kVirtualCost;
+  for (const std::string& text : queries) {
+    multi.AddQuery(CompileQuery(text, registry), options);
+  }
+  if (optimize) CheckOk(multi.Optimize(), "MultiEngine::Optimize");
+
+  const auto start = std::chrono::steady_clock::now();
+  for (const EventPtr& event : events) {
+    CheckOk(multi.ProcessEvent(event), "ProcessEvent");
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  RunOutcome out;
+  out.events_per_sec =
+      static_cast<double>(events.size()) / std::max(seconds, 1e-9);
+  out.per_query.resize(multi.num_queries());
+  for (size_t i = 0; i < multi.num_queries(); ++i) {
+    for (const Match& m : multi.engine(i).matches()) {
+      out.per_query[i].push_back(m.fingerprint);
+    }
+  }
+  out.engines = multi.num_engines();
+  if (const opt::MultiQueryIr* ir = multi.ir()) {
+    out.shared_preds = ir->preds.size();
+  }
+  for (size_t k = 0; k < multi.num_engines(); ++k) {
+    out.engine_skips += multi.physical_engine(k).shared_skips();
+  }
+  out.events_prefiltered = multi.events_prefiltered();
+  return out;
+}
+
+struct Row {
+  size_t queries = 0;
+  size_t events = 0;
+  std::string overlap;
+  double unopt_eps = 0.0;
+  double opt_eps = 0.0;
+  double speedup = 0.0;
+  size_t engines = 0;
+  size_t shared_preds = 0;
+  uint64_t engine_skips = 0;
+  uint64_t events_prefiltered = 0;
+  bool matches_identical = false;
+};
+
+int Main() {
+  SchemaRegistry registry;
+  CheckOk(BikeShareGenerator::RegisterSchemas(&registry),
+          "register bike schemas");
+  BikeShareOptions workload;
+  workload.duration = 2 * kHour;
+  workload.requests_per_minute = 6.0 * BenchScaleFromEnv();
+  workload.seed = 7;
+  BikeShareGenerator generator(workload);
+  const std::vector<EventPtr> events =
+      CheckResult(generator.Generate(registry), "generate bike workload");
+  std::printf("bench_multiquery: %zu events\n", events.size());
+
+  std::vector<Row> rows;
+  for (const size_t count : kQueryCounts) {
+    for (const bool high_overlap : {true, false}) {
+      std::vector<std::string> queries;
+      queries.reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        queries.push_back(QueryText(i, high_overlap, workload.num_zones));
+      }
+      const RunOutcome unopt = RunOnce(queries, registry, events, false);
+      const RunOutcome opt = RunOnce(queries, registry, events, true);
+
+      Row row;
+      row.queries = count;
+      row.events = events.size();
+      row.overlap = high_overlap ? "high" : "low";
+      row.unopt_eps = unopt.events_per_sec;
+      row.opt_eps = opt.events_per_sec;
+      row.speedup = opt.events_per_sec / unopt.events_per_sec;
+      row.engines = opt.engines;
+      row.shared_preds = opt.shared_preds;
+      row.engine_skips = opt.engine_skips;
+      row.events_prefiltered = opt.events_prefiltered;
+      row.matches_identical = opt.per_query == unopt.per_query;
+      rows.push_back(row);
+
+      std::printf(
+          "  queries=%4zu overlap=%-4s engines=%4zu shared-preds=%3zu "
+          "unopt=%10.0f ev/s opt=%10.0f ev/s speedup=%5.2fx "
+          "skips=%llu prefiltered=%llu matches_identical=%s\n",
+          count, row.overlap.c_str(), row.engines, row.shared_preds,
+          row.unopt_eps, row.opt_eps, row.speedup,
+          static_cast<unsigned long long>(row.engine_skips),
+          static_cast<unsigned long long>(row.events_prefiltered),
+          row.matches_identical ? "true" : "false");
+
+      if (!row.matches_identical) {
+        std::fprintf(stderr,
+                     "FATAL: optimized per-query matches diverge from the "
+                     "unoptimized fan-out (queries=%zu overlap=%s)\n",
+                     count, row.overlap.c_str());
+        return 1;
+      }
+      if (high_overlap && count >= 100 && row.speedup < 3.0) {
+        std::fprintf(stderr,
+                     "FATAL: %.2fx speedup at %zu high-overlap queries is "
+                     "below the 3x acceptance floor\n",
+                     row.speedup, count);
+        return 1;
+      }
+    }
+  }
+
+  FILE* json = std::fopen("BENCH_multiquery.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write BENCH_multiquery.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"benchmark\": \"multiquery_optimizer\",\n"
+               "  \"schema_version\": 1,\n"
+               "  \"workload\": \"bike\",\n"
+               "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        json,
+        "    {\"queries\": %zu, \"events\": %zu, \"overlap\": \"%s\", "
+        "\"unopt_eps\": %.1f, \"opt_eps\": %.1f, \"speedup\": %.4f, "
+        "\"engines\": %zu, \"shared_preds\": %zu, \"engine_skips\": %llu, "
+        "\"events_prefiltered\": %llu, \"matches_identical\": %s}%s\n",
+        r.queries, r.events, r.overlap.c_str(), r.unopt_eps, r.opt_eps,
+        r.speedup, r.engines, r.shared_preds,
+        static_cast<unsigned long long>(r.engine_skips),
+        static_cast<unsigned long long>(r.events_prefiltered),
+        r.matches_identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("bench_multiquery: wrote BENCH_multiquery.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cep
+
+int main() { return cep::bench::Main(); }

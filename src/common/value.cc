@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/hash.h"
 
@@ -64,8 +65,15 @@ std::string Value::ToString() const {
     case ValueType::kInt:
       return std::to_string(int_value());
     case ValueType::kDouble: {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.6g", double_value());
+      // Shortest rendering that parses back to the exact same double: "%.6g"
+      // alone silently loses precision, which broke the query-text round-trip
+      // (ParseQuery -> ToString -> ParseQuery) and CSV re-ingestion fidelity.
+      char buf[40];
+      const double d = double_value();
+      for (int precision = 6; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, d);
+        if (std::strtod(buf, nullptr) == d) break;
+      }
       return buf;
     }
     case ValueType::kString:

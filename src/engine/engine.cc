@@ -12,6 +12,7 @@
 #include "ckpt/io.h"
 #include "common/string_util.h"
 #include "engine/shadow.h"
+#include "opt/shared_preds.h"
 #include "shedding/adaptive.h"
 
 namespace cep {
@@ -335,8 +336,26 @@ Result<bool> Engine::EvalEdge(const Run& run, const Edge& edge,
     CEP_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*pred, view));
     if (!pass) return false;
   }
-  for (const Expr* pred : edge.predicates) {
-    CEP_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*pred, view));
+  // Interned (event-only) predicates read the precomputed shared verdict
+  // instead of re-interpreting the expression per run. Consulted in edge
+  // order, so short-circuiting — including which predicate's error
+  // surfaces — is identical to inline evaluation.
+  const bool consult = shared_row_ != nullptr &&
+                       edge.shared_pred_ids.size() == edge.predicates.size();
+  for (size_t j = 0; j < edge.predicates.size(); ++j) {
+    if (consult) {
+      const int32_t id = edge.shared_pred_ids[j];
+      if (id >= 0) {
+        const int8_t v = shared_row_->verdicts[id];
+        if (v == opt::SharedPredTable::kTrue) continue;
+        if (v == opt::SharedPredTable::kFalse) return false;
+        if (v == opt::SharedPredTable::kError) {
+          return shared_row_->ErrorFor(id);
+        }
+        // kNotEvaluated (row built for another type); evaluate inline.
+      }
+    }
+    CEP_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*edge.predicates[j], view));
     if (!pass) return false;
   }
   return true;
@@ -574,7 +593,82 @@ Status Engine::ApplyDecisions(const EventPtr& event, Timestamp now,
   return Status::OK();
 }
 
+std::pair<bool, uint64_t> Engine::ProbeSkip(const Event& event) const {
+  // Only the bare edge-firing pipeline may be elided: every listed feature
+  // observes events (or their cost) even when nothing fires.
+  if (shared_preds_ == nullptr || shedder_ != nullptr ||
+      degradation_ != nullptr || shadow_ != nullptr || tracer_ != nullptr ||
+      reorder_buffer_ != nullptr) {
+    return {false, 0};
+  }
+  if (run_store_.size() != 0) return {false, 0};
+  if (event.timestamp() < last_event_ts_) return {false, 0};  // error path
+  const opt::SharedPredRow* row = shared_preds_->RowFor(&event);
+  if (row == nullptr) return {false, 0};
+  const State& start = nfa_->state(nfa_->start_state());
+  if ((state_type_masks_[start.id] & TypeBit(event.type())) == 0) {
+    return {true, 1};  // no edge of this type anywhere near the start state
+  }
+  uint64_t ops = 1;
+  for (const Edge& edge : start.edges) {
+    if (edge.kind == EdgeKind::kKill || edge.event_type != event.type()) {
+      continue;
+    }
+    ++ops;  // the spawn loop charges one op per matching edge
+    if (edge.predicates.empty() ||
+        edge.shared_pred_ids.size() != edge.predicates.size()) {
+      return {false, 0};  // edge would fire / verdict not decidable from row
+    }
+    bool dead = false;
+    for (size_t j = 0; j < edge.predicates.size(); ++j) {
+      const int32_t id = edge.shared_pred_ids[j];
+      if (id < 0) return {false, 0};  // run-context predicate: evaluate fully
+      const int8_t v = row->verdicts[id];
+      if (v == opt::SharedPredTable::kFalse) {
+        dead = true;
+        break;
+      }
+      if (v != opt::SharedPredTable::kTrue) {
+        return {false, 0};  // error (must surface) or foreign-type row
+      }
+    }
+    if (!dead) return {false, 0};  // all predicates hold: the edge fires
+  }
+  return {true, ops};
+}
+
+void Engine::NoteSkippedEvent(const EventPtr& event, uint64_t ops) {
+  ++shared_skips_;
+  last_event_ts_ = event->timestamp();
+  ops_this_event_ = ops;
+  ++metrics_.events_processed;
+  metrics_.edge_evaluations += ops;
+  metrics_.arena_bytes_reserved = std::max<uint64_t>(
+      metrics_.arena_bytes_reserved, arena_.bytes_reserved());
+  // Virtual-cost accounting matches the full pipeline exactly (same ops), so
+  // µ(t) and the SLO burn rates are unchanged by skipping; under kWallClock
+  // the skipped event just contributes ~0 µs, as it genuinely cost.
+  const bool wall = options_.latency_mode == LatencyMode::kWallClock;
+  const double busy_added =
+      wall ? 0.0
+           : static_cast<double>(ops) * options_.virtual_ns_per_op / 1000.0;
+  metrics_.busy_micros += busy_added;
+  if constexpr (obs::kEnabled) {
+    event_busy_us_.Record(busy_added);
+  }
+  latency_monitor_->Record(event->timestamp(), 0.0, ops);
+  NoteSloSample(busy_added);
+  ++events_since_shed_;
+}
+
 Status Engine::ProcessEvent(const EventPtr& event) {
+  if (shared_preds_ != nullptr) {
+    const auto [skip, ops] = ProbeSkip(*event);
+    if (skip) {
+      NoteSkippedEvent(event, ops);
+      return Status::OK();
+    }
+  }
   if (shadow_ == nullptr) return ProcessEventInternal(event);
   const Status status = ProcessEventInternal(event);
   // Drive the oracle only once the event's fate is known, outside the
@@ -595,6 +689,11 @@ Status Engine::ProcessEventInternal(const EventPtr& event) {
   // Trace timebase: this event's span starts where the busy clock stood
   // before the event was processed.
   const uint64_t busy_start_us = BusyClockMicros();
+
+  // Fetch this event's shared-predicate verdict row once, serially, before
+  // the evaluation phase fans out: shards read shared_row_ concurrently.
+  shared_row_ = shared_preds_ != nullptr ? shared_preds_->RowFor(event.get())
+                                         : nullptr;
 
   const Timestamp now = event->timestamp();
   if (now < last_event_ts_) {
@@ -729,8 +828,23 @@ Status Engine::ProcessEventInternal(const EventPtr& event) {
       const RunBindingView view(scratch_empty_run_, edge.var_index,
                                 event.get());
       bool pass = true;
-      for (const Expr* pred : edge.predicates) {
-        CEP_ASSIGN_OR_RETURN(pass, EvalPredicate(*pred, view));
+      const bool consult =
+          shared_row_ != nullptr &&
+          edge.shared_pred_ids.size() == edge.predicates.size();
+      for (size_t j = 0; j < edge.predicates.size(); ++j) {
+        const int32_t id = consult ? edge.shared_pred_ids[j] : -1;
+        if (id >= 0) {
+          const int8_t v = shared_row_->verdicts[id];
+          if (v == opt::SharedPredTable::kTrue) continue;
+          if (v == opt::SharedPredTable::kFalse) {
+            pass = false;
+            break;
+          }
+          if (v == opt::SharedPredTable::kError) {
+            return shared_row_->ErrorFor(id);
+          }
+        }
+        CEP_ASSIGN_OR_RETURN(pass, EvalPredicate(*edge.predicates[j], view));
         if (!pass) break;
       }
       if (!pass) continue;

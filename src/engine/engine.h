@@ -37,6 +37,11 @@ namespace cep {
 
 class ShadowOracle;
 
+namespace opt {
+class SharedPredTable;
+struct SharedPredRow;
+}  // namespace opt
+
 /// \brief NFA-based CEP evaluation engine with pluggable load shedding.
 ///
 /// One Engine evaluates one compiled query over one event stream. The engine
@@ -117,8 +122,39 @@ class Engine {
 
   const EngineMetrics& metrics() const { return metrics_; }
   const Nfa& nfa() const { return *nfa_; }
+  /// The shared automaton handle (optimizer rewrites alias its analysis).
+  const NfaPtr& nfa_ptr() const { return nfa_; }
   const EngineOptions& options() const { return options_; }
   Shedder* shedder() { return shedder_.get(); }
+  const Shedder* shedder() const { return shedder_.get(); }
+
+  /// Releases the installed shedder. MultiEngine::Optimize extracts it when
+  /// rebuilding this engine around a rewritten automaton; only meaningful
+  /// before any event has been processed.
+  ShedderPtr TakeShedder() { return std::move(shedder_); }
+
+  // --- multi-query optimizer integration (src/opt/, docs/OPTIMIZER.md) ------
+
+  /// Installs the cross-query shared-predicate verdict table. The owner
+  /// (MultiEngine) must call table->Begin{Event,Batch} before handing each
+  /// event to the engine so the event's verdict row exists; the engine then
+  /// (a) reads precomputed verdicts for interned edge predicates instead of
+  /// re-evaluating them, and (b) skips the full per-event pipeline when the
+  /// row proves no start edge can fire and nothing else observes the event
+  /// (no live runs, no shedder/degradation/shadow/tracer/reorder buffer).
+  /// nullptr detaches. The table must outlive the engine's last event.
+  void SetSharedPreds(const opt::SharedPredTable* table) {
+    shared_preds_ = table;
+  }
+  const opt::SharedPredTable* shared_preds() const { return shared_preds_; }
+
+  /// Events short-circuited by the shared-verdict skip fast path. Skipped
+  /// events still count in metrics().events_processed with full virtual-cost
+  /// accounting; the savings are wall-clock only.
+  uint64_t shared_skips() const { return shared_skips_; }
+  /// Restore path: the skip counter is optimizer state (it lives outside
+  /// EngineMetrics), so MultiEngine's opt component reinstates it.
+  void set_shared_skips(uint64_t v) { shared_skips_ = v; }
 
   /// Active partial matches R(t). Null slots never escape ProcessEvent.
   const std::vector<RunPtr>& runs() const { return run_store_.slots(); }
@@ -386,6 +422,18 @@ class Engine {
   /// One θ SLO sample: was µ(t) above the bound after this event?
   void NoteSloSample(double busy_micros);
 
+  /// Decides, from the current shared-verdict row alone, whether `event`
+  /// can be skipped outright: no live runs, nothing but edge firing
+  /// observes events, and every matching start edge has an interned
+  /// predicate the row already proves false. Second member is the edge
+  /// op count to account for the skipped event (identical to what the
+  /// full pipeline would have charged).
+  std::pair<bool, uint64_t> ProbeSkip(const Event& event) const;
+
+  /// Replays ProcessEventInternal's per-event bookkeeping (metrics, µ(t),
+  /// SLO sample, busy clock) for a skipped event without touching R(t).
+  void NoteSkippedEvent(const EventPtr& event, uint64_t ops);
+
   // Composite-state adapters (defined in engine.cc): they expose groups of
   // engine fields — scalars, the run set, accumulated matches, metrics — as
   // StateComponents so checkpointing stays a registry walk.
@@ -433,6 +481,15 @@ class Engine {
   std::vector<uint64_t> state_type_masks_;
   Run scratch_empty_run_;  ///< empty-binding view for spawn edge evaluation
   SchemaPtr output_schema_;  ///< RETURN complex event schema (or null)
+
+  // --- multi-query optimizer hookup -----------------------------------------
+  /// Shared-predicate verdict table (owned by MultiEngine's optimizer state;
+  /// null for standalone engines and unoptimized fan-out).
+  const opt::SharedPredTable* shared_preds_ = nullptr;
+  /// Verdict row of the event currently in flight. Written serially at the
+  /// top of ProcessEventInternal; evaluation-phase shards read it only.
+  const opt::SharedPredRow* shared_row_ = nullptr;
+  uint64_t shared_skips_ = 0;
 
   uint64_t next_run_id_ = 1;
   uint64_t next_match_id_ = 1;

@@ -7,9 +7,12 @@
 #include <string_view>
 #include <vector>
 
+#include "ckpt/state_component.h"
 #include "common/parallel.h"
 #include "common/result.h"
 #include "engine/engine.h"
+#include "opt/ir.h"
+#include "opt/pass_manager.h"
 
 namespace cep {
 
@@ -32,7 +35,9 @@ namespace cep {
 /// engines before reporting the lowest-indexed failure.
 class MultiEngine {
  public:
-  MultiEngine() = default;
+  // Both out-of-line: OptStateComponent is incomplete here.
+  MultiEngine();
+  ~MultiEngine();
   MultiEngine(const MultiEngine&) = delete;
   MultiEngine& operator=(const MultiEngine&) = delete;
 
@@ -40,10 +45,43 @@ class MultiEngine {
   size_t AddQuery(NfaPtr nfa, EngineOptions options,
                   ShedderPtr shedder = nullptr, std::string name = "");
 
-  size_t num_queries() const { return engines_.size(); }
-  Engine& engine(size_t index) { return *engines_[index]; }
-  const Engine& engine(size_t index) const { return *engines_[index]; }
+  size_t num_queries() const { return names_.size(); }
+  /// The engine servicing query `index`. Before Optimize() every query has
+  /// its own engine; afterwards merged queries share their group leader's,
+  /// so `engine(i)` and `engine(j)` may be the same object.
+  Engine& engine(size_t index) { return *engines_[query_to_engine_[index]]; }
+  const Engine& engine(size_t index) const {
+    return *engines_[query_to_engine_[index]];
+  }
   const std::string& query_name(size_t index) const { return names_[index]; }
+
+  /// Physical engines actually processing events (== num_queries() until
+  /// Optimize() merges identical queries).
+  size_t num_engines() const { return engines_.size(); }
+  Engine& physical_engine(size_t k) { return *engines_[k]; }
+  const Engine& physical_engine(size_t k) const { return *engines_[k]; }
+
+  // --- multi-query optimizer (src/opt/, docs/OPTIMIZER.md) ------------------
+
+  /// Runs the optimizer pass pipeline (DSE -> CSE -> prefix merge ->
+  /// pushdown) over all registered queries and rebuilds the physical
+  /// engines around the rewritten automata: merged queries share one
+  /// engine, interned predicates are evaluated once per event for all
+  /// queries, and events provably inert for every query are skipped.
+  /// Per-query matches are byte-identical to the unoptimized fan-out
+  /// (enforced by stress_engine --multiquery). Must be called at most once,
+  /// after all AddQuery calls and before any event is processed.
+  Status Optimize(const opt::OptOptions& options = {});
+
+  bool optimized() const { return optimized_; }
+  /// Optimized IR (null until Optimize); stats, shared table, prefilter.
+  const opt::MultiQueryIr* ir() const { return ir_.get(); }
+  /// Per-pass before/after IR dumps (empty unless OptOptions::dump_ir).
+  const std::vector<opt::PassDump>& opt_dumps() const { return dumps_; }
+  /// Events counted as globally droppable by the ingestion prefilter.
+  uint64_t events_prefiltered() const { return opt_events_prefiltered_; }
+  /// The optimizer's durable state as checkpoint components ("opt.state").
+  const ckpt::ComponentRegistry& opt_components();
 
   /// Creates the shared worker pool (total width `threads`; 0 or 1 reverts
   /// to serial fan-out). All current and future engines share the pool:
@@ -115,21 +153,46 @@ class MultiEngine {
   void AttachTracer(obs::Tracer* tracer);
 
   /// Mirrors every engine's metrics into `registry`, labelled
-  /// {"query": query_name(i)}, plus the unlabelled aggregate.
+  /// {"query": <unique label>}, plus the unlabelled aggregate and — when
+  /// optimized — the cep_opt_* family. Queries sharing a name get a stable
+  /// "#<query-index>" suffix so exported metric families never collide.
   void ExportMetrics(obs::Registry* registry) const;
 
  private:
+  class OptStateComponent;
+
   /// Runs `fn(engine_index)` over all engines — on the pool when parallel
   /// fan-out is enabled — and returns the lowest-indexed error.
   template <typename Fn>
   Status ForEachEngine(Fn&& fn);
 
+  /// Evaluates the shared-predicate rows for the event(s) about to fan out
+  /// (serial, so engines read them concurrently) and counts prefilterable
+  /// events. No-op unless optimized.
+  void PrepareEvent(const EventPtr& event);
+  void PrepareBatch(std::span<const EventPtr> events);
+
   std::vector<std::unique_ptr<Engine>> engines_;
   std::vector<std::string> names_;
+  /// Query index -> physical engine index (identity until Optimize merges).
+  std::vector<size_t> query_to_engine_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<Status> statuses_;  // per-engine results of the current round
   obs::ShedAuditLog* audit_log_ = nullptr;  // shared; applied to new engines
   obs::Tracer* tracer_ = nullptr;
+
+  // --- optimizer state -------------------------------------------------------
+  bool optimized_ = false;
+  /// Owns the rewritten automata, shared-predicate table, and prefilter;
+  /// must outlive the engines (their edges point into its expressions).
+  std::unique_ptr<opt::MultiQueryIr> ir_;
+  std::vector<opt::PassDump> dumps_;
+  /// Digest of the optimized layout (unit fingerprints + merge mapping):
+  /// snapshots embed it, so restore refuses a differently-optimized writer.
+  uint64_t opt_digest_ = 0;
+  uint64_t opt_events_prefiltered_ = 0;
+  std::unique_ptr<OptStateComponent> opt_component_;
+  ckpt::ComponentRegistry opt_components_;
 };
 
 }  // namespace cep

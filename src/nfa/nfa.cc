@@ -18,23 +18,23 @@ const char* EdgeKindName(EdgeKind kind) {
 
 std::string Nfa::ToString() const {
   std::string out = StrFormat("NFA '%s' (%zu states)\n",
-                              analyzed_.query.name.c_str(), states_.size());
+                              analyzed_->query.name.c_str(), states_.size());
   for (const auto& state : states_) {
     out += StrFormat("  S%d", state.id);
     if (state.var_index >= 0) {
       out += StrFormat(" [%s%s]",
-                       analyzed_.query.pattern[state.var_index].name.c_str(),
+                       analyzed_->query.pattern[state.var_index].name.c_str(),
                        state.in_kleene ? "*" : "");
     }
     if (state.is_final) out += " [final]";
     out += "\n";
     for (const auto& edge : state.edges) {
-      const auto& var = analyzed_.query.pattern[edge.var_index];
+      const auto& var = analyzed_->query.pattern[edge.var_index];
       out += StrFormat("    %s %s(%s)", EdgeKindName(edge.kind),
                        var.event_type.c_str(), var.name.c_str());
       if (edge.exit_var >= 0) {
         out += StrFormat(" exiting %s",
-                         analyzed_.query.pattern[edge.exit_var].name.c_str());
+                         analyzed_->query.pattern[edge.exit_var].name.c_str());
       }
       if (!edge.predicates.empty() || !edge.exit_predicates.empty()) {
         std::vector<std::string> parts;

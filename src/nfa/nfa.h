@@ -33,6 +33,12 @@ struct Edge {
   std::vector<const Expr*> predicates;
   std::vector<const Expr*> exit_predicates;
   int target = -1;      ///< target state id (-1 for kKill)
+  /// Optimizer annotation (src/opt/): shared-predicate-table id for each
+  /// entry of `predicates`, or -1 where the predicate is not interned.
+  /// Empty (the compiler's output) means no predicate is interned; only the
+  /// CSE pass populates it, and the engine consults it when a shared-verdict
+  /// row is installed for the current event.
+  std::vector<int32_t> shared_pred_ids;
 };
 
 /// \brief One state of the automaton.
@@ -59,18 +65,29 @@ struct State {
 /// a state chain with begin/take/proceed structure, negation as kill edges,
 /// and predicates attached to the earliest edge that can evaluate them).
 ///
-/// The Nfa owns the AnalyzedQuery whose expressions its edges reference.
+/// The Nfa holds a shared reference to the AnalyzedQuery whose expressions
+/// its edges point into: optimizer passes (src/opt/) build rewritten Nfa
+/// instances — fewer states, annotated edges — over the *same* analyzed
+/// query, so predicate pointers stay valid across rewrites.
 class Nfa {
  public:
   Nfa(AnalyzedQuery analyzed, std::vector<State> states)
+      : Nfa(std::make_shared<const AnalyzedQuery>(std::move(analyzed)),
+            std::move(states)) {}
+
+  Nfa(std::shared_ptr<const AnalyzedQuery> analyzed, std::vector<State> states)
       : analyzed_(std::move(analyzed)), states_(std::move(states)) {}
 
   Nfa(const Nfa&) = delete;
   Nfa& operator=(const Nfa&) = delete;
 
-  const AnalyzedQuery& analyzed() const { return analyzed_; }
-  const ParsedQuery& query() const { return analyzed_.query; }
-  Duration window() const { return analyzed_.query.window; }
+  const AnalyzedQuery& analyzed() const { return *analyzed_; }
+  /// The shared analyzed query (optimizer rewrites alias it).
+  const std::shared_ptr<const AnalyzedQuery>& analyzed_ptr() const {
+    return analyzed_;
+  }
+  const ParsedQuery& query() const { return analyzed_->query; }
+  Duration window() const { return analyzed_->query.window; }
 
   const std::vector<State>& states() const { return states_; }
   const State& state(int id) const { return states_[id]; }
@@ -81,7 +98,7 @@ class Nfa {
   std::string ToString() const;
 
  private:
-  AnalyzedQuery analyzed_;
+  std::shared_ptr<const AnalyzedQuery> analyzed_;
   std::vector<State> states_;
 };
 

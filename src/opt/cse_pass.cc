@@ -1,0 +1,49 @@
+#include <vector>
+
+#include "opt/expr_canon.h"
+#include "opt/passes.h"
+
+namespace cep {
+namespace opt {
+
+namespace {
+
+class CsePass final : public OptPass {
+ public:
+  std::string_view name() const override { return "cse"; }
+
+  Status Run(MultiQueryIr* ir) override {
+    for (QueryUnit& unit : ir->units) {
+      std::vector<State> states = unit.nfa->states();
+      bool annotated = false;
+      for (State& state : states) {
+        for (Edge& edge : state.edges) {
+          if (edge.predicates.empty()) continue;
+          edge.shared_pred_ids.assign(edge.predicates.size(), -1);
+          for (size_t j = 0; j < edge.predicates.size(); ++j) {
+            // Kill edges qualify too: their predicates are the violation
+            // conditions over the candidate alone.
+            if (!IsEventOnly(*edge.predicates[j], edge.var_index)) continue;
+            edge.shared_pred_ids[j] = ir->preds.Intern(
+                edge.predicates[j], edge.event_type, edge.var_index);
+            annotated = true;
+          }
+        }
+      }
+      if (annotated) {
+        unit.nfa = std::make_shared<const Nfa>(unit.nfa->analyzed_ptr(),
+                                               std::move(states));
+      }
+    }
+    ir->stats.preds_interned = ir->preds.interned();
+    ir->stats.preds_deduped = ir->preds.deduped();
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<OptPass> MakeCsePass() { return std::make_unique<CsePass>(); }
+
+}  // namespace opt
+}  // namespace cep

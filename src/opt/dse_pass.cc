@@ -1,0 +1,166 @@
+#include <vector>
+
+#include "opt/expr_canon.h"
+#include "opt/passes.h"
+
+namespace cep {
+namespace opt {
+
+namespace {
+
+class DsePass final : public OptPass {
+ public:
+  std::string_view name() const override { return "dse"; }
+
+  Status Run(MultiQueryIr* ir) override {
+    for (QueryUnit& unit : ir->units) {
+      RewriteUnit(&unit);
+      ir->stats.states_eliminated += unit.states_eliminated;
+      ir->stats.edges_eliminated += unit.edges_eliminated;
+      ir->stats.preds_folded += unit.preds_folded;
+    }
+    return Status::OK();
+  }
+
+ private:
+  // Folds constant predicates on one edge. Returns false when the edge can
+  // never fire and is safe to delete. Deletion is only safe while every
+  // predicate evaluated *before* the false one is itself a folded constant:
+  // a non-constant predicate might error at runtime, and deleting the edge
+  // would suppress that error (changing error-budget accounting). A false
+  // constant behind such a predicate is kept instead — the edge stays
+  // unfirable either way.
+  static bool FoldEdge(Edge* edge, uint64_t* preds_folded) {
+    // Exit predicates run first in EvalEdge and read the run's Kleene
+    // contents; treat any of them as possibly-erroring.
+    bool clean_prefix = edge->exit_predicates.empty();
+    std::vector<const Expr*> kept;
+    kept.reserve(edge->predicates.size());
+    for (const Expr* pred : edge->predicates) {
+      if (IsConstant(*pred)) {
+        const Result<bool> verdict = EvalConstant(*pred);
+        if (verdict.ok()) {
+          if (verdict.ValueOrDie()) {
+            ++*preds_folded;
+            continue;  // tautology: dropping it changes nothing
+          }
+          if (clean_prefix) return false;  // statically dead edge
+          // Unfirable, but an earlier predicate may error first; keep the
+          // false constant so runtime evaluation order is preserved.
+        }
+        // Evaluation error (e.g. 1/0): keep so the engine surfaces it.
+      }
+      clean_prefix = false;
+      kept.push_back(pred);
+    }
+    edge->predicates = std::move(kept);
+    return true;
+  }
+
+  static void RewriteUnit(QueryUnit* unit) {
+    std::vector<State> states = unit->nfa->states();
+    const size_t n = states.size();
+
+    // 1. Constant folding / statically-false edge removal.
+    for (State& state : states) {
+      std::vector<Edge> live;
+      live.reserve(state.edges.size());
+      for (Edge& edge : state.edges) {
+        if (FoldEdge(&edge, &unit->preds_folded)) {
+          live.push_back(std::move(edge));
+        } else {
+          ++unit->edges_eliminated;
+        }
+      }
+      state.edges = std::move(live);
+    }
+
+    // 2. Reachability from the start state (forward over take targets).
+    std::vector<char> from_start(n, 0);
+    std::vector<int> stack = {0};
+    from_start[0] = 1;
+    while (!stack.empty()) {
+      const int id = stack.back();
+      stack.pop_back();
+      for (const Edge& edge : states[id].edges) {
+        if (edge.target >= 0 && !from_start[edge.target]) {
+          from_start[edge.target] = 1;
+          stack.push_back(edge.target);
+        }
+      }
+    }
+
+    // 3. Co-reachability: can the state still reach an accepting state?
+    std::vector<std::vector<int>> rev(n);
+    for (const State& state : states) {
+      for (const Edge& edge : state.edges) {
+        if (edge.target >= 0) rev[edge.target].push_back(state.id);
+      }
+    }
+    std::vector<char> to_accept(n, 0);
+    for (const State& state : states) {
+      if (state.is_final) {
+        to_accept[state.id] = 1;
+        stack.push_back(state.id);
+      }
+    }
+    while (!stack.empty()) {
+      const int id = stack.back();
+      stack.pop_back();
+      for (const int pred : rev[id]) {
+        if (!to_accept[pred]) {
+          to_accept[pred] = 1;
+          stack.push_back(pred);
+        }
+      }
+    }
+
+    // 4. Keep live states (start always survives: the engine needs a spawn
+    // state even for a statically unsatisfiable query) and renumber.
+    std::vector<int> remap(n, -1);
+    int next = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (i == 0 || (from_start[i] && to_accept[i])) {
+        remap[i] = next++;
+      } else {
+        ++unit->states_eliminated;
+      }
+    }
+    if (unit->states_eliminated == 0 && unit->edges_eliminated == 0 &&
+        unit->preds_folded == 0) {
+      return;  // nothing changed; keep the compiler's Nfa instance
+    }
+
+    std::vector<State> out;
+    out.reserve(next);
+    for (size_t i = 0; i < n; ++i) {
+      if (remap[i] < 0) continue;
+      State state = std::move(states[i]);
+      state.id = remap[i];
+      std::vector<Edge> live;
+      live.reserve(state.edges.size());
+      for (Edge& edge : state.edges) {
+        if (edge.target >= 0) {
+          if (remap[edge.target] < 0) {
+            // Path leads nowhere a match can come from.
+            ++unit->edges_eliminated;
+            continue;
+          }
+          edge.target = remap[edge.target];
+        }
+        live.push_back(std::move(edge));
+      }
+      state.edges = std::move(live);
+      out.push_back(std::move(state));
+    }
+    unit->nfa =
+        std::make_shared<const Nfa>(unit->nfa->analyzed_ptr(), std::move(out));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<OptPass> MakeDsePass() { return std::make_unique<DsePass>(); }
+
+}  // namespace opt
+}  // namespace cep

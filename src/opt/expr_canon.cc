@@ -1,0 +1,155 @@
+#include "opt/expr_canon.h"
+
+#include "common/string_util.h"
+
+namespace cep {
+namespace opt {
+
+namespace {
+
+// One-letter tags keep canonical strings short (they are hashed and compared,
+// never parsed back). Every resolved index that changes semantics must be
+// encoded; symbolic names must not be.
+void Canon(const Expr& expr, int normalize_var, std::string* out) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral: {
+      const auto& lit = static_cast<const LiteralExpr&>(expr);
+      const Value& v = lit.value();
+      *out += 'L';
+      *out += static_cast<char>('0' + static_cast<int>(v.type()));
+      *out += v.ToString();
+      *out += ';';
+      return;
+    }
+    case ExprKind::kAttrRef: {
+      const auto& ref = static_cast<const AttrRefExpr&>(expr);
+      if (normalize_var >= 0 && ref.var_index() == normalize_var &&
+          (ref.ref_kind() == RefKind::kSingle ||
+           ref.ref_kind() == RefKind::kCurrent)) {
+        // The candidate event, however the query spells it.
+        *out += StrFormat("@%d;", ref.attr_index());
+        return;
+      }
+      *out += StrFormat("A%d.%d.%d;", static_cast<int>(ref.ref_kind()),
+                        ref.var_index(), ref.attr_index());
+      return;
+    }
+    case ExprKind::kCount: {
+      const auto& count = static_cast<const CountExpr&>(expr);
+      *out += StrFormat("C%d;", count.var_index());
+      return;
+    }
+    case ExprKind::kAggregate: {
+      const auto& agg = static_cast<const AggExpr&>(expr);
+      *out += StrFormat("G%d.%d.%d;", static_cast<int>(agg.op()),
+                        agg.var_index(), agg.attr_index());
+      return;
+    }
+    case ExprKind::kUnary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      *out += StrFormat("U%d(", static_cast<int>(unary.op()));
+      Canon(unary.operand(), normalize_var, out);
+      *out += ')';
+      return;
+    }
+    case ExprKind::kBinary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      *out += StrFormat("B%d(", static_cast<int>(binary.op()));
+      Canon(binary.left(), normalize_var, out);
+      *out += ',';
+      Canon(binary.right(), normalize_var, out);
+      *out += ')';
+      return;
+    }
+    case ExprKind::kCall: {
+      const auto& call = static_cast<const CallExpr&>(expr);
+      *out += StrFormat("F%d(", static_cast<int>(call.builtin()));
+      for (const auto& arg : call.args()) {
+        Canon(*arg, normalize_var, out);
+        *out += ',';
+      }
+      *out += ')';
+      return;
+    }
+  }
+}
+
+/// BindingView over a single candidate event: Single/Current on any variable
+/// resolve to it. Only reached through expressions that passed IsEventOnly
+/// (or IsConstant), which reference nothing else.
+class EventOnlyView final : public BindingView {
+ public:
+  explicit EventOnlyView(const Event* event) : event_(event) {}
+
+  const Event* Single(int) const override { return event_; }
+  int KleeneCount(int) const override { return event_ != nullptr ? 1 : 0; }
+  const Event* KleeneAt(int, int idx) const override {
+    return idx == 0 ? event_ : nullptr;
+  }
+  const Event* Current() const override { return event_; }
+
+ private:
+  const Event* event_;
+};
+
+}  // namespace
+
+void CanonicalizeExpr(const Expr& expr, int normalize_var, std::string* out) {
+  Canon(expr, normalize_var, out);
+}
+
+std::string CanonicalExprString(const Expr& expr, int normalize_var) {
+  std::string out;
+  Canon(expr, normalize_var, &out);
+  return out;
+}
+
+bool IsEventOnly(const Expr& expr, int var) {
+  bool event_only = true;
+  VisitExpr(&expr, [&](const Expr* node) {
+    switch (node->kind()) {
+      case ExprKind::kAttrRef: {
+        const auto& ref = static_cast<const AttrRefExpr&>(*node);
+        if (!ref.resolved() || ref.var_index() != var ||
+            (ref.ref_kind() != RefKind::kSingle &&
+             ref.ref_kind() != RefKind::kCurrent)) {
+          event_only = false;
+        }
+        break;
+      }
+      case ExprKind::kCount:
+      case ExprKind::kAggregate:
+        // Depend on the run's Kleene contents, not just the candidate.
+        event_only = false;
+        break;
+      default:
+        break;
+    }
+  });
+  return event_only;
+}
+
+bool IsConstant(const Expr& expr) {
+  bool constant = true;
+  VisitExpr(&expr, [&](const Expr* node) {
+    const ExprKind kind = node->kind();
+    if (kind == ExprKind::kAttrRef || kind == ExprKind::kCount ||
+        kind == ExprKind::kAggregate) {
+      constant = false;
+    }
+  });
+  return constant;
+}
+
+Result<bool> EvalEventOnly(const Expr& expr, const Event& event) {
+  const EventOnlyView view(&event);
+  return EvalPredicate(expr, view);
+}
+
+Result<bool> EvalConstant(const Expr& expr) {
+  const EventOnlyView view(nullptr);
+  return EvalPredicate(expr, view);
+}
+
+}  // namespace opt
+}  // namespace cep

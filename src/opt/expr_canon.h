@@ -1,0 +1,52 @@
+#ifndef CEPSHED_OPT_EXPR_CANON_H_
+#define CEPSHED_OPT_EXPR_CANON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "event/event.h"
+#include "query/expr.h"
+
+namespace cep {
+namespace opt {
+
+/// \brief Name-free structural canonicalization of resolved expressions.
+///
+/// Two predicates from *different* queries must compare equal when they do
+/// the same work, even though their variables carry different names — so the
+/// canonical form encodes resolved indices and operator tags, never symbolic
+/// names. `normalize_var` >= 0 additionally rewrites references to that
+/// variable as the anonymous candidate "@": an event-only predicate's
+/// identity must not depend on where its variable sits in the pattern.
+void CanonicalizeExpr(const Expr& expr, int normalize_var, std::string* out);
+
+/// Canonical form as a fresh string (convenience for hashing/interning).
+std::string CanonicalExprString(const Expr& expr, int normalize_var = -1);
+
+/// \brief True iff evaluating `expr` on a take edge of variable `var` reads
+/// nothing but the candidate event: every attribute reference is kSingle or
+/// kCurrent on `var` itself (both resolve to the candidate under the
+/// virtual-append contract), and there are no COUNT/aggregate nodes or
+/// references to other variables. Such predicates are a pure function of the
+/// event and are eligible for cross-query interning (CSE) and ingestion
+/// pushdown.
+bool IsEventOnly(const Expr& expr, int var);
+
+/// True iff `expr` contains no references at all (literals/arithmetic only).
+bool IsConstant(const Expr& expr);
+
+/// Evaluates an event-only predicate against `event` alone. The verdict (and
+/// any error) is byte-identical to what edge evaluation would produce for
+/// the same predicate and candidate.
+Result<bool> EvalEventOnly(const Expr& expr, const Event& event);
+
+/// Evaluates a constant predicate (IsConstant). Errors (e.g. division by
+/// zero) are returned, not folded: the caller must leave such predicates in
+/// place so runtime behaviour is preserved.
+Result<bool> EvalConstant(const Expr& expr);
+
+}  // namespace opt
+}  // namespace cep
+
+#endif  // CEPSHED_OPT_EXPR_CANON_H_

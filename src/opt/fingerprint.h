@@ -1,0 +1,24 @@
+#ifndef CEPSHED_OPT_FINGERPRINT_H_
+#define CEPSHED_OPT_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "engine/options.h"
+
+namespace cep {
+namespace opt {
+
+/// \brief Deterministic fingerprint over every EngineOptions field.
+///
+/// Two queries may share one physical engine only when their whole engine
+/// configuration agrees — not just the match-relevant parts, because merged
+/// queries also share metrics, checkpoints, and parallel/quality behaviour.
+/// The fingerprint also guards snapshot compatibility: the optimizer state
+/// section embeds a digest of all per-unit fingerprints, so a snapshot taken
+/// under one optimization layout refuses to restore into another.
+uint64_t FingerprintEngineOptions(const EngineOptions& options);
+
+}  // namespace opt
+}  // namespace cep
+
+#endif  // CEPSHED_OPT_FINGERPRINT_H_

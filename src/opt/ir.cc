@@ -1,0 +1,135 @@
+#include "opt/ir.h"
+
+#include "common/string_util.h"
+
+namespace cep {
+namespace opt {
+
+bool EventPrefilter::ShouldDrop(const Event& event,
+                                const SharedPredTable& table) const {
+  if (!safe) return false;
+  const auto it = interest.find(event.type());
+  // No registered query consumes this type at all.
+  if (it == interest.end()) return true;
+  const TypeInterest& ti = it->second;
+  if (ti.unconditional) return false;
+  for (const EdgeGuard& guard : ti.guards) {
+    bool could_fire = true;
+    for (const int32_t id : guard.pred_ids) {
+      if (!table.EvalForIngest(id, event)) {
+        could_fire = false;
+        break;
+      }
+    }
+    if (could_fire) return false;
+  }
+  return true;
+}
+
+bool EventPrefilter::ShouldDrop(const Event& event,
+                                const SharedPredRow& row) const {
+  if (!safe) return false;
+  const auto it = interest.find(event.type());
+  if (it == interest.end()) return true;
+  const TypeInterest& ti = it->second;
+  if (ti.unconditional) return false;
+  for (const EdgeGuard& guard : ti.guards) {
+    bool could_fire = true;
+    for (const int32_t id : guard.pred_ids) {
+      if (row.verdicts[id] == SharedPredTable::kFalse) {
+        could_fire = false;
+        break;
+      }
+      // kTrue keeps probing; kError / kNotEvaluated conservatively keep the
+      // event so the engines surface the error (or evaluate) themselves.
+      if (row.verdicts[id] != SharedPredTable::kTrue) break;
+    }
+    if (could_fire) return false;
+  }
+  return true;
+}
+
+std::string MultiQueryIr::Dump() const {
+  std::string out;
+  for (const QueryUnit& unit : units) {
+    out += StrFormat("query[%zu] '%s' states=%zu window=%lld\n",
+                     unit.query_index, unit.name.c_str(),
+                     unit.nfa->num_states(),
+                     static_cast<long long>(unit.nfa->window()));
+    if (unit.leader != unit.query_index) {
+      out += StrFormat("  merged-into query[%zu]\n", unit.leader);
+      continue;
+    }
+    for (const State& state : unit.nfa->states()) {
+      out += StrFormat("  s%d var=%d%s%s%s\n", state.id, state.var_index,
+                       state.in_kleene ? " kleene" : "",
+                       state.is_final ? " final" : "",
+                       state.deferred_final ? " deferred" : "");
+      for (size_t fp = 0; fp < state.final_predicates.size(); ++fp) {
+        out += StrFormat("    final-pred %s\n",
+                         state.final_predicates[fp]->ToString().c_str());
+      }
+      for (const Edge& edge : state.edges) {
+        out += StrFormat("    %s type=%d var=%d", EdgeKindName(edge.kind),
+                         static_cast<int>(edge.event_type), edge.var_index);
+        if (edge.exit_var >= 0) out += StrFormat(" exit=%d", edge.exit_var);
+        if (edge.target >= 0) out += StrFormat(" -> s%d", edge.target);
+        for (size_t j = 0; j < edge.predicates.size(); ++j) {
+          const int32_t shared = j < edge.shared_pred_ids.size()
+                                     ? edge.shared_pred_ids[j]
+                                     : -1;
+          out += StrFormat(" [%s%s]", edge.predicates[j]->ToString().c_str(),
+                           shared >= 0
+                               ? StrFormat(" #%d", shared).c_str()
+                               : "");
+        }
+        for (const Expr* exit_pred : edge.exit_predicates) {
+          out += StrFormat(" [exit: %s]", exit_pred->ToString().c_str());
+        }
+        out += '\n';
+      }
+    }
+  }
+  out += StrFormat("shared-preds: %zu unique (%llu interned, %llu deduped)\n",
+                   preds.size(),
+                   static_cast<unsigned long long>(preds.interned()),
+                   static_cast<unsigned long long>(preds.deduped()));
+  for (size_t id = 0; id < preds.size(); ++id) {
+    out += StrFormat("  #%zu type=%d %s\n", id,
+                     static_cast<int>(preds.pred_type(
+                         static_cast<int32_t>(id))),
+                     preds.expr(static_cast<int32_t>(id))->ToString().c_str());
+  }
+  out += StrFormat("prefilter: safe=%s\n", prefilter.safe ? "yes" : "no");
+  for (const auto& [type, ti] : prefilter.interest) {
+    if (ti.unconditional) {
+      out += StrFormat("  type=%d keep (unconditional edge)\n",
+                       static_cast<int>(type));
+      continue;
+    }
+    out += StrFormat("  type=%d droppable, %zu guard(s):",
+                     static_cast<int>(type), ti.guards.size());
+    for (const EventPrefilter::EdgeGuard& guard : ti.guards) {
+      out += " (";
+      for (size_t j = 0; j < guard.pred_ids.size(); ++j) {
+        if (j > 0) out += " && ";
+        out += StrFormat("#%d", guard.pred_ids[j]);
+      }
+      out += ')';
+    }
+    out += '\n';
+  }
+  out += StrFormat(
+      "stats: states-eliminated=%llu edges-eliminated=%llu preds-folded=%llu "
+      "queries-merged=%llu groups=%llu max-prefix-depth=%llu\n",
+      static_cast<unsigned long long>(stats.states_eliminated),
+      static_cast<unsigned long long>(stats.edges_eliminated),
+      static_cast<unsigned long long>(stats.preds_folded),
+      static_cast<unsigned long long>(stats.queries_merged),
+      static_cast<unsigned long long>(stats.merge_groups),
+      static_cast<unsigned long long>(stats.max_shared_prefix_depth));
+  return out;
+}
+
+}  // namespace opt
+}  // namespace cep

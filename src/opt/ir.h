@@ -1,0 +1,116 @@
+#ifndef CEPSHED_OPT_IR_H_
+#define CEPSHED_OPT_IR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/options.h"
+#include "nfa/nfa.h"
+#include "opt/shared_preds.h"
+
+namespace cep {
+namespace opt {
+
+/// \brief Per-event-type ingestion interest computed by the pushdown pass.
+///
+/// An event type is *droppable* when every edge anywhere that consumes it is
+/// guarded by a fully-interned predicate conjunction; an event for which all
+/// such guards evaluate false can never advance, spawn, or kill any run in
+/// any registered query, so ingestion may discard it before the
+/// ReorderBuffer. Kill edges keep their events: dropping one would let a run
+/// survive (and later match) that the unoptimized engine kills.
+class EventPrefilter {
+ public:
+  struct EdgeGuard {
+    /// Conjunction of shared-predicate ids, in edge evaluation order.
+    std::vector<int32_t> pred_ids;
+  };
+  struct TypeInterest {
+    /// Some edge of this type has a non-interned (or empty) predicate list:
+    /// its verdict cannot be decided from the event alone, so keep.
+    bool unconditional = false;
+    std::vector<EdgeGuard> guards;
+  };
+
+  /// Whether the prefilter may drop events at all. False unless every
+  /// registered query is skip-till-* selection with no deferred finals, no
+  /// shedder, no degradation ladder, and no latency threshold — features
+  /// that observe every event even when no edge fires.
+  bool safe = false;
+  std::map<EventTypeId, TypeInterest> interest;
+
+  bool enabled() const { return safe; }
+
+  /// True when `event` cannot affect any registered query. `table` supplies
+  /// predicate evaluation; errors conservatively keep the event.
+  bool ShouldDrop(const Event& event, const SharedPredTable& table) const;
+
+  /// Same decision from an already-evaluated verdict row (no re-evaluation;
+  /// used by MultiEngine after Begin{Event,Batch}). Non-kTrue/kFalse
+  /// verdicts conservatively keep the event.
+  bool ShouldDrop(const Event& event, const SharedPredRow& row) const;
+};
+
+/// \brief One registered query flowing through the pass pipeline.
+///
+/// Passes rewrite `nfa` (building a new Nfa over the same shared
+/// AnalyzedQuery) and record what they changed; MultiEngine rebuilds its
+/// physical engines from the surviving group leaders afterwards.
+struct QueryUnit {
+  size_t query_index = 0;
+  std::string name;
+  NfaPtr nfa;
+
+  // Engine-side facts the passes must respect (filled by MultiEngine).
+  SelectionStrategy selection = SelectionStrategy::kSkipTillAnyMatch;
+  bool has_shedder = false;
+  bool has_degradation = false;
+  bool has_latency_threshold = false;
+  uint64_t config_fingerprint = 0;
+
+  /// Cleared by MultiEngine for shedder-bearing queries (per-query shedder
+  /// state cannot be shared) and when merging is disabled.
+  bool mergeable = false;
+  /// Index of the query whose engine services this one; == query_index
+  /// unless the prefix-merge pass folded it into an identical leader.
+  size_t leader = 0;
+
+  // Per-unit pass accounting.
+  uint64_t states_eliminated = 0;
+  uint64_t edges_eliminated = 0;
+  uint64_t preds_folded = 0;
+};
+
+/// Aggregate pass statistics, exported as cep_opt_* metrics.
+struct OptStats {
+  uint64_t states_eliminated = 0;
+  uint64_t edges_eliminated = 0;
+  uint64_t preds_folded = 0;
+  uint64_t preds_interned = 0;
+  uint64_t preds_deduped = 0;
+  uint64_t queries_merged = 0;
+  uint64_t merge_groups = 0;
+  uint64_t max_shared_prefix_depth = 0;
+  uint64_t prefilter_types = 0;
+  uint64_t prefilter_droppable_types = 0;
+  bool prefilter_safe = false;
+};
+
+/// \brief The whole-workload IR the pass pipeline operates on.
+struct MultiQueryIr {
+  std::vector<QueryUnit> units;
+  SharedPredTable preds;
+  EventPrefilter prefilter;
+  OptStats stats;
+
+  /// Deterministic text rendering (no addresses): per-pass before/after
+  /// dumps and opt_tool goldens diff this byte-for-byte.
+  std::string Dump() const;
+};
+
+}  // namespace opt
+}  // namespace cep
+
+#endif  // CEPSHED_OPT_IR_H_

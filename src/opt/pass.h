@@ -1,0 +1,38 @@
+#ifndef CEPSHED_OPT_PASS_H_
+#define CEPSHED_OPT_PASS_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "opt/ir.h"
+
+namespace cep {
+namespace opt {
+
+/// Which passes to run (all on by default) and whether to capture per-pass
+/// before/after IR dumps.
+struct OptOptions {
+  bool dse = true;       ///< dead-state / dead-edge elimination
+  bool cse = true;       ///< cross-query predicate interning
+  bool merge = true;     ///< shared-prefix (identical-automaton) merging
+  bool pushdown = true;  ///< ingestion-side event-type prefilter
+  bool dump_ir = false;  ///< record before/after dumps per pass
+};
+
+/// \brief One transform over the multi-query IR.
+///
+/// Passes must preserve per-query match semantics exactly: the optimized
+/// MultiEngine's per-query artifacts are diffed byte-for-byte against the
+/// unoptimized one (stress_engine --multiquery). Anything a pass cannot
+/// prove safe it must leave alone.
+class OptPass {
+ public:
+  virtual ~OptPass() = default;
+  virtual std::string_view name() const = 0;
+  virtual Status Run(MultiQueryIr* ir) = 0;
+};
+
+}  // namespace opt
+}  // namespace cep
+
+#endif  // CEPSHED_OPT_PASS_H_

@@ -1,0 +1,37 @@
+#include "opt/pass_manager.h"
+
+#include "opt/passes.h"
+
+namespace cep {
+namespace opt {
+
+Status PassManager::Run(MultiQueryIr* ir, bool dump_ir,
+                        std::vector<PassDump>* dumps) {
+  for (const auto& pass : passes_) {
+    PassDump dump;
+    if (dump_ir && dumps != nullptr) {
+      dump.pass = std::string(pass->name());
+      dump.before = ir->Dump();
+    }
+    CEP_RETURN_NOT_OK(
+        pass->Run(ir).WithContext("opt pass '" + std::string(pass->name()) +
+                                  "'"));
+    if (dump_ir && dumps != nullptr) {
+      dump.after = ir->Dump();
+      dumps->push_back(std::move(dump));
+    }
+  }
+  return Status::OK();
+}
+
+PassManager MakeDefaultPipeline(const OptOptions& options) {
+  PassManager pm;
+  if (options.dse) pm.Add(MakeDsePass());
+  if (options.cse) pm.Add(MakeCsePass());
+  if (options.merge) pm.Add(MakePrefixMergePass());
+  if (options.pushdown) pm.Add(MakePushdownPass());
+  return pm;
+}
+
+}  // namespace opt
+}  // namespace cep

@@ -1,0 +1,47 @@
+#ifndef CEPSHED_OPT_PASS_MANAGER_H_
+#define CEPSHED_OPT_PASS_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opt/pass.h"
+
+namespace cep {
+namespace opt {
+
+/// Captured IR rendering around one pass (only when OptOptions::dump_ir).
+struct PassDump {
+  std::string pass;
+  std::string before;
+  std::string after;
+};
+
+/// \brief Runs a fixed sequence of passes over a MultiQueryIr, optionally
+/// capturing a deterministic before/after dump per pass (opt_tool goldens,
+/// --opt-dump debugging).
+class PassManager {
+ public:
+  void Add(std::unique_ptr<OptPass> pass) {
+    passes_.push_back(std::move(pass));
+  }
+
+  size_t num_passes() const { return passes_.size(); }
+
+  /// Runs every pass in order. Stops at (and returns) the first failure;
+  /// `dumps` may be nullptr when capture is off.
+  Status Run(MultiQueryIr* ir, bool dump_ir, std::vector<PassDump>* dumps);
+
+ private:
+  std::vector<std::unique_ptr<OptPass>> passes_;
+};
+
+/// The standard pipeline in dependency order: DSE (so later passes see only
+/// live structure) -> CSE (interning feeds both remaining passes) -> prefix
+/// merge -> predicate pushdown.
+PassManager MakeDefaultPipeline(const OptOptions& options);
+
+}  // namespace opt
+}  // namespace cep
+
+#endif  // CEPSHED_OPT_PASS_MANAGER_H_

@@ -1,0 +1,48 @@
+#ifndef CEPSHED_OPT_PASSES_H_
+#define CEPSHED_OPT_PASSES_H_
+
+#include <memory>
+#include <string>
+
+#include "opt/pass.h"
+
+namespace cep {
+namespace opt {
+
+/// Dead-state/dead-edge elimination: folds reference-free predicates (true
+/// predicates disappear, a provably-false predicate kills its edge when no
+/// possibly-erroring predicate precedes it), then removes states that are
+/// unreachable from the start state or cannot reach an accepting state, and
+/// renumbers. The start state always survives, even for statically
+/// unsatisfiable queries.
+std::unique_ptr<OptPass> MakeDsePass();
+
+/// Cross-query predicate CSE: interns every event-only edge predicate into
+/// the shared table (structural identity, variable-normalized) and annotates
+/// edges with the table ids, so MultiEngine evaluates each unique predicate
+/// once per event for all queries.
+std::unique_ptr<OptPass> MakeCsePass();
+
+/// Shared-prefix merging: queries whose automaton, window, return spec, and
+/// engine configuration are structurally identical collapse into one group
+/// serviced by the lowest-indexed member's engine; match fan-out back to the
+/// member query ids happens in MultiEngine. Also measures the maximum
+/// shared-prefix depth across distinct automata (reported, not yet fused).
+std::unique_ptr<OptPass> MakePrefixMergePass();
+
+/// Predicate pushdown into ingestion: computes, per event type, the guard
+/// conjunctions under which any edge anywhere could react, so callers can
+/// drop events no registered query can ever match before the ReorderBuffer.
+/// Disabled (safe=false) whenever any query observes events beyond edge
+/// firing (strict contiguity, deferred finals, shedding, degradation,
+/// latency thresholds).
+std::unique_ptr<OptPass> MakePushdownPass();
+
+/// Canonical name-free fingerprint of a unit's full automaton + emission
+/// contract (exposed for tests and the merge pass).
+std::string UnitMergeCanon(const QueryUnit& unit);
+
+}  // namespace opt
+}  // namespace cep
+
+#endif  // CEPSHED_OPT_PASSES_H_

@@ -1,0 +1,140 @@
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/string_util.h"
+#include "opt/expr_canon.h"
+#include "opt/passes.h"
+
+namespace cep {
+namespace opt {
+
+namespace {
+
+// Canonical rendering of one state, position-independent except for target
+// ids (which are positional, making leading-state comparison a true
+// shared-prefix test). Raw variable indices are deliberate: two automata
+// only merge when their whole variable layout lines up.
+std::string StateCanon(const State& state) {
+  std::string out = StrFormat("v%d%s%s%s{", state.var_index,
+                              state.in_kleene ? "K" : "",
+                              state.is_final ? "F" : "",
+                              state.deferred_final ? "D" : "");
+  for (const Expr* pred : state.final_predicates) {
+    out += CanonicalExprString(*pred);
+    out += '|';
+  }
+  for (const Edge& edge : state.edges) {
+    out += StrFormat("e%d.%d.%d.%d.%d(", static_cast<int>(edge.kind),
+                     static_cast<int>(edge.event_type), edge.var_index,
+                     edge.exit_var, edge.target);
+    for (const Expr* pred : edge.predicates) {
+      out += CanonicalExprString(*pred);
+      out += '|';
+    }
+    out += ';';
+    for (const Expr* pred : edge.exit_predicates) {
+      out += CanonicalExprString(*pred);
+      out += '|';
+    }
+    out += ')';
+  }
+  out += '}';
+  return out;
+}
+
+std::vector<std::string> StateCanons(const Nfa& nfa) {
+  std::vector<std::string> out;
+  out.reserve(nfa.num_states());
+  for (const State& state : nfa.states()) out.push_back(StateCanon(state));
+  return out;
+}
+
+class PrefixMergePass final : public OptPass {
+ public:
+  std::string_view name() const override { return "prefix-merge"; }
+
+  Status Run(MultiQueryIr* ir) override {
+    // Group mergeable units by full canonical identity (automaton +
+    // emission contract + engine config). The leader is the lowest query
+    // index so merge results are independent of registration order quirks.
+    std::map<std::string, std::vector<size_t>> groups;
+    for (size_t i = 0; i < ir->units.size(); ++i) {
+      QueryUnit& unit = ir->units[i];
+      unit.leader = unit.query_index;
+      if (!unit.mergeable) continue;
+      std::string key = StrFormat("cfg%llu|", static_cast<unsigned long long>(
+                                                  unit.config_fingerprint));
+      key += UnitMergeCanon(unit);
+      groups[std::move(key)].push_back(i);
+    }
+    for (const auto& [key, members] : groups) {
+      (void)key;
+      if (members.size() < 2) continue;
+      const size_t leader = members.front();
+      ++ir->stats.merge_groups;
+      for (size_t k = 1; k < members.size(); ++k) {
+        ir->units[members[k]].leader = ir->units[leader].query_index;
+        // Members alias the leader's automaton so every annotation later
+        // passes read (shared ids, prefilter guards) is the serviced one.
+        ir->units[members[k]].nfa = ir->units[leader].nfa;
+        ++ir->stats.queries_merged;
+      }
+    }
+
+    // Measure (for reporting) how deep the shared prefixes run between
+    // *distinct* automata — the headroom a future cross-automaton fusion
+    // could exploit beyond whole-query merging.
+    std::vector<std::vector<std::string>> canons;
+    for (const QueryUnit& unit : ir->units) {
+      if (unit.leader != unit.query_index) continue;
+      canons.push_back(StateCanons(*unit.nfa));
+    }
+    uint64_t max_depth = 0;
+    for (size_t a = 0; a < canons.size(); ++a) {
+      for (size_t b = a + 1; b < canons.size(); ++b) {
+        if (canons[a] == canons[b]) continue;  // identical: merged or gated
+        const size_t limit = std::min(canons[a].size(), canons[b].size());
+        size_t depth = 0;
+        while (depth < limit && canons[a][depth] == canons[b][depth]) ++depth;
+        max_depth = std::max<uint64_t>(max_depth, depth);
+      }
+    }
+    ir->stats.max_shared_prefix_depth = max_depth;
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::string UnitMergeCanon(const QueryUnit& unit) {
+  const Nfa& nfa = *unit.nfa;
+  const ParsedQuery& query = nfa.query();
+  std::string out =
+      StrFormat("w%lld;", static_cast<long long>(query.window));
+  for (const PatternVariable& var : query.pattern) {
+    out += StrFormat("p%d.%d;", static_cast<int>(var.kind),
+                     static_cast<int>(var.type_id));
+  }
+  // The RETURN clause is the output contract: the emitted complex event's
+  // type name and attribute names are payload, so they participate even
+  // though variable names do not.
+  out += StrFormat("r'%s'(", query.return_spec.event_name.c_str());
+  for (const ReturnItem& item : query.return_spec.items) {
+    out += StrFormat("'%s'=", item.name.c_str());
+    out += CanonicalExprString(*item.expr);
+    out += ',';
+  }
+  out += ");";
+  for (const State& state : nfa.states()) {
+    out += StateCanon(state);
+  }
+  return out;
+}
+
+std::unique_ptr<OptPass> MakePrefixMergePass() {
+  return std::make_unique<PrefixMergePass>();
+}
+
+}  // namespace opt
+}  // namespace cep

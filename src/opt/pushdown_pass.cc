@@ -1,0 +1,81 @@
+#include "opt/passes.h"
+
+namespace cep {
+namespace opt {
+
+namespace {
+
+class PushdownPass final : public OptPass {
+ public:
+  std::string_view name() const override { return "pushdown"; }
+
+  Status Run(MultiQueryIr* ir) override {
+    EventPrefilter& pf = ir->prefilter;
+    // Safety gate: dropping an event before ingestion is only transparent
+    // when no query observes events beyond edge firing. Strict contiguity
+    // kills runs on any non-advancing event; deferred finals emit on window
+    // expiry (whose order the ReorderBuffer ties to arrivals); shedders,
+    // degradation ladders and latency thresholds feed on per-event cost.
+    bool safe = !ir->units.empty();
+    for (const QueryUnit& unit : ir->units) {
+      if (unit.selection == SelectionStrategy::kStrictContiguity ||
+          unit.has_shedder || unit.has_degradation ||
+          unit.has_latency_threshold) {
+        safe = false;
+      }
+      for (const State& state : unit.nfa->states()) {
+        if (state.deferred_final) safe = false;
+      }
+    }
+
+    for (const QueryUnit& unit : ir->units) {
+      if (unit.leader != unit.query_index) continue;  // leader automaton only
+      for (const State& state : unit.nfa->states()) {
+        for (const Edge& edge : state.edges) {
+          EventPrefilter::TypeInterest& ti = pf.interest[edge.event_type];
+          // An event that only matches kill edges must be kept: dropping it
+          // would let a doomed run survive and later emit a false match.
+          if (edge.kind == EdgeKind::kKill || edge.predicates.empty()) {
+            ti.unconditional = true;
+            continue;
+          }
+          EventPrefilter::EdgeGuard guard;
+          bool fully_interned =
+              edge.shared_pred_ids.size() == edge.predicates.size();
+          if (fully_interned) {
+            for (const int32_t id : edge.shared_pred_ids) {
+              if (id < 0) {
+                fully_interned = false;
+                break;
+              }
+              guard.pred_ids.push_back(id);
+            }
+          }
+          if (!fully_interned) {
+            // Some predicate needs run context; the event might always fire.
+            ti.unconditional = true;
+            continue;
+          }
+          ti.guards.push_back(std::move(guard));
+        }
+      }
+    }
+    pf.safe = safe;
+    ir->stats.prefilter_safe = safe;
+    ir->stats.prefilter_types = pf.interest.size();
+    for (const auto& [type, ti] : pf.interest) {
+      (void)type;
+      if (!ti.unconditional) ++ir->stats.prefilter_droppable_types;
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<OptPass> MakePushdownPass() {
+  return std::make_unique<PushdownPass>();
+}
+
+}  // namespace opt
+}  // namespace cep

@@ -1,0 +1,82 @@
+#include "opt/shared_preds.h"
+
+#include "opt/expr_canon.h"
+
+namespace cep {
+namespace opt {
+
+const Status& SharedPredRow::ErrorFor(int32_t id) const {
+  for (const auto& [pred_id, status] : errors) {
+    if (pred_id == id) return status;
+  }
+  // An edge only consults ErrorFor after reading a kError verdict, and every
+  // kError verdict parks its status above; reaching here is a table bug.
+  static const Status kMissing =
+      Status::Internal("shared-predicate error verdict without status");
+  return kMissing;
+}
+
+int32_t SharedPredTable::Intern(const Expr* expr, EventTypeId type,
+                                int normalize_var) {
+  ++interned_;
+  std::string canon = CanonicalExprString(*expr, normalize_var);
+  const auto key = std::make_pair(type, std::move(canon));
+  const auto it = by_canon_.find(key);
+  if (it != by_canon_.end()) {
+    ++deduped_;
+    return it->second;
+  }
+  const int32_t id = static_cast<int32_t>(preds_.size());
+  preds_.push_back(PredInfo{expr, type, key.second});
+  by_canon_.emplace(key, id);
+  by_type_[type].push_back(id);
+  return id;
+}
+
+void SharedPredTable::FillRow(SharedPredRow* row, const Event& event) {
+  row->event = &event;
+  row->verdicts.assign(preds_.size(), kNotEvaluated);
+  row->errors.clear();
+  const auto it = by_type_.find(event.type());
+  if (it == by_type_.end()) return;
+  for (const int32_t id : it->second) {
+    Result<bool> verdict = EvalEventOnly(*preds_[id].expr, event);
+    ++evals_done_;
+    if (verdict.ok()) {
+      row->verdicts[id] = verdict.ValueOrDie() ? kTrue : kFalse;
+    } else {
+      row->verdicts[id] = kError;
+      row->errors.emplace_back(id, verdict.status());
+    }
+  }
+}
+
+void SharedPredTable::BeginEvent(const Event& event) {
+  rows_.resize(1);
+  row_index_.clear();
+  FillRow(&rows_[0], event);
+  row_index_.emplace(&event, 0);
+}
+
+void SharedPredTable::BeginBatch(std::span<const EventPtr> events) {
+  rows_.resize(events.size());
+  row_index_.clear();
+  row_index_.reserve(events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    FillRow(&rows_[i], *events[i]);
+    row_index_.emplace(events[i].get(), i);
+  }
+}
+
+const SharedPredRow* SharedPredTable::RowFor(const Event* event) const {
+  const auto it = row_index_.find(event);
+  return it == row_index_.end() ? nullptr : &rows_[it->second];
+}
+
+bool SharedPredTable::EvalForIngest(int32_t id, const Event& event) const {
+  const Result<bool> verdict = EvalEventOnly(*preds_[id].expr, event);
+  return verdict.ok() ? verdict.ValueOrDie() : true;
+}
+
+}  // namespace opt
+}  // namespace cep

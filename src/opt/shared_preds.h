@@ -1,0 +1,104 @@
+#ifndef CEPSHED_OPT_SHARED_PREDS_H_
+#define CEPSHED_OPT_SHARED_PREDS_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "event/event.h"
+#include "query/expr.h"
+
+namespace cep {
+namespace opt {
+
+/// \brief One event's verdicts over the shared predicate table.
+///
+/// `verdicts` is indexed by predicate id; only predicates interned for the
+/// event's type are evaluated (the rest read kNotEvaluated, which no edge of
+/// a different type ever consults). Evaluation errors are parked per id and
+/// surfaced only when an edge actually consults the predicate — exactly
+/// mirroring unoptimized short-circuit semantics, where a predicate behind a
+/// false one is never evaluated.
+struct SharedPredRow {
+  const Event* event = nullptr;
+  std::vector<int8_t> verdicts;
+  std::vector<std::pair<int32_t, Status>> errors;
+
+  const Status& ErrorFor(int32_t id) const;
+};
+
+/// \brief Cross-query table of interned event-only edge predicates (CSE).
+///
+/// The CSE pass interns structurally-equal predicates (same canonical form,
+/// same event type) under one id; MultiEngine evaluates each unique
+/// predicate once per event — serially, before fan-out — and every engine
+/// reads the precomputed verdict row instead of re-interpreting the
+/// expression per run and per query.
+class SharedPredTable {
+ public:
+  static constexpr int8_t kFalse = 0;
+  static constexpr int8_t kTrue = 1;
+  static constexpr int8_t kError = 2;
+  static constexpr int8_t kNotEvaluated = 3;
+
+  /// Interns `expr` (must be event-only for the variable the edge binds;
+  /// see IsEventOnly) under its canonical form + `type`. Returns the
+  /// predicate id; structurally-equal predicates share one id.
+  int32_t Intern(const Expr* expr, EventTypeId type, int normalize_var);
+
+  size_t size() const { return preds_.size(); }
+  uint64_t interned() const { return interned_; }
+  /// Intern calls that hit an existing entry (cross-query duplicates).
+  uint64_t deduped() const { return deduped_; }
+  /// Predicate evaluations performed by Begin{Event,Batch} so far.
+  uint64_t evals_done() const { return evals_done_; }
+  void set_evals_done(uint64_t v) { evals_done_ = v; }
+
+  const Expr* expr(int32_t id) const { return preds_[id].expr; }
+  EventTypeId pred_type(int32_t id) const { return preds_[id].type; }
+  const std::string& canon(int32_t id) const { return preds_[id].canon; }
+
+  /// Evaluates the verdict rows for one event / a batch of events. Must be
+  /// called serially before engines fan out; rows stay valid (and may be
+  /// read concurrently) until the next Begin call.
+  void BeginEvent(const Event& event);
+  void BeginBatch(std::span<const EventPtr> events);
+
+  /// Verdict row for `event`, or nullptr when the event was not part of the
+  /// last Begin call (e.g. a standalone engine driving itself).
+  const SharedPredRow* RowFor(const Event* event) const;
+
+  /// Uncached single-predicate evaluation (ingestion-side prefilter, which
+  /// runs before rows exist). Errors conservatively evaluate to "true" so
+  /// the event is kept and the engines surface the error themselves.
+  bool EvalForIngest(int32_t id, const Event& event) const;
+
+ private:
+  struct PredInfo {
+    const Expr* expr;
+    EventTypeId type;
+    std::string canon;
+  };
+
+  void FillRow(SharedPredRow* row, const Event& event);
+
+  std::vector<PredInfo> preds_;
+  std::map<std::pair<EventTypeId, std::string>, int32_t> by_canon_;
+  std::map<EventTypeId, std::vector<int32_t>> by_type_;
+  uint64_t interned_ = 0;
+  uint64_t deduped_ = 0;
+  uint64_t evals_done_ = 0;
+
+  std::vector<SharedPredRow> rows_;
+  std::unordered_map<const Event*, size_t> row_index_;
+};
+
+}  // namespace opt
+}  // namespace cep
+
+#endif  // CEPSHED_OPT_SHARED_PREDS_H_

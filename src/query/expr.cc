@@ -52,7 +52,18 @@ ExprPtr LiteralExpr::Clone() const {
 }
 
 std::string LiteralExpr::ToString() const {
-  if (value_.is_string()) return "'" + value_.string_value() + "'";
+  if (value_.is_string()) {
+    // Embedded quotes use the lexer's doubled-quote escape so the rendering
+    // parses back to the same value (ParseQuery -> ToString -> ParseQuery
+    // must be a fixpoint; fuzz_query replays regression forms for this).
+    std::string out = "'";
+    for (const char c : value_.string_value()) {
+      out += c;
+      if (c == '\'') out += '\'';
+    }
+    out += '\'';
+    return out;
+  }
   return value_.ToString();
 }
 

@@ -85,8 +85,17 @@ Result<std::pair<std::string, ShedderParams>> ShedderRegistry::ParseSpec(
           return Status::ParseError("shedder spec expects key=val, got '" +
                                     token + "'");
         }
-        const std::string key = token.substr(0, eq);
-        if (!params.emplace(key, token.substr(eq + 1)).second) {
+        // Strip around '=' so "bound =5" and "bound=5" name the same knob:
+        // un-stripped keys used to slip past this duplicate check and fail
+        // later with a confusing unknown-option error (or, for known knobs,
+        // silently last-win in the factory's param map).
+        const std::string key{StripWhitespace(token.substr(0, eq))};
+        const std::string value{StripWhitespace(token.substr(eq + 1))};
+        if (key.empty()) {
+          return Status::ParseError("shedder spec expects key=val, got '" +
+                                    token + "'");
+        }
+        if (!params.emplace(key, value).second) {
           return Status::InvalidArgument("duplicate shedder option '" + key +
                                          "'");
         }
@@ -95,7 +104,10 @@ Result<std::pair<std::string, ShedderParams>> ShedderRegistry::ParseSpec(
   }
   name = Lower(StripWhitespace(name));
   if (name.empty()) {
-    return Status::ParseError("empty shedder spec");
+    // Hard configuration error, not a recoverable parse problem: an
+    // empty/whitespace-only spec (or "(...)" with no name) means the caller
+    // passed no strategy at all.
+    return Status::InvalidArgument("empty shedder spec");
   }
   return std::make_pair(name, std::move(params));
 }

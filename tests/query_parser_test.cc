@@ -147,6 +147,69 @@ TEST(ParseQueryTest, ToStringRoundTrip) {
   EXPECT_EQ(second.ValueOrDie().ToString(), printed);
 }
 
+TEST(ParseQueryTest, ToStringRoundTripEmbeddedQuotes) {
+  // String literals render with the lexer's doubled-quote escape; an
+  // embedded quote used to break the parse->print->parse fixpoint (the
+  // reprinted literal terminated early).
+  const std::string text =
+      "PATTERN SEQ(req a) WHERE a.tag = 'it''s ''quoted''' "
+      "WITHIN 1 min RETURN o(x = a.loc)";
+  auto first = ParseQuery(text);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const std::string printed = first.ValueOrDie().ToString();
+  auto second = ParseQuery(printed);
+  ASSERT_TRUE(second.ok()) << second.status().ToString() << "\n" << printed;
+  EXPECT_EQ(second.ValueOrDie().ToString(), printed);
+  EXPECT_NE(printed.find("it''s"), std::string::npos) << printed;
+}
+
+TEST(ParseQueryTest, ToStringRoundTripDoubleLiterals) {
+  // Doubles print in shortest round-trip form: reparsing must recover the
+  // exact bits (0.1 used to reprint as a truncated fixed-point rendering
+  // that parsed back to a different value).
+  const std::string text =
+      "PATTERN SEQ(req a) "
+      "WHERE a.score > 0.1, a.score < 12345.678901234567, a.score != 1e-9 "
+      "WITHIN 1 min RETURN o(x = a.loc)";
+  auto first = ParseQuery(text);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const std::string printed = first.ValueOrDie().ToString();
+  auto second = ParseQuery(printed);
+  ASSERT_TRUE(second.ok()) << second.status().ToString() << "\n" << printed;
+  const std::string reprinted = second.ValueOrDie().ToString();
+  EXPECT_EQ(reprinted, printed);
+  auto third = ParseQuery(reprinted);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.ValueOrDie().ToString(), reprinted);
+}
+
+TEST(ParseQueryTest, ToStringRoundTripNestedBooleanPredicates) {
+  // Audit for nested AND/OR/NOT: the printer parenthesizes every binary
+  // and unary node, so operator precedence (OR < AND < NOT < comparison)
+  // can never be re-associated by a reparse. Each form must reach a
+  // parse -> print -> parse fixpoint.
+  const char* wheres[] = {
+      "a.x = 1 OR a.y = 2 AND NOT a.z = 3",
+      "(a.x = 1 OR a.y = 2) AND NOT (a.z = 3 OR a.w = 4)",
+      "NOT NOT a.x = 1",
+      "NOT (a.x = 1 AND (a.y = 2 OR NOT a.z = 3))",
+      "a.x = 1 AND a.y = 2 AND a.z = 3 OR a.w = 4",
+      "NOT true OR NOT (false AND a.x = 1)",
+      "NOT a.x < 3 AND -(a.y) > -2",
+  };
+  for (const char* where : wheres) {
+    const std::string text = std::string("PATTERN SEQ(t a) WHERE ") + where +
+                             " WITHIN 1 min RETURN o(v = a.x)";
+    auto first = ParseQuery(text);
+    ASSERT_TRUE(first.ok()) << where << "\n" << first.status().ToString();
+    const std::string printed = first.ValueOrDie().ToString();
+    auto second = ParseQuery(printed);
+    ASSERT_TRUE(second.ok())
+        << where << "\n" << printed << "\n" << second.status().ToString();
+    EXPECT_EQ(second.ValueOrDie().ToString(), printed) << where;
+  }
+}
+
 TEST(ParseQueryTest, CopySemanticsOfParsedQuery) {
   auto result = ParseQuery(
       "PATTERN SEQ(req a) WHERE a.loc > 1 WITHIN 1 min RETURN o(x = a.loc)");

@@ -267,6 +267,40 @@ TEST(ShedderRegistryTest, ParseSpecForms) {
   EXPECT_FALSE(ShedderRegistry::ParseSpec("sbls(seed=1,seed=2)").ok());
 }
 
+TEST(ShedderRegistryTest, DuplicateKnobIsHardErrorEvenWithSpacing) {
+  // Keys are stripped before the duplicate check, so "slices =8" and
+  // "slices= 16" name the same knob; historically the spaced form slipped
+  // past and last-won silently in the factory's param map.
+  const auto spaced = ShedderRegistry::ParseSpec("sbls(slices =8, slices= 16)");
+  ASSERT_FALSE(spaced.ok());
+  EXPECT_TRUE(spaced.status().IsInvalidArgument()) << spaced.status().ToString();
+  EXPECT_NE(spaced.status().ToString().find("duplicate"), std::string::npos);
+
+  const auto plain = ShedderRegistry::ParseSpec("rbls(seed=1,seed=2)");
+  ASSERT_FALSE(plain.ok());
+  EXPECT_TRUE(plain.status().IsInvalidArgument());
+
+  // Make surfaces the same hard error (not a fallback to defaults).
+  EXPECT_TRUE(
+      ShedderRegistry::Make("rbls(seed=1, seed =2)").status().IsInvalidArgument());
+}
+
+TEST(ShedderRegistryTest, EmptySpecIsInvalidArgumentNotParseError) {
+  for (const char* spec : {"", "   ", "\t", "(slices=8)"}) {
+    const auto parsed = ShedderRegistry::ParseSpec(spec);
+    ASSERT_FALSE(parsed.ok()) << "spec '" << spec << "'";
+    EXPECT_TRUE(parsed.status().IsInvalidArgument())
+        << "spec '" << spec << "': " << parsed.status().ToString();
+  }
+  EXPECT_TRUE(ShedderRegistry::Make("  ").status().IsInvalidArgument());
+}
+
+TEST(ShedderRegistryTest, SpacedKnobsParse) {
+  const auto parsed = ShedderRegistry::ParseSpec("sbls( slices = 8 )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.ValueOrDie().second.at("slices"), "8");
+}
+
 TEST(ShedderRegistryTest, UnknownStrategyAndUnknownKeyAreErrors) {
   EXPECT_FALSE(ShedderRegistry::Make("no-such-strategy").ok());
   // Strict: an inline spec key the strategy does not know is a typo.

@@ -22,6 +22,7 @@
 #include "common/string_util.h"
 #include "service/drain.h"
 #include "engine/engine.h"
+#include "engine/multi.h"
 #include "event/csv.h"
 #include "obs/audit.h"
 #include "obs/metrics.h"
@@ -67,6 +68,9 @@ int Usage() {
       "\n"
       "run      --schema <file|cluster|bike|stock> --query <file|text>\n"
       "         --input <events.csv> [--matches <out.csv>]\n"
+      "         [--queries <file> [--opt] [--opt-dump]]  multi-query mode:\n"
+      "           one query per line; --opt runs the optimizer pass\n"
+      "           pipeline (CSE/DSE/merge/pushdown, docs/OPTIMIZER.md)\n"
       "         [--shedder <name|'name(key=val,...)'>] [--theta <micros>]\n"
       "           shedder names: %s\n"
       "         [--fraction <0..1>] [--max-runs <n>]\n"
@@ -228,7 +232,216 @@ Status WriteTextFile(const std::string& path, const std::string& text) {
   return Status::OK();
 }
 
+// Multi-query mode: `run --queries <file>` evaluates every query in the
+// file (one per line, # comments) over the same input through a MultiEngine,
+// and --opt runs the optimizer pass pipeline (docs/OPTIMIZER.md) before
+// evaluation. Per-query match counts go to stdout; --metrics-out exports the
+// per-query label families plus cep_opt_* stats. Flags tied to single-engine
+// state (checkpointing, shadow quality) are rejected rather than half-applied.
+Status RunMultiCommand(const Args& args) {
+  for (const char* flag :
+       {"query", "matches", "checkpoint-dir", "restore-from", "shadow-sample",
+        "shadow-width", "shadow-seed", "calibration", "slo-budget",
+        "quality-out"}) {
+    if (args.Has(flag)) {
+      return Status::InvalidArgument(
+          StrFormat("--%s is not supported in multi-query mode (--queries)",
+                    flag));
+    }
+  }
+  SchemaRegistry registry;
+  CEP_RETURN_NOT_OK(LoadSchema(args.Get("schema"), &registry));
+
+  std::ifstream file(args.Get("queries"));
+  if (!file) {
+    return Status::IoError("cannot open --queries file: " +
+                           args.Get("queries"));
+  }
+  std::vector<NfaPtr> nfas;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    auto nfa = CompileQuery(std::string(stripped), registry);
+    CEP_RETURN_NOT_OK(
+        nfa.status().WithContext(StrFormat("query line %zu", line_no)));
+    nfas.push_back(nfa.MoveValueUnsafe());
+  }
+  if (nfas.empty()) {
+    return Status::InvalidArgument("--queries file holds no queries");
+  }
+
+  const bool resilience = args.Has("resilience");
+  CsvReadOptions csv_options;
+  CsvReadStats csv_stats;
+  if (resilience || args.Has("error-budget")) {
+    csv_options.max_consecutive_errors =
+        static_cast<size_t>(args.GetInt("error-budget", 64));
+  }
+  CEP_ASSIGN_OR_RETURN(std::vector<EventPtr> events,
+                       ReadEventsCsvFile(registry, args.Get("input"),
+                                         csv_options, &csv_stats));
+
+  EngineOptions options;
+  options.latency_threshold_micros = args.GetDouble("theta", 0.0);
+  options.shed_amount.fraction = args.GetDouble("fraction", 0.2);
+  options.max_runs = static_cast<size_t>(args.GetInt("max-runs", 0));
+  if (resilience) {
+    options.degradation.enabled = true;
+    options.degradation.run_bytes_budget =
+        static_cast<size_t>(args.GetInt("run-bytes-budget", 0));
+    options.error_budget.enabled = true;
+    options.error_budget.max_consecutive_errors =
+        static_cast<size_t>(args.GetInt("error-budget", 64));
+  }
+  CEP_ASSIGN_OR_RETURN(options, options.Validated());
+
+  MultiEngine multi;
+  for (NfaPtr& nfa : nfas) {
+    // Every query gets its own shedder instance built from the same flags
+    // (shedders are stateful, so one object cannot serve two engines).
+    CEP_ASSIGN_OR_RETURN(ShedderPtr shedder, MakeShedder(args, registry));
+    multi.AddQuery(std::move(nfa), options, std::move(shedder));
+  }
+  if (args.Has("opt")) {
+    opt::OptOptions opt_options;
+    opt_options.dump_ir = args.Has("opt-dump");
+    CEP_RETURN_NOT_OK(multi.Optimize(opt_options));
+    for (const opt::PassDump& dump : multi.opt_dumps()) {
+      std::printf("==== before pass '%s' ====\n%s", dump.pass.c_str(),
+                  dump.before.c_str());
+      std::printf("==== after pass '%s' ====\n%s", dump.pass.c_str(),
+                  dump.after.c_str());
+    }
+  }
+  multi.EnableParallel(static_cast<size_t>(args.GetInt("threads", 0)));
+  obs::ShedAuditLog audit_log;
+  if (args.Has("audit-out")) multi.AttachAuditLog(&audit_log);
+  obs::Tracer tracer;
+  if (args.Has("trace-out")) multi.AttachTracer(&tracer);
+
+  // Fault injection wraps the materialised input exactly as in single-query
+  // mode: the storm is upstream of the fan-out, so every query sees the
+  // same perturbed stream.
+  auto stream = std::make_unique<VectorEventStream>(events);
+  std::unique_ptr<EventStream> source = std::move(stream);
+  FaultInjectingStream* faults = nullptr;
+  if (args.Has("fault-drop") || args.Has("fault-dup") ||
+      args.Has("fault-delay") || args.Has("fault-corrupt")) {
+    FaultInjectionOptions fault_options;
+    fault_options.drop_probability = args.GetDouble("fault-drop", 0.0);
+    fault_options.duplicate_probability = args.GetDouble("fault-dup", 0.0);
+    fault_options.delay_probability = args.GetDouble("fault-delay", 0.0);
+    fault_options.corrupt_probability = args.GetDouble("fault-corrupt", 0.0);
+    fault_options.seed = static_cast<uint64_t>(args.GetInt("fault-seed", 7));
+    auto injector = std::make_unique<FaultInjectingStream>(std::move(source),
+                                                           fault_options);
+    faults = injector.get();
+    source = std::move(injector);
+  }
+
+  const size_t batch_size =
+      static_cast<size_t>(args.GetInt("batch-size", 1));
+  const uint64_t stats_interval =
+      static_cast<uint64_t>(args.GetInt("stats-interval-events", 0));
+  InstallInterruptHandlers();
+  uint64_t offered = 0;
+  if (batch_size <= 1 || stats_interval > 0) {
+    while (EventPtr event = source->Next()) {
+      if (g_interrupted) break;
+      CEP_RETURN_NOT_OK(multi.OfferEvent(event));
+      ++offered;
+      if (stats_interval > 0 && offered % stats_interval == 0) {
+        std::fprintf(stderr, "stats[%llu] %s\n",
+                     static_cast<unsigned long long>(offered),
+                     multi.AggregateMetrics().ToString().c_str());
+      }
+    }
+  } else {
+    std::vector<EventPtr> batch;
+    batch.reserve(batch_size);
+    for (;;) {
+      if (g_interrupted) break;
+      batch.clear();
+      while (batch.size() < batch_size) {
+        EventPtr event = source->Next();
+        if (event == nullptr) break;
+        batch.push_back(std::move(event));
+      }
+      if (batch.empty()) break;
+      offered += batch.size();
+      CEP_RETURN_NOT_OK(multi.ProcessBatch(batch));
+    }
+  }
+  for (size_t k = 0; k < multi.num_engines(); ++k) {
+    CEP_RETURN_NOT_OK(
+        service::DrainEngine(multi.physical_engine(k), /*flush_runs=*/true));
+  }
+
+  for (size_t i = 0; i < multi.num_queries(); ++i) {
+    std::printf("query %zu (%s): %llu matches\n", i,
+                multi.query_name(i).c_str(),
+                static_cast<unsigned long long>(
+                    multi.engine(i).metrics().matches_emitted));
+  }
+  std::printf("%llu matches over %zu events across %zu queries "
+              "(%zu engines)\n",
+              static_cast<unsigned long long>(
+                  multi.AggregateMetrics().matches_emitted),
+              events.size(), multi.num_queries(), multi.num_engines());
+  if (args.Has("stats")) {
+    std::printf("%s\n", multi.AggregateMetrics().ToString().c_str());
+    if (const opt::MultiQueryIr* ir = multi.ir()) {
+      const opt::OptStats& s = ir->stats;
+      std::printf(
+          "opt: shared_preds=%zu merged=%llu groups=%llu folded=%llu "
+          "states_eliminated=%llu prefilter_safe=%s\n",
+          ir->preds.size(), static_cast<unsigned long long>(s.queries_merged),
+          static_cast<unsigned long long>(s.merge_groups),
+          static_cast<unsigned long long>(s.preds_folded),
+          static_cast<unsigned long long>(s.states_eliminated),
+          s.prefilter_safe ? "true" : "false");
+      uint64_t skips = 0;
+      for (size_t k = 0; k < multi.num_engines(); ++k) {
+        skips += multi.physical_engine(k).shared_skips();
+      }
+      std::printf("opt: engine_skips=%llu events_prefiltered=%llu\n",
+                  static_cast<unsigned long long>(skips),
+                  static_cast<unsigned long long>(
+                      multi.events_prefiltered()));
+    }
+    if (csv_stats.quarantined > 0) {
+      std::printf("csv: %llu/%llu records quarantined (last: %s)\n",
+                  static_cast<unsigned long long>(csv_stats.quarantined),
+                  static_cast<unsigned long long>(csv_stats.lines_read),
+                  csv_stats.last_error.c_str());
+    }
+    if (faults != nullptr) {
+      std::printf("faults: %s\n", faults->stats().ToString().c_str());
+    }
+  }
+  if (args.Has("metrics-out")) {
+    const std::string path = args.Get("metrics-out");
+    obs::Registry metrics_registry;
+    multi.ExportMetrics(&metrics_registry);
+    CEP_RETURN_NOT_OK(WriteTextFile(
+        path, EndsWith(path, ".prom") ? metrics_registry.ToPrometheusText()
+                                      : metrics_registry.ToJson()));
+  }
+  if (args.Has("trace-out")) {
+    CEP_RETURN_NOT_OK(WriteTextFile(args.Get("trace-out"), tracer.ToJson()));
+  }
+  if (args.Has("audit-out")) {
+    CEP_RETURN_NOT_OK(
+        WriteTextFile(args.Get("audit-out"), audit_log.ToJsonl()));
+  }
+  return Status::OK();
+}
+
 Status RunCommand(const Args& args) {
+  if (args.Has("queries")) return RunMultiCommand(args);
   SchemaRegistry registry;
   CEP_RETURN_NOT_OK(LoadSchema(args.Get("schema"), &registry));
   CEP_ASSIGN_OR_RETURN(NfaPtr nfa, CompileQuery(args.Get("query"), registry));

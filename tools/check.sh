@@ -16,7 +16,11 @@
 # and instrumentation races surface here), then writes checkpoints and
 # verifies them with ckpt_tool (snapshot CRC/format coverage under both
 # sanitizers), and runs the service-mode chaos harness (SIGKILL + resume)
-# with a server-vs-in-process differential sweep.
+# with a server-vs-in-process differential sweep. The ASan and TSan passes
+# additionally run the multi-query optimizer differential (stress_engine
+# --multiquery: optimized vs unoptimized per-query matches must be
+# byte-identical), and the ASan pass diffs opt_tool output against the
+# checked-in goldens (tests/golden/opt/).
 # Usage: tools/check.sh [extra ctest args for the ASan pass...]
 set -e
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -152,6 +156,29 @@ committed baseline %.1f ev/s (BENCH_suite.json)\n", new, base > "/dev/stderr"
   }'
 }
 
+# opt_check BUILD_DIR — multi-query optimizer golden check: run opt_tool on
+# the example query set and diff both the text IR dump and the Graphviz
+# rendering against the checked-in goldens. Any change to pass ordering,
+# interning, merge grouping, or the IR printer shows up as a diff here and
+# forces a conscious golden update.
+opt_check() {
+  OPT_DIR="$(mktemp -d)"
+  "$1/tools/opt_tool" --schema bike \
+      --queries "$ROOT/tests/golden/opt/example_queries.txt" \
+      --dot "$OPT_DIR/example.dot" > "$OPT_DIR/example_dump.txt"
+  diff -u "$ROOT/tests/golden/opt/example_dump.txt" "$OPT_DIR/example_dump.txt"
+  diff -u "$ROOT/tests/golden/opt/example.dot" "$OPT_DIR/example.dot"
+  rm -rf "$OPT_DIR"
+}
+
+# multiquery_check BUILD_DIR CONFIGS — differential multi-query sweep: for
+# each random config the optimized MultiEngine (CSE + merge + pushdown) must
+# produce byte-identical per-query match fingerprints vs the unoptimized
+# one, across the thread/shard grid, batch feeding, and checkpoint-resume.
+multiquery_check() {
+  "$1/tools/stress_engine" --multiquery --configs "$2" --seed 9
+}
+
 # fuzz_check BUILD_DIR — differential stress sweep plus, when the toolchain
 # supports -fsanitize=fuzzer (clang), a short coverage-guided run of each
 # fuzz target over its checked-in corpus. The corpus-replay ctest entries
@@ -188,6 +215,8 @@ cmake --build "$BUILD" -j "$JOBS"
 obs_check "$BUILD"
 ckpt_check "$BUILD"
 server_check "$BUILD"
+opt_check "$BUILD"
+multiquery_check "$BUILD" 30
 fuzz_check "$BUILD"
 
 TSAN_BUILD="$ROOT/build-tsan"
@@ -202,6 +231,7 @@ cmake --build "$TSAN_BUILD" -j "$JOBS"
 obs_check "$TSAN_BUILD"
 ckpt_check "$TSAN_BUILD"
 server_check "$TSAN_BUILD"
+multiquery_check "$TSAN_BUILD" 10
 
 # Release pass: the suite again under -O2 -DNDEBUG (assert-free code paths,
 # optimizer-exposed UB) plus the throughput smoke against the committed

@@ -1,0 +1,224 @@
+// Multi-query optimizer inspector (docs/OPTIMIZER.md).
+//
+//   opt_tool --schema bike --queries qs.txt            # optimized IR dump
+//   opt_tool --schema bike --queries qs.txt --dumps    # per-pass before/after
+//   opt_tool --schema bike --queries qs.txt --dot out.dot
+//
+// Parses one query per line from --queries (blank lines and # comments are
+// skipped), compiles each to an NFA, runs the optimizer pass pipeline over
+// the set exactly as MultiEngine::Optimize would (default engine options, no
+// shedders), and prints the resulting IR as deterministic text — the same
+// rendering the PassManager captures per pass — so its output can be diffed
+// against golden files (tools/check.sh opt_check). Pass flags --no-dse,
+// --no-cse, --no-merge, --no-pushdown disable individual passes.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "engine/options.h"
+#include "event/schema.h"
+#include "nfa/compiler.h"
+#include "opt/fingerprint.h"
+#include "opt/ir.h"
+#include "opt/pass_manager.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+#include "workload/bikeshare.h"
+#include "workload/google_trace.h"
+#include "workload/stock.h"
+
+namespace cep {
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --schema <file|cluster|bike|stock> --queries <file>"
+               " [--no-dse] [--no-cse] [--no-merge] [--no-pushdown]"
+               " [--dumps] [--dot <out.dot>]\n",
+               argv0);
+  return 2;
+}
+
+Result<ValueType> ParseValueType(const std::string& name) {
+  if (name == "int") return ValueType::kInt;
+  if (name == "double") return ValueType::kDouble;
+  if (name == "string") return ValueType::kString;
+  if (name == "bool") return ValueType::kBool;
+  return Status::ParseError("unknown attribute type '" + name + "'");
+}
+
+// Mirrors cepshed_cli's schema loading: a named generator schema or a file
+// with one `type attr:type...` line per event type.
+Status LoadSchema(const std::string& arg, SchemaRegistry* registry) {
+  if (arg == "cluster") return GoogleTraceGenerator::RegisterSchemas(registry);
+  if (arg == "bike") return BikeShareGenerator::RegisterSchemas(registry);
+  if (arg == "stock") return StockGenerator::RegisterSchemas(registry);
+  std::ifstream file(arg);
+  if (!file) return Status::IoError("cannot open schema file: " + arg);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::istringstream fields{std::string(stripped)};
+    std::string type_name;
+    fields >> type_name;
+    std::vector<AttributeDef> attrs;
+    std::string attr_spec;
+    while (fields >> attr_spec) {
+      const size_t colon = attr_spec.find(':');
+      if (colon == std::string::npos) {
+        return Status::ParseError(StrFormat(
+            "schema line %zu: expected attr:type, got '%s'", line_no,
+            attr_spec.c_str()));
+      }
+      CEP_ASSIGN_OR_RETURN(ValueType vt,
+                           ParseValueType(attr_spec.substr(colon + 1)));
+      attrs.push_back(AttributeDef{attr_spec.substr(0, colon), vt});
+    }
+    CEP_RETURN_NOT_OK(registry->Register(type_name, std::move(attrs)).status());
+  }
+  return Status::OK();
+}
+
+/// Deterministic Graphviz rendering of every leader automaton. Shared
+/// predicate annotations use the interned `#id`, so two queries whose edges
+/// share a predicate render the same label.
+std::string DumpDot(const opt::MultiQueryIr& ir) {
+  std::string out = "digraph opt {\n  rankdir=LR;\n";
+  for (const opt::QueryUnit& unit : ir.units) {
+    if (unit.leader != unit.query_index) continue;
+    out += StrFormat("  subgraph cluster_q%zu {\n    label=\"q%zu %s\";\n",
+                     unit.query_index, unit.query_index, unit.name.c_str());
+    for (const State& state : unit.nfa->states()) {
+      out += StrFormat("    q%zu_s%d [label=\"s%d\"%s];\n", unit.query_index,
+                       state.id, state.id,
+                       state.is_final ? " shape=doublecircle" : "");
+      for (const Edge& edge : state.edges) {
+        std::string label = StrFormat("%s t%d", EdgeKindName(edge.kind),
+                                      static_cast<int>(edge.event_type));
+        for (size_t j = 0; j < edge.predicates.size(); ++j) {
+          const int32_t shared = j < edge.shared_pred_ids.size()
+                                     ? edge.shared_pred_ids[j]
+                                     : -1;
+          label += shared >= 0 ? StrFormat("\\n#%d", shared) : "\\n[local]";
+        }
+        const int target = edge.target >= 0 ? edge.target : state.id;
+        out += StrFormat("    q%zu_s%d -> q%zu_s%d [label=\"%s\"%s];\n",
+                         unit.query_index, state.id, unit.query_index, target,
+                         label.c_str(),
+                         edge.kind == EdgeKind::kKill ? " style=dashed" : "");
+      }
+    }
+    out += "  }\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+Status RunTool(const std::map<std::string, std::string>& args) {
+  const auto get = [&args](const char* key) -> const std::string* {
+    const auto it = args.find(key);
+    return it == args.end() ? nullptr : &it->second;
+  };
+  const std::string* schema_arg = get("schema");
+  const std::string* queries_arg = get("queries");
+  if (schema_arg == nullptr || queries_arg == nullptr) {
+    return Status::InvalidArgument("--schema and --queries are required");
+  }
+  SchemaRegistry registry;
+  CEP_RETURN_NOT_OK(LoadSchema(*schema_arg, &registry));
+
+  std::ifstream file(*queries_arg);
+  if (!file) {
+    return Status::IoError("cannot open query file: " + *queries_arg);
+  }
+  opt::MultiQueryIr ir;
+  const uint64_t default_fingerprint =
+      opt::FingerprintEngineOptions(EngineOptions{});
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    auto parsed = ParseQuery(std::string(stripped));
+    CEP_RETURN_NOT_OK(parsed.status().WithContext(
+        StrFormat("query line %zu", line_no)));
+    auto analyzed = Analyze(parsed.MoveValueUnsafe(), registry);
+    CEP_RETURN_NOT_OK(analyzed.status().WithContext(
+        StrFormat("query line %zu", line_no)));
+    auto nfa = CompileToNfa(analyzed.MoveValueUnsafe());
+    CEP_RETURN_NOT_OK(nfa.status().WithContext(
+        StrFormat("query line %zu", line_no)));
+    opt::QueryUnit unit;
+    unit.query_index = ir.units.size();
+    unit.leader = unit.query_index;
+    unit.nfa = nfa.MoveValueUnsafe();
+    // Same naming fallback as MultiEngine::AddQuery.
+    unit.name = unit.nfa->query().name;
+    if (unit.name.empty()) unit.name = unit.nfa->query().return_spec.event_name;
+    unit.config_fingerprint = default_fingerprint;
+    unit.mergeable = get("no-merge") == nullptr;
+    ir.units.push_back(std::move(unit));
+  }
+  if (ir.units.empty()) {
+    return Status::InvalidArgument("query file holds no queries");
+  }
+
+  opt::OptOptions options;
+  options.dse = get("no-dse") == nullptr;
+  options.cse = get("no-cse") == nullptr;
+  options.merge = get("no-merge") == nullptr;
+  options.pushdown = get("no-pushdown") == nullptr;
+  options.dump_ir = get("dumps") != nullptr;
+  opt::PassManager pipeline = opt::MakeDefaultPipeline(options);
+  std::vector<opt::PassDump> dumps;
+  CEP_RETURN_NOT_OK(pipeline.Run(&ir, options.dump_ir, &dumps));
+
+  for (const opt::PassDump& dump : dumps) {
+    std::printf("==== before pass '%s' ====\n%s", dump.pass.c_str(),
+                dump.before.c_str());
+    std::printf("==== after pass '%s' ====\n%s", dump.pass.c_str(),
+                dump.after.c_str());
+  }
+  std::printf("==== optimized ====\n%s", ir.Dump().c_str());
+
+  if (const std::string* dot_path = get("dot")) {
+    std::ofstream dot(*dot_path);
+    if (!dot) return Status::IoError("cannot open " + *dot_path);
+    dot << DumpDot(ir);
+    if (!dot.good()) return Status::IoError("write to " + *dot_path + " failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace cep
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) return cep::Usage(argv[0]);
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args[key] = argv[++i];
+    } else {
+      args[key] = "";
+    }
+  }
+  if (args.empty() || args.count("help") > 0) return cep::Usage(argv[0]);
+  const cep::Status status = cep::RunTool(args);
+  if (!status.ok()) {
+    std::fprintf(stderr, "opt_tool: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

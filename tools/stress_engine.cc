@@ -41,6 +41,7 @@
 #include "common/rng.h"
 #include "oracle.h"
 #include "engine/engine.h"
+#include "engine/multi.h"
 #include "event/csv.h"
 #include "event/event.h"
 #include "event/schema.h"
@@ -710,6 +711,187 @@ bool RunServerConfig(const Fixture& fixture, const StressConfig& config,
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// --multiquery mode: differential sweep of the multi-query optimizer
+// (src/opt/, docs/OPTIMIZER.md). Each config registers several overlapping —
+// partly duplicate — queries in one MultiEngine and checks that the
+// optimized engine (DSE + cross-query predicate CSE + shared-prefix merging
+// + pushdown) produces byte-identical per-query match fingerprints vs the
+// unoptimized fan-out, that the optimized artifacts (including snapshot
+// bytes) are identical across {1,4} fan-out threads x {1,8} evaluation
+// shards and through batch-at-a-time feeding, and that a mid-stream
+// checkpoint/restore of the optimized engine reproduces the uninterrupted
+// run exactly. Shedding stays off on this axis: the optimizer changes cost
+// accounting (skipped events, eliminated edges), so shed decisions — and
+// therefore matches — may legitimately differ under it.
+// ---------------------------------------------------------------------------
+
+struct MultiArtifacts {
+  std::vector<std::vector<uint64_t>> per_query;  ///< fingerprints, per query
+  std::string snapshot;
+};
+
+bool RunMulti(const Fixture& fixture, const std::vector<int>& query_ids,
+              const StressConfig& config, bool optimize, size_t threads,
+              size_t shards, size_t batch, const std::vector<EventPtr>& events,
+              const std::string* restore_from, size_t checkpoint_at,
+              std::string* checkpoint_bytes, MultiArtifacts* out,
+              std::vector<Failure>* failures) {
+  MultiEngine multi;
+  for (const int q : query_ids) {
+    auto nfa = fixture.Compile(kQueries[q]);
+    STRESS_OK(nfa.status(), "multiquery compile failed");
+    EngineOptions options;
+    options.selection = config.selection;
+    options.latency_mode = LatencyMode::kVirtualCost;  // deterministic µ(t)
+    options.parallel.shards = shards > 1 ? shards : 0;
+    options.parallel.min_parallel_runs = 4;
+    multi.AddQuery(nfa.MoveValueUnsafe(), options);
+  }
+  if (threads > 1) multi.EnableParallel(threads);
+  if (optimize) {
+    STRESS_OK(multi.Optimize(), "Optimize failed");
+  }
+  size_t start = 0;
+  if (restore_from != nullptr) {
+    STRESS_OK(multi.RestoreFromSnapshot(*restore_from),
+              "multiquery mid-stream restore failed");
+    start = static_cast<size_t>(multi.stream_offset());
+    STRESS_CHECK(start <= events.size(),
+                 "multiquery restored offset beyond the stream");
+  }
+  if (batch <= 1) {
+    for (size_t i = start; i < events.size(); ++i) {
+      STRESS_OK(multi.OfferEvent(events[i]), "multiquery OfferEvent failed");
+      if (checkpoint_bytes != nullptr && i + 1 == checkpoint_at) {
+        auto snap = multi.SerializeSnapshot();
+        if (!snap.ok()) {
+          failures->push_back({config.ToString(),
+                               "multiquery mid-stream snapshot failed: " +
+                                   snap.status().ToString()});
+          return false;
+        }
+        *checkpoint_bytes = snap.MoveValueUnsafe();
+      }
+    }
+  } else {
+    for (size_t i = start; i < events.size(); i += batch) {
+      const size_t n = std::min(batch, events.size() - i);
+      STRESS_OK(
+          multi.ProcessBatch(std::span<const EventPtr>(events.data() + i, n)),
+          "multiquery ProcessBatch failed");
+    }
+  }
+  MultiArtifacts artifacts;
+  artifacts.per_query.resize(multi.num_queries());
+  for (size_t i = 0; i < multi.num_queries(); ++i) {
+    for (const Match& m : multi.engine(i).matches()) {
+      artifacts.per_query[i].push_back(m.fingerprint);
+    }
+  }
+  auto snapshot = multi.SerializeSnapshot();
+  if (!snapshot.ok()) {
+    failures->push_back({config.ToString(), "multiquery final snapshot "
+                                            "failed: " +
+                                                snapshot.status().ToString()});
+    return false;
+  }
+  artifacts.snapshot = snapshot.MoveValueUnsafe();
+  *out = std::move(artifacts);
+  return true;
+}
+
+bool RunMultiConfig(const Fixture& fixture, const StressConfig& config,
+                    std::vector<Failure>* failures) {
+  Rng rng(Mix64(config.stream_seed ^ 0x3617b1e5u));
+  // Draw 3..6 queries with replacement from the non-giant panel: duplicates
+  // are deliberate — they exercise shared-prefix merging, and overlapping
+  // predicates across distinct queries exercise cross-query CSE.
+  const size_t num_queries = 3 + rng.NextBounded(4);
+  std::vector<int> query_ids;
+  query_ids.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    query_ids.push_back(static_cast<int>(rng.NextBounded(kNumQueries - 1)));
+  }
+  const std::vector<EventPtr> events = fixture.MakeStream(config);
+  const size_t checkpoint_at = config.checkpoint_at;
+
+  // Unoptimized serial baseline.
+  MultiArtifacts baseline;
+  if (!RunMulti(fixture, query_ids, config, /*optimize=*/false, 1, 1, 1,
+                events, nullptr, 0, nullptr, &baseline, failures)) {
+    return false;
+  }
+
+  // Optimized serial run; also takes the mid-stream checkpoint.
+  std::string checkpoint_bytes;
+  MultiArtifacts optimized;
+  if (!RunMulti(fixture, query_ids, config, /*optimize=*/true, 1, 1, 1,
+                events, nullptr, checkpoint_at, &checkpoint_bytes, &optimized,
+                failures)) {
+    return false;
+  }
+  STRESS_CHECK(optimized.per_query == baseline.per_query,
+               "multiquery: optimized per-query matches diverge from the "
+               "unoptimized fan-out");
+
+  // Thread x shard grid: the optimized engine must reproduce its serial
+  // artifacts (including snapshot bytes) on every point, and the
+  // unoptimized fan-out must stay put too.
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    for (const size_t shards : {size_t{1}, size_t{8}}) {
+      if (threads == 1 && shards == 1) continue;
+      MultiArtifacts opt_grid;
+      if (!RunMulti(fixture, query_ids, config, /*optimize=*/true, threads,
+                    shards, 1, events, nullptr, 0, nullptr, &opt_grid,
+                    failures)) {
+        return false;
+      }
+      STRESS_CHECK(opt_grid.per_query == optimized.per_query,
+                   "multiquery: optimized matches diverge across the "
+                   "thread/shard grid");
+      STRESS_CHECK(opt_grid.snapshot == optimized.snapshot,
+                   "multiquery: optimized snapshot bytes diverge across the "
+                   "thread/shard grid");
+      MultiArtifacts unopt_grid;
+      if (!RunMulti(fixture, query_ids, config, /*optimize=*/false, threads,
+                    shards, 1, events, nullptr, 0, nullptr, &unopt_grid,
+                    failures)) {
+        return false;
+      }
+      STRESS_CHECK(unopt_grid.per_query == baseline.per_query,
+                   "multiquery: unoptimized matches diverge across the "
+                   "thread/shard grid");
+    }
+  }
+
+  // Batch-at-a-time feeding drives SharedPredTable::BeginBatch.
+  MultiArtifacts batched;
+  const size_t batch = 2 + config.batch;
+  if (!RunMulti(fixture, query_ids, config, /*optimize=*/true, 1, 1, batch,
+                events, nullptr, 0, nullptr, &batched, failures)) {
+    return false;
+  }
+  STRESS_CHECK(batched.per_query == optimized.per_query,
+               "multiquery: batch-fed optimized matches diverge");
+  STRESS_CHECK(batched.snapshot == optimized.snapshot,
+               "multiquery: batch-fed optimized snapshot bytes diverge");
+
+  // Mid-stream checkpoint/restore of the optimized engine.
+  STRESS_CHECK(!checkpoint_bytes.empty(),
+               "multiquery mid-stream checkpoint never taken");
+  MultiArtifacts resumed;
+  if (!RunMulti(fixture, query_ids, config, /*optimize=*/true, 1, 1, 1,
+                events, &checkpoint_bytes, 0, nullptr, &resumed, failures)) {
+    return false;
+  }
+  STRESS_CHECK(resumed.per_query == optimized.per_query,
+               "multiquery resume: per-query matches diverge");
+  STRESS_CHECK(resumed.snapshot == optimized.snapshot,
+               "multiquery resume: final snapshot bytes diverge");
+  return true;
+}
+
 #undef STRESS_CHECK
 #undef STRESS_OK
 
@@ -721,6 +903,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 7;
   bool server_mode = false;
   bool shadow_axis = false;
+  bool multiquery_mode = false;
   bool configs_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -736,16 +919,21 @@ int main(int argc, char** argv) {
       server_mode = true;
     } else if (arg == "--shadow") {
       shadow_axis = true;
+    } else if (arg == "--multiquery") {
+      multiquery_mode = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--configs N] [--seed S] [--server] [--shadow]\n",
+                   "usage: %s [--configs N] [--seed S] [--server] [--shadow] "
+                   "[--multiquery]\n",
                    argv[0]);
       return 2;
     }
   }
-  // Each --server config spins up (and tears down) a whole daemon, so the
-  // default sweep is smaller than the in-process one.
+  // Each --server config spins up (and tears down) a whole daemon, and each
+  // --multiquery config runs ~10 full MultiEngine sweeps, so their default
+  // sweeps are smaller than the in-process single-engine one.
   if (server_mode && !configs_set) configs = 20;
+  if (multiquery_mode && !configs_set) configs = 30;
 
   cep::Fixture fixture;
   std::vector<cep::Failure> failures;
@@ -764,7 +952,9 @@ int main(int argc, char** argv) {
   }
   for (uint64_t c = 0; c < configs; ++c) {
     const cep::StressConfig config = cep::MakeConfig(seed, c);
-    if (server_mode) {
+    if (multiquery_mode) {
+      cep::RunMultiConfig(fixture, config, &failures);
+    } else if (server_mode) {
       cep::RunServerConfig(fixture, config, server_dir, &failures);
     } else {
       if (config.shedder == "none" &&
@@ -792,6 +982,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "  %s\n    %s\n", f.config.c_str(), f.what.c_str());
     }
     return 1;
+  }
+  if (multiquery_mode) {
+    std::printf(
+        "stress_engine: %llu multi-query configs passed (optimized vs "
+        "unoptimized per-query matches byte-identical across the "
+        "thread/shard grid, batch feeding, and checkpoint-resume), seed "
+        "%llu\n",
+        static_cast<unsigned long long>(configs),
+        static_cast<unsigned long long>(seed));
+    return 0;
   }
   if (server_mode) {
     std::printf(

@@ -8,6 +8,8 @@
 //   validate_obs audit FILE          cepshed_cli --audit-out x.jsonl
 //   validate_obs quality FILE        cepshed_cli --quality-out x.json
 //   validate_obs bench-suite FILE    bench/bench_suite BENCH_suite.json
+//   validate_obs bench-multiquery FILE
+//                                    bench/bench_multiquery BENCH_multiquery.json
 //
 // Exit 0 when the file parses and satisfies the schema, 1 with a message on
 // stderr otherwise.
@@ -637,13 +639,84 @@ int ValidateBenchSuite(const std::string& text) {
   return 0;
 }
 
+// --- multi-query optimizer bench (bench/bench_multiquery.cc) ----------------
+
+int ValidateBenchMultiquery(const std::string& text) {
+  int rc = 0;
+  JsonPtr root = ParseOrDie(text, &rc);
+  if (root == nullptr) return rc;
+  if (root->kind != JsonValue::Kind::kObject) {
+    return Invalid("bench-multiquery: top level must be an object%s", "");
+  }
+  const JsonValue* version = root->Get("schema_version");
+  if (version == nullptr || version->kind != JsonValue::Kind::kNumber ||
+      version->number < 1) {
+    return Invalid("bench-multiquery: missing numeric schema_version >= 1%s",
+                   "");
+  }
+  const JsonValue* rows = root->Get("rows");
+  if (rows == nullptr || rows->kind != JsonValue::Kind::kArray ||
+      rows->array.empty()) {
+    return Invalid("bench-multiquery: missing non-empty rows array%s", "");
+  }
+  std::map<int, int> queries_seen;
+  for (const JsonPtr& row : rows->array) {
+    if (row->kind != JsonValue::Kind::kObject) {
+      return Invalid("bench-multiquery: non-object row%s", "");
+    }
+    const JsonValue* overlap = row->Get("overlap");
+    if (overlap == nullptr || overlap->kind != JsonValue::Kind::kString) {
+      return Invalid("bench-multiquery: row missing string overlap%s", "");
+    }
+    if (RequireNumbers(row.get(), "bench-multiquery: row",
+                       {"queries", "events", "unopt_eps", "opt_eps",
+                        "speedup", "engines", "shared_preds",
+                        "engine_skips", "events_prefiltered"}) != 0) {
+      return 1;
+    }
+    const double unopt = row->Get("unopt_eps")->number;
+    const double opt = row->Get("opt_eps")->number;
+    const double speedup = row->Get("speedup")->number;
+    if (unopt <= 0.0 || opt <= 0.0) {
+      return Invalid("bench-multiquery: non-positive events/sec in overlap "
+                     "'%s'",
+                     overlap->string);
+    }
+    // The bench computes speedup from the same two rates it reports; a
+    // mismatch means the file was edited by hand.
+    const double expected = opt / unopt;
+    if (speedup < expected * 0.99 || speedup > expected * 1.01) {
+      return Invalid(
+          "bench-multiquery: speedup inconsistent with opt_eps/unopt_eps in "
+          "overlap '%s'",
+          overlap->string);
+    }
+    const JsonValue* identical = row->Get("matches_identical");
+    if (identical == nullptr || identical->kind != JsonValue::Kind::kBool ||
+        !identical->boolean) {
+      return Invalid(
+          "bench-multiquery: row must record matches_identical=true (the "
+          "bench aborts on a differential mismatch) in overlap '%s'",
+          overlap->string);
+    }
+    ++queries_seen[static_cast<int>(row->Get("queries")->number)];
+  }
+  for (const int required : {10, 100, 1000}) {
+    if (queries_seen.find(required) == queries_seen.end()) {
+      return Invalid("bench-multiquery: missing a row with queries=%s",
+                     std::to_string(required));
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc != 3) {
     std::fprintf(stderr,
                  "usage: validate_obs <metrics-json|metrics-prom|trace|audit"
-                 "|quality|bench-suite> <file>\n");
+                 "|quality|bench-suite|bench-multiquery> <file>\n");
     return 2;
   }
   std::ifstream file(argv[2]);
@@ -668,6 +741,8 @@ int main(int argc, char** argv) {
     rc = ValidateQuality(text);
   } else if (kind == "bench-suite") {
     rc = ValidateBenchSuite(text);
+  } else if (kind == "bench-multiquery") {
+    rc = ValidateBenchMultiquery(text);
   } else {
     std::fprintf(stderr, "unknown kind '%s'\n", kind.c_str());
     return 2;
